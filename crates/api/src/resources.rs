@@ -1,0 +1,566 @@
+//! Wire-schema resources mirroring the YouTube Data API v3 JSON shapes.
+//!
+//! Fidelity notes (matching the real API, which the audit's tooling must
+//! parse):
+//! * all counters in `statistics` parts are **strings** on the wire
+//!   (`"viewCount": "123"`), not numbers;
+//! * list responses carry `kind`, `etag`, optional `nextPageToken`/
+//!   `prevPageToken`, and a `pageInfo` with `totalResults` (the field the
+//!   paper's Table 4 analyzes) and `resultsPerPage`;
+//! * search items nest the video ID under `id.videoId` while `Videos:
+//!   list` items carry a bare string `id`.
+
+use serde::{Deserialize, Serialize};
+
+/// `pageInfo` on every list response. `totalResults` is the noisy,
+/// 1M-capped pool estimate the paper studies in §5.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct PageInfo {
+    /// "The total number of results in the result set" (documented max
+    /// 1,000,000).
+    pub total_results: u64,
+    /// Number of results per page for this request.
+    pub results_per_page: u32,
+}
+
+/// `snippet` of a search result or playlist item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct Snippet {
+    /// RFC 3339 upload instant.
+    pub published_at: String,
+    /// Uploading channel ID.
+    pub channel_id: String,
+    /// Video title.
+    pub title: String,
+    /// Video description.
+    pub description: String,
+    /// Uploading channel title.
+    pub channel_title: String,
+    /// `none`, `live`, or `upcoming`; always `none` for our corpus.
+    pub live_broadcast_content: String,
+}
+
+/// The `id` object of a search result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct SearchResultId {
+    /// Always `youtube#video` here (`type=video` searches).
+    pub kind: String,
+    /// The video ID.
+    pub video_id: String,
+}
+
+/// One `Search: list` item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct SearchResult {
+    /// `youtube#searchResult`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Nested ID object.
+    pub id: SearchResultId,
+    /// Snippet part (present when `part=snippet`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub snippet: Option<Snippet>,
+}
+
+/// `Search: list` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct SearchListResponse {
+    /// `youtube#searchListResponse`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Token for the next page, when more results exist.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub next_page_token: Option<String>,
+    /// Token for the previous page.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub prev_page_token: Option<String>,
+    /// Region the request was processed for.
+    pub region_code: String,
+    /// Pagination metadata, including `totalResults`.
+    pub page_info: PageInfo,
+    /// The page of results.
+    pub items: Vec<SearchResult>,
+}
+
+/// `contentDetails` of a video.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct VideoContentDetails {
+    /// ISO-8601 duration, e.g. `PT4M13S`.
+    pub duration: String,
+    /// `hd` or `sd`.
+    pub definition: String,
+}
+
+/// `statistics` of a video — all counters are strings on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct VideoStatistics {
+    /// View count as a decimal string.
+    pub view_count: String,
+    /// Like count as a decimal string.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub like_count: Option<String>,
+    /// Comment count as a decimal string.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub comment_count: Option<String>,
+}
+
+/// One `Videos: list` item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct VideoResource {
+    /// `youtube#video`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Bare video ID (unlike search results).
+    pub id: String,
+    /// Snippet part.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub snippet: Option<Snippet>,
+    /// Content details part.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub content_details: Option<VideoContentDetails>,
+    /// Statistics part.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub statistics: Option<VideoStatistics>,
+}
+
+/// `Videos: list` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct VideoListResponse {
+    /// `youtube#videoListResponse`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Next-page token.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub next_page_token: Option<String>,
+    /// Pagination metadata.
+    pub page_info: PageInfo,
+    /// The page of resources. Unknown or unavailable IDs are *omitted*,
+    /// not errors — exactly the behaviour Figure 4 measures.
+    pub items: Vec<VideoResource>,
+}
+
+/// Channel `snippet`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct ChannelSnippet {
+    /// Channel title.
+    pub title: String,
+    /// Channel description.
+    pub description: String,
+    /// Channel creation instant.
+    pub published_at: String,
+}
+
+/// Channel `statistics` — strings on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct ChannelStatistics {
+    /// Total channel views.
+    pub view_count: String,
+    /// Subscriber count.
+    pub subscriber_count: String,
+    /// Whether the subscriber count is hidden.
+    pub hidden_subscriber_count: bool,
+    /// Number of public videos.
+    pub video_count: String,
+}
+
+/// `contentDetails.relatedPlaylists` of a channel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct RelatedPlaylists {
+    /// The uploads playlist (`UU…`) — the ID-based route to complete
+    /// channel catalogues the paper recommends.
+    pub uploads: String,
+}
+
+/// Channel `contentDetails`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct ChannelContentDetails {
+    /// Related playlists (uploads).
+    pub related_playlists: RelatedPlaylists,
+}
+
+/// One `Channels: list` item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct ChannelResource {
+    /// `youtube#channel`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Channel ID.
+    pub id: String,
+    /// Snippet part.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub snippet: Option<ChannelSnippet>,
+    /// Content details part.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub content_details: Option<ChannelContentDetails>,
+    /// Statistics part.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub statistics: Option<ChannelStatistics>,
+}
+
+/// `Channels: list` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct ChannelListResponse {
+    /// `youtube#channelListResponse`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Pagination metadata.
+    pub page_info: PageInfo,
+    /// The page of resources.
+    pub items: Vec<ChannelResource>,
+}
+
+/// Playlist item `snippet.resourceId`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct ResourceId {
+    /// `youtube#video`.
+    pub kind: String,
+    /// The video ID.
+    pub video_id: String,
+}
+
+/// Playlist item snippet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct PlaylistItemSnippet {
+    /// Upload instant of the contained video.
+    pub published_at: String,
+    /// Owning channel.
+    pub channel_id: String,
+    /// Video title.
+    pub title: String,
+    /// Playlist this item belongs to.
+    pub playlist_id: String,
+    /// Zero-based position within the playlist.
+    pub position: u32,
+    /// The contained resource.
+    pub resource_id: ResourceId,
+}
+
+/// One `PlaylistItems: list` item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct PlaylistItemResource {
+    /// `youtube#playlistItem`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Playlist item ID.
+    pub id: String,
+    /// Snippet part.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub snippet: Option<PlaylistItemSnippet>,
+}
+
+/// `PlaylistItems: list` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct PlaylistItemListResponse {
+    /// `youtube#playlistItemListResponse`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Next-page token.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub next_page_token: Option<String>,
+    /// Pagination metadata.
+    pub page_info: PageInfo,
+    /// The page of resources.
+    pub items: Vec<PlaylistItemResource>,
+}
+
+/// Comment snippet (shared by top-level comments and replies).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct CommentSnippet {
+    /// The video the comment is on.
+    pub video_id: String,
+    /// Comment text.
+    pub text_display: String,
+    /// Commenting channel.
+    pub author_channel_id: String,
+    /// Likes on the comment.
+    pub like_count: u64,
+    /// Posting instant.
+    pub published_at: String,
+    /// Parent comment ID, for replies.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub parent_id: Option<String>,
+}
+
+/// A comment resource.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct CommentResource {
+    /// `youtube#comment`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Comment ID (replies are `parent.child`).
+    pub id: String,
+    /// Snippet part.
+    pub snippet: CommentSnippet,
+}
+
+/// `commentThread.snippet`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct CommentThreadSnippet {
+    /// The video the thread is on.
+    pub video_id: String,
+    /// The thread's top-level comment.
+    pub top_level_comment: CommentResource,
+    /// Total number of replies (may exceed the ≤ 5 embedded in
+    /// `replies.comments`; fetch the rest via `Comments: list`).
+    pub total_reply_count: u64,
+    /// Whether replies are possible.
+    pub can_reply: bool,
+}
+
+/// Embedded replies of a comment thread (at most five).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct CommentThreadReplies {
+    /// Up to five reply comments.
+    pub comments: Vec<CommentResource>,
+}
+
+/// One `CommentThreads: list` item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct CommentThreadResource {
+    /// `youtube#commentThread`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Thread ID (= top-level comment ID).
+    pub id: String,
+    /// Snippet part.
+    pub snippet: CommentThreadSnippet,
+    /// Embedded replies, when any exist.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub replies: Option<CommentThreadReplies>,
+}
+
+/// `CommentThreads: list` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct CommentThreadListResponse {
+    /// `youtube#commentThreadListResponse`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Next-page token.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub next_page_token: Option<String>,
+    /// Pagination metadata.
+    pub page_info: PageInfo,
+    /// The page of threads.
+    pub items: Vec<CommentThreadResource>,
+}
+
+/// `Comments: list` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct CommentListResponse {
+    /// `youtube#commentListResponse`.
+    pub kind: String,
+    /// Entity tag.
+    pub etag: String,
+    /// Next-page token.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub next_page_token: Option<String>,
+    /// Pagination metadata.
+    pub page_info: PageInfo,
+    /// The page of comments.
+    pub items: Vec<CommentResource>,
+}
+
+/// One entry of the error envelope's `errors` array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct ErrorItem {
+    /// Human-readable message.
+    pub message: String,
+    /// Error domain (e.g. `youtube.quota`).
+    pub domain: String,
+    /// Machine-readable reason (e.g. `quotaExceeded`).
+    pub reason: String,
+}
+
+/// The inner error object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct ErrorBody {
+    /// HTTP status code.
+    pub code: u16,
+    /// Top-level message.
+    pub message: String,
+    /// Individual errors.
+    pub errors: Vec<ErrorItem>,
+}
+
+/// The error envelope every failed Data API call returns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// The error payload.
+    pub error: ErrorBody,
+}
+
+/// Computes a stable etag for a response body fragment.
+pub fn etag_for(content: &str) -> String {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in content.bytes() {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("\"yt-sim-{acc:016x}\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_response_serializes_like_the_real_api() {
+        let resp = SearchListResponse {
+            kind: "youtube#searchListResponse".into(),
+            etag: etag_for("x"),
+            next_page_token: Some("CAUQAA".into()),
+            prev_page_token: None,
+            region_code: "US".into(),
+            page_info: PageInfo {
+                total_results: 1_000_000,
+                results_per_page: 50,
+            },
+            items: vec![SearchResult {
+                kind: "youtube#searchResult".into(),
+                etag: etag_for("item"),
+                id: SearchResultId {
+                    kind: "youtube#video".into(),
+                    video_id: "dQw4w9WgXcQ".into(),
+                },
+                snippet: Some(Snippet {
+                    published_at: "2016-06-23T12:00:00Z".into(),
+                    channel_id: "UCabc".into(),
+                    title: "t".into(),
+                    description: "d".into(),
+                    channel_title: "ct".into(),
+                    live_broadcast_content: "none".into(),
+                }),
+            }],
+        };
+        let json = serde_json::to_value(&resp).unwrap();
+        assert_eq!(json["kind"], "youtube#searchListResponse");
+        assert_eq!(json["pageInfo"]["totalResults"], 1_000_000);
+        assert_eq!(json["items"][0]["id"]["videoId"], "dQw4w9WgXcQ");
+        assert_eq!(json["items"][0]["snippet"]["publishedAt"], "2016-06-23T12:00:00Z");
+        assert!(json.get("prevPageToken").is_none());
+        // Round trip.
+        let back: SearchListResponse = serde_json::from_value(json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn statistics_are_strings_on_the_wire() {
+        let stats = VideoStatistics {
+            view_count: "12345".into(),
+            like_count: Some("99".into()),
+            comment_count: None,
+        };
+        let json = serde_json::to_value(&stats).unwrap();
+        assert_eq!(json["viewCount"], "12345");
+        assert_eq!(json["likeCount"], "99");
+        assert!(json.get("commentCount").is_none());
+    }
+
+    #[test]
+    fn error_envelope_shape() {
+        let err = ErrorResponse {
+            error: ErrorBody {
+                code: 403,
+                message: "The request cannot be completed because you have exceeded your quota.".into(),
+                errors: vec![ErrorItem {
+                    message: "quota exceeded".into(),
+                    domain: "youtube.quota".into(),
+                    reason: "quotaExceeded".into(),
+                }],
+            },
+        };
+        let json = serde_json::to_string(&err).unwrap();
+        assert!(json.contains("\"code\":403"));
+        assert!(json.contains("\"reason\":\"quotaExceeded\""));
+        let back: ErrorResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.error.errors[0].reason, "quotaExceeded");
+    }
+
+    #[test]
+    fn etags_are_stable_and_distinct() {
+        assert_eq!(etag_for("a"), etag_for("a"));
+        assert_ne!(etag_for("a"), etag_for("b"));
+        assert!(etag_for("a").starts_with('"'));
+    }
+
+    #[test]
+    fn comment_thread_shape() {
+        let comment = CommentResource {
+            kind: "youtube#comment".into(),
+            etag: etag_for("c"),
+            id: "abc".into(),
+            snippet: CommentSnippet {
+                video_id: "vid".into(),
+                text_display: "first!".into(),
+                author_channel_id: "UCx".into(),
+                like_count: 3,
+                published_at: "2021-01-07T00:00:00Z".into(),
+                parent_id: None,
+            },
+        };
+        let thread = CommentThreadResource {
+            kind: "youtube#commentThread".into(),
+            etag: etag_for("t"),
+            id: "abc".into(),
+            snippet: CommentThreadSnippet {
+                video_id: "vid".into(),
+                top_level_comment: comment.clone(),
+                total_reply_count: 2,
+                can_reply: true,
+            },
+            replies: Some(CommentThreadReplies {
+                comments: vec![CommentResource {
+                    id: "abc.def".into(),
+                    snippet: CommentSnippet {
+                        parent_id: Some("abc".into()),
+                        ..comment.snippet.clone()
+                    },
+                    ..comment.clone()
+                }],
+            }),
+        };
+        let json = serde_json::to_value(&thread).unwrap();
+        assert_eq!(json["snippet"]["topLevelComment"]["id"], "abc");
+        assert_eq!(json["replies"]["comments"][0]["snippet"]["parentId"], "abc");
+        assert_eq!(json["snippet"]["totalReplyCount"], 2);
+    }
+}

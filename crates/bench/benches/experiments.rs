@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the experiment pipelines: how long each
+//! table/figure analysis takes on a collected dataset, plus the cost of
+//! one full snapshot collection. One benchmark per experiment family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ytaudit_bench::quick_dataset;
+use ytaudit_core::testutil::test_client;
+use ytaudit_core::{Collector, CollectorConfig};
+use ytaudit_types::Topic;
+
+fn bench_collection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collection");
+    group.sample_size(10);
+    group.bench_function("one_topic_snapshot_672_hourly_queries", |b| {
+        let (client, _service) = test_client(0.5);
+        let config = CollectorConfig {
+            fetch_metadata: false,
+            fetch_channels: false,
+            ..CollectorConfig::quick(vec![Topic::Higgs], 1)
+        };
+        b.iter(|| {
+            let dataset = Collector::new(&client, config.clone()).run().unwrap();
+            black_box(dataset.snapshots.len());
+        })
+    });
+    group.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let dataset = quick_dataset();
+    c.bench_function("table1_and_fig1_consistency", |b| {
+        b.iter(|| {
+            black_box(ytaudit_core::consistency::figure1(&dataset).len());
+            black_box(ytaudit_core::consistency::table1(&dataset).len());
+        })
+    });
+    c.bench_function("table2_fig2_randomization", |b| {
+        b.iter(|| {
+            black_box(ytaudit_core::randomization::table2(&dataset).len());
+            black_box(ytaudit_core::randomization::figure2(&dataset).len());
+        })
+    });
+    c.bench_function("fig3_markov", |b| {
+        b.iter(|| black_box(ytaudit_core::attrition::figure3(&dataset).is_some()))
+    });
+    c.bench_function("table4_poolsize", |b| {
+        b.iter(|| black_box(ytaudit_core::poolsize::table4(&dataset).len()))
+    });
+    c.bench_function("table5_comments", |b| {
+        b.iter(|| black_box(ytaudit_core::comments::table5(&dataset).len()))
+    });
+    c.bench_function("fig4_idcheck", |b| {
+        b.iter(|| black_box(ytaudit_core::idcheck::figure4(&dataset).len()))
+    });
+
+    let data = ytaudit_core::regression::build_regression_data(&dataset)
+        .expect("regression data builds");
+    let mut group = c.benchmark_group("regressions");
+    group.sample_size(10);
+    group.bench_function("build_design_matrix", |b| {
+        b.iter(|| {
+            black_box(
+                ytaudit_core::regression::build_regression_data(&dataset)
+                    .unwrap()
+                    .x
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("table3_ordinal_logit", |b| {
+        b.iter(|| black_box(ytaudit_core::regression::table3(&data).unwrap().log_likelihood))
+    });
+    group.bench_function("table6_ols_hc1", |b| {
+        b.iter(|| black_box(ytaudit_core::regression::table6(&data).unwrap().r_squared))
+    });
+    group.bench_function("table7_ordinal_cloglog", |b| {
+        b.iter(|| black_box(ytaudit_core::regression::table7(&data).unwrap().log_likelihood))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_collection, bench_analyses);
+criterion_main!(benches);

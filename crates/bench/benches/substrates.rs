@@ -1,0 +1,159 @@
+//! Criterion microbenchmarks for the substrates: HTTP stack, search
+//! sampler, corpus generation, and the statistics routines the audit
+//! leans on. These quantify the cost of one audit "unit of work".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::sync::Arc;
+use ytaudit_net::{HttpClient, Request, Response, Server, ServerConfig, StatusCode};
+use ytaudit_platform::{Corpus, CorpusConfig, Platform, SearchOrder, SearchParams};
+use ytaudit_stats::ols::{OlsFit, OlsOptions};
+use ytaudit_stats::ordinal::OrdinalModel;
+use ytaudit_stats::rank::spearman;
+use ytaudit_stats::sets::jaccard;
+use ytaudit_types::{Timestamp, Topic};
+
+fn bench_http(c: &mut Criterion) {
+    let handler = Arc::new(|_: &Request| Response::json(StatusCode::OK, br#"{"items":[]}"#.to_vec()));
+    let server = Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+    let client = HttpClient::new();
+    let url = format!("{}/youtube/v3/search?part=snippet&q=higgs+boson", server.base_url());
+    c.bench_function("http_get_keepalive_round_trip", |b| {
+        b.iter(|| {
+            let resp = client.get(black_box(&url)).unwrap();
+            black_box(resp.status);
+        })
+    });
+    server.shutdown();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let body = vec![b'x'; 8 * 1024];
+    c.bench_function("http_response_encode_decode_8k", |b| {
+        b.iter(|| {
+            let resp = Response::json(StatusCode::OK, body.clone());
+            let mut wire = Vec::with_capacity(10 * 1024);
+            ytaudit_net::framing::write_response(&mut wire, &resp, true).unwrap();
+            let parsed = ytaudit_net::framing::MessageReader::new(std::io::Cursor::new(wire))
+                .read_response(&ytaudit_net::framing::FrameLimits::default(), false)
+                .unwrap();
+            black_box(parsed.body.len());
+        })
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let platform = Platform::small(1.0);
+    let now = Timestamp::from_ymd(2025, 2, 9).unwrap();
+    let topic = Topic::Blm;
+    let hourly = SearchParams {
+        tokens: topic.spec().query_tokens(),
+        published_after: Some(topic.spec().focal_date),
+        published_before: Some(topic.spec().focal_date.add_hours(1)),
+        order: SearchOrder::Date,
+        channel_id: None,
+    };
+    c.bench_function("search_one_hour_bin", |b| {
+        b.iter(|| black_box(platform.search(black_box(&hourly), now).video_ids.len()))
+    });
+    let full = SearchParams {
+        published_after: Some(topic.window_start()),
+        published_before: Some(topic.window_end()),
+        ..hourly.clone()
+    };
+    c.bench_function("search_full_28day_window", |b| {
+        b.iter(|| black_box(platform.search(black_box(&full), now).video_ids.len()))
+    });
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.bench_function("generate_scale_0.25", |b| {
+        b.iter(|| {
+            let corpus = Corpus::generate(CorpusConfig {
+                scale: 0.25,
+                ..CorpusConfig::default()
+            });
+            black_box(corpus.video_count());
+        })
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    // Deterministic synthetic data sized like the paper's regression.
+    let n = 2_000;
+    let k = 8;
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..k)
+                .map(|j| ((i * 37 + j * 101) % 997) as f64 / 997.0 - 0.5)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .enumerate()
+        .map(|(i, row)| row.iter().sum::<f64>() + ((i * 17) % 13) as f64 * 0.1)
+        .collect();
+    let names: Vec<&str> = (0..k).map(|_| "x").collect();
+    c.bench_function("ols_hc1_2000x8", |b| {
+        b.iter(|| {
+            black_box(
+                OlsFit::fit(&names, &x, &y, OlsOptions { robust_hc1: true })
+                    .unwrap()
+                    .r_squared,
+            )
+        })
+    });
+
+    let cats: Vec<usize> = y
+        .iter()
+        .map(|v| {
+            if *v < -1.0 {
+                0
+            } else if *v < 1.0 {
+                1
+            } else {
+                2
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("ordinal");
+    group.sample_size(20);
+    group.bench_function("ordinal_logit_2000x8x3", |b| {
+        b.iter(|| {
+            black_box(
+                OrdinalModel::logit()
+                    .fit(&names, &x, &cats)
+                    .unwrap()
+                    .log_likelihood,
+            )
+        })
+    });
+    group.finish();
+
+    let a: Vec<f64> = (0..672).map(|i| ((i * 31) % 113) as f64).collect();
+    let bvec: Vec<f64> = (0..672).map(|i| ((i * 57) % 97) as f64).collect();
+    c.bench_function("spearman_672", |b| {
+        b.iter(|| black_box(spearman(&a, &bvec).unwrap().coefficient))
+    });
+
+    let set_a: HashSet<u32> = (0..700).collect();
+    let set_b: HashSet<u32> = (350..1_050).collect();
+    c.bench_function("jaccard_700", |b| {
+        b.iter(|| black_box(jaccard(&set_a, &set_b)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_http,
+    bench_framing,
+    bench_search,
+    bench_corpus,
+    bench_stats
+);
+criterion_main!(benches);

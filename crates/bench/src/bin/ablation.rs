@@ -1,0 +1,58 @@
+//! Ablation study: run a reduced audit with each sampler mechanism
+//! switched off in turn and report which of the paper's signatures
+//! disappears — evidence that every mechanism DESIGN.md encodes is
+//! individually load-bearing.
+
+use ytaudit_bench::tables;
+use ytaudit_core::ablation::{run_variant, standard_variants};
+
+fn main() {
+    println!("Ablation study — Capitol + Higgs, 6 snapshots, full corpus scale\n");
+    let mut rows = Vec::new();
+    for (label, sampler) in standard_variants() {
+        eprintln!("[ablation] running variant {label}…");
+        let outcome = run_variant(label, sampler, 1.0, 6).expect("variant runs");
+        rows.push(vec![
+            outcome.variant.clone(),
+            tables::f3(outcome.final_jaccard),
+            tables::f3(outcome.mean_adjacent_jaccard),
+            format!("{:.1}%", outcome.zero_hour_share * 100.0),
+            outcome.gated_hour_returns.to_string(),
+            if outcome.likes_coefficient.is_nan() {
+                "—".to_string()
+            } else {
+                tables::f3(outcome.likes_coefficient)
+            },
+            if outcome.p_stay_present.is_nan() {
+                "—".to_string()
+            } else {
+                tables::f3(outcome.p_stay_present)
+            },
+        ]);
+    }
+    print!(
+        "{}",
+        tables::render(
+            &[
+                "variant",
+                "J(final,first)",
+                "J(adjacent)",
+                "zero hours",
+                "gated returns",
+                "likes beta",
+                "P(P|PP)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nReading guide:\n\
+         • frozen        → J ≈ 1: no churn at all, Figures 1/3 vanish.\n\
+         • memoryless    → adjacent J collapses toward the random floor:\n\
+           the 'rolling window' (Figure 3) requires the noise's memory.\n\
+         • no-gating     → returns appear in hours the density gate\n\
+           suppresses (the paper's forced-zero observation).\n\
+         • no-propensity → the likes coefficient goes to ~0: Table 3's\n\
+           popularity bias is carried entirely by the propensity term."
+    );
+}

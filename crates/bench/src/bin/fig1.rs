@@ -1,0 +1,53 @@
+//! Regenerates Figure 1: Jaccard similarities of video-ID sets relative
+//! to the previous and the first collection, with set-difference "error
+//! bars".
+
+use ytaudit_bench::{full_dataset, paper, tables};
+use ytaudit_core::consistency::figure1;
+
+fn main() {
+    let dataset = full_dataset();
+    println!("Figure 1 — rolling Jaccard similarity per topic\n");
+    for tc in figure1(&dataset) {
+        let band = paper::FIGURE1_FINAL_BAND
+            .iter()
+            .find(|b| b.0 == tc.topic)
+            .expect("all topics covered");
+        println!(
+            "{} — final J(St,S1) = {:.3} (paper band {:.2}–{:.2}), mean J(St,St-1) = {:.3}",
+            tc.topic.display_name(),
+            tc.final_jaccard_first(),
+            band.1,
+            band.2,
+            tc.mean_jaccard_prev(),
+        );
+        let rows: Vec<Vec<String>> = tc
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.snapshot.to_string(),
+                    p.returned.to_string(),
+                    tables::f3(p.jaccard_prev),
+                    tables::f3(p.jaccard_first),
+                    format!("-{}", p.dropped_out),
+                    format!("+{}", p.dropped_in),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            tables::render(
+                &["t", "returned", "J(St,St-1)", "J(St,S1)", "out", "in"],
+                &rows
+            )
+        );
+        println!();
+    }
+    println!(
+        "Shape check: J(St,S1) decays over the 12 weeks while J(St,St-1)\n\
+         stays high; Higgs is by far the most stable; the '+in' column is\n\
+         non-zero — historical queries GAIN videos, so deletions cannot\n\
+         explain the churn."
+    );
+}

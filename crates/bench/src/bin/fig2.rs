@@ -1,0 +1,52 @@
+//! Regenerates Figure 2: daily frequencies of videos returned (first,
+//! last, and average collections) with daily first-vs-last Jaccard.
+
+use ytaudit_bench::{full_dataset, tables};
+use ytaudit_core::randomization::figure2;
+use ytaudit_stats::rank::pearson;
+
+fn main() {
+    let dataset = full_dataset();
+    println!("Figure 2 — daily return frequencies and daily Jaccard\n");
+    for ft in figure2(&dataset) {
+        let spec = ft.topic.spec();
+        println!(
+            "{} (focal day = 14, interest peak ≈ day {:.0})",
+            ft.topic.display_name(),
+            14.0 + spec.peak_offset_days
+        );
+        let rows: Vec<Vec<String>> = ft
+            .days
+            .iter()
+            .map(|d| {
+                vec![
+                    d.day.to_string(),
+                    d.first.to_string(),
+                    d.last.to_string(),
+                    tables::f2(d.avg),
+                    tables::f3(d.jaccard_first_last),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            tables::render(&["day", "first", "last", "avg", "J(first,last)"], &rows)
+        );
+        // The headline correlations.
+        let first: Vec<f64> = ft.days.iter().map(|d| d.first as f64).collect();
+        let last: Vec<f64> = ft.days.iter().map(|d| d.last as f64).collect();
+        let avg: Vec<f64> = ft.days.iter().map(|d| d.avg).collect();
+        let js: Vec<f64> = ft.days.iter().map(|d| d.jaccard_first_last).collect();
+        let shape_r = pearson(&first, &last).map(|c| c.coefficient).unwrap_or(f64::NAN);
+        let vol_vs_j = pearson(&avg, &js).map(|c| c.coefficient).unwrap_or(f64::NAN);
+        println!(
+            "  first-vs-last daily-shape r = {shape_r:.3} (paper: 'map almost perfectly'),\n  volume-vs-Jaccard r = {vol_vs_j:.3} (paper: no consistent mapping)\n"
+        );
+    }
+    println!(
+        "Shape check: the frequency curves of different snapshots coincide\n\
+         (the API samples a fixed interest density); the Jaccard column does\n\
+         not track volume; peaks sit near each topic's focal date, with BLM's\n\
+         lagging ~8 days (Blackout Tuesday)."
+    );
+}

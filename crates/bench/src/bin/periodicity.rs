@@ -1,0 +1,67 @@
+//! The §6.2 periodicity experiment: a sparse, long collection scanned
+//! for cycles in set similarity — run twice, once against the calibrated
+//! (aperiodic) sampler and once against a sampler with a planted 20-day
+//! cycle, to show the detector separates the two.
+
+use ytaudit_bench::tables;
+use ytaudit_core::ablation::client_with_sampler;
+use ytaudit_core::{Collector, CollectorConfig, Schedule};
+use ytaudit_platform::SamplerConfig;
+use ytaudit_types::{Timestamp, Topic};
+
+fn run(label: &str, sampler: SamplerConfig) -> Vec<String> {
+    let (client, _service) = client_with_sampler(1.0, sampler);
+    let config = CollectorConfig {
+        topics: vec![Topic::Capitol],
+        // §6.2: "more sparse collections over a longer period" — every
+        // 5 days for 24 snapshots = 120 days (vs the paper's 80).
+        schedule: Schedule::every(Timestamp::from_ymd(2025, 2, 9).unwrap(), 5, 24),
+        hourly_bins: true,
+        fetch_metadata: false,
+        fetch_channels: false,
+        fetch_comments: false,
+    };
+    let dataset = Collector::new(&client, config).run().expect("collection");
+    let report =
+        ytaudit_core::periodicity::analyze(&dataset, Topic::Capitol, Some(7)).expect("analysis");
+    vec![
+        label.to_string(),
+        report.dominant_lag.to_string(),
+        format!("{} days", report.dominant_lag * 5),
+        tables::f3(report.strength),
+        tables::f3(report.threshold),
+        report.significant.to_string(),
+        format!("{:.3}", report.ljung_box_p),
+    ]
+}
+
+fn main() {
+    println!("§6.2 periodicity check — Capitol, 24 snapshots every 5 days\n");
+    let rows = vec![
+        run("calibrated (aperiodic)", SamplerConfig::default()),
+        run(
+            "planted 20-day cycle",
+            SamplerConfig::default().with_seasonality(20.0, 0.22),
+        ),
+    ];
+    print!(
+        "{}",
+        tables::render(
+            &[
+                "sampler",
+                "dominant lag",
+                "period",
+                "ACF",
+                "threshold",
+                "significant",
+                "Ljung-Box p"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nReading: the detector flags the planted cycle at its true period\n\
+         and stays quiet on the calibrated sampler — ready to run against\n\
+         the real API the day someone has 6 months of quota."
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates Table 1: descriptive statistics for the number of videos
+//! returned per topic across collections.
+
+use ytaudit_bench::{full_dataset, paper, tables};
+use ytaudit_core::consistency::table1;
+
+fn main() {
+    let dataset = full_dataset();
+    let rows = table1(&dataset);
+    let mut printable = Vec::new();
+    for row in &rows {
+        let reference = paper::TABLE1
+            .iter()
+            .find(|r| r.0 == row.topic)
+            .expect("all topics covered");
+        printable.push(vec![
+            row.topic.display_name().to_string(),
+            row.min.to_string(),
+            row.max.to_string(),
+            tables::f2(row.mean),
+            tables::f2(row.std),
+            format!("{}/{}/{}/{}", reference.1, reference.2, reference.3, reference.4),
+        ]);
+    }
+    println!("Table 1 — videos returned per topic across collections");
+    println!("(last column: paper's min/max/mean/std)\n");
+    print!(
+        "{}",
+        tables::render(
+            &["topic", "min", "max", "mean", "std", "paper"],
+            &printable
+        )
+    );
+    println!(
+        "\nShape check: per-snapshot totals sit in the paper's ~420–770 band\n\
+         with std ≪ mean, despite pool sizes spanning 25× (Table 4)."
+    );
+}

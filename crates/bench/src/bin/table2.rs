@@ -1,0 +1,42 @@
+//! Regenerates Table 2: per-hour return statistics and the Spearman
+//! correlation between per-hour consistency and per-hour volume — the
+//! ceiling-effect test.
+
+use ytaudit_bench::{full_dataset, paper, tables};
+use ytaudit_core::randomization::table2;
+
+fn main() {
+    let dataset = full_dataset();
+    let rows = table2(&dataset);
+    let mut printable = Vec::new();
+    for row in &rows {
+        let reference = paper::TABLE2
+            .iter()
+            .find(|r| r.0 == row.topic)
+            .expect("all topics covered");
+        printable.push(vec![
+            row.topic.display_name().to_string(),
+            tables::f2(row.mean),
+            row.min.to_string(),
+            row.max.to_string(),
+            tables::f2(row.std),
+            format!("{}{:.2}", paper::stars(row.rho_p), row.rho),
+            row.n_hours.to_string(),
+            format!("{}{:.2} (N={})", reference.6, reference.5, reference.7),
+        ]);
+    }
+    println!("Table 2 — per-hour number of videos returned");
+    println!("(rho: Spearman between per-hour J(T1,TL) and mean hourly count; last column: paper)\n");
+    print!(
+        "{}",
+        tables::render(
+            &["topic", "mean", "min", "max", "std", "rho", "N", "paper rho"],
+            &printable
+        )
+    );
+    println!(
+        "\nShape check: maxima stay far below the 50-per-page cap (no\n\
+         ceiling effect); correlations are weakly positive for the large\n\
+         topics and absent/negative for Higgs."
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates Table 3: the binned ordinal (logit) regression of
+//! appearance frequency on video/channel features.
+
+use ytaudit_bench::{full_dataset, paper, tables};
+use ytaudit_core::regression::{build_regression_data, table3};
+
+fn main() {
+    let dataset = full_dataset();
+    let data = build_regression_data(&dataset).expect("regression data builds");
+    let fit = table3(&data).expect("ordinal logit converges");
+    println!(
+        "Table 3 — binned ordinal (logit) regression, N = {}, bins 1–5/6–10/11–15/16\n",
+        fit.n
+    );
+    let mut rows = Vec::new();
+    for (i, name) in fit.names.iter().enumerate() {
+        let reference = paper::TABLE3.iter().find(|r| r.0 == name);
+        rows.push(vec![
+            name.clone(),
+            tables::starred(fit.coefficients[i], fit.p_values[i]),
+            tables::f3(fit.std_errors[i]),
+            format!("[{:.3}, {:.3}]", fit.ci_low[i], fit.ci_high[i]),
+            reference.map_or(String::from("—"), |r| format!("{}{}", r.2, r.1)),
+        ]);
+    }
+    print!(
+        "{}",
+        tables::render(&["variable", "beta", "SE", "95% CI", "paper"], &rows)
+    );
+    println!(
+        "\nmodel: LR chi2 = {:.2} on {} df (p = {:.3e}), McFadden pseudo-R2 = {:.3}",
+        fit.lr_chi2, fit.lr_df, fit.lr_p, fit.pseudo_r2
+    );
+    println!(
+        "paper:  LR chi2 = {:.2} on {} df, pseudo-R2 = {:.3}",
+        paper::TABLE3_MODEL.0,
+        paper::TABLE3_MODEL.1,
+        paper::TABLE3_MODEL.2
+    );
+    println!(
+        "\nShape check: duration −, likes +, channel views +, channel subs −;\n\
+         higgs/brexit strongly +; views/comments absorbed by likes\n\
+         (collinearity); overall fit low — most variance is the sampler's\n\
+         randomization, exactly the paper's reading."
+    );
+}

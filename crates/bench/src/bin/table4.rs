@@ -1,0 +1,44 @@
+//! Regenerates Table 4: potential video pool size per topic
+//! (`pageInfo.totalResults` estimates).
+
+use ytaudit_bench::{full_dataset, paper, tables};
+use ytaudit_core::poolsize::table4;
+
+fn main() {
+    let dataset = full_dataset();
+    let rows = table4(&dataset);
+    let mut printable = Vec::new();
+    for row in &rows {
+        let reference = paper::TABLE4
+            .iter()
+            .find(|r| r.0 == row.topic)
+            .expect("all topics covered");
+        printable.push(vec![
+            row.topic.display_name().to_string(),
+            tables::pool(row.min),
+            tables::pool(row.max),
+            tables::pool(row.mean),
+            tables::pool(row.mode),
+            format!(
+                "{}/{}/{}/{}",
+                tables::pool(reference.1),
+                tables::pool(reference.2),
+                tables::pool(reference.3),
+                tables::pool(reference.4)
+            ),
+        ]);
+    }
+    println!("Table 4 — potential video pool size per topic (totalResults)");
+    println!("(last column: paper's min/max/mean/mode)\n");
+    print!(
+        "{}",
+        tables::render(&["topic", "min", "max", "mean", "mode"
+, "paper"], &printable)
+    );
+    println!(
+        "\nShape check: Higgs is orders of magnitude smaller than the\n\
+         political topics; BLM/Capitol/World Cup pin their mode at the 1M\n\
+         cap; Brexit and Grammys mode below it — and the three smallest\n\
+         pools are exactly the three most-consistent topics of Table 3."
+    );
+}

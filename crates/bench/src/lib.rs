@@ -1,0 +1,37 @@
+//! # ytaudit-bench
+//!
+//! Regeneration harness for every table and figure in the paper, plus
+//! Criterion micro/meso-benchmarks.
+//!
+//! Each `src/bin/<id>.rs` binary reproduces one experiment:
+//!
+//! | binary     | reproduces |
+//! |------------|------------|
+//! | `table1`   | per-topic videos returned per collection |
+//! | `table2`   | per-hour stats + Spearman ρ |
+//! | `table3`   | binned ordinal (logit) regression |
+//! | `table4`   | `totalResults` pool estimates |
+//! | `table5`   | comment-set similarities |
+//! | `table6`   | OLS with HC1 robust SEs |
+//! | `table7`   | non-binned ordinal (cloglog) regression |
+//! | `fig1`     | rolling Jaccard decay + error bars |
+//! | `fig2`     | daily frequencies + daily Jaccard |
+//! | `fig3`     | second-order Markov transitions |
+//! | `fig4`     | `Videos: list` coverage/stability |
+//! | `strategy` | §6.1/6.2 restriction-ladder & topic-splitting |
+//! | `ablation` | per-mechanism ablations of the hidden sampler |
+//! | `periodicity` | §6.2 sparse-collection periodicity scan |
+//! | `serp_audit`  | §6.2 sockpuppet-SERP vs API comparison |
+//! | `repro`    | everything, writing `EXPERIMENTS.md` |
+//!
+//! The full 16-snapshot collection is expensive (64 512 search calls), so
+//! the binaries cache the collected dataset as JSON under `target/` and
+//! reuse it; set `YTAUDIT_FRESH=1` to force a re-collection.
+
+#![forbid(unsafe_code)]
+
+pub mod paper;
+pub mod runner;
+pub mod tables;
+
+pub use runner::{full_dataset, quick_dataset};

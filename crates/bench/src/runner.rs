@@ -1,0 +1,80 @@
+//! Dataset acquisition with on-disk caching.
+//!
+//! The full paper-scale collection issues 64 512 search calls plus the
+//! metadata and comment fetches; at simulator speed that is tens of
+//! seconds in release mode. The result is a pure function of the corpus
+//! seed, so it is cached as JSON in `target/ytaudit-cache/` and reused by
+//! every table/figure binary. Set `YTAUDIT_FRESH=1` to force
+//! re-collection, or `YTAUDIT_QUICK=1` to run all binaries on a reduced
+//! collection (useful for smoke-testing the pipeline).
+
+use std::path::PathBuf;
+use std::time::Instant;
+use ytaudit_core::testutil::full_scale_client;
+use ytaudit_core::{AuditDataset, Collector, CollectorConfig};
+use ytaudit_types::Topic;
+
+fn cache_dir() -> PathBuf {
+    // Keep the cache inside target/ so `cargo clean` clears it.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    // Walk up to the workspace root if invoked from a crate dir.
+    while !dir.join("Cargo.toml").exists() && dir.pop() {}
+    dir.join("target").join("ytaudit-cache")
+}
+
+fn load_cached(name: &str) -> Option<AuditDataset> {
+    if std::env::var("YTAUDIT_FRESH").is_ok_and(|v| v == "1") {
+        return None;
+    }
+    let path = cache_dir().join(name);
+    let text = std::fs::read_to_string(path).ok()?;
+    AuditDataset::from_json(&text).ok()
+}
+
+fn store_cached(name: &str, dataset: &AuditDataset) {
+    let dir = cache_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(name), dataset.to_json());
+    }
+}
+
+/// The full paper-scale dataset: six topics, sixteen snapshots, hourly
+/// bins, metadata, channels, and comments. Cached on disk.
+pub fn full_dataset() -> AuditDataset {
+    if std::env::var("YTAUDIT_QUICK").is_ok_and(|v| v == "1") {
+        return quick_dataset();
+    }
+    if let Some(dataset) = load_cached("full.json") {
+        eprintln!("[ytaudit-bench] using cached full dataset ({} snapshots)", dataset.len());
+        return dataset;
+    }
+    eprintln!("[ytaudit-bench] collecting full dataset (6 topics × 16 snapshots × 672 hourly queries)…");
+    let started = Instant::now();
+    let (client, _service) = full_scale_client();
+    let dataset = Collector::new(&client, CollectorConfig::paper())
+        .run()
+        .expect("full collection succeeds");
+    eprintln!(
+        "[ytaudit-bench] collected in {:.1}s ({} quota units)",
+        started.elapsed().as_secs_f64(),
+        dataset.quota_units_spent
+    );
+    store_cached("full.json", &dataset);
+    dataset
+}
+
+/// A reduced dataset (three topics, five snapshots) for smoke runs and
+/// the Criterion experiment benches. Cached on disk.
+pub fn quick_dataset() -> AuditDataset {
+    if let Some(dataset) = load_cached("quick.json") {
+        return dataset;
+    }
+    let (client, _service) = full_scale_client();
+    let mut config = CollectorConfig::quick(vec![Topic::Blm, Topic::Brexit, Topic::Higgs], 5);
+    config.fetch_comments = true;
+    let dataset = Collector::new(&client, config)
+        .run()
+        .expect("quick collection succeeds");
+    store_cached("quick.json", &dataset);
+    dataset
+}

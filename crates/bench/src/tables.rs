@@ -1,0 +1,141 @@
+//! Plain-text table rendering for the regeneration binaries.
+
+/// Renders an aligned text table: a header row plus data rows. Columns
+/// are right-aligned except the first.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n_cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            } else {
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the same table as GitHub-flavoured Markdown (EXPERIMENTS.md).
+pub fn render_markdown(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Formats a float to 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float to 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a coefficient with its significance stars (paper style:
+/// stars prefix the value).
+pub fn starred(beta: f64, p: f64) -> String {
+    format!("{}{:.3}", crate::paper::stars(p), beta)
+}
+
+/// Formats a pool size the way the paper does (`982k`, `1M`, `5.50k`).
+pub fn pool(v: u64) -> String {
+    if v >= 1_000_000 {
+        "1M".to_string()
+    } else if v >= 100_000 {
+        format!("{}k", v / 1_000)
+    } else if v >= 10_000 {
+        format!("{:.1}k", v as f64 / 1_000.0)
+    } else {
+        format!("{:.2}k", v as f64 / 1_000.0)
+    }
+}
+
+/// Formats an optional similarity (`N/A` for the paper's missing cells).
+pub fn opt3(v: Option<f64>) -> String {
+    v.map_or_else(|| "N/A".to_string(), |x| format!("{x:.3}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let out = render(
+            &["topic", "min", "max"],
+            &[
+                vec!["BLM".into(), "639".into(), "765".into()],
+                vec!["World Cup".into(), "419".into(), "516".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("topic"));
+        assert!(lines[2].starts_with("BLM"));
+        // Numbers right-aligned under their headers.
+        assert!(lines[3].contains("419"));
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let md = render_markdown(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn pool_formatting_matches_paper_style() {
+        assert_eq!(pool(1_000_000), "1M");
+        assert_eq!(pool(982_431), "982k");
+        assert_eq!(pool(40_200), "40.2k");
+        assert_eq!(pool(5_500), "5.50k");
+        assert_eq!(pool(613_000), "613k");
+    }
+
+    #[test]
+    fn starred_coefficients() {
+        assert_eq!(starred(3.1, 0.0001), "***3.100");
+        assert_eq!(starred(-0.115, 0.02), "*-0.115");
+        assert_eq!(starred(0.161, 0.4), "0.161");
+    }
+
+    #[test]
+    fn optional_similarity() {
+        assert_eq!(opt3(Some(0.9764)), "0.976");
+        assert_eq!(opt3(None), "N/A");
+    }
+}

@@ -1,0 +1,244 @@
+//! `ytaudit analyze` — run the paper's analyses on a stored dataset.
+
+use crate::args::{ArgError, Args};
+use ytaudit_bench::tables;
+use ytaudit_core::AuditDataset;
+
+/// Usage text.
+pub const USAGE: &str = "\
+ytaudit analyze — run the paper's analyses on a collected dataset
+
+USAGE:
+    ytaudit analyze <dataset.json> [--experiment <id>]
+
+OPTIONS:
+    --experiment <id>   one of: all (default), table1, table2, table3,
+                        table4, table5, table6, table7, fig1, fig2, fig3, fig4
+
+The dataset comes from `ytaudit collect --out dataset.json`.";
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("analyze needs a dataset path; see --help".into()))?;
+    if args.positionals().len() > 2 {
+        return Err(ArgError(format!(
+            "unexpected extra arguments: {:?}",
+            &args.positionals()[2..]
+        )));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let dataset = AuditDataset::from_json(&text)
+        .map_err(|e| ArgError(format!("{path} is not a dataset: {e}")))?;
+    let which = args.get("experiment").unwrap_or("all");
+    let all = which == "all";
+    let mut matched = all;
+
+    if all || which == "table1" {
+        matched = true;
+        println!("Table 1 — videos returned per collection");
+        let rows: Vec<Vec<String>> = ytaudit_core::consistency::table1(&dataset)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.topic.display_name().into(),
+                    r.min.to_string(),
+                    r.max.to_string(),
+                    tables::f2(r.mean),
+                    tables::f2(r.std),
+                ]
+            })
+            .collect();
+        print!("{}", tables::render(&["topic", "min", "max", "mean", "std"], &rows));
+        println!();
+    }
+    if all || which == "fig1" {
+        matched = true;
+        println!("Figure 1 — Jaccard decay");
+        for tc in ytaudit_core::consistency::figure1(&dataset) {
+            print!("  {:10}", tc.topic.key());
+            for p in &tc.points {
+                print!(" {:.2}", p.jaccard_first);
+            }
+            println!();
+        }
+        println!();
+    }
+    if all || which == "table2" {
+        matched = true;
+        println!("Table 2 — per-hour returns");
+        let rows: Vec<Vec<String>> = ytaudit_core::randomization::table2(&dataset)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.topic.display_name().into(),
+                    tables::f2(r.mean),
+                    r.max.to_string(),
+                    tables::f2(r.std),
+                    format!("{}{:.2}", ytaudit_bench::paper::stars(r.rho_p), r.rho),
+                    r.n_hours.to_string(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            tables::render(&["topic", "mean", "max", "std", "rho", "N"], &rows)
+        );
+        println!();
+    }
+    if all || which == "fig2" {
+        matched = true;
+        println!("Figure 2 — daily frequencies (topic: day avg series)");
+        for ft in ytaudit_core::randomization::figure2(&dataset) {
+            print!("  {:10}", ft.topic.key());
+            for d in &ft.days {
+                print!(" {:.0}", d.avg);
+            }
+            println!();
+        }
+        println!();
+    }
+    if all || which == "fig3" {
+        matched = true;
+        match ytaudit_core::attrition::figure3(&dataset) {
+            Some(f) => {
+                println!("Figure 3 — Markov transitions (PP/PA/AP/AA → P)");
+                for (i, label) in ["PP", "PA", "AP", "AA"].iter().enumerate() {
+                    println!("  {label} → P {:.3} (n={})", f.transitions[i][0], f.counts[i]);
+                }
+            }
+            None => println!("Figure 3 — not enough snapshots (need ≥ 3)"),
+        }
+        println!();
+    }
+    if all || which == "table4" {
+        matched = true;
+        println!("Table 4 — pool sizes");
+        let rows: Vec<Vec<String>> = ytaudit_core::poolsize::table4(&dataset)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.topic.display_name().into(),
+                    tables::pool(r.min),
+                    tables::pool(r.max),
+                    tables::pool(r.mean),
+                    tables::pool(r.mode),
+                ]
+            })
+            .collect();
+        print!("{}", tables::render(&["topic", "min", "max", "mean", "mode"], &rows));
+        println!();
+    }
+    if all || which == "table5" {
+        matched = true;
+        let rows = ytaudit_core::comments::table5(&dataset);
+        if rows.is_empty() {
+            println!("Table 5 — no comment collections in this dataset");
+        } else {
+            println!("Table 5 — comment-set similarity");
+            let printable: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.topic.display_name().into(),
+                        tables::opt3(r.top_level_non_shared),
+                        tables::opt3(r.nested_non_shared),
+                        tables::opt3(r.top_level_shared),
+                        tables::opt3(r.nested_shared),
+                    ]
+                })
+                .collect();
+            print!(
+                "{}",
+                tables::render(&["topic", "TL,NS", "N,NS", "TL,S", "N,S"], &printable)
+            );
+        }
+        println!();
+    }
+    if all || which == "fig4" {
+        matched = true;
+        println!("Figure 4 — Videos.list stability (min coverage / min common-J)");
+        for ft in ytaudit_core::idcheck::figure4(&dataset) {
+            let min_cov = ft
+                .vs_previous
+                .iter()
+                .map(|p| p.coverage_current.min(p.coverage_reference))
+                .fold(f64::INFINITY, f64::min);
+            let min_j = ft
+                .vs_first
+                .iter()
+                .map(|p| p.jaccard_common)
+                .fold(f64::INFINITY, f64::min);
+            println!("  {:10} {:6.1}%  {:.3}", ft.topic.key(), min_cov, min_j);
+        }
+        println!();
+    }
+    if all || matches!(which, "table3" | "table6" | "table7") {
+        matched = true;
+        match ytaudit_core::regression::build_regression_data(&dataset) {
+            Err(e) => println!("regressions skipped: {e}"),
+            Ok(data) => {
+                let print_fit = |title: &str,
+                                 names: &[String],
+                                 coeffs: &[f64],
+                                 ps: &[f64]| {
+                    println!("{title}");
+                    let rows: Vec<Vec<String>> = names
+                        .iter()
+                        .zip(coeffs)
+                        .zip(ps)
+                        .map(|((n, c), p)| {
+                            vec![
+                                n.clone(),
+                                format!("{}{:.3}", ytaudit_bench::paper::stars(*p), c),
+                            ]
+                        })
+                        .collect();
+                    print!("{}", tables::render(&["variable", "beta"], &rows));
+                    println!();
+                };
+                if all || which == "table3" {
+                    match ytaudit_core::regression::table3(&data) {
+                        Ok(fit) => print_fit(
+                            "Table 3 — binned ordinal (logit)",
+                            &fit.names,
+                            &fit.coefficients,
+                            &fit.p_values,
+                        ),
+                        Err(e) => println!("table3 failed: {e}"),
+                    }
+                }
+                if all || which == "table6" {
+                    match ytaudit_core::regression::table6(&data) {
+                        Ok(fit) => print_fit(
+                            "Table 6 — OLS (HC1)",
+                            &fit.names[1..],
+                            &fit.coefficients[1..],
+                            &fit.p_values[1..],
+                        ),
+                        Err(e) => println!("table6 failed: {e}"),
+                    }
+                }
+                if all || which == "table7" {
+                    match ytaudit_core::regression::table7(&data) {
+                        Ok(fit) => print_fit(
+                            "Table 7 — ordinal (cloglog)",
+                            &fit.names,
+                            &fit.coefficients,
+                            &fit.p_values,
+                        ),
+                        Err(e) => println!("table7 failed: {e}"),
+                    }
+                }
+            }
+        }
+    }
+    if !matched {
+        return Err(ArgError(format!(
+            "unknown experiment {which:?}; see `ytaudit analyze --help`"
+        )));
+    }
+    Ok(())
+}

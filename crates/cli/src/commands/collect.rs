@@ -1,0 +1,105 @@
+//! `ytaudit collect` — run an audit collection and write the dataset.
+
+use crate::args::{ArgError, Args};
+use crate::commands::parse_topics;
+use std::sync::Arc;
+use ytaudit_client::{HttpTransport, InProcessTransport, YouTubeClient};
+use ytaudit_core::{Collector, CollectorConfig, Schedule};
+use ytaudit_platform::{Corpus, CorpusConfig, Platform, SimClock};
+use ytaudit_types::Timestamp;
+
+/// Usage text.
+pub const USAGE: &str = "\
+ytaudit collect — run the paper's collection methodology
+
+OPTIONS:
+    --topics <keys|all>      comma-separated topic keys      (default all)
+    --snapshots <N>          number of snapshots             (default 4)
+    --interval-days <N>      days between snapshots          (default 5)
+    --paper                  use the paper's exact 16-snapshot schedule
+    --no-metadata            skip Videos.list fetches
+    --no-channels            skip Channels.list fetches
+    --no-comments            skip comment crawls (default: fetched)
+    --scale <f64>            in-process corpus scale         (default 1.0)
+    --seed <u64>             in-process corpus seed
+    --base-url <URL>         collect against a served API instead of
+                             an in-process platform
+    --key <API KEY>          API key to use                  (default cli-key)
+    --out <file.json>        where to write the dataset      (default dataset.json)
+
+The in-process mode registers the key with unbounded quota; against a
+served API you must have registered a researcher key (see `ytaudit serve`).";
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    let topics = parse_topics(args.get("topics"))?;
+    let out = args.get("out").unwrap_or("dataset.json").to_string();
+    let key = args.get("key").unwrap_or("cli-key").to_string();
+
+    let schedule = if args.flag("paper") {
+        Schedule::paper()
+    } else {
+        let snapshots: usize = args.get_parsed("snapshots", 4)?;
+        let interval: i64 = args.get_parsed("interval-days", 5)?;
+        Schedule::every(
+            Timestamp::from_ymd(2025, 2, 9).expect("valid date"),
+            interval,
+            snapshots,
+        )
+    };
+    let config = CollectorConfig {
+        topics,
+        schedule,
+        hourly_bins: true,
+        fetch_metadata: !args.flag("no-metadata"),
+        fetch_channels: !args.flag("no-channels"),
+        fetch_comments: !args.flag("no-comments"),
+    };
+
+    let client = match args.get("base-url") {
+        Some(base) => YouTubeClient::new(Box::new(HttpTransport::new(base.to_string())), key),
+        None => {
+            let scale: f64 = args.get_parsed("scale", 1.0)?;
+            let mut corpus_config = CorpusConfig {
+                scale,
+                ..CorpusConfig::default()
+            };
+            if let Some(seed) = args.get("seed") {
+                corpus_config.seed = seed
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --seed {seed:?}")))?;
+            }
+            eprintln!("[collect] generating in-process corpus (scale {scale})…");
+            let service = Arc::new(ytaudit_api::ApiService::new(
+                Arc::new(Platform::new(Corpus::generate(corpus_config))),
+                SimClock::at_audit_start(),
+            ));
+            service.quota().register(&key, u64::MAX / 2);
+            YouTubeClient::new(Box::new(InProcessTransport::new(service)), key)
+        }
+    };
+
+    eprintln!(
+        "[collect] {} topics × {} snapshots, hourly-binned…",
+        config.topics.len(),
+        config.schedule.len()
+    );
+    let started = std::time::Instant::now();
+    let dataset = Collector::new(&client, config)
+        .run()
+        .map_err(|e| ArgError(format!("collection failed: {e}")))?;
+    eprintln!(
+        "[collect] done in {:.1}s — {} quota units",
+        started.elapsed().as_secs_f64(),
+        dataset.quota_units_spent
+    );
+    std::fs::write(&out, dataset.to_json())
+        .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    println!(
+        "wrote {out}: {} snapshots, {} videos with metadata, {} channels",
+        dataset.len(),
+        dataset.video_meta.len(),
+        dataset.channel_meta.len()
+    );
+    Ok(())
+}

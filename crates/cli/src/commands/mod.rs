@@ -1,0 +1,72 @@
+//! Command implementations.
+
+pub mod analyze;
+pub mod collect;
+pub mod quota;
+pub mod serve;
+pub mod topics;
+
+/// Per-command usage text for `--help`.
+pub fn usage_for(command: &str) -> Option<&'static str> {
+    Some(match command {
+        "serve" => serve::USAGE,
+        "collect" => collect::USAGE,
+        "analyze" => analyze::USAGE,
+        "quota" => quota::USAGE,
+        "topics" => topics::USAGE,
+        _ => return None,
+    })
+}
+
+/// Parses a `--topics` value (`all` or comma-separated keys).
+pub fn parse_topics(raw: Option<&str>) -> Result<Vec<ytaudit_types::Topic>, crate::args::ArgError> {
+    use ytaudit_types::Topic;
+    match raw {
+        None | Some("all") => Ok(Topic::ALL.to_vec()),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|key| {
+                Topic::ALL
+                    .into_iter()
+                    .find(|t| t.key() == key)
+                    .ok_or_else(|| {
+                        crate::args::ArgError(format!(
+                            "unknown topic {key:?}; valid keys: {}",
+                            Topic::ALL
+                                .iter()
+                                .map(|t| t.key())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    })
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ytaudit_types::Topic;
+
+    #[test]
+    fn topics_parse() {
+        assert_eq!(parse_topics(None).unwrap().len(), 6);
+        assert_eq!(parse_topics(Some("all")).unwrap().len(), 6);
+        assert_eq!(
+            parse_topics(Some("blm,higgs")).unwrap(),
+            vec![Topic::Blm, Topic::Higgs]
+        );
+        assert!(parse_topics(Some("nope")).is_err());
+    }
+
+    #[test]
+    fn usage_exists_for_all_commands() {
+        for cmd in ["serve", "collect", "analyze", "quota", "topics"] {
+            assert!(usage_for(cmd).is_some(), "{cmd}");
+        }
+        assert!(usage_for("bogus").is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! `ytaudit serve` — run the simulated Data API on a real socket.
+
+use crate::args::{ArgError, Args};
+use std::sync::Arc;
+use ytaudit_api::service::FaultConfig;
+use ytaudit_api::{ApiService, RESEARCHER_DAILY_QUOTA};
+use ytaudit_platform::{Corpus, CorpusConfig, Platform, SimClock};
+
+/// Usage text.
+pub const USAGE: &str = "\
+ytaudit serve — start the simulated YouTube Data API v3
+
+OPTIONS:
+    --addr <host:port>      bind address        (default 127.0.0.1:8080)
+    --scale <f64>           corpus scale        (default 1.0)
+    --seed <u64>            corpus seed         (default the calibrated seed)
+    --researcher-key <KEY>  register KEY with researcher-program quota
+                            (repeatable; all other keys get 10 000/day)
+    --miss-rate <f64>       Videos.list metadata-miss rate (default 0.012)
+    --error-rate <f64>      transient 500 rate             (default 0.0)
+
+The server understands the X-Sim-Time request header and the
+POST /admin/clock endpoint for time travel; see README.md.";
+
+/// Runs the command (blocks until ctrl-c).
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let scale: f64 = args.get_parsed("scale", 1.0)?;
+    let mut config = CorpusConfig {
+        scale,
+        ..CorpusConfig::default()
+    };
+    if let Some(seed) = args.get("seed") {
+        config.seed = seed
+            .parse()
+            .map_err(|_| ArgError(format!("invalid --seed {seed:?}")))?;
+    }
+    let faults = FaultConfig {
+        metadata_miss_rate: args.get_parsed("miss-rate", 0.012)?,
+        backend_error_rate: args.get_parsed("error-rate", 0.0)?,
+    };
+    eprintln!("[serve] generating corpus (scale {scale})…");
+    let platform = Platform::new(Corpus::generate(config));
+    eprintln!(
+        "[serve] corpus ready: {} videos, {} channels, {} comments",
+        platform.corpus().video_count(),
+        platform.corpus().channels.len(),
+        platform.corpus().comments.len()
+    );
+    let service = Arc::new(
+        ApiService::new(Arc::new(platform), SimClock::at_audit_start()).with_faults(faults),
+    );
+    for key in args.get_all("researcher-key") {
+        service.quota().register(key, RESEARCHER_DAILY_QUOTA);
+        eprintln!("[serve] registered researcher key {key:?}");
+    }
+    let server = ytaudit_api::serve(service, &addr)
+        .map_err(|e| ArgError(format!("cannot bind {addr}: {e}")))?;
+    println!("listening on {}", server.base_url());
+    println!("try: curl '{}/youtube/v3/search?part=snippet&q=higgs+boson&type=video&key=demo'", server.base_url());
+    // Block forever; the process exits on signal.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

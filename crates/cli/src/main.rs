@@ -1,0 +1,79 @@
+//! `ytaudit` — the command-line face of the reproduction.
+//!
+//! ```text
+//! ytaudit serve    [--addr 127.0.0.1:8080] [--scale 1.0] [--seed N]
+//!                  [--researcher-key KEY] [--miss-rate 0.012] [--error-rate 0.0]
+//! ytaudit collect  [--topics blm,brexit,…|all] [--snapshots N] [--interval-days 5]
+//!                  [--paper] [--no-comments] [--no-metadata] [--scale 1.0]
+//!                  [--base-url http://…] [--out dataset.json]
+//! ytaudit analyze  <dataset.json> [--experiment all|table1|table2|table3|table4|
+//!                  table5|table6|table7|fig1|fig2|fig3|fig4]
+//! ytaudit quota    --searches N [--id-calls M] [--daily 10000]
+//! ytaudit topics
+//! ```
+//!
+//! `serve` starts the simulated Data API on a real socket; `collect`
+//! runs the paper's methodology against an in-process platform (default)
+//! or any served instance (`--base-url`), writing the dataset as JSON;
+//! `analyze` re-runs any of the paper's analyses on a stored dataset;
+//! `quota` prices a collection plan in quota units and key-days.
+
+mod args;
+mod commands;
+
+use args::{ArgError, Args};
+
+const USAGE: &str = "\
+ytaudit — simulated YouTube Data API audit toolkit
+
+USAGE:
+    ytaudit <command> [options]
+
+COMMANDS:
+    serve      start the simulated Data API v3 on a TCP socket
+    collect    run an audit collection, writing the dataset as JSON
+    analyze    run the paper's analyses on a collected dataset
+    quota      price a collection plan in quota units
+    topics     list the six audit topics and their parameters
+    help       show this message
+
+Run `ytaudit <command> --help` for command options.";
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match run(tokens) {
+        Ok(()) => {}
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(tokens: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(
+        tokens,
+        &[
+            "help", "paper", "quick", "no-comments", "no-metadata", "no-channels", "hourly",
+        ],
+    )?;
+    let command = args.positional(0).unwrap_or("help");
+    if args.flag("help") {
+        println!("{}", commands::usage_for(command).unwrap_or(USAGE));
+        return Ok(());
+    }
+    match command {
+        "serve" => commands::serve::run(&args),
+        "collect" => commands::collect::run(&args),
+        "analyze" => commands::analyze::run(&args),
+        "quota" => commands::quota::run(&args),
+        "topics" => commands::topics::run(&args),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(ArgError(format!(
+            "unknown command {other:?}; run `ytaudit help`"
+        ))),
+    }
+}

@@ -1,0 +1,114 @@
+//! Client-side quota bookkeeping — the "API token economy" the paper's
+//! §6.1 is about.
+//!
+//! The server enforces quota; a well-behaved collector *plans* it. This
+//! ledger mirrors the documented cost model so a collection script can
+//! price a strategy before burning a key (e.g. a full paper-style
+//! collection: 4 032 searches × 100 units = 403 200 units ≫ the 10 000
+//! default — the arithmetic behind the researcher-program requirement).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use ytaudit_api::quota::Endpoint;
+
+/// Tracks planned/spent quota units client-side.
+#[derive(Debug, Default)]
+pub struct QuotaBudget {
+    by_endpoint: Mutex<HashMap<&'static str, (u64, u64)>>, // calls, units
+}
+
+impl QuotaBudget {
+    /// An empty budget tracker.
+    pub fn new() -> QuotaBudget {
+        QuotaBudget::default()
+    }
+
+    /// Records one call to `endpoint`.
+    pub fn record(&self, endpoint: Endpoint) {
+        let mut map = self.by_endpoint.lock();
+        let entry = map.entry(endpoint.path()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += endpoint.cost();
+    }
+
+    /// Total units spent.
+    pub fn units_spent(&self) -> u64 {
+        self.by_endpoint.lock().values().map(|(_, u)| u).sum()
+    }
+
+    /// Total calls made.
+    pub fn calls_made(&self) -> u64 {
+        self.by_endpoint.lock().values().map(|(c, _)| c).sum()
+    }
+
+    /// Units spent on one endpoint.
+    pub fn units_for(&self, endpoint: Endpoint) -> u64 {
+        self.by_endpoint
+            .lock()
+            .get(endpoint.path())
+            .map_or(0, |(_, u)| *u)
+    }
+
+    /// (calls, units) per endpoint, sorted by endpoint path.
+    pub fn breakdown(&self) -> Vec<(&'static str, u64, u64)> {
+        let map = self.by_endpoint.lock();
+        let mut rows: Vec<_> = map.iter().map(|(k, (c, u))| (*k, *c, *u)).collect();
+        rows.sort_by_key(|(k, _, _)| *k);
+        rows
+    }
+
+    /// How many *days* of a `daily_limit`-unit key the spend so far would
+    /// consume (the paper's return-on-investment framing).
+    pub fn days_of_quota(&self, daily_limit: u64) -> f64 {
+        self.units_spent() as f64 / daily_limit.max(1) as f64
+    }
+}
+
+/// Price of a hypothetical collection: `searches` search calls plus
+/// `id_calls` ID-based calls, in quota units.
+pub fn price(searches: u64, id_calls: u64) -> u64 {
+    searches * Endpoint::Search.cost() + id_calls * Endpoint::Videos.cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_costs_correctly() {
+        let budget = QuotaBudget::new();
+        budget.record(Endpoint::Search);
+        budget.record(Endpoint::Search);
+        budget.record(Endpoint::Videos);
+        assert_eq!(budget.units_spent(), 201);
+        assert_eq!(budget.calls_made(), 3);
+        assert_eq!(budget.units_for(Endpoint::Search), 200);
+        assert_eq!(budget.units_for(Endpoint::Comments), 0);
+    }
+
+    #[test]
+    fn paper_scale_collection_needs_researcher_quota() {
+        // 24 hours × 28 days × 6 topics = 4 032 searches per snapshot.
+        let units = price(4_032, 0);
+        assert_eq!(units, 403_200);
+        let budget = QuotaBudget::new();
+        for _ in 0..4_032 {
+            budget.record(Endpoint::Search);
+        }
+        // A default key covers it in 40+ days; a researcher key in < 1.
+        assert!(budget.days_of_quota(ytaudit_api::DEFAULT_DAILY_QUOTA) > 40.0);
+        assert!(budget.days_of_quota(ytaudit_api::RESEARCHER_DAILY_QUOTA) < 1.0);
+    }
+
+    #[test]
+    fn breakdown_is_sorted_and_complete() {
+        let budget = QuotaBudget::new();
+        budget.record(Endpoint::Videos);
+        budget.record(Endpoint::Search);
+        budget.record(Endpoint::Videos);
+        let rows = budget.breakdown();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], ("search", 1, 100));
+        assert_eq!(rows[1], ("videos", 2, 2));
+    }
+}

@@ -1,0 +1,492 @@
+//! The typed Data API client: retries, pacing, quota bookkeeping, and
+//! full-pagination helpers for every endpoint the audit uses.
+
+use crate::budget::QuotaBudget;
+use crate::query::SearchQuery;
+use crate::transport::Transport;
+use parking_lot::Mutex;
+use std::time::Duration;
+use ytaudit_api::quota::Endpoint;
+use ytaudit_api::resources::{
+    ChannelListResponse, ChannelResource, CommentListResponse, CommentResource,
+    CommentThreadListResponse, CommentThreadResource, ErrorResponse, PlaylistItemListResponse,
+    PlaylistItemResource, SearchListResponse, SearchResult, VideoListResponse, VideoResource,
+};
+use ytaudit_net::resilience::RetryPolicy;
+use ytaudit_net::TokenBucket;
+use ytaudit_types::{ApiErrorReason, ChannelId, CommentId, Error, PlaylistId, Result, Timestamp, VideoId};
+
+/// The outcome of a fully-paginated search: what the paper's harness
+/// stores per (query, collection).
+#[derive(Debug, Clone)]
+pub struct SearchCollection {
+    /// All returned results across pages (capped at 500 by the API).
+    pub items: Vec<SearchResult>,
+    /// The `pageInfo.totalResults` pool estimate from the first page.
+    pub total_results: u64,
+    /// Number of pages fetched.
+    pub pages: u32,
+}
+
+impl SearchCollection {
+    /// Just the video IDs, in returned order.
+    pub fn video_ids(&self) -> Vec<VideoId> {
+        self.items
+            .iter()
+            .map(|item| VideoId::new(item.id.video_id.clone()))
+            .collect()
+    }
+}
+
+/// A typed client for the (simulated) YouTube Data API.
+pub struct YouTubeClient {
+    transport: Box<dyn Transport>,
+    api_key: String,
+    retry: RetryPolicy,
+    pacer: Option<TokenBucket>,
+    budget: QuotaBudget,
+    sim_time: Mutex<Option<Timestamp>>,
+}
+
+impl YouTubeClient {
+    /// A client over `transport` authenticating with `api_key`.
+    pub fn new(transport: Box<dyn Transport>, api_key: impl Into<String>) -> YouTubeClient {
+        YouTubeClient {
+            transport,
+            api_key: api_key.into(),
+            retry: RetryPolicy::default(),
+            pacer: None,
+            budget: QuotaBudget::new(),
+            sim_time: Mutex::new(None),
+        }
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> YouTubeClient {
+        self.retry = retry;
+        self
+    }
+
+    /// Adds client-side pacing: at most `per_second` requests per second
+    /// with bursts up to `burst`.
+    pub fn with_rate_limit(mut self, per_second: f64, burst: f64) -> YouTubeClient {
+        self.pacer = Some(TokenBucket::new(burst, per_second));
+        self
+    }
+
+    /// Sets the simulated "wall clock" for subsequent requests (the
+    /// collection date). `None` uses the server's clock.
+    pub fn set_sim_time(&self, t: Option<Timestamp>) {
+        *self.sim_time.lock() = t;
+    }
+
+    /// The current simulated request time, if pinned.
+    pub fn sim_time(&self) -> Option<Timestamp> {
+        *self.sim_time.lock()
+    }
+
+    /// Client-side quota bookkeeping.
+    pub fn budget(&self) -> &QuotaBudget {
+        &self.budget
+    }
+
+    /// Executes one call with pacing + retries and decodes errors.
+    fn call(&self, endpoint: Endpoint, params: &[(String, String)]) -> Result<String> {
+        if let Some(pacer) = &self.pacer {
+            if !pacer.acquire(1.0, Duration::from_secs(60)) {
+                return Err(Error::Io("client-side rate limiter timed out".into()));
+            }
+        }
+        let now = self.sim_time();
+        self.budget.record(endpoint);
+        self.retry.run(
+            |_attempt| {
+                let (status, body) = self
+                    .transport
+                    .execute(endpoint, params, &self.api_key, now)?;
+                if status == 200 {
+                    return Ok(body);
+                }
+                // Decode the error envelope; fall back to a generic error
+                // for non-JSON bodies (e.g. a proxy's 502 page).
+                match serde_json::from_str::<ErrorResponse>(&body) {
+                    Ok(envelope) => {
+                        let reason = envelope
+                            .error
+                            .errors
+                            .first()
+                            .and_then(|e| ApiErrorReason::from_str_opt(&e.reason))
+                            .unwrap_or(ApiErrorReason::BackendError);
+                        Err(Error::api(reason, envelope.error.message))
+                    }
+                    Err(_) => Err(Error::Io(format!("HTTP {status} with undecodable body"))),
+                }
+            },
+            Error::is_retryable,
+        )
+    }
+
+    fn decode<T: serde::de::DeserializeOwned>(body: &str) -> Result<T> {
+        serde_json::from_str(body).map_err(|e| Error::Decode(e.to_string()))
+    }
+
+    /// Fetches one page of search results.
+    pub fn search_page(
+        &self,
+        query: &SearchQuery,
+        page_token: Option<&str>,
+    ) -> Result<SearchListResponse> {
+        let mut params = query.to_params();
+        if let Some(token) = page_token {
+            params.push(("pageToken".to_string(), token.to_string()));
+        }
+        Self::decode(&self.call(Endpoint::Search, &params)?)
+    }
+
+    /// Fetches every page of a search (up to the API's 500-result cap).
+    pub fn search_all(&self, query: &SearchQuery) -> Result<SearchCollection> {
+        let mut items = Vec::new();
+        let mut token: Option<String> = None;
+        let mut total_results = 0;
+        let mut pages = 0;
+        loop {
+            let page = self.search_page(query, token.as_deref())?;
+            if pages == 0 {
+                total_results = page.page_info.total_results;
+            }
+            pages += 1;
+            items.extend(page.items);
+            match page.next_page_token {
+                Some(next) if pages < 10 => token = Some(next),
+                _ => break,
+            }
+        }
+        Ok(SearchCollection {
+            items,
+            total_results,
+            pages,
+        })
+    }
+
+    /// `Videos: list` for up to any number of IDs (chunked by 50).
+    pub fn videos(&self, ids: &[VideoId]) -> Result<Vec<VideoResource>> {
+        let mut out = Vec::with_capacity(ids.len());
+        for chunk in ids.chunks(50) {
+            let joined = chunk
+                .iter()
+                .map(|id| id.as_str())
+                .collect::<Vec<_>>()
+                .join(",");
+            let params = vec![
+                (
+                    "part".to_string(),
+                    "snippet,contentDetails,statistics".to_string(),
+                ),
+                ("id".to_string(), joined),
+            ];
+            let page: VideoListResponse = Self::decode(&self.call(Endpoint::Videos, &params)?)?;
+            out.extend(page.items);
+        }
+        Ok(out)
+    }
+
+    /// `Channels: list` for up to any number of IDs (chunked by 50).
+    pub fn channels(&self, ids: &[ChannelId]) -> Result<Vec<ChannelResource>> {
+        let mut out = Vec::with_capacity(ids.len());
+        for chunk in ids.chunks(50) {
+            let joined = chunk
+                .iter()
+                .map(|id| id.as_str())
+                .collect::<Vec<_>>()
+                .join(",");
+            let params = vec![
+                (
+                    "part".to_string(),
+                    "snippet,contentDetails,statistics".to_string(),
+                ),
+                ("id".to_string(), joined),
+            ];
+            let page: ChannelListResponse =
+                Self::decode(&self.call(Endpoint::Channels, &params)?)?;
+            out.extend(page.items);
+        }
+        Ok(out)
+    }
+
+    /// All items of a playlist, following pagination to the end.
+    pub fn playlist_items_all(&self, playlist: &PlaylistId) -> Result<Vec<PlaylistItemResource>> {
+        let mut out = Vec::new();
+        let mut token: Option<String> = None;
+        loop {
+            let mut params = vec![
+                ("part".to_string(), "snippet".to_string()),
+                ("playlistId".to_string(), playlist.as_str().to_string()),
+                ("maxResults".to_string(), "50".to_string()),
+            ];
+            if let Some(t) = &token {
+                params.push(("pageToken".to_string(), t.clone()));
+            }
+            let page: PlaylistItemListResponse =
+                Self::decode(&self.call(Endpoint::PlaylistItems, &params)?)?;
+            out.extend(page.items);
+            match page.next_page_token {
+                Some(next) => token = Some(next),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// The paper's recommended ID-based pipeline for complete channel
+    /// catalogues: `Channels: list` → uploads playlist →
+    /// `PlaylistItems: list`.
+    pub fn channel_uploads(&self, channel: &ChannelId) -> Result<Vec<PlaylistItemResource>> {
+        let channels = self.channels(std::slice::from_ref(channel))?;
+        let uploads = channels
+            .first()
+            .and_then(|c| c.content_details.as_ref())
+            .map(|cd| PlaylistId::new(cd.related_playlists.uploads.clone()))
+            .ok_or_else(|| {
+                Error::api(
+                    ApiErrorReason::NotFound,
+                    format!("channel {channel} not found or has no uploads playlist"),
+                )
+            })?;
+        self.playlist_items_all(&uploads)
+    }
+
+    /// All comment threads of a video, following pagination.
+    pub fn comment_threads_all(&self, video: &VideoId) -> Result<Vec<CommentThreadResource>> {
+        let mut out = Vec::new();
+        let mut token: Option<String> = None;
+        loop {
+            let mut params = vec![
+                ("part".to_string(), "snippet,replies".to_string()),
+                ("videoId".to_string(), video.as_str().to_string()),
+                ("maxResults".to_string(), "100".to_string()),
+            ];
+            if let Some(t) = &token {
+                params.push(("pageToken".to_string(), t.clone()));
+            }
+            let page: CommentThreadListResponse =
+                Self::decode(&self.call(Endpoint::CommentThreads, &params)?)?;
+            out.extend(page.items);
+            match page.next_page_token {
+                Some(next) => token = Some(next),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// All replies under a top-level comment, following pagination.
+    pub fn comments_all(&self, parent: &CommentId) -> Result<Vec<CommentResource>> {
+        let mut out = Vec::new();
+        let mut token: Option<String> = None;
+        loop {
+            let mut params = vec![
+                ("part".to_string(), "snippet".to_string()),
+                ("parentId".to_string(), parent.as_str().to_string()),
+                ("maxResults".to_string(), "100".to_string()),
+            ];
+            if let Some(t) = &token {
+                params.push(("pageToken".to_string(), t.clone()));
+            }
+            let page: CommentListResponse =
+                Self::decode(&self.call(Endpoint::Comments, &params)?)?;
+            out.extend(page.items);
+            match page.next_page_token {
+                Some(next) => token = Some(next),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcessTransport;
+    use std::sync::Arc;
+    use ytaudit_api::service::{ApiService, FaultConfig};
+    use ytaudit_platform::{Platform, SimClock};
+    use ytaudit_types::Topic;
+
+    fn client_with(scale: f64, faults: Option<FaultConfig>, quota: u64) -> (YouTubeClient, Arc<ApiService>) {
+        let platform = Arc::new(Platform::small(scale));
+        let mut service = ApiService::new(platform, SimClock::at_audit_start());
+        if let Some(f) = faults {
+            service = service.with_faults(f);
+        }
+        let service = Arc::new(service);
+        service.quota().register("key", quota);
+        let client = YouTubeClient::new(
+            Box::new(InProcessTransport::new(Arc::clone(&service))),
+            "key",
+        );
+        (client, service)
+    }
+
+    #[test]
+    fn search_all_pages_to_completion() {
+        let (client, _svc) = client_with(0.3, None, 100_000_000);
+        let collection = client
+            .search_all(&SearchQuery::for_topic(Topic::Grammys))
+            .unwrap();
+        assert!(collection.items.len() > 50, "{}", collection.items.len());
+        assert!(collection.items.len() <= 500);
+        assert!(collection.pages >= 2);
+        assert!(collection.total_results > 1_000);
+        let ids = collection.video_ids();
+        assert_eq!(ids.len(), collection.items.len());
+        // Search quota: 100 units per page.
+        assert_eq!(
+            client.budget().units_for(Endpoint::Search),
+            u64::from(collection.pages) * 100
+        );
+    }
+
+    #[test]
+    fn videos_are_chunked_by_50() {
+        let (client, svc) = client_with(0.3, Some(FaultConfig {
+            metadata_miss_rate: 0.0,
+            backend_error_rate: 0.0,
+        }), 100_000_000);
+        let ids: Vec<VideoId> = svc.platform().corpus().topics[0]
+            .videos
+            .iter()
+            .take(120)
+            .map(|v| v.id.clone())
+            .collect();
+        let resources = client.videos(&ids).unwrap();
+        assert_eq!(resources.len(), 120);
+        // 120 ids → 3 calls of 1 unit each.
+        assert_eq!(client.budget().units_for(Endpoint::Videos), 3);
+    }
+
+    #[test]
+    fn quota_exceeded_is_fatal_not_retried() {
+        let (client, _svc) = client_with(0.15, None, 100); // one search's worth
+        let query = SearchQuery::for_topic(Topic::Higgs).max_results(5);
+        client.search_page(&query, None).unwrap();
+        let err = client.search_page(&query, None).unwrap_err();
+        assert_eq!(err.api_reason(), Some(ApiErrorReason::QuotaExceeded));
+        // Exactly 2 calls recorded — no retry storm on a fatal error.
+        assert_eq!(client.budget().calls_made(), 2);
+    }
+
+    #[test]
+    fn transient_backend_errors_are_retried() {
+        let (client, svc) = client_with(
+            0.15,
+            Some(FaultConfig {
+                metadata_miss_rate: 0.0,
+                backend_error_rate: 0.45,
+            }),
+            100_000_000,
+        );
+        let ids: Vec<VideoId> = svc.platform().corpus().topics[0]
+            .videos
+            .iter()
+            .take(5)
+            .map(|v| v.id.clone())
+            .collect();
+        // With 4 attempts per call and 45% failure, practically every call
+        // succeeds; run several to make a silent retry failure loud.
+        for _ in 0..10 {
+            let resources = client.videos(&ids).unwrap();
+            assert_eq!(resources.len(), 5);
+        }
+    }
+
+    #[test]
+    fn channel_uploads_pipeline_is_complete() {
+        let (client, svc) = client_with(0.3, Some(FaultConfig {
+            metadata_miss_rate: 0.0,
+            backend_error_rate: 0.0,
+        }), 100_000_000);
+        client.set_sim_time(Some(Timestamp::from_ymd(2025, 2, 9).unwrap()));
+        // Channel with most uploads.
+        let platform = svc.platform();
+        let channel = platform
+            .corpus()
+            .channels
+            .iter()
+            .max_by_key(|c| {
+                platform
+                    .playlist_items(&c.id.uploads_playlist(), Timestamp::from_ymd(2025, 2, 9).unwrap())
+                    .map(|v| v.len())
+                    .unwrap_or(0)
+            })
+            .unwrap();
+        let uploads = client.channel_uploads(&channel.id).unwrap();
+        let oracle = platform
+            .playlist_items(&channel.id.uploads_playlist(), Timestamp::from_ymd(2025, 2, 9).unwrap())
+            .unwrap();
+        assert_eq!(uploads.len(), oracle.len());
+        assert!(!uploads.is_empty());
+        // Completeness *and* order: newest first.
+        for (item, video) in uploads.iter().zip(&oracle) {
+            assert_eq!(
+                item.snippet.as_ref().unwrap().resource_id.video_id,
+                video.id.as_str()
+            );
+        }
+        // Missing channel errors cleanly.
+        let err = client.channel_uploads(&ChannelId::new("UCmissing")).unwrap_err();
+        assert_eq!(err.api_reason(), Some(ApiErrorReason::NotFound));
+    }
+
+    #[test]
+    fn sim_time_changes_results() {
+        let (client, _svc) = client_with(0.3, None, 100_000_000);
+        let query = SearchQuery::for_topic(Topic::Blm);
+        client.set_sim_time(Some(Timestamp::from_ymd(2025, 2, 9).unwrap()));
+        let early = client.search_all(&query).unwrap().video_ids();
+        client.set_sim_time(Some(Timestamp::from_ymd(2025, 4, 30).unwrap()));
+        let late = client.search_all(&query).unwrap().video_ids();
+        assert_ne!(early, late, "collections 80 days apart must differ");
+        client.set_sim_time(Some(Timestamp::from_ymd(2025, 2, 9).unwrap()));
+        let early_again = client.search_all(&query).unwrap().video_ids();
+        assert_eq!(early, early_again, "same sim time ⇒ identical results");
+    }
+
+    #[test]
+    fn comment_threads_and_replies() {
+        let (client, svc) = client_with(0.2, Some(FaultConfig {
+            metadata_miss_rate: 0.0,
+            backend_error_rate: 0.0,
+        }), 100_000_000);
+        let now = Timestamp::from_ymd(2025, 2, 9).unwrap();
+        client.set_sim_time(Some(now));
+        let platform = svc.platform();
+        let video = platform
+            .corpus()
+            .topics
+            .iter()
+            .filter(|t| t.topic != Topic::Higgs)
+            .flat_map(|t| &t.videos)
+            .find(|v| {
+                platform
+                    .comment_threads(&v.id, now)
+                    .iter()
+                    .any(|t| !t.replies.is_empty())
+            })
+            .expect("a video with replies exists")
+            .clone();
+        let threads = client.comment_threads_all(&video.id).unwrap();
+        assert!(!threads.is_empty());
+        let with_replies = threads
+            .iter()
+            .find(|t| t.replies.is_some())
+            .expect("thread with replies");
+        let replies = client
+            .comments_all(&CommentId::new(with_replies.id.clone()))
+            .unwrap();
+        assert_eq!(
+            replies.len(),
+            with_replies.replies.as_ref().unwrap().comments.len()
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # ytaudit-client
+//!
+//! The researcher-side client for the (simulated) YouTube Data API:
+//!
+//! * [`query`] — typed request builders matching the paper's Appendix-A
+//!   parameters, including the per-hour time-binning and §6.1
+//!   topic-splitting helpers;
+//! * [`transport`] — interchangeable in-process and HTTP transports (an
+//!   integration test pins them to byte-identical behaviour);
+//! * [`client`] — [`YouTubeClient`] with retries, client-side pacing,
+//!   full pagination for all six endpoints, and the recommended
+//!   `Channels → PlaylistItems` pipeline for complete channel catalogues;
+//! * [`budget`] — quota bookkeeping in the documented cost model
+//!   (100 units per search, 1 per ID call).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod client;
+pub mod query;
+pub mod transport;
+
+pub use budget::QuotaBudget;
+pub use client::{SearchCollection, YouTubeClient};
+pub use query::{Order, SearchQuery};
+pub use transport::{HttpTransport, InProcessTransport, Transport};

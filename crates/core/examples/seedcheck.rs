@@ -1,0 +1,32 @@
+//! Seed-sensitivity diagnostic: how the Table-6 coefficients move across
+//! corpus seeds at reduced scale. The strong effects (topic dummies) are
+//! seed-stable; the weak popularity effects attenuate at small corpus
+//! scale because sparse hour bins give the top-k sampler little room to
+//! express propensity — see tests/seed_robustness.rs.
+//!
+//! Run with: `cargo run --release -p ytaudit-core --example seedcheck`
+
+use ytaudit_core::testutil::test_client_with_seed;
+use ytaudit_core::{Collector, CollectorConfig};
+use ytaudit_types::Topic;
+
+fn main() {
+    for seed in [11u64, 0xDEADBEEF, 42, 7] {
+        let (client, _service) = test_client_with_seed(0.35, seed);
+        let config = CollectorConfig {
+            fetch_comments: false,
+            ..CollectorConfig::quick(vec![Topic::Blm, Topic::Higgs, Topic::WorldCup], 6)
+        };
+        let dataset = Collector::new(&client, config).run().unwrap();
+        let data = ytaudit_core::regression::build_regression_data(&dataset).unwrap();
+        let fit = ytaudit_core::regression::table6(&data).unwrap();
+        println!(
+            "seed {seed:>10}: N={} duration {:+.3} (p {:.3}) likes {:+.3} higgs {:+.3}",
+            fit.n,
+            fit.coefficient("duration").unwrap(),
+            fit.p_value("duration").unwrap(),
+            fit.coefficient("likes").unwrap(),
+            fit.coefficient("higgs (topic)").unwrap()
+        );
+    }
+}

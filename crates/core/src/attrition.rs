@@ -1,0 +1,118 @@
+//! Attrition analysis: Figure 3's second-order Markov chain over video
+//! presence/absence across snapshots.
+//!
+//! The paper pools, across all topics and videos, every sliding window of
+//! three consecutive snapshots and estimates P(next state | two most
+//! recent states). The signature finding: same-state histories strongly
+//! predict staying (drop-in/drop-out happens in persistent stretches — a
+//! "rolling window"), which is exactly what the platform's value-noise
+//! sampler produces.
+
+use crate::dataset::AuditDataset;
+use serde::{Deserialize, Serialize};
+use ytaudit_stats::markov::{MarkovChain2, State2};
+use ytaudit_types::Topic;
+
+/// Figure 3: the 4×2 transition table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure3 {
+    /// Rows in PP, PA, AP, AA order; each row is
+    /// `[P(next = Present), P(next = Absent)]`.
+    pub transitions: [[f64; 2]; 4],
+    /// Transition counts per history state (same order), for weighting.
+    pub counts: [u64; 4],
+}
+
+impl Figure3 {
+    /// P(Present | PP) — the "stays in" probability.
+    pub fn p_stay_present(&self) -> f64 {
+        self.transitions[0][0]
+    }
+
+    /// P(Absent | AA) — the "stays out" probability.
+    pub fn p_stay_absent(&self) -> f64 {
+        self.transitions[3][1]
+    }
+}
+
+/// Builds the pooled chain from a dataset. Presence sequences shorter
+/// than three snapshots contribute nothing.
+pub fn markov_chain(dataset: &AuditDataset, topics: &[Topic]) -> MarkovChain2 {
+    let mut chain = MarkovChain2::new();
+    for &topic in topics {
+        for (_, presence) in dataset.presence_sequences(topic) {
+            chain.add_sequence(&presence);
+        }
+    }
+    chain
+}
+
+/// Computes Figure 3 over all topics in the dataset.
+pub fn figure3(dataset: &AuditDataset) -> Option<Figure3> {
+    let chain = markov_chain(dataset, &dataset.topics);
+    let transitions = chain.transition_matrix().ok()?;
+    let mut counts = [0u64; 4];
+    for (i, &state) in State2::ALL.iter().enumerate() {
+        counts[i] = chain.total(state);
+    }
+    Some(Figure3 {
+        transitions,
+        counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{Collector, CollectorConfig};
+    use crate::testutil::test_client;
+
+    #[test]
+    fn rolling_window_signature_emerges() {
+        let (client, _service) = test_client(0.3);
+        let config = CollectorConfig {
+            fetch_metadata: false,
+            fetch_channels: false,
+            ..CollectorConfig::quick(vec![Topic::Blm, Topic::Grammys], 5)
+        };
+        let dataset = Collector::new(&client, config).run().unwrap();
+        let fig3 = figure3(&dataset).expect("enough transitions observed");
+        // Rows are probability distributions.
+        for row in fig3.transitions {
+            assert!((row[0] + row[1] - 1.0).abs() < 1e-9);
+        }
+        // The paper's signature: presence and absence both persist, and
+        // more strongly when the two previous states agree.
+        assert!(fig3.p_stay_present() > 0.6, "P(P|PP) = {}", fig3.p_stay_present());
+        assert!(fig3.p_stay_absent() > 0.6, "P(A|AA) = {}", fig3.p_stay_absent());
+        // First-order dominance (robust even at small snapshot counts):
+        // presence in the immediately previous snapshot predicts presence
+        // next, regardless of the older state.
+        let p_after_present = fig3.transitions[0][0].min(fig3.transitions[2][0]);
+        let p_after_absent = fig3.transitions[1][0].max(fig3.transitions[3][0]);
+        assert!(
+            p_after_present > p_after_absent,
+            "P(P|·P) {p_after_present} must exceed P(P|·A) {p_after_absent}"
+        );
+        // The second-order refinement (PP stickier than AP, AA stickier
+        // than PA) needs the full 16-snapshot run to estimate reliably —
+        // a short test collection leaves the mixed histories with a
+        // handful of transitions. It is asserted in the integration test
+        // over a longer schedule and reported by the fig3 bench binary.
+        // All four histories were observed.
+        assert!(fig3.counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn too_few_snapshots_yield_none() {
+        let (client, _service) = test_client(0.05);
+        let config = CollectorConfig {
+            fetch_metadata: false,
+            fetch_channels: false,
+            ..CollectorConfig::quick(vec![Topic::Higgs], 2)
+        };
+        let dataset = Collector::new(&client, config).run().unwrap();
+        // Two snapshots → no 3-windows → unobserved states → None.
+        assert!(figure3(&dataset).is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Temporal-consistency analysis: Figure 1 and Table 1.
+//!
+//! For each topic and snapshot t, computes the Jaccard similarity of the
+//! returned video-ID set against the previous snapshot and the very first
+//! one, plus the two one-sided set differences (the "error bars" that rule
+//! out deletions as the explanation), and the per-snapshot return-count
+//! summary of Table 1.
+
+use crate::dataset::AuditDataset;
+use serde::{Deserialize, Serialize};
+use ytaudit_stats::descriptive::describe;
+use ytaudit_stats::sets::{jaccard, set_differences};
+use ytaudit_types::Topic;
+
+/// One snapshot's similarity measurements (one point of Figure 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyPoint {
+    /// Snapshot index (0-based).
+    pub snapshot: usize,
+    /// Videos returned at this snapshot.
+    pub returned: usize,
+    /// J(Sₜ, Sₜ₋₁); 1.0 for the first snapshot.
+    pub jaccard_prev: f64,
+    /// J(Sₜ, S₁).
+    pub jaccard_first: f64,
+    /// |Sₜ₋₁ − Sₜ| — dropped out since the previous snapshot.
+    pub dropped_out: usize,
+    /// |Sₜ − Sₜ₋₁| — dropped in since the previous snapshot. Non-zero
+    /// values here are the paper's key evidence: a purely historical query
+    /// can *gain* videos, which deletions cannot explain.
+    pub dropped_in: usize,
+}
+
+/// Figure 1 for one topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicConsistency {
+    /// The topic.
+    pub topic: Topic,
+    /// One point per snapshot.
+    pub points: Vec<ConsistencyPoint>,
+}
+
+impl TopicConsistency {
+    /// The final J(Sₜ, S₁) — the headline decay number.
+    pub fn final_jaccard_first(&self) -> f64 {
+        self.points.last().map_or(1.0, |p| p.jaccard_first)
+    }
+
+    /// Mean adjacent-snapshot similarity.
+    pub fn mean_jaccard_prev(&self) -> f64 {
+        let tail: Vec<f64> = self.points.iter().skip(1).map(|p| p.jaccard_prev).collect();
+        if tail.is_empty() {
+            1.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        }
+    }
+}
+
+/// A Table 1 row: per-topic return-count summary across snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// The topic.
+    pub topic: Topic,
+    /// Minimum videos returned in any snapshot.
+    pub min: usize,
+    /// Maximum.
+    pub max: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+}
+
+/// Computes Figure 1's series for one topic.
+pub fn topic_consistency(dataset: &AuditDataset, topic: Topic) -> TopicConsistency {
+    let sets: Vec<_> = (0..dataset.len())
+        .map(|i| dataset.id_set(topic, i))
+        .collect();
+    let points = sets
+        .iter()
+        .enumerate()
+        .map(|(i, set)| {
+            let (jaccard_prev, dropped_out, dropped_in) = if i == 0 {
+                (1.0, 0, 0)
+            } else {
+                let (out, into) = set_differences(&sets[i - 1], set);
+                (jaccard(set, &sets[i - 1]), out, into)
+            };
+            ConsistencyPoint {
+                snapshot: i,
+                returned: set.len(),
+                jaccard_prev,
+                jaccard_first: jaccard(set, &sets[0]),
+                dropped_out,
+                dropped_in,
+            }
+        })
+        .collect();
+    TopicConsistency { topic, points }
+}
+
+/// Computes Figure 1 for every topic in the dataset.
+pub fn figure1(dataset: &AuditDataset) -> Vec<TopicConsistency> {
+    dataset
+        .topics
+        .iter()
+        .map(|&t| topic_consistency(dataset, t))
+        .collect()
+}
+
+/// Computes Table 1.
+pub fn table1(dataset: &AuditDataset) -> Vec<Table1Row> {
+    dataset
+        .topics
+        .iter()
+        .map(|&topic| {
+            let counts: Vec<f64> = (0..dataset.len())
+                .map(|i| dataset.id_set(topic, i).len() as f64)
+                .collect();
+            let d = describe(&counts).unwrap_or(ytaudit_stats::Description {
+                n: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+            });
+            Table1Row {
+                topic,
+                min: d.min as usize,
+                max: d.max as usize,
+                mean: d.mean,
+                std: d.std,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{Collector, CollectorConfig};
+    use crate::testutil::test_client;
+
+    fn quick_dataset(snapshots: usize) -> AuditDataset {
+        let (client, _service) = test_client(0.2);
+        let config = CollectorConfig {
+            fetch_metadata: false,
+            fetch_channels: false,
+            ..CollectorConfig::quick(vec![Topic::Blm, Topic::Higgs], snapshots)
+        };
+        Collector::new(&client, config).run().unwrap()
+    }
+
+    #[test]
+    fn jaccard_series_start_at_one_and_decay() {
+        let dataset = quick_dataset(4);
+        for tc in figure1(&dataset) {
+            assert_eq!(tc.points[0].jaccard_first, 1.0);
+            assert_eq!(tc.points[0].jaccard_prev, 1.0);
+            assert_eq!(tc.points.len(), 4);
+            for p in &tc.points {
+                assert!((0.0..=1.0).contains(&p.jaccard_first));
+                assert!((0.0..=1.0).contains(&p.jaccard_prev));
+            }
+            // Some decay must occur by the last snapshot for BLM (the
+            // churniest topic).
+            if tc.topic == Topic::Blm {
+                assert!(tc.final_jaccard_first() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_ins_prove_its_not_deletions() {
+        let dataset = quick_dataset(4);
+        let blm = topic_consistency(&dataset, Topic::Blm);
+        let total_dropped_in: usize = blm.points.iter().map(|p| p.dropped_in).sum();
+        assert!(
+            total_dropped_in > 0,
+            "historical queries must gain videos across snapshots"
+        );
+    }
+
+    #[test]
+    fn higgs_more_consistent_than_blm() {
+        let dataset = quick_dataset(4);
+        let higgs = topic_consistency(&dataset, Topic::Higgs);
+        let blm = topic_consistency(&dataset, Topic::Blm);
+        assert!(
+            higgs.final_jaccard_first() > blm.final_jaccard_first(),
+            "higgs {} vs blm {}",
+            higgs.final_jaccard_first(),
+            blm.final_jaccard_first()
+        );
+    }
+
+    #[test]
+    fn table1_summaries_are_sane() {
+        let dataset = quick_dataset(3);
+        let rows = table1(&dataset);
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert!(row.min <= row.mean as usize + 1);
+            assert!(row.max >= row.mean as usize);
+            assert!(row.std >= 0.0);
+            assert!(row.mean > 0.0, "{}", row.topic);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The collected audit dataset: what the paper's analyses consume.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use ytaudit_types::{ChannelId, Timestamp, Topic, VideoId};
+
+/// One hourly query's result within a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HourlyResult {
+    /// Hour index within the topic's 28-day window (0..672).
+    pub hour: u32,
+    /// Video IDs returned for this hour, in API order.
+    pub video_ids: Vec<VideoId>,
+    /// The query's `pageInfo.totalResults` pool estimate.
+    pub total_results: u64,
+}
+
+/// One topic's data within one snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TopicSnapshot {
+    /// Per-hour results (sparse: only hours that were queried).
+    pub hours: Vec<HourlyResult>,
+    /// Video IDs for which `Videos: list` returned metadata immediately
+    /// after this snapshot's search (Figure 4's coverage numerator).
+    pub meta_returned: Vec<VideoId>,
+}
+
+impl TopicSnapshot {
+    /// The union of all hourly returns.
+    pub fn id_set(&self) -> HashSet<VideoId> {
+        self.hours
+            .iter()
+            .flat_map(|h| h.video_ids.iter().cloned())
+            .collect()
+    }
+
+    /// Total videos returned across hours (set size; hourly bins are
+    /// disjoint by construction).
+    pub fn total_returned(&self) -> usize {
+        self.hours.iter().map(|h| h.video_ids.len()).sum()
+    }
+
+    /// Per-hour counts aligned to `hour` indices.
+    pub fn hourly_counts(&self) -> Vec<(u32, usize)> {
+        self.hours
+            .iter()
+            .map(|h| (h.hour, h.video_ids.len()))
+            .collect()
+    }
+}
+
+/// Parsed video metadata (from `Videos: list`), in native numeric types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoInfo {
+    /// The video.
+    pub id: VideoId,
+    /// Uploading channel.
+    pub channel_id: ChannelId,
+    /// Upload instant.
+    pub published_at: Timestamp,
+    /// Duration in seconds.
+    pub duration_secs: u64,
+    /// Whether the video is standard definition (vs HD).
+    pub is_sd: bool,
+    /// View count.
+    pub views: u64,
+    /// Like count.
+    pub likes: u64,
+    /// Comment count.
+    pub comments: u64,
+}
+
+/// Parsed channel metadata (from `Channels: list`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelInfo {
+    /// The channel.
+    pub id: ChannelId,
+    /// Creation instant.
+    pub published_at: Timestamp,
+    /// Total channel views.
+    pub views: u64,
+    /// Subscriber count.
+    pub subscribers: u64,
+    /// Number of uploads.
+    pub video_count: u64,
+}
+
+/// One comment as the comment analyses need it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommentRecord {
+    /// Comment ID.
+    pub id: String,
+    /// The video it is on.
+    pub video_id: VideoId,
+    /// Whether it is a nested reply.
+    pub is_reply: bool,
+    /// Posting instant.
+    pub published_at: Timestamp,
+}
+
+/// Comments fetched at one snapshot (the paper only does first and last).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CommentsSnapshot {
+    /// All comments fetched, across the snapshot's videos.
+    pub comments: Vec<CommentRecord>,
+}
+
+/// One full snapshot: every topic collected at one date.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The collection date.
+    pub date: Timestamp,
+    /// Per-topic results.
+    pub topics: BTreeMap<Topic, TopicSnapshot>,
+    /// Comments per topic, when collected at this snapshot.
+    #[serde(default)]
+    pub comments: BTreeMap<Topic, CommentsSnapshot>,
+}
+
+/// The full audit dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditDataset {
+    /// Topics collected.
+    pub topics: Vec<Topic>,
+    /// Snapshots in schedule order.
+    pub snapshots: Vec<Snapshot>,
+    /// Merged video metadata across snapshots (first successful fetch
+    /// wins; misses are per-snapshot, tracked in `meta_returned`).
+    pub video_meta: HashMap<VideoId, VideoInfo>,
+    /// Channel metadata fetched at the end of the collection.
+    pub channel_meta: HashMap<ChannelId, ChannelInfo>,
+    /// Quota units the collection spent (client-side bookkeeping).
+    pub quota_units_spent: u64,
+}
+
+impl AuditDataset {
+    /// The per-topic ID set of snapshot `t`.
+    pub fn id_set(&self, topic: Topic, snapshot: usize) -> HashSet<VideoId> {
+        self.snapshots
+            .get(snapshot)
+            .and_then(|s| s.topics.get(&topic))
+            .map(TopicSnapshot::id_set)
+            .unwrap_or_default()
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether there are no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// All videos ever returned for `topic`, with the number of snapshots
+    /// each appeared in (the regression's dependent variable).
+    pub fn appearance_frequencies(&self, topic: Topic) -> HashMap<VideoId, u32> {
+        let mut freq: HashMap<VideoId, u32> = HashMap::new();
+        for snapshot in &self.snapshots {
+            if let Some(ts) = snapshot.topics.get(&topic) {
+                for id in ts.id_set() {
+                    *freq.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        freq
+    }
+
+    /// Presence matrix for `topic`: for every video ever seen, a boolean
+    /// per snapshot (the attrition analysis input).
+    pub fn presence_sequences(&self, topic: Topic) -> Vec<(VideoId, Vec<bool>)> {
+        let sets: Vec<HashSet<VideoId>> = (0..self.len())
+            .map(|i| self.id_set(topic, i))
+            .collect();
+        let mut all: Vec<VideoId> = sets
+            .iter()
+            .flat_map(|s| s.iter().cloned())
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        all.sort();
+        all.into_iter()
+            .map(|id| {
+                let presence = sets.iter().map(|s| s.contains(&id)).collect();
+                (id, presence)
+            })
+            .collect()
+    }
+
+    /// Serializes to JSON (for caching expensive collections).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serializes")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(text: &str) -> Result<AuditDataset, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(n: u64) -> VideoId {
+        VideoId::mint(1, n)
+    }
+
+    fn snapshot(date_day: i64, ids: &[u64]) -> Snapshot {
+        let mut topics = BTreeMap::new();
+        topics.insert(
+            Topic::Higgs,
+            TopicSnapshot {
+                hours: vec![HourlyResult {
+                    hour: 0,
+                    video_ids: ids.iter().map(|&n| vid(n)).collect(),
+                    total_results: 40_000,
+                }],
+                meta_returned: Vec::new(),
+            },
+        );
+        Snapshot {
+            date: Timestamp::from_ymd(2025, 2, 9).unwrap().add_days(date_day),
+            topics,
+            comments: BTreeMap::new(),
+        }
+    }
+
+    fn dataset() -> AuditDataset {
+        AuditDataset {
+            topics: vec![Topic::Higgs],
+            snapshots: vec![
+                snapshot(0, &[1, 2, 3]),
+                snapshot(5, &[2, 3, 4]),
+                snapshot(10, &[2, 4]),
+            ],
+            video_meta: HashMap::new(),
+            channel_meta: HashMap::new(),
+            quota_units_spent: 300,
+        }
+    }
+
+    #[test]
+    fn id_sets_and_frequencies() {
+        let ds = dataset();
+        assert_eq!(ds.id_set(Topic::Higgs, 0).len(), 3);
+        assert_eq!(ds.id_set(Topic::Higgs, 9).len(), 0);
+        let freq = ds.appearance_frequencies(Topic::Higgs);
+        assert_eq!(freq[&vid(2)], 3);
+        assert_eq!(freq[&vid(1)], 1);
+        assert_eq!(freq[&vid(4)], 2);
+        assert_eq!(freq.len(), 4);
+    }
+
+    #[test]
+    fn presence_sequences_cover_all_videos() {
+        let ds = dataset();
+        let seqs = ds.presence_sequences(Topic::Higgs);
+        assert_eq!(seqs.len(), 4);
+        let by_id: HashMap<_, _> = seqs.into_iter().collect();
+        assert_eq!(by_id[&vid(1)], vec![true, false, false]);
+        assert_eq!(by_id[&vid(2)], vec![true, true, true]);
+        assert_eq!(by_id[&vid(4)], vec![false, true, true]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = dataset();
+        let json = ds.to_json();
+        let back = AuditDataset::from_json(&json).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn hourly_counts_and_totals() {
+        let ds = dataset();
+        let ts = &ds.snapshots[0].topics[&Topic::Higgs];
+        assert_eq!(ts.total_returned(), 3);
+        assert_eq!(ts.hourly_counts(), vec![(0, 3)]);
+    }
+}

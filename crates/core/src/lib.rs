@@ -1,0 +1,52 @@
+//! # ytaudit-core
+//!
+//! The paper's methodology, end to end:
+//!
+//! * [`schedule`] — the 16-snapshot, 12-week collection calendar;
+//! * [`collect`] — the §3 harness: hourly time-binned search queries,
+//!   immediate `Videos: list` metadata fetches, first/last-snapshot
+//!   comment crawls, and final `Channels: list` lookups;
+//! * [`dataset`] — the collected data model (JSON-serializable for
+//!   caching);
+//! * [`consistency`] — Figure 1 (rolling Jaccards + set-difference error
+//!   bars) and Table 1;
+//! * [`randomization`] — Table 2 (ceiling-effect test, Spearman ρ) and
+//!   Figure 2 (daily frequency overlays);
+//! * [`attrition`] — Figure 3 (second-order Markov chain);
+//! * [`regression`] — Tables 3, 6, 7 (ordinal logit, OLS+HC1, ordinal
+//!   cloglog);
+//! * [`poolsize`] — Table 4 (`totalResults` pool estimates);
+//! * [`comments`] — Table 5 (comment-endpoint stability);
+//! * [`idcheck`] — Figure 4 (`Videos: list` stability);
+//! * [`strategy`] — the §6.1/6.2 strategy experiments (restriction
+//!   ladder, topic splitting);
+//! * [`ablation`] — switch off individual sampler mechanisms and verify
+//!   which paper signature each one carries;
+//! * [`periodicity`] — the §6.2 sparse-collection periodicity check,
+//!   validated against a sampler with planted seasonality;
+//! * [`serp`] — the §6.2 sockpuppet-SERP vs search-endpoint comparison;
+//! * [`testutil`] — in-process harness constructors shared by tests,
+//!   examples, and benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod attrition;
+pub mod collect;
+pub mod comments;
+pub mod consistency;
+pub mod dataset;
+pub mod idcheck;
+pub mod periodicity;
+pub mod poolsize;
+pub mod randomization;
+pub mod regression;
+pub mod schedule;
+pub mod serp;
+pub mod strategy;
+pub mod testutil;
+
+pub use collect::{Collector, CollectorConfig};
+pub use dataset::AuditDataset;
+pub use schedule::Schedule;

@@ -1,0 +1,124 @@
+//! Pool-size analysis: Table 4.
+//!
+//! Every hourly query returns a `pageInfo.totalResults` estimate of the
+//! platform-wide pool matching the query (capped at 1,000,000 and — per
+//! the paper's observation — ignoring the query's time filters). Table 4
+//! summarizes these estimates per topic: the three topics whose videos
+//! reappear most consistently are also the smallest pools, and the only
+//! ones whose modal estimate is below the cap.
+
+use crate::dataset::AuditDataset;
+use serde::{Deserialize, Serialize};
+use ytaudit_stats::descriptive::mode_u64;
+use ytaudit_types::Topic;
+
+/// A Table 4 row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// The topic.
+    pub topic: Topic,
+    /// Minimum pool estimate across all hourly queries and snapshots.
+    pub min: u64,
+    /// Maximum (1,000,000 means the cap was hit).
+    pub max: u64,
+    /// Mean estimate.
+    pub mean: u64,
+    /// Modal estimate (binned to 1 000-unit buckets, matching the paper's
+    /// rounded reporting).
+    pub mode: u64,
+}
+
+/// The documented estimate cap.
+pub const CAP: u64 = 1_000_000;
+
+/// Computes one topic's Table 4 row.
+pub fn table4_row(dataset: &AuditDataset, topic: Topic) -> Option<Table4Row> {
+    let mut estimates: Vec<u64> = Vec::new();
+    for snapshot in &dataset.snapshots {
+        if let Some(ts) = snapshot.topics.get(&topic) {
+            estimates.extend(ts.hours.iter().map(|h| h.total_results));
+        }
+    }
+    if estimates.is_empty() {
+        return None;
+    }
+    let min = *estimates.iter().min().expect("non-empty");
+    let max = *estimates.iter().max().expect("non-empty");
+    let mean = estimates.iter().sum::<u64>() / estimates.len() as u64;
+    // Bucket to 1k for a meaningful mode over a continuous-ish estimate.
+    let bucketed: Vec<u64> = estimates.iter().map(|e| (e / 1_000) * 1_000).collect();
+    let mode = mode_u64(&bucketed).ok()?;
+    Some(Table4Row {
+        topic,
+        min,
+        max,
+        mean,
+        mode,
+    })
+}
+
+/// Computes Table 4 for every topic.
+pub fn table4(dataset: &AuditDataset) -> Vec<Table4Row> {
+    dataset
+        .topics
+        .iter()
+        .filter_map(|&t| table4_row(dataset, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{Collector, CollectorConfig};
+    use crate::testutil::test_client;
+
+    #[test]
+    fn pool_ordering_matches_the_paper() {
+        let (client, _service) = test_client(0.2);
+        let config = CollectorConfig {
+            fetch_metadata: false,
+            fetch_channels: false,
+            ..CollectorConfig::quick(
+                vec![Topic::Higgs, Topic::Grammys, Topic::Brexit, Topic::WorldCup],
+                2,
+            )
+        };
+        let dataset = Collector::new(&client, config).run().unwrap();
+        let rows = table4(&dataset);
+        assert_eq!(rows.len(), 4);
+        let by_topic = |t: Topic| rows.iter().find(|r| r.topic == t).unwrap().clone();
+        let higgs = by_topic(Topic::Higgs);
+        let grammys = by_topic(Topic::Grammys);
+        let brexit = by_topic(Topic::Brexit);
+        let worldcup = by_topic(Topic::WorldCup);
+        // Size ordering: Higgs ≪ Grammys < Brexit < World Cup.
+        assert!(higgs.mean < grammys.mean);
+        assert!(grammys.mean < brexit.mean);
+        assert!(brexit.mean < worldcup.mean);
+        // Caps: World Cup hits 1M; Higgs never comes close.
+        assert_eq!(worldcup.max, CAP);
+        assert_eq!(worldcup.mode, CAP);
+        assert!(higgs.max < 100_000, "higgs max {}", higgs.max);
+        assert!(higgs.mode < 100_000);
+        // Brexit's mode stays below the cap (the paper's 613k).
+        assert!(brexit.mode < CAP, "brexit mode {}", brexit.mode);
+        // Estimates vary across queries (min < max).
+        for row in &rows {
+            assert!(row.min < row.max, "{}", row.topic);
+            assert!(row.min <= row.mean && row.mean <= row.max);
+        }
+    }
+
+    #[test]
+    fn empty_topic_yields_none() {
+        let dataset = AuditDataset {
+            topics: vec![Topic::Blm],
+            snapshots: Vec::new(),
+            video_meta: Default::default(),
+            channel_meta: Default::default(),
+            quota_units_spent: 0,
+        };
+        assert!(table4_row(&dataset, Topic::Blm).is_none());
+        assert!(table4(&dataset).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Randomization-mechanism analysis: Table 2 and Figure 2.
+//!
+//! Tests the ceiling-effect hypothesis (per-hour returns never approach
+//! the 50/page cap; per-hour volume correlates weakly *positively* with
+//! consistency) and exposes the density signature: per-day return
+//! histograms coincide across snapshots while per-day Jaccard does not
+//! track volume.
+
+use crate::dataset::AuditDataset;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use ytaudit_stats::rank::spearman;
+use ytaudit_stats::sets::jaccard;
+use ytaudit_types::{Topic, VideoId};
+
+/// A Table 2 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// The topic.
+    pub topic: Topic,
+    /// Mean videos per (hour, snapshot) cell.
+    pub mean: f64,
+    /// Minimum cell count.
+    pub min: usize,
+    /// Maximum cell count — stays far below the 50/page cap, ruling out
+    /// ceiling effects.
+    pub max: usize,
+    /// Cell standard deviation.
+    pub std: f64,
+    /// Spearman ρ between per-hour J(T₁, T_L) and per-hour mean count,
+    /// over hours with any returns.
+    pub rho: f64,
+    /// Two-sided p-value of ρ.
+    pub rho_p: f64,
+    /// Hours retained after dropping all-zero hours.
+    pub n_hours: usize,
+}
+
+/// One day of Figure 2 for a topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayPoint {
+    /// Day index within the 28-day window (0-based).
+    pub day: u32,
+    /// Videos returned that day in the first snapshot.
+    pub first: usize,
+    /// Videos returned that day in the last snapshot.
+    pub last: usize,
+    /// Mean across all snapshots.
+    pub avg: f64,
+    /// Jaccard between the first and last snapshots' sets for this day.
+    pub jaccard_first_last: f64,
+}
+
+/// Figure 2 for one topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2Topic {
+    /// The topic.
+    pub topic: Topic,
+    /// One point per window day.
+    pub days: Vec<DayPoint>,
+}
+
+/// Per-hour counts for one topic across snapshots, keyed by hour index.
+fn hourly_counts(dataset: &AuditDataset, topic: Topic) -> HashMap<u32, Vec<usize>> {
+    let n = dataset.len();
+    let mut counts: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (snapshot_idx, snapshot) in dataset.snapshots.iter().enumerate() {
+        if let Some(ts) = snapshot.topics.get(&topic) {
+            for hour in &ts.hours {
+                counts
+                    .entry(hour.hour)
+                    .or_insert_with(|| vec![0; n])[snapshot_idx] = hour.video_ids.len();
+            }
+        }
+    }
+    counts
+}
+
+/// Per-hour ID sets for one snapshot.
+fn hourly_sets(dataset: &AuditDataset, topic: Topic, snapshot: usize) -> HashMap<u32, HashSet<VideoId>> {
+    let mut out = HashMap::new();
+    if let Some(ts) = dataset
+        .snapshots
+        .get(snapshot)
+        .and_then(|s| s.topics.get(&topic))
+    {
+        for hour in &ts.hours {
+            out.insert(hour.hour, hour.video_ids.iter().cloned().collect());
+        }
+    }
+    out
+}
+
+/// Computes one topic's Table 2 row.
+pub fn table2_row(dataset: &AuditDataset, topic: Topic) -> Table2Row {
+    let counts = hourly_counts(dataset, topic);
+    // Cell-level descriptive statistics over every (hour, snapshot) cell,
+    // including the all-zero hours (the paper's mean ≈ total/672).
+    let mut cells: Vec<f64> = Vec::new();
+    let max_hour = 672u32;
+    for hour in 0..max_hour {
+        match counts.get(&hour) {
+            Some(per_snapshot) => cells.extend(per_snapshot.iter().map(|&c| c as f64)),
+            None => cells.extend(std::iter::repeat_n(0.0, dataset.len())),
+        }
+    }
+    let mean = cells.iter().sum::<f64>() / cells.len().max(1) as f64;
+    let min = cells.iter().cloned().fold(f64::INFINITY, f64::min).max(0.0) as usize;
+    let max = cells.iter().cloned().fold(0.0, f64::max) as usize;
+    let var = cells
+        .iter()
+        .map(|c| (c - mean) * (c - mean))
+        .sum::<f64>()
+        / (cells.len().saturating_sub(1)).max(1) as f64;
+
+    // Correlation: per-hour J(first, last) vs per-hour mean count, over
+    // hours with at least one return across snapshots.
+    let first_sets = hourly_sets(dataset, topic, 0);
+    let last_sets = hourly_sets(dataset, topic, dataset.len().saturating_sub(1));
+    let empty = HashSet::new();
+    let mut js = Vec::new();
+    let mut means = Vec::new();
+    for (hour, per_snapshot) in &counts {
+        let total: usize = per_snapshot.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let a = first_sets.get(hour).unwrap_or(&empty);
+        let b = last_sets.get(hour).unwrap_or(&empty);
+        js.push(jaccard(a, b));
+        means.push(total as f64 / per_snapshot.len() as f64);
+    }
+    let (rho, rho_p) = match spearman(&js, &means) {
+        Ok(c) => (c.coefficient, c.p_value),
+        Err(_) => (f64::NAN, f64::NAN),
+    };
+    Table2Row {
+        topic,
+        mean,
+        min,
+        max,
+        std: var.sqrt(),
+        rho,
+        rho_p,
+        n_hours: js.len(),
+    }
+}
+
+/// Computes Table 2 for every topic.
+pub fn table2(dataset: &AuditDataset) -> Vec<Table2Row> {
+    dataset
+        .topics
+        .iter()
+        .map(|&t| table2_row(dataset, t))
+        .collect()
+}
+
+/// Computes Figure 2 for one topic.
+pub fn figure2_topic(dataset: &AuditDataset, topic: Topic) -> Figure2Topic {
+    let n = dataset.len();
+    let last_idx = n.saturating_sub(1);
+    // Aggregate per-day sets for each snapshot.
+    let mut per_day_sets: Vec<HashMap<u32, HashSet<VideoId>>> = vec![HashMap::new(); n];
+    for (idx, snapshot) in dataset.snapshots.iter().enumerate() {
+        if let Some(ts) = snapshot.topics.get(&topic) {
+            for hour in &ts.hours {
+                per_day_sets[idx]
+                    .entry(hour.hour / 24)
+                    .or_default()
+                    .extend(hour.video_ids.iter().cloned());
+            }
+        }
+    }
+    let empty = HashSet::new();
+    let days = (0..28)
+        .map(|day| {
+            let first = per_day_sets
+                .first()
+                .and_then(|m| m.get(&day))
+                .unwrap_or(&empty);
+            let last = per_day_sets
+                .get(last_idx)
+                .and_then(|m| m.get(&day))
+                .unwrap_or(&empty);
+            let avg = per_day_sets
+                .iter()
+                .map(|m| m.get(&day).map_or(0, HashSet::len) as f64)
+                .sum::<f64>()
+                / n.max(1) as f64;
+            DayPoint {
+                day,
+                first: first.len(),
+                last: last.len(),
+                avg,
+                jaccard_first_last: jaccard(first, last),
+            }
+        })
+        .collect();
+    Figure2Topic { topic, days }
+}
+
+/// Computes Figure 2 for every topic.
+pub fn figure2(dataset: &AuditDataset) -> Vec<Figure2Topic> {
+    dataset
+        .topics
+        .iter()
+        .map(|&t| figure2_topic(dataset, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{Collector, CollectorConfig};
+    use crate::testutil::test_client;
+
+    fn quick_dataset() -> AuditDataset {
+        let (client, _service) = test_client(0.25);
+        let config = CollectorConfig {
+            fetch_metadata: false,
+            fetch_channels: false,
+            ..CollectorConfig::quick(vec![Topic::Capitol, Topic::WorldCup], 3)
+        };
+        Collector::new(&client, config).run().unwrap()
+    }
+
+    #[test]
+    fn per_hour_counts_stay_below_the_page_cap() {
+        let dataset = quick_dataset();
+        for row in table2(&dataset) {
+            assert!(row.max < 50, "{}: max {}", row.topic, row.max);
+            assert_eq!(row.min, 0, "{}", row.topic);
+            assert!(row.mean > 0.0 && row.mean < 5.0, "{}: mean {}", row.topic, row.mean);
+            assert!(row.n_hours > 10, "{}: N {}", row.topic, row.n_hours);
+            assert!(row.n_hours <= 672);
+            if row.rho.is_finite() {
+                assert!((-1.0..=1.0).contains(&row.rho));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_is_total_over_all_hours() {
+        let dataset = quick_dataset();
+        let row = table2_row(&dataset, Topic::Capitol);
+        let total: usize = (0..dataset.len())
+            .map(|i| dataset.id_set(Topic::Capitol, i).len())
+            .sum();
+        let expected = total as f64 / (672 * dataset.len()) as f64;
+        assert!((row.mean - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure2_daily_shapes_coincide_across_snapshots() {
+        let dataset = quick_dataset();
+        for ft in figure2(&dataset) {
+            assert_eq!(ft.days.len(), 28);
+            // The average curve correlates strongly with both first and
+            // last (the paper: "map almost perfectly on each other").
+            let avg: Vec<f64> = ft.days.iter().map(|d| d.avg).collect();
+            let first: Vec<f64> = ft.days.iter().map(|d| d.first as f64).collect();
+            let last: Vec<f64> = ft.days.iter().map(|d| d.last as f64).collect();
+            let r1 = ytaudit_stats::rank::pearson(&avg, &first).unwrap().coefficient;
+            let r2 = ytaudit_stats::rank::pearson(&avg, &last).unwrap().coefficient;
+            assert!(r1 > 0.9, "{}: avg-first r {r1}", ft.topic);
+            assert!(r2 > 0.9, "{}: avg-last r {r2}", ft.topic);
+        }
+    }
+
+    #[test]
+    fn capitol_peaks_at_its_focal_day() {
+        let dataset = quick_dataset();
+        let ft = figure2_topic(&dataset, Topic::Capitol);
+        let peak_day = ft
+            .days
+            .iter()
+            .max_by(|a, b| a.avg.partial_cmp(&b.avg).unwrap())
+            .unwrap()
+            .day;
+        // Focal date is day 14 of the window; Capitol's burst is tight.
+        assert!((13..=16).contains(&peak_day), "peak at day {peak_day}");
+    }
+}

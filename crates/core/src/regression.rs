@@ -1,0 +1,295 @@
+//! Return-likelihood regressions: Tables 3, 6, and 7.
+//!
+//! Dependent variable: the number of snapshots each video appeared in
+//! (1–16 in the paper). Predictors, in the paper's order: an SD-quality
+//! dummy (vs HD), topic dummies (vs BLM), and log-transformed,
+//! z-standardized continuous features — video duration, views, likes,
+//! comments, channel age, channel views, channel subscribers, and the
+//! channel's upload count.
+
+use crate::dataset::AuditDataset;
+use serde::{Deserialize, Serialize};
+use ytaudit_stats::descriptive::{bin_frequency, log1p_transform, standardize};
+use ytaudit_stats::ols::{OlsFit, OlsOptions};
+use ytaudit_stats::ordinal::{OrdinalFit, OrdinalModel};
+use ytaudit_stats::{Result as StatsResult, StatsError};
+use ytaudit_types::Topic;
+
+/// The paper's predictor names, in Table 3's order.
+pub const PREDICTORS: [&str; 14] = [
+    "SD (quality)",
+    "brexit (topic)",
+    "capriot (topic)",
+    "grammys (topic)",
+    "higgs (topic)",
+    "worldcup (topic)",
+    "duration",
+    "views",
+    "likes",
+    "comments",
+    "channel age",
+    "channel views",
+    "channel subs",
+    "# channel videos",
+];
+
+/// The assembled design matrix plus outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionData {
+    /// Predictor names actually present (columns of `x`). Constant
+    /// columns — e.g. the dummy of a topic not in the collection — are
+    /// dropped, so reduced collections still fit.
+    pub names: Vec<String>,
+    /// Standardized predictor rows, columns aligned with `names`.
+    pub x: Vec<Vec<f64>>,
+    /// Appearance frequency per video (1..=n_snapshots).
+    pub frequency: Vec<u32>,
+    /// Number of snapshots in the collection.
+    pub n_snapshots: usize,
+}
+
+/// Builds the regression dataset from a collection. Videos without
+/// fetched metadata (or whose channel metadata is missing) are dropped —
+/// the same listwise deletion a real pipeline performs.
+pub fn build_regression_data(dataset: &AuditDataset) -> StatsResult<RegressionData> {
+    let reference_date = dataset
+        .snapshots
+        .last()
+        .map(|s| s.date)
+        .ok_or_else(|| StatsError::InvalidInput("empty dataset".into()))?;
+    let mut sd = Vec::new();
+    let mut topic_dummies: Vec<[f64; 5]> = Vec::new();
+    let mut duration = Vec::new();
+    let mut views = Vec::new();
+    let mut likes = Vec::new();
+    let mut comments = Vec::new();
+    let mut channel_age = Vec::new();
+    let mut channel_views = Vec::new();
+    let mut channel_subs = Vec::new();
+    let mut channel_videos = Vec::new();
+    let mut frequency = Vec::new();
+
+    for &topic in &dataset.topics {
+        let dummies = topic_dummy(topic);
+        for (video_id, freq) in dataset.appearance_frequencies(topic) {
+            let Some(video) = dataset.video_meta.get(&video_id) else {
+                continue;
+            };
+            let Some(channel) = dataset.channel_meta.get(&video.channel_id) else {
+                continue;
+            };
+            sd.push(if video.is_sd { 1.0 } else { 0.0 });
+            topic_dummies.push(dummies);
+            duration.push(video.duration_secs as f64);
+            views.push(video.views as f64);
+            likes.push(video.likes as f64);
+            comments.push(video.comments as f64);
+            channel_age.push(reference_date.days_since(channel.published_at).max(0) as f64);
+            channel_views.push(channel.views as f64);
+            channel_subs.push(channel.subscribers as f64);
+            channel_videos.push(channel.video_count as f64);
+            frequency.push(freq);
+        }
+    }
+    if frequency.len() < 30 {
+        return Err(StatsError::InvalidInput(format!(
+            "too few observations with metadata ({})",
+            frequency.len()
+        )));
+    }
+    // Log-transform then standardize every continuous column.
+    let z = |v: &[f64]| standardize(&log1p_transform(v));
+    let zd = z(&duration);
+    let zv = z(&views);
+    let zl = z(&likes);
+    let zc = z(&comments);
+    let za = z(&channel_age);
+    let zcv = z(&channel_views);
+    let zcs = z(&channel_subs);
+    let zcn = z(&channel_videos);
+    let full: Vec<Vec<f64>> = (0..frequency.len())
+        .map(|i| {
+            let mut row = Vec::with_capacity(14);
+            row.push(sd[i]);
+            row.extend_from_slice(&topic_dummies[i]);
+            row.push(zd[i]);
+            row.push(zv[i]);
+            row.push(zl[i]);
+            row.push(zc[i]);
+            row.push(za[i]);
+            row.push(zcv[i]);
+            row.push(zcs[i]);
+            row.push(zcn[i]);
+            row
+        })
+        .collect();
+    // Drop constant columns (absent topics' dummies, or a degenerate
+    // feature) so the design matrix stays full-rank.
+    let keep: Vec<usize> = (0..PREDICTORS.len())
+        .filter(|&j| {
+            let first = full[0][j];
+            full.iter().any(|row| row[j] != first)
+        })
+        .collect();
+    let names: Vec<String> = keep.iter().map(|&j| PREDICTORS[j].to_string()).collect();
+    let x: Vec<Vec<f64>> = full
+        .into_iter()
+        .map(|row| keep.iter().map(|&j| row[j]).collect())
+        .collect();
+    Ok(RegressionData {
+        names,
+        x,
+        frequency,
+        n_snapshots: dataset.len(),
+    })
+}
+
+fn topic_dummy(topic: Topic) -> [f64; 5] {
+    // BLM is the reference category.
+    let mut d = [0.0; 5];
+    match topic {
+        Topic::Blm => {}
+        Topic::Brexit => d[0] = 1.0,
+        Topic::Capitol => d[1] = 1.0,
+        Topic::Grammys => d[2] = 1.0,
+        Topic::Higgs => d[3] = 1.0,
+        Topic::WorldCup => d[4] = 1.0,
+    }
+    d
+}
+
+/// Compresses arbitrary category labels to contiguous 0-based indices in
+/// ascending label order. Returns the compressed labels and the number of
+/// categories.
+fn compress_categories(labels: &[u32]) -> (Vec<usize>, usize) {
+    let mut distinct: Vec<u32> = labels.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let index: std::collections::HashMap<u32, usize> = distinct
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i))
+        .collect();
+    (labels.iter().map(|l| index[l]).collect(), distinct.len())
+}
+
+/// Table 3: the binned ordinal (logit) regression. With 16 snapshots the
+/// bins are the paper's 1–5 / 6–10 / 11–15 / 16; with fewer snapshots the
+/// frequencies are scaled onto the same four bins before compression.
+pub fn table3(data: &RegressionData) -> StatsResult<OrdinalFit> {
+    let binned: Vec<u32> = data
+        .frequency
+        .iter()
+        .map(|&f| {
+            let scaled = if data.n_snapshots == 16 {
+                f
+            } else {
+                // Scale onto 1..=16 so the paper's bin edges apply.
+                ((f as f64 / data.n_snapshots as f64) * 16.0).ceil() as u32
+            };
+            u32::from(bin_frequency(scaled))
+        })
+        .collect();
+    let (y, _) = compress_categories(&binned);
+    let names: Vec<&str> = data.names.iter().map(String::as_str).collect();
+    OrdinalModel::logit().fit(&names, &data.x, &y)
+}
+
+/// Table 6: OLS with HC1 robust standard errors, frequency continuous.
+pub fn table6(data: &RegressionData) -> StatsResult<OlsFit> {
+    let y: Vec<f64> = data.frequency.iter().map(|&f| f as f64).collect();
+    let names: Vec<&str> = data.names.iter().map(String::as_str).collect();
+    OlsFit::fit(&names, &data.x, &y, OlsOptions { robust_hc1: true })
+}
+
+/// Table 7: the non-binned ordinal regression with a complementary
+/// log-log link (the outcome is skewed toward the top category).
+pub fn table7(data: &RegressionData) -> StatsResult<OrdinalFit> {
+    let (y, n_cat) = compress_categories(&data.frequency);
+    if n_cat < 2 {
+        return Err(StatsError::InvalidInput(
+            "outcome has a single category".into(),
+        ));
+    }
+    let names: Vec<&str> = data.names.iter().map(String::as_str).collect();
+    OrdinalModel::cloglog().fit(&names, &data.x, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{Collector, CollectorConfig};
+    use crate::testutil::test_client;
+
+    fn dataset_with_meta() -> AuditDataset {
+        let (client, _service) = test_client(0.35);
+        let config = CollectorConfig::quick(
+            vec![Topic::Blm, Topic::Brexit, Topic::Higgs, Topic::WorldCup],
+            4,
+        );
+        Collector::new(&client, config).run().unwrap()
+    }
+
+    #[test]
+    fn design_matrix_is_well_formed() {
+        let dataset = dataset_with_meta();
+        let data = build_regression_data(&dataset).unwrap();
+        assert_eq!(data.x.len(), data.frequency.len());
+        assert!(data.x.len() > 100);
+        assert!(data.names.len() <= 14);
+        // The collection includes 4 topics, so 3 non-reference dummies
+        // survive the constant-column filter.
+        assert!(data.names.iter().filter(|n| n.contains("(topic)")).count() == 3);
+        for row in &data.x {
+            assert_eq!(row.len(), data.names.len());
+            // Standardized columns are finite.
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+        // Frequencies within 1..=snapshots.
+        assert!(data
+            .frequency
+            .iter()
+            .all(|&f| f >= 1 && f as usize <= data.n_snapshots));
+        // The Higgs dummy survives and is set for some rows.
+        let higgs_col = data.names.iter().position(|n| n == "higgs (topic)").unwrap();
+        assert!(data.x.iter().any(|r| r[higgs_col] == 1.0));
+        assert!(data.x.iter().all(|r| r[higgs_col] == 0.0 || r[higgs_col] == 1.0));
+    }
+
+    #[test]
+    fn all_three_models_fit_and_agree_on_higgs() {
+        let dataset = dataset_with_meta();
+        let data = build_regression_data(&dataset).unwrap();
+        let t3 = table3(&data).unwrap();
+        let t6 = table6(&data).unwrap();
+        let t7 = table7(&data).unwrap();
+        // The Higgs topic dummy is the paper's strongest effect: positive
+        // and significant in every specification.
+        for (name, coeff, p) in [
+            ("t3", t3.coefficient("higgs (topic)").unwrap(), t3.p_value("higgs (topic)").unwrap()),
+            ("t6", t6.coefficient("higgs (topic)").unwrap(), t6.p_value("higgs (topic)").unwrap()),
+            ("t7", t7.coefficient("higgs (topic)").unwrap(), t7.p_value("higgs (topic)").unwrap()),
+        ] {
+            assert!(coeff > 0.0, "{name}: higgs coeff {coeff}");
+            assert!(p < 0.05, "{name}: higgs p {p}");
+        }
+        // Model-level diagnostics.
+        assert!(t3.lr_chi2 > 0.0);
+        assert!(t3.lr_p < 0.001);
+        assert!(t3.pseudo_r2 > 0.0 && t3.pseudo_r2 < 0.6);
+        assert!(t6.r_squared > 0.0 && t6.r_squared < 0.9);
+        assert!(t6.f_p_value < 0.001);
+    }
+
+    #[test]
+    fn too_small_dataset_errors_cleanly() {
+        let dataset = AuditDataset {
+            topics: vec![Topic::Higgs],
+            snapshots: Vec::new(),
+            video_meta: Default::default(),
+            channel_meta: Default::default(),
+            quota_units_spent: 0,
+        };
+        assert!(build_regression_data(&dataset).is_err());
+    }
+}

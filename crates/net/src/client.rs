@@ -1,0 +1,304 @@
+//! A blocking HTTP/1.1 client with per-host connection reuse.
+//!
+//! The audit issues thousands of small sequential GETs against one host;
+//! reusing the TCP connection (keep-alive) removes per-request handshake
+//! cost and mirrors how real collection scripts behave. Stale pooled
+//! connections (closed by the server between requests) are detected by the
+//! first read failing and retried once on a fresh connection — the standard
+//! idempotent-replay rule.
+
+use crate::framing::{write_request, FrameLimits, MessageReader};
+use crate::message::{Method, Request, Response};
+use crate::url::Url;
+use crate::{NetError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-read socket timeout.
+    pub read_timeout: Duration,
+    /// Frame limits for responses.
+    pub limits: FrameLimits,
+    /// Maximum idle connections kept per host.
+    pub max_idle_per_host: usize,
+    /// `User-Agent` header value.
+    pub user_agent: String,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            limits: FrameLimits::default(),
+            max_idle_per_host: 4,
+            user_agent: "ytaudit-net/0.1".to_string(),
+        }
+    }
+}
+
+/// One pooled connection: the buffered read half plus a cloned write half,
+/// kept together so buffered bytes survive reuse.
+struct PooledConn {
+    reader: MessageReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A blocking HTTP client. Cheap to share behind an `Arc`; all state is
+/// internally synchronized.
+pub struct HttpClient {
+    config: ClientConfig,
+    pool: Mutex<HashMap<String, Vec<PooledConn>>>,
+}
+
+impl HttpClient {
+    /// A client with default configuration.
+    pub fn new() -> HttpClient {
+        HttpClient::with_config(ClientConfig::default())
+    }
+
+    /// A client with explicit configuration.
+    pub fn with_config(config: ClientConfig) -> HttpClient {
+        HttpClient {
+            config,
+            pool: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn connect(&self, url: &Url) -> Result<PooledConn> {
+        if url.scheme != "http" {
+            return Err(NetError::Protocol(format!(
+                "scheme {:?} is not supported by this client (plaintext loopback only)",
+                url.scheme
+            )));
+        }
+        let mut last_err = NetError::Io(format!("no addresses resolved for {}", url.authority()));
+        let addrs = std::net::ToSocketAddrs::to_socket_addrs(&(url.host.as_str(), url.port))
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.config.read_timeout))?;
+                    stream.set_nodelay(true)?;
+                    let writer = stream.try_clone()?;
+                    return Ok(PooledConn {
+                        reader: MessageReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) => last_err = NetError::Io(e.to_string()),
+            }
+        }
+        Err(last_err)
+    }
+
+    fn checkout(&self, key: &str) -> Option<PooledConn> {
+        self.pool.lock().get_mut(key).and_then(Vec::pop)
+    }
+
+    fn checkin(&self, key: &str, conn: PooledConn) {
+        let mut pool = self.pool.lock();
+        let idle = pool.entry(key.to_string()).or_default();
+        if idle.len() < self.config.max_idle_per_host {
+            idle.push(conn);
+        }
+    }
+
+    fn send_once(&self, url: &Url, request: &Request, conn: &mut PooledConn) -> Result<Response> {
+        let mut req = request.clone();
+        if !req.headers.contains("user-agent") {
+            req.headers.set("user-agent", self.config.user_agent.clone());
+        }
+        write_request(&mut conn.writer, &req, &url.authority())?;
+        conn.reader
+            .read_response(&self.config.limits, req.method == Method::Head)
+    }
+
+    /// Sends `request` to `url`'s authority. The request's own path/query
+    /// are used (callers typically build the request *from* the URL via
+    /// [`HttpClient::get`]).
+    pub fn send(&self, url: &Url, request: &Request) -> Result<Response> {
+        let key = url.authority();
+        let mut reused = true;
+        let mut conn = match self.checkout(&key) {
+            Some(conn) => conn,
+            None => {
+                reused = false;
+                self.connect(url)?
+            }
+        };
+        let result = self.send_once(url, request, &mut conn);
+        match result {
+            Ok(response) => {
+                let reusable = !response.headers.wants_close();
+                if reusable {
+                    self.checkin(&key, conn);
+                }
+                Ok(response)
+            }
+            Err(err) => {
+                drop(conn); // never reuse a connection in an unknown state
+                // A stale pooled connection fails on first use; replay once
+                // on a fresh connection if the request is idempotent.
+                let retryable = reused
+                    && request.method.is_idempotent()
+                    && matches!(err, NetError::Io(_) | NetError::UnexpectedEof(_));
+                if retryable {
+                    let mut fresh = self.connect(url)?;
+                    let response = self.send_once(url, request, &mut fresh)?;
+                    if !response.headers.wants_close() {
+                        self.checkin(&key, fresh);
+                    }
+                    Ok(response)
+                } else {
+                    Err(err)
+                }
+            }
+        }
+    }
+
+    /// GET the given absolute URL.
+    pub fn get(&self, url_text: &str) -> Result<Response> {
+        let url = Url::parse(url_text)?;
+        let request = Request::get(url.path.clone()).with_query(url.query.clone());
+        self.send(&url, &request)
+    }
+
+    /// POST a body to the given absolute URL.
+    pub fn post(&self, url_text: &str, body: impl Into<Vec<u8>>) -> Result<Response> {
+        let url = Url::parse(url_text)?;
+        let request = Request::post(url.path.clone(), body).with_query(url.query.clone());
+        self.send(&url, &request)
+    }
+
+    /// Number of idle pooled connections (all hosts) — for tests.
+    pub fn idle_connections(&self) -> usize {
+        self.pool.lock().values().map(Vec::len).sum()
+    }
+}
+
+impl Default for HttpClient {
+    fn default() -> HttpClient {
+        HttpClient::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::StatusCode;
+    use crate::server::{Server, ServerConfig, ServerHandle};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn test_server() -> (ServerHandle, Arc<AtomicU64>) {
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits_clone = Arc::clone(&hits);
+        let handler = Arc::new(move |req: &Request| {
+            hits_clone.fetch_add(1, Ordering::SeqCst);
+            match req.path.as_str() {
+                "/close" => Response::text(StatusCode::OK, "bye").with_header("connection", "close"),
+                "/echo" => Response::text(
+                    StatusCode::OK,
+                    format!("{}?{}", req.path, req.query.encode()),
+                ),
+                _ => Response::text(StatusCode::OK, "ok"),
+            }
+        });
+        let handle = Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        (handle, hits)
+    }
+
+    #[test]
+    fn get_round_trip() {
+        let (server, _) = test_server();
+        let client = HttpClient::new();
+        let resp = client
+            .get(&format!("{}/echo?q=higgs+boson", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body_text().unwrap(), "/echo?q=higgs+boson");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connections_are_reused() {
+        let (server, _) = test_server();
+        let client = HttpClient::new();
+        for _ in 0..5 {
+            client.get(&format!("{}/x", server.base_url())).unwrap();
+        }
+        assert_eq!(client.idle_connections(), 1);
+        assert_eq!(server.stats().connections.load(Ordering::SeqCst), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_close_is_respected() {
+        let (server, _) = test_server();
+        let client = HttpClient::new();
+        client.get(&format!("{}/close", server.base_url())).unwrap();
+        assert_eq!(client.idle_connections(), 0);
+        client.get(&format!("{}/x", server.base_url())).unwrap();
+        assert_eq!(server.stats().connections.load(Ordering::SeqCst), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_replayed() {
+        let (server, hits) = test_server();
+        let base = server.base_url();
+        let client = HttpClient::new();
+        client.get(&format!("{base}/x")).unwrap();
+        assert_eq!(client.idle_connections(), 1);
+        // Restart the server on the same port to kill the pooled socket.
+        let addr = server.local_addr();
+        server.shutdown();
+        let handler = Arc::new(|_: &Request| Response::text(StatusCode::OK, "fresh"));
+        let server2 = Server::bind(&addr.to_string(), handler, ServerConfig::default()).unwrap();
+        let resp = client.get(&format!("{base}/y")).unwrap();
+        assert_eq!(resp.body_text().unwrap(), "fresh");
+        let _ = hits;
+        server2.shutdown();
+    }
+
+    #[test]
+    fn refuses_https() {
+        let client = HttpClient::new();
+        let err = client
+            .get("https://www.googleapis.com/youtube/v3/search")
+            .unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)));
+    }
+
+    #[test]
+    fn connect_failure_is_io_error() {
+        let client = HttpClient::with_config(ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            ..ClientConfig::default()
+        });
+        // Port 1 on loopback is virtually always closed.
+        let err = client.get("http://127.0.0.1:1/x").unwrap_err();
+        assert!(matches!(err, NetError::Io(_)));
+    }
+
+    #[test]
+    fn post_round_trips_body() {
+        let handler = Arc::new(|req: &Request| {
+            Response::text(StatusCode::OK, format!("got {} bytes", req.body.len()))
+        });
+        let server = Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        let client = HttpClient::new();
+        let resp = client
+            .post(&format!("{}/submit", server.base_url()), vec![b'a'; 1000])
+            .unwrap();
+        assert_eq!(resp.body_text().unwrap(), "got 1000 bytes");
+        server.shutdown();
+    }
+}

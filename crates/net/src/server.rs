@@ -1,0 +1,424 @@
+//! A blocking, thread-pool HTTP/1.1 server with keep-alive and graceful
+//! shutdown.
+//!
+//! The accept loop hands each connection to a fixed pool of worker threads
+//! over a crossbeam channel. Shutdown is cooperative: the handle flips a
+//! flag, wakes the acceptor with a loopback connection, the channel is
+//! closed, and workers finish the request they are on before exiting —
+//! in-flight audit queries complete rather than tearing mid-response.
+
+use crate::framing::{write_response, FrameLimits, MessageReader};
+use crate::message::{Request, Response, StatusCode};
+use crate::{NetError, Result};
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A request handler. Implemented for any `Fn(&Request) -> Response`.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Per-read socket timeout; a stalled peer cannot pin a worker forever.
+    pub read_timeout: Duration,
+    /// Maximum requests served on one keep-alive connection.
+    pub max_requests_per_connection: usize,
+    /// Frame limits applied to incoming requests.
+    pub limits: FrameLimits,
+    /// Backlog of accepted-but-unserved connections before accept blocks.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            read_timeout: Duration::from_secs(10),
+            max_requests_per_connection: 10_000,
+            limits: FrameLimits::default(),
+            queue_depth: 128,
+        }
+    }
+}
+
+/// Cumulative server counters, readable while the server runs.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests fully served (including error responses).
+    pub requests: AtomicU64,
+    /// Responses with 5xx status caused by handler panics.
+    pub handler_panics: AtomicU64,
+    /// Connections dropped due to protocol errors.
+    pub protocol_errors: AtomicU64,
+}
+
+/// The running server. Construct with [`Server::bind`]; stop with
+/// [`ServerHandle::shutdown`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// accepting connections, dispatching to `handler`.
+    pub fn bind(
+        addr: &str,
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+    ) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let stats = Arc::new(ServerStats::default());
+        let registry: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let next_conn_id = Arc::new(AtomicU64::new(0));
+        let (conn_tx, conn_rx) = bounded::<TcpStream>(config.queue_depth);
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for worker_id in 0..config.workers.max(1) {
+            let rx = conn_rx.clone();
+            let handler = Arc::clone(&handler);
+            let config = config.clone();
+            let running = Arc::clone(&running);
+            let stats = Arc::clone(&stats);
+            let registry = Arc::clone(&registry);
+            let next_conn_id = Arc::clone(&next_conn_id);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ytaudit-net-worker-{worker_id}"))
+                    .spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            // Register a clone so shutdown can close sockets
+                            // idling in a blocking read.
+                            let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+                            if let Ok(clone) = stream.try_clone() {
+                                registry.lock().insert(conn_id, clone);
+                            }
+                            serve_connection(stream, &*handler, &config, &running, &stats);
+                            registry.lock().remove(&conn_id);
+                        }
+                    })
+                    .map_err(|e| NetError::Io(e.to_string()))?,
+            );
+        }
+        drop(conn_rx);
+
+        let acceptor = {
+            let running = Arc::clone(&running);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("ytaudit-net-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if !running.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match stream {
+                            Ok(stream) => {
+                                stats.connections.fetch_add(1, Ordering::Relaxed);
+                                if conn_tx.send(stream).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                    // Dropping conn_tx closes the channel; workers drain
+                    // queued connections and exit.
+                })
+                .map_err(|e| NetError::Io(e.to_string()))?
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            running,
+            stats,
+            registry,
+            acceptor: Mutex::new(Some(acceptor)),
+            workers: Mutex::new(workers),
+        })
+    }
+}
+
+/// Handle to a running server: address, stats, and shutdown control.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    registry: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's base URL, e.g. `http://127.0.0.1:41234`.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.local_addr)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops accepting, drains in-flight requests, joins all threads.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        // Close connections idling in blocking reads so workers exit
+        // immediately instead of waiting out the read timeout. Workers
+        // finishing an in-flight request are unaffected: their write half
+        // still flushes before the socket teardown is observed.
+        for (_, stream) in self.registry.lock().iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        if let Some(acceptor) = self.acceptor.lock().take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.lock().drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection until close, error, limit, or shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    handler: &dyn Handler,
+    config: &ServerConfig,
+    running: &AtomicBool,
+    stats: &ServerStats,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let write_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = MessageReader::new(stream);
+    for served in 0..config.max_requests_per_connection {
+        if !running.load(Ordering::SeqCst) && served > 0 {
+            break;
+        }
+        let request = match reader.read_request(&config.limits) {
+            Ok(Some(req)) => req,
+            Ok(None) => break, // clean close
+            Err(NetError::LimitExceeded(msg)) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::text(StatusCode::PAYLOAD_TOO_LARGE, msg);
+                let _ = write_response(&mut writer, &resp, false);
+                break;
+            }
+            Err(NetError::Protocol(msg)) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::text(StatusCode::BAD_REQUEST, msg);
+                let _ = write_response(&mut writer, &resp, false);
+                break;
+            }
+            Err(_) => break, // timeout or abrupt close
+        };
+        let client_wants_close = request.headers.wants_close();
+        let response = match catch_unwind(AssertUnwindSafe(|| handler.handle(&request))) {
+            Ok(resp) => resp,
+            Err(_) => {
+                stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                Response::text(StatusCode::INTERNAL_SERVER_ERROR, "handler panicked")
+            }
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = !client_wants_close
+            && !response.headers.wants_close()
+            && running.load(Ordering::SeqCst)
+            && served + 1 < config.max_requests_per_connection;
+        if write_response(&mut writer, &response, keep_alive).is_err() {
+            break;
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing::write_request;
+    use crate::message::Method;
+    use std::io::Write;
+
+    fn echo_server() -> ServerHandle {
+        let handler = Arc::new(|req: &Request| {
+            Response::text(
+                StatusCode::OK,
+                format!("{} {} q={}", req.method, req.path, req.query.encode()),
+            )
+        });
+        Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap()
+    }
+
+    fn raw_round_trip(handle: &ServerHandle, request: &Request) -> Response {
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        write_request(&mut stream, request, &handle.local_addr().to_string()).unwrap();
+        let mut reader = MessageReader::new(stream);
+        reader
+            .read_response(&FrameLimits::default(), request.method == Method::Head)
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_get_requests() {
+        let handle = echo_server();
+        let resp = raw_round_trip(
+            &handle,
+            &Request::get("/search").with_query(crate::url::QueryString::new().with("q", "x")),
+        );
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body_text().unwrap(), "GET /search q=q=x");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let handle = echo_server();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut write = stream.try_clone().unwrap();
+        let mut reader = MessageReader::new(stream);
+        for path in ["/a", "/b", "/c"] {
+            write_request(&mut write, &Request::get(path), "h").unwrap();
+            let resp = reader.read_response(&FrameLimits::default(), false).unwrap();
+            assert!(resp.body_text().unwrap().contains(path));
+            assert_eq!(resp.headers.get("connection"), Some("keep-alive"));
+        }
+        assert_eq!(handle.stats().requests.load(Ordering::Relaxed), 3);
+        assert_eq!(handle.stats().connections.load(Ordering::Relaxed), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn respects_connection_close() {
+        let handle = echo_server();
+        let resp = raw_round_trip(&handle, &Request::get("/x").with_header("connection", "close"));
+        assert_eq!(resp.headers.get("connection"), Some("close"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let handle = echo_server();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        stream.write_all(b"NONSENSE REQUEST LINE\r\n\r\n").unwrap();
+        let mut reader = MessageReader::new(stream);
+        let resp = reader.read_response(&FrameLimits::default(), false).unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        assert_eq!(handle.stats().protocol_errors.load(Ordering::Relaxed), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_gets_413() {
+        let handle = echo_server();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        stream.write_all(&raw).unwrap();
+        let mut reader = MessageReader::new(stream);
+        let resp = reader.read_response(&FrameLimits::default(), false).unwrap();
+        assert_eq!(resp.status, StatusCode::PAYLOAD_TOO_LARGE);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn handler_panic_returns_500_and_server_survives() {
+        let handler = Arc::new(|req: &Request| {
+            if req.path == "/boom" {
+                panic!("induced failure");
+            }
+            Response::text(StatusCode::OK, "fine")
+        });
+        let handle = Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        let boom = raw_round_trip(&handle, &Request::get("/boom"));
+        assert_eq!(boom.status, StatusCode::INTERNAL_SERVER_ERROR);
+        let ok = raw_round_trip(&handle, &Request::get("/fine"));
+        assert_eq!(ok.status, StatusCode::OK);
+        assert_eq!(handle.stats().handler_panics.load(Ordering::Relaxed), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let handle = Arc::new(echo_server());
+        let mut joins = Vec::new();
+        for i in 0..8 {
+            let handle = Arc::clone(&handle);
+            joins.push(std::thread::spawn(move || {
+                for j in 0..5 {
+                    let resp = raw_round_trip(&handle, &Request::get(format!("/c{i}/{j}")));
+                    assert_eq!(resp.status, StatusCode::OK);
+                }
+            }));
+        }
+        for join in joins {
+            join.join().unwrap();
+        }
+        assert_eq!(handle.stats().requests.load(Ordering::Relaxed), 40);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let handle = echo_server();
+        handle.shutdown();
+        handle.shutdown();
+        // After shutdown new connections are refused or reset quickly; we
+        // only assert the call returns (threads joined, no deadlock).
+    }
+
+    #[test]
+    fn large_response_is_chunked_over_the_wire() {
+        let body = vec![b'z'; 200_000];
+        let expected = body.clone();
+        let handler = Arc::new(move |_: &Request| Response::json(StatusCode::OK, body.clone()));
+        let handle = Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        let resp = raw_round_trip(&handle, &Request::get("/big"));
+        assert_eq!(resp.body, expected);
+        handle.shutdown();
+    }
+}

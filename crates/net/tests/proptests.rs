@@ -1,0 +1,120 @@
+//! Property-based tests for the HTTP codec layers.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use ytaudit_net::framing::{write_chunked, write_request, write_response, FrameLimits, MessageReader};
+use ytaudit_net::url::{decode_component, encode_component, QueryString};
+use ytaudit_net::{Request, Response, StatusCode};
+
+proptest! {
+    /// Percent-encoding round-trips arbitrary Unicode text.
+    #[test]
+    fn percent_codec_round_trip(raw in ".*") {
+        let encoded = encode_component(&raw);
+        prop_assert_eq!(decode_component(&encoded).unwrap(), raw);
+    }
+
+    /// Encoded components never contain separators that would corrupt a
+    /// query string.
+    #[test]
+    fn encoded_component_is_inert(raw in ".*") {
+        let encoded = encode_component(&raw);
+        prop_assert!(!encoded.contains('&'));
+        prop_assert!(!encoded.contains('='));
+        prop_assert!(!encoded.contains('#'));
+        prop_assert!(!encoded.contains(' '));
+        prop_assert!(encoded.is_ascii());
+    }
+
+    /// Query strings round-trip arbitrary key/value pairs.
+    #[test]
+    fn query_string_round_trip(pairs in proptest::collection::vec((".*", ".*"), 0..8)) {
+        let qs: QueryString = pairs.iter().cloned().collect();
+        let parsed = QueryString::parse(&qs.encode()).unwrap();
+        // Keys that encode to the empty string ("" keys with "" values)
+        // still round-trip because `k=` is emitted explicitly.
+        prop_assert_eq!(parsed.pairs(), qs.pairs());
+    }
+
+    /// The canonical form is insensitive to pair order.
+    #[test]
+    fn canonical_is_order_insensitive(pairs in proptest::collection::vec(("[a-z]{1,4}", "[a-z0-9]{0,6}"), 0..6)) {
+        let qs: QueryString = pairs.iter().cloned().collect();
+        let mut reversed = pairs.clone();
+        reversed.reverse();
+        let qs_rev: QueryString = reversed.into_iter().collect();
+        // Reversing changes relative order of *distinct* keys only; values
+        // under the same key reverse too, so compare multisets per key.
+        let canon_a_full = qs.canonical();
+        let canon_b_full = qs_rev.canonical();
+        let mut canon_a: Vec<&str> = canon_a_full.split('&').filter(|s| !s.is_empty()).collect();
+        let mut canon_b: Vec<&str> = canon_b_full.split('&').filter(|s| !s.is_empty()).collect();
+        canon_a.sort_unstable();
+        canon_b.sort_unstable();
+        prop_assert_eq!(canon_a, canon_b);
+    }
+
+    /// Any response body survives write→read framing, across the
+    /// content-length/chunked threshold.
+    #[test]
+    fn response_framing_round_trip(body in proptest::collection::vec(any::<u8>(), 0..200_000), keep_alive in any::<bool>()) {
+        let resp = Response::json(StatusCode::OK, body.clone());
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, keep_alive).unwrap();
+        let parsed = MessageReader::new(Cursor::new(wire))
+            .read_response(&FrameLimits::default(), false)
+            .unwrap();
+        prop_assert_eq!(parsed.body, body);
+        prop_assert_eq!(parsed.status, StatusCode::OK);
+    }
+
+    /// Any request (path, query, body) survives write→read framing.
+    #[test]
+    fn request_framing_round_trip(
+        path_seg in "[a-zA-Z0-9_/-]{0,40}",
+        pairs in proptest::collection::vec(("[a-zA-Z]{1,8}", ".{0,20}"), 0..6),
+        body in proptest::collection::vec(any::<u8>(), 0..4_096),
+    ) {
+        let query: QueryString = pairs.iter().cloned().collect();
+        let req = Request::post(format!("/{path_seg}"), body.clone()).with_query(query.clone());
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req, "localhost:1").unwrap();
+        let parsed = MessageReader::new(Cursor::new(wire))
+            .read_request(&FrameLimits::default())
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(parsed.path, format!("/{path_seg}"));
+        prop_assert_eq!(parsed.query.pairs(), query.pairs());
+        prop_assert_eq!(parsed.body, body);
+    }
+
+    /// The chunked encoder always produces a stream the decoder accepts,
+    /// regardless of body size relative to chunk boundaries.
+    #[test]
+    fn chunked_codec_round_trip(body in proptest::collection::vec(any::<u8>(), 0..100_000)) {
+        let mut wire = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n".to_vec();
+        write_chunked(&mut wire, &body).unwrap();
+        let parsed = MessageReader::new(Cursor::new(wire))
+            .read_response(&FrameLimits::default(), false)
+            .unwrap();
+        prop_assert_eq!(parsed.body, body);
+    }
+
+    /// Truncating a framed response anywhere before the end never panics
+    /// and never yields a *successful* full-body parse with missing bytes.
+    #[test]
+    fn truncated_responses_fail_safely(body in proptest::collection::vec(any::<u8>(), 1..2_000), cut_fraction in 0.0f64..1.0) {
+        let resp = Response::json(StatusCode::OK, body.clone());
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, true).unwrap();
+        let cut = ((wire.len() - 1) as f64 * cut_fraction) as usize;
+        let truncated = &wire[..cut];
+        if let Ok(parsed) = MessageReader::new(Cursor::new(truncated.to_vec()))
+            .read_response(&FrameLimits::default(), false)
+        {
+            // Any error is acceptable; panics are not — and a *successful*
+            // parse must never silently drop bytes.
+            prop_assert_eq!(parsed.body.len(), body.len(), "a successful parse must have the full body");
+        }
+    }
+}

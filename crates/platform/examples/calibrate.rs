@@ -1,0 +1,68 @@
+//! Calibration harness: prints the Figure-1/Table-1/Table-2-shaped
+//! quantities straight off the sampler so the noise constants can be tuned
+//! without the full audit stack.
+
+use std::collections::HashSet;
+use ytaudit_platform::{Platform, SearchOrder, SearchParams};
+use ytaudit_types::{Timestamp, Topic, VideoId};
+
+fn main() {
+    let platform = Platform::with_default_corpus();
+    let start = Timestamp::from_ymd(2025, 2, 9).unwrap();
+    // 16 collections: every 5 days, skipping 2025-04-05 (index 11).
+    let dates: Vec<Timestamp> = (0..17)
+        .filter(|&i| i != 11)
+        .map(|i| start.add_days(5 * i))
+        .collect();
+    println!("collections: {}", dates.len());
+
+    for topic in Topic::ALL {
+        let spec = topic.spec();
+        let params = SearchParams {
+            tokens: spec.query_tokens(),
+            published_after: Some(topic.window_start()),
+            published_before: Some(topic.window_end()),
+            order: SearchOrder::Date,
+            channel_id: None,
+        };
+        // The audit's real methodology: one query per hour of the window
+        // (so the 500-per-query cap never binds), unioned per collection.
+        let sets: Vec<HashSet<VideoId>> = dates
+            .iter()
+            .map(|&d| {
+                let mut set = HashSet::new();
+                let start = topic.window_start();
+                for h in 0..672 {
+                    let mut hourly = params.clone();
+                    hourly.published_after = Some(start.add_hours(h));
+                    hourly.published_before = Some(start.add_hours(h + 1));
+                    set.extend(platform.search(&hourly, d).video_ids);
+                }
+                set
+            })
+            .collect();
+        let sizes: Vec<usize> = sets.iter().map(HashSet::len).collect();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        let j = |a: &HashSet<VideoId>, b: &HashSet<VideoId>| {
+            let i = a.intersection(b).count();
+            i as f64 / (a.len() + b.len() - i).max(1) as f64
+        };
+        let j_first: Vec<f64> = sets.iter().map(|s| j(s, &sets[0])).collect();
+        let j_prev: Vec<f64> = sets.windows(2).map(|w| j(&w[1], &w[0])).collect();
+        println!(
+            "{:9} target {:5.0} mean {:6.1} min {:4} max {:4} | J(t,1) last {:.3} | J(t,t-1) mean {:.3}",
+            topic.key(),
+            spec.returned_target,
+            mean,
+            sizes.iter().min().unwrap(),
+            sizes.iter().max().unwrap(),
+            j_first.last().unwrap(),
+            j_prev.iter().sum::<f64>() / j_prev.len() as f64,
+        );
+        print!("  J(t,1): ");
+        for v in &j_first {
+            print!("{v:.2} ");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,78 @@
+//! The simulated wall clock.
+//!
+//! The paper's audit spans 12 calendar weeks; re-running it offline
+//! requires time travel. Every platform operation takes the request
+//! instant explicitly, and `SimClock` is the shared, settable source of
+//! "now" for components (the HTTP service) that need an ambient clock.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use ytaudit_types::Timestamp;
+
+/// A shared, settable simulated clock. Clones share state.
+#[derive(Clone)]
+pub struct SimClock {
+    now: Arc<Mutex<Timestamp>>,
+}
+
+impl SimClock {
+    /// A clock starting at `start`.
+    pub fn new(start: Timestamp) -> SimClock {
+        SimClock {
+            now: Arc::new(Mutex::new(start)),
+        }
+    }
+
+    /// A clock at the audit's first collection instant (2025-02-09).
+    pub fn at_audit_start() -> SimClock {
+        SimClock::new(Timestamp::from_ymd(2025, 2, 9).expect("valid date"))
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> Timestamp {
+        *self.now.lock()
+    }
+
+    /// Jumps to an absolute instant (forward or backward — the audit
+    /// replays historical schedules).
+    pub fn set(&self, t: Timestamp) {
+        *self.now.lock() = t;
+    }
+
+    /// Advances by whole days.
+    pub fn advance_days(&self, days: i64) {
+        let mut now = self.now.lock();
+        *now = now.add_days(days);
+    }
+
+    /// Advances by seconds.
+    pub fn advance_secs(&self, secs: i64) {
+        let mut now = self.now.lock();
+        *now = *now + secs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let clock = SimClock::at_audit_start();
+        let other = clock.clone();
+        clock.advance_days(5);
+        assert_eq!(other.now(), Timestamp::from_ymd(2025, 2, 14).unwrap());
+        other.advance_secs(3_600);
+        assert_eq!(clock.now().to_rfc3339(), "2025-02-14T01:00:00Z");
+    }
+
+    #[test]
+    fn set_is_absolute() {
+        let clock = SimClock::at_audit_start();
+        let t = Timestamp::from_ymd(2025, 4, 30).unwrap();
+        clock.set(t);
+        assert_eq!(clock.now(), t);
+        clock.set(Timestamp::from_ymd(2025, 2, 9).unwrap());
+        assert_eq!(clock.now().to_rfc3339(), "2025-02-09T00:00:00Z");
+    }
+}

@@ -1,0 +1,111 @@
+//! Set similarity — the workhorse of the paper's consistency analysis.
+//!
+//! The audit compares the video-ID sets returned by identical queries made
+//! at different times using Jaccard similarity (Figure 1), and reports the
+//! two one-sided set differences as "error bars": `S_{t−1} − S_t` (videos
+//! that dropped out) and `S_t − S_{t−1}` (videos that dropped in). The
+//! latter is the paper's proof that deletions alone cannot explain the
+//! inconsistency — deleted videos can leave a set, but a *historical* query
+//! should never gain videos it did not return before.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|`. Two empty sets are defined as
+/// similarity 1 (identical), matching the convention the paper uses before
+/// it drops all-empty hours from Table 2.
+pub fn jaccard<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let intersection = a.intersection(b).count();
+    let union = a.len() + b.len() - intersection;
+    intersection as f64 / union as f64
+}
+
+/// The two one-sided set differences `(|A − B|, |B − A|)` — the "error
+/// bars" of Figure 1 with `A = S_{t−1}` and `B = S_t`.
+pub fn set_differences<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> (usize, usize) {
+    let a_minus_b = a.difference(b).count();
+    let b_minus_a = b.difference(a).count();
+    (a_minus_b, b_minus_a)
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)` — used in the Appendix-B
+/// style coverage comparisons where one set is a subset query of another.
+pub fn overlap_coefficient<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+    }
+    let intersection = a.intersection(b).count();
+    intersection as f64 / a.len().min(b.len()) as f64
+}
+
+/// Fraction of `a`'s elements also present in `b` (`|A ∩ B| / |A|`) — the
+/// "percentage of videos for which metadata is returned" of Figure 4.
+/// Returns 1.0 for empty `a`.
+pub fn coverage<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    a.intersection(b).count() as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        let a = set(&["a", "b", "c"]);
+        let b = set(&["b", "c", "d"]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &set(&[])), 0.0);
+        assert_eq!(jaccard::<String>(&HashSet::new(), &HashSet::new()), 1.0);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric() {
+        let a = set(&["x", "y"]);
+        let b = set(&["y", "z", "w"]);
+        assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+    }
+
+    #[test]
+    fn paper_observation_46_percent_shared() {
+        // The paper: Jaccard ≈ 0.3 ⇒ only ~46% of videos per set shared.
+        // With |A| = |B| = n and intersection i: J = i/(2n−i) = 0.3
+        // ⇒ i ≈ 0.4615 n.
+        let n = 1000;
+        let shared = 462;
+        let a: HashSet<u32> = (0..n).collect();
+        let b: HashSet<u32> = (0..shared).chain(n..(2 * n - shared)).collect();
+        let j = jaccard(&a, &b);
+        assert!((j - 0.3).abs() < 0.01, "J = {j}");
+    }
+
+    #[test]
+    fn set_differences_both_directions() {
+        let prev = set(&["a", "b", "c", "d"]);
+        let curr = set(&["c", "d", "e"]);
+        let (dropped_out, dropped_in) = set_differences(&prev, &curr);
+        assert_eq!(dropped_out, 2); // a, b left
+        assert_eq!(dropped_in, 1); // e appeared
+    }
+
+    #[test]
+    fn overlap_and_coverage() {
+        let a = set(&["a", "b"]);
+        let b = set(&["a", "b", "c", "d"]);
+        assert_eq!(overlap_coefficient(&a, &b), 1.0);
+        assert_eq!(coverage(&a, &b), 1.0);
+        assert_eq!(coverage(&b, &a), 0.5);
+        assert_eq!(coverage::<String>(&HashSet::new(), &a), 1.0);
+        assert_eq!(overlap_coefficient(&set(&[]), &a), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the statistics crate.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use ytaudit_stats::descriptive::{describe, standardize};
+use ytaudit_stats::markov::MarkovChain2;
+use ytaudit_stats::matrix::Matrix;
+use ytaudit_stats::ols::{OlsFit, OlsOptions};
+use ytaudit_stats::rank::{midranks, pearson, spearman};
+use ytaudit_stats::sets::{jaccard, set_differences};
+use ytaudit_stats::special::{chi2_cdf, normal_cdf, normal_quantile, t_cdf};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    /// Jaccard is bounded, symmetric, and 1 exactly on equal sets.
+    #[test]
+    fn jaccard_properties(a in proptest::collection::hash_set(0u32..200, 0..60),
+                          b in proptest::collection::hash_set(0u32..200, 0..60)) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard(&b, &a));
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+        // Set-difference identity: |A∪B| = |A∩B| + |A−B| + |B−A|.
+        let (ab, ba) = set_differences(&a, &b);
+        let union: HashSet<_> = a.union(&b).collect();
+        let inter = a.intersection(&b).count();
+        prop_assert_eq!(union.len(), inter + ab + ba);
+    }
+
+    /// Midranks are a permutation-with-ties of 1..n: they sum to n(n+1)/2.
+    #[test]
+    fn midranks_sum_invariant(values in finite_vec(1..50)) {
+        let ranks = midranks(&values);
+        let n = values.len() as f64;
+        let total: f64 = ranks.iter().sum();
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        prop_assert!(ranks.iter().all(|&r| r >= 1.0 && r <= n));
+    }
+
+    /// Correlations live in [−1, 1] and are invariant to positive affine
+    /// transforms of either argument.
+    #[test]
+    fn correlation_bounds_and_affine_invariance(
+        x in finite_vec(5..30),
+        scale in 0.1f64..100.0,
+        shift in -1000.0f64..1000.0,
+    ) {
+        // Build y as a noisy-ish deterministic companion to avoid constant
+        // vectors.
+        let y: Vec<f64> = x.iter().enumerate().map(|(i, v)| v * 0.5 + ((i * 7919 % 97) as f64)).collect();
+        if let (Ok(c1), Ok(c2)) = (
+            pearson(&x, &y),
+            pearson(&x.iter().map(|v| v * scale + shift).collect::<Vec<_>>(), &y),
+        ) {
+            prop_assert!((-1.0..=1.0).contains(&c1.coefficient));
+            prop_assert!((c1.coefficient - c2.coefficient).abs() < 1e-8);
+            prop_assert!((0.0..=1.0).contains(&c1.p_value));
+        }
+        if let Ok(s) = spearman(&x, &y) {
+            prop_assert!((-1.0..=1.0).contains(&s.coefficient));
+        }
+    }
+
+    /// describe() is exact on location/scale transforms.
+    #[test]
+    fn describe_affine(values in finite_vec(2..40), scale in 0.001f64..1000.0, shift in -1e5f64..1e5) {
+        let base = describe(&values).unwrap();
+        let transformed: Vec<f64> = values.iter().map(|v| v * scale + shift).collect();
+        let t = describe(&transformed).unwrap();
+        prop_assert!((t.mean - (base.mean * scale + shift)).abs() < 1e-4 * (1.0 + t.mean.abs()));
+        prop_assert!((t.std - base.std * scale).abs() < 1e-4 * (1.0 + t.std.abs()));
+        prop_assert!(t.min <= t.mean + 1e-9 && t.mean <= t.max + 1e-9);
+    }
+
+    /// Standardized vectors have mean ~0 and sd ~1 (when non-constant).
+    #[test]
+    fn standardize_properties(values in finite_vec(3..40)) {
+        let z = standardize(&values);
+        prop_assert_eq!(z.len(), values.len());
+        let d = describe(&z).unwrap();
+        if d.std > 0.0 {
+            prop_assert!(d.mean.abs() < 1e-8);
+            prop_assert!((d.std - 1.0).abs() < 1e-8);
+        }
+    }
+
+    /// Solving a random well-conditioned SPD system and substituting back
+    /// reproduces the RHS.
+    #[test]
+    fn spd_solve_round_trip(seed in 0u64..1000, n in 2usize..8) {
+        // Deterministic pseudo-random SPD matrix A = BᵀB + nI.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        };
+        let b_rows: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+        let b = Matrix::from_rows(&b_rows).unwrap();
+        let mut a = b.transpose().matmul(&b).unwrap();
+        a.add_ridge(n as f64);
+        let rhs: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = a.solve_spd(&rhs).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (r, br) in rhs.iter().zip(&back) {
+            prop_assert!((r - br).abs() < 1e-8);
+        }
+        // LU agrees with Cholesky.
+        let x_lu = a.solve(&rhs).unwrap();
+        for (u, v) in x.iter().zip(&x_lu) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    /// OLS on exactly-linear data recovers the coefficients regardless of
+    /// the design points.
+    #[test]
+    fn ols_exact_recovery(
+        xs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 10..40),
+        b0 in -10.0f64..10.0, b1 in -10.0f64..10.0, b2 in -10.0f64..10.0,
+    ) {
+        // Ensure the design is not collinear by perturbing the second
+        // column deterministically.
+        let rows: Vec<Vec<f64>> = xs.iter().enumerate()
+            .map(|(i, &(a, b))| vec![a, b + (i as f64) * 0.01])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| b0 + b1 * r[0] + b2 * r[1]).collect();
+        if let Ok(fit) = OlsFit::fit(&["a", "b"], &rows, &y, OlsOptions::default()) {
+            prop_assert!((fit.coefficients[0] - b0).abs() < 1e-5);
+            prop_assert!((fit.coefficients[1] - b1).abs() < 1e-5);
+            prop_assert!((fit.coefficients[2] - b2).abs() < 1e-5);
+        }
+    }
+
+    /// Distribution functions are monotone CDFs in [0, 1], and the normal
+    /// quantile inverts the normal CDF.
+    #[test]
+    fn distribution_functions_are_cdfs(z in -8.0f64..8.0, df in 1.0f64..200.0) {
+        let p = normal_cdf(z);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(normal_cdf(z + 0.1) >= p);
+        // Inversion accuracy is limited by the float spacing of p near the
+        // tails (δz ≈ δp/φ(z)); restrict the check to where p carries
+        // enough precision.
+        if z.abs() < 6.0 && p > 1e-10 && p < 1.0 - 1e-10 {
+            prop_assert!((normal_quantile(p) - z).abs() < 1e-6);
+        }
+        let tp = t_cdf(z, df);
+        prop_assert!((0.0..=1.0).contains(&tp));
+        prop_assert!(t_cdf(z + 0.1, df) >= tp - 1e-12);
+        let x = z.abs() * 3.0;
+        let cp = chi2_cdf(x, df);
+        prop_assert!((0.0..=1.0).contains(&cp));
+        prop_assert!(chi2_cdf(x + 0.1, df) >= cp - 1e-12);
+    }
+
+    /// Markov transition rows always sum to 1 over observed states, and
+    /// counts equal (sequence length − 2) per sequence.
+    #[test]
+    fn markov_conservation(seqs in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 3..20), 1..10)) {
+        let mut chain = MarkovChain2::new();
+        let mut expected = 0u64;
+        for seq in &seqs {
+            chain.add_sequence(seq);
+            expected += (seq.len() - 2) as u64;
+        }
+        let total: u64 = ytaudit_stats::markov::State2::ALL.iter().map(|&s| chain.total(s)).sum();
+        prop_assert_eq!(total, expected);
+        for state in ytaudit_stats::markov::State2::ALL {
+            if chain.total(state) > 0 {
+                let p = chain.p_present(state).unwrap();
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

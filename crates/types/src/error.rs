@@ -1,0 +1,225 @@
+//! The workspace-wide error type.
+//!
+//! The Data API reports failures as an HTTP status plus a JSON error
+//! envelope whose `reason` field drives client behaviour (`quotaExceeded`
+//! must back off until midnight Pacific; `invalidSearchFilter` means the
+//! request itself is wrong). [`ApiErrorReason`] enumerates the reasons the
+//! simulated API emits, and [`Error`] is the umbrella error every crate in
+//! the workspace returns.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Machine-readable error reasons, mirroring the real Data API's
+/// `error.errors[].reason` values that matter for the audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApiErrorReason {
+    /// The daily quota is exhausted (HTTP 403). The paper's quota-economy
+    /// analysis hinges on this: one search costs 100 units of a default
+    /// 10 000-unit daily budget.
+    #[serde(rename = "quotaExceeded")]
+    QuotaExceeded,
+    /// A request parameter failed validation (HTTP 400).
+    #[serde(rename = "invalidParameter")]
+    InvalidParameter,
+    /// A filter combination the endpoint rejects (HTTP 400).
+    #[serde(rename = "invalidSearchFilter")]
+    InvalidSearchFilter,
+    /// The page token is malformed or expired (HTTP 400).
+    #[serde(rename = "invalidPageToken")]
+    InvalidPageToken,
+    /// The API key is missing or unknown (HTTP 403).
+    #[serde(rename = "forbidden")]
+    Forbidden,
+    /// The referenced resource does not exist (HTTP 404). Note that the
+    /// list endpoints usually *omit* unknown IDs instead of failing.
+    #[serde(rename = "notFound")]
+    NotFound,
+    /// Catch-all server-side failure (HTTP 500); the client retries these.
+    #[serde(rename = "backendError")]
+    BackendError,
+}
+
+impl ApiErrorReason {
+    /// The HTTP status the real API pairs with this reason.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ApiErrorReason::QuotaExceeded | ApiErrorReason::Forbidden => 403,
+            ApiErrorReason::InvalidParameter
+            | ApiErrorReason::InvalidSearchFilter
+            | ApiErrorReason::InvalidPageToken => 400,
+            ApiErrorReason::NotFound => 404,
+            ApiErrorReason::BackendError => 500,
+        }
+    }
+
+    /// The wire name (`camelCase`) of this reason.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ApiErrorReason::QuotaExceeded => "quotaExceeded",
+            ApiErrorReason::InvalidParameter => "invalidParameter",
+            ApiErrorReason::InvalidSearchFilter => "invalidSearchFilter",
+            ApiErrorReason::InvalidPageToken => "invalidPageToken",
+            ApiErrorReason::Forbidden => "forbidden",
+            ApiErrorReason::NotFound => "notFound",
+            ApiErrorReason::BackendError => "backendError",
+        }
+    }
+
+    /// Parses a wire name back into a reason.
+    pub fn from_str_opt(name: &str) -> Option<ApiErrorReason> {
+        Some(match name {
+            "quotaExceeded" => ApiErrorReason::QuotaExceeded,
+            "invalidParameter" => ApiErrorReason::InvalidParameter,
+            "invalidSearchFilter" => ApiErrorReason::InvalidSearchFilter,
+            "invalidPageToken" => ApiErrorReason::InvalidPageToken,
+            "forbidden" => ApiErrorReason::Forbidden,
+            "notFound" => ApiErrorReason::NotFound,
+            "backendError" => ApiErrorReason::BackendError,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client should retry a request that failed for this reason.
+    /// Only transient backend failures are retryable; quota exhaustion and
+    /// validation errors are not.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ApiErrorReason::BackendError)
+    }
+}
+
+impl fmt::Display for ApiErrorReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The umbrella error for the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A Data API error envelope: reason plus human-readable message.
+    Api {
+        /// Machine-readable reason.
+        reason: ApiErrorReason,
+        /// Human-readable message as it would appear on the wire.
+        message: String,
+    },
+    /// Malformed civil time, RFC 3339 text, or ISO-8601 duration.
+    InvalidTime(String),
+    /// Malformed URL, query string, or HTTP message.
+    Protocol(String),
+    /// An I/O failure (socket closed, timeout, …), carried as text so the
+    /// error stays `Clone`/`Eq` for test assertions.
+    Io(String),
+    /// A JSON body that failed to parse or had the wrong shape.
+    Decode(String),
+    /// Numerical routine failure (singular matrix, non-convergence, …).
+    Numeric(String),
+    /// Misuse of a library API (e.g. mismatched vector lengths).
+    InvalidInput(String),
+}
+
+impl Error {
+    /// Builds an API error with the given reason and message.
+    pub fn api(reason: ApiErrorReason, message: impl Into<String>) -> Error {
+        Error::Api {
+            reason,
+            message: message.into(),
+        }
+    }
+
+    /// The API reason if this is an API error.
+    pub fn api_reason(&self) -> Option<ApiErrorReason> {
+        match self {
+            Error::Api { reason, .. } => Some(*reason),
+            _ => None,
+        }
+    }
+
+    /// Whether a client may retry the failed operation.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            Error::Api { reason, .. } => reason.is_retryable(),
+            Error::Io(_) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Api { reason, message } => write!(f, "API error ({reason}): {message}"),
+            Error::InvalidTime(msg) => write!(f, "invalid time: {msg}"),
+            Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
+            Error::Decode(msg) => write!(f, "decode error: {msg}"),
+            Error::Numeric(msg) => write!(f, "numeric error: {msg}"),
+            Error::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Error {
+        Error::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_round_trip_wire_names() {
+        for reason in [
+            ApiErrorReason::QuotaExceeded,
+            ApiErrorReason::InvalidParameter,
+            ApiErrorReason::InvalidSearchFilter,
+            ApiErrorReason::InvalidPageToken,
+            ApiErrorReason::Forbidden,
+            ApiErrorReason::NotFound,
+            ApiErrorReason::BackendError,
+        ] {
+            assert_eq!(ApiErrorReason::from_str_opt(reason.as_str()), Some(reason));
+        }
+        assert_eq!(ApiErrorReason::from_str_opt("nonsense"), None);
+    }
+
+    #[test]
+    fn statuses_match_real_api() {
+        assert_eq!(ApiErrorReason::QuotaExceeded.http_status(), 403);
+        assert_eq!(ApiErrorReason::InvalidParameter.http_status(), 400);
+        assert_eq!(ApiErrorReason::NotFound.http_status(), 404);
+        assert_eq!(ApiErrorReason::BackendError.http_status(), 500);
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(ApiErrorReason::BackendError.is_retryable());
+        assert!(!ApiErrorReason::QuotaExceeded.is_retryable());
+        assert!(Error::Io("reset".into()).is_retryable());
+        assert!(!Error::Decode("bad json".into()).is_retryable());
+        assert!(Error::api(ApiErrorReason::BackendError, "oops").is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = Error::api(ApiErrorReason::QuotaExceeded, "daily limit reached");
+        let text = err.to_string();
+        assert!(text.contains("quotaExceeded"));
+        assert!(text.contains("daily limit reached"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::TimedOut, "read timeout");
+        let err: Error = io.into();
+        assert!(matches!(err, Error::Io(ref msg) if msg.contains("read timeout")));
+    }
+}

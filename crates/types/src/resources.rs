@@ -1,0 +1,220 @@
+//! Platform-side records: what the simulated YouTube "knows" about each
+//! video, channel, and comment.
+//!
+//! These are the *ground-truth* rows the corpus generator produces. The
+//! simulated Data API (`ytaudit-api`) projects them into wire resources
+//! (`snippet` / `statistics` / `contentDetails` parts), applies the search
+//! sampler, and hides anything deleted at the request's simulated time.
+
+use crate::id::{ChannelId, CommentId, VideoId};
+use crate::time::{IsoDuration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Video definition as the Data API reports it (`contentDetails.definition`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Definition {
+    /// High definition (`hd`). The reference category in the paper's
+    /// regressions.
+    #[serde(rename = "hd")]
+    Hd,
+    /// Standard definition (`sd`).
+    #[serde(rename = "sd")]
+    Sd,
+}
+
+impl Definition {
+    /// The lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Definition::Hd => "hd",
+            Definition::Sd => "sd",
+        }
+    }
+}
+
+/// Engagement counters for a video (`statistics` part).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VideoStats {
+    /// Lifetime view count.
+    pub views: u64,
+    /// Lifetime like count. The paper finds likes are the strongest
+    /// popularity predictor of return frequency (r ≈ 0.92 with views).
+    pub likes: u64,
+    /// Lifetime comment count.
+    pub comments: u64,
+}
+
+/// A ground-truth video row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Video {
+    /// The video's identifier.
+    pub id: VideoId,
+    /// The uploading channel.
+    pub channel_id: ChannelId,
+    /// Video title (synthetic but query-relevant).
+    pub title: String,
+    /// Video description.
+    pub description: String,
+    /// Lowercased searchable terms. A keyword query matches a video iff
+    /// every query token appears in this set (AND semantics) — this is the
+    /// hook for the paper's §6.1 "split your topics, not your time frames"
+    /// strategy experiment.
+    pub terms: Vec<String>,
+    /// Upload instant (UTC). Immutable, which is why the paper orders
+    /// search results by date when auditing consistency.
+    pub published_at: Timestamp,
+    /// Video length.
+    pub duration: IsoDuration,
+    /// `hd` or `sd`.
+    pub definition: Definition,
+    /// Engagement counters.
+    pub stats: VideoStats,
+    /// If set, the instant the video was removed from the platform.
+    /// Queries at a simulated time ≥ this instant no longer see the video
+    /// through any endpoint.
+    pub deleted_at: Option<Timestamp>,
+}
+
+impl Video {
+    /// Whether the video is visible at simulated instant `now`.
+    pub fn visible_at(&self, now: Timestamp) -> bool {
+        match self.deleted_at {
+            Some(deleted) => now < deleted,
+            None => true,
+        }
+    }
+
+    /// Whether the video matches a tokenized keyword query (AND semantics
+    /// over [`Video::terms`]).
+    pub fn matches_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> bool {
+        tokens
+            .iter()
+            .all(|t| self.terms.iter().any(|term| term == t.as_ref()))
+    }
+}
+
+/// Channel-level counters (`statistics` part of `Channels: list`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Total views across the channel's catalogue.
+    pub views: u64,
+    /// Subscriber count (r ≈ 0.97 with channel views on the real platform;
+    /// the corpus generator reproduces that collinearity).
+    pub subscribers: u64,
+    /// Number of public uploads.
+    pub video_count: u64,
+}
+
+/// A ground-truth channel row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// The channel's identifier (`UC…`).
+    pub id: ChannelId,
+    /// Channel title.
+    pub title: String,
+    /// Channel creation instant — "channel age" in the paper's regressions.
+    pub published_at: Timestamp,
+    /// Channel counters.
+    pub stats: ChannelStats,
+}
+
+/// A ground-truth comment row; both top-level comments and replies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comment {
+    /// The comment's identifier; replies are `parent.child`.
+    pub id: CommentId,
+    /// The video the comment was posted on.
+    pub video_id: VideoId,
+    /// The commenting channel.
+    pub author_channel_id: ChannelId,
+    /// Comment text (synthetic).
+    pub text: String,
+    /// Posting instant.
+    pub published_at: Timestamp,
+    /// Like count on the comment.
+    pub like_count: u64,
+}
+
+impl Comment {
+    /// Whether this is a reply (nested comment).
+    pub fn is_reply(&self) -> bool {
+        self.id.is_reply()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_video() -> Video {
+        Video {
+            id: VideoId::mint(1, 0),
+            channel_id: ChannelId::mint(1, 0),
+            title: "Brexit referendum results explained".into(),
+            description: "What the vote means".into(),
+            terms: vec!["brexit".into(), "referendum".into(), "results".into()],
+            published_at: Timestamp::from_ymd(2016, 6, 24).unwrap(),
+            duration: IsoDuration::from_secs(424),
+            definition: Definition::Hd,
+            stats: VideoStats {
+                views: 120_000,
+                likes: 4_000,
+                comments: 900,
+            },
+            deleted_at: None,
+        }
+    }
+
+    #[test]
+    fn visibility_respects_deletion() {
+        let mut video = sample_video();
+        let t0 = Timestamp::from_ymd(2025, 2, 9).unwrap();
+        assert!(video.visible_at(t0));
+        video.deleted_at = Some(t0);
+        assert!(!video.visible_at(t0));
+        assert!(video.visible_at(t0 + (-1)));
+        assert!(!video.visible_at(t0 + 1));
+    }
+
+    #[test]
+    fn token_matching_is_conjunctive() {
+        let video = sample_video();
+        assert!(video.matches_tokens(&["brexit"]));
+        assert!(video.matches_tokens(&["brexit", "referendum"]));
+        assert!(!video.matches_tokens(&["brexit", "farage"]));
+        assert!(video.matches_tokens::<&str>(&[]));
+    }
+
+    #[test]
+    fn definition_wire_names() {
+        assert_eq!(Definition::Hd.as_str(), "hd");
+        assert_eq!(Definition::Sd.as_str(), "sd");
+        assert_eq!(serde_json::to_string(&Definition::Sd).unwrap(), "\"sd\"");
+    }
+
+    #[test]
+    fn comment_reply_detection() {
+        let top = Comment {
+            id: CommentId::mint_top_level(3, 0),
+            video_id: VideoId::mint(1, 0),
+            author_channel_id: ChannelId::mint(1, 5),
+            text: "first".into(),
+            published_at: Timestamp::from_ymd(2016, 6, 25).unwrap(),
+            like_count: 2,
+        };
+        assert!(!top.is_reply());
+        let reply = Comment {
+            id: top.id.mint_reply(0),
+            ..top.clone()
+        };
+        assert!(reply.is_reply());
+    }
+
+    #[test]
+    fn video_round_trips_through_json() {
+        let video = sample_video();
+        let json = serde_json::to_string(&video).unwrap();
+        let back: Video = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, video);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the civil-time and identifier primitives.
+
+use proptest::prelude::*;
+use ytaudit_types::time::{days_in_month, CivilDate, HOUR};
+use ytaudit_types::{ChannelId, CommentId, IsoDuration, Timestamp, VideoId};
+
+proptest! {
+    /// Any in-range timestamp formats to RFC 3339 and parses back exactly.
+    #[test]
+    fn rfc3339_round_trip(secs in -4_000_000_000i64..10_000_000_000i64) {
+        let ts = Timestamp(secs);
+        let text = ts.to_rfc3339();
+        prop_assert_eq!(Timestamp::parse_rfc3339(&text).unwrap(), ts);
+    }
+
+    /// Civil date <-> day-count conversion is a bijection.
+    #[test]
+    fn civil_date_round_trip(days in -1_000_000i64..1_000_000i64) {
+        let date = CivilDate::from_days_since_epoch(days);
+        prop_assert_eq!(date.days_since_epoch(), days);
+        // And the components are always in range.
+        prop_assert!((1..=12).contains(&date.month()));
+        prop_assert!(date.day() >= 1 && date.day() <= days_in_month(date.year(), date.month()));
+    }
+
+    /// Consecutive day counts yield consecutive civil dates.
+    #[test]
+    fn civil_dates_are_monotone(days in -1_000_000i64..1_000_000i64) {
+        let a = CivilDate::from_days_since_epoch(days);
+        let b = CivilDate::from_days_since_epoch(days + 1);
+        prop_assert!(b > a);
+    }
+
+    /// ISO-8601 durations round-trip through their canonical rendering.
+    #[test]
+    fn duration_round_trip(secs in 0u64..100_000_000u64) {
+        let d = IsoDuration::from_secs(secs);
+        prop_assert_eq!(IsoDuration::parse(&d.format()).unwrap(), d);
+    }
+
+    /// floor_hour always lands on an hour boundary at or before the input,
+    /// less than one hour away.
+    #[test]
+    fn floor_hour_properties(secs in -10_000_000_000i64..10_000_000_000i64) {
+        let ts = Timestamp(secs);
+        let floored = ts.floor_hour();
+        prop_assert!(floored <= ts);
+        prop_assert!(ts.as_secs() - floored.as_secs() < HOUR);
+        prop_assert_eq!(floored.as_secs().rem_euclid(HOUR), 0);
+    }
+
+    /// hours_since tiles the timeline: every instant falls in exactly one
+    /// hourly bin relative to any origin.
+    #[test]
+    fn hour_bins_tile(origin in -1_000_000i64..1_000_000i64, offset in -1_000_000i64..1_000_000i64) {
+        let origin = Timestamp(origin * 977);
+        let ts = Timestamp(origin.as_secs() + offset);
+        let bin = ts.hours_since(origin);
+        let bin_start = origin.as_secs() + bin * HOUR;
+        prop_assert!(bin_start <= ts.as_secs());
+        prop_assert!(ts.as_secs() < bin_start + HOUR);
+    }
+
+    /// Minted identifiers are deterministic in (seed, index) and extremely
+    /// unlikely to collide across nearby indices.
+    #[test]
+    fn id_minting_deterministic(seed in any::<u64>(), index in 0u64..1_000_000u64) {
+        prop_assert_eq!(VideoId::mint(seed, index), VideoId::mint(seed, index));
+        prop_assert_ne!(VideoId::mint(seed, index), VideoId::mint(seed, index + 1));
+        prop_assert_eq!(ChannelId::mint(seed, index), ChannelId::mint(seed, index));
+    }
+
+    /// Reply IDs always recover their parent.
+    #[test]
+    fn reply_parent_round_trip(seed in any::<u64>(), index in 0u64..10_000u64, reply in 0u64..100u64) {
+        let parent = CommentId::mint_top_level(seed, index);
+        let child = parent.mint_reply(reply);
+        prop_assert_eq!(child.parent().unwrap(), parent);
+    }
+
+    /// Uploads playlists round-trip to their channel.
+    #[test]
+    fn uploads_playlist_round_trip(seed in any::<u64>(), index in 0u64..100_000u64) {
+        let channel = ChannelId::mint(seed, index);
+        prop_assert_eq!(channel.uploads_playlist().uploads_channel().unwrap(), channel);
+    }
+}

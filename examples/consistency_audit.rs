@@ -1,0 +1,84 @@
+//! A reduced end-to-end audit: collect several snapshots for two topics,
+//! then run the paper's consistency, attrition, and pool-size analyses.
+//!
+//! This is the whole §3–§5 pipeline in miniature; the full 16-snapshot
+//! version is `cargo run --release -p ytaudit-bench --bin repro`.
+//!
+//! Run with: `cargo run --release --example consistency_audit`
+
+use ytaudit::core::testutil::test_client;
+use ytaudit::core::{Collector, CollectorConfig};
+use ytaudit::types::Topic;
+
+fn main() {
+    let (client, _service) = test_client(0.4);
+    let config = CollectorConfig::quick(vec![Topic::Blm, Topic::Higgs], 6);
+    println!(
+        "Collecting {} snapshots × {:?} (hourly-binned queries)…\n",
+        config.schedule.len(),
+        config
+            .topics
+            .iter()
+            .map(|t| t.display_name())
+            .collect::<Vec<_>>()
+    );
+    let dataset = Collector::new(&client, config).run().expect("collection succeeds");
+
+    // --- Figure 1: rolling Jaccards ---
+    println!("Rolling Jaccard similarity (the paper's Figure 1):");
+    for tc in ytaudit::core::consistency::figure1(&dataset) {
+        print!("  {:9} J(St,S1):", tc.topic.key());
+        for p in &tc.points {
+            print!(" {:.2}", p.jaccard_first);
+        }
+        println!("   (final {:.3})", tc.final_jaccard_first());
+    }
+
+    // --- Table 1: returned counts ---
+    println!("\nReturned per snapshot (the paper's Table 1):");
+    for row in ytaudit::core::consistency::table1(&dataset) {
+        println!(
+            "  {:9} min {:4} max {:4} mean {:7.1} std {:5.1}",
+            row.topic.key(),
+            row.min,
+            row.max,
+            row.mean,
+            row.std
+        );
+    }
+
+    // --- Figure 3: attrition Markov chain ---
+    if let Some(fig3) = ytaudit::core::attrition::figure3(&dataset) {
+        println!("\nSecond-order Markov transitions (the paper's Figure 3):");
+        for (i, label) in ["PP", "PA", "AP", "AA"].iter().enumerate() {
+            println!(
+                "  {label} → P {:.3} | A {:.3}   (n = {})",
+                fig3.transitions[i][0], fig3.transitions[i][1], fig3.counts[i]
+            );
+        }
+        println!(
+            "  persistence: P(P|PP) = {:.3}, P(A|AA) = {:.3} — the 'rolling window'.",
+            fig3.p_stay_present(),
+            fig3.p_stay_absent()
+        );
+    }
+
+    // --- Table 4: pool sizes ---
+    println!("\ntotalResults pool estimates (the paper's Table 4):");
+    for row in ytaudit::core::poolsize::table4(&dataset) {
+        println!(
+            "  {:9} min {:>8} max {:>8} mean {:>8} mode {:>8}",
+            row.topic.key(),
+            row.min,
+            row.max,
+            row.mean,
+            row.mode
+        );
+    }
+
+    println!(
+        "\nCollection cost: {} quota units (≈ {:.1} default-key days).",
+        dataset.quota_units_spent,
+        dataset.quota_units_spent as f64 / ytaudit::api::DEFAULT_DAILY_QUOTA as f64
+    );
+}

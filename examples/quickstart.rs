@@ -1,0 +1,70 @@
+//! Quickstart: stand up the simulated platform, run the paper's exact
+//! query for one topic at two collection dates, and watch the search
+//! endpoint return different historical answers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::collections::HashSet;
+use ytaudit::client::SearchQuery;
+use ytaudit::core::testutil::test_client;
+use ytaudit::types::{Timestamp, Topic, VideoId};
+
+fn main() {
+    // An in-process platform + simulated Data API + typed client, at 30%
+    // corpus scale (fast). `test_client(1.0)` is full audit scale.
+    let (client, _service) = test_client(0.3);
+
+    let topic = Topic::Brexit;
+    let query = SearchQuery::for_topic(topic);
+    println!(
+        "Topic: {}  (q = \"{}\", window {} … {})\n",
+        topic.display_name(),
+        topic.spec().query,
+        topic.window_start(),
+        topic.window_end()
+    );
+
+    // Collection 1: 2025-02-09 (the paper's first snapshot).
+    client.set_sim_time(Some(Timestamp::from_ymd(2025, 2, 9).unwrap()));
+    let first = client.search_all(&query).expect("search succeeds");
+    println!(
+        "2025-02-09: {} videos returned, totalResults ≈ {}",
+        first.items.len(),
+        first.total_results
+    );
+
+    // Collection 2: 2025-04-30 (the last snapshot) — same query, 12 weeks
+    // later, still strictly historical.
+    client.set_sim_time(Some(Timestamp::from_ymd(2025, 4, 30).unwrap()));
+    let last = client.search_all(&query).expect("search succeeds");
+    println!(
+        "2025-04-30: {} videos returned, totalResults ≈ {}",
+        last.items.len(),
+        last.total_results
+    );
+
+    let a: HashSet<VideoId> = first.video_ids().into_iter().collect();
+    let b: HashSet<VideoId> = last.video_ids().into_iter().collect();
+    let intersection = a.intersection(&b).count();
+    let union = a.len() + b.len() - intersection;
+    println!(
+        "\nJaccard(first, last) = {:.3}  ({} shared of {} total)",
+        intersection as f64 / union as f64,
+        intersection,
+        union
+    );
+    println!(
+        "videos gained since Feb 9: {} — a historical query *gained*\n\
+         videos, so deletions can't explain the difference. That is the\n\
+         paper's headline finding.",
+        b.difference(&a).count()
+    );
+
+    // Quota bookkeeping: searches cost 100 units each.
+    println!(
+        "\nQuota spent: {} units across {} calls ({} searches × 100 + ID calls × 1).",
+        client.budget().units_spent(),
+        client.budget().calls_made(),
+        client.budget().units_for(ytaudit::api::Endpoint::Search) / 100,
+    );
+}

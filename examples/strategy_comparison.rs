@@ -1,0 +1,60 @@
+//! The §6.1 strategy experiment as a runnable example: progressively
+//! more restrictive queries shrink the reported pool and improve
+//! replicability, and splitting a topic into subtopic queries beats one
+//! broad query.
+//!
+//! Run with: `cargo run --release --example strategy_comparison`
+
+use ytaudit::core::strategy::{restriction_ladder, split_topics, StrategyConfig};
+use ytaudit::core::testutil::test_client;
+use ytaudit::types::Topic;
+
+fn main() {
+    let (client, _service) = test_client(0.8);
+    let topic = Topic::WorldCup;
+
+    println!(
+        "Restriction ladder for {} (base query \"{}\"):\n",
+        topic.display_name(),
+        topic.spec().query
+    );
+    let config = StrategyConfig {
+        levels: 3,
+        hourly: false, // single capped queries: cheap and illustrative
+        ..StrategyConfig::new(topic)
+    };
+    let ladder = restriction_ladder(&client, &config).expect("ladder runs");
+    println!(
+        "{:<6} {:<55} {:>9} {:>9} {:>14}",
+        "terms", "query", "pool", "returned", "J(first,last)"
+    );
+    for point in &ladder {
+        println!(
+            "{:<6} {:<55} {:>9} {:>9} {:>14.3}",
+            point.level,
+            format!("\"{}\"", point.query),
+            point.pool_mean,
+            point.returned_first,
+            point.jaccard
+        );
+    }
+    println!(
+        "\n→ the query metadata's totalResults is 'a crucial way of assessing\n\
+          how optimal a query is (with lower being better/more stable)' — §6.1.\n"
+    );
+
+    println!("Broad query vs union of subtopic queries:\n");
+    let comparison = split_topics(&client, &config).expect("comparison runs");
+    println!(
+        "  broad : J(first,last) = {:.3}  ({} videos, {} quota units)",
+        comparison.broad_jaccard, comparison.broad_returned, comparison.broad_quota
+    );
+    println!(
+        "  split : J(first,last) = {:.3}  ({} videos, {} quota units)",
+        comparison.split_jaccard, comparison.split_returned, comparison.split_quota
+    );
+    println!(
+        "\n→ 'researchers may experiment with breaking up their topics as\n\
+          opposed to their time frames' — §6.1, validated."
+    );
+}

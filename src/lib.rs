@@ -1,0 +1,52 @@
+//! # ytaudit
+//!
+//! A full reproduction of *"I'm Sorry Dave, I'm Afraid I Can't Return
+//! That: On YouTube Search API Use in Research"* (IMC 2025) as a Rust
+//! workspace: a synthetic YouTube-like platform, a simulated Data API v3,
+//! an HTTP stack, a typed client, a statistics library, and the paper's
+//! complete audit methodology.
+//!
+//! This facade crate re-exports the workspace members under short module
+//! names and hosts the runnable examples and cross-crate integration
+//! tests. Start with the quickstart below, the `examples/` directory, or
+//! the per-crate documentation:
+//!
+//! * [`types`] — domain model (ids, civil time, resources, topics);
+//! * [`net`] — HTTP/1.1 over `std::net` (server, client, resilience);
+//! * [`platform`] — the synthetic platform and its hidden search sampler;
+//! * [`api`] — the simulated Data API v3 (endpoints, quota, wire schemas);
+//! * [`client`] — the typed researcher-side client;
+//! * [`stats`] — regressions, correlations, Markov chains, Jaccard;
+//! * [`core`] — the audit harness and every table/figure analysis.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ytaudit::core::testutil::test_client;
+//! use ytaudit::client::SearchQuery;
+//! use ytaudit::types::{Timestamp, Topic};
+//!
+//! // An in-process platform + API + client, at reduced corpus scale.
+//! let (client, _service) = test_client(0.1);
+//!
+//! // Run the paper's Brexit query at two collection dates…
+//! let query = SearchQuery::for_topic(Topic::Brexit);
+//! client.set_sim_time(Some(Timestamp::from_ymd(2025, 2, 9).unwrap()));
+//! let first = client.search_all(&query).unwrap();
+//! client.set_sim_time(Some(Timestamp::from_ymd(2025, 4, 30).unwrap()));
+//! let last = client.search_all(&query).unwrap();
+//!
+//! // …and observe the paper's core finding: identical historical
+//! // queries return different video sets at different request dates.
+//! assert_ne!(first.video_ids(), last.video_ids());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ytaudit_api as api;
+pub use ytaudit_client as client;
+pub use ytaudit_core as core;
+pub use ytaudit_net as net;
+pub use ytaudit_platform as platform;
+pub use ytaudit_stats as stats;
+pub use ytaudit_types as types;
