@@ -1,0 +1,142 @@
+//! Criterion benchmarks for the snapshot store: record-log append
+//! throughput, replay (reopen) cost on a populated store, slice loads,
+//! and the content-addressed dedup ratio on overlapping snapshots.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::path::Path;
+use ytaudit_core::dataset::{HourlyResult, TopicSnapshot};
+use ytaudit_core::TopicCommit;
+use ytaudit_store::log::RecordLog;
+use ytaudit_store::{CollectionMeta, Store, TempDir};
+use ytaudit_types::{Timestamp, Topic, VideoId};
+
+const TOPICS: [Topic; 2] = [Topic::Higgs, Topic::Blm];
+const SNAPSHOTS: usize = 8;
+const HOURS: u32 = 24;
+const IDS_PER_HOUR: u32 = 20;
+/// Adjacent snapshots share 70% of their IDs — the overlap the paper
+/// observes between consecutive collection dates, and the case the
+/// content-addressed blob layer exists for.
+const ID_STRIDE: u32 = (HOURS * IDS_PER_HOUR) * 3 / 10;
+
+fn pair_data(topic_ix: u32, snapshot: usize) -> TopicSnapshot {
+    let base = topic_ix * 1_000_000 + snapshot as u32 * ID_STRIDE;
+    TopicSnapshot {
+        hours: (0..HOURS)
+            .map(|h| HourlyResult {
+                hour: h,
+                video_ids: (0..IDS_PER_HOUR)
+                    .map(|v| VideoId::new(format!("vid-{:08}", base + h * IDS_PER_HOUR + v)))
+                    .collect(),
+                total_results: 40_000,
+            })
+            .collect(),
+        meta_returned: Vec::new(),
+    }
+}
+
+/// Builds a store shaped like a real multi-snapshot collection.
+fn build_store(path: &Path) -> Store {
+    let meta = CollectionMeta {
+        topics: TOPICS.to_vec(),
+        dates: (0..SNAPSHOTS as i64)
+            .map(|i| Timestamp::from_ymd(2025, 2, 9).unwrap().add_days(5 * i))
+            .collect(),
+        hourly_bins: true,
+        fetch_metadata: false,
+        fetch_channels: false,
+        fetch_comments: false,
+    };
+    let mut store = Store::create(path).unwrap();
+    store.begin_collection(meta.clone()).unwrap();
+    for (snapshot, &date) in meta.dates.iter().enumerate() {
+        for (topic_ix, &topic) in TOPICS.iter().enumerate() {
+            store
+                .commit_snapshot(&TopicCommit {
+                    topic,
+                    snapshot,
+                    date,
+                    data: &pair_data(topic_ix as u32, snapshot),
+                    comments: None,
+                    videos: &[],
+                    quota_delta: 680,
+                })
+                .unwrap();
+        }
+    }
+    store.finish_collection(&[], 0).unwrap();
+    store
+}
+
+fn bench_append(c: &mut Criterion) {
+    let dir = TempDir::new("bench-append");
+    let payload = vec![0xA5u8; 256];
+    let mut group = c.benchmark_group("store");
+    group.sample_size(20);
+    group.bench_function("log_append_1k_x_256b_then_sync", |b| {
+        b.iter_batched(
+            || {
+                let path = dir.file("append.log");
+                let _ = std::fs::remove_file(&path);
+                let log = RecordLog::create(&path).unwrap();
+                // Unlink while the handle is open so repeated setups
+                // never accumulate on disk.
+                let _ = std::fs::remove_file(&path);
+                log
+            },
+            |mut log| {
+                for _ in 0..1_000 {
+                    log.append(black_box(&payload)).unwrap();
+                }
+                log.sync().unwrap();
+                black_box(log.len())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_replay_and_load(c: &mut Criterion) {
+    let dir = TempDir::new("bench-replay");
+    let path = dir.file("audit.yts");
+    let mut store = build_store(&path);
+
+    let stats = store.stats();
+    eprintln!(
+        "store: {} blobs / {} refs, dedup ratio {:.2}x, {} bytes on disk",
+        stats.blobs, stats.refs_total, stats.dedup_ratio(), stats.log_len
+    );
+
+    let mut group = c.benchmark_group("store");
+    group.bench_function("replay_open_16_pairs", |b| {
+        b.iter(|| {
+            let reopened = Store::open(black_box(&path)).unwrap();
+            black_box(reopened.committed_pairs())
+        })
+    });
+    group.bench_function("load_one_hour_slice", |b| {
+        b.iter(|| {
+            let hour = store
+                .load_hour(black_box(Topic::Blm), 3, 12)
+                .unwrap()
+                .expect("indexed hour");
+            black_box(hour.video_ids.len())
+        })
+    });
+    group.bench_function("load_one_topic_snapshot", |b| {
+        b.iter(|| {
+            let snap = store.load_topic_snapshot(black_box(Topic::Higgs), 5).unwrap();
+            black_box(snap.hours.len())
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("load_full_dataset", |b| {
+        b.iter(|| black_box(store.load_dataset().unwrap().snapshots.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_replay_and_load);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 use crate::args::{ArgError, Args};
 use ytaudit_bench::tables;
 use ytaudit_core::AuditDataset;
+use ytaudit_store::{DatasetSelection, Store};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -10,29 +11,65 @@ ytaudit analyze — run the paper's analyses on a collected dataset
 
 USAGE:
     ytaudit analyze <dataset.json> [--experiment <id>]
+    ytaudit analyze --store <file.yts> [--experiment <id>]
 
 OPTIONS:
     --experiment <id>   one of: all (default), table1, table2, table3,
                         table4, table5, table6, table7, fig1, fig2, fig3, fig4
+    --store <file.yts>  analyze a snapshot store instead of a JSON dataset;
+                        only the slices the experiment needs are decoded
 
-The dataset comes from `ytaudit collect --out dataset.json`.";
+The JSON dataset comes from `ytaudit collect --out dataset.json`; the
+store comes from `ytaudit collect --store audit.yts`.";
+
+/// The store slices an experiment actually consumes: search-only
+/// analyses skip decoding every metadata and comment blob.
+fn selection_for(which: &str) -> DatasetSelection {
+    match which {
+        "table1" | "fig1" | "table2" | "fig2" | "fig3" | "table4" | "fig4" => {
+            DatasetSelection::search_only()
+        }
+        "table5" => DatasetSelection {
+            include_video_meta: false,
+            include_channel_meta: false,
+            include_comments: true,
+        },
+        _ => DatasetSelection::full(),
+    }
+}
 
 /// Runs the command.
 pub fn run(args: &Args) -> Result<(), ArgError> {
-    let path = args
-        .positional(1)
-        .ok_or_else(|| ArgError("analyze needs a dataset path; see --help".into()))?;
-    if args.positionals().len() > 2 {
-        return Err(ArgError(format!(
-            "unexpected extra arguments: {:?}",
-            &args.positionals()[2..]
-        )));
-    }
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
-    let dataset = AuditDataset::from_json(&text)
-        .map_err(|e| ArgError(format!("{path} is not a dataset: {e}")))?;
     let which = args.get("experiment").unwrap_or("all");
+    let dataset = match args.get("store") {
+        Some(spath) => {
+            if args.positionals().len() > 1 {
+                return Err(ArgError(
+                    "pass either a JSON dataset path or --store, not both".into(),
+                ));
+            }
+            let mut store = Store::open(std::path::Path::new(spath))
+                .map_err(|e| ArgError(format!("cannot open store {spath}: {e}")))?;
+            store
+                .load_dataset_filtered(selection_for(which))
+                .map_err(|e| ArgError(format!("cannot load dataset from {spath}: {e}")))?
+        }
+        None => {
+            let path = args
+                .positional(1)
+                .ok_or_else(|| ArgError("analyze needs a dataset path; see --help".into()))?;
+            if args.positionals().len() > 2 {
+                return Err(ArgError(format!(
+                    "unexpected extra arguments: {:?}",
+                    &args.positionals()[2..]
+                )));
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+            AuditDataset::from_json(&text)
+                .map_err(|e| ArgError(format!("{path} is not a dataset: {e}")))?
+        }
+    };
     let all = which == "all";
     let mut matched = all;
 

@@ -1,12 +1,16 @@
-//! `ytaudit collect` — run an audit collection and write the dataset.
+//! `ytaudit collect` — run an audit collection, writing the dataset as
+//! JSON or committing it pair-by-pair to a crash-safe snapshot store.
 
 use crate::args::{ArgError, Args};
-use crate::commands::parse_topics;
+use crate::commands::{parse_topics, write_atomic};
+use std::path::Path;
 use std::sync::Arc;
 use ytaudit_client::{HttpTransport, InProcessTransport, YouTubeClient};
-use ytaudit_core::{Collector, CollectorConfig, Schedule};
+use ytaudit_core::dataset::ChannelInfo;
+use ytaudit_core::{Collector, CollectorConfig, CollectorSink, MemorySink, Schedule, TopicCommit};
 use ytaudit_platform::{Corpus, CorpusConfig, Platform, SimClock};
-use ytaudit_types::Timestamp;
+use ytaudit_store::Store;
+use ytaudit_types::{ChannelId, Timestamp, Topic};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -25,16 +29,127 @@ OPTIONS:
     --base-url <URL>         collect against a served API instead of
                              an in-process platform
     --key <API KEY>          API key to use                  (default cli-key)
-    --out <file.json>        where to write the dataset      (default dataset.json)
+    --out <file.json>        where to write the dataset      (default dataset.json;
+                             with --store, only written when given explicitly)
+    --store <file.yts>       commit to a crash-safe snapshot store instead
+                             of holding everything in memory
+    --resume                 continue an interrupted --store collection;
+                             committed (topic, snapshot) pairs are skipped
+                             without re-issuing any API calls
 
 The in-process mode registers the key with unbounded quota; against a
 served API you must have registered a researcher key (see `ytaudit serve`).";
 
+/// A [`CollectorSink`] wrapper that prints one progress line per
+/// committed `(topic, snapshot)` pair: position in the plan, the pair's
+/// quota cost, and wall-clock elapsed.
+struct Progress<S> {
+    inner: S,
+    started: std::time::Instant,
+    schedule_len: usize,
+    total_pairs: usize,
+    done: usize,
+    session_units: u64,
+}
+
+impl<S: CollectorSink> Progress<S> {
+    fn new(inner: S) -> Progress<S> {
+        Progress {
+            inner,
+            started: std::time::Instant::now(),
+            schedule_len: 0,
+            total_pairs: 0,
+            done: 0,
+            session_units: 0,
+        }
+    }
+
+    fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: CollectorSink> CollectorSink for Progress<S> {
+    fn begin(&mut self, config: &CollectorConfig) -> ytaudit_types::Result<()> {
+        self.inner.begin(config)?;
+        self.schedule_len = config.schedule.len();
+        self.total_pairs = config.topics.len() * self.schedule_len;
+        self.done = (0..self.schedule_len)
+            .map(|idx| {
+                config
+                    .topics
+                    .iter()
+                    .filter(|&&t| self.inner.is_committed(t, idx))
+                    .count()
+            })
+            .sum();
+        if self.done > 0 {
+            eprintln!(
+                "[collect] resuming: {}/{} pairs already committed, skipping their API calls",
+                self.done, self.total_pairs
+            );
+        }
+        Ok(())
+    }
+
+    fn is_committed(&self, topic: Topic, snapshot: usize) -> bool {
+        self.inner.is_committed(topic, snapshot)
+    }
+
+    fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    fn known_channel_ids(&self) -> ytaudit_types::Result<Vec<ChannelId>> {
+        self.inner.known_channel_ids()
+    }
+
+    fn commit_topic_snapshot(&mut self, commit: TopicCommit<'_>) -> ytaudit_types::Result<()> {
+        let (topic, snapshot, delta) = (commit.topic, commit.snapshot, commit.quota_delta);
+        self.inner.commit_topic_snapshot(commit)?;
+        self.done += 1;
+        self.session_units += delta;
+        eprintln!(
+            "[collect] {:10} snapshot {:>2}/{} pair {:>3}/{}  +{} units ({} this run)  {:.1}s elapsed",
+            topic.key(),
+            snapshot + 1,
+            self.schedule_len,
+            self.done,
+            self.total_pairs,
+            delta,
+            self.session_units,
+            self.started.elapsed().as_secs_f64()
+        );
+        Ok(())
+    }
+
+    fn finish(
+        &mut self,
+        channels: &[ChannelInfo],
+        quota_final_delta: u64,
+    ) -> ytaudit_types::Result<()> {
+        self.inner.finish(channels, quota_final_delta)?;
+        self.session_units += quota_final_delta;
+        eprintln!(
+            "[collect] done: {} channels, +{} units ({} this run), {:.1}s elapsed",
+            channels.len(),
+            quota_final_delta,
+            self.session_units,
+            self.started.elapsed().as_secs_f64()
+        );
+        Ok(())
+    }
+}
+
 /// Runs the command.
 pub fn run(args: &Args) -> Result<(), ArgError> {
     let topics = parse_topics(args.get("topics"))?;
-    let out = args.get("out").unwrap_or("dataset.json").to_string();
     let key = args.get("key").unwrap_or("cli-key").to_string();
+    let store_path = args.get("store").map(str::to_string);
+    let resume = args.flag("resume");
+    if resume && store_path.is_none() {
+        return Err(ArgError("--resume requires --store".into()));
+    }
 
     let schedule = if args.flag("paper") {
         Schedule::paper()
@@ -84,16 +199,74 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         config.topics.len(),
         config.schedule.len()
     );
-    let started = std::time::Instant::now();
-    let dataset = Collector::new(&client, config)
-        .run()
-        .map_err(|e| ArgError(format!("collection failed: {e}")))?;
-    eprintln!(
-        "[collect] done in {:.1}s — {} quota units",
-        started.elapsed().as_secs_f64(),
-        dataset.quota_units_spent
-    );
-    std::fs::write(&out, dataset.to_json())
+    let collector = Collector::new(&client, config);
+    match store_path {
+        Some(spath) => {
+            let path = Path::new(&spath);
+            let store = if path.exists() {
+                if !resume {
+                    return Err(ArgError(format!(
+                        "{spath} already exists; pass --resume to continue it, or delete it \
+                         to start over"
+                    )));
+                }
+                Store::open(path)
+                    .map_err(|e| ArgError(format!("cannot open store {spath}: {e}")))?
+            } else {
+                Store::create(path)
+                    .map_err(|e| ArgError(format!("cannot create store {spath}: {e}")))?
+            };
+            if store.recovered_bytes() > 0 {
+                eprintln!(
+                    "[collect] recovered {spath}: discarded {} bytes of torn tail; the \
+                     interrupted pair will be re-collected",
+                    store.recovered_bytes()
+                );
+            }
+            let mut sink = Progress::new(store);
+            collector
+                .run_with_sink(&mut sink)
+                .map_err(|e| ArgError(format!("collection failed: {e}")))?;
+            let mut store = sink.into_inner();
+            let stats = store.stats();
+            println!(
+                "store {spath}: {}/{} pairs committed, {} records, {} unique blobs \
+                 (dedup ×{:.2}), {} quota units total",
+                stats.committed_pairs,
+                stats.planned_pairs.unwrap_or(0),
+                stats.records,
+                stats.blobs,
+                stats.dedup_ratio(),
+                stats.quota_units
+            );
+            if let Some(out) = args.get("out") {
+                let dataset = store
+                    .load_dataset()
+                    .map_err(|e| ArgError(format!("cannot load dataset from {spath}: {e}")))?;
+                write_dataset_json(out, &dataset)?;
+            }
+        }
+        None => {
+            let out = args.get("out").unwrap_or("dataset.json").to_string();
+            let mut sink = Progress::new(MemorySink::new());
+            collector
+                .run_with_sink(&mut sink)
+                .map_err(|e| ArgError(format!("collection failed: {e}")))?;
+            let dataset = sink.into_inner().into_dataset();
+            write_dataset_json(&out, &dataset)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the dataset atomically (`<out>.tmp` + rename), so an
+/// interrupted write can never leave a half-serialized dataset at the
+/// target path.
+fn write_dataset_json(
+    out: &str,
+    dataset: &ytaudit_core::AuditDataset,
+) -> Result<(), ArgError> {
+    write_atomic(out, &dataset.to_json())
         .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
     println!(
         "wrote {out}: {} snapshots, {} videos with metadata, {} channels",

@@ -4,6 +4,7 @@ pub mod analyze;
 pub mod collect;
 pub mod quota;
 pub mod serve;
+pub mod store;
 pub mod topics;
 
 /// Per-command usage text for `--help`.
@@ -13,9 +14,19 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
         "collect" => collect::USAGE,
         "analyze" => analyze::USAGE,
         "quota" => quota::USAGE,
+        "store" => store::USAGE,
         "topics" => topics::USAGE,
         _ => return None,
     })
+}
+
+/// Writes `contents` to `path` atomically: a full write to `<path>.tmp`
+/// followed by a rename, so a crash mid-write can never leave a
+/// truncated file at the destination.
+pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Parses a `--topics` value (`all` or comma-separated keys).
@@ -64,7 +75,7 @@ mod tests {
 
     #[test]
     fn usage_exists_for_all_commands() {
-        for cmd in ["serve", "collect", "analyze", "quota", "topics"] {
+        for cmd in ["serve", "collect", "analyze", "quota", "store", "topics"] {
             assert!(usage_for(cmd).is_some(), "{cmd}");
         }
         assert!(usage_for("bogus").is_none());

@@ -1,0 +1,166 @@
+//! `ytaudit store` — inspect and maintain snapshot stores.
+
+use crate::args::{ArgError, Args};
+use crate::commands::write_atomic;
+use std::path::Path;
+use ytaudit_store::Store;
+
+/// Usage text.
+pub const USAGE: &str = "\
+ytaudit store — inspect and maintain snapshot stores (.yts files)
+
+USAGE:
+    ytaudit store info        <file.yts>
+    ytaudit store verify      <file.yts>
+    ytaudit store compact     <file.yts> [--out <dest.yts>]
+    ytaudit store export-json <file.yts> [--out dataset.json]
+
+ACTIONS:
+    info          show size, record counts, dedup ratio, and collection
+                  progress
+    verify        read-only integrity check: every frame's checksum, every
+                  record's decode, every commit's references; exits
+                  non-zero on damage
+    compact       rewrite committed data into a fresh file, dropping
+                  orphan records and dead segments (in place via
+                  tmp+rename unless --out names a destination)
+    export-json   materialize the store as a legacy JSON dataset
+                  (equivalent to `ytaudit collect --out`)";
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    let action = args
+        .positional(1)
+        .ok_or_else(|| ArgError("store needs an action; see `ytaudit store --help`".into()))?;
+    let spath = args
+        .positional(2)
+        .ok_or_else(|| ArgError(format!("store {action} needs a store path")))?;
+    let path = Path::new(spath);
+    match action {
+        "info" => info(spath, path),
+        "verify" => verify(spath, path),
+        "compact" => compact(spath, path, args.get("out")),
+        "export-json" => export_json(spath, path, args.get("out").unwrap_or("dataset.json")),
+        other => Err(ArgError(format!(
+            "unknown store action {other:?}; see `ytaudit store --help`"
+        ))),
+    }
+}
+
+fn open(spath: &str, path: &Path) -> Result<Store, ArgError> {
+    Store::open(path).map_err(|e| ArgError(format!("cannot open store {spath}: {e}")))
+}
+
+fn info(spath: &str, path: &Path) -> Result<(), ArgError> {
+    let store = open(spath, path)?;
+    let s = store.stats();
+    println!("store {spath}");
+    println!(
+        "  size:      {} bytes, {} segments, {} records",
+        s.log_len, s.segments, s.records
+    );
+    println!(
+        "  blobs:     {} unique ({} bytes), {} references, dedup ×{:.2}",
+        s.blobs,
+        s.blob_bytes,
+        s.refs_total,
+        s.dedup_ratio()
+    );
+    match s.planned_pairs {
+        Some(planned) => println!(
+            "  progress:  {}/{planned} (topic, snapshot) pairs committed, complete: {}",
+            s.committed_pairs,
+            if s.complete { "yes" } else { "no" }
+        ),
+        None => println!("  progress:  no collection started"),
+    }
+    println!("  quota:     {} units recorded", s.quota_units);
+    if s.recovered_bytes > 0 {
+        println!(
+            "  recovered: {} bytes of torn tail discarded on open",
+            s.recovered_bytes
+        );
+    }
+    Ok(())
+}
+
+fn verify(spath: &str, path: &Path) -> Result<(), ArgError> {
+    let report = Store::verify_path(path)
+        .map_err(|e| ArgError(format!("cannot verify {spath}: {e}")))?;
+    println!(
+        "verified {spath}: {} records in {} bytes, {} blobs, {} commits{}",
+        report.records,
+        report.file_len,
+        report.blobs,
+        report.commits,
+        if report.complete { ", complete" } else { "" }
+    );
+    if report.torn_tail_bytes > 0 {
+        println!(
+            "  torn tail: {} bytes past byte {} (an interrupted append; reopening the \
+             store will truncate it)",
+            report.torn_tail_bytes, report.valid_len
+        );
+    }
+    if let Some(error) = &report.first_error {
+        return Err(ArgError(format!("{spath} is damaged: {error}")));
+    }
+    if report.torn_tail_bytes > 0 {
+        return Err(ArgError(format!("{spath} has a torn tail (recoverable)")));
+    }
+    println!("  ok");
+    Ok(())
+}
+
+fn compact(spath: &str, path: &Path, out: Option<&str>) -> Result<(), ArgError> {
+    let mut store = open(spath, path)?;
+    let before = store.stats().log_len;
+    match out {
+        Some(dest) => {
+            if Path::new(dest).exists() {
+                return Err(ArgError(format!("{dest} already exists")));
+            }
+            let compacted = store
+                .compact(Path::new(dest))
+                .map_err(|e| ArgError(format!("compaction failed: {e}")))?;
+            println!(
+                "compacted {spath} ({before} bytes) into {dest} ({} bytes)",
+                compacted.stats().log_len
+            );
+        }
+        None => {
+            let tmp = format!("{spath}.tmp");
+            if Path::new(&tmp).exists() {
+                std::fs::remove_file(&tmp)
+                    .map_err(|e| ArgError(format!("cannot remove stale {tmp}: {e}")))?;
+            }
+            let compacted = store
+                .compact(Path::new(&tmp))
+                .map_err(|e| ArgError(format!("compaction failed: {e}")))?;
+            let after = compacted.stats().log_len;
+            drop(compacted);
+            drop(store);
+            std::fs::rename(&tmp, path)
+                .map_err(|e| ArgError(format!("cannot replace {spath}: {e}")))?;
+            println!("compacted {spath} in place: {before} → {after} bytes");
+        }
+    }
+    Ok(())
+}
+
+fn export_json(spath: &str, path: &Path, out: &str) -> Result<(), ArgError> {
+    let mut store = open(spath, path)?;
+    let dataset = store
+        .load_dataset()
+        .map_err(|e| ArgError(format!("cannot load dataset from {spath}: {e}")))?;
+    write_atomic(out, &dataset.to_json())
+        .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    println!(
+        "wrote {out}: {} snapshots, {} videos with metadata, {} channels, {} quota units",
+        dataset.len(),
+        dataset.video_meta.len(),
+        dataset.channel_meta.len(),
+        dataset.quota_units_spent
+    );
+    Ok(())
+}

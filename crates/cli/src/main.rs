@@ -6,17 +6,22 @@
 //! ytaudit collect  [--topics blm,brexit,…|all] [--snapshots N] [--interval-days 5]
 //!                  [--paper] [--no-comments] [--no-metadata] [--scale 1.0]
 //!                  [--base-url http://…] [--out dataset.json]
-//! ytaudit analyze  <dataset.json> [--experiment all|table1|table2|table3|table4|
-//!                  table5|table6|table7|fig1|fig2|fig3|fig4]
+//!                  [--store audit.yts] [--resume]
+//! ytaudit analyze  <dataset.json> [--store audit.yts] [--experiment all|table1|
+//!                  table2|table3|table4|table5|table6|table7|fig1|fig2|fig3|fig4]
+//! ytaudit store    <info|verify|compact|export-json> <file.yts> [--out …]
 //! ytaudit quota    --searches N [--id-calls M] [--daily 10000]
 //! ytaudit topics
 //! ```
 //!
 //! `serve` starts the simulated Data API on a real socket; `collect`
 //! runs the paper's methodology against an in-process platform (default)
-//! or any served instance (`--base-url`), writing the dataset as JSON;
-//! `analyze` re-runs any of the paper's analyses on a stored dataset;
-//! `quota` prices a collection plan in quota units and key-days.
+//! or any served instance (`--base-url`), writing the dataset as JSON or
+//! committing it pair-by-pair to a crash-safe snapshot store (`--store`,
+//! resumable with `--resume`); `analyze` re-runs any of the paper's
+//! analyses on a stored dataset; `store` inspects, verifies, compacts,
+//! or exports snapshot stores; `quota` prices a collection plan in quota
+//! units and key-days.
 
 mod args;
 mod commands;
@@ -31,8 +36,9 @@ USAGE:
 
 COMMANDS:
     serve      start the simulated Data API v3 on a TCP socket
-    collect    run an audit collection, writing the dataset as JSON
+    collect    run an audit collection (JSON dataset or snapshot store)
     analyze    run the paper's analyses on a collected dataset
+    store      inspect, verify, compact, or export a snapshot store
     quota      price a collection plan in quota units
     topics     list the six audit topics and their parameters
     help       show this message
@@ -55,6 +61,7 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
         tokens,
         &[
             "help", "paper", "quick", "no-comments", "no-metadata", "no-channels", "hourly",
+            "resume",
         ],
     )?;
     let command = args.positional(0).unwrap_or("help");
@@ -66,6 +73,7 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
         "serve" => commands::serve::run(&args),
         "collect" => commands::collect::run(&args),
         "analyze" => commands::analyze::run(&args),
+        "store" => commands::store::run(&args),
         "quota" => commands::quota::run(&args),
         "topics" => commands::topics::run(&args),
         "help" | "--help" => {

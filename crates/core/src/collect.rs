@@ -7,6 +7,14 @@
 //! returned IDs (Appendix B.1), and — on the first and last snapshots —
 //! fetches the comment threads and replies (Appendix B.2). Channel
 //! metadata is fetched once at the end.
+//!
+//! Collected data flows through a [`CollectorSink`]: every completed
+//! `(topic, snapshot)` pair is committed to the sink as soon as it
+//! finishes, so a durable sink (the `ytaudit-store` crate's snapshot
+//! store) loses at most the in-flight pair on a crash and can resume a
+//! collection by reporting already-committed pairs via
+//! [`CollectorSink::is_committed`]. The in-memory [`MemorySink`]
+//! reproduces the original all-at-once [`AuditDataset`] behaviour.
 
 use crate::dataset::{
     AuditDataset, ChannelInfo, CommentRecord, CommentsSnapshot, HourlyResult, Snapshot,
@@ -67,6 +75,132 @@ impl CollectorConfig {
     }
 }
 
+/// One completed `(topic, snapshot)` collection, handed to a
+/// [`CollectorSink`] the moment it finishes.
+#[derive(Debug)]
+pub struct TopicCommit<'a> {
+    /// The topic collected.
+    pub topic: Topic,
+    /// Snapshot index within the schedule.
+    pub snapshot: usize,
+    /// The snapshot's collection date.
+    pub date: Timestamp,
+    /// The hourly search results and metadata-coverage list.
+    pub data: &'a TopicSnapshot,
+    /// Comments, when this snapshot is a comment-collection snapshot
+    /// (first and last of the schedule).
+    pub comments: Option<&'a CommentsSnapshot>,
+    /// Video metadata fetched for this pair, in `Videos: list` return
+    /// order (unique per pair; the same video may recur across pairs).
+    pub videos: &'a [VideoInfo],
+    /// Quota units spent collecting this pair (search + metadata +
+    /// comment calls), measured as a delta on the client's budget.
+    pub quota_delta: u64,
+}
+
+/// Where collected data goes. Implementations decide durability: the
+/// in-memory [`MemorySink`] assembles an [`AuditDataset`]; the
+/// `ytaudit-store` snapshot store appends each commit to a crash-safe
+/// log and supports resuming.
+pub trait CollectorSink {
+    /// Called once before any collection work with the collection plan.
+    /// A durable sink validates that a resumed plan matches the stored
+    /// one and records it on first use.
+    fn begin(&mut self, config: &CollectorConfig) -> Result<()>;
+
+    /// Whether `(topic, snapshot)` is already durably committed. The
+    /// collector skips committed pairs without issuing any API calls.
+    fn is_committed(&self, _topic: Topic, _snapshot: usize) -> bool {
+        false
+    }
+
+    /// Whether the whole collection (every pair plus the final channel
+    /// fetch) is already committed; the collector then does nothing.
+    fn is_complete(&self) -> bool {
+        false
+    }
+
+    /// Channel IDs known from previously committed video metadata, so a
+    /// resumed run can fetch channels for pairs it never re-collected.
+    fn known_channel_ids(&self) -> Result<Vec<ChannelId>> {
+        Ok(Vec::new())
+    }
+
+    /// Commits one completed `(topic, snapshot)` pair.
+    fn commit_topic_snapshot(&mut self, commit: TopicCommit<'_>) -> Result<()>;
+
+    /// Finishes the collection: channel metadata (fetched once, at the
+    /// final snapshot's clock) plus the quota spent since the last
+    /// commit (channel calls and slack).
+    fn finish(&mut self, channels: &[ChannelInfo], quota_final_delta: u64) -> Result<()>;
+}
+
+/// The in-memory sink: assembles the classic [`AuditDataset`] exactly as
+/// the pre-sink collector did.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    topics: Vec<Topic>,
+    snapshots: BTreeMap<usize, Snapshot>,
+    video_meta: HashMap<VideoId, VideoInfo>,
+    channel_meta: HashMap<ChannelId, ChannelInfo>,
+    quota_units: u64,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Consumes the sink, yielding the assembled dataset.
+    pub fn into_dataset(self) -> AuditDataset {
+        AuditDataset {
+            topics: self.topics,
+            snapshots: self.snapshots.into_values().collect(),
+            video_meta: self.video_meta,
+            channel_meta: self.channel_meta,
+            quota_units_spent: self.quota_units,
+        }
+    }
+}
+
+impl CollectorSink for MemorySink {
+    fn begin(&mut self, config: &CollectorConfig) -> Result<()> {
+        self.topics = config.topics.clone();
+        Ok(())
+    }
+
+    fn commit_topic_snapshot(&mut self, commit: TopicCommit<'_>) -> Result<()> {
+        let snapshot = self.snapshots.entry(commit.snapshot).or_insert_with(|| Snapshot {
+            date: commit.date,
+            topics: BTreeMap::new(),
+            comments: BTreeMap::new(),
+        });
+        snapshot.topics.insert(commit.topic, commit.data.clone());
+        if let Some(comments) = commit.comments {
+            snapshot.comments.insert(commit.topic, comments.clone());
+        }
+        // Merged metadata: first successful fetch wins, in commit order.
+        for info in commit.videos {
+            self.video_meta.entry(info.id.clone()).or_insert_with(|| info.clone());
+        }
+        self.quota_units += commit.quota_delta;
+        Ok(())
+    }
+
+    fn known_channel_ids(&self) -> Result<Vec<ChannelId>> {
+        Ok(self.video_meta.values().map(|v| v.channel_id.clone()).collect())
+    }
+
+    fn finish(&mut self, channels: &[ChannelInfo], quota_final_delta: u64) -> Result<()> {
+        for info in channels {
+            self.channel_meta.insert(info.id.clone(), info.clone());
+        }
+        self.quota_units += quota_final_delta;
+        Ok(())
+    }
+}
+
 /// Runs collections against a client.
 pub struct Collector<'a> {
     client: &'a YouTubeClient,
@@ -79,19 +213,36 @@ impl<'a> Collector<'a> {
         Collector { client, config }
     }
 
-    /// Runs the full collection.
+    /// Runs the full collection in memory, returning the dataset.
     pub fn run(&self) -> Result<AuditDataset> {
-        let mut snapshots = Vec::with_capacity(self.config.schedule.len());
-        let mut video_meta: HashMap<VideoId, VideoInfo> = HashMap::new();
+        let mut sink = MemorySink::new();
+        self.run_with_sink(&mut sink)?;
+        Ok(sink.into_dataset())
+    }
+
+    /// Runs the collection against an arbitrary sink, committing each
+    /// `(topic, snapshot)` pair as it completes and skipping pairs the
+    /// sink already holds — the resumable path.
+    pub fn run_with_sink(&self, sink: &mut dyn CollectorSink) -> Result<()> {
+        sink.begin(&self.config)?;
+        if sink.is_complete() {
+            return Ok(());
+        }
+        let budget = self.client.budget();
+        let mut mark = budget.units_spent();
         let n_dates = self.config.schedule.len();
         for (idx, &date) in self.config.schedule.dates().iter().enumerate() {
             self.client.set_sim_time(Some(date));
-            let mut topics = BTreeMap::new();
-            let mut comments = BTreeMap::new();
             for &topic in &self.config.topics {
-                let topic_snapshot = self.collect_topic(topic)?;
-                let ids: Vec<VideoId> = topic_snapshot.id_set().into_iter().collect();
-                let mut topic_snapshot = topic_snapshot;
+                if sink.is_committed(topic, idx) {
+                    continue;
+                }
+                let mut topic_snapshot = self.collect_topic(topic)?;
+                // Sorted IDs keep metadata and comment fetch order — and
+                // therefore the committed byte stream — deterministic.
+                let mut ids: Vec<VideoId> = topic_snapshot.id_set().into_iter().collect();
+                ids.sort();
+                let mut videos = Vec::new();
                 if self.config.fetch_metadata {
                     let fetched = self.client.videos(&ids)?;
                     let mut returned = Vec::with_capacity(fetched.len());
@@ -99,7 +250,7 @@ impl<'a> Collector<'a> {
                         match parse_video_info(&resource) {
                             Ok(info) => {
                                 returned.push(info.id.clone());
-                                video_meta.entry(info.id.clone()).or_insert(info);
+                                videos.push(info);
                             }
                             Err(_) => continue, // malformed resource: skip
                         }
@@ -107,40 +258,46 @@ impl<'a> Collector<'a> {
                     returned.sort();
                     topic_snapshot.meta_returned = returned;
                 }
-                if self.config.fetch_comments && (idx == 0 || idx + 1 == n_dates) {
-                    comments.insert(topic, self.collect_comments(&ids)?);
-                }
-                topics.insert(topic, topic_snapshot);
+                let comments = if self.config.fetch_comments && (idx == 0 || idx + 1 == n_dates)
+                {
+                    Some(self.collect_comments(&ids)?)
+                } else {
+                    None
+                };
+                let spent = budget.units_spent();
+                sink.commit_topic_snapshot(TopicCommit {
+                    topic,
+                    snapshot: idx,
+                    date,
+                    data: &topic_snapshot,
+                    comments: comments.as_ref(),
+                    videos: &videos,
+                    quota_delta: spent - mark,
+                })?;
+                mark = spent;
             }
-            snapshots.push(Snapshot {
-                date,
-                topics,
-                comments,
-            });
         }
-        // Channel metadata once, at the final snapshot's clock.
-        let mut channel_meta = HashMap::new();
+        // Channel metadata once, at the final snapshot's clock. The ID
+        // set comes from the sink so resumed runs cover the channels of
+        // pairs they never re-collected.
+        let mut channels = Vec::new();
         if self.config.fetch_channels {
-            let channel_ids: Vec<ChannelId> = video_meta
-                .values()
-                .map(|v| v.channel_id.clone())
+            let mut channel_ids: Vec<ChannelId> = sink
+                .known_channel_ids()?
+                .into_iter()
                 .collect::<HashSet<_>>()
                 .into_iter()
                 .collect();
+            channel_ids.sort();
             for resource in self.client.channels(&channel_ids)? {
                 if let Ok(info) = parse_channel_info(&resource) {
-                    channel_meta.insert(info.id.clone(), info);
+                    channels.push(info);
                 }
             }
         }
         self.client.set_sim_time(None);
-        Ok(AuditDataset {
-            topics: self.config.topics.clone(),
-            snapshots,
-            video_meta,
-            channel_meta,
-            quota_units_spent: self.client.budget().units_spent(),
-        })
+        sink.finish(&channels, budget.units_spent() - mark)?;
+        Ok(())
     }
 
     fn collect_topic(&self, topic: Topic) -> Result<TopicSnapshot> {
@@ -362,6 +519,69 @@ mod tests {
         assert!(!first.comments.is_empty());
         // Brexit has replies (unlike Higgs).
         assert!(first.comments.iter().any(|c| c.is_reply));
+    }
+
+    #[test]
+    fn sink_run_matches_in_memory_run() {
+        let config = CollectorConfig::quick(vec![Topic::Higgs], 2);
+        let (client_a, _sa) = test_client(0.1);
+        let direct = Collector::new(&client_a, config.clone()).run().unwrap();
+        let (client_b, _sb) = test_client(0.1);
+        let mut sink = MemorySink::new();
+        Collector::new(&client_b, config)
+            .run_with_sink(&mut sink)
+            .unwrap();
+        let via_sink = sink.into_dataset();
+        assert_eq!(via_sink, direct);
+    }
+
+    #[test]
+    fn sink_skips_committed_pairs_without_api_calls() {
+        /// Pretends snapshot 0 is already durably committed.
+        struct SkipFirst(MemorySink);
+        impl CollectorSink for SkipFirst {
+            fn begin(&mut self, config: &CollectorConfig) -> ytaudit_types::Result<()> {
+                self.0.begin(config)
+            }
+            fn is_committed(&self, _topic: Topic, snapshot: usize) -> bool {
+                snapshot == 0
+            }
+            fn commit_topic_snapshot(
+                &mut self,
+                commit: TopicCommit<'_>,
+            ) -> ytaudit_types::Result<()> {
+                self.0.commit_topic_snapshot(commit)
+            }
+            fn finish(
+                &mut self,
+                channels: &[ChannelInfo],
+                delta: u64,
+            ) -> ytaudit_types::Result<()> {
+                self.0.finish(channels, delta)
+            }
+        }
+
+        let config = CollectorConfig {
+            fetch_metadata: false,
+            fetch_channels: false,
+            ..CollectorConfig::quick(vec![Topic::Higgs], 2)
+        };
+        let (client, _s) = test_client(0.1);
+        let mut sink = SkipFirst(MemorySink::new());
+        Collector::new(&client, config.clone())
+            .run_with_sink(&mut sink)
+            .unwrap();
+        let spent_skipping = client.budget().units_spent();
+        let dataset = sink.0.into_dataset();
+        assert_eq!(dataset.snapshots.len(), 1, "snapshot 0 skipped");
+        assert_eq!(dataset.quota_units_spent, spent_skipping);
+
+        let (full_client, _s) = test_client(0.1);
+        Collector::new(&full_client, config).run().unwrap();
+        assert!(
+            spent_skipping < full_client.budget().units_spent(),
+            "skipping a committed pair must save its API calls"
+        );
     }
 
     #[test]

@@ -47,6 +47,6 @@ pub mod serp;
 pub mod strategy;
 pub mod testutil;
 
-pub use collect::{Collector, CollectorConfig};
+pub use collect::{Collector, CollectorConfig, CollectorSink, MemorySink, TopicCommit};
 pub use dataset::AuditDataset;
 pub use schedule::Schedule;

@@ -93,6 +93,35 @@ mod tests {
     }
 
     #[test]
+    fn paper_schedule_matches_the_published_dates() {
+        // The paper's §3 calendar, date by date: every 5 days from
+        // 2025-02-09 through 2025-04-30, with 2025-04-05 absent.
+        let expected: Vec<Timestamp> = [
+            (2, 9),
+            (2, 14),
+            (2, 19),
+            (2, 24),
+            (3, 1),
+            (3, 6),
+            (3, 11),
+            (3, 16),
+            (3, 21),
+            (3, 26),
+            (3, 31),
+            (4, 10),
+            (4, 15),
+            (4, 20),
+            (4, 25),
+            (4, 30),
+        ]
+        .into_iter()
+        .map(|(m, d)| Timestamp::from_ymd(2025, m, d).unwrap())
+        .collect();
+        assert_eq!(expected.len(), 16);
+        assert_eq!(Schedule::paper().dates(), expected.as_slice());
+    }
+
+    #[test]
     fn every_builds_even_schedules() {
         let start = Timestamp::from_ymd(2025, 2, 9).unwrap();
         let schedule = Schedule::every(start, 10, 4);

@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3 / zlib polynomial), hand-rolled: the record log
+//! checksums every payload, and — consistent with the in-tree HTTP stack —
+//! no external checksum crate is pulled in.
+
+const POLY: u32 = 0xEDB8_8320; // reflected 0x04C11DB7
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `bytes`: reflected IEEE polynomial, `0xFFFF_FFFF` initial
+/// value and final XOR — the same parameterization as zlib, Ethernet, and
+/// PNG, so byte streams can be cross-checked with external tools.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for this parameterization.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"length-prefixed record payload".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Store errors, with a conversion into the workspace's umbrella
+//! [`ytaudit_types::Error`] so the store can sit behind the
+//! `core::CollectorSink` trait.
+
+use std::fmt;
+
+/// Everything that can go wrong inside the snapshot store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a store, or a record failed its checksum or decode
+    /// at the given byte offset.
+    Corrupt {
+        /// Byte offset of the offending record frame (0 for the header).
+        offset: u64,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// A usage error: resuming with a different collection plan,
+    /// committing a pair twice, loading from an empty store, and so on.
+    Plan(String),
+}
+
+impl StoreError {
+    /// Builds a corruption error.
+    pub fn corrupt(offset: u64, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { offset, detail } => {
+                write!(f, "store corrupt at byte {offset}: {detail}")
+            }
+            StoreError::Plan(msg) => write!(f, "store plan error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for ytaudit_types::Error {
+    fn from(e: StoreError) -> ytaudit_types::Error {
+        match e {
+            StoreError::Io(io) => ytaudit_types::Error::Io(io.to_string()),
+            corrupt @ StoreError::Corrupt { .. } => {
+                ytaudit_types::Error::Decode(corrupt.to_string())
+            }
+            StoreError::Plan(msg) => ytaudit_types::Error::InvalidInput(msg),
+        }
+    }
+}
+
+/// Store result alias.
+pub type Result<T, E = StoreError> = std::result::Result<T, E>;

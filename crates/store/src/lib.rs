@@ -1,0 +1,52 @@
+//! # ytaudit-store
+//!
+//! A crash-safe, append-only snapshot store for audit collections: the
+//! durable backend behind `ytaudit collect --store` and the input to
+//! `ytaudit analyze --store`.
+//!
+//! A 12-week, six-topic collection costs ~4 million quota units and
+//! cannot be restarted from scratch when a process dies at week nine.
+//! The store makes every completed `(topic, snapshot)` pair durable the
+//! moment it is collected, so a crashed run loses at most the pair that
+//! was in flight and `--resume` re-issues no API calls for anything
+//! already committed.
+//!
+//! ## On-disk format
+//!
+//! One file, append-only:
+//!
+//! ```text
+//! file   := "YTAUDST1" frame*
+//! frame  := len:u32le crc:u32le payload[len]      (crc = CRC-32 of payload)
+//! ```
+//!
+//! Payloads are typed records ([`records`]): WAL *segment* headers (one
+//! per append session), the collection *plan*, content-addressed *blobs*
+//! (video IDs, video/channel metadata, comments — deduplicated via the
+//! deterministic `platform::hash` mixer), *hour blocks* and *ref blocks*
+//! (ordered blob-reference lists), per-pair *commit* records carrying the
+//! `topic × snapshot × hour → offset` index and the pair's quota delta,
+//! and a final *end* record.
+//!
+//! Records referenced by a commit are always written before it and the
+//! commit is fsynced, so a commit that survives a crash is
+//! self-contained. On open, a torn final append is detected by the frame
+//! scan and truncated away; a checksum failure anywhere *before* the
+//! tail can only mean the bytes changed after they were written, so the
+//! open fails and [`Store::verify_path`] pinpoints the damage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod error;
+pub mod log;
+pub mod records;
+pub mod store;
+pub mod tempdir;
+pub mod wire;
+
+pub use error::{Result, StoreError};
+pub use records::{CollectionMeta, Record};
+pub use store::{DatasetSelection, Store, StoreStats, VerifyReport};
+pub use tempdir::TempDir;

@@ -1,0 +1,353 @@
+//! The append-only record log: length-prefixed, CRC-checksummed frames in
+//! a single file, WAL-style.
+//!
+//! ```text
+//! file   := MAGIC frame*
+//! frame  := len:u32le crc:u32le payload[len]     (crc = CRC-32 of payload)
+//! ```
+//!
+//! Appends only ever extend the file, so an interrupted write leaves a
+//! *torn tail*: a final frame whose header or payload is cut short. A scan
+//! detects this (the frame overruns the end of the file) and the opener
+//! truncates back to the last complete frame. A checksum mismatch on an
+//! *interior* frame can never be produced by a torn write — it means the
+//! bytes changed after they were written — and is reported as corruption
+//! rather than silently discarded.
+
+use crate::crc::crc32;
+use crate::error::{Result, StoreError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// File magic: identifies a ytaudit snapshot store, version 1.
+pub const MAGIC: &[u8; 8] = b"YTAUDST1";
+
+/// Bytes of frame header (length + checksum).
+pub const FRAME_HEADER: u64 = 8;
+
+/// Upper bound on a single record payload; anything larger is treated as
+/// a corrupt length field rather than an allocation request.
+pub const MAX_RECORD: u32 = 1 << 28; // 256 MiB
+
+/// Why a scan stopped before the end of the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// Fewer than [`FRAME_HEADER`] bytes remained — a cut-off header.
+    TruncatedHeader,
+    /// The frame's payload extends past the end of the file.
+    Overrun {
+        /// The length the header claimed.
+        claimed: u32,
+    },
+    /// The length field is zero or beyond [`MAX_RECORD`].
+    BadLength(u32),
+    /// The payload's CRC-32 did not match the header.
+    BadCrc,
+}
+
+/// Where and why a scan stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanStop {
+    /// Byte offset of the offending frame.
+    pub offset: u64,
+    /// What was wrong with it.
+    pub reason: StopReason,
+}
+
+impl ScanStop {
+    /// Whether this looks like a torn append (recoverable by truncation)
+    /// rather than interior corruption. Torn writes shorten the file, so
+    /// only headers or payloads cut off by end-of-file qualify; a checksum
+    /// or length-field failure on bytes that are all present means the
+    /// data was altered in place.
+    pub fn is_torn_tail(&self) -> bool {
+        matches!(
+            self.reason,
+            StopReason::TruncatedHeader | StopReason::Overrun { .. }
+        )
+    }
+}
+
+/// Summary of one sequential pass over a log file.
+#[derive(Debug, Clone)]
+pub struct ScanOutcome {
+    /// Bytes covered by the magic plus every valid frame.
+    pub valid_len: u64,
+    /// Total file size.
+    pub file_len: u64,
+    /// Number of valid frames seen.
+    pub records: u64,
+    /// Present when the scan stopped before `file_len`.
+    pub stop: Option<ScanStop>,
+}
+
+/// Sequentially visits every valid frame of `path`, calling
+/// `f(offset, payload)` for each. Stops (without error) at the first
+/// invalid frame; fails hard only on I/O errors, a bad magic, or an error
+/// returned by the callback.
+pub fn scan<F>(path: &Path, mut f: F) -> Result<ScanOutcome>
+where
+    F: FnMut(u64, &[u8]) -> Result<()>,
+{
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    if file_len < MAGIC.len() as u64 {
+        return Err(StoreError::corrupt(0, "file shorter than the store magic"));
+    }
+    let mut reader = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StoreError::corrupt(0, "bad magic: not a ytaudit store"));
+    }
+
+    let mut pos = MAGIC.len() as u64;
+    let mut records = 0u64;
+    let mut stop = None;
+    let mut payload = Vec::new();
+    while pos < file_len {
+        if file_len - pos < FRAME_HEADER {
+            stop = Some(ScanStop {
+                offset: pos,
+                reason: StopReason::TruncatedHeader,
+            });
+            break;
+        }
+        let mut header = [0u8; 8];
+        reader.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD {
+            stop = Some(ScanStop {
+                offset: pos,
+                reason: StopReason::BadLength(len),
+            });
+            break;
+        }
+        if file_len - pos - FRAME_HEADER < u64::from(len) {
+            stop = Some(ScanStop {
+                offset: pos,
+                reason: StopReason::Overrun { claimed: len },
+            });
+            break;
+        }
+        payload.resize(len as usize, 0);
+        reader.read_exact(&mut payload)?;
+        if crc32(&payload) != crc {
+            stop = Some(ScanStop {
+                offset: pos,
+                reason: StopReason::BadCrc,
+            });
+            break;
+        }
+        f(pos, &payload)?;
+        records += 1;
+        pos += FRAME_HEADER + u64::from(len);
+    }
+    Ok(ScanOutcome {
+        valid_len: pos,
+        file_len,
+        records,
+        stop,
+    })
+}
+
+/// An open log: append at the end, random-access reads anywhere.
+#[derive(Debug)]
+pub struct RecordLog {
+    file: File,
+    len: u64,
+}
+
+impl RecordLog {
+    /// Creates a fresh log at `path` (failing if the file exists) and
+    /// writes the magic.
+    pub fn create(path: &Path) -> Result<RecordLog> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        file.write_all(MAGIC)?;
+        file.sync_data()?;
+        Ok(RecordLog {
+            file,
+            len: MAGIC.len() as u64,
+        })
+    }
+
+    /// Opens an existing log for appending at `valid_len` (as determined
+    /// by a prior [`scan`]), physically truncating any torn tail beyond
+    /// it.
+    pub fn open_at(path: &Path, valid_len: u64) -> Result<RecordLog> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        if file.metadata()?.len() != valid_len {
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+        }
+        Ok(RecordLog {
+            file,
+            len: valid_len,
+        })
+    }
+
+    /// Bytes in the log (magic plus frames).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len <= MAGIC.len() as u64
+    }
+
+    /// Appends one frame, returning the offset its header was written at.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        debug_assert!(!payload.is_empty() && payload.len() <= MAX_RECORD as usize);
+        let offset = self.len;
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut frame = Vec::with_capacity(FRAME_HEADER as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(offset)
+    }
+
+    /// Forces appended frames to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Reads and checksum-verifies the frame at `offset`.
+    pub fn read_payload_at(&mut self, offset: u64) -> Result<Vec<u8>> {
+        if offset < MAGIC.len() as u64 || offset + FRAME_HEADER > self.len {
+            return Err(StoreError::corrupt(
+                offset,
+                format!("record offset out of bounds (log is {} bytes)", self.len),
+            ));
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut header = [0u8; 8];
+        self.file.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD || offset + FRAME_HEADER + u64::from(len) > self.len {
+            return Err(StoreError::corrupt(offset, format!("bad record length {len}")));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.file.read_exact(&mut payload)?;
+        if crc32(&payload) != crc {
+            return Err(StoreError::corrupt(offset, "record checksum mismatch"));
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    #[test]
+    fn append_scan_round_trip() {
+        let dir = TempDir::new("log-roundtrip");
+        let path = dir.file("log.yts");
+        let mut log = RecordLog::create(&path).unwrap();
+        let payloads: Vec<Vec<u8>> = (0u8..20).map(|i| vec![i; 1 + i as usize * 7]).collect();
+        let mut offsets = Vec::new();
+        for p in &payloads {
+            offsets.push(log.append(p).unwrap());
+        }
+        log.sync().unwrap();
+
+        let mut seen = Vec::new();
+        let outcome = scan(&path, |offset, payload| {
+            seen.push((offset, payload.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(outcome.records, 20);
+        assert!(outcome.stop.is_none());
+        assert_eq!(outcome.valid_len, outcome.file_len);
+        assert_eq!(seen.len(), payloads.len());
+        for ((offset, payload), (expected_offset, expected)) in
+            seen.iter().zip(offsets.iter().zip(&payloads))
+        {
+            assert_eq!(offset, expected_offset);
+            assert_eq!(payload, expected);
+        }
+
+        // Random access agrees with the sequential pass.
+        for (offset, payload) in offsets.iter().zip(&payloads) {
+            assert_eq!(&log.read_payload_at(*offset).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncatable() {
+        let dir = TempDir::new("log-torn");
+        let path = dir.file("log.yts");
+        let mut log = RecordLog::create(&path).unwrap();
+        log.append(b"first record").unwrap();
+        let second = log.append(b"second record, soon to be torn").unwrap();
+        log.sync().unwrap();
+        drop(log);
+
+        // Cut the file mid-way through the second record's payload.
+        let cut = second + FRAME_HEADER + 5;
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+
+        let outcome = scan(&path, |_, _| Ok(())).unwrap();
+        assert_eq!(outcome.records, 1);
+        let stop = outcome.stop.unwrap();
+        assert_eq!(stop.offset, second);
+        assert!(stop.is_torn_tail(), "{stop:?}");
+
+        // Re-open at the valid prefix and keep appending.
+        let mut log = RecordLog::open_at(&path, outcome.valid_len).unwrap();
+        log.append(b"third record").unwrap();
+        log.sync().unwrap();
+        let outcome = scan(&path, |_, _| Ok(())).unwrap();
+        assert_eq!(outcome.records, 2);
+        assert!(outcome.stop.is_none());
+    }
+
+    #[test]
+    fn interior_bit_flip_is_corruption_not_a_tail() {
+        let dir = TempDir::new("log-flip");
+        let path = dir.file("log.yts");
+        let mut log = RecordLog::create(&path).unwrap();
+        let first = log.append(b"records full of audit data").unwrap();
+        log.append(b"a later record").unwrap();
+        log.sync().unwrap();
+        drop(log);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip_at = (first + FRAME_HEADER + 3) as usize;
+        bytes[flip_at] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let outcome = scan(&path, |_, _| Ok(())).unwrap();
+        let stop = outcome.stop.unwrap();
+        assert_eq!(stop.offset, first);
+        assert_eq!(stop.reason, StopReason::BadCrc);
+        assert!(!stop.is_torn_tail());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let dir = TempDir::new("log-magic");
+        let path = dir.file("not-a-store");
+        std::fs::write(&path, b"{\"snapshots\": []}").unwrap();
+        assert!(matches!(
+            scan(&path, |_, _| Ok(())),
+            Err(StoreError::Corrupt { offset: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,618 @@
+//! Typed records inside the log, and their binary encodings.
+//!
+//! The store separates *content* from *structure*:
+//!
+//! * **Blobs** are content-addressed payloads — video ID strings, video
+//!   and channel metadata, comment records — written once and referenced
+//!   by a 64-bit stable hash (the `platform::hash` mixer). Adjacent
+//!   snapshots return mostly the same videos, so blob dedup is where the
+//!   space win comes from.
+//! * **Blocks** (hour blocks, ref blocks) are per-`(topic, snapshot)`
+//!   structure: ordered lists of blob references.
+//! * **Commits** are the durability points: one per `(topic, snapshot)`
+//!   pair, written *after* every record it references, carrying the
+//!   in-file index (hour → block offset) and the pair's quota delta. A
+//!   commit that survives a crash therefore only ever references records
+//!   at lower offsets, which also survived.
+
+use crate::wire::{Reader, WireError, Writer};
+use ytaudit_core::dataset::{ChannelInfo, CommentRecord, VideoInfo};
+use ytaudit_core::CollectorConfig;
+use ytaudit_types::{ChannelId, Timestamp, Topic, VideoId};
+
+/// Record tags (first payload byte).
+pub const TAG_SEGMENT: u8 = 1;
+/// Collection-plan record tag.
+pub const TAG_BEGIN: u8 = 2;
+/// Content-addressed blob tag.
+pub const TAG_BLOB: u8 = 3;
+/// Hourly search-result block tag.
+pub const TAG_HOUR_BLOCK: u8 = 4;
+/// Generic reference-list block tag.
+pub const TAG_REF_BLOCK: u8 = 5;
+/// Per-(topic, snapshot) commit tag.
+pub const TAG_COMMIT: u8 = 6;
+/// Collection-end record tag.
+pub const TAG_END: u8 = 7;
+
+/// Blob kind: a raw video ID string.
+pub const BLOB_VIDEO_ID: u8 = 0;
+/// Blob kind: parsed `Videos: list` metadata.
+pub const BLOB_VIDEO_INFO: u8 = 1;
+/// Blob kind: parsed `Channels: list` metadata.
+pub const BLOB_CHANNEL_INFO: u8 = 2;
+/// Blob kind: one comment record.
+pub const BLOB_COMMENT: u8 = 3;
+
+/// Ref-block purpose: the snapshot's `meta_returned` coverage list.
+pub const PURPOSE_META_RETURNED: u8 = 0;
+/// Ref-block purpose: video metadata fetched at this snapshot.
+pub const PURPOSE_VIDEO_META: u8 = 1;
+/// Ref-block purpose: the snapshot's comment crawl.
+pub const PURPOSE_COMMENTS: u8 = 2;
+/// Ref-block purpose: the end-of-collection channel metadata.
+pub const PURPOSE_CHANNELS: u8 = 3;
+
+/// Topic used in the channels ref block, which belongs to no topic.
+pub const NO_TOPIC: u8 = 0xFF;
+
+/// The stable content address of a blob: `platform::hash` over the body,
+/// mixed with the kind so identical bytes of different kinds cannot
+/// collide.
+pub fn blob_hash(kind: u8, body: &[u8]) -> u64 {
+    ytaudit_platform::hash::mix_all(&[
+        ytaudit_platform::hash::hash_bytes(body),
+        u64::from(kind),
+    ])
+}
+
+/// Maps a topic to its stable on-disk code (index in [`Topic::ALL`]).
+pub fn topic_code(topic: Topic) -> u8 {
+    Topic::ALL
+        .iter()
+        .position(|t| *t == topic)
+        .expect("every Topic is in Topic::ALL") as u8
+}
+
+/// Inverse of [`topic_code`].
+pub fn topic_from_code(code: u8) -> Result<Topic, WireError> {
+    Topic::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| format!("unknown topic code {code}"))
+}
+
+/// The collection plan, persisted once per store and used to validate
+/// resumed runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionMeta {
+    /// Topics, in the order the collector visits them.
+    pub topics: Vec<Topic>,
+    /// Snapshot dates in schedule order.
+    pub dates: Vec<Timestamp>,
+    /// The collector's hourly-binning flag.
+    pub hourly_bins: bool,
+    /// Whether `Videos: list` metadata is fetched.
+    pub fetch_metadata: bool,
+    /// Whether `Channels: list` metadata is fetched at the end.
+    pub fetch_channels: bool,
+    /// Whether comments are crawled on the first and last snapshots.
+    pub fetch_comments: bool,
+}
+
+impl CollectionMeta {
+    /// Derives the plan from a collector configuration.
+    pub fn of_config(config: &CollectorConfig) -> CollectionMeta {
+        CollectionMeta {
+            topics: config.topics.clone(),
+            dates: config.schedule.dates().to_vec(),
+            hourly_bins: config.hourly_bins,
+            fetch_metadata: config.fetch_metadata,
+            fetch_channels: config.fetch_channels,
+            fetch_comments: config.fetch_comments,
+        }
+    }
+
+    /// Total `(topic, snapshot)` pairs the plan will commit.
+    pub fn pairs(&self) -> usize {
+        self.topics.len() * self.dates.len()
+    }
+}
+
+/// The in-file index entry written at each `(topic, snapshot)` commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Topic code ([`topic_code`]).
+    pub topic: u8,
+    /// Snapshot index within the schedule.
+    pub snapshot: u16,
+    /// The snapshot's date (seconds since epoch).
+    pub date: i64,
+    /// Quota units this pair cost to collect.
+    pub quota_delta: u64,
+    /// `(hour, offset)` for every hour block of the pair, in hour order.
+    pub hours: Vec<(u32, u64)>,
+    /// Offset of the `meta_returned` ref block (0 = none).
+    pub meta_offset: u64,
+    /// Offset of the video-metadata ref block (0 = none).
+    pub videos_offset: u64,
+    /// Offset of the comments ref block (0 = none).
+    pub comments_offset: u64,
+}
+
+/// One decoded log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// Starts a WAL segment: one per append session, with a running
+    /// sequence number.
+    Segment {
+        /// Segment sequence number (0 for the creating session).
+        seq: u32,
+    },
+    /// The collection plan.
+    Begin(CollectionMeta),
+    /// A content-addressed payload.
+    Blob {
+        /// One of the `BLOB_*` kinds.
+        kind: u8,
+        /// The raw body (encoding depends on kind).
+        body: Vec<u8>,
+    },
+    /// One hourly query's results: blob references to video IDs.
+    HourBlock {
+        /// Topic code.
+        topic: u8,
+        /// Snapshot index.
+        snapshot: u16,
+        /// Hour index within the topic's window.
+        hour: u32,
+        /// The query's `totalResults` pool estimate.
+        total_results: u64,
+        /// Video-ID blob hashes, in API return order.
+        refs: Vec<u64>,
+    },
+    /// An ordered list of blob references with a purpose marker.
+    RefBlock {
+        /// One of the `PURPOSE_*` markers.
+        purpose: u8,
+        /// Topic code, or [`NO_TOPIC`] for the channels block.
+        topic: u8,
+        /// Snapshot index (0 for the channels block).
+        snapshot: u16,
+        /// Blob hashes, in order.
+        refs: Vec<u64>,
+    },
+    /// The `(topic, snapshot)` durability point.
+    Commit(CommitRecord),
+    /// The end of the collection.
+    End {
+        /// Quota spent after the last pair commit (channel fetches).
+        quota_final_delta: u64,
+        /// Offset of the channels ref block (0 = none).
+        channels_offset: u64,
+    },
+}
+
+impl Record {
+    /// Encodes the record into a log payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Record::Segment { seq } => {
+                w.put_u8(TAG_SEGMENT);
+                w.put_u32(*seq);
+            }
+            Record::Begin(meta) => {
+                w.put_u8(TAG_BEGIN);
+                w.put_u8(meta.topics.len() as u8);
+                for &topic in &meta.topics {
+                    w.put_u8(topic_code(topic));
+                }
+                w.put_u32(meta.dates.len() as u32);
+                for &date in &meta.dates {
+                    w.put_i64(date.as_secs());
+                }
+                w.put_bool(meta.hourly_bins);
+                w.put_bool(meta.fetch_metadata);
+                w.put_bool(meta.fetch_channels);
+                w.put_bool(meta.fetch_comments);
+            }
+            Record::Blob { kind, body } => {
+                w.put_u8(TAG_BLOB);
+                w.put_u8(*kind);
+                // Body is the frame's tail; its length is implied.
+                let mut bytes = w.into_bytes();
+                bytes.extend_from_slice(body);
+                return bytes;
+            }
+            Record::HourBlock {
+                topic,
+                snapshot,
+                hour,
+                total_results,
+                refs,
+            } => {
+                w.put_u8(TAG_HOUR_BLOCK);
+                w.put_u8(*topic);
+                w.put_u16(*snapshot);
+                w.put_u32(*hour);
+                w.put_u64(*total_results);
+                w.put_u32(refs.len() as u32);
+                for &r in refs {
+                    w.put_u64(r);
+                }
+            }
+            Record::RefBlock {
+                purpose,
+                topic,
+                snapshot,
+                refs,
+            } => {
+                w.put_u8(TAG_REF_BLOCK);
+                w.put_u8(*purpose);
+                w.put_u8(*topic);
+                w.put_u16(*snapshot);
+                w.put_u32(refs.len() as u32);
+                for &r in refs {
+                    w.put_u64(r);
+                }
+            }
+            Record::Commit(c) => {
+                w.put_u8(TAG_COMMIT);
+                w.put_u8(c.topic);
+                w.put_u16(c.snapshot);
+                w.put_i64(c.date);
+                w.put_u64(c.quota_delta);
+                w.put_u32(c.hours.len() as u32);
+                for &(hour, offset) in &c.hours {
+                    w.put_u32(hour);
+                    w.put_u64(offset);
+                }
+                w.put_u64(c.meta_offset);
+                w.put_u64(c.videos_offset);
+                w.put_u64(c.comments_offset);
+            }
+            Record::End {
+                quota_final_delta,
+                channels_offset,
+            } => {
+                w.put_u8(TAG_END);
+                w.put_u64(*quota_final_delta);
+                w.put_u64(*channels_offset);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a log payload.
+    pub fn decode(payload: &[u8]) -> Result<Record, WireError> {
+        let mut r = Reader::new(payload);
+        let tag = r.u8()?;
+        let record = match tag {
+            TAG_SEGMENT => Record::Segment { seq: r.u32()? },
+            TAG_BEGIN => {
+                let n_topics = r.u8()? as usize;
+                let mut topics = Vec::with_capacity(n_topics);
+                for _ in 0..n_topics {
+                    topics.push(topic_from_code(r.u8()?)?);
+                }
+                let n_dates = r.u32()? as usize;
+                let mut dates = Vec::with_capacity(n_dates);
+                for _ in 0..n_dates {
+                    dates.push(Timestamp(r.i64()?));
+                }
+                Record::Begin(CollectionMeta {
+                    topics,
+                    dates,
+                    hourly_bins: r.bool()?,
+                    fetch_metadata: r.bool()?,
+                    fetch_channels: r.bool()?,
+                    fetch_comments: r.bool()?,
+                })
+            }
+            TAG_BLOB => {
+                let kind = r.u8()?;
+                if kind > BLOB_COMMENT {
+                    return Err(format!("unknown blob kind {kind}"));
+                }
+                Record::Blob {
+                    kind,
+                    body: r.rest().to_vec(),
+                }
+            }
+            TAG_HOUR_BLOCK => {
+                let topic = r.u8()?;
+                let snapshot = r.u16()?;
+                let hour = r.u32()?;
+                let total_results = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut refs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    refs.push(r.u64()?);
+                }
+                Record::HourBlock {
+                    topic,
+                    snapshot,
+                    hour,
+                    total_results,
+                    refs,
+                }
+            }
+            TAG_REF_BLOCK => {
+                let purpose = r.u8()?;
+                if purpose > PURPOSE_CHANNELS {
+                    return Err(format!("unknown ref-block purpose {purpose}"));
+                }
+                let topic = r.u8()?;
+                let snapshot = r.u16()?;
+                let n = r.u32()? as usize;
+                let mut refs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    refs.push(r.u64()?);
+                }
+                Record::RefBlock {
+                    purpose,
+                    topic,
+                    snapshot,
+                    refs,
+                }
+            }
+            TAG_COMMIT => {
+                let topic = r.u8()?;
+                let snapshot = r.u16()?;
+                let date = r.i64()?;
+                let quota_delta = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut hours = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let hour = r.u32()?;
+                    let offset = r.u64()?;
+                    hours.push((hour, offset));
+                }
+                Record::Commit(CommitRecord {
+                    topic,
+                    snapshot,
+                    date,
+                    quota_delta,
+                    hours,
+                    meta_offset: r.u64()?,
+                    videos_offset: r.u64()?,
+                    comments_offset: r.u64()?,
+                })
+            }
+            TAG_END => Record::End {
+                quota_final_delta: r.u64()?,
+                channels_offset: r.u64()?,
+            },
+            other => return Err(format!("unknown record tag {other}")),
+        };
+        r.expect_end()?;
+        Ok(record)
+    }
+}
+
+/// Encodes a video ID blob body (the raw string bytes).
+pub fn encode_video_id(id: &VideoId) -> Vec<u8> {
+    id.as_str().as_bytes().to_vec()
+}
+
+/// Decodes a video ID blob body.
+pub fn decode_video_id(body: &[u8]) -> Result<VideoId, WireError> {
+    std::str::from_utf8(body)
+        .map(VideoId::new)
+        .map_err(|e| format!("video id not UTF-8: {e}"))
+}
+
+/// Encodes a [`VideoInfo`] blob body.
+pub fn encode_video_info(v: &VideoInfo) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_str(v.id.as_str());
+    w.put_str(v.channel_id.as_str());
+    w.put_i64(v.published_at.as_secs());
+    w.put_u64(v.duration_secs);
+    w.put_bool(v.is_sd);
+    w.put_u64(v.views);
+    w.put_u64(v.likes);
+    w.put_u64(v.comments);
+    w.into_bytes()
+}
+
+/// Decodes a [`VideoInfo`] blob body.
+pub fn decode_video_info(body: &[u8]) -> Result<VideoInfo, WireError> {
+    let mut r = Reader::new(body);
+    let info = VideoInfo {
+        id: VideoId::new(r.str()?),
+        channel_id: ChannelId::new(r.str()?),
+        published_at: Timestamp(r.i64()?),
+        duration_secs: r.u64()?,
+        is_sd: r.bool()?,
+        views: r.u64()?,
+        likes: r.u64()?,
+        comments: r.u64()?,
+    };
+    r.expect_end()?;
+    Ok(info)
+}
+
+/// Encodes a [`ChannelInfo`] blob body.
+pub fn encode_channel_info(c: &ChannelInfo) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_str(c.id.as_str());
+    w.put_i64(c.published_at.as_secs());
+    w.put_u64(c.views);
+    w.put_u64(c.subscribers);
+    w.put_u64(c.video_count);
+    w.into_bytes()
+}
+
+/// Decodes a [`ChannelInfo`] blob body.
+pub fn decode_channel_info(body: &[u8]) -> Result<ChannelInfo, WireError> {
+    let mut r = Reader::new(body);
+    let info = ChannelInfo {
+        id: ChannelId::new(r.str()?),
+        published_at: Timestamp(r.i64()?),
+        views: r.u64()?,
+        subscribers: r.u64()?,
+        video_count: r.u64()?,
+    };
+    r.expect_end()?;
+    Ok(info)
+}
+
+/// Encodes a [`CommentRecord`] blob body.
+pub fn encode_comment(c: &CommentRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_str(&c.id);
+    w.put_str(c.video_id.as_str());
+    w.put_bool(c.is_reply);
+    w.put_i64(c.published_at.as_secs());
+    w.into_bytes()
+}
+
+/// Decodes a [`CommentRecord`] blob body.
+pub fn decode_comment(body: &[u8]) -> Result<CommentRecord, WireError> {
+    let mut r = Reader::new(body);
+    let record = CommentRecord {
+        id: r.str()?.to_string(),
+        video_id: VideoId::new(r.str()?),
+        is_reply: r.bool()?,
+        published_at: Timestamp(r.i64()?),
+    };
+    r.expect_end()?;
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> CollectionMeta {
+        CollectionMeta {
+            topics: vec![Topic::Higgs, Topic::Blm],
+            dates: vec![
+                Timestamp::from_ymd(2025, 2, 9).unwrap(),
+                Timestamp::from_ymd(2025, 2, 14).unwrap(),
+            ],
+            hourly_bins: true,
+            fetch_metadata: true,
+            fetch_channels: true,
+            fetch_comments: false,
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let samples = vec![
+            Record::Segment { seq: 3 },
+            Record::Begin(meta()),
+            Record::Blob {
+                kind: BLOB_VIDEO_ID,
+                body: b"dQw4w9WgXcQ".to_vec(),
+            },
+            Record::HourBlock {
+                topic: 4,
+                snapshot: 7,
+                hour: 402,
+                total_results: 42_000,
+                refs: vec![1, u64::MAX, 99],
+            },
+            Record::RefBlock {
+                purpose: PURPOSE_CHANNELS,
+                topic: NO_TOPIC,
+                snapshot: 0,
+                refs: vec![],
+            },
+            Record::Commit(CommitRecord {
+                topic: 0,
+                snapshot: 15,
+                date: 1_740_000_000,
+                quota_delta: 680,
+                hours: vec![(0, 8), (1, 977)],
+                meta_offset: 1_024,
+                videos_offset: 0,
+                comments_offset: 2_048,
+            }),
+            Record::End {
+                quota_final_delta: 12,
+                channels_offset: 640,
+            },
+        ];
+        for record in samples {
+            let encoded = record.encode();
+            assert_eq!(Record::decode(&encoded).unwrap(), record, "{record:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Record::decode(&[]).is_err());
+        assert!(Record::decode(&[0xEE, 1, 2]).is_err());
+        // Trailing garbage after a well-formed record.
+        let mut bytes = Record::Segment { seq: 1 }.encode();
+        bytes.push(0);
+        assert!(Record::decode(&bytes).is_err());
+        // Bad topic code inside Begin.
+        let mut begin = Record::Begin(meta()).encode();
+        begin[2] = 200; // first topic code
+        assert!(Record::decode(&begin).is_err());
+    }
+
+    #[test]
+    fn blob_bodies_round_trip() {
+        let v = VideoInfo {
+            id: VideoId::new("dQw4w9WgXcQ"),
+            channel_id: ChannelId::new("UC38IQsAvIsxxjztdMZQtwHA"),
+            published_at: Timestamp::from_ymd(2020, 5, 25).unwrap(),
+            duration_secs: 253,
+            is_sd: false,
+            views: 1_000_000,
+            likes: 50_000,
+            comments: 1_234,
+        };
+        assert_eq!(decode_video_info(&encode_video_info(&v)).unwrap(), v);
+
+        let c = ChannelInfo {
+            id: ChannelId::new("UC38IQsAvIsxxjztdMZQtwHA"),
+            published_at: Timestamp::from_ymd(2010, 1, 1).unwrap(),
+            views: 9_999,
+            subscribers: 77,
+            video_count: 12,
+        };
+        assert_eq!(decode_channel_info(&encode_channel_info(&c)).unwrap(), c);
+
+        let comment = CommentRecord {
+            id: "UgxKREWxIgDrw8w2WZp4AaABAg.9".to_string(),
+            video_id: VideoId::new("dQw4w9WgXcQ"),
+            is_reply: true,
+            published_at: Timestamp::from_ymd(2021, 1, 6).unwrap(),
+        };
+        assert_eq!(decode_comment(&encode_comment(&comment)).unwrap(), comment);
+
+        let id = VideoId::new("dQw4w9WgXcQ");
+        assert_eq!(decode_video_id(&encode_video_id(&id)).unwrap(), id);
+    }
+
+    #[test]
+    fn blob_hashes_are_stable_and_kind_sensitive() {
+        let body = b"dQw4w9WgXcQ";
+        assert_eq!(blob_hash(BLOB_VIDEO_ID, body), blob_hash(BLOB_VIDEO_ID, body));
+        assert_ne!(
+            blob_hash(BLOB_VIDEO_ID, body),
+            blob_hash(BLOB_COMMENT, body),
+            "kind participates in the address"
+        );
+        assert_ne!(
+            blob_hash(BLOB_VIDEO_ID, b"dQw4w9WgXcQ"),
+            blob_hash(BLOB_VIDEO_ID, b"dQw4w9WgXcR")
+        );
+    }
+
+    #[test]
+    fn topic_codes_round_trip() {
+        for topic in Topic::ALL {
+            assert_eq!(topic_from_code(topic_code(topic)).unwrap(), topic);
+        }
+        assert!(topic_from_code(6).is_err());
+        assert!(topic_from_code(NO_TOPIC).is_err());
+    }
+}

@@ -1,0 +1,1380 @@
+//! The snapshot store: an open log plus the in-memory replay of its
+//! structure — content index, per-pair commit index, collection plan,
+//! and end marker.
+//!
+//! Opening a store is a single sequential scan. Every valid record is
+//! absorbed into the indexes; a torn tail (interrupted final append) is
+//! truncated away; interior corruption fails the open and is left for
+//! [`Store::verify_path`] to report precisely.
+
+use crate::error::{Result, StoreError};
+use crate::log::{self, RecordLog};
+use crate::records::{
+    blob_hash, decode_channel_info, decode_comment, decode_video_id, decode_video_info,
+    encode_channel_info, encode_comment, encode_video_id, encode_video_info, topic_code,
+    CollectionMeta, CommitRecord, Record, BLOB_CHANNEL_INFO, BLOB_COMMENT, BLOB_VIDEO_ID,
+    BLOB_VIDEO_INFO, NO_TOPIC, PURPOSE_CHANNELS, PURPOSE_COMMENTS, PURPOSE_META_RETURNED,
+    PURPOSE_VIDEO_META, TAG_BLOB,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+use ytaudit_core::collect::{CollectorConfig, CollectorSink, TopicCommit};
+use ytaudit_core::dataset::{
+    AuditDataset, ChannelInfo, CommentsSnapshot, HourlyResult, Snapshot, TopicSnapshot, VideoInfo,
+};
+use ytaudit_types::{ChannelId, Topic};
+
+/// Which parts of the dataset to materialize when loading from a store.
+/// Analyses that only consume search results (consistency, attrition,
+/// pool sizes) can skip decoding metadata and comment blobs entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSelection {
+    /// Load merged `Videos: list` metadata.
+    pub include_video_meta: bool,
+    /// Load `Channels: list` metadata.
+    pub include_channel_meta: bool,
+    /// Load first/last-snapshot comment crawls.
+    pub include_comments: bool,
+}
+
+impl DatasetSelection {
+    /// Everything — equivalent to the legacy JSON dataset.
+    pub fn full() -> DatasetSelection {
+        DatasetSelection {
+            include_video_meta: true,
+            include_channel_meta: true,
+            include_comments: true,
+        }
+    }
+
+    /// Search results only: hourly ID lists and coverage, no blob-heavy
+    /// metadata.
+    pub fn search_only() -> DatasetSelection {
+        DatasetSelection {
+            include_video_meta: false,
+            include_channel_meta: false,
+            include_comments: false,
+        }
+    }
+}
+
+/// Counters describing a store, for `ytaudit store info`.
+#[derive(Debug, Clone)]
+pub struct StoreStats {
+    /// The backing file.
+    pub path: PathBuf,
+    /// Bytes in the log (after any tail recovery).
+    pub log_len: u64,
+    /// Append sessions (WAL segments) the file has seen.
+    pub segments: u32,
+    /// Valid record frames.
+    pub records: u64,
+    /// Unique stored blobs.
+    pub blobs: u64,
+    /// Bytes of unique blob bodies.
+    pub blob_bytes: u64,
+    /// Total blob references across all blocks (≥ `blobs` once data
+    /// repeats across snapshots).
+    pub refs_total: u64,
+    /// `(topic, snapshot)` pairs committed.
+    pub committed_pairs: usize,
+    /// Pairs the collection plan calls for (absent before `begin`).
+    pub planned_pairs: Option<usize>,
+    /// Whether every pair plus the final channel fetch is committed.
+    pub complete: bool,
+    /// Quota units recorded across commits (plus the end record).
+    pub quota_units: u64,
+    /// Bytes of torn tail discarded when this store was opened.
+    pub recovered_bytes: u64,
+}
+
+impl StoreStats {
+    /// References per unique blob: the dedup win. 1.0 means no sharing;
+    /// the paper's repeated snapshots push this well above 1.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.blobs == 0 {
+            1.0
+        } else {
+            self.refs_total as f64 / self.blobs as f64
+        }
+    }
+}
+
+/// The read-only integrity report from [`Store::verify_path`].
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Total file size.
+    pub file_len: u64,
+    /// Bytes covered by valid frames.
+    pub valid_len: u64,
+    /// Valid record frames.
+    pub records: u64,
+    /// Unique blobs seen.
+    pub blobs: u64,
+    /// Commits seen.
+    pub commits: usize,
+    /// Pairs the stored plan calls for.
+    pub planned_pairs: Option<usize>,
+    /// Whether the collection is complete.
+    pub complete: bool,
+    /// Bytes of torn tail past `valid_len` (recoverable by reopening).
+    pub torn_tail_bytes: u64,
+    /// The first integrity violation found, if any.
+    pub first_error: Option<String>,
+}
+
+impl VerifyReport {
+    /// Whether the file is fully intact (a torn tail still counts as
+    /// damage worth reporting, even though `open` recovers from it).
+    pub fn ok(&self) -> bool {
+        self.first_error.is_none() && self.torn_tail_bytes == 0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EndEntry {
+    quota_final_delta: u64,
+    channels_offset: u64,
+}
+
+/// Replay state shared by `open` and `verify_path`: the structure of the
+/// file, rebuilt record by record.
+#[derive(Debug, Default)]
+struct Replay {
+    meta: Option<CollectionMeta>,
+    content: HashMap<u64, (u64, u32)>,
+    commits: BTreeMap<(u16, u8), CommitRecord>,
+    end: Option<EndEntry>,
+    channel_ids: BTreeSet<ChannelId>,
+    segments: u32,
+    blob_bytes: u64,
+    refs_total: u64,
+    // verify-only bookkeeping: offsets of blocks, by kind.
+    hour_blocks: BTreeSet<u64>,
+    ref_blocks: HashMap<u64, u8>,
+}
+
+impl Replay {
+    fn absorb(&mut self, offset: u64, payload: &[u8]) -> Result<()> {
+        let record = Record::decode(payload).map_err(|e| StoreError::corrupt(offset, e))?;
+        match record {
+            Record::Segment { .. } => self.segments += 1,
+            Record::Begin(meta) => {
+                if self.meta.is_some() {
+                    return Err(StoreError::corrupt(offset, "duplicate collection plan"));
+                }
+                self.meta = Some(meta);
+            }
+            Record::Blob { kind, body } => {
+                let hash = blob_hash(kind, &body);
+                if kind == BLOB_VIDEO_INFO {
+                    let info = decode_video_info(&body)
+                        .map_err(|e| StoreError::corrupt(offset, e))?;
+                    self.channel_ids.insert(info.channel_id);
+                }
+                if self
+                    .content
+                    .insert(hash, (offset, body.len() as u32))
+                    .is_none()
+                {
+                    self.blob_bytes += body.len() as u64;
+                }
+            }
+            Record::HourBlock { refs, .. } => {
+                self.refs_total += refs.len() as u64;
+                self.hour_blocks.insert(offset);
+            }
+            Record::RefBlock { purpose, refs, .. } => {
+                self.refs_total += refs.len() as u64;
+                self.ref_blocks.insert(offset, purpose);
+            }
+            Record::Commit(c) => {
+                let key = (c.snapshot, c.topic);
+                if self.commits.insert(key, c).is_some() {
+                    return Err(StoreError::corrupt(
+                        offset,
+                        format!("duplicate commit for pair {key:?}"),
+                    ));
+                }
+            }
+            Record::End {
+                quota_final_delta,
+                channels_offset,
+            } => {
+                if self.end.is_some() {
+                    return Err(StoreError::corrupt(offset, "duplicate end record"));
+                }
+                self.end = Some(EndEntry {
+                    quota_final_delta,
+                    channels_offset,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-checks a commit's internal references, for verification.
+    fn check_commit(&self, c: &CommitRecord) -> std::result::Result<(), String> {
+        for &(hour, offset) in &c.hours {
+            if !self.hour_blocks.contains(&offset) {
+                return Err(format!(
+                    "commit ({}, {}) hour {hour} points at byte {offset}, which is not an hour block",
+                    c.snapshot, c.topic
+                ));
+            }
+        }
+        let wants = [
+            (c.meta_offset, PURPOSE_META_RETURNED, "meta_returned"),
+            (c.videos_offset, PURPOSE_VIDEO_META, "video metadata"),
+            (c.comments_offset, PURPOSE_COMMENTS, "comments"),
+        ];
+        for (offset, purpose, what) in wants {
+            if offset == 0 {
+                continue;
+            }
+            if self.ref_blocks.get(&offset) != Some(&purpose) {
+                return Err(format!(
+                    "commit ({}, {}) {what} pointer at byte {offset} does not resolve",
+                    c.snapshot, c.topic
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn complete(&self) -> bool {
+        match &self.meta {
+            Some(meta) => self.commits.len() == meta.pairs() && self.end.is_some(),
+            None => false,
+        }
+    }
+}
+
+/// An open snapshot store.
+#[derive(Debug)]
+pub struct Store {
+    log: RecordLog,
+    path: PathBuf,
+    meta: Option<CollectionMeta>,
+    content: HashMap<u64, (u64, u32)>,
+    commits: BTreeMap<(u16, u8), CommitRecord>,
+    end: Option<EndEntry>,
+    channel_ids: BTreeSet<ChannelId>,
+    segments: u32,
+    records: u64,
+    blob_bytes: u64,
+    refs_total: u64,
+    recovered_bytes: u64,
+    session_marked: bool,
+    blob_cache: HashMap<u64, Vec<u8>>,
+}
+
+impl Store {
+    /// Creates a fresh, empty store at `path` (the file must not exist).
+    pub fn create(path: &Path) -> Result<Store> {
+        let mut log = RecordLog::create(path)?;
+        log.append(&Record::Segment { seq: 0 }.encode())?;
+        log.sync()?;
+        Ok(Store {
+            log,
+            path: path.to_path_buf(),
+            meta: None,
+            content: HashMap::new(),
+            commits: BTreeMap::new(),
+            end: None,
+            channel_ids: BTreeSet::new(),
+            segments: 1,
+            records: 1,
+            blob_bytes: 0,
+            refs_total: 0,
+            recovered_bytes: 0,
+            session_marked: true,
+            blob_cache: HashMap::new(),
+        })
+    }
+
+    /// Opens an existing store, replaying its log. A torn tail is
+    /// truncated; interior corruption fails the open (run
+    /// [`Store::verify_path`] for the details).
+    pub fn open(path: &Path) -> Result<Store> {
+        let mut replay = Replay::default();
+        let outcome = log::scan(path, |offset, payload| replay.absorb(offset, payload))?;
+        if let Some(stop) = &outcome.stop {
+            if !stop.is_torn_tail() {
+                return Err(StoreError::corrupt(
+                    stop.offset,
+                    format!(
+                        "interior record damage ({:?}); the file was altered after it was \
+                         written — run `ytaudit store verify`",
+                        stop.reason
+                    ),
+                ));
+            }
+        }
+        let log = RecordLog::open_at(path, outcome.valid_len)?;
+        Ok(Store {
+            log,
+            path: path.to_path_buf(),
+            meta: replay.meta,
+            content: replay.content,
+            commits: replay.commits,
+            end: replay.end,
+            channel_ids: replay.channel_ids,
+            segments: replay.segments,
+            records: outcome.records,
+            blob_bytes: replay.blob_bytes,
+            refs_total: replay.refs_total,
+            recovered_bytes: outcome.file_len - outcome.valid_len,
+            session_marked: false,
+            blob_cache: HashMap::new(),
+        })
+    }
+
+    /// Opens `path` if it exists, otherwise creates it — the `collect
+    /// --store` entry point.
+    pub fn open_or_create(path: &Path) -> Result<Store> {
+        if path.exists() {
+            Store::open(path)
+        } else {
+            Store::create(path)
+        }
+    }
+
+    /// The backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The stored collection plan, once `begin_collection` has run.
+    pub fn collection_meta(&self) -> Option<&CollectionMeta> {
+        self.meta.as_ref()
+    }
+
+    /// Bytes of torn tail discarded when this store was opened.
+    pub fn recovered_bytes(&self) -> u64 {
+        self.recovered_bytes
+    }
+
+    fn append_record(&mut self, record: &Record) -> Result<u64> {
+        let offset = self.log.append(&record.encode())?;
+        self.records += 1;
+        Ok(offset)
+    }
+
+    /// Writes this session's WAL segment header before the first append.
+    fn mark_session(&mut self) -> Result<()> {
+        if !self.session_marked {
+            self.append_record(&Record::Segment { seq: self.segments })?;
+            self.segments += 1;
+            self.session_marked = true;
+        }
+        Ok(())
+    }
+
+    /// Stores `body` as a blob of `kind` unless an identical blob already
+    /// exists, returning its content address.
+    fn put_blob(&mut self, kind: u8, body: &[u8]) -> Result<u64> {
+        let hash = blob_hash(kind, body);
+        if let Some(&(_, len)) = self.content.get(&hash) {
+            if len as usize != body.len() {
+                return Err(StoreError::corrupt(
+                    0,
+                    format!("blob hash collision: {hash:#018x} maps to two lengths"),
+                ));
+            }
+            return Ok(hash);
+        }
+        let offset = self.append_record(&Record::Blob {
+            kind,
+            body: body.to_vec(),
+        })?;
+        self.content.insert(hash, (offset, body.len() as u32));
+        self.blob_bytes += body.len() as u64;
+        Ok(hash)
+    }
+
+    /// Records the collection plan, or validates it against the stored
+    /// one when resuming.
+    pub fn begin_collection(&mut self, meta: CollectionMeta) -> Result<()> {
+        if let Some(stored) = &self.meta {
+            if *stored != meta {
+                return Err(StoreError::Plan(
+                    "collection plan differs from the one this store was started with; \
+                     resume with the original configuration or use a fresh store"
+                        .into(),
+                ));
+            }
+            return Ok(());
+        }
+        self.mark_session()?;
+        self.append_record(&Record::Begin(meta.clone()))?;
+        self.log.sync()?;
+        self.meta = Some(meta);
+        Ok(())
+    }
+
+    /// Whether `(topic, snapshot)` is durably committed.
+    pub fn has_commit(&self, topic: Topic, snapshot: usize) -> bool {
+        snapshot <= u16::MAX as usize
+            && self
+                .commits
+                .contains_key(&(snapshot as u16, topic_code(topic)))
+    }
+
+    /// Committed `(topic, snapshot)` pairs.
+    pub fn committed_pairs(&self) -> usize {
+        self.commits.len()
+    }
+
+    /// Whether every planned pair plus the final channel fetch is in.
+    pub fn complete(&self) -> bool {
+        match &self.meta {
+            Some(meta) => self.commits.len() == meta.pairs() && self.end.is_some(),
+            None => false,
+        }
+    }
+
+    /// Quota units recorded so far: the sum of per-pair deltas plus the
+    /// end record's final delta.
+    pub fn quota_units_total(&self) -> u64 {
+        self.commits.values().map(|c| c.quota_delta).sum::<u64>()
+            + self.end.as_ref().map_or(0, |e| e.quota_final_delta)
+    }
+
+    /// Durably commits one `(topic, snapshot)` pair: blobs first, then
+    /// the blocks that reference them, then the commit record, then one
+    /// fsync — the ordering that makes a surviving commit self-contained.
+    pub fn commit_snapshot(&mut self, commit: &TopicCommit<'_>) -> Result<()> {
+        let meta = self
+            .meta
+            .as_ref()
+            .ok_or_else(|| StoreError::Plan("commit before begin_collection".into()))?;
+        if self.end.is_some() {
+            return Err(StoreError::Plan("collection already finished".into()));
+        }
+        let snapshot = commit.snapshot;
+        if snapshot >= meta.dates.len() || snapshot > u16::MAX as usize {
+            return Err(StoreError::Plan(format!(
+                "snapshot index {snapshot} outside the plan's {} dates",
+                meta.dates.len()
+            )));
+        }
+        if meta.dates[snapshot] != commit.date {
+            return Err(StoreError::Plan(format!(
+                "snapshot {snapshot} date does not match the plan"
+            )));
+        }
+        if !meta.topics.contains(&commit.topic) {
+            return Err(StoreError::Plan(format!(
+                "topic {:?} is not in the collection plan",
+                commit.topic
+            )));
+        }
+        let topic = topic_code(commit.topic);
+        let key = (snapshot as u16, topic);
+        if self.commits.contains_key(&key) {
+            return Err(StoreError::Plan(format!(
+                "pair (topic {topic}, snapshot {snapshot}) is already committed"
+            )));
+        }
+
+        self.mark_session()?;
+        let mut hours = Vec::with_capacity(commit.data.hours.len());
+        for hour in &commit.data.hours {
+            let mut refs = Vec::with_capacity(hour.video_ids.len());
+            for id in &hour.video_ids {
+                refs.push(self.put_blob(BLOB_VIDEO_ID, &encode_video_id(id))?);
+            }
+            self.refs_total += refs.len() as u64;
+            let offset = self.append_record(&Record::HourBlock {
+                topic,
+                snapshot: snapshot as u16,
+                hour: hour.hour,
+                total_results: hour.total_results,
+                refs,
+            })?;
+            hours.push((hour.hour, offset));
+        }
+
+        let meta_offset = if commit.data.meta_returned.is_empty() {
+            0
+        } else {
+            let mut refs = Vec::with_capacity(commit.data.meta_returned.len());
+            for id in &commit.data.meta_returned {
+                refs.push(self.put_blob(BLOB_VIDEO_ID, &encode_video_id(id))?);
+            }
+            self.refs_total += refs.len() as u64;
+            self.append_record(&Record::RefBlock {
+                purpose: PURPOSE_META_RETURNED,
+                topic,
+                snapshot: snapshot as u16,
+                refs,
+            })?
+        };
+
+        let videos_offset = if commit.videos.is_empty() {
+            0
+        } else {
+            let mut refs = Vec::with_capacity(commit.videos.len());
+            for info in commit.videos {
+                refs.push(self.put_blob(BLOB_VIDEO_INFO, &encode_video_info(info))?);
+                self.channel_ids.insert(info.channel_id.clone());
+            }
+            self.refs_total += refs.len() as u64;
+            self.append_record(&Record::RefBlock {
+                purpose: PURPOSE_VIDEO_META,
+                topic,
+                snapshot: snapshot as u16,
+                refs,
+            })?
+        };
+
+        // `Some(empty)` and `None` are distinct: the first snapshot of a
+        // comment-collecting run may legitimately find zero comments.
+        let comments_offset = match commit.comments {
+            None => 0,
+            Some(cs) => {
+                let mut refs = Vec::with_capacity(cs.comments.len());
+                for c in &cs.comments {
+                    refs.push(self.put_blob(BLOB_COMMENT, &encode_comment(c))?);
+                }
+                self.refs_total += refs.len() as u64;
+                self.append_record(&Record::RefBlock {
+                    purpose: PURPOSE_COMMENTS,
+                    topic,
+                    snapshot: snapshot as u16,
+                    refs,
+                })?
+            }
+        };
+
+        let record = CommitRecord {
+            topic,
+            snapshot: snapshot as u16,
+            date: commit.date.as_secs(),
+            quota_delta: commit.quota_delta,
+            hours,
+            meta_offset,
+            videos_offset,
+            comments_offset,
+        };
+        self.append_record(&Record::Commit(record.clone()))?;
+        self.log.sync()?;
+        self.commits.insert(key, record);
+        Ok(())
+    }
+
+    /// Writes the end-of-collection channel metadata and the end marker.
+    pub fn finish_collection(
+        &mut self,
+        channels: &[ChannelInfo],
+        quota_final_delta: u64,
+    ) -> Result<()> {
+        let meta = self
+            .meta
+            .as_ref()
+            .ok_or_else(|| StoreError::Plan("finish before begin_collection".into()))?;
+        if self.end.is_some() {
+            return Err(StoreError::Plan("collection already finished".into()));
+        }
+        if self.commits.len() != meta.pairs() {
+            return Err(StoreError::Plan(format!(
+                "cannot finish: {}/{} pairs committed",
+                self.commits.len(),
+                meta.pairs()
+            )));
+        }
+        self.mark_session()?;
+        let channels_offset = if channels.is_empty() {
+            0
+        } else {
+            let mut refs = Vec::with_capacity(channels.len());
+            for info in channels {
+                refs.push(self.put_blob(BLOB_CHANNEL_INFO, &encode_channel_info(info))?);
+            }
+            self.refs_total += refs.len() as u64;
+            self.append_record(&Record::RefBlock {
+                purpose: PURPOSE_CHANNELS,
+                topic: NO_TOPIC,
+                snapshot: 0,
+                refs,
+            })?
+        };
+        self.append_record(&Record::End {
+            quota_final_delta,
+            channels_offset,
+        })?;
+        self.log.sync()?;
+        self.end = Some(EndEntry {
+            quota_final_delta,
+            channels_offset,
+        });
+        Ok(())
+    }
+
+    /// Reads a blob body by content address, verifying kind and checksum.
+    fn blob_body(&mut self, hash: u64, kind: u8) -> Result<Vec<u8>> {
+        if let Some(body) = self.blob_cache.get(&hash) {
+            return Ok(body.clone());
+        }
+        let &(offset, _) = self.content.get(&hash).ok_or_else(|| {
+            StoreError::corrupt(0, format!("dangling blob reference {hash:#018x}"))
+        })?;
+        let payload = self.log.read_payload_at(offset)?;
+        if payload.len() < 2 || payload[0] != TAG_BLOB || payload[1] != kind {
+            return Err(StoreError::corrupt(
+                offset,
+                format!("reference {hash:#018x} does not point at a kind-{kind} blob"),
+            ));
+        }
+        let body = payload[2..].to_vec();
+        self.blob_cache.insert(hash, body.clone());
+        Ok(body)
+    }
+
+    fn read_record(&mut self, offset: u64) -> Result<Record> {
+        let payload = self.log.read_payload_at(offset)?;
+        Record::decode(&payload).map_err(|e| StoreError::corrupt(offset, e))
+    }
+
+    fn commit_for(&self, topic: Topic, snapshot: usize) -> Result<CommitRecord> {
+        self.commits
+            .get(&(snapshot as u16, topic_code(topic)))
+            .cloned()
+            .ok_or_else(|| {
+                StoreError::Plan(format!(
+                    "pair ({topic:?}, snapshot {snapshot}) is not committed"
+                ))
+            })
+    }
+
+    fn load_ref_ids(&mut self, offset: u64, purpose: u8) -> Result<Vec<u64>> {
+        match self.read_record(offset)? {
+            Record::RefBlock {
+                purpose: p, refs, ..
+            } if p == purpose => Ok(refs),
+            _ => Err(StoreError::corrupt(
+                offset,
+                format!("expected a purpose-{purpose} ref block"),
+            )),
+        }
+    }
+
+    /// Loads a single hour's results for a pair — the O(1) slice path:
+    /// one index lookup, one block read, one blob read per video.
+    pub fn load_hour(
+        &mut self,
+        topic: Topic,
+        snapshot: usize,
+        hour: u32,
+    ) -> Result<Option<HourlyResult>> {
+        let commit = self.commit_for(topic, snapshot)?;
+        let Some(&(_, offset)) = commit.hours.iter().find(|(h, _)| *h == hour) else {
+            return Ok(None);
+        };
+        match self.read_record(offset)? {
+            Record::HourBlock {
+                hour,
+                total_results,
+                refs,
+                ..
+            } => {
+                let mut video_ids = Vec::with_capacity(refs.len());
+                for r in refs {
+                    let body = self.blob_body(r, BLOB_VIDEO_ID)?;
+                    video_ids.push(
+                        decode_video_id(&body).map_err(|e| StoreError::corrupt(offset, e))?,
+                    );
+                }
+                Ok(Some(HourlyResult {
+                    hour,
+                    video_ids,
+                    total_results,
+                }))
+            }
+            _ => Err(StoreError::corrupt(offset, "expected an hour block")),
+        }
+    }
+
+    /// Loads one committed pair's full [`TopicSnapshot`].
+    pub fn load_topic_snapshot(&mut self, topic: Topic, snapshot: usize) -> Result<TopicSnapshot> {
+        let commit = self.commit_for(topic, snapshot)?;
+        let mut hours = Vec::with_capacity(commit.hours.len());
+        for &(hour, _) in &commit.hours {
+            hours.push(self.load_hour(topic, snapshot, hour)?.expect("indexed hour"));
+        }
+        let mut meta_returned = Vec::new();
+        if commit.meta_offset != 0 {
+            for r in self.load_ref_ids(commit.meta_offset, PURPOSE_META_RETURNED)? {
+                let body = self.blob_body(r, BLOB_VIDEO_ID)?;
+                meta_returned
+                    .push(decode_video_id(&body).map_err(|e| StoreError::corrupt(0, e))?);
+            }
+        }
+        Ok(TopicSnapshot {
+            hours,
+            meta_returned,
+        })
+    }
+
+    /// Loads one pair's comment crawl, when that snapshot collected one.
+    pub fn load_comments(
+        &mut self,
+        topic: Topic,
+        snapshot: usize,
+    ) -> Result<Option<CommentsSnapshot>> {
+        let commit = self.commit_for(topic, snapshot)?;
+        if commit.comments_offset == 0 {
+            return Ok(None);
+        }
+        let mut comments = Vec::new();
+        for r in self.load_ref_ids(commit.comments_offset, PURPOSE_COMMENTS)? {
+            let body = self.blob_body(r, BLOB_COMMENT)?;
+            comments.push(decode_comment(&body).map_err(|e| StoreError::corrupt(0, e))?);
+        }
+        Ok(Some(CommentsSnapshot { comments }))
+    }
+
+    /// Loads one pair's fetched video metadata, in fetch order.
+    pub fn load_video_meta(&mut self, topic: Topic, snapshot: usize) -> Result<Vec<VideoInfo>> {
+        let commit = self.commit_for(topic, snapshot)?;
+        if commit.videos_offset == 0 {
+            return Ok(Vec::new());
+        }
+        let mut videos = Vec::new();
+        for r in self.load_ref_ids(commit.videos_offset, PURPOSE_VIDEO_META)? {
+            let body = self.blob_body(r, BLOB_VIDEO_INFO)?;
+            videos.push(decode_video_info(&body).map_err(|e| StoreError::corrupt(0, e))?);
+        }
+        Ok(videos)
+    }
+
+    /// Loads the end-of-collection channel metadata.
+    pub fn load_channels(&mut self) -> Result<Vec<ChannelInfo>> {
+        let Some(end) = self.end.clone() else {
+            return Ok(Vec::new());
+        };
+        if end.channels_offset == 0 {
+            return Ok(Vec::new());
+        }
+        let mut channels = Vec::new();
+        for r in self.load_ref_ids(end.channels_offset, PURPOSE_CHANNELS)? {
+            let body = self.blob_body(r, BLOB_CHANNEL_INFO)?;
+            channels.push(decode_channel_info(&body).map_err(|e| StoreError::corrupt(0, e))?);
+        }
+        Ok(channels)
+    }
+
+    /// Materializes the committed data as an [`AuditDataset`], identical
+    /// to what an in-memory collection run would have produced.
+    pub fn load_dataset(&mut self) -> Result<AuditDataset> {
+        self.load_dataset_filtered(DatasetSelection::full())
+    }
+
+    /// Like [`Store::load_dataset`], but skipping the parts the caller
+    /// does not need.
+    pub fn load_dataset_filtered(&mut self, sel: DatasetSelection) -> Result<AuditDataset> {
+        let meta = self
+            .meta
+            .clone()
+            .ok_or_else(|| StoreError::Plan("store holds no collection".into()))?;
+        let mut snapshots: BTreeMap<usize, Snapshot> = BTreeMap::new();
+        let mut video_meta = HashMap::new();
+        // BTreeMap order is (snapshot asc, topic asc): snapshot order is
+        // what first-fetch-wins metadata merging depends on; within one
+        // snapshot every fetch of a video returns identical metadata, so
+        // topic order is immaterial.
+        let keys: Vec<(u16, u8)> = self.commits.keys().copied().collect();
+        for (snapshot_idx, topic_c) in keys {
+            let snapshot = snapshot_idx as usize;
+            let topic = crate::records::topic_from_code(topic_c)
+                .map_err(|e| StoreError::corrupt(0, e))?;
+            let data = self.load_topic_snapshot(topic, snapshot)?;
+            let entry = snapshots.entry(snapshot).or_insert_with(|| Snapshot {
+                date: meta.dates[snapshot],
+                topics: BTreeMap::new(),
+                comments: BTreeMap::new(),
+            });
+            entry.topics.insert(topic, data);
+            if sel.include_comments {
+                if let Some(cs) = self.load_comments(topic, snapshot)? {
+                    snapshots
+                        .get_mut(&snapshot)
+                        .expect("just inserted")
+                        .comments
+                        .insert(topic, cs);
+                }
+            }
+            if sel.include_video_meta {
+                for info in self.load_video_meta(topic, snapshot)? {
+                    video_meta.entry(info.id.clone()).or_insert(info);
+                }
+            }
+        }
+        let mut channel_meta = HashMap::new();
+        if sel.include_channel_meta {
+            for info in self.load_channels()? {
+                channel_meta.insert(info.id.clone(), info);
+            }
+        }
+        Ok(AuditDataset {
+            topics: meta.topics,
+            snapshots: snapshots.into_values().collect(),
+            video_meta,
+            channel_meta,
+            quota_units_spent: self.quota_units_total(),
+        })
+    }
+
+    /// Rewrites the store's committed contents into a fresh file at
+    /// `dest`, dropping orphan blobs, dead segments, and torn-pair
+    /// leftovers. Returns the compacted store.
+    pub fn compact(&mut self, dest: &Path) -> Result<Store> {
+        let meta = self
+            .meta
+            .clone()
+            .ok_or_else(|| StoreError::Plan("store holds no collection".into()))?;
+        let mut out = Store::create(dest)?;
+        out.begin_collection(meta.clone())?;
+        let keys: Vec<(u16, u8)> = self.commits.keys().copied().collect();
+        for (snapshot_idx, topic_c) in keys {
+            let snapshot = snapshot_idx as usize;
+            let topic = crate::records::topic_from_code(topic_c)
+                .map_err(|e| StoreError::corrupt(0, e))?;
+            let data = self.load_topic_snapshot(topic, snapshot)?;
+            let comments = self.load_comments(topic, snapshot)?;
+            let videos = self.load_video_meta(topic, snapshot)?;
+            let quota_delta = self.commit_for(topic, snapshot)?.quota_delta;
+            out.commit_snapshot(&TopicCommit {
+                topic,
+                snapshot,
+                date: meta.dates[snapshot],
+                data: &data,
+                comments: comments.as_ref(),
+                videos: &videos,
+                quota_delta,
+            })?;
+        }
+        if let Some(end) = self.end.clone() {
+            let channels = self.load_channels()?;
+            out.finish_collection(&channels, end.quota_final_delta)?;
+        }
+        Ok(out)
+    }
+
+    /// Counters for `ytaudit store info`.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            path: self.path.clone(),
+            log_len: self.log.len(),
+            segments: self.segments,
+            records: self.records,
+            blobs: self.content.len() as u64,
+            blob_bytes: self.blob_bytes,
+            refs_total: self.refs_total,
+            committed_pairs: self.commits.len(),
+            planned_pairs: self.meta.as_ref().map(CollectionMeta::pairs),
+            complete: self.complete(),
+            quota_units: self.quota_units_total(),
+            recovered_bytes: self.recovered_bytes,
+        }
+    }
+
+    /// Read-only integrity check: replays the whole file without
+    /// modifying it, reporting the first checksum failure, undecodable
+    /// record, dangling reference, or torn tail.
+    pub fn verify_path(path: &Path) -> Result<VerifyReport> {
+        let mut replay = Replay::default();
+        let mut first_error: Option<String> = None;
+        let mut blob_kinds: HashMap<u64, u8> = HashMap::new();
+        let outcome = log::scan(path, |offset, payload| {
+            if first_error.is_some() {
+                return Ok(());
+            }
+            let record = match Record::decode(payload) {
+                Ok(record) => record,
+                Err(e) => {
+                    first_error = Some(format!("undecodable record at byte {offset}: {e}"));
+                    return Ok(());
+                }
+            };
+            // Reference checks: blobs always precede the blocks that
+            // reference them, and blocks precede their commit.
+            let check = |refs: &[u64], kinds: &HashMap<u64, u8>| -> Option<String> {
+                refs.iter()
+                    .find(|r| !kinds.contains_key(r))
+                    .map(|r| format!("dangling blob reference {r:#018x} at byte {offset}"))
+            };
+            match &record {
+                Record::Blob { kind, body } => {
+                    blob_kinds.insert(blob_hash(*kind, body), *kind);
+                }
+                Record::HourBlock { refs, .. } | Record::RefBlock { refs, .. } => {
+                    first_error = check(refs, &blob_kinds);
+                }
+                Record::Commit(c) => {
+                    first_error = replay.check_commit(c).err();
+                }
+                Record::End {
+                    channels_offset, ..
+                } => {
+                    if *channels_offset != 0
+                        && replay.ref_blocks.get(channels_offset) != Some(&PURPOSE_CHANNELS)
+                    {
+                        first_error =
+                            Some("end record's channel pointer does not resolve".to_string());
+                    }
+                }
+                _ => {}
+            }
+            if first_error.is_none() {
+                if let Err(e) = replay.absorb(offset, payload) {
+                    first_error = Some(e.to_string());
+                }
+            }
+            Ok(())
+        })?;
+        let mut torn_tail_bytes = 0;
+        if let Some(stop) = &outcome.stop {
+            if stop.is_torn_tail() {
+                torn_tail_bytes = outcome.file_len - outcome.valid_len;
+            } else if first_error.is_none() {
+                first_error = Some(format!(
+                    "record at byte {} failed validation: {:?}",
+                    stop.offset, stop.reason
+                ));
+            }
+        }
+        Ok(VerifyReport {
+            file_len: outcome.file_len,
+            valid_len: outcome.valid_len,
+            records: outcome.records,
+            blobs: replay.content.len() as u64,
+            commits: replay.commits.len(),
+            planned_pairs: replay.meta.as_ref().map(CollectionMeta::pairs),
+            complete: replay.complete(),
+            torn_tail_bytes,
+            first_error,
+        })
+    }
+}
+
+impl CollectorSink for Store {
+    fn begin(&mut self, config: &CollectorConfig) -> ytaudit_types::Result<()> {
+        self.begin_collection(CollectionMeta::of_config(config))
+            .map_err(Into::into)
+    }
+
+    fn is_committed(&self, topic: Topic, snapshot: usize) -> bool {
+        self.has_commit(topic, snapshot)
+    }
+
+    fn is_complete(&self) -> bool {
+        self.complete()
+    }
+
+    fn known_channel_ids(&self) -> ytaudit_types::Result<Vec<ChannelId>> {
+        Ok(self.channel_ids.iter().cloned().collect())
+    }
+
+    fn commit_topic_snapshot(&mut self, commit: TopicCommit<'_>) -> ytaudit_types::Result<()> {
+        self.commit_snapshot(&commit).map_err(Into::into)
+    }
+
+    fn finish(
+        &mut self,
+        channels: &[ChannelInfo],
+        quota_final_delta: u64,
+    ) -> ytaudit_types::Result<()> {
+        self.finish_collection(channels, quota_final_delta)
+            .map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+    use ytaudit_core::dataset::CommentRecord;
+    use ytaudit_types::{Timestamp, VideoId};
+
+    fn meta2x2() -> CollectionMeta {
+        CollectionMeta {
+            topics: vec![Topic::Higgs, Topic::Blm],
+            dates: vec![
+                Timestamp::from_ymd(2025, 2, 9).unwrap(),
+                Timestamp::from_ymd(2025, 2, 14).unwrap(),
+            ],
+            hourly_bins: true,
+            fetch_metadata: true,
+            fetch_channels: true,
+            fetch_comments: true,
+        }
+    }
+
+    fn vid(n: u32) -> VideoId {
+        VideoId::new(format!("vid-{n:06}"))
+    }
+
+    fn topic_data(base: u32) -> TopicSnapshot {
+        TopicSnapshot {
+            hours: vec![
+                HourlyResult {
+                    hour: 0,
+                    video_ids: vec![vid(base), vid(base + 1)],
+                    total_results: 40_000,
+                },
+                HourlyResult {
+                    hour: 7,
+                    video_ids: vec![vid(base + 1), vid(base + 2)],
+                    total_results: 41_000,
+                },
+            ],
+            meta_returned: vec![vid(base), vid(base + 1)],
+        }
+    }
+
+    fn video_info(n: u32) -> VideoInfo {
+        VideoInfo {
+            id: vid(n),
+            channel_id: ChannelId::new(format!("ch-{:03}", n % 3)),
+            published_at: Timestamp::from_ymd(2025, 1, 20).unwrap(),
+            duration_secs: 60 + u64::from(n),
+            is_sd: n % 2 == 0,
+            views: u64::from(n) * 100,
+            likes: u64::from(n) * 3,
+            comments: u64::from(n),
+        }
+    }
+
+    fn channel_info(n: u32) -> ChannelInfo {
+        ChannelInfo {
+            id: ChannelId::new(format!("ch-{n:03}")),
+            published_at: Timestamp::from_ymd(2018, 6, 1).unwrap(),
+            views: 1_000 * u64::from(n + 1),
+            subscribers: 10 * u64::from(n + 1),
+            video_count: u64::from(n + 1),
+        }
+    }
+
+    /// Commits the full 2×2 plan into `store` and returns the expected
+    /// dataset.
+    fn fill(store: &mut Store) -> AuditDataset {
+        let meta = meta2x2();
+        store.begin_collection(meta.clone()).unwrap();
+        let mut expected_snapshots = Vec::new();
+        for (idx, &date) in meta.dates.iter().enumerate() {
+            let mut topics = BTreeMap::new();
+            let mut comment_map = BTreeMap::new();
+            for (t_idx, &topic) in meta.topics.iter().enumerate() {
+                // Overlapping ID ranges across snapshots force dedup.
+                let base = t_idx as u32 * 100 + idx as u32;
+                let data = topic_data(base);
+                let videos: Vec<VideoInfo> =
+                    (base..base + 3).map(video_info).collect();
+                let comments = CommentsSnapshot {
+                    comments: vec![CommentRecord {
+                        id: format!("c-{topic:?}-{idx}"),
+                        video_id: vid(base),
+                        is_reply: idx == 1,
+                        published_at: date,
+                    }],
+                };
+                store
+                    .commit_snapshot(&TopicCommit {
+                        topic,
+                        snapshot: idx,
+                        date,
+                        data: &data,
+                        comments: Some(&comments),
+                        videos: &videos,
+                        quota_delta: 680,
+                    })
+                    .unwrap();
+                topics.insert(topic, data);
+                comment_map.insert(topic, comments);
+            }
+            expected_snapshots.push(Snapshot {
+                date,
+                topics,
+                comments: comment_map,
+            });
+        }
+        let channels: Vec<ChannelInfo> = (0..3).map(channel_info).collect();
+        store.finish_collection(&channels, 9).unwrap();
+
+        let mut video_meta = HashMap::new();
+        for snapshot in 0..meta.dates.len() as u32 {
+            for t_idx in 0..meta.topics.len() as u32 {
+                let base = t_idx * 100 + snapshot;
+                for n in base..base + 3 {
+                    video_meta
+                        .entry(vid(n))
+                        .or_insert_with(|| video_info(n));
+                }
+            }
+        }
+        AuditDataset {
+            topics: meta.topics,
+            snapshots: expected_snapshots,
+            video_meta,
+            channel_meta: channels.into_iter().map(|c| (c.id.clone(), c)).collect(),
+            quota_units_spent: 680 * 4 + 9,
+        }
+    }
+
+    #[test]
+    fn commit_load_round_trip_across_reopen() {
+        let dir = TempDir::new("store-roundtrip");
+        let path = dir.file("audit.yts");
+        let expected = {
+            let mut store = Store::create(&path).unwrap();
+            let expected = fill(&mut store);
+            assert!(store.complete());
+            assert_eq!(store.load_dataset().unwrap(), expected);
+            expected
+        };
+        // Reopen from disk: everything replays.
+        let mut store = Store::open(&path).unwrap();
+        assert!(store.complete());
+        assert_eq!(store.recovered_bytes(), 0);
+        assert_eq!(store.load_dataset().unwrap(), expected);
+        assert_eq!(store.quota_units_total(), expected.quota_units_spent);
+        // Slice loading agrees with the full load.
+        let hour = store.load_hour(Topic::Blm, 1, 7).unwrap().unwrap();
+        assert_eq!(
+            hour,
+            expected.snapshots[1].topics[&Topic::Blm].hours[1]
+        );
+        assert!(store.load_hour(Topic::Blm, 1, 99).unwrap().is_none());
+    }
+
+    #[test]
+    fn dedup_shares_blobs_across_snapshots() {
+        let dir = TempDir::new("store-dedup");
+        let path = dir.file("audit.yts");
+        let mut store = Store::create(&path).unwrap();
+        fill(&mut store);
+        let stats = store.stats();
+        assert!(
+            stats.refs_total > stats.blobs,
+            "refs {} vs blobs {}",
+            stats.refs_total,
+            stats.blobs
+        );
+        assert!(stats.dedup_ratio() > 1.0);
+        // vid(1) appears in snapshot 0 (base 0) and snapshot 1 (base 1)
+        // of Higgs: one stored blob, many references.
+        assert_eq!(stats.committed_pairs, 4);
+        assert_eq!(stats.planned_pairs, Some(4));
+    }
+
+    #[test]
+    fn selection_skips_heavy_parts() {
+        let dir = TempDir::new("store-selection");
+        let path = dir.file("audit.yts");
+        let mut store = Store::create(&path).unwrap();
+        let expected = fill(&mut store);
+        let slim = store
+            .load_dataset_filtered(DatasetSelection::search_only())
+            .unwrap();
+        assert!(slim.video_meta.is_empty());
+        assert!(slim.channel_meta.is_empty());
+        assert!(slim.snapshots.iter().all(|s| s.comments.is_empty()));
+        for (got, want) in slim.snapshots.iter().zip(&expected.snapshots) {
+            assert_eq!(got.topics, want.topics);
+        }
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_inflight_pair() {
+        let dir = TempDir::new("store-torn");
+        let path = dir.file("audit.yts");
+        let meta = meta2x2();
+        let second_commit_len;
+        {
+            let mut store = Store::create(&path).unwrap();
+            store.begin_collection(meta.clone()).unwrap();
+            let data = topic_data(0);
+            store
+                .commit_snapshot(&TopicCommit {
+                    topic: Topic::Higgs,
+                    snapshot: 0,
+                    date: meta.dates[0],
+                    data: &data,
+                    comments: None,
+                    videos: &[],
+                    quota_delta: 672,
+                })
+                .unwrap();
+            let first_commit_len = store.log.len();
+            let data = topic_data(50);
+            store
+                .commit_snapshot(&TopicCommit {
+                    topic: Topic::Blm,
+                    snapshot: 0,
+                    date: meta.dates[0],
+                    data: &data,
+                    comments: None,
+                    videos: &[],
+                    quota_delta: 672,
+                })
+                .unwrap();
+            second_commit_len = store.log.len();
+            assert!(second_commit_len > first_commit_len);
+        }
+        // Tear off the last few bytes: the second pair's commit record is
+        // damaged, the first pair's is untouched.
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap();
+        file.set_len(second_commit_len - 3).unwrap();
+        drop(file);
+
+        let mut store = Store::open(&path).unwrap();
+        assert!(store.recovered_bytes() > 0);
+        assert!(store.has_commit(Topic::Higgs, 0));
+        assert!(!store.has_commit(Topic::Blm, 0));
+        assert!(!store.complete());
+        // The surviving pair loads intact.
+        let loaded = store.load_topic_snapshot(Topic::Higgs, 0).unwrap();
+        assert_eq!(loaded, topic_data(0));
+        // And the torn pair can simply be re-committed.
+        let data = topic_data(50);
+        store
+            .commit_snapshot(&TopicCommit {
+                topic: Topic::Blm,
+                snapshot: 0,
+                date: meta.dates[0],
+                data: &data,
+                comments: None,
+                videos: &[],
+                quota_delta: 672,
+            })
+            .unwrap();
+        assert!(store.has_commit(Topic::Blm, 0));
+    }
+
+    #[test]
+    fn verify_detects_a_flipped_byte() {
+        let dir = TempDir::new("store-verify");
+        let path = dir.file("audit.yts");
+        let mut store = Store::create(&path).unwrap();
+        fill(&mut store);
+        drop(store);
+
+        let clean = Store::verify_path(&path).unwrap();
+        assert!(clean.ok(), "{clean:?}");
+        assert!(clean.complete);
+        assert_eq!(clean.commits, 4);
+
+        // Flip one byte that is provably inside a record payload (not a
+        // frame header, which could masquerade as a torn tail).
+        let mut target = None;
+        log::scan(&path, |offset, payload| {
+            if target.is_none() && payload.len() > 16 {
+                target = Some(offset + log::FRAME_HEADER + 8);
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[target.unwrap() as usize] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let report = Store::verify_path(&path).unwrap();
+        assert!(!report.ok());
+        assert!(report.first_error.is_some(), "{report:?}");
+        assert_eq!(report.torn_tail_bytes, 0);
+        // And open() refuses interior damage outright.
+        assert!(matches!(Store::open(&path), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn compact_preserves_data_and_drops_orphans() {
+        let dir = TempDir::new("store-compact");
+        let path = dir.file("audit.yts");
+        let mut store = Store::create(&path).unwrap();
+        let expected = fill(&mut store);
+        let compacted_path = dir.file("compacted.yts");
+        let mut compacted = store.compact(&compacted_path).unwrap();
+        assert!(compacted.complete());
+        assert_eq!(compacted.load_dataset().unwrap(), expected);
+        // Reopen the compacted file for good measure.
+        drop(compacted);
+        let mut reopened = Store::open(&compacted_path).unwrap();
+        assert_eq!(reopened.load_dataset().unwrap(), expected);
+    }
+
+    #[test]
+    fn plan_mismatch_and_double_commit_are_rejected() {
+        let dir = TempDir::new("store-plan");
+        let path = dir.file("audit.yts");
+        let meta = meta2x2();
+        let mut store = Store::create(&path).unwrap();
+        store.begin_collection(meta.clone()).unwrap();
+        // Same plan again: fine (resume).
+        store.begin_collection(meta.clone()).unwrap();
+        // A different plan: rejected.
+        let mut other = meta.clone();
+        other.fetch_comments = false;
+        assert!(matches!(
+            store.begin_collection(other),
+            Err(StoreError::Plan(_))
+        ));
+        // Double commit of a pair: rejected.
+        let data = topic_data(0);
+        let commit = |store: &mut Store| {
+            store.commit_snapshot(&TopicCommit {
+                topic: Topic::Higgs,
+                snapshot: 0,
+                date: meta.dates[0],
+                data: &data,
+                comments: None,
+                videos: &[],
+                quota_delta: 1,
+            })
+        };
+        commit(&mut store).unwrap();
+        assert!(matches!(commit(&mut store), Err(StoreError::Plan(_))));
+        // Wrong date: rejected.
+        assert!(matches!(
+            store.commit_snapshot(&TopicCommit {
+                topic: Topic::Blm,
+                snapshot: 1,
+                date: meta.dates[0],
+                data: &data,
+                comments: None,
+                videos: &[],
+                quota_delta: 1,
+            }),
+            Err(StoreError::Plan(_))
+        ));
+        // Finishing with pairs missing: rejected.
+        assert!(matches!(
+            store.finish_collection(&[], 0),
+            Err(StoreError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn known_channel_ids_survive_reopen() {
+        let dir = TempDir::new("store-channels");
+        let path = dir.file("audit.yts");
+        {
+            let mut store = Store::create(&path).unwrap();
+            fill(&mut store);
+        }
+        let store = Store::open(&path).unwrap();
+        let ids = CollectorSink::known_channel_ids(&store).unwrap();
+        assert_eq!(
+            ids,
+            vec![
+                ChannelId::new("ch-000"),
+                ChannelId::new("ch-001"),
+                ChannelId::new("ch-002")
+            ]
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Binary framing primitives: little-endian fixed-width integers and
+//! length-prefixed byte strings, with a bounds-checked reader whose errors
+//! carry enough detail for corruption reports.
+
+/// Appends little-endian primitives to a byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a `u32` length prefix followed by the raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Decoding failure: a human-readable description of what went wrong at
+/// which position inside the payload.
+pub type WireError = String;
+
+/// Bounds-checked little-endian reader over a payload slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the whole payload was consumed — catches records with
+    /// trailing garbage that a valid checksum would otherwise hide.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after record body", self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated {what} at byte {}: need {n}, have {}",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+    }
+
+    /// Reads a boolean byte, rejecting values other than 0/1.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("invalid boolean byte {other:#04x}")),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        self.take(len, "byte string")
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.bytes()?).map_err(|e| format!("invalid UTF-8: {e}"))
+    }
+
+    /// Consumes and returns everything left (used for blob bodies, whose
+    /// length is implied by the record frame).
+    pub fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_primitives() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-86_400);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_str("dQw4w9WgXcQ");
+        w.put_bytes(b"");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -86_400);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "dQw4w9WgXcQ");
+        assert_eq!(r.bytes().unwrap(), b"");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..4]);
+        assert!(r.u64().is_err());
+
+        let mut r = Reader::new(&bytes);
+        r.u32().unwrap();
+        assert!(r.expect_end().is_err());
+
+        // A length prefix larger than the remaining payload.
+        let mut w = Writer::new();
+        w.put_u32(1_000);
+        w.put_u8(1);
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes).bytes().is_err());
+
+        assert!(Reader::new(&[9]).bool().is_err());
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`api`] — the simulated Data API v3 (endpoints, quota, wire schemas);
 //! * [`client`] — the typed researcher-side client;
 //! * [`stats`] — regressions, correlations, Markov chains, Jaccard;
-//! * [`core`] — the audit harness and every table/figure analysis.
+//! * [`core`] — the audit harness and every table/figure analysis;
+//! * [`store`] — the crash-safe, append-only snapshot store behind
+//!   resumable collections (`ytaudit collect --store … --resume`).
 //!
 //! ## Quickstart
 //!
@@ -49,4 +51,5 @@ pub use ytaudit_core as core;
 pub use ytaudit_net as net;
 pub use ytaudit_platform as platform;
 pub use ytaudit_stats as stats;
+pub use ytaudit_store as store;
 pub use ytaudit_types as types;

@@ -1,6 +1,7 @@
 //! Failure-injection integration tests: the collection pipeline must
 //! survive transient backend errors, surface quota exhaustion cleanly,
-//! and tolerate the API's metadata misses — over real sockets.
+//! tolerate the API's metadata misses — over real sockets — and the
+//! snapshot store must survive truncation at any byte offset.
 
 use std::sync::Arc;
 use ytaudit::api::service::FaultConfig;
@@ -159,6 +160,118 @@ fn deleted_video_mid_audit_shows_up_as_attrition_not_error() {
     client.set_sim_time(Some(when + 3600));
     let after = client.videos(std::slice::from_ref(&deleted.id)).expect("ok");
     assert!(after.is_empty(), "deleted videos are omitted, not errors");
+}
+
+/// Property sweep: a store file truncated at *any* byte offset must
+/// either reopen cleanly with exactly the fully-committed pairs intact
+/// (any cut past the 8-byte magic) or fail the open (a cut inside the
+/// magic). No dependency on a property-testing crate: the offsets are
+/// every commit boundary ±1 plus a deterministic pseudo-random scatter.
+#[test]
+fn store_truncated_at_arbitrary_offset_keeps_every_committed_pair() {
+    use ytaudit::core::dataset::{HourlyResult, TopicSnapshot};
+    use ytaudit::core::TopicCommit;
+    use ytaudit::store::{CollectionMeta, Store, TempDir};
+    use ytaudit::types::VideoId;
+
+    let dir = TempDir::new("truncation-sweep");
+    let path = dir.file("audit.yts");
+    let meta = CollectionMeta {
+        topics: vec![Topic::Higgs, Topic::Blm],
+        dates: (0..3)
+            .map(|i| Timestamp::from_ymd(2025, 2, 9).unwrap().add_days(5 * i))
+            .collect(),
+        hourly_bins: true,
+        fetch_metadata: false,
+        fetch_channels: false,
+        fetch_comments: false,
+    };
+    let pair_data = |seed: u32| TopicSnapshot {
+        hours: (0..3)
+            .map(|h| HourlyResult {
+                hour: h,
+                video_ids: (0..4)
+                    .map(|v| VideoId::new(format!("vid-{:04}", seed * 2 + h * 4 + v)))
+                    .collect(),
+                total_results: 40_000 + u64::from(seed),
+            })
+            .collect(),
+        meta_returned: Vec::new(),
+    };
+
+    // Commit all six pairs, recording the file length after each commit
+    // (each length is a durability boundary: cuts at or past it must
+    // preserve that commit).
+    let mut commit_lens: Vec<u64> = Vec::new();
+    {
+        let mut store = Store::create(&path).unwrap();
+        store.begin_collection(meta.clone()).unwrap();
+        let mut seed = 0;
+        for (idx, &date) in meta.dates.iter().enumerate() {
+            for &topic in &meta.topics {
+                store
+                    .commit_snapshot(&TopicCommit {
+                        topic,
+                        snapshot: idx,
+                        date,
+                        data: &pair_data(seed),
+                        comments: None,
+                        videos: &[],
+                        quota_delta: 680,
+                    })
+                    .unwrap();
+                commit_lens.push(store.stats().log_len);
+                seed += 1;
+            }
+        }
+        store.finish_collection(&[], 7).unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    let file_len = bytes.len() as u64;
+    assert_eq!(commit_lens.len(), 6);
+
+    // Offsets: every commit boundary ±1, the file ends, and an LCG
+    // scatter across the whole file.
+    let mut cuts: Vec<u64> = vec![0, 1, 7, 8, 9, file_len - 1, file_len];
+    for &len in &commit_lens {
+        cuts.extend([len - 1, len, len + 1]);
+    }
+    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    for _ in 0..40 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        cuts.push(x % (file_len + 1));
+    }
+
+    for cut in cuts {
+        let cut_path = dir.file(&format!("cut-{cut}.yts"));
+        std::fs::write(&cut_path, &bytes[..cut as usize]).unwrap();
+        let expected = commit_lens.iter().filter(|&&l| l <= cut).count();
+        match Store::open(&cut_path) {
+            Ok(mut reopened) => {
+                assert!(cut >= 8, "cut {cut}: opened inside the magic");
+                assert_eq!(
+                    reopened.committed_pairs(),
+                    expected,
+                    "cut at byte {cut} of {file_len}"
+                );
+                let finish_delta = if cut == file_len { 7 } else { 0 };
+                assert_eq!(
+                    reopened.quota_units_total(),
+                    680 * expected as u64 + finish_delta
+                );
+                if expected > 0 {
+                    // Every surviving commit loads back intact.
+                    let dataset = reopened.load_dataset().unwrap();
+                    let pairs: usize =
+                        dataset.snapshots.iter().map(|s| s.topics.len()).sum();
+                    assert_eq!(pairs, expected, "cut at byte {cut}");
+                }
+            }
+            Err(e) => {
+                assert!(cut < 8, "cut {cut}: open must recover, got {e}");
+            }
+        }
+    }
 }
 
 #[test]

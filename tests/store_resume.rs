@@ -1,0 +1,208 @@
+//! Store-backed collection end to end: crash mid-collection, resume
+//! without re-spending quota, and export equivalence with the legacy
+//! in-memory dataset.
+
+use ytaudit::core::dataset::ChannelInfo;
+use ytaudit::core::testutil::test_client;
+use ytaudit::core::{AuditDataset, Collector, CollectorConfig, CollectorSink, TopicCommit};
+use ytaudit::store::{CollectionMeta, DatasetSelection, Store, TempDir};
+use ytaudit::types::{ChannelId, Error, Result, Timestamp, Topic};
+
+const SCALE: f64 = 0.1;
+
+fn config() -> CollectorConfig {
+    CollectorConfig {
+        fetch_comments: true,
+        ..CollectorConfig::quick(vec![Topic::Higgs, Topic::Blm], 2)
+    }
+}
+
+/// A sink that forwards to a [`Store`] but "crashes" (errors) instead of
+/// performing the N+1-th pair commit — simulating a process death with N
+/// pairs durably banked and one pair's work in flight.
+struct FailAfter {
+    store: Store,
+    commits_left: usize,
+}
+
+impl CollectorSink for FailAfter {
+    fn begin(&mut self, config: &CollectorConfig) -> Result<()> {
+        self.store.begin(config)
+    }
+
+    fn is_committed(&self, topic: Topic, snapshot: usize) -> bool {
+        self.store.is_committed(topic, snapshot)
+    }
+
+    fn is_complete(&self) -> bool {
+        self.store.is_complete()
+    }
+
+    fn known_channel_ids(&self) -> Result<Vec<ChannelId>> {
+        CollectorSink::known_channel_ids(&self.store)
+    }
+
+    fn commit_topic_snapshot(&mut self, commit: TopicCommit<'_>) -> Result<()> {
+        if self.commits_left == 0 {
+            return Err(Error::Io("injected crash before commit".into()));
+        }
+        self.commits_left -= 1;
+        self.store.commit_topic_snapshot(commit)
+    }
+
+    fn finish(&mut self, channels: &[ChannelInfo], quota_final_delta: u64) -> Result<()> {
+        self.store.finish(channels, quota_final_delta)
+    }
+}
+
+#[test]
+fn interrupted_collection_resumes_without_reissuing_committed_calls() {
+    let dir = TempDir::new("resume-e2e");
+    let path = dir.file("audit.yts");
+    let cfg = config();
+
+    // Reference: one full legacy in-memory collection.
+    let (full_client, _sf) = test_client(SCALE);
+    let legacy = Collector::new(&full_client, cfg.clone()).run().unwrap();
+    let full_units = full_client.budget().units_spent();
+    assert_eq!(legacy.quota_units_spent, full_units);
+
+    // Interrupted run: dies at the 4th of 4 pair commits, so three pairs
+    // are durably banked and the in-flight pair's work is lost.
+    let (client1, _s1) = test_client(SCALE);
+    let mut sink = FailAfter {
+        store: Store::create(&path).unwrap(),
+        commits_left: 3,
+    };
+    let err = Collector::new(&client1, cfg.clone())
+        .run_with_sink(&mut sink)
+        .unwrap_err();
+    assert!(matches!(err, Error::Io(_)), "{err:?}");
+    drop(sink);
+
+    // Resume with a fresh client (fresh quota budget): the three banked
+    // pairs are skipped, so the resumed spend is exactly the full spend
+    // minus what the banked pairs cost. Platform determinism makes the
+    // equality exact — any re-issued call for a committed pair would
+    // break it.
+    let (client2, _s2) = test_client(SCALE);
+    let mut store = Store::open(&path).unwrap();
+    assert_eq!(store.committed_pairs(), 3);
+    let banked = store.quota_units_total();
+    assert!(banked > 0);
+    Collector::new(&client2, cfg.clone())
+        .run_with_sink(&mut store)
+        .unwrap();
+    assert!(store.complete());
+    let resumed_units = client2.budget().units_spent();
+    assert_eq!(resumed_units, full_units - banked);
+    assert_eq!(store.quota_units_total(), full_units);
+
+    // Export equivalence: the store materializes the exact dataset the
+    // uninterrupted in-memory run produced, and it JSON-round-trips.
+    let exported = store.load_dataset().unwrap();
+    assert_eq!(exported, legacy);
+    assert_eq!(
+        AuditDataset::from_json(&exported.to_json()).unwrap(),
+        exported
+    );
+
+    // A filtered load agrees on the parts it includes.
+    let slim = store
+        .load_dataset_filtered(DatasetSelection::search_only())
+        .unwrap();
+    assert_eq!(slim.snapshots.len(), legacy.snapshots.len());
+    for (got, want) in slim.snapshots.iter().zip(&legacy.snapshots) {
+        assert_eq!(got.topics, want.topics);
+    }
+    assert!(slim.video_meta.is_empty());
+
+    // Resuming a complete store is free: the collector sees
+    // `is_complete` and issues zero API calls.
+    let (client3, _s3) = test_client(SCALE);
+    Collector::new(&client3, cfg)
+        .run_with_sink(&mut store)
+        .unwrap();
+    assert_eq!(client3.budget().units_spent(), 0);
+    assert_eq!(client3.budget().calls_made(), 0);
+}
+
+#[test]
+fn resuming_with_a_different_plan_is_rejected() {
+    let dir = TempDir::new("resume-plan");
+    let path = dir.file("audit.yts");
+    {
+        let mut store = Store::create(&path).unwrap();
+        store
+            .begin_collection(CollectionMeta::of_config(&config()))
+            .unwrap();
+    }
+    // Same store, different plan: the sink refuses before any API call.
+    let (client, _s) = test_client(0.05);
+    let mut store = Store::open(&path).unwrap();
+    let different = CollectorConfig {
+        fetch_comments: false,
+        ..config()
+    };
+    let err = Collector::new(&client, different)
+        .run_with_sink(&mut store)
+        .unwrap_err();
+    assert!(matches!(err, Error::InvalidInput(_)), "{err:?}");
+    assert_eq!(client.budget().units_spent(), 0);
+
+    // The original plan still resumes fine (and collects for real).
+    let mut store = Store::open(&path).unwrap();
+    Collector::new(&client, config())
+        .run_with_sink(&mut store)
+        .unwrap();
+    assert!(store.complete());
+}
+
+#[test]
+fn verify_reports_damage_in_a_collected_store() {
+    let dir = TempDir::new("verify-e2e");
+    let path = dir.file("audit.yts");
+    {
+        // A tiny synthetic collection, committed through the public API.
+        let mut store = Store::create(&path).unwrap();
+        let meta = CollectionMeta {
+            topics: vec![Topic::Higgs],
+            dates: vec![Timestamp::from_ymd(2025, 2, 9).unwrap()],
+            hourly_bins: true,
+            fetch_metadata: false,
+            fetch_channels: false,
+            fetch_comments: false,
+        };
+        store.begin_collection(meta.clone()).unwrap();
+        let data = ytaudit::core::dataset::TopicSnapshot {
+            hours: vec![ytaudit::core::dataset::HourlyResult {
+                hour: 0,
+                video_ids: vec![ytaudit::types::VideoId::new("dQw4w9WgXcQ")],
+                total_results: 40_000,
+            }],
+            meta_returned: Vec::new(),
+        };
+        store
+            .commit_snapshot(&TopicCommit {
+                topic: Topic::Higgs,
+                snapshot: 0,
+                date: meta.dates[0],
+                data: &data,
+                comments: None,
+                videos: &[],
+                quota_delta: 672,
+            })
+            .unwrap();
+        store.finish_collection(&[], 0).unwrap();
+    }
+    assert!(Store::verify_path(&path).unwrap().ok());
+
+    // Flip one bit in the middle of the file: verify reports it and a
+    // fresh open refuses the file.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let report = Store::verify_path(&path).unwrap();
+    assert!(!report.ok(), "{report:?}");
+}
