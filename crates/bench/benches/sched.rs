@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the concurrent collection scheduler:
+//! wall-clock of the same reduced plan through the sequential collector
+//! and through worker pools of 2, 4, and 8, all against one shared
+//! in-process platform. The interesting number is the ratio — the
+//! dataset is identical in every row by construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use ytaudit_core::testutil::test_client;
+use ytaudit_core::{Collector, CollectorConfig, MemorySink};
+use ytaudit_sched::{InProcessFactory, Scheduler, SchedulerConfig};
+use ytaudit_types::Topic;
+
+const SCALE: f64 = 0.05;
+const KEY: &str = "research-key";
+
+fn config() -> CollectorConfig {
+    CollectorConfig::quick(vec![Topic::Higgs, Topic::Blm], 2)
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let (client, service) = test_client(SCALE);
+    // Criterion repeats each run many times; lift the key's daily limit
+    // so the ledger never 403s mid-benchmark.
+    service.quota().register(KEY, u64::MAX / 2);
+    let factory = InProcessFactory::new(Arc::clone(&service));
+
+    let mut group = c.benchmark_group("sched");
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let dataset = Collector::new(&client, config()).run().unwrap();
+            black_box(dataset.snapshots.len())
+        })
+    });
+
+    for workers in [2usize, 4, 8] {
+        group.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                let scheduler =
+                    Scheduler::new(&factory, config(), SchedulerConfig::new(workers, KEY));
+                let mut sink = MemorySink::new();
+                let report = scheduler.run(&mut sink).unwrap();
+                assert!(report.completed());
+                black_box(report.pairs_committed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collect);
+criterion_main!(benches);

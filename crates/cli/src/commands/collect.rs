@@ -5,10 +5,15 @@ use crate::args::{ArgError, Args};
 use crate::commands::{parse_topics, write_atomic};
 use std::path::Path;
 use std::sync::Arc;
+use ytaudit_api::ApiService;
 use ytaudit_client::{HttpTransport, InProcessTransport, YouTubeClient};
 use ytaudit_core::dataset::ChannelInfo;
 use ytaudit_core::{Collector, CollectorConfig, CollectorSink, MemorySink, Schedule, TopicCommit};
 use ytaudit_platform::{Corpus, CorpusConfig, Platform, SimClock};
+use ytaudit_sched::{
+    HttpFactory, InProcessFactory, MetricsRegistry, QuotaGovernor, RunOutcome, Scheduler,
+    SchedulerConfig, TransportFactory,
+};
 use ytaudit_store::Store;
 use ytaudit_types::{ChannelId, Timestamp, Topic};
 
@@ -29,6 +34,12 @@ OPTIONS:
     --base-url <URL>         collect against a served API instead of
                              an in-process platform
     --key <API KEY>          API key to use                  (default cli-key)
+    --workers <N>            collect with N concurrent workers through the
+                             scheduler (default 0 = classic sequential path;
+                             the dataset is identical either way)
+    --rate <units/sec>       pace all workers through a shared quota governor
+                             refilling this many quota units per second
+                             (requires --workers)
     --out <file.json>        where to write the dataset      (default dataset.json;
                              with --store, only written when given explicitly)
     --store <file.yts>       commit to a crash-safe snapshot store instead
@@ -141,6 +152,128 @@ impl<S: CollectorSink> CollectorSink for Progress<S> {
     }
 }
 
+/// Where API traffic goes: a served base URL or an in-process simulated
+/// service. Built once, before choosing the sequential or scheduler
+/// path, so every worker shares the same platform and quota ledger.
+enum Backend {
+    Http(String),
+    InProcess(Arc<ApiService>),
+}
+
+impl Backend {
+    /// A single client for the classic sequential collector.
+    fn client(&self, key: &str) -> YouTubeClient {
+        match self {
+            Backend::Http(base) => {
+                YouTubeClient::new(Box::new(HttpTransport::new(base.clone())), key)
+            }
+            Backend::InProcess(service) => {
+                YouTubeClient::new(Box::new(InProcessTransport::new(Arc::clone(service))), key)
+            }
+        }
+    }
+
+    /// A per-worker transport factory for the scheduler.
+    fn factory(&self) -> Box<dyn TransportFactory> {
+        match self {
+            Backend::Http(base) => Box::new(HttpFactory::new(base.clone())),
+            Backend::InProcess(service) => Box::new(InProcessFactory::new(Arc::clone(service))),
+        }
+    }
+}
+
+/// Forwards to the wrapped sink and prints the scheduler's live metrics
+/// line after every committed pair.
+struct MetricsLine<'a> {
+    inner: &'a mut dyn CollectorSink,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl CollectorSink for MetricsLine<'_> {
+    fn begin(&mut self, config: &CollectorConfig) -> ytaudit_types::Result<()> {
+        self.inner.begin(config)
+    }
+
+    fn is_committed(&self, topic: Topic, snapshot: usize) -> bool {
+        self.inner.is_committed(topic, snapshot)
+    }
+
+    fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    fn known_channel_ids(&self) -> ytaudit_types::Result<Vec<ChannelId>> {
+        self.inner.known_channel_ids()
+    }
+
+    fn commit_topic_snapshot(&mut self, commit: TopicCommit<'_>) -> ytaudit_types::Result<()> {
+        self.inner.commit_topic_snapshot(commit)?;
+        eprintln!("[sched] {}", self.metrics.snapshot().progress_line());
+        Ok(())
+    }
+
+    fn finish(
+        &mut self,
+        channels: &[ChannelInfo],
+        quota_final_delta: u64,
+    ) -> ytaudit_types::Result<()> {
+        self.inner.finish(channels, quota_final_delta)
+    }
+}
+
+/// Drives one collection into `sink`, either through the classic
+/// sequential [`Collector`] (`workers == 0`) or through the concurrent
+/// [`Scheduler`]. The scheduler path prints the metrics summary table
+/// whether the run completed or drained early; a drained store is left
+/// resumable, so the error message points at `--resume`.
+fn drive(
+    backend: &Backend,
+    config: &CollectorConfig,
+    key: &str,
+    workers: usize,
+    rate: f64,
+    sink: &mut dyn CollectorSink,
+) -> Result<(), ArgError> {
+    if workers == 0 {
+        let client = backend.client(key);
+        return Collector::new(&client, config.clone())
+            .run_with_sink(sink)
+            .map_err(|e| ArgError(format!("collection failed: {e}")));
+    }
+    let factory = backend.factory();
+    let mut scheduler = Scheduler::new(
+        factory.as_ref(),
+        config.clone(),
+        SchedulerConfig::new(workers, key),
+    );
+    if rate > 0.0 {
+        scheduler = scheduler.with_governor(QuotaGovernor::per_second(rate, rate));
+    }
+    let metrics = scheduler.metrics();
+    let mut lined = MetricsLine {
+        inner: sink,
+        metrics,
+    };
+    let report = scheduler
+        .run(&mut lined)
+        .map_err(|e| ArgError(format!("collection failed: {e}")))?;
+    eprint!("{}", report.metrics.render_table());
+    match report.outcome {
+        RunOutcome::Completed => Ok(()),
+        RunOutcome::Drained { error: None } => {
+            eprintln!(
+                "[collect] shutdown requested: in-flight work drained, committed pairs \
+                 are banked"
+            );
+            Ok(())
+        }
+        RunOutcome::Drained { error: Some(e) } => Err(ArgError(format!(
+            "collection drained after error: {e}; committed pairs are banked \
+             (rerun with --store … --resume to continue)"
+        ))),
+    }
+}
+
 /// Runs the command.
 pub fn run(args: &Args) -> Result<(), ArgError> {
     let topics = parse_topics(args.get("topics"))?;
@@ -149,6 +282,11 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let resume = args.flag("resume");
     if resume && store_path.is_none() {
         return Err(ArgError("--resume requires --store".into()));
+    }
+    let workers: usize = args.get_parsed("workers", 0)?;
+    let rate: f64 = args.get_parsed("rate", 0.0)?;
+    if args.get("rate").is_some() && workers == 0 {
+        return Err(ArgError("--rate requires --workers".into()));
     }
 
     let schedule = if args.flag("paper") {
@@ -171,8 +309,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         fetch_comments: !args.flag("no-comments"),
     };
 
-    let client = match args.get("base-url") {
-        Some(base) => YouTubeClient::new(Box::new(HttpTransport::new(base.to_string())), key),
+    let backend = match args.get("base-url") {
+        Some(base) => Backend::Http(base.to_string()),
         None => {
             let scale: f64 = args.get_parsed("scale", 1.0)?;
             let mut corpus_config = CorpusConfig {
@@ -185,21 +323,25 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
                     .map_err(|_| ArgError(format!("invalid --seed {seed:?}")))?;
             }
             eprintln!("[collect] generating in-process corpus (scale {scale})…");
-            let service = Arc::new(ytaudit_api::ApiService::new(
+            let service = Arc::new(ApiService::new(
                 Arc::new(Platform::new(Corpus::generate(corpus_config))),
                 SimClock::at_audit_start(),
             ));
             service.quota().register(&key, u64::MAX / 2);
-            YouTubeClient::new(Box::new(InProcessTransport::new(service)), key)
+            Backend::InProcess(service)
         }
     };
 
     eprintln!(
-        "[collect] {} topics × {} snapshots, hourly-binned…",
+        "[collect] {} topics × {} snapshots, hourly-binned{}…",
         config.topics.len(),
-        config.schedule.len()
+        config.schedule.len(),
+        if workers > 0 {
+            format!(", {workers} workers")
+        } else {
+            String::new()
+        }
     );
-    let collector = Collector::new(&client, config);
     match store_path {
         Some(spath) => {
             let path = Path::new(&spath);
@@ -224,9 +366,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
                 );
             }
             let mut sink = Progress::new(store);
-            collector
-                .run_with_sink(&mut sink)
-                .map_err(|e| ArgError(format!("collection failed: {e}")))?;
+            let outcome = drive(&backend, &config, &key, workers, rate, &mut sink);
             let mut store = sink.into_inner();
             let stats = store.stats();
             println!(
@@ -239,6 +379,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
                 stats.dedup_ratio(),
                 stats.quota_units
             );
+            outcome?;
             if let Some(out) = args.get("out") {
                 let dataset = store
                     .load_dataset()
@@ -249,9 +390,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         None => {
             let out = args.get("out").unwrap_or("dataset.json").to_string();
             let mut sink = Progress::new(MemorySink::new());
-            collector
-                .run_with_sink(&mut sink)
-                .map_err(|e| ArgError(format!("collection failed: {e}")))?;
+            drive(&backend, &config, &key, workers, rate, &mut sink)?;
             let dataset = sink.into_inner().into_dataset();
             write_dataset_json(&out, &dataset)?;
         }
@@ -262,10 +401,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
 /// Writes the dataset atomically (`<out>.tmp` + rename), so an
 /// interrupted write can never leave a half-serialized dataset at the
 /// target path.
-fn write_dataset_json(
-    out: &str,
-    dataset: &ytaudit_core::AuditDataset,
-) -> Result<(), ArgError> {
+fn write_dataset_json(out: &str, dataset: &ytaudit_core::AuditDataset) -> Result<(), ArgError> {
     write_atomic(out, &dataset.to_json())
         .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
     println!(

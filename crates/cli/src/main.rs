@@ -7,6 +7,7 @@
 //!                  [--paper] [--no-comments] [--no-metadata] [--scale 1.0]
 //!                  [--base-url http://…] [--out dataset.json]
 //!                  [--store audit.yts] [--resume]
+//!                  [--workers N] [--rate units/sec]
 //! ytaudit analyze  <dataset.json> [--store audit.yts] [--experiment all|table1|
 //!                  table2|table3|table4|table5|table6|table7|fig1|fig2|fig3|fig4]
 //! ytaudit store    <info|verify|compact|export-json> <file.yts> [--out …]
@@ -60,7 +61,13 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
     let args = Args::parse(
         tokens,
         &[
-            "help", "paper", "quick", "no-comments", "no-metadata", "no-channels", "hourly",
+            "help",
+            "paper",
+            "quick",
+            "no-comments",
+            "no-metadata",
+            "no-channels",
+            "hourly",
             "resume",
         ],
     )?;

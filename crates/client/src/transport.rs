@@ -59,23 +59,31 @@ impl Transport for InProcessTransport {
     }
 }
 
-/// Calls the API over HTTP via `ytaudit-net`.
+/// Calls the API over HTTP via `ytaudit-net`. The underlying client is
+/// held behind an `Arc` so a caller (the scheduler's transport factory)
+/// can keep a handle to read connection-pool statistics after the run.
 pub struct HttpTransport {
-    client: HttpClient,
+    client: Arc<HttpClient>,
     base_url: String,
 }
 
 impl HttpTransport {
     /// Targets a served API at `base_url` (e.g. `http://127.0.0.1:4321`).
     pub fn new(base_url: impl Into<String>) -> HttpTransport {
-        HttpTransport {
-            client: HttpClient::new(),
-            base_url: base_url.into(),
-        }
+        HttpTransport::with_client(base_url, HttpClient::new())
     }
 
     /// Uses an existing HTTP client (custom timeouts etc.).
     pub fn with_client(base_url: impl Into<String>, client: HttpClient) -> HttpTransport {
+        HttpTransport::with_shared_client(base_url, Arc::new(client))
+    }
+
+    /// Uses a shared HTTP client, leaving the caller a handle to the
+    /// client's connection pool (for keep-alive statistics).
+    pub fn with_shared_client(
+        base_url: impl Into<String>,
+        client: Arc<HttpClient>,
+    ) -> HttpTransport {
         HttpTransport {
             client,
             base_url: base_url.into(),
@@ -168,10 +176,19 @@ mod tests {
                 Endpoint::Videos,
                 params(&[
                     ("part", "snippet,statistics"),
-                    ("id", svc.platform().corpus().topics[0].videos[0].id.as_str()),
+                    (
+                        "id",
+                        svc.platform().corpus().topics[0].videos[0].id.as_str(),
+                    ),
                 ]),
             ),
-            (Endpoint::Channels, params(&[("part", "statistics"), ("id", svc.platform().corpus().channels[0].id.as_str())])),
+            (
+                Endpoint::Channels,
+                params(&[
+                    ("part", "statistics"),
+                    ("id", svc.platform().corpus().channels[0].id.as_str()),
+                ]),
+            ),
             // An error case: the envelopes must match too.
             (Endpoint::Search, params(&[("part", "snippet")])),
         ];
@@ -192,7 +209,12 @@ mod tests {
     fn http_transport_reports_connection_failures() {
         let http = HttpTransport::new("http://127.0.0.1:1");
         let err = http
-            .execute(Endpoint::Videos, &params(&[("part", "id"), ("id", "x")]), "k", None)
+            .execute(
+                Endpoint::Videos,
+                &params(&[("part", "id"), ("id", "x")]),
+                "k",
+                None,
+            )
             .unwrap_err();
         assert!(matches!(err, Error::Io(_)));
     }

@@ -17,13 +17,15 @@
 //! reproduces the original all-at-once [`AuditDataset`] behaviour.
 
 use crate::dataset::{
-    AuditDataset, ChannelInfo, CommentRecord, CommentsSnapshot, HourlyResult, Snapshot,
-    TopicSnapshot, VideoInfo,
+    AuditDataset, ChannelInfo, CommentFetchError, CommentRecord, CommentsSnapshot, HourlyResult,
+    Snapshot, TopicSnapshot, VideoInfo,
 };
 use crate::schedule::Schedule;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use ytaudit_client::{SearchQuery, YouTubeClient};
-use ytaudit_types::{ChannelId, CommentId, Error, Result, Timestamp, Topic, VideoId};
+use ytaudit_types::{
+    ApiErrorReason, ChannelId, CommentId, Error, Result, Timestamp, Topic, VideoId,
+};
 
 /// What to collect.
 #[derive(Debug, Clone)]
@@ -72,6 +74,12 @@ impl CollectorConfig {
             fetch_channels: true,
             fetch_comments: false,
         }
+    }
+
+    /// Whether comments are crawled at snapshot `snapshot` — the first
+    /// and last snapshots of the schedule, per Appendix B.2.
+    pub fn comments_at(&self, snapshot: usize) -> bool {
+        self.fetch_comments && (snapshot == 0 || snapshot + 1 == self.schedule.len())
     }
 }
 
@@ -171,25 +179,34 @@ impl CollectorSink for MemorySink {
     }
 
     fn commit_topic_snapshot(&mut self, commit: TopicCommit<'_>) -> Result<()> {
-        let snapshot = self.snapshots.entry(commit.snapshot).or_insert_with(|| Snapshot {
-            date: commit.date,
-            topics: BTreeMap::new(),
-            comments: BTreeMap::new(),
-        });
+        let snapshot = self
+            .snapshots
+            .entry(commit.snapshot)
+            .or_insert_with(|| Snapshot {
+                date: commit.date,
+                topics: BTreeMap::new(),
+                comments: BTreeMap::new(),
+            });
         snapshot.topics.insert(commit.topic, commit.data.clone());
         if let Some(comments) = commit.comments {
             snapshot.comments.insert(commit.topic, comments.clone());
         }
         // Merged metadata: first successful fetch wins, in commit order.
         for info in commit.videos {
-            self.video_meta.entry(info.id.clone()).or_insert_with(|| info.clone());
+            self.video_meta
+                .entry(info.id.clone())
+                .or_insert_with(|| info.clone());
         }
         self.quota_units += commit.quota_delta;
         Ok(())
     }
 
     fn known_channel_ids(&self) -> Result<Vec<ChannelId>> {
-        Ok(self.video_meta.values().map(|v| v.channel_id.clone()).collect())
+        Ok(self
+            .video_meta
+            .values()
+            .map(|v| v.channel_id.clone())
+            .collect())
     }
 
     fn finish(&mut self, channels: &[ChannelInfo], quota_final_delta: u64) -> Result<()> {
@@ -230,40 +247,22 @@ impl<'a> Collector<'a> {
         }
         let budget = self.client.budget();
         let mut mark = budget.units_spent();
-        let n_dates = self.config.schedule.len();
         for (idx, &date) in self.config.schedule.dates().iter().enumerate() {
             self.client.set_sim_time(Some(date));
             for &topic in &self.config.topics {
                 if sink.is_committed(topic, idx) {
                     continue;
                 }
-                let mut topic_snapshot = self.collect_topic(topic)?;
-                // Sorted IDs keep metadata and comment fetch order — and
-                // therefore the committed byte stream — deterministic.
-                let mut ids: Vec<VideoId> = topic_snapshot.id_set().into_iter().collect();
-                ids.sort();
-                let mut videos = Vec::new();
-                if self.config.fetch_metadata {
-                    let fetched = self.client.videos(&ids)?;
-                    let mut returned = Vec::with_capacity(fetched.len());
-                    for resource in fetched {
-                        match parse_video_info(&resource) {
-                            Ok(info) => {
-                                returned.push(info.id.clone());
-                                videos.push(info);
-                            }
-                            Err(_) => continue, // malformed resource: skip
-                        }
+                let mut topic_snapshot = if self.config.hourly_bins {
+                    TopicSnapshot {
+                        hours: search_hours(self.client, topic, 0..topic_window_hours(topic))?,
+                        meta_returned: Vec::new(),
                     }
-                    returned.sort();
-                    topic_snapshot.meta_returned = returned;
-                }
-                let comments = if self.config.fetch_comments && (idx == 0 || idx + 1 == n_dates)
-                {
-                    Some(self.collect_comments(&ids)?)
                 } else {
-                    None
+                    search_full_window(self.client, topic)?
                 };
+                let (videos, comments) =
+                    finalize_pair(self.client, &self.config, idx, &mut topic_snapshot)?;
                 let spent = budget.units_spent();
                 sink.commit_topic_snapshot(TopicCommit {
                     topic,
@@ -282,108 +281,215 @@ impl<'a> Collector<'a> {
         // pairs they never re-collected.
         let mut channels = Vec::new();
         if self.config.fetch_channels {
-            let mut channel_ids: Vec<ChannelId> = sink
-                .known_channel_ids()?
-                .into_iter()
-                .collect::<HashSet<_>>()
-                .into_iter()
-                .collect();
-            channel_ids.sort();
-            for resource in self.client.channels(&channel_ids)? {
-                if let Ok(info) = parse_channel_info(&resource) {
-                    channels.push(info);
-                }
-            }
+            channels = fetch_channel_meta(self.client, sink.known_channel_ids()?)?;
         }
         self.client.set_sim_time(None);
         sink.finish(&channels, budget.units_spent() - mark)?;
         Ok(())
     }
+}
 
-    fn collect_topic(&self, topic: Topic) -> Result<TopicSnapshot> {
-        let window_start = topic.window_start();
-        let window_hours = topic.window_end().hours_since(window_start).max(0) as u32;
-        let mut hours = Vec::new();
-        if self.config.hourly_bins {
-            for hour in 0..window_hours {
-                let query = SearchQuery::for_topic(topic)
-                    .hour_bin(window_start.add_hours(i64::from(hour)));
-                let collection = self.client.search_all(&query)?;
-                hours.push(HourlyResult {
-                    hour,
-                    video_ids: collection.video_ids(),
-                    total_results: collection.total_results,
-                });
-            }
-        } else {
-            let collection = self.client.search_all(&SearchQuery::for_topic(topic))?;
-            // A single full-window query: bucket the results by hour so
-            // downstream analyses see the same shape.
-            let mut by_hour: BTreeMap<u32, Vec<VideoId>> = BTreeMap::new();
-            for item in &collection.items {
-                let published = item
-                    .snippet
-                    .as_ref()
-                    .map(|s| Timestamp::parse_rfc3339(&s.published_at))
-                    .transpose()?
-                    .unwrap_or(window_start);
-                let hour = published.hours_since(window_start).clamp(0, i64::from(window_hours) - 1) as u32;
-                by_hour
-                    .entry(hour)
-                    .or_default()
-                    .push(VideoId::new(item.id.video_id.clone()));
-            }
-            for (hour, video_ids) in by_hour {
-                hours.push(HourlyResult {
-                    hour,
-                    video_ids,
-                    total_results: collection.total_results,
-                });
-            }
-        }
-        Ok(TopicSnapshot {
-            hours,
-            meta_returned: Vec::new(),
-        })
+/// Number of whole hours in `topic`'s collection window (672 for the
+/// paper's 28-day windows).
+pub fn topic_window_hours(topic: Topic) -> u32 {
+    topic.window_end().hours_since(topic.window_start()).max(0) as u32
+}
+
+/// Runs one hourly time-binned search per hour index in `hours` and
+/// returns the results in hour order. This is the unit the scheduler
+/// parallelizes; the sequential collector calls it once with the full
+/// `0..topic_window_hours(topic)` range, so both paths issue exactly the
+/// same queries.
+pub fn search_hours(
+    client: &YouTubeClient,
+    topic: Topic,
+    hours: std::ops::Range<u32>,
+) -> Result<Vec<HourlyResult>> {
+    let window_start = topic.window_start();
+    let mut results = Vec::with_capacity(hours.len());
+    for hour in hours {
+        let query = SearchQuery::for_topic(topic).hour_bin(window_start.add_hours(i64::from(hour)));
+        let collection = client.search_all(&query)?;
+        results.push(HourlyResult {
+            hour,
+            video_ids: collection.video_ids(),
+            total_results: collection.total_results,
+        });
     }
+    Ok(results)
+}
 
-    fn collect_comments(&self, videos: &[VideoId]) -> Result<CommentsSnapshot> {
-        let mut comments = Vec::new();
-        for video in videos {
-            // A deleted video 404s on CommentThreads; skip it (matches a
-            // real collector's behaviour).
-            let threads = match self.client.comment_threads_all(video) {
-                Ok(threads) => threads,
-                Err(Error::Api {
-                    reason: ytaudit_types::ApiErrorReason::NotFound,
-                    ..
-                }) => continue,
-                Err(other) => return Err(other),
-            };
-            for thread in threads {
-                let top = &thread.snippet.top_level_comment;
-                comments.push(CommentRecord {
-                    id: top.id.clone(),
+/// Runs a single full-window query (the naive strategy, capped at 500
+/// results by the API) and buckets the returns by published hour so
+/// downstream analyses see the same shape as the hourly strategy.
+pub fn search_full_window(client: &YouTubeClient, topic: Topic) -> Result<TopicSnapshot> {
+    let window_start = topic.window_start();
+    let window_hours = topic_window_hours(topic);
+    let collection = client.search_all(&SearchQuery::for_topic(topic))?;
+    let mut by_hour: BTreeMap<u32, Vec<VideoId>> = BTreeMap::new();
+    for item in &collection.items {
+        let published = item
+            .snippet
+            .as_ref()
+            .map(|s| Timestamp::parse_rfc3339(&s.published_at))
+            .transpose()?
+            .unwrap_or(window_start);
+        let hour = published
+            .hours_since(window_start)
+            .clamp(0, i64::from(window_hours) - 1) as u32;
+        by_hour
+            .entry(hour)
+            .or_default()
+            .push(VideoId::new(item.id.video_id.clone()));
+    }
+    let hours = by_hour
+        .into_iter()
+        .map(|(hour, video_ids)| HourlyResult {
+            hour,
+            video_ids,
+            total_results: collection.total_results,
+        })
+        .collect();
+    Ok(TopicSnapshot {
+        hours,
+        meta_returned: Vec::new(),
+    })
+}
+
+/// The per-pair work that follows the search phase: the `Videos: list`
+/// metadata fetch (filling `meta_returned`) and, on comment snapshots,
+/// the comment crawl. Shared verbatim by the sequential collector and
+/// the scheduler's finalize tasks so the two paths cannot diverge.
+pub fn finalize_pair(
+    client: &YouTubeClient,
+    config: &CollectorConfig,
+    snapshot: usize,
+    data: &mut TopicSnapshot,
+) -> Result<(Vec<VideoInfo>, Option<CommentsSnapshot>)> {
+    // Sorted IDs keep metadata and comment fetch order — and therefore
+    // the committed byte stream — deterministic.
+    let mut ids: Vec<VideoId> = data.id_set().into_iter().collect();
+    ids.sort();
+    let mut videos = Vec::new();
+    if config.fetch_metadata {
+        let (fetched, returned) = fetch_video_meta(client, &ids)?;
+        videos = fetched;
+        data.meta_returned = returned;
+    }
+    let comments = if config.comments_at(snapshot) {
+        Some(collect_comments(client, &ids)?)
+    } else {
+        None
+    };
+    Ok((videos, comments))
+}
+
+/// Fetches `Videos: list` metadata for `ids`, returning the parsed infos
+/// in API return order plus the sorted coverage list (`meta_returned`).
+/// Malformed resources are skipped, as a real collector would.
+pub fn fetch_video_meta(
+    client: &YouTubeClient,
+    ids: &[VideoId],
+) -> Result<(Vec<VideoInfo>, Vec<VideoId>)> {
+    let fetched = client.videos(ids)?;
+    let mut videos = Vec::with_capacity(fetched.len());
+    let mut returned = Vec::with_capacity(fetched.len());
+    for resource in fetched {
+        match parse_video_info(&resource) {
+            Ok(info) => {
+                returned.push(info.id.clone());
+                videos.push(info);
+            }
+            Err(_) => continue, // malformed resource: skip
+        }
+    }
+    returned.sort();
+    Ok((videos, returned))
+}
+
+/// Fetches `Channels: list` metadata for `ids` (deduplicated and sorted
+/// first, so the call sequence is deterministic), skipping malformed
+/// resources.
+pub fn fetch_channel_meta(client: &YouTubeClient, ids: Vec<ChannelId>) -> Result<Vec<ChannelInfo>> {
+    let mut channel_ids: Vec<ChannelId> = ids
+        .into_iter()
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    channel_ids.sort();
+    let mut channels = Vec::new();
+    for resource in client.channels(&channel_ids)? {
+        if let Ok(info) = parse_channel_info(&resource) {
+            channels.push(info);
+        }
+    }
+    Ok(channels)
+}
+
+/// Crawls comment threads plus full reply lists for `videos` (Appendix
+/// B.2). Per-video unavailability — a deleted video 404ing on
+/// `CommentThreads: list`, or a thread vanishing between the thread and
+/// reply fetches — is recorded in the snapshot's `fetch_errors` rather
+/// than aborting the topic; any other error (quota exhaustion, transport
+/// failure) still propagates.
+pub fn collect_comments(client: &YouTubeClient, videos: &[VideoId]) -> Result<CommentsSnapshot> {
+    let mut comments = Vec::new();
+    let mut fetch_errors = Vec::new();
+    for video in videos {
+        let threads = match client.comment_threads_all(video) {
+            Ok(threads) => threads,
+            Err(Error::Api {
+                reason: ApiErrorReason::NotFound,
+                message,
+            }) => {
+                fetch_errors.push(CommentFetchError {
                     video_id: video.clone(),
-                    is_reply: false,
-                    published_at: Timestamp::parse_rfc3339(&top.snippet.published_at)?,
+                    error: format!("commentThreads.list: {message}"),
                 });
-                // Embedded replies cover ≤ 5; fetch the full reply list via
-                // Comments: list exactly as Appendix B.2 describes.
-                if thread.replies.is_some() {
-                    for reply in self.client.comments_all(&CommentId::new(thread.id.clone()))? {
-                        comments.push(CommentRecord {
-                            id: reply.id.clone(),
-                            video_id: video.clone(),
-                            is_reply: true,
-                            published_at: Timestamp::parse_rfc3339(&reply.snippet.published_at)?,
-                        });
+                continue;
+            }
+            Err(other) => return Err(other),
+        };
+        for thread in threads {
+            let top = &thread.snippet.top_level_comment;
+            comments.push(CommentRecord {
+                id: top.id.clone(),
+                video_id: video.clone(),
+                is_reply: false,
+                published_at: Timestamp::parse_rfc3339(&top.snippet.published_at)?,
+            });
+            // Embedded replies cover ≤ 5; fetch the full reply list via
+            // Comments: list exactly as Appendix B.2 describes.
+            if thread.replies.is_some() {
+                match client.comments_all(&CommentId::new(thread.id.clone())) {
+                    Ok(replies) => {
+                        for reply in replies {
+                            comments.push(CommentRecord {
+                                id: reply.id.clone(),
+                                video_id: video.clone(),
+                                is_reply: true,
+                                published_at: Timestamp::parse_rfc3339(
+                                    &reply.snippet.published_at,
+                                )?,
+                            });
+                        }
                     }
+                    Err(Error::Api {
+                        reason: ApiErrorReason::NotFound,
+                        message,
+                    }) => fetch_errors.push(CommentFetchError {
+                        video_id: video.clone(),
+                        error: format!("comments.list {}: {message}", thread.id),
+                    }),
+                    Err(other) => return Err(other),
                 }
             }
         }
-        Ok(CommentsSnapshot { comments })
     }
+    Ok(CommentsSnapshot {
+        comments,
+        fetch_errors,
+    })
 }
 
 fn parse_count(raw: Option<&String>) -> u64 {
@@ -391,9 +497,7 @@ fn parse_count(raw: Option<&String>) -> u64 {
 }
 
 /// Parses a `Videos: list` resource into native types.
-pub fn parse_video_info(
-    resource: &ytaudit_api::resources::VideoResource,
-) -> Result<VideoInfo> {
+pub fn parse_video_info(resource: &ytaudit_api::resources::VideoResource) -> Result<VideoInfo> {
     let snippet = resource
         .snippet
         .as_ref()
@@ -503,7 +607,10 @@ mod tests {
         let hourly_n = hourly.snapshots[0].topics[&Topic::Blm].total_returned();
         let single_n = single.snapshots[0].topics[&Topic::Blm].total_returned();
         assert!(single_n <= 500);
-        assert!(hourly_n >= single_n, "hourly {hourly_n} vs single {single_n}");
+        assert!(
+            hourly_n >= single_n,
+            "hourly {hourly_n} vs single {single_n}"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::{NetError, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Client tuning knobs.
@@ -50,11 +51,34 @@ struct PooledConn {
     writer: TcpStream,
 }
 
+/// Lifetime connection counters: how many TCP connections the client
+/// opened versus how many requests rode an existing keep-alive
+/// connection. `reused / (opened + reused)` is the keep-alive hit rate.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    opened: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl PoolStats {
+    /// TCP connections dialled (including replacements for stale pooled
+    /// connections).
+    pub fn opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    /// Requests served over a reused keep-alive connection.
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+}
+
 /// A blocking HTTP client. Cheap to share behind an `Arc`; all state is
 /// internally synchronized.
 pub struct HttpClient {
     config: ClientConfig,
     pool: Mutex<HashMap<String, Vec<PooledConn>>>,
+    stats: PoolStats,
 }
 
 impl HttpClient {
@@ -68,6 +92,7 @@ impl HttpClient {
         HttpClient {
             config,
             pool: Mutex::new(HashMap::new()),
+            stats: PoolStats::default(),
         }
     }
 
@@ -87,6 +112,7 @@ impl HttpClient {
                     stream.set_read_timeout(Some(self.config.read_timeout))?;
                     stream.set_nodelay(true)?;
                     let writer = stream.try_clone()?;
+                    self.stats.opened.fetch_add(1, Ordering::Relaxed);
                     return Ok(PooledConn {
                         reader: MessageReader::new(stream),
                         writer,
@@ -113,7 +139,8 @@ impl HttpClient {
     fn send_once(&self, url: &Url, request: &Request, conn: &mut PooledConn) -> Result<Response> {
         let mut req = request.clone();
         if !req.headers.contains("user-agent") {
-            req.headers.set("user-agent", self.config.user_agent.clone());
+            req.headers
+                .set("user-agent", self.config.user_agent.clone());
         }
         write_request(&mut conn.writer, &req, &url.authority())?;
         conn.reader
@@ -136,6 +163,9 @@ impl HttpClient {
         let result = self.send_once(url, request, &mut conn);
         match result {
             Ok(response) => {
+                if reused {
+                    self.stats.reused.fetch_add(1, Ordering::Relaxed);
+                }
                 let reusable = !response.headers.wants_close();
                 if reusable {
                     self.checkin(&key, conn);
@@ -144,8 +174,8 @@ impl HttpClient {
             }
             Err(err) => {
                 drop(conn); // never reuse a connection in an unknown state
-                // A stale pooled connection fails on first use; replay once
-                // on a fresh connection if the request is idempotent.
+                            // A stale pooled connection fails on first use; replay once
+                            // on a fresh connection if the request is idempotent.
                 let retryable = reused
                     && request.method.is_idempotent()
                     && matches!(err, NetError::Io(_) | NetError::UnexpectedEof(_));
@@ -181,6 +211,11 @@ impl HttpClient {
     pub fn idle_connections(&self) -> usize {
         self.pool.lock().values().map(Vec::len).sum()
     }
+
+    /// Lifetime open/reuse counters for this client's connection pool.
+    pub fn pool_stats(&self) -> &PoolStats {
+        &self.stats
+    }
 }
 
 impl Default for HttpClient {
@@ -203,7 +238,9 @@ mod tests {
         let handler = Arc::new(move |req: &Request| {
             hits_clone.fetch_add(1, Ordering::SeqCst);
             match req.path.as_str() {
-                "/close" => Response::text(StatusCode::OK, "bye").with_header("connection", "close"),
+                "/close" => {
+                    Response::text(StatusCode::OK, "bye").with_header("connection", "close")
+                }
                 "/echo" => Response::text(
                     StatusCode::OK,
                     format!("{}?{}", req.path, req.query.encode()),
@@ -236,6 +273,9 @@ mod tests {
         }
         assert_eq!(client.idle_connections(), 1);
         assert_eq!(server.stats().connections.load(Ordering::SeqCst), 1);
+        // First request dials, the next four ride the keep-alive socket.
+        assert_eq!(client.pool_stats().opened(), 1);
+        assert_eq!(client.pool_stats().reused(), 4);
         server.shutdown();
     }
 
@@ -264,6 +304,10 @@ mod tests {
         let server2 = Server::bind(&addr.to_string(), handler, ServerConfig::default()).unwrap();
         let resp = client.get(&format!("{base}/y")).unwrap();
         assert_eq!(resp.body_text().unwrap(), "fresh");
+        // The replayed request dialled a fresh connection; it does not
+        // count as a successful reuse.
+        assert_eq!(client.pool_stats().opened(), 2);
+        assert_eq!(client.pool_stats().reused(), 0);
         let _ = hits;
         server2.shutdown();
     }

@@ -34,7 +34,7 @@ pub mod resilience;
 pub mod server;
 pub mod url;
 
-pub use client::HttpClient;
+pub use client::{HttpClient, PoolStats};
 pub use message::{Headers, Method, Request, Response, StatusCode};
 pub use resilience::{Backoff, RetryPolicy, TokenBucket};
 pub use server::{Handler, Server, ServerConfig, ServerHandle};

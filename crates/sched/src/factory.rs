@@ -1,0 +1,82 @@
+//! Per-worker transport construction. Every worker owns its own client
+//! (and, over HTTP, its own keep-alive connection), so the factory is
+//! the seam where the scheduler stays transport-agnostic.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use ytaudit_api::ApiService;
+use ytaudit_client::{HttpTransport, InProcessTransport, Transport};
+use ytaudit_net::HttpClient;
+
+/// Builds one transport per worker.
+pub trait TransportFactory: Send + Sync {
+    /// A fresh transport for one worker's client.
+    fn transport(&self) -> Box<dyn Transport>;
+
+    /// Keep-alive connection totals across every transport built so far:
+    /// `(opened, reused)`. In-process transports have no connections and
+    /// report zeros.
+    fn connection_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// Workers call the service directly in-process (no sockets).
+pub struct InProcessFactory {
+    service: Arc<ApiService>,
+}
+
+impl InProcessFactory {
+    /// Wraps a service.
+    pub fn new(service: Arc<ApiService>) -> InProcessFactory {
+        InProcessFactory { service }
+    }
+}
+
+impl TransportFactory for InProcessFactory {
+    fn transport(&self) -> Box<dyn Transport> {
+        Box::new(InProcessTransport::new(Arc::clone(&self.service)))
+    }
+}
+
+/// Workers call a served API over HTTP. Each worker gets its own
+/// `HttpClient` (its own keep-alive pool, so connections are never
+/// contended across workers); the factory keeps a handle to every
+/// client to aggregate connection-reuse counters after the run.
+pub struct HttpFactory {
+    base_url: String,
+    clients: Mutex<Vec<Arc<HttpClient>>>,
+}
+
+impl HttpFactory {
+    /// Targets a served API at `base_url`.
+    pub fn new(base_url: impl Into<String>) -> HttpFactory {
+        HttpFactory {
+            base_url: base_url.into(),
+            clients: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl TransportFactory for HttpFactory {
+    fn transport(&self) -> Box<dyn Transport> {
+        let client = Arc::new(HttpClient::new());
+        self.clients.lock().push(Arc::clone(&client));
+        Box::new(HttpTransport::with_shared_client(
+            self.base_url.clone(),
+            client,
+        ))
+    }
+
+    fn connection_stats(&self) -> (u64, u64) {
+        let clients = self.clients.lock();
+        let mut opened = 0;
+        let mut reused = 0;
+        for client in clients.iter() {
+            let stats = client.pool_stats();
+            opened += stats.opened();
+            reused += stats.reused();
+        }
+        (opened, reused)
+    }
+}

@@ -1,0 +1,142 @@
+//! Task-level retry policy: error classification plus capped exponential
+//! backoff with deterministic, per-task-seeded jitter.
+//!
+//! This is a second resilience layer above the client's own per-request
+//! retries. The client absorbs isolated transient failures (a 5xx on one
+//! page of one call); the scheduler's policy decides what happens when a
+//! whole *task* — dozens of calls — fails after the client gave up:
+//! re-enqueue it with backoff, or declare the run dead and drain.
+
+use std::time::Duration;
+use ytaudit_net::Backoff;
+use ytaudit_types::Error;
+
+/// What a task failure means for the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Transient: worth re-running the task after a backoff delay.
+    /// Simulated 5xx `backendError`s and socket-level failures/timeouts.
+    Retryable,
+    /// Permanent: retrying cannot help. Quota exhaustion (403), invalid
+    /// parameters, and malformed responses land here; the scheduler
+    /// drains in-flight work and stops.
+    Fatal,
+}
+
+/// Classifies an error for the task retry loop.
+pub fn classify(err: &Error) -> ErrorClass {
+    match err {
+        // `backendError` is the API's only retryable reason; quota
+        // exhaustion, forbidden, not-found, and parameter errors are
+        // final answers.
+        Error::Api { reason, .. } => {
+            if reason.is_retryable() {
+                ErrorClass::Retryable
+            } else {
+                ErrorClass::Fatal
+            }
+        }
+        // Socket failures and timeouts: the request may never have
+        // reached the server.
+        Error::Io(_) => ErrorClass::Retryable,
+        // Decode failures (malformed responses) and everything else:
+        // retrying would replay the same bytes.
+        _ => ErrorClass::Fatal,
+    }
+}
+
+/// Attempt budget plus backoff schedule for task re-enqueues.
+#[derive(Debug, Clone)]
+pub struct TaskRetryPolicy {
+    /// Total attempts allowed per task (≥ 1); 1 means "no retries".
+    pub max_attempts: u32,
+    /// Backoff schedule; its `seed` is combined with each task's own
+    /// seed so concurrent retries don't thunder in lockstep, yet every
+    /// delay is reproducible for a fixed scheduler seed.
+    pub backoff: Backoff,
+}
+
+impl Default for TaskRetryPolicy {
+    fn default() -> TaskRetryPolicy {
+        TaskRetryPolicy {
+            max_attempts: 3,
+            backoff: Backoff::default(),
+        }
+    }
+}
+
+impl TaskRetryPolicy {
+    /// A policy that never re-enqueues failed tasks.
+    pub fn no_retries() -> TaskRetryPolicy {
+        TaskRetryPolicy {
+            max_attempts: 1,
+            ..TaskRetryPolicy::default()
+        }
+    }
+
+    /// Whether a task that just failed its 0-based `attempt` may run
+    /// again.
+    pub fn attempts_left(&self, attempt: u32) -> bool {
+        attempt + 1 < self.max_attempts.max(1)
+    }
+
+    /// The delay before re-running a task identified by `task_seed`
+    /// whose 0-based `attempt` just failed. Deterministic in
+    /// `(task_seed, attempt)`.
+    pub fn delay(&self, task_seed: u64, attempt: u32) -> Duration {
+        let backoff = Backoff {
+            seed: self.backoff.seed ^ task_seed,
+            ..self.backoff.clone()
+        };
+        backoff.delay(attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ytaudit_types::ApiErrorReason;
+
+    #[test]
+    fn classification_matches_the_quota_model() {
+        let retryable = Error::api(ApiErrorReason::BackendError, "simulated 5xx");
+        assert_eq!(classify(&retryable), ErrorClass::Retryable);
+        assert_eq!(
+            classify(&Error::Io("timed out".into())),
+            ErrorClass::Retryable
+        );
+        let fatal = [
+            Error::api(ApiErrorReason::QuotaExceeded, "out of quota"),
+            Error::api(ApiErrorReason::Forbidden, "key not registered"),
+            Error::api(ApiErrorReason::InvalidParameter, "bad part"),
+            Error::Decode("malformed response".into()),
+            Error::InvalidInput("bad plan".into()),
+        ];
+        for err in fatal {
+            assert_eq!(classify(&err), ErrorClass::Fatal, "{err:?}");
+        }
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let policy = TaskRetryPolicy::default();
+        assert!(policy.attempts_left(0));
+        assert!(policy.attempts_left(1));
+        assert!(!policy.attempts_left(2));
+        assert!(!TaskRetryPolicy::no_retries().attempts_left(0));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_seed_dependent() {
+        let policy = TaskRetryPolicy::default();
+        let a = policy.delay(7, 1);
+        assert_eq!(a, policy.delay(7, 1), "same task + attempt ⇒ same delay");
+        // Different task seeds de-synchronize the herd (with the default
+        // 25% jitter two seeds virtually never collide exactly).
+        assert_ne!(a, policy.delay(8, 1));
+        // Delays stay within the capped exponential envelope.
+        let unjittered = policy.backoff.base.as_secs_f64() * policy.backoff.factor;
+        assert!(a.as_secs_f64() <= unjittered + 1e-9);
+        assert!(a.as_secs_f64() >= unjittered * (1.0 - policy.backoff.jitter) - 1e-9);
+    }
+}

@@ -60,10 +60,7 @@ pub const NO_TOPIC: u8 = 0xFF;
 /// mixed with the kind so identical bytes of different kinds cannot
 /// collide.
 pub fn blob_hash(kind: u8, body: &[u8]) -> u64 {
-    ytaudit_platform::hash::mix_all(&[
-        ytaudit_platform::hash::hash_bytes(body),
-        u64::from(kind),
-    ])
+    ytaudit_platform::hash::mix_all(&[ytaudit_platform::hash::hash_bytes(body), u64::from(kind)])
 }
 
 /// Maps a topic to its stable on-disk code (index in [`Topic::ALL`]).
@@ -138,6 +135,11 @@ pub struct CommitRecord {
     pub videos_offset: u64,
     /// Offset of the comments ref block (0 = none).
     pub comments_offset: u64,
+    /// Per-video comment-fetch failures recorded during this pair's
+    /// comment crawl, as `(video_id, error)` pairs. Encoded as an
+    /// optional record tail: commits without failures keep the original
+    /// byte layout, so old stores decode unchanged.
+    pub comment_errors: Vec<(String, String)>,
 }
 
 /// One decoded log record.
@@ -271,6 +273,16 @@ impl Record {
                 w.put_u64(c.meta_offset);
                 w.put_u64(c.videos_offset);
                 w.put_u64(c.comments_offset);
+                // Optional tail — only present when there are failures,
+                // keeping failure-free commits byte-identical to the
+                // original format.
+                if !c.comment_errors.is_empty() {
+                    w.put_u32(c.comment_errors.len() as u32);
+                    for (video_id, error) in &c.comment_errors {
+                        w.put_str(video_id);
+                        w.put_str(error);
+                    }
+                }
             }
             Record::End {
                 quota_final_delta,
@@ -369,15 +381,29 @@ impl Record {
                     let offset = r.u64()?;
                     hours.push((hour, offset));
                 }
+                let meta_offset = r.u64()?;
+                let videos_offset = r.u64()?;
+                let comments_offset = r.u64()?;
+                let mut comment_errors = Vec::new();
+                if r.remaining() > 0 {
+                    let n = r.u32()? as usize;
+                    comment_errors.reserve(n);
+                    for _ in 0..n {
+                        let video_id = r.str()?.to_string();
+                        let error = r.str()?.to_string();
+                        comment_errors.push((video_id, error));
+                    }
+                }
                 Record::Commit(CommitRecord {
                     topic,
                     snapshot,
                     date,
                     quota_delta,
                     hours,
-                    meta_offset: r.u64()?,
-                    videos_offset: r.u64()?,
-                    comments_offset: r.u64()?,
+                    meta_offset,
+                    videos_offset,
+                    comments_offset,
+                    comment_errors,
                 })
             }
             TAG_END => Record::End {
@@ -531,6 +557,27 @@ mod tests {
                 meta_offset: 1_024,
                 videos_offset: 0,
                 comments_offset: 2_048,
+                comment_errors: Vec::new(),
+            }),
+            Record::Commit(CommitRecord {
+                topic: 2,
+                snapshot: 0,
+                date: 1_740_000_000,
+                quota_delta: 912,
+                hours: vec![(3, 55)],
+                meta_offset: 0,
+                videos_offset: 0,
+                comments_offset: 4_096,
+                comment_errors: vec![
+                    (
+                        "dQw4w9WgXcQ".to_string(),
+                        "commentThreads.list: gone".to_string(),
+                    ),
+                    (
+                        "xvFZjo5PgG0".to_string(),
+                        "comments.list T1: vanished".to_string(),
+                    ),
+                ],
             }),
             Record::End {
                 quota_final_delta: 12,
@@ -541,6 +588,27 @@ mod tests {
             let encoded = record.encode();
             assert_eq!(Record::decode(&encoded).unwrap(), record, "{record:?}");
         }
+    }
+
+    #[test]
+    fn error_free_commits_keep_the_original_byte_layout() {
+        // The comment-errors tail is only written when non-empty, so a
+        // failure-free commit must encode to exactly the pre-tail size:
+        // tag + topic + snapshot + date + quota + hour count + hours +
+        // three offsets.
+        let commit = Record::Commit(CommitRecord {
+            topic: 1,
+            snapshot: 2,
+            date: 1_740_000_000,
+            quota_delta: 100,
+            hours: vec![(0, 8), (1, 977)],
+            meta_offset: 64,
+            videos_offset: 128,
+            comments_offset: 0,
+            comment_errors: Vec::new(),
+        });
+        let expected = 1 + 1 + 2 + 8 + 8 + 4 + 2 * (4 + 8) + 3 * 8;
+        assert_eq!(commit.encode().len(), expected);
     }
 
     #[test]
@@ -595,7 +663,10 @@ mod tests {
     #[test]
     fn blob_hashes_are_stable_and_kind_sensitive() {
         let body = b"dQw4w9WgXcQ";
-        assert_eq!(blob_hash(BLOB_VIDEO_ID, body), blob_hash(BLOB_VIDEO_ID, body));
+        assert_eq!(
+            blob_hash(BLOB_VIDEO_ID, body),
+            blob_hash(BLOB_VIDEO_ID, body)
+        );
         assert_ne!(
             blob_hash(BLOB_VIDEO_ID, body),
             blob_hash(BLOB_COMMENT, body),

@@ -20,9 +20,10 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use ytaudit_core::collect::{CollectorConfig, CollectorSink, TopicCommit};
 use ytaudit_core::dataset::{
-    AuditDataset, ChannelInfo, CommentsSnapshot, HourlyResult, Snapshot, TopicSnapshot, VideoInfo,
+    AuditDataset, ChannelInfo, CommentFetchError, CommentsSnapshot, HourlyResult, Snapshot,
+    TopicSnapshot, VideoInfo,
 };
-use ytaudit_types::{ChannelId, Topic};
+use ytaudit_types::{ChannelId, Topic, VideoId};
 
 /// Which parts of the dataset to materialize when loading from a store.
 /// Analyses that only consume search results (consistency, attrition,
@@ -168,8 +169,8 @@ impl Replay {
             Record::Blob { kind, body } => {
                 let hash = blob_hash(kind, &body);
                 if kind == BLOB_VIDEO_INFO {
-                    let info = decode_video_info(&body)
-                        .map_err(|e| StoreError::corrupt(offset, e))?;
+                    let info =
+                        decode_video_info(&body).map_err(|e| StoreError::corrupt(offset, e))?;
                     self.channel_ids.insert(info.channel_id);
                 }
                 if self
@@ -548,6 +549,12 @@ impl Store {
             }
         };
 
+        let comment_errors = commit.comments.map_or_else(Vec::new, |cs| {
+            cs.fetch_errors
+                .iter()
+                .map(|e| (e.video_id.as_str().to_string(), e.error.clone()))
+                .collect()
+        });
         let record = CommitRecord {
             topic,
             snapshot: snapshot as u16,
@@ -557,6 +564,7 @@ impl Store {
             meta_offset,
             videos_offset,
             comments_offset,
+            comment_errors,
         };
         self.append_record(&Record::Commit(record.clone()))?;
         self.log.sync()?;
@@ -682,9 +690,8 @@ impl Store {
                 let mut video_ids = Vec::with_capacity(refs.len());
                 for r in refs {
                     let body = self.blob_body(r, BLOB_VIDEO_ID)?;
-                    video_ids.push(
-                        decode_video_id(&body).map_err(|e| StoreError::corrupt(offset, e))?,
-                    );
+                    video_ids
+                        .push(decode_video_id(&body).map_err(|e| StoreError::corrupt(offset, e))?);
                 }
                 Ok(Some(HourlyResult {
                     hour,
@@ -701,14 +708,16 @@ impl Store {
         let commit = self.commit_for(topic, snapshot)?;
         let mut hours = Vec::with_capacity(commit.hours.len());
         for &(hour, _) in &commit.hours {
-            hours.push(self.load_hour(topic, snapshot, hour)?.expect("indexed hour"));
+            hours.push(
+                self.load_hour(topic, snapshot, hour)?
+                    .expect("indexed hour"),
+            );
         }
         let mut meta_returned = Vec::new();
         if commit.meta_offset != 0 {
             for r in self.load_ref_ids(commit.meta_offset, PURPOSE_META_RETURNED)? {
                 let body = self.blob_body(r, BLOB_VIDEO_ID)?;
-                meta_returned
-                    .push(decode_video_id(&body).map_err(|e| StoreError::corrupt(0, e))?);
+                meta_returned.push(decode_video_id(&body).map_err(|e| StoreError::corrupt(0, e))?);
             }
         }
         Ok(TopicSnapshot {
@@ -732,7 +741,18 @@ impl Store {
             let body = self.blob_body(r, BLOB_COMMENT)?;
             comments.push(decode_comment(&body).map_err(|e| StoreError::corrupt(0, e))?);
         }
-        Ok(Some(CommentsSnapshot { comments }))
+        let fetch_errors = commit
+            .comment_errors
+            .iter()
+            .map(|(video_id, error)| CommentFetchError {
+                video_id: VideoId::new(video_id.clone()),
+                error: error.clone(),
+            })
+            .collect();
+        Ok(Some(CommentsSnapshot {
+            comments,
+            fetch_errors,
+        }))
     }
 
     /// Loads one pair's fetched video metadata, in fetch order.
@@ -787,8 +807,8 @@ impl Store {
         let keys: Vec<(u16, u8)> = self.commits.keys().copied().collect();
         for (snapshot_idx, topic_c) in keys {
             let snapshot = snapshot_idx as usize;
-            let topic = crate::records::topic_from_code(topic_c)
-                .map_err(|e| StoreError::corrupt(0, e))?;
+            let topic =
+                crate::records::topic_from_code(topic_c).map_err(|e| StoreError::corrupt(0, e))?;
             let data = self.load_topic_snapshot(topic, snapshot)?;
             let entry = snapshots.entry(snapshot).or_insert_with(|| Snapshot {
                 date: meta.dates[snapshot],
@@ -839,8 +859,8 @@ impl Store {
         let keys: Vec<(u16, u8)> = self.commits.keys().copied().collect();
         for (snapshot_idx, topic_c) in keys {
             let snapshot = snapshot_idx as usize;
-            let topic = crate::records::topic_from_code(topic_c)
-                .map_err(|e| StoreError::corrupt(0, e))?;
+            let topic =
+                crate::records::topic_from_code(topic_c).map_err(|e| StoreError::corrupt(0, e))?;
             let data = self.load_topic_snapshot(topic, snapshot)?;
             let comments = self.load_comments(topic, snapshot)?;
             let videos = self.load_video_meta(topic, snapshot)?;
@@ -996,7 +1016,7 @@ mod tests {
     use super::*;
     use crate::tempdir::TempDir;
     use ytaudit_core::dataset::CommentRecord;
-    use ytaudit_types::{Timestamp, VideoId};
+    use ytaudit_types::Timestamp;
 
     fn meta2x2() -> CollectionMeta {
         CollectionMeta {
@@ -1070,8 +1090,7 @@ mod tests {
                 // Overlapping ID ranges across snapshots force dedup.
                 let base = t_idx as u32 * 100 + idx as u32;
                 let data = topic_data(base);
-                let videos: Vec<VideoInfo> =
-                    (base..base + 3).map(video_info).collect();
+                let videos: Vec<VideoInfo> = (base..base + 3).map(video_info).collect();
                 let comments = CommentsSnapshot {
                     comments: vec![CommentRecord {
                         id: format!("c-{topic:?}-{idx}"),
@@ -1079,6 +1098,16 @@ mod tests {
                         is_reply: idx == 1,
                         published_at: date,
                     }],
+                    // One pair records a per-video fetch failure, so the
+                    // round-trip tests cover the commit-record tail.
+                    fetch_errors: if idx == 0 && t_idx == 0 {
+                        vec![CommentFetchError {
+                            video_id: vid(base + 2),
+                            error: "commentThreads.list: video deleted".to_string(),
+                        }]
+                    } else {
+                        Vec::new()
+                    },
                 };
                 store
                     .commit_snapshot(&TopicCommit {
@@ -1108,9 +1137,7 @@ mod tests {
             for t_idx in 0..meta.topics.len() as u32 {
                 let base = t_idx * 100 + snapshot;
                 for n in base..base + 3 {
-                    video_meta
-                        .entry(vid(n))
-                        .or_insert_with(|| video_info(n));
+                    video_meta.entry(vid(n)).or_insert_with(|| video_info(n));
                 }
             }
         }
@@ -1142,10 +1169,7 @@ mod tests {
         assert_eq!(store.quota_units_total(), expected.quota_units_spent);
         // Slice loading agrees with the full load.
         let hour = store.load_hour(Topic::Blm, 1, 7).unwrap().unwrap();
-        assert_eq!(
-            hour,
-            expected.snapshots[1].topics[&Topic::Blm].hours[1]
-        );
+        assert_eq!(hour, expected.snapshots[1].topics[&Topic::Blm].hours[1]);
         assert!(store.load_hour(Topic::Blm, 1, 99).unwrap().is_none());
     }
 
@@ -1225,10 +1249,7 @@ mod tests {
         }
         // Tear off the last few bytes: the second pair's commit record is
         // damaged, the first pair's is untouched.
-        let file = std::fs::OpenOptions::new()
-            .write(true)
-            .open(&path)
-            .unwrap();
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
         file.set_len(second_commit_len - 3).unwrap();
         drop(file);
 
@@ -1288,7 +1309,10 @@ mod tests {
         assert!(report.first_error.is_some(), "{report:?}");
         assert_eq!(report.torn_tail_bytes, 0);
         // And open() refuses interior damage outright.
-        assert!(matches!(Store::open(&path), Err(StoreError::Corrupt { .. })));
+        assert!(matches!(
+            Store::open(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
     }
 
     #[test]

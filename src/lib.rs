@@ -19,7 +19,10 @@
 //! * [`stats`] — regressions, correlations, Markov chains, Jaccard;
 //! * [`core`] — the audit harness and every table/figure analysis;
 //! * [`store`] — the crash-safe, append-only snapshot store behind
-//!   resumable collections (`ytaudit collect --store … --resume`).
+//!   resumable collections (`ytaudit collect --store … --resume`);
+//! * [`sched`] — the concurrent collection scheduler: worker pool,
+//!   shared quota governor, task retry policy, plan-order reorder
+//!   buffer, and metrics (`ytaudit collect --workers N`).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub use ytaudit_client as client;
 pub use ytaudit_core as core;
 pub use ytaudit_net as net;
 pub use ytaudit_platform as platform;
+pub use ytaudit_sched as sched;
 pub use ytaudit_stats as stats;
 pub use ytaudit_store as store;
 pub use ytaudit_types as types;

@@ -1,0 +1,79 @@
+//! Scheduler ≡ sequential equivalence, end to end: for a fixed corpus
+//! seed, the concurrent scheduler produces the *identical* dataset —
+//! down to the bytes of a `--store` file — for any worker count.
+
+use ytaudit::core::testutil::test_client;
+use ytaudit::core::{Collector, CollectorConfig, MemorySink};
+use ytaudit::sched::{InProcessFactory, Scheduler, SchedulerConfig};
+use ytaudit::store::{Store, TempDir};
+use ytaudit::types::Topic;
+
+const SCALE: f64 = 0.08;
+const KEY: &str = "research-key";
+
+fn config() -> CollectorConfig {
+    CollectorConfig {
+        fetch_comments: true,
+        ..CollectorConfig::quick(vec![Topic::Higgs, Topic::Blm], 2)
+    }
+}
+
+#[test]
+fn scheduler_dataset_is_identical_to_sequential_for_any_worker_count() {
+    let (client, _service) = test_client(SCALE);
+    let sequential = Collector::new(&client, config()).run().unwrap();
+    let sequential_units = client.budget().units_spent();
+
+    for workers in [1, 8] {
+        let (_client, service) = test_client(SCALE);
+        let factory = InProcessFactory::new(service);
+        let scheduler = Scheduler::new(&factory, config(), SchedulerConfig::new(workers, KEY));
+        let mut sink = MemorySink::new();
+        let report = scheduler.run(&mut sink).unwrap();
+        assert!(
+            report.completed(),
+            "workers={workers}: {:?}",
+            report.outcome
+        );
+        assert_eq!(sink.into_dataset(), sequential, "workers={workers}");
+        assert_eq!(report.quota_units, sequential_units, "workers={workers}");
+    }
+}
+
+#[test]
+fn scheduler_store_files_are_byte_identical_to_the_sequential_store() {
+    let dir = TempDir::new("sched-equiv");
+
+    // Sequential reference, committed through a store sink.
+    let seq_path = dir.file("sequential.yts");
+    {
+        let (client, _service) = test_client(SCALE);
+        let mut store = Store::create(&seq_path).unwrap();
+        Collector::new(&client, config())
+            .run_with_sink(&mut store)
+            .unwrap();
+        assert!(store.complete());
+    }
+    let seq_bytes = std::fs::read(&seq_path).unwrap();
+
+    for workers in [1, 8] {
+        let path = dir.file(&format!("workers{workers}.yts"));
+        let (_client, service) = test_client(SCALE);
+        let factory = InProcessFactory::new(service);
+        let scheduler = Scheduler::new(&factory, config(), SchedulerConfig::new(workers, KEY));
+        let mut store = Store::create(&path).unwrap();
+        let report = scheduler.run(&mut store).unwrap();
+        assert!(
+            report.completed(),
+            "workers={workers}: {:?}",
+            report.outcome
+        );
+        assert!(store.complete());
+        drop(store);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            seq_bytes,
+            "store bytes diverge at workers={workers}"
+        );
+    }
+}

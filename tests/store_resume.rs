@@ -5,6 +5,7 @@
 use ytaudit::core::dataset::ChannelInfo;
 use ytaudit::core::testutil::test_client;
 use ytaudit::core::{AuditDataset, Collector, CollectorConfig, CollectorSink, TopicCommit};
+use ytaudit::sched::{InProcessFactory, RunOutcome, Scheduler, SchedulerConfig};
 use ytaudit::store::{CollectionMeta, DatasetSelection, Store, TempDir};
 use ytaudit::types::{ChannelId, Error, Result, Timestamp, Topic};
 
@@ -125,6 +126,71 @@ fn interrupted_collection_resumes_without_reissuing_committed_calls() {
         .unwrap();
     assert_eq!(client3.budget().units_spent(), 0);
     assert_eq!(client3.budget().calls_made(), 0);
+}
+
+#[test]
+fn parallel_crash_banks_a_plan_order_prefix_and_resumes_exactly() {
+    let dir = TempDir::new("resume-parallel");
+    let path = dir.file("audit.yts");
+    let cfg = config();
+
+    // Reference: one full legacy in-memory collection.
+    let (full_client, _sf) = test_client(SCALE);
+    let legacy = Collector::new(&full_client, cfg.clone()).run().unwrap();
+    let full_units = full_client.budget().units_spent();
+
+    // Interrupted parallel run: four workers race ahead, but the reorder
+    // buffer delivers commits in plan order, so the two pairs that get
+    // through before the injected sink failure are exactly the first two
+    // plan pairs — never an out-of-order subset.
+    let (_c1, service1) = test_client(SCALE);
+    let factory1 = InProcessFactory::new(service1);
+    let scheduler = Scheduler::new(
+        &factory1,
+        cfg.clone(),
+        SchedulerConfig::new(4, "research-key"),
+    );
+    let mut sink = FailAfter {
+        store: Store::create(&path).unwrap(),
+        commits_left: 2,
+    };
+    let report = scheduler.run(&mut sink).unwrap();
+    assert!(
+        matches!(
+            &report.outcome,
+            RunOutcome::Drained {
+                error: Some(Error::Io(_))
+            }
+        ),
+        "{:?}",
+        report.outcome
+    );
+    assert_eq!(report.pairs_committed, 2);
+    drop(sink);
+
+    // Reopen: the banked pairs form the plan-order (snapshot-major)
+    // prefix of the collection plan.
+    let mut store = Store::open(&path).unwrap();
+    assert_eq!(store.committed_pairs(), 2);
+    assert!(store.has_commit(Topic::Higgs, 0));
+    assert!(store.has_commit(Topic::Blm, 0));
+    assert!(!store.has_commit(Topic::Higgs, 1));
+    assert!(!store.has_commit(Topic::Blm, 1));
+    let banked = store.quota_units_total();
+    assert!(banked > 0);
+
+    // Resume with a fresh scheduler at a *different* worker count: the
+    // banked pairs are skipped without re-issuing their API calls, and
+    // the completed store holds the exact legacy dataset.
+    let (_c2, service2) = test_client(SCALE);
+    let factory2 = InProcessFactory::new(service2);
+    let scheduler = Scheduler::new(&factory2, cfg, SchedulerConfig::new(2, "research-key"));
+    let report = scheduler.run(&mut store).unwrap();
+    assert!(report.completed(), "{:?}", report.outcome);
+    assert!(store.complete());
+    assert_eq!(report.quota_units, full_units - banked);
+    assert_eq!(store.quota_units_total(), full_units);
+    assert_eq!(store.load_dataset().unwrap(), legacy);
 }
 
 #[test]
