@@ -32,11 +32,17 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    /// The documented quota cost.
+    /// The documented quota cost. Every endpoint is priced explicitly —
+    /// the `quota-consistency` lint rejects a wildcard arm here so a new
+    /// endpoint cannot silently inherit a price.
     pub fn cost(self) -> u64 {
         match self {
             Endpoint::Search => 100,
-            _ => 1,
+            Endpoint::Videos => 1,
+            Endpoint::Channels => 1,
+            Endpoint::PlaylistItems => 1,
+            Endpoint::CommentThreads => 1,
+            Endpoint::Comments => 1,
         }
     }
 

@@ -34,7 +34,9 @@ fn load_cached(name: &str) -> Option<AuditDataset> {
 fn store_cached(name: &str, dataset: &AuditDataset) {
     let dir = cache_dir();
     if std::fs::create_dir_all(&dir).is_ok() {
-        let _ = std::fs::write(dir.join(name), dataset.to_json());
+        if let Ok(json) = dataset.to_json() {
+            let _ = std::fs::write(dir.join(name), json);
+        }
     }
 }
 
@@ -49,6 +51,7 @@ pub fn full_dataset() -> AuditDataset {
         return dataset;
     }
     eprintln!("[ytaudit-bench] collecting full dataset (6 topics × 16 snapshots × 672 hourly queries)…");
+    // ytlint: allow(determinism) — benches report real elapsed wall-clock
     let started = Instant::now();
     let (client, _service) = full_scale_client();
     let dataset = Collector::new(&client, CollectorConfig::paper())

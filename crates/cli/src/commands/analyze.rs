@@ -143,6 +143,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             Some(f) => {
                 println!("Figure 3 — Markov transitions (PP/PA/AP/AA → P)");
                 for (i, label) in ["PP", "PA", "AP", "AA"].iter().enumerate() {
+                    // ytlint: allow(indexing) — transitions is a fixed [[f64; 2]; 4]
                     println!("  {label} → P {:.3} (n={})", f.transitions[i][0], f.counts[i]);
                 }
             }

@@ -67,6 +67,8 @@ impl<S: CollectorSink> Progress<S> {
     fn new(inner: S) -> Progress<S> {
         Progress {
             inner,
+            // ytlint: allow(determinism) — progress display reports real
+            // wall-clock elapsed to the operator; it never feeds analysis
             started: std::time::Instant::now(),
             schedule_len: 0,
             total_pairs: 0,
@@ -294,11 +296,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     } else {
         let snapshots: usize = args.get_parsed("snapshots", 4)?;
         let interval: i64 = args.get_parsed("interval-days", 5)?;
-        Schedule::every(
-            Timestamp::from_ymd(2025, 2, 9).expect("valid date"),
-            interval,
-            snapshots,
-        )
+        Schedule::every(Timestamp::from_ymd_const(2025, 2, 9), interval, snapshots)
     };
     let config = CollectorConfig {
         topics,
@@ -402,8 +400,10 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
 /// interrupted write can never leave a half-serialized dataset at the
 /// target path.
 fn write_dataset_json(out: &str, dataset: &ytaudit_core::AuditDataset) -> Result<(), ArgError> {
-    write_atomic(out, &dataset.to_json())
-        .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    let json = dataset
+        .to_json()
+        .map_err(|e| ArgError(format!("cannot serialize dataset: {e}")))?;
+    write_atomic(out, &json).map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
     println!(
         "wrote {out}: {} snapshots, {} videos with metadata, {} channels",
         dataset.len(),

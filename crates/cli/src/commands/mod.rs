@@ -2,6 +2,7 @@
 
 pub mod analyze;
 pub mod collect;
+pub mod lint;
 pub mod quota;
 pub mod serve;
 pub mod store;
@@ -13,6 +14,7 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
         "serve" => serve::USAGE,
         "collect" => collect::USAGE,
         "analyze" => analyze::USAGE,
+        "lint" => lint::USAGE,
         "quota" => quota::USAGE,
         "store" => store::USAGE,
         "topics" => topics::USAGE,

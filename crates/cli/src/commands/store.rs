@@ -153,8 +153,10 @@ fn export_json(spath: &str, path: &Path, out: &str) -> Result<(), ArgError> {
     let dataset = store
         .load_dataset()
         .map_err(|e| ArgError(format!("cannot load dataset from {spath}: {e}")))?;
-    write_atomic(out, &dataset.to_json())
-        .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    let json = dataset
+        .to_json()
+        .map_err(|e| ArgError(format!("cannot serialize dataset: {e}")))?;
+    write_atomic(out, &json).map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
     println!(
         "wrote {out}: {} snapshots, {} videos with metadata, {} channels, {} quota units",
         dataset.len(),

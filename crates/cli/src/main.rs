@@ -12,6 +12,7 @@
 //!                  table2|table3|table4|table5|table6|table7|fig1|fig2|fig3|fig4]
 //! ytaudit store    <info|verify|compact|export-json> <file.yts> [--out …]
 //! ytaudit quota    --searches N [--id-calls M] [--daily 10000]
+//! ytaudit lint     [--root PATH] [--format human|json] [--rule NAME]...
 //! ytaudit topics
 //! ```
 //!
@@ -22,7 +23,8 @@
 //! resumable with `--resume`); `analyze` re-runs any of the paper's
 //! analyses on a stored dataset; `store` inspects, verifies, compacts,
 //! or exports snapshot stores; `quota` prices a collection plan in quota
-//! units and key-days.
+//! units and key-days; `lint` runs the workspace invariant checker
+//! (`ytaudit-lint`) over the source tree.
 
 mod args;
 mod commands;
@@ -41,6 +43,7 @@ COMMANDS:
     analyze    run the paper's analyses on a collected dataset
     store      inspect, verify, compact, or export a snapshot store
     quota      price a collection plan in quota units
+    lint       check workspace source invariants (ytaudit-lint)
     topics     list the six audit topics and their parameters
     help       show this message
 
@@ -82,6 +85,7 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
         "analyze" => commands::analyze::run(&args),
         "store" => commands::store::run(&args),
         "quota" => commands::quota::run(&args),
+        "lint" => commands::lint::run(&args),
         "topics" => commands::topics::run(&args),
         "help" | "--help" => {
             println!("{USAGE}");

@@ -26,11 +26,13 @@ pub struct Figure3 {
 impl Figure3 {
     /// P(Present | PP) — the "stays in" probability.
     pub fn p_stay_present(&self) -> f64 {
+        // ytlint: allow(indexing) — transitions is a fixed [[f64; 2]; 4]
         self.transitions[0][0]
     }
 
     /// P(Absent | AA) — the "stays out" probability.
     pub fn p_stay_absent(&self) -> f64 {
+        // ytlint: allow(indexing) — transitions is a fixed [[f64; 2]; 4]
         self.transitions[3][1]
     }
 }

@@ -64,11 +64,7 @@ impl CollectorConfig {
     pub fn quick(topics: Vec<Topic>, snapshots: usize) -> CollectorConfig {
         CollectorConfig {
             topics,
-            schedule: Schedule::every(
-                Timestamp::from_ymd(2025, 2, 9).expect("valid date"),
-                5,
-                snapshots,
-            ),
+            schedule: Schedule::every(Timestamp::from_ymd_const(2025, 2, 9), 5, snapshots),
             hourly_bins: true,
             fetch_metadata: true,
             fetch_channels: true,

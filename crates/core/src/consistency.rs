@@ -91,6 +91,8 @@ pub fn topic_consistency(dataset: &AuditDataset, topic: Topic) -> TopicConsisten
                 snapshot: i,
                 returned: set.len(),
                 jaccard_prev,
+                // ytlint: allow(indexing) — the closure only runs while
+                // iterating sets, so sets is non-empty here
                 jaccard_first: jaccard(set, &sets[0]),
                 dropped_out,
                 dropped_in,

@@ -98,11 +98,24 @@ pub struct CommentRecord {
     pub published_at: Timestamp,
 }
 
+/// A comment fetch that failed for one video. The quota was still spent;
+/// recording the failure keeps attrition accounting honest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommentFetchError {
+    /// The video whose comment thread could not be fetched.
+    pub video_id: VideoId,
+    /// The API error, as reported by the client.
+    pub error: String,
+}
+
 /// Comments fetched at one snapshot (the paper only does first and last).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct CommentsSnapshot {
     /// All comments fetched, across the snapshot's videos.
     pub comments: Vec<CommentRecord>,
+    /// Per-video fetch failures (comments disabled, video deleted, …).
+    #[serde(default)]
+    pub fetch_errors: Vec<CommentFetchError>,
 }
 
 /// One full snapshot: every topic collected at one date.
@@ -189,8 +202,8 @@ impl AuditDataset {
     }
 
     /// Serializes to JSON (for caching expensive collections).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("dataset serializes")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Deserializes from JSON.
@@ -267,7 +280,7 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let ds = dataset();
-        let json = ds.to_json();
+        let json = ds.to_json().unwrap();
         let back = AuditDataset::from_json(&json).unwrap();
         assert_eq!(back, ds);
     }

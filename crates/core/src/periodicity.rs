@@ -65,8 +65,10 @@ pub fn analyze(
     let sets: Vec<_> = (0..n).map(|i| dataset.id_set(topic, i)).collect();
     let series: Vec<f64> = sets[1..]
         .iter()
+        // ytlint: allow(indexing) — n ≥ 8 guard above: sets is non-empty
         .map(|s| ytaudit_stats::sets::jaccard(s, &sets[0]))
         .collect();
+    // ytlint: allow(indexing) — windows(2) yields exactly-2-long slices
     let detrended: Vec<f64> = series.windows(2).map(|w| w[1] - w[0]).collect();
     let max_lag = max_lag
         .unwrap_or(detrended.len() / 3)

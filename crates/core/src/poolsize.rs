@@ -39,11 +39,9 @@ pub fn table4_row(dataset: &AuditDataset, topic: Topic) -> Option<Table4Row> {
             estimates.extend(ts.hours.iter().map(|h| h.total_results));
         }
     }
-    if estimates.is_empty() {
+    let (Some(&min), Some(&max)) = (estimates.iter().min(), estimates.iter().max()) else {
         return None;
-    }
-    let min = *estimates.iter().min().expect("non-empty");
-    let max = *estimates.iter().max().expect("non-empty");
+    };
     let mean = estimates.iter().sum::<u64>() / estimates.len() as u64;
     // Bucket to 1k for a meaningful mode over a continuous-ish estimate.
     let bucketed: Vec<u64> = estimates.iter().map(|e| (e / 1_000) * 1_000).collect();

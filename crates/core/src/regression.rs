@@ -127,8 +127,10 @@ pub fn build_regression_data(dataset: &AuditDataset) -> StatsResult<RegressionDa
     // feature) so the design matrix stays full-rank.
     let keep: Vec<usize> = (0..PREDICTORS.len())
         .filter(|&j| {
-            let first = full[0][j];
-            full.iter().any(|row| row[j] != first)
+            full.first().is_some_and(|head| {
+                let first = head[j];
+                full.iter().any(|row| row[j] != first)
+            })
         })
         .collect();
     let names: Vec<String> = keep.iter().map(|&j| PREDICTORS[j].to_string()).collect();
@@ -145,17 +147,16 @@ pub fn build_regression_data(dataset: &AuditDataset) -> StatsResult<RegressionDa
 }
 
 fn topic_dummy(topic: Topic) -> [f64; 5] {
-    // BLM is the reference category.
-    let mut d = [0.0; 5];
+    // One-hot over the non-reference topics; BLM is the reference
+    // category.
     match topic {
-        Topic::Blm => {}
-        Topic::Brexit => d[0] = 1.0,
-        Topic::Capitol => d[1] = 1.0,
-        Topic::Grammys => d[2] = 1.0,
-        Topic::Higgs => d[3] = 1.0,
-        Topic::WorldCup => d[4] = 1.0,
+        Topic::Blm => [0.0, 0.0, 0.0, 0.0, 0.0],
+        Topic::Brexit => [1.0, 0.0, 0.0, 0.0, 0.0],
+        Topic::Capitol => [0.0, 1.0, 0.0, 0.0, 0.0],
+        Topic::Grammys => [0.0, 0.0, 1.0, 0.0, 0.0],
+        Topic::Higgs => [0.0, 0.0, 0.0, 1.0, 0.0],
+        Topic::WorldCup => [0.0, 0.0, 0.0, 0.0, 1.0],
     }
-    d
 }
 
 /// Compresses arbitrary category labels to contiguous 0-based indices in

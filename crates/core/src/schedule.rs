@@ -17,8 +17,8 @@ impl Schedule {
     /// The paper's exact schedule: 2025-02-09 … 2025-04-30 every 5 days,
     /// with 2025-04-05 skipped — 16 snapshots.
     pub fn paper() -> Schedule {
-        let start = Timestamp::from_ymd(2025, 2, 9).expect("valid date");
-        let skipped = Timestamp::from_ymd(2025, 4, 5).expect("valid date");
+        let start = Timestamp::from_ymd_const(2025, 2, 9);
+        let skipped = Timestamp::from_ymd_const(2025, 4, 5);
         let dates = (0..17)
             .map(|i| start.add_days(5 * i))
             .filter(|&d| d != skipped)

@@ -39,8 +39,8 @@ impl StrategyConfig {
         StrategyConfig {
             topic,
             levels: 3,
-            first: Timestamp::from_ymd(2025, 2, 9).expect("valid date"),
-            last: Timestamp::from_ymd(2025, 4, 30).expect("valid date"),
+            first: Timestamp::from_ymd_const(2025, 2, 9),
+            last: Timestamp::from_ymd_const(2025, 4, 30),
             hourly: false,
         }
     }

@@ -1,0 +1,183 @@
+//! Diagnostics: the finding type plus human and JSON renderers.
+//!
+//! Human output is the familiar `path:line:col: rule: message` shape so
+//! editors and CI annotations can parse it; JSON output is a stable
+//! array-of-objects schema for machine consumption (the CI job uploads
+//! it as an artifact).
+
+use std::fmt::Write as _;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that produced the finding (`panics`, `determinism`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or suppress it.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic without help text.
+    pub fn new(
+        rule: &'static str,
+        path: &str,
+        line: usize,
+        col: usize,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            col,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches help text.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+/// Output format for a check run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `path:line:col: rule: message` lines plus a summary.
+    Human,
+    /// A JSON array of finding objects.
+    Json,
+}
+
+/// Renders diagnostics in the requested format. Diagnostics are sorted
+/// by (path, line, col, rule) so output is stable across runs.
+pub fn render(diags: &[Diagnostic], format: Format) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+    });
+    match format {
+        Format::Human => render_human(&sorted),
+        Format::Json => render_json(&sorted),
+    }
+}
+
+fn render_human(diags: &[&Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{}:{}:{}: {}: {}", d.path, d.line, d.col, d.rule, d.message);
+        if let Some(help) = &d.help {
+            let _ = writeln!(out, "    help: {help}");
+        }
+    }
+    if diags.is_empty() {
+        out.push_str("ytaudit-lint: no violations\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "ytaudit-lint: {} violation{} found",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+    }
+    out
+}
+
+fn render_json(diags: &[&Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let _ = write!(out, "\"rule\": {}", json_str(d.rule));
+        let _ = write!(out, ", \"path\": {}", json_str(&d.path));
+        let _ = write!(out, ", \"line\": {}", d.line);
+        let _ = write!(out, ", \"col\": {}", d.col);
+        let _ = write!(out, ", \"message\": {}", json_str(&d.message));
+        match &d.help {
+            Some(help) => {
+                let _ = write!(out, ", \"help\": {}", json_str(help));
+            }
+            None => {
+                out.push_str(", \"help\": null");
+            }
+        }
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a string as a JSON string literal (std-only, so hand-rolled).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new("panics", "b.rs", 3, 9, "`.unwrap()` in library code")
+                .with_help("return a typed error"),
+            Diagnostic::new("determinism", "a.rs", 1, 1, "wall clock"),
+        ]
+    }
+
+    #[test]
+    fn human_output_is_sorted_and_parseable() {
+        let text = render(&sample(), Format::Human);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a.rs:1:1: determinism: wall clock");
+        assert!(lines[1].starts_with("b.rs:3:9: panics:"));
+        assert!(text.contains("2 violations found"));
+    }
+
+    #[test]
+    fn json_output_escapes_and_sorts() {
+        let mut diags = sample();
+        diags.push(Diagnostic::new("panics", "c.rs", 1, 1, "say \"no\"\nplease"));
+        let text = render(&diags, Format::Json);
+        assert!(text.starts_with('['));
+        assert!(text.contains("\"say \\\"no\\\"\\nplease\""));
+        assert!(text.find("a.rs").unwrap() < text.find("b.rs").unwrap());
+        assert!(text.contains("\"help\": null"));
+    }
+
+    #[test]
+    fn empty_run_renders_cleanly() {
+        assert!(render(&[], Format::Human).contains("no violations"));
+        assert_eq!(render(&[], Format::Json), "[]\n");
+    }
+}

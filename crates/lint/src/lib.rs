@@ -1,0 +1,204 @@
+//! `ytaudit-lint` — workspace-aware static invariant checker.
+//!
+//! Clippy knows Rust; it does not know that this workspace promises
+//! byte-identical datasets for any worker count, panic-free collection,
+//! an explicitly classified error taxonomy, and one canonical quota
+//! table. This crate tokenizes the workspace's sources (std only — no
+//! registry dependencies, so it builds and runs before anything else
+//! does, including offline) and enforces those domain invariants:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `determinism` | no `Instant::now`/`SystemTime::now`/`thread_rng` outside `ytaudit-platform::clock` |
+//! | `panics` | no `unwrap`/`expect`/`panic!` in non-test library code |
+//! | `indexing` | no literal-index (`xs[0]`) in non-test library code |
+//! | `retry-exhaustive` | every `Error`/`ApiErrorReason` variant classified in `sched/retry.rs`, no wildcard |
+//! | `quota-consistency` | quota constants/cost table agree across api, client, sched, cli |
+//!
+//! Violations that are provably safe carry an inline suppression:
+//!
+//! ```text
+//! // ytlint: allow(panics) — slice length checked two lines above
+//! ```
+//!
+//! A suppression without a reason, or one that suppresses nothing, is
+//! itself a violation (`allow-hygiene`) — annotations must stay honest
+//! and alive. Run via `cargo run -p ytaudit-lint -- check` or
+//! `ytaudit lint`; exit code 0 means clean, 1 means violations, 2 means
+//! the checker itself could not run.
+
+pub mod diag;
+pub mod lex;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use diag::{render, Diagnostic, Format};
+pub use rules::{all_rules, rule_names, Rule};
+pub use workspace::Workspace;
+
+use std::path::Path;
+
+/// The engine-level rule name for suppression hygiene findings.
+pub const ALLOW_HYGIENE: &str = "allow-hygiene";
+
+/// Options for one check run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    /// Restrict to these rule names (empty = all rules). Suppression
+    /// hygiene (unused-allow detection) only runs with the full set,
+    /// since an allow for a deselected rule would look unused.
+    pub rules: Vec<String>,
+}
+
+/// Runs the rules over an already-loaded workspace and applies the
+/// suppression pass. Returns surviving diagnostics.
+pub fn check_workspace(ws: &Workspace, options: &CheckOptions) -> Vec<Diagnostic> {
+    let full_set = options.rules.is_empty();
+    let mut raw = Vec::new();
+    for rule in all_rules() {
+        if full_set || options.rules.iter().any(|r| r == rule.name()) {
+            rule.check(ws, &mut raw);
+        }
+    }
+
+    // Apply suppressions (marking used directives as we go).
+    let mut diags: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
+            ws.file(&d.path)
+                .is_none_or(|file| !file.suppressed(d.rule, d.line))
+        })
+        .collect();
+
+    // Hygiene: every directive needs a reason; on full runs, every
+    // directive must have suppressed something; rule names must exist.
+    let known = rule_names();
+    for file in &ws.files {
+        for allow in &file.allows {
+            if allow.rules.is_empty() {
+                diags.push(
+                    Diagnostic::new(
+                        ALLOW_HYGIENE,
+                        &file.path,
+                        allow.directive_line,
+                        1,
+                        "malformed ytlint directive (expected `ytlint: allow(rule, …) — reason` \
+                         or `allow-file(…)`)",
+                    ),
+                );
+                continue;
+            }
+            for rule in &allow.rules {
+                if !known.contains(&rule.as_str()) {
+                    diags.push(Diagnostic::new(
+                        ALLOW_HYGIENE,
+                        &file.path,
+                        allow.directive_line,
+                        1,
+                        format!("unknown rule {rule:?} in ytlint allow"),
+                    ));
+                }
+            }
+            if allow.reason.is_none() {
+                diags.push(
+                    Diagnostic::new(
+                        ALLOW_HYGIENE,
+                        &file.path,
+                        allow.directive_line,
+                        1,
+                        "ytlint allow without a justification",
+                    )
+                    .with_help("append `— <why this site is safe>` to the directive"),
+                );
+            }
+            if full_set && !allow.used.get() && allow.rules.iter().all(|r| known.contains(&r.as_str()))
+            {
+                diags.push(
+                    Diagnostic::new(
+                        ALLOW_HYGIENE,
+                        &file.path,
+                        allow.directive_line,
+                        1,
+                        format!(
+                            "ytlint allow({}) suppresses nothing",
+                            allow.rules.join(", ")
+                        ),
+                    )
+                    .with_help("the annotated violation is gone; delete the stale directive"),
+                );
+            }
+        }
+    }
+    diags
+}
+
+/// Loads the workspace at `root` and checks it.
+pub fn check_path(root: &Path, options: &CheckOptions) -> std::io::Result<Vec<Diagnostic>> {
+    let ws = Workspace::load(root)?;
+    Ok(check_workspace(&ws, options))
+}
+
+/// Locates the workspace root: walks up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` appears.
+pub fn find_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressed_diagnostics_are_dropped_and_marked_used() {
+        let ws = Workspace::from_files(&[(
+            "crates/x/src/lib.rs",
+            "pub fn f(v: Option<u32>) -> u32 {\n    \
+             v.unwrap() // ytlint: allow(panics) — caller guarantees Some\n}\n",
+        )]);
+        let diags = check_workspace(&ws, &CheckOptions::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_reported() {
+        let ws = Workspace::from_files(&[(
+            "crates/x/src/lib.rs",
+            "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap() // ytlint: allow(panics)\n}\n",
+        )]);
+        let diags = check_workspace(&ws, &CheckOptions::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags.first().map(|d| d.rule), Some(ALLOW_HYGIENE));
+    }
+
+    #[test]
+    fn unused_allow_is_reported_on_full_runs_only() {
+        let src = "pub fn f() {} // ytlint: allow(panics) — nothing here panics\n";
+        let ws = Workspace::from_files(&[("crates/x/src/lib.rs", src)]);
+        let full = check_workspace(&ws, &CheckOptions::default());
+        assert!(full.iter().any(|d| d.message.contains("suppresses nothing")), "{full:?}");
+        let ws = Workspace::from_files(&[("crates/x/src/lib.rs", src)]);
+        let partial = check_workspace(
+            &ws,
+            &CheckOptions { rules: vec!["determinism".into()] },
+        );
+        assert!(partial.is_empty(), "{partial:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_reported() {
+        let ws = Workspace::from_files(&[(
+            "crates/x/src/lib.rs",
+            "pub fn f() {} // ytlint: allow(made-up) — whatever\n",
+        )]);
+        let diags = check_workspace(&ws, &CheckOptions::default());
+        assert!(diags.iter().any(|d| d.message.contains("unknown rule")), "{diags:?}");
+    }
+}

@@ -1,0 +1,121 @@
+//! `ytaudit-lint` binary: `cargo run -p ytaudit-lint -- check`.
+//!
+//! Subcommands:
+//!
+//! - `check` (default) — lint the workspace; exit 0 clean, 1 violations,
+//!   2 when the checker itself fails (bad flags, unreadable tree).
+//! - `rules` — list the rules and what they enforce.
+//!
+//! Flags for `check`: `--format human|json`, `--root PATH`, and
+//! repeatable `--rule NAME` to restrict the run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ytaudit_lint::{all_rules, check_path, find_root, render, CheckOptions, Format};
+
+const USAGE: &str = "\
+ytaudit-lint — workspace-aware static invariant checker
+
+USAGE:
+    ytaudit-lint [check] [--format human|json] [--root PATH] [--rule NAME]...
+    ytaudit-lint rules
+
+EXIT CODES:
+    0  clean
+    1  violations found
+    2  usage or I/O error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut rest = args;
+    let mut command = "check";
+    if let Some(first) = rest.first() {
+        if !first.starts_with('-') {
+            command = first.as_str();
+            rest = &rest[1..];
+        }
+    }
+
+    match command {
+        "rules" => {
+            for rule in all_rules() {
+                println!("{:<18} {}", rule.name(), rule.description());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => run_check(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn run_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut format = Format::Human;
+    let mut root: Option<PathBuf> = None;
+    let mut options = CheckOptions::default();
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = iter.next().ok_or("--format needs a value")?;
+                format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?}")),
+                };
+            }
+            "--root" => {
+                let value = iter.next().ok_or("--root needs a value")?;
+                root = Some(PathBuf::from(value));
+            }
+            "--rule" => {
+                let value = iter.next().ok_or("--rule needs a value")?;
+                let known = all_rules().iter().any(|r| r.name() == value.as_str());
+                if !known {
+                    return Err(format!(
+                        "unknown rule {value:?}; run `ytaudit-lint rules` for the list"
+                    ));
+                }
+                options.rules.push(value.clone());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_root(&cwd).ok_or("no workspace root found (expected Cargo.toml + crates/)")?
+        }
+    };
+
+    let diags = check_path(&root, &options)
+        .map_err(|e| format!("cannot read workspace at {}: {e}", root.display()))?;
+    print!("{}", render(&diags, format));
+    if diags.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,0 +1,105 @@
+//! Rule `determinism`: no ambient wall-clock or entropy reads outside
+//! the sanctioned clock module.
+//!
+//! The paper's replication claim — byte-identical datasets for any
+//! worker count — requires that nothing on the collection path consults
+//! `Instant::now`, `SystemTime::now`, or an OS entropy source directly.
+//! Code that genuinely needs real time (metrics, pacing) must either
+//! route through `ytaudit-platform::clock` (whose `RealClock` is the one
+//! sanctioned wall-clock read) or carry an explicit
+//! `ytlint: allow(determinism) — reason` annotation explaining why the
+//! read cannot influence collected bytes.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lex::TokenKind;
+use crate::workspace::Workspace;
+
+/// Files allowed to read the wall clock: the clock module itself.
+const ALLOWED_FILES: &[&str] = &["crates/platform/src/clock.rs"];
+
+/// `A::b` call patterns that read ambient time.
+const QUALIFIED: &[(&str, &str)] = &[("Instant", "now"), ("SystemTime", "now")];
+
+/// Bare function names that read OS entropy.
+const ENTROPY: &[&str] = &["thread_rng", "from_entropy"];
+
+/// The determinism rule.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Instant::now / SystemTime::now / thread_rng outside ytaudit-platform::clock"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.is_test_target() || ALLOWED_FILES.contains(&file.path.as_str()) {
+                continue;
+            }
+            let toks = &file.tokens;
+            for i in 0..toks.len() {
+                let t = &toks[i];
+                if t.kind != TokenKind::Ident || file.in_test_code(t.line) {
+                    continue;
+                }
+                for &(ty, method) in QUALIFIED {
+                    if t.text == ty
+                        && matches(toks, i + 1, &["::"])
+                        && toks.get(i + 3).is_some_and(|m| m.text == method)
+                        && toks.get(i + 4).is_some_and(|p| p.text == "(")
+                    {
+                        out.push(
+                            Diagnostic::new(
+                                self.name(),
+                                &file.path,
+                                t.line,
+                                t.col,
+                                format!("ambient wall-clock read `{ty}::{method}()`"),
+                            )
+                            .with_help(
+                                "route time through ytaudit-platform::clock (SimClock or \
+                                 MonotonicClock), or annotate with `// ytlint: \
+                                 allow(determinism) — <why this cannot affect dataset bytes>`",
+                            ),
+                        );
+                    }
+                }
+                if ENTROPY.contains(&t.text.as_str())
+                    && toks.get(i + 1).is_some_and(|p| p.text == "(")
+                {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            &file.path,
+                            t.line,
+                            t.col,
+                            format!("OS entropy read `{}()`", t.text),
+                        )
+                        .with_help(
+                            "seed explicitly (StdRng::seed_from_u64) so every run is replayable",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Whether `toks[i..]` spells the given punctuation sequence (each entry
+/// one char; `"::"` is two tokens).
+fn matches(toks: &[crate::lex::Token], mut i: usize, seqs: &[&str]) -> bool {
+    for seq in seqs {
+        for ch in seq.chars() {
+            match toks.get(i) {
+                Some(t) if t.kind == TokenKind::Punct && t.text == ch.to_string() => i += 1,
+                _ => return false,
+            }
+        }
+    }
+    true
+}

@@ -1,0 +1,75 @@
+//! Rule `indexing`: indexing with an integer literal (`xs[0]`) in
+//! non-test library code.
+//!
+//! A literal index on a slice is a hidden bounds panic — the same class
+//! of failure the `panics` rule polices, but split out under its own
+//! name because the safe exceptions are different: numeric kernels built
+//! on fixed-size arrays (`[f64; 6]` coefficient tables, `windows(k)`
+//! slices) index with literals that are in-bounds by construction, and
+//! those files declare the invariant once with
+//! `// ytlint: allow-file(indexing) — reason` instead of annotating
+//! every polynomial term. The `panics` rule stays strict in those same
+//! files.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lex::TokenKind;
+use crate::workspace::{Workspace, PANIC_EXEMPT_CRATES};
+
+/// The literal-indexing rule.
+pub struct Indexing;
+
+impl Rule for Indexing {
+    fn name(&self) -> &'static str {
+        "indexing"
+    }
+
+    fn description(&self) -> &'static str {
+        "no indexing with integer literals in non-test library code"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.is_test_target() || PANIC_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            let toks = &file.tokens;
+            for i in 0..toks.len() {
+                let t = &toks[i];
+                if file.in_test_code(t.line) {
+                    continue;
+                }
+                // Indexing with an integer literal: `expr[0]`. The token
+                // before `[` must end an expression (identifier, `)`,
+                // `]`) — this distinguishes indexing from array literals
+                // like `[0u8; 4]` and from macro brackets.
+                if t.kind == TokenKind::Punct
+                    && t.text == "["
+                    && i > 0
+                    && (toks[i - 1].kind == TokenKind::Ident
+                        || (toks[i - 1].kind == TokenKind::Punct
+                            && matches!(toks[i - 1].text.as_str(), ")" | "]")))
+                    && toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Int)
+                    && toks.get(i + 2).is_some_and(|c| c.text == "]")
+                {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            &file.path,
+                            t.line,
+                            t.col,
+                            format!(
+                                "indexing with literal `[{}]` hides a bounds panic",
+                                toks[i + 1].text
+                            ),
+                        )
+                        .with_help(
+                            "use .first()/.get(n), or declare a fixed-size-array kernel with \
+                             `// ytlint: allow-file(indexing) — <why indices are in bounds>`",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The rule framework: a trait, a registry, and the domain rules.
+//!
+//! Rules receive the whole parsed [`Workspace`] (not one file at a time)
+//! because two of them — retry-classification exhaustiveness and
+//! quota-table consistency — are inherently cross-file: they compare an
+//! enum definition in one crate against a `match` in another.
+
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+mod determinism;
+mod indexing;
+mod panics;
+mod quota;
+mod retry;
+
+pub use determinism::Determinism;
+pub use indexing::Indexing;
+pub use panics::Panics;
+pub use quota::QuotaConsistency;
+pub use retry::RetryExhaustive;
+
+/// A lint rule.
+pub trait Rule {
+    /// Stable machine name (used in `ytlint: allow(...)` and `--rule`).
+    fn name(&self) -> &'static str;
+    /// One-line description for `ytaudit-lint rules`.
+    fn description(&self) -> &'static str;
+    /// Appends findings for the workspace. Implementations must NOT
+    /// apply suppressions themselves — the engine matches findings
+    /// against `ytlint: allow` directives so it can also detect unused
+    /// ones.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
+/// Every registered rule, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(Determinism),
+        Box::new(Panics),
+        Box::new(Indexing),
+        Box::new(RetryExhaustive),
+        Box::new(QuotaConsistency),
+    ]
+}
+
+/// Looks a rule up by name.
+pub fn rule_names() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.name()).collect()
+}

@@ -1,0 +1,258 @@
+//! Rule `retry-exhaustive`: the scheduler's error classifier must take a
+//! position on every error the workspace can produce.
+//!
+//! `ytaudit-sched`'s retry loop decides, per failed task, whether the
+//! whole run retries or drains. That decision is only trustworthy if
+//! every `ytaudit_types::Error` variant and every `ApiErrorReason` is
+//! explicitly classified — a wildcard arm silently absorbs new variants
+//! as whatever the wildcard says, which is exactly how a new
+//! `rateLimitExceeded`-style reason would end up fatally draining a
+//! 12-week collection. Two checks:
+//!
+//! 1. every variant of `Error` and `ApiErrorReason` (as defined in
+//!    `crates/types/src/error.rs`) is mentioned as `Enum::Variant`
+//!    somewhere in `crates/sched/src/retry.rs` (classifier or its
+//!    tests), and
+//! 2. the `classify` function contains no `_ =>` wildcard arm.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lex::{Token, TokenKind};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// Where the error enums live.
+const ENUM_FILE: &str = "crates/types/src/error.rs";
+
+/// Where the classifier lives.
+const CLASSIFIER_FILE: &str = "crates/sched/src/retry.rs";
+
+/// The enums the classifier must cover.
+const ENUMS: &[&str] = &["Error", "ApiErrorReason"];
+
+/// The retry-exhaustiveness rule.
+pub struct RetryExhaustive;
+
+impl Rule for RetryExhaustive {
+    fn name(&self) -> &'static str {
+        "retry-exhaustive"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Error/ApiErrorReason variant is classified in sched's retry module"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let Some(enums) = ws.file(ENUM_FILE) else {
+            // Fixture workspaces without the anchor files simply skip
+            // the rule; the real workspace always has them (and the
+            // workspace-clean test pins that).
+            return;
+        };
+        let Some(classifier) = ws.file(CLASSIFIER_FILE) else {
+            out.push(Diagnostic::new(
+                self.name(),
+                ENUM_FILE,
+                1,
+                1,
+                format!("`{CLASSIFIER_FILE}` is missing, so error variants are unclassified"),
+            ));
+            return;
+        };
+
+        for enum_name in ENUMS {
+            let Some((variants, decl_line)) = enum_variants(enums, enum_name) else {
+                out.push(
+                    Diagnostic::new(
+                        self.name(),
+                        ENUM_FILE,
+                        1,
+                        1,
+                        format!("rule anchor missing: `enum {enum_name}` not found"),
+                    )
+                    .with_help("if the enum moved, update crates/lint/src/rules/retry.rs"),
+                );
+                continue;
+            };
+            for (variant, _) in &variants {
+                if !mentions_variant(classifier, enum_name, variant) {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            ENUM_FILE,
+                            decl_line,
+                            1,
+                            format!(
+                                "`{enum_name}::{variant}` is never mentioned in \
+                                 {CLASSIFIER_FILE}: the retry classifier takes no position \
+                                 on it"
+                            ),
+                        )
+                        .with_help(
+                            "add it to classify()'s match (and to the classification test) \
+                             so retry-vs-drain is an explicit decision",
+                        ),
+                    );
+                }
+            }
+        }
+
+        // No wildcard inside fn classify.
+        if let Some((body_start, body_end)) = fn_body_span(classifier, "classify") {
+            let toks = &classifier.tokens;
+            for i in body_start..body_end {
+                if toks[i].kind == TokenKind::Ident
+                    && toks[i].text == "_"
+                    && toks.get(i + 1).is_some_and(|a| a.text == "=")
+                    && toks.get(i + 2).is_some_and(|b| b.text == ">")
+                {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            &classifier.path,
+                            toks[i].line,
+                            toks[i].col,
+                            "wildcard `_ =>` arm in classify(): new error variants would be \
+                             classified silently"
+                                .to_string(),
+                        )
+                        .with_help("list every variant explicitly"),
+                    );
+                }
+            }
+        } else {
+            out.push(Diagnostic::new(
+                self.name(),
+                &classifier.path,
+                1,
+                1,
+                "rule anchor missing: `fn classify` not found".to_string(),
+            ));
+        }
+    }
+}
+
+/// Extracts `(variant, line)` pairs from `enum <name> { … }` in `file`,
+/// plus the line of the declaration. Skips attributes and nested
+/// field/tuple contents.
+pub(crate) fn enum_variants(
+    file: &SourceFile,
+    name: &str,
+) -> Option<(Vec<(String, usize)>, usize)> {
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Ident
+            && toks[i].text == "enum"
+            && toks.get(i + 1).is_some_and(|n| n.text == name)
+            && toks.get(i + 2).is_some_and(|b| b.text == "{")
+        {
+            let decl_line = toks[i].line;
+            let mut variants = Vec::new();
+            let mut j = i + 3;
+            let mut depth = 1usize; // inside the enum braces
+            let mut expecting_variant = true;
+            while j < toks.len() && depth > 0 {
+                let t = &toks[j];
+                match (t.kind, t.text.as_str()) {
+                    (TokenKind::Punct, "{") | (TokenKind::Punct, "(") => {
+                        depth += 1;
+                        expecting_variant = false;
+                    }
+                    (TokenKind::Punct, "}") | (TokenKind::Punct, ")") => {
+                        depth -= 1;
+                    }
+                    (TokenKind::Punct, ",") if depth == 1 => {
+                        expecting_variant = true;
+                    }
+                    (TokenKind::Punct, "#") if depth == 1 => {
+                        // Skip attribute tokens.
+                        let skip = attribute_len(&toks[j..]);
+                        j += skip;
+                        continue;
+                    }
+                    (TokenKind::Ident, _) if depth == 1 && expecting_variant => {
+                        variants.push((t.text.clone(), t.line));
+                        expecting_variant = false;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return Some((variants, decl_line));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Token length of an attribute starting at `tokens[0] == "#"`.
+fn attribute_len(tokens: &[Token]) -> usize {
+    let mut depth = 0usize;
+    for (idx, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return idx + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Whether `Enum :: Variant` appears anywhere in `file`.
+fn mentions_variant(file: &SourceFile, enum_name: &str, variant: &str) -> bool {
+    let toks = &file.tokens;
+    (0..toks.len()).any(|i| {
+        toks[i].kind == TokenKind::Ident
+            && toks[i].text == enum_name
+            && toks.get(i + 1).is_some_and(|a| a.text == ":")
+            && toks.get(i + 2).is_some_and(|b| b.text == ":")
+            && toks.get(i + 3).is_some_and(|v| v.text == variant)
+    })
+}
+
+/// The token index range of `fn <name>`'s body (between its braces).
+pub(crate) fn fn_body_span(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Ident
+            && toks[i].text == "fn"
+            && toks.get(i + 1).is_some_and(|n| n.text == name)
+        {
+            // Find the opening brace of the body.
+            let mut j = i + 2;
+            let mut paren_depth = 0usize;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => paren_depth += 1,
+                    ")" => paren_depth = paren_depth.saturating_sub(1),
+                    "{" if paren_depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let body_start = j + 1;
+            let mut depth = 1usize;
+            let mut k = body_start;
+            while k < toks.len() && depth > 0 {
+                match toks[k].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            return Some((body_start, k.saturating_sub(1)));
+        }
+        i += 1;
+    }
+    None
+}

@@ -1,0 +1,268 @@
+//! Fixture-based rule tests: each rule gets a tiny in-memory workspace
+//! exhibiting a violation (caught) and a sanctioned variant (clean),
+//! plus the keystone test that the real workspace passes with zero
+//! findings — the same gate CI enforces.
+
+use std::path::PathBuf;
+use ytaudit_lint::{check_workspace, CheckOptions, Diagnostic, Workspace};
+
+/// Runs the full rule set over an in-memory workspace.
+fn check(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    check_workspace(&Workspace::from_files(files), &CheckOptions::default())
+}
+
+/// Runs a single named rule (suppression hygiene stays off).
+fn check_rule(files: &[(&str, &str)], rule: &str) -> Vec<Diagnostic> {
+    check_workspace(
+        &Workspace::from_files(files),
+        &CheckOptions {
+            rules: vec![rule.to_string()],
+        },
+    )
+}
+
+// ---------------------------------------------------------------- determinism
+
+#[test]
+fn determinism_flags_ambient_clock_and_entropy() {
+    let diags = check_rule(
+        &[(
+            "crates/x/src/lib.rs",
+            "use std::time::Instant;\n\
+             pub fn stamp() -> Instant { Instant::now() }\n\
+             pub fn roll() -> u8 { thread_rng().gen() }\n",
+        )],
+        "determinism",
+    );
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().any(|d| d.line == 2 && d.message.contains("Instant::now")));
+    assert!(diags.iter().any(|d| d.line == 3 && d.message.contains("thread_rng")));
+}
+
+#[test]
+fn determinism_exempts_the_clock_module_and_tests() {
+    let diags = check_rule(
+        &[
+            // The sanctioned wall-clock read.
+            (
+                "crates/platform/src/clock.rs",
+                "pub fn origin() -> std::time::Instant { std::time::Instant::now() }\n",
+            ),
+            // Integration tests may time things.
+            (
+                "crates/x/tests/timing.rs",
+                "fn t() { let _ = std::time::Instant::now(); }\n",
+            ),
+            // cfg(test) modules inside library code too.
+            (
+                "crates/x/src/lib.rs",
+                "pub fn f() {}\n\
+                 #[cfg(test)]\n\
+                 mod tests {\n\
+                     fn t() { let _ = std::time::Instant::now(); }\n\
+                 }\n",
+            ),
+        ],
+        "determinism",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --------------------------------------------------------------------- panics
+
+#[test]
+fn panics_flags_unwrap_expect_and_macros_in_library_code() {
+    let diags = check_rule(
+        &[(
+            "crates/x/src/lib.rs",
+            "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n\
+             pub fn g(v: Option<u32>) -> u32 { v.expect(\"set\") }\n\
+             pub fn h() { panic!(\"boom\") }\n",
+        )],
+        "panics",
+    );
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "panics"));
+}
+
+#[test]
+fn panics_permits_tests_and_the_bench_crate() {
+    let diags = check_rule(
+        &[
+            ("crates/x/tests/t.rs", "fn t() { None::<u32>.unwrap(); }\n"),
+            (
+                "crates/bench/src/runner.rs",
+                "pub fn run(v: Option<u32>) -> u32 { v.expect(\"bench setup\") }\n",
+            ),
+        ],
+        "panics",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ------------------------------------------------------------------- indexing
+
+#[test]
+fn indexing_flags_literal_subscripts() {
+    let diags = check_rule(
+        &[(
+            "crates/x/src/lib.rs",
+            "pub fn head(xs: &[u32]) -> u32 { xs[0] }\n",
+        )],
+        "indexing",
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags.first().map(|d| d.rule), Some("indexing"));
+}
+
+#[test]
+fn allow_file_suppresses_a_whole_file_once() {
+    let src = "// ytlint: allow-file(indexing) — all arrays here are fixed-size\n\
+               pub fn a(xs: &[u32; 4]) -> u32 { xs[0] }\n\
+               pub fn b(xs: &[u32; 4]) -> u32 { xs[3] }\n";
+    let diags = check(&[("crates/x/src/lib.rs", src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn line_allow_does_not_leak_to_other_lines() {
+    let src = "pub fn a(xs: &[u32]) -> u32 {\n\
+               \x20   // ytlint: allow(indexing) — caller guarantees non-empty\n\
+               \x20   xs[0]\n\
+               }\n\
+               pub fn b(xs: &[u32]) -> u32 { xs[1] }\n";
+    let diags = check(&[("crates/x/src/lib.rs", src)]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags.first().map(|d| d.line), Some(5));
+}
+
+// ----------------------------------------------------------- retry-exhaustive
+
+/// A minimal pair of anchor files for the retry rule.
+fn retry_fixture(classifier_body: &str) -> Vec<Diagnostic> {
+    let error_rs = "pub enum Error { Io, Decode }\n\
+                    pub enum ApiErrorReason { QuotaExceeded, BackendError }\n";
+    let retry_rs = format!("fn classify(e: &Error) -> Class {{\n{classifier_body}\n}}\n");
+    check_rule(
+        &[
+            ("crates/types/src/error.rs", error_rs),
+            ("crates/sched/src/retry.rs", &retry_rs),
+        ],
+        "retry-exhaustive",
+    )
+}
+
+#[test]
+fn retry_reports_unclassified_variants() {
+    let diags = retry_fixture(
+        "    match e { Error::Io => Class::Retry, Error::Decode => Class::Fatal }\n\
+         //  ApiErrorReason::QuotaExceeded handled… nowhere.",
+    );
+    // BackendError and QuotaExceeded are mentioned nowhere as paths —
+    // the comment does not count (comments are not tokens).
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "retry-exhaustive"));
+    assert!(diags.iter().any(|d| d.message.contains("QuotaExceeded")));
+    assert!(diags.iter().any(|d| d.message.contains("BackendError")));
+}
+
+#[test]
+fn retry_rejects_wildcard_arms_in_classify() {
+    let diags = retry_fixture(
+        "    match e {\n\
+         \x20       Error::Io => Class::Retry,\n\
+         \x20       Error::Decode => Class::Fatal,\n\
+         \x20       _ => Class::Fatal,\n\
+         \x20   }\n\
+         \x20   // ApiErrorReason::QuotaExceeded, ApiErrorReason::BackendError:\n\
+         \x20   fn _mentions() { let _ = (ApiErrorReason::QuotaExceeded, ApiErrorReason::BackendError); }",
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags.first().is_some_and(|d| d.message.contains("wildcard")));
+}
+
+#[test]
+fn retry_passes_a_fully_classified_fixture() {
+    let diags = retry_fixture(
+        "    match e {\n\
+         \x20       Error::Io => Class::Retry,\n\
+         \x20       Error::Decode => Class::Fatal,\n\
+         \x20   };\n\
+         \x20   let _ = (ApiErrorReason::QuotaExceeded, ApiErrorReason::BackendError);",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------- quota-consistency
+
+#[test]
+fn quota_rejects_wildcard_cost_and_divergent_consts() {
+    let canonical = "pub const UNITS_PER_DAY: u64 = 10_000;\n\
+                     pub enum Endpoint { Search, Videos }\n\
+                     impl Endpoint {\n\
+                         pub fn cost(self) -> u64 {\n\
+                             match self { Endpoint::Search => 100, _ => 1 }\n\
+                         }\n\
+                     }\n";
+    let mirror = "pub const UNITS_PER_DAY: u64 = 9_000;\n";
+    let diags = check_rule(
+        &[
+            ("crates/api/src/quota.rs", canonical),
+            ("crates/client/src/budget.rs", mirror),
+        ],
+        "quota-consistency",
+    );
+    // Videos has no explicit arm, the wildcard itself, and the mirror
+    // const disagrees: three findings.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().any(|d| d.message.contains("Endpoint::Videos")));
+    assert!(diags.iter().any(|d| d.message.contains("wildcard")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("disagrees") && d.path == "crates/client/src/budget.rs"));
+}
+
+#[test]
+fn quota_passes_explicit_table_with_agreeing_mirror() {
+    let canonical = "pub const UNITS_PER_DAY: u64 = 10_000;\n\
+                     pub enum Endpoint { Search, Videos }\n\
+                     impl Endpoint {\n\
+                         pub fn cost(self) -> u64 {\n\
+                             match self { Endpoint::Search => 100, Endpoint::Videos => 1 }\n\
+                         }\n\
+                     }\n";
+    let mirror = "pub const UNITS_PER_DAY: u64 = 10_000;\n";
+    let diags = check_rule(
+        &[
+            ("crates/api/src/quota.rs", canonical),
+            ("crates/client/src/budget.rs", mirror),
+        ],
+        "quota-consistency",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ------------------------------------------------------------ the real thing
+
+/// The keystone: the actual workspace must lint clean with the full rule
+/// set, including suppression hygiene. This is the same invariant CI
+/// enforces, so a regression fails locally first.
+#[test]
+fn real_workspace_is_clean() {
+    let root = option_env!("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .and_then(|p| p.canonicalize().ok())
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| ytaudit_lint::find_root(&d))
+        })
+        .expect("workspace root discoverable");
+    let diags = ytaudit_lint::check_path(&root, &CheckOptions::default())
+        .expect("workspace loads");
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean:\n{}",
+        ytaudit_lint::render(&diags, ytaudit_lint::Format::Human)
+    );
+}

@@ -174,9 +174,11 @@ impl<R: Read> MessageReader<R> {
             self.inner
                 .read_exact(&mut crlf)
                 .map_err(|_| NetError::UnexpectedEof("EOF after chunk".into()))?;
+            // ytlint: allow(indexing) — crlf is a fixed [u8; 2] buffer
             if &crlf != b"\r\n" && crlf[0] != b'\n' {
                 return Err(NetError::Protocol("missing CRLF after chunk".into()));
             }
+            // ytlint: allow(indexing) — crlf is a fixed [u8; 2] buffer
             if crlf[0] == b'\n' {
                 // Tolerated bare-LF chunk terminator: the second byte we
                 // consumed is actually part of the next size line. This is

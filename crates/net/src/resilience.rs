@@ -5,9 +5,16 @@
 //! transient-error budget — so a research collector needs (a) retries that
 //! only re-issue retryable failures, with jittered exponential backoff, and
 //! (b) proactive request pacing. Both are implemented here as small pure
-//! cores (testable without clocks) plus thin wall-clock wrappers.
+//! cores (testable without clocks) plus thin wrappers whose notion of
+//! elapsed time comes from an injected
+//! [`MonotonicClock`](ytaudit_platform::clock::MonotonicClock) —
+//! [`RealClock`](ytaudit_platform::clock::RealClock) in production,
+//! [`ManualClock`](ytaudit_platform::clock::ManualClock) in tests, so
+//! deadline behaviour is exercised without real sleeps.
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
+use ytaudit_platform::clock::{MonotonicClock, RealClock};
 
 /// Deterministic exponential backoff with multiplicative jitter.
 #[derive(Debug, Clone)]
@@ -185,23 +192,33 @@ impl BucketCore {
     }
 }
 
-/// A thread-safe wall-clock token bucket.
+/// A thread-safe token bucket over an injected monotonic clock.
 pub struct TokenBucket {
     core: parking_lot::Mutex<BucketCore>,
-    origin: Instant,
+    clock: Arc<dyn MonotonicClock>,
 }
 
 impl TokenBucket {
-    /// A bucket with `capacity` tokens refilled at `refill_per_sec`.
+    /// A bucket with `capacity` tokens refilled at `refill_per_sec`,
+    /// timed by the process clock.
     pub fn new(capacity: f64, refill_per_sec: f64) -> TokenBucket {
+        TokenBucket::with_clock(capacity, refill_per_sec, Arc::new(RealClock::default()))
+    }
+
+    /// Same bucket with an explicit clock (tests inject `ManualClock`).
+    pub fn with_clock(
+        capacity: f64,
+        refill_per_sec: f64,
+        clock: Arc<dyn MonotonicClock>,
+    ) -> TokenBucket {
         TokenBucket {
             core: parking_lot::Mutex::new(BucketCore::new(capacity, refill_per_sec)),
-            origin: Instant::now(),
+            clock,
         }
     }
 
     fn now(&self) -> f64 {
-        self.origin.elapsed().as_secs_f64()
+        self.clock.now().as_secs_f64()
     }
 
     /// Non-blocking acquire of `cost` tokens.
@@ -209,19 +226,22 @@ impl TokenBucket {
         self.core.lock().try_acquire(cost, self.now()).is_ok()
     }
 
-    /// Blocking acquire: sleeps until tokens are available or `timeout`
-    /// elapses. Returns whether the tokens were obtained.
+    /// Blocking acquire: sleeps on the injected clock until tokens are
+    /// available or `timeout` elapses. Returns whether the tokens were
+    /// obtained.
     pub fn acquire(&self, cost: f64, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+        let deadline = self.clock.now() + timeout;
         loop {
             let wait = match self.core.lock().try_acquire(cost, self.now()) {
                 Ok(()) => return true,
                 Err(secs) => secs,
             };
-            if !wait.is_finite() || Instant::now() + Duration::from_secs_f64(wait) > deadline {
+            if !wait.is_finite()
+                || self.clock.now() + Duration::from_secs_f64(wait) > deadline
+            {
                 return false;
             }
-            std::thread::sleep(Duration::from_secs_f64(wait.clamp(0.0005, 0.05)));
+            self.clock.sleep(Duration::from_secs_f64(wait.clamp(0.0005, 0.05)));
         }
     }
 
@@ -351,15 +371,50 @@ mod tests {
     }
 
     #[test]
+    fn token_bucket_refills_on_manual_clock() {
+        let clock = ytaudit_platform::clock::ManualClock::new();
+        let bucket = TokenBucket::with_clock(2.0, 1.0, Arc::new(clock.clone()));
+        assert!(bucket.try_acquire(2.0));
+        assert!(!bucket.try_acquire(1.0), "bucket drained");
+        // One simulated second refills one token; no real sleep happens.
+        clock.advance(Duration::from_secs(1));
+        assert!(bucket.try_acquire(1.0));
+        clock.advance(Duration::from_secs(60));
+        assert!((bucket.available() - 2.0).abs() < 1e-9, "refill caps at capacity");
+    }
+
+    #[test]
+    fn blocking_acquire_waits_on_the_injected_clock() {
+        let clock = ytaudit_platform::clock::ManualClock::new();
+        let bucket = TokenBucket::with_clock(1.0, 1.0, Arc::new(clock.clone()));
+        assert!(bucket.try_acquire(1.0));
+        // `acquire` sleeps on the manual clock, which advances simulated
+        // time instantly, so this "one-second wait" returns immediately.
+        assert!(bucket.acquire(1.0, Duration::from_secs(5)));
+        assert!(clock.now() >= Duration::from_millis(900), "waited on the clock");
+    }
+
+    #[test]
+    fn acquire_times_out_without_real_sleeps() {
+        let clock = ytaudit_platform::clock::ManualClock::new();
+        let slow = TokenBucket::with_clock(1.0, 0.0, Arc::new(clock.clone()));
+        assert!(slow.try_acquire(1.0));
+        // Zero refill: infinite wait is reported as a timeout, not a hang.
+        assert!(!slow.acquire(1.0, Duration::from_millis(10)));
+        // A finite but too-long wait also times out, advancing only
+        // simulated time.
+        let trickle = TokenBucket::with_clock(1.0, 0.001, Arc::new(clock.clone()));
+        assert!(trickle.try_acquire(1.0));
+        assert!(!trickle.acquire(1.0, Duration::from_secs(1)));
+    }
+
+    #[test]
     fn token_bucket_wall_clock_smoke() {
+        // The default constructor still runs on the process clock.
         let bucket = TokenBucket::new(2.0, 1000.0);
         assert!(bucket.try_acquire(1.0));
         assert!(bucket.try_acquire(1.0));
         // Refill is fast (1000/s): blocking acquire succeeds quickly.
         assert!(bucket.acquire(1.0, Duration::from_secs(1)));
-        // An impossible cost times out rather than hanging.
-        let slow = TokenBucket::new(1.0, 0.0);
-        assert!(slow.try_acquire(1.0));
-        assert!(!slow.acquire(1.0, Duration::from_millis(10)));
     }
 }

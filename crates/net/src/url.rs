@@ -26,9 +26,11 @@ pub fn encode_component(raw: &str) -> String {
         } else if b == b' ' {
             out.push('+');
         } else {
+            const HEX: &[u8; 16] = b"0123456789ABCDEF";
             out.push('%');
-            out.push(char::from_digit(u32::from(b >> 4), 16).unwrap().to_ascii_uppercase());
-            out.push(char::from_digit(u32::from(b & 0xF), 16).unwrap().to_ascii_uppercase());
+            // Nibbles are 0–15, so the masked lookups cannot miss.
+            out.push(char::from(HEX[usize::from(b >> 4) & 0xF]));
+            out.push(char::from(HEX[usize::from(b & 0xF)]));
         }
     }
     out

@@ -1,13 +1,88 @@
-//! The simulated wall clock.
+//! The workspace's clocks: the simulated audit calendar and the
+//! monotonic clock abstraction.
 //!
 //! The paper's audit spans 12 calendar weeks; re-running it offline
 //! requires time travel. Every platform operation takes the request
 //! instant explicitly, and `SimClock` is the shared, settable source of
 //! "now" for components (the HTTP service) that need an ambient clock.
+//!
+//! [`MonotonicClock`] serves the other kind of time: elapsed-duration
+//! arithmetic for deadlines, rate limits, and backoff. Production code
+//! uses [`RealClock`]; tests inject [`ManualClock`] so timeout paths run
+//! without real sleeps. The `determinism` lint (`ytaudit-lint`) confines
+//! ambient `Instant::now()` reads to this module, which is what makes
+//! "no hidden wall-clock dependence" checkable.
 
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use ytaudit_types::Timestamp;
+
+/// A monotonic clock for deadline and rate arithmetic.
+///
+/// `now()` is elapsed time since an arbitrary fixed origin (comparable
+/// only against the same clock); `sleep()` blocks — or, for simulated
+/// clocks, advances — by the given duration.
+pub trait MonotonicClock: Send + Sync {
+    /// Elapsed time since this clock's origin.
+    fn now(&self) -> Duration;
+    /// Blocks (or simulates blocking) for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The process monotonic clock: `std::time::Instant` plus
+/// `thread::sleep`.
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl Default for RealClock {
+    fn default() -> RealClock {
+        RealClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl MonotonicClock for RealClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A manually advanced clock for tests. `sleep` advances the simulated
+/// time instantly, so code that "waits" on this clock makes progress
+/// without wall-clock delay; clones share state.
+#[derive(Clone, Default)]
+pub struct ManualClock {
+    now: Arc<Mutex<Duration>>,
+}
+
+impl ManualClock {
+    /// A clock at its origin (elapsed = 0).
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        *self.now.lock() += d;
+    }
+}
+
+impl MonotonicClock for ManualClock {
+    fn now(&self) -> Duration {
+        *self.now.lock()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
 
 /// A shared, settable simulated clock. Clones share state.
 #[derive(Clone)]
@@ -25,7 +100,7 @@ impl SimClock {
 
     /// A clock at the audit's first collection instant (2025-02-09).
     pub fn at_audit_start() -> SimClock {
-        SimClock::new(Timestamp::from_ymd(2025, 2, 9).expect("valid date"))
+        SimClock::new(Timestamp::from_ymd_const(2025, 2, 9))
     }
 
     /// The current simulated instant.
@@ -74,5 +149,26 @@ mod tests {
         assert_eq!(clock.now(), t);
         clock.set(Timestamp::from_ymd(2025, 2, 9).unwrap());
         assert_eq!(clock.now().to_rfc3339(), "2025-02-09T00:00:00Z");
+    }
+
+    #[test]
+    fn manual_clock_sleep_advances_time() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.sleep(Duration::from_millis(250));
+        clock.advance(Duration::from_millis(750));
+        assert_eq!(clock.now(), Duration::from_secs(1));
+        // Clones share the same timeline.
+        let other = clock.clone();
+        other.advance(Duration::from_secs(1));
+        assert_eq!(clock.now(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let clock = RealClock::default();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
     }
 }

@@ -63,7 +63,7 @@ impl Default for CorpusConfig {
             eligible_factor: 4.0,
             deletion_rate: 0.015,
             // The paper's collection period: 2025-02-09 … 2025-04-30.
-            audit_start: Timestamp::from_ymd(2025, 2, 9).expect("valid date"),
+            audit_start: Timestamp::from_ymd_const(2025, 2, 9),
             audit_days: 81,
             max_comments_per_video: 18,
         }
@@ -202,19 +202,13 @@ fn generate_topic(
         .map(|rank| 0.30 / (1.0 + rank as f64 * 0.45))
         .collect();
 
-    let video_base_index: u64 = (Topic::ALL
-        .iter()
-        .position(|&t| t == topic)
-        .unwrap_or(0) as u64)
-        << 32;
+    let video_base_index: u64 = (topic.index() as u64) << 32;
     let mut videos = Vec::with_capacity(n_videos);
     for i in 0..n_videos {
         let id = VideoId::mint(config.seed, video_base_index + i as u64);
         // Weighted hour, uniform offset within the hour.
         let pick: f64 = rng.gen_range(0.0..total_weight);
-        let hour_idx = match cumulative.binary_search_by(|c| {
-            c.partial_cmp(&pick).expect("finite cumulative weights")
-        }) {
+        let hour_idx = match cumulative.binary_search_by(|c| c.total_cmp(&pick)) {
             Ok(idx) => idx,
             Err(idx) => idx,
         }

@@ -211,7 +211,7 @@ impl SearchEngine {
 
     /// Density for a topic.
     pub fn density(&self, topic: Topic) -> &InterestDensity {
-        &self.densities[Topic::ALL.iter().position(|&t| t == topic).expect("known topic")]
+        &self.densities[topic.index()]
     }
 
     /// Detects which audit topic a token set belongs to: the topic whose

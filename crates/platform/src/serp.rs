@@ -32,10 +32,7 @@ impl Platform {
     /// simulated instant `now` (top [`SERP_PAGE_SIZE`] video IDs).
     pub fn serp(&self, topic: Topic, puppet: u64, now: Timestamp) -> Vec<VideoId> {
         let seed = self.corpus().config.seed;
-        let topic_idx = Topic::ALL
-            .iter()
-            .position(|&t| t == topic)
-            .expect("known topic");
+        let topic_idx = topic.index();
         let mut scored: Vec<(f64, &VideoId)> = self.corpus().topics[topic_idx]
             .videos
             .iter()
@@ -43,6 +40,8 @@ impl Platform {
             .map(|video| {
                 let channel = self
                     .channel(&video.channel_id)
+                    // ytlint: allow(panics) — corpus generation interns every
+                    // channel id it mints, so the lookup is total
                     .expect("corpus channels are complete");
                 let vh = hash_bytes(video.id.as_str().as_bytes());
                 let relevance = self.engine().propensity(video, channel);

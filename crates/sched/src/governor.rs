@@ -60,6 +60,8 @@ impl QuotaGovernor {
         if bucket.try_acquire(cost) {
             return Ok(());
         }
+        // ytlint: allow(determinism) — measures real throttle time for
+        // metrics only; dataset bytes never depend on it
         let start = Instant::now();
         let admitted = bucket.acquire(cost, self.timeout);
         metrics.add_throttled(start.elapsed());
@@ -108,6 +110,8 @@ impl Transport for GovernedTransport {
         now: Option<Timestamp>,
     ) -> Result<(u16, String)> {
         self.governor.admit(endpoint.cost(), &self.metrics)?;
+        // ytlint: allow(determinism) — real request latency feeds the
+        // metrics histogram only
         let start = Instant::now();
         let result = self.inner.execute(endpoint, params, api_key, now);
         if result.is_ok() {

@@ -101,7 +101,7 @@ impl LatencyHistogram {
         };
         LatencySnapshot {
             count,
-            mean_us: if count == 0 { 0 } else { sum_us / count },
+            mean_us: sum_us.checked_div(count).unwrap_or(0),
             p50_us: percentile(0.50),
             p90_us: percentile(0.90),
             p99_us: percentile(0.99),

@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 use ytaudit_net::Backoff;
-use ytaudit_types::Error;
+use ytaudit_types::{ApiErrorReason, Error};
 
 /// What a task failure means for the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,24 +24,36 @@ pub enum ErrorClass {
 }
 
 /// Classifies an error for the task retry loop.
+///
+/// Every variant of [`Error`] and [`ApiErrorReason`] is matched
+/// explicitly — no wildcard — so adding a variant forces a decision
+/// here instead of silently inheriting one (the `retry-exhaustive` lint
+/// enforces this). A new `rateLimitExceeded`-style reason classified
+/// fatally by accident would drain a 12-week collection.
 pub fn classify(err: &Error) -> ErrorClass {
     match err {
-        // `backendError` is the API's only retryable reason; quota
-        // exhaustion, forbidden, not-found, and parameter errors are
-        // final answers.
-        Error::Api { reason, .. } => {
-            if reason.is_retryable() {
-                ErrorClass::Retryable
-            } else {
-                ErrorClass::Fatal
-            }
-        }
+        Error::Api { reason, .. } => match reason {
+            // `backendError` is the API's only retryable reason
+            // (simulated 5xx); everything else is the server's final
+            // answer.
+            ApiErrorReason::BackendError => ErrorClass::Retryable,
+            ApiErrorReason::QuotaExceeded
+            | ApiErrorReason::InvalidParameter
+            | ApiErrorReason::InvalidSearchFilter
+            | ApiErrorReason::InvalidPageToken
+            | ApiErrorReason::Forbidden
+            | ApiErrorReason::NotFound => ErrorClass::Fatal,
+        },
         // Socket failures and timeouts: the request may never have
         // reached the server.
         Error::Io(_) => ErrorClass::Retryable,
-        // Decode failures (malformed responses) and everything else:
-        // retrying would replay the same bytes.
-        _ => ErrorClass::Fatal,
+        // Malformed wire data and local validation failures: retrying
+        // would replay the same bytes.
+        Error::InvalidTime(_)
+        | Error::Protocol(_)
+        | Error::Decode(_)
+        | Error::Numeric(_)
+        | Error::InvalidInput(_) => ErrorClass::Fatal,
     }
 }
 
@@ -105,11 +117,19 @@ mod tests {
             classify(&Error::Io("timed out".into())),
             ErrorClass::Retryable
         );
+        // Every fatal reason and every fatal transport variant, so a
+        // reclassification shows up as a test diff, not just a code diff.
         let fatal = [
             Error::api(ApiErrorReason::QuotaExceeded, "out of quota"),
             Error::api(ApiErrorReason::Forbidden, "key not registered"),
             Error::api(ApiErrorReason::InvalidParameter, "bad part"),
+            Error::api(ApiErrorReason::InvalidSearchFilter, "bad filter combo"),
+            Error::api(ApiErrorReason::InvalidPageToken, "stale token"),
+            Error::api(ApiErrorReason::NotFound, "no such resource"),
+            Error::InvalidTime("bad timestamp".into()),
+            Error::Protocol("bad chunk framing".into()),
             Error::Decode("malformed response".into()),
+            Error::Numeric("singular matrix".into()),
             Error::InvalidInput("bad plan".into()),
         ];
         for err in fatal {

@@ -454,6 +454,9 @@ impl<'f> Scheduler<'f> {
                     if s.draining() || self.shutdown.is_requested() {
                         return;
                     }
+                    // ytlint: allow(determinism) — retry due-times pace
+                    // real execution; commit order is fixed by the
+                    // reorder buffer, so bytes stay deterministic
                     let now = Instant::now();
                     let mut i = 0;
                     while i < s.delayed.len() {
@@ -499,14 +502,21 @@ impl<'f> Scheduler<'f> {
                     let assembly = s
                         .assembling
                         .get_mut(&task.seq)
+                        // ytlint: allow(panics) — scheduler invariant: an
+                        // assembly entry is created when the pair is
+                        // admitted and removed only on completion
                         .expect("assembly exists for active pair");
                     assembly.chunks[chunk] = Some(hours);
                     assembly.remaining -= 1;
                     assembly.quota += delta;
                     if assembly.remaining == 0 {
+                        // ytlint: allow(panics) — the entry was just
+                        // borrowed above; remove cannot miss
                         let assembly = s.assembling.remove(&task.seq).expect("assembly");
                         let mut all_hours = Vec::new();
                         for chunk in assembly.chunks {
+                            // ytlint: allow(panics) — remaining == 0 means
+                            // every chunk slot was filled
                             all_hours.extend(chunk.expect("every chunk completed"));
                         }
                         let id = s.next_task_id;
@@ -561,6 +571,8 @@ impl<'f> Scheduler<'f> {
                             .retry
                             .delay(self.sched.seed ^ task.id, task.attempt);
                         task.attempt += 1;
+                        // ytlint: allow(determinism) — backoff deadline
+                        // paces real retries; result bytes are unaffected
                         s.delayed.push((Instant::now() + delay, task));
                     } else {
                         self.metrics.task_failed();

@@ -63,7 +63,7 @@ pub fn median(values: &[f64]) -> Result<f64> {
         return Err(StatsError::InvalidInput("median of empty sample".into()));
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in median input"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     Ok(if n % 2 == 1 {
         sorted[n / 2]

@@ -6,6 +6,9 @@
 //! two most recent states, sliding a window across every video's 16-long
 //! presence sequence, pooled over all topics.
 
+// ytlint: allow-file(indexing) — transition counts are fixed [[u64; 2]; 4]
+// tables and windows(3) slices; literal indices are in bounds by construction
+
 use crate::{Result, StatsError};
 use std::fmt;
 

@@ -7,6 +7,9 @@
 //! analytic gradient and Hessian, step-halving, and ridge rescue — the
 //! same strategy R's `MASS::polr` uses.
 
+// ytlint: allow-file(indexing) — threshold ordering checks index windows(2)
+// slices, whose length is fixed by the iterator
+
 use crate::matrix::Matrix;
 use crate::special::{chi2_sf, normal_p_two_sided, normal_quantile};
 use crate::{Result, StatsError};

@@ -40,11 +40,7 @@ impl Correlation {
 pub fn midranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        values[a]
-            .partial_cmp(&values[b])
-            .expect("no NaN in rank input")
-    });
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {

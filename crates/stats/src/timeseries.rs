@@ -56,7 +56,7 @@ pub fn detect_periodicity(series: &[f64], max_lag: usize) -> Result<Periodicity>
         .iter()
         .enumerate()
         .skip(2)
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite acf"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(lag, &r)| (lag, r))
         .ok_or_else(|| StatsError::InvalidInput("max_lag must be ≥ 2".into()))?;
     Ok(Periodicity {

@@ -114,10 +114,12 @@ where
             });
             break;
         }
-        let mut header = [0u8; 8];
-        reader.read_exact(&mut header)?;
-        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let mut len_bytes = [0u8; 4];
+        let mut crc_bytes = [0u8; 4];
+        reader.read_exact(&mut len_bytes)?;
+        reader.read_exact(&mut crc_bytes)?;
+        let len = u32::from_le_bytes(len_bytes);
+        let crc = u32::from_le_bytes(crc_bytes);
         if len == 0 || len > MAX_RECORD {
             stop = Some(ScanStop {
                 offset: pos,
@@ -231,10 +233,12 @@ impl RecordLog {
             ));
         }
         self.file.seek(SeekFrom::Start(offset))?;
-        let mut header = [0u8; 8];
-        self.file.read_exact(&mut header)?;
-        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let mut len_bytes = [0u8; 4];
+        let mut crc_bytes = [0u8; 4];
+        self.file.read_exact(&mut len_bytes)?;
+        self.file.read_exact(&mut crc_bytes)?;
+        let len = u32::from_le_bytes(len_bytes);
+        let crc = u32::from_le_bytes(crc_bytes);
         if len == 0 || len > MAX_RECORD || offset + FRAME_HEADER + u64::from(len) > self.len {
             return Err(StoreError::corrupt(offset, format!("bad record length {len}")));
         }

@@ -65,10 +65,7 @@ pub fn blob_hash(kind: u8, body: &[u8]) -> u64 {
 
 /// Maps a topic to its stable on-disk code (index in [`Topic::ALL`]).
 pub fn topic_code(topic: Topic) -> u8 {
-    Topic::ALL
-        .iter()
-        .position(|t| *t == topic)
-        .expect("every Topic is in Topic::ALL") as u8
+    topic.index() as u8
 }
 
 /// Inverse of [`topic_code`].

@@ -629,6 +629,7 @@ impl Store {
             StoreError::corrupt(0, format!("dangling blob reference {hash:#018x}"))
         })?;
         let payload = self.log.read_payload_at(offset)?;
+        // ytlint: allow(indexing) — the len() < 2 guard short-circuits first
         if payload.len() < 2 || payload[0] != TAG_BLOB || payload[1] != kind {
             return Err(StoreError::corrupt(
                 offset,
@@ -708,10 +709,12 @@ impl Store {
         let commit = self.commit_for(topic, snapshot)?;
         let mut hours = Vec::with_capacity(commit.hours.len());
         for &(hour, _) in &commit.hours {
-            hours.push(
-                self.load_hour(topic, snapshot, hour)?
-                    .expect("indexed hour"),
-            );
+            hours.push(self.load_hour(topic, snapshot, hour)?.ok_or_else(|| {
+                StoreError::corrupt(
+                    0,
+                    format!("commit for ({topic:?}, snapshot {snapshot}) indexes hour {hour} with no block"),
+                )
+            })?);
         }
         let mut meta_returned = Vec::new();
         if commit.meta_offset != 0 {
@@ -810,20 +813,19 @@ impl Store {
             let topic =
                 crate::records::topic_from_code(topic_c).map_err(|e| StoreError::corrupt(0, e))?;
             let data = self.load_topic_snapshot(topic, snapshot)?;
+            let comments = if sel.include_comments {
+                self.load_comments(topic, snapshot)?
+            } else {
+                None
+            };
             let entry = snapshots.entry(snapshot).or_insert_with(|| Snapshot {
                 date: meta.dates[snapshot],
                 topics: BTreeMap::new(),
                 comments: BTreeMap::new(),
             });
             entry.topics.insert(topic, data);
-            if sel.include_comments {
-                if let Some(cs) = self.load_comments(topic, snapshot)? {
-                    snapshots
-                        .get_mut(&snapshot)
-                        .expect("just inserted")
-                        .comments
-                        .insert(topic, cs);
-                }
+            if let Some(cs) = comments {
+                entry.comments.insert(topic, cs);
             }
             if sel.include_video_meta {
                 for info in self.load_video_meta(topic, snapshot)? {
@@ -937,13 +939,11 @@ impl Store {
                 }
                 Record::End {
                     channels_offset, ..
-                } => {
-                    if *channels_offset != 0
-                        && replay.ref_blocks.get(channels_offset) != Some(&PURPOSE_CHANNELS)
-                    {
-                        first_error =
-                            Some("end record's channel pointer does not resolve".to_string());
-                    }
+                } if *channels_offset != 0
+                    && replay.ref_blocks.get(channels_offset) != Some(&PURPOSE_CHANNELS) =>
+                {
+                    first_error =
+                        Some("end record's channel pointer does not resolve".to_string());
                 }
                 _ => {}
             }
@@ -1060,7 +1060,7 @@ mod tests {
             channel_id: ChannelId::new(format!("ch-{:03}", n % 3)),
             published_at: Timestamp::from_ymd(2025, 1, 20).unwrap(),
             duration_secs: 60 + u64::from(n),
-            is_sd: n % 2 == 0,
+            is_sd: n.is_multiple_of(2),
             views: u64::from(n) * 100,
             likes: u64::from(n) * 3,
             comments: u64::from(n),

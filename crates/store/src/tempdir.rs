@@ -22,6 +22,8 @@ impl TempDir {
             "ytaudit-store-{prefix}-{}-{n}",
             std::process::id()
         ));
+        // ytlint: allow(panics) — test-support scaffolding; an unusable
+        // temp root means no test can run, so aborting is the right call
         std::fs::create_dir_all(&path).expect("create temp dir");
         TempDir { path }
     }

@@ -116,29 +116,39 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
+    /// Reads exactly `N` bytes into a fixed array. Length is enforced by
+    /// `take`, so the conversion never involves a fallible slice cast.
+    fn array<const N: usize>(&mut self, what: &str) -> Result<[u8; N], WireError> {
+        let slice = self.take(N, what)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1, "u8")?[0])
+        let [b] = self.array::<1>("u8")?;
+        Ok(b)
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array("u16")?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array("u32")?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array("u64")?))
     }
 
     /// Reads a little-endian `i64`.
     pub fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.array("i64")?))
     }
 
     /// Reads a boolean byte, rejecting values other than 0/1.

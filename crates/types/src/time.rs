@@ -55,6 +55,38 @@ impl Timestamp {
         Timestamp::from_ymd_hms(y, m, d, 0, 0, 0)
     }
 
+    /// Midnight UTC of a calendar date, for literal dates known at
+    /// compile time (the audit's focal dates, fixture corpora).
+    ///
+    /// Used in `const` position an invalid date fails the build instead
+    /// of panicking at run time, which is how collection plans pin their
+    /// dates without putting an `expect` on the hot path.
+    #[allow(clippy::panic)]
+    pub const fn from_ymd_const(y: i32, m: u32, d: u32) -> Timestamp {
+        if m == 0 || m > 12 || d == 0 || d > days_in_month(y, m) {
+            // ytlint: allow(panics) — const evaluation reports this at compile time
+            panic!("invalid calendar date literal");
+        }
+        Timestamp(days_from_civil(y, m, d) * DAY)
+    }
+
+    /// Compile-time variant of [`from_ymd_hms`](Self::from_ymd_hms) for
+    /// literal instants. Same `const`-position guarantee as
+    /// [`from_ymd_const`](Self::from_ymd_const).
+    #[allow(clippy::panic)]
+    pub const fn from_ymd_hms_const(y: i32, m: u32, d: u32, h: u32, min: u32, s: u32) -> Timestamp {
+        if h > 23 || min > 59 || s > 59 {
+            // ytlint: allow(panics) — const evaluation reports this at compile time
+            panic!("time-of-day literal out of range");
+        }
+        Timestamp(
+            Timestamp::from_ymd_const(y, m, d).0
+                + h as i64 * HOUR
+                + min as i64 * MINUTE
+                + s as i64,
+        )
+    }
+
     /// Parses an RFC 3339 timestamp such as `2016-06-23T00:00:00Z`.
     ///
     /// Accepts an optional fractional-second part (which the real API emits
@@ -184,14 +216,7 @@ impl CivilDate {
     ///
     /// Howard Hinnant's `days_from_civil` algorithm.
     pub fn days_since_epoch(self) -> i64 {
-        let y = i64::from(self.year) - i64::from(self.month <= 2);
-        let era = if y >= 0 { y } else { y - 399 } / 400;
-        let yoe = y - era * 400; // [0, 399]
-        let m = i64::from(self.month);
-        let d = i64::from(self.day);
-        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
-        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
-        era * 146097 + doe - 719468
+        days_from_civil(self.year, self.month, self.day)
     }
 
     /// Inverse of [`days_since_epoch`](Self::days_since_epoch)
@@ -220,13 +245,27 @@ impl fmt::Display for CivilDate {
     }
 }
 
+/// Days since 1970-01-01 for an (assumed valid) civil date — Howard
+/// Hinnant's `days_from_civil`, written with `const`-compatible
+/// arithmetic so compile-time date literals can use it too.
+const fn days_from_civil(year: i32, month: u32, day: u32) -> i64 {
+    let y = year as i64 - if month <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = month as i64;
+    let d = day as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
 /// Whether `year` is a leap year in the proleptic-Gregorian calendar.
-pub fn is_leap_year(year: i32) -> bool {
+pub const fn is_leap_year(year: i32) -> bool {
     year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
 }
 
 /// Number of days in `month` of `year`.
-pub fn days_in_month(year: i32, month: u32) -> u32 {
+pub const fn days_in_month(year: i32, month: u32) -> u32 {
     match month {
         1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
         4 | 6 | 9 | 11 => 30,
@@ -506,6 +545,19 @@ mod tests {
             assert_eq!(ts.to_rfc3339(), text);
             assert_eq!(Timestamp::parse_rfc3339(text).unwrap(), ts);
         }
+    }
+
+    #[test]
+    fn const_constructors_match_runtime() {
+        const FOCAL: Timestamp = Timestamp::from_ymd_const(2021, 1, 6);
+        assert_eq!(FOCAL, Timestamp::from_ymd(2021, 1, 6).unwrap());
+        const NOON: Timestamp = Timestamp::from_ymd_hms_const(2012, 7, 4, 9, 30, 0);
+        assert_eq!(NOON, Timestamp::from_ymd_hms(2012, 7, 4, 9, 30, 0).unwrap());
+        // Leap day round-trips through the const path too.
+        assert_eq!(
+            Timestamp::from_ymd_const(2024, 2, 29),
+            Timestamp::from_ymd(2024, 2, 29).unwrap()
+        );
     }
 
     #[test]

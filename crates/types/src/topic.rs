@@ -46,6 +46,20 @@ impl Topic {
         Topic::WorldCup,
     ];
 
+    /// This topic's position in [`Topic::ALL`] — the canonical row index
+    /// for per-topic tables. Infallible by construction, unlike searching
+    /// `ALL` with `position()`.
+    pub const fn index(self) -> usize {
+        match self {
+            Topic::Blm => 0,
+            Topic::Brexit => 1,
+            Topic::Capitol => 2,
+            Topic::Grammys => 3,
+            Topic::Higgs => 4,
+            Topic::WorldCup => 5,
+        }
+    }
+
     /// Short machine key (used in file names and regression dummies).
     pub fn key(self) -> &'static str {
         match self {
@@ -228,10 +242,10 @@ impl fmt::Display for Topic {
     }
 }
 
-fn ymd(y: i32, m: u32, d: u32) -> Timestamp {
-    // All paper focal dates are valid; a panic here would be a programmer
-    // error in the table above.
-    Timestamp::from_ymd(y, m, d).expect("valid focal date")
+const fn ymd(y: i32, m: u32, d: u32) -> Timestamp {
+    // All paper focal dates are literals; `from_ymd_const` turns an
+    // invalid one into a compile error, so no runtime panic path exists.
+    Timestamp::from_ymd_const(y, m, d)
 }
 
 /// Generation and audit parameters for one topic.
@@ -298,6 +312,13 @@ mod tests {
     fn six_topics_with_distinct_keys() {
         let keys: std::collections::HashSet<_> = Topic::ALL.iter().map(|t| t.key()).collect();
         assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, topic) in Topic::ALL.iter().enumerate() {
+            assert_eq!(topic.index(), i, "{topic}");
+        }
     }
 
     #[test]

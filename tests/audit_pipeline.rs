@@ -125,7 +125,7 @@ fn reduced_audit_recovers_the_papers_findings() {
     }
 
     // --- Dataset round-trips through its JSON cache format. ---
-    let json = dataset.to_json();
+    let json = dataset.to_json().expect("serializes");
     let back = ytaudit::core::AuditDataset::from_json(&json).expect("parses");
     assert_eq!(back, dataset);
 }

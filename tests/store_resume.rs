@@ -104,7 +104,7 @@ fn interrupted_collection_resumes_without_reissuing_committed_calls() {
     let exported = store.load_dataset().unwrap();
     assert_eq!(exported, legacy);
     assert_eq!(
-        AuditDataset::from_json(&exported.to_json()).unwrap(),
+        AuditDataset::from_json(&exported.to_json().unwrap()).unwrap(),
         exported
     );
 
