@@ -47,6 +47,7 @@ fn build_store(path: &Path) -> Store {
         fetch_metadata: false,
         fetch_channels: false,
         fetch_comments: false,
+        shard: None,
     };
     let mut store = Store::create(path).unwrap();
     store.begin_collection(meta.clone()).unwrap();

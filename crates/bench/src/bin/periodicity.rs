@@ -20,6 +20,7 @@ fn run(label: &str, sampler: SamplerConfig) -> Vec<String> {
         fetch_metadata: false,
         fetch_channels: false,
         fetch_comments: false,
+        shard: None,
     };
     let dataset = Collector::new(&client, config).run().expect("collection");
     let report =

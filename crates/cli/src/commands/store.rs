@@ -2,8 +2,8 @@
 
 use crate::args::{ArgError, Args};
 use crate::commands::write_atomic;
-use std::path::Path;
-use ytaudit_store::Store;
+use std::path::{Path, PathBuf};
+use ytaudit_store::{discover_shard_paths, merge_shards, Store};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -13,6 +13,7 @@ USAGE:
     ytaudit store info        <file.yts>
     ytaudit store verify      <file.yts>
     ytaudit store compact     <file.yts> [--out <dest.yts>]
+    ytaudit store merge       <dest.yts> [shard.yts ...]
     ytaudit store export-json <file.yts> [--out dataset.json]
 
 ACTIONS:
@@ -24,6 +25,11 @@ ACTIONS:
     compact       rewrite committed data into a fresh file, dropping
                   orphan records and dead segments (in place via
                   tmp+rename unless --out names a destination)
+    merge         fold the shard stores of a `collect --shards` run into
+                  one canonical store at <dest.yts>, byte-identical to a
+                  single-sink collection; shard paths are discovered next
+                  to <dest.yts> unless listed explicitly. Crash-safe: an
+                  interrupted merge resumes from its `.merging` file
     export-json   materialize the store as a legacy JSON dataset
                   (equivalent to `ytaudit collect --out`)";
 
@@ -40,6 +46,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "info" => info(spath, path),
         "verify" => verify(spath, path),
         "compact" => compact(spath, path, args.get("out")),
+        "merge" => merge(spath, path, &args.positionals()[3..]),
         "export-json" => export_json(spath, path, args.get("out").unwrap_or("dataset.json")),
         other => Err(ArgError(format!(
             "unknown store action {other:?}; see `ytaudit store --help`"
@@ -129,22 +136,47 @@ fn compact(spath: &str, path: &Path, out: Option<&str>) -> Result<(), ArgError> 
             );
         }
         None => {
-            let tmp = format!("{spath}.tmp");
-            if Path::new(&tmp).exists() {
-                std::fs::remove_file(&tmp)
-                    .map_err(|e| ArgError(format!("cannot remove stale {tmp}: {e}")))?;
-            }
             let compacted = store
-                .compact(Path::new(&tmp))
+                .compact_in_place()
                 .map_err(|e| ArgError(format!("compaction failed: {e}")))?;
             let after = compacted.stats().log_len;
-            drop(compacted);
-            drop(store);
-            std::fs::rename(&tmp, path)
-                .map_err(|e| ArgError(format!("cannot replace {spath}: {e}")))?;
             println!("compacted {spath} in place: {before} → {after} bytes");
         }
     }
+    Ok(())
+}
+
+fn merge(spath: &str, dest: &Path, explicit: &[String]) -> Result<(), ArgError> {
+    let shard_paths: Vec<PathBuf> = if explicit.is_empty() {
+        discover_shard_paths(dest)
+            .map_err(|e| ArgError(format!("cannot discover shards for {spath}: {e}")))?
+    } else {
+        explicit.iter().map(PathBuf::from).collect()
+    };
+    eprintln!("[store] merging {} shard stores into {spath}…", shard_paths.len());
+    for p in &shard_paths {
+        eprintln!("[store]   {}", p.display());
+    }
+    let report = merge_shards(dest, &shard_paths)
+        .map_err(|e| ArgError(format!("merge failed: {e}")))?;
+    println!(
+        "merged {} shard stores into {spath}: {}/{} pairs ({} re-committed this run{}), \
+         {} bytes",
+        shard_paths.len(),
+        report.pairs_total,
+        report.pairs_total,
+        report.pairs_merged,
+        if report.resumed {
+            ", resumed from an interrupted merge"
+        } else {
+            ""
+        },
+        report.bytes
+    );
+    println!(
+        "the shard files are no longer needed; verify with `ytaudit store verify {spath}` \
+         and delete them when satisfied"
+    );
     Ok(())
 }
 

@@ -7,10 +7,10 @@
 //!                  [--paper] [--no-comments] [--no-metadata] [--scale 1.0]
 //!                  [--base-url http://…] [--out dataset.json]
 //!                  [--store audit.yts] [--resume]
-//!                  [--workers N] [--rate units/sec]
+//!                  [--workers N] [--shards N] [--rate units/sec]
 //! ytaudit analyze  <dataset.json> [--store audit.yts] [--experiment all|table1|
 //!                  table2|table3|table4|table5|table6|table7|fig1|fig2|fig3|fig4]
-//! ytaudit store    <info|verify|compact|export-json> <file.yts> [--out …]
+//! ytaudit store    <info|verify|compact|merge|export-json> <file.yts> [--out …]
 //! ytaudit quota    --searches N [--id-calls M] [--daily 10000]
 //! ytaudit lint     [--root PATH] [--format human|json] [--rule NAME]...
 //! ytaudit topics
@@ -20,9 +20,11 @@
 //! runs the paper's methodology against an in-process platform (default)
 //! or any served instance (`--base-url`), writing the dataset as JSON or
 //! committing it pair-by-pair to a crash-safe snapshot store (`--store`,
-//! resumable with `--resume`); `analyze` re-runs any of the paper's
-//! analyses on a stored dataset; `store` inspects, verifies, compacts,
-//! or exports snapshot stores; `quota` prices a collection plan in quota
+//! resumable with `--resume`, shardable across per-topic stores with
+//! `--shards`); `analyze` re-runs any of the paper's analyses on a
+//! stored dataset; `store` inspects, verifies, compacts, merges
+//! (`collect --shards` output), or exports snapshot stores; `quota`
+//! prices a collection plan in quota
 //! units and key-days; `lint` runs the workspace invariant checker
 //! (`ytaudit-lint`) over the source tree.
 
@@ -41,7 +43,7 @@ COMMANDS:
     serve      start the simulated Data API v3 on a TCP socket
     collect    run an audit collection (JSON dataset or snapshot store)
     analyze    run the paper's analyses on a collected dataset
-    store      inspect, verify, compact, or export a snapshot store
+    store      inspect, verify, compact, merge, or export a snapshot store
     quota      price a collection plan in quota units
     lint       check workspace source invariants (ytaudit-lint)
     topics     list the six audit topics and their parameters

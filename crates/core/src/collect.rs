@@ -44,6 +44,9 @@ pub struct CollectorConfig {
     pub fetch_channels: bool,
     /// Fetch comment threads + replies on the first and last snapshots.
     pub fetch_comments: bool,
+    /// Shard identity when this plan is one shard of a `collect
+    /// --shards N` run; `None` for the ordinary single-sink path.
+    pub shard: Option<crate::shard::ShardSpec>,
 }
 
 impl CollectorConfig {
@@ -57,6 +60,7 @@ impl CollectorConfig {
             fetch_metadata: true,
             fetch_channels: true,
             fetch_comments: true,
+            shard: None,
         }
     }
 
@@ -69,6 +73,7 @@ impl CollectorConfig {
             fetch_metadata: true,
             fetch_channels: true,
             fetch_comments: false,
+            shard: None,
         }
     }
 

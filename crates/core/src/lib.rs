@@ -25,6 +25,7 @@
 //! * [`periodicity`] — the §6.2 sparse-collection periodicity check,
 //!   validated against a sampler with planted seasonality;
 //! * [`serp`] — the §6.2 sockpuppet-SERP vs search-endpoint comparison;
+//! * [`shard`] — plan partitioning for sharded multi-store collection;
 //! * [`testutil`] — in-process harness constructors shared by tests,
 //!   examples, and benches.
 
@@ -44,9 +45,11 @@ pub mod randomization;
 pub mod regression;
 pub mod schedule;
 pub mod serp;
+pub mod shard;
 pub mod strategy;
 pub mod testutil;
 
 pub use collect::{Collector, CollectorConfig, CollectorSink, MemorySink, TopicCommit};
 pub use dataset::AuditDataset;
 pub use schedule::Schedule;
+pub use shard::ShardSpec;

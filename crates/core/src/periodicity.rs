@@ -118,6 +118,7 @@ mod tests {
             fetch_metadata: false,
             fetch_channels: false,
             fetch_comments: false,
+            shard: None,
         };
         Collector::new(&client, config).run().unwrap()
     }

@@ -1,0 +1,173 @@
+//! Shard plan partitioning for multi-store collection.
+//!
+//! A sharded collection splits the parent plan's topics round-robin
+//! across `count` topic shards, each of which runs the normal collector
+//! against its own store with `fetch_channels` off (the batched
+//! `Channels: list` call is not additive across topic subsets), plus one
+//! dedicated *finish shard* — an empty-topic plan that carries only the
+//! final channel fetch. The merge step in `ytaudit-store` folds the
+//! shard stores back into one canonical file in parent plan order; the
+//! [`ShardSpec`] recorded in every shard store's Begin manifest is what
+//! lets the merge validate it has exactly the right set of shards.
+
+use crate::collect::CollectorConfig;
+use ytaudit_types::Topic;
+
+/// Identity of one shard within a sharded collection, recorded in the
+/// shard store's Begin manifest. Topic shards have `index < count`; the
+/// finish shard (channels only) has `index == count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's position: `0..count` for topic shards, `count` for
+    /// the finish shard.
+    pub index: usize,
+    /// Number of topic shards in the parent run.
+    pub count: usize,
+    /// The parent plan's full topic list, in plan order.
+    pub parent_topics: Vec<Topic>,
+    /// Whether the parent plan fetches channel metadata (carried by the
+    /// finish shard).
+    pub parent_fetch_channels: bool,
+}
+
+impl ShardSpec {
+    /// Whether this is the finish shard (channel fetch only, no topics).
+    pub fn is_finish(&self) -> bool {
+        self.index == self.count
+    }
+
+    /// Which topic shard owns the parent topic at `position` when split
+    /// `count` ways: round-robin, `position % count`.
+    pub fn owner_of(position: usize, count: usize) -> usize {
+        position % count.max(1)
+    }
+
+    /// The topics this shard is expected to hold, derived from the
+    /// parent list — empty for the finish shard.
+    pub fn expected_topics(&self) -> Vec<Topic> {
+        if self.is_finish() {
+            return Vec::new();
+        }
+        partition_topics(&self.parent_topics, self.count)
+            .into_iter()
+            .nth(self.index)
+            .unwrap_or_default()
+    }
+}
+
+/// Splits `topics` round-robin into `count` shards (shard `i` owns the
+/// positions ≡ `i` mod `count`). Shards beyond the topic count come back
+/// empty; relative plan order is preserved within each shard.
+pub fn partition_topics(topics: &[Topic], count: usize) -> Vec<Vec<Topic>> {
+    let count = count.max(1);
+    let mut shards = vec![Vec::new(); count];
+    for (position, &topic) in topics.iter().enumerate() {
+        if let Some(shard) = shards.get_mut(position % count) {
+            shard.push(topic);
+        }
+    }
+    shards
+}
+
+/// Builds the per-topic-shard collector configs for splitting `parent`
+/// `count` ways. Each shard keeps the parent schedule and fetch flags but
+/// owns only its topic subset and never fetches channels (that belongs
+/// to the finish shard).
+pub fn shard_configs(parent: &CollectorConfig, count: usize) -> Vec<CollectorConfig> {
+    partition_topics(&parent.topics, count)
+        .into_iter()
+        .enumerate()
+        .map(|(index, topics)| CollectorConfig {
+            topics,
+            fetch_channels: false,
+            shard: Some(ShardSpec {
+                index,
+                count,
+                parent_topics: parent.topics.clone(),
+                parent_fetch_channels: parent.fetch_channels,
+            }),
+            ..parent.clone()
+        })
+        .collect()
+}
+
+/// Builds the finish-shard config: no topics (so no pairs), carrying the
+/// parent's channel-fetch flag for the one final `Channels: list` call.
+pub fn finish_config(parent: &CollectorConfig, count: usize) -> CollectorConfig {
+    CollectorConfig {
+        topics: Vec::new(),
+        fetch_channels: false,
+        shard: Some(ShardSpec {
+            index: count,
+            count,
+            parent_topics: parent.topics.clone(),
+            parent_fetch_channels: parent.fetch_channels,
+        }),
+        ..parent.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parent() -> CollectorConfig {
+        CollectorConfig::quick(vec![Topic::Higgs, Topic::Blm, Topic::Brexit], 2)
+    }
+
+    #[test]
+    fn partition_is_invertible_via_owner_of() {
+        for count in 1..=8 {
+            let topics = parent().topics;
+            let shards = partition_topics(&topics, count);
+            assert_eq!(shards.len(), count);
+            // Every parent position maps to exactly the shard that holds it.
+            let mut cursor = vec![0usize; count];
+            for (position, &topic) in topics.iter().enumerate() {
+                let owner = ShardSpec::owner_of(position, count);
+                assert_eq!(shards[owner][cursor[owner]], topic);
+                cursor[owner] += 1;
+            }
+            let total: usize = shards.iter().map(Vec::len).sum();
+            assert_eq!(total, topics.len());
+        }
+    }
+
+    #[test]
+    fn degenerate_counts_yield_empty_shards() {
+        let shards = partition_topics(&[Topic::Higgs], 4);
+        assert_eq!(shards[0], vec![Topic::Higgs]);
+        assert!(shards[1..].iter().all(Vec::is_empty));
+        // count = 0 is clamped to 1.
+        assert_eq!(partition_topics(&[Topic::Higgs], 0).len(), 1);
+    }
+
+    #[test]
+    fn shard_configs_carry_identity_and_disable_channels() {
+        let parent = parent();
+        let configs = shard_configs(&parent, 2);
+        assert_eq!(configs.len(), 2);
+        assert_eq!(configs[0].topics, vec![Topic::Higgs, Topic::Brexit]);
+        assert_eq!(configs[1].topics, vec![Topic::Blm]);
+        for (index, config) in configs.iter().enumerate() {
+            assert!(!config.fetch_channels);
+            let spec = config.shard.as_ref().unwrap();
+            assert_eq!(spec.index, index);
+            assert_eq!(spec.count, 2);
+            assert_eq!(spec.parent_topics, parent.topics);
+            assert!(spec.parent_fetch_channels);
+            assert!(!spec.is_finish());
+            assert_eq!(spec.expected_topics(), config.topics);
+        }
+    }
+
+    #[test]
+    fn finish_shard_has_no_pairs() {
+        let config = finish_config(&parent(), 3);
+        assert!(config.topics.is_empty());
+        let spec = config.shard.as_ref().unwrap();
+        assert!(spec.is_finish());
+        assert_eq!(spec.index, 3);
+        assert!(spec.expected_topics().is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Deterministic fault-injection points for crash-matrix testing.
+//!
+//! A fault point is a named site in production code — a
+//! [`should_trip`] call placed exactly where a process could die — that
+//! a test arms to fail on its Nth traversal. Tripping returns control to
+//! the caller as an error *before* the durability step the site guards,
+//! which simulates a kill at that boundary without actually ending the
+//! process: everything already appended to the OS file is still there,
+//! everything after the trip point never happens.
+//!
+//! The registry is process-global, so one test binary must serialize
+//! tests that arm points (separate test binaries are separate processes
+//! and cannot interfere). It is also fully deterministic — a point trips
+//! on an exact traversal count, never on timing or sampling — which
+//! keeps crash-matrix tests reproducible.
+//!
+//! Unarmed traversal (the production case) costs a single relaxed
+//! atomic load.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+static ARMED: Mutex<Option<HashMap<String, u64>>> = Mutex::new(None);
+
+/// Arms `point` to trip on its `nth` traversal from now (1 = the very
+/// next one; 0 is treated as 1). Re-arming a point replaces its counter.
+pub fn arm(point: &str, nth: u64) {
+    let mut registry = ARMED.lock();
+    registry
+        .get_or_insert_with(HashMap::new)
+        .insert(point.to_string(), nth.max(1));
+    ANY_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms every point.
+pub fn reset() {
+    *ARMED.lock() = None;
+    ANY_ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Called by instrumented code at a potential crash site. Returns `true`
+/// exactly once per arming, on the armed traversal.
+pub fn should_trip(point: &str) -> bool {
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let mut registry = ARMED.lock();
+    let Some(map) = registry.as_mut() else {
+        return false;
+    };
+    let Some(count) = map.get_mut(point) else {
+        return false;
+    };
+    *count -= 1;
+    if *count > 0 {
+        return false;
+    }
+    map.remove(point);
+    if map.is_empty() {
+        *registry = None;
+        ANY_ARMED.store(false, Ordering::SeqCst);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; these tests serialize on it so a
+    // parallel test runner cannot interleave armings.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn trips_exactly_once_on_the_nth_traversal() {
+        let _guard = SERIAL.lock();
+        reset();
+        arm("store.commit", 3);
+        assert!(!should_trip("store.commit"));
+        assert!(!should_trip("store.commit"));
+        assert!(should_trip("store.commit"));
+        // Disarmed after tripping.
+        assert!(!should_trip("store.commit"));
+        reset();
+    }
+
+    #[test]
+    fn unarmed_points_never_trip() {
+        let _guard = SERIAL.lock();
+        reset();
+        assert!(!should_trip("merge.pre-rename"));
+        arm("merge.pre-rename", 1);
+        assert!(!should_trip("some.other.point"));
+        assert!(should_trip("merge.pre-rename"));
+        reset();
+    }
+
+    #[test]
+    fn reset_disarms_everything() {
+        let _guard = SERIAL.lock();
+        arm("a", 1);
+        arm("b", 5);
+        reset();
+        assert!(!should_trip("a"));
+        assert!(!should_trip("b"));
+    }
+}

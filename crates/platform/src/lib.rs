@@ -17,6 +17,7 @@
 pub mod clock;
 pub mod corpus;
 pub mod density;
+pub mod faultpoint;
 pub mod hash;
 pub mod search;
 pub mod serp;

@@ -8,6 +8,7 @@
 //! one sweeping ID endpoints, exactly as a real daily quota would bite.
 
 use crate::metrics::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ytaudit_api::Endpoint;
@@ -23,6 +24,7 @@ pub const MIN_BURST_UNITS: f64 = 100.0;
 pub struct QuotaGovernor {
     bucket: Option<TokenBucket>,
     timeout: Duration,
+    units_admitted: AtomicU64,
 }
 
 impl QuotaGovernor {
@@ -31,6 +33,7 @@ impl QuotaGovernor {
         QuotaGovernor {
             bucket: None,
             timeout: Duration::from_secs(600),
+            units_admitted: AtomicU64::new(0),
         }
     }
 
@@ -40,7 +43,15 @@ impl QuotaGovernor {
         QuotaGovernor {
             bucket: Some(TokenBucket::new(burst.max(MIN_BURST_UNITS), units_per_sec)),
             timeout: Duration::from_secs(600),
+            units_admitted: AtomicU64::new(0),
         }
+    }
+
+    /// Total quota units this governor has admitted, across every
+    /// client sharing it — the ledger a sharded run checks against the
+    /// single-scheduler total.
+    pub fn units_admitted(&self) -> u64 {
+        self.units_admitted.load(Ordering::Relaxed)
     }
 
     /// Overrides how long one admission may block before it fails.
@@ -54,10 +65,13 @@ impl QuotaGovernor {
     /// exceeds the governor's timeout.
     pub fn admit(&self, cost: u64, metrics: &MetricsRegistry) -> Result<()> {
         let Some(bucket) = &self.bucket else {
+            self.units_admitted.fetch_add(cost, Ordering::Relaxed);
             return Ok(());
         };
+        let units = cost;
         let cost = cost as f64;
         if bucket.try_acquire(cost) {
+            self.units_admitted.fetch_add(units, Ordering::Relaxed);
             return Ok(());
         }
         // ytlint: allow(determinism) — measures real throttle time for
@@ -66,6 +80,7 @@ impl QuotaGovernor {
         let admitted = bucket.acquire(cost, self.timeout);
         metrics.add_throttled(start.elapsed());
         if admitted {
+            self.units_admitted.fetch_add(units, Ordering::Relaxed);
             Ok(())
         } else {
             Err(Error::Io(format!(
@@ -160,6 +175,20 @@ mod tests {
         g.admit(100, &m).unwrap();
         let err = g.admit(1, &m).unwrap_err();
         assert!(matches!(err, Error::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn admitted_units_are_ledgered_on_success_only() {
+        let g = QuotaGovernor::unlimited();
+        let m = MetricsRegistry::new();
+        g.admit(100, &m).unwrap();
+        g.admit(1, &m).unwrap();
+        assert_eq!(g.units_admitted(), 101);
+        // A timed-out admission does not count.
+        let g = QuotaGovernor::per_second(0.0, 100.0).with_timeout(Duration::from_millis(20));
+        g.admit(100, &m).unwrap();
+        assert!(g.admit(1, &m).is_err());
+        assert_eq!(g.units_admitted(), 100);
     }
 
     #[test]

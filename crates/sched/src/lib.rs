@@ -25,7 +25,10 @@
 //!   per-endpoint request latency, connection reuse), rendered as a
 //!   live progress line and a final summary table by the CLI;
 //! * [`factory`] — per-worker transport construction for the in-process
-//!   and HTTP transports.
+//!   and HTTP transports;
+//! * [`shard`] — the sharded-collection orchestrator: one scheduler per
+//!   topic shard, each with its own store and metrics, all paced
+//!   through one shared governor, plus the channels-only finish phase.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +39,7 @@ pub mod metrics;
 pub mod reorder;
 pub mod retry;
 pub mod scheduler;
+pub mod shard;
 
 pub use factory::{HttpFactory, InProcessFactory, TransportFactory};
 pub use governor::{GovernedTransport, QuotaGovernor};
@@ -43,3 +47,4 @@ pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use reorder::ReorderBuffer;
 pub use retry::{classify, ErrorClass, TaskRetryPolicy};
 pub use scheduler::{RunOutcome, RunReport, Scheduler, SchedulerConfig, ShutdownSignal};
+pub use shard::{run_sharded, ShardOutcome, ShardRunReport};

@@ -257,6 +257,13 @@ impl<'f> Scheduler<'f> {
         self
     }
 
+    /// Shares an existing governor with this scheduler — how a sharded
+    /// run pays every shard's traffic through one token bucket.
+    pub fn with_shared_governor(mut self, governor: Arc<QuotaGovernor>) -> Scheduler<'f> {
+        self.governor = governor;
+        self
+    }
+
     /// The shared metrics registry (live: snapshot any time).
     pub fn metrics(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.metrics)

@@ -1,0 +1,274 @@
+//! The shard orchestrator: one scheduler per topic shard, each
+//! committing to its own store, all paced through one shared quota
+//! governor.
+//!
+//! [`run_sharded`] splits the parent plan with
+//! `ytaudit_core::shard::shard_configs`, runs one [`Scheduler`] per
+//! shard concurrently (each with its own worker pool, store file, and
+//! metrics registry — eliminating cross-shard reorder-buffer and commit
+//! contention), then runs the *finish* phase: the parent's single
+//! `Channels: list` fetch over the union of every shard's channel IDs,
+//! committed to a dedicated channels-only store. The resulting shard
+//! set is exactly what `ytaudit_store::merge_shards` folds back into a
+//! byte-canonical single store.
+//!
+//! Every shard store is independently resumable (`--resume` semantics
+//! are per shard), and the finish phase is idempotent: re-running after
+//! a crash skips complete shards without API calls.
+
+use crate::factory::TransportFactory;
+use crate::governor::{GovernedTransport, QuotaGovernor};
+use crate::metrics::MetricsRegistry;
+use crate::scheduler::{RunReport, Scheduler, SchedulerConfig};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use ytaudit_client::YouTubeClient;
+use ytaudit_core::collect::fetch_channel_meta;
+use ytaudit_core::shard::{finish_config, shard_configs};
+use ytaudit_core::{CollectorConfig, CollectorSink};
+use ytaudit_store::{finish_store_path, shard_store_path, Store};
+use ytaudit_types::{Error, Result, Topic};
+
+/// One topic shard's result.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// Shard index (`0..shards`).
+    pub index: usize,
+    /// Topics the shard owns (possibly empty for degenerate splits).
+    pub topics: Vec<Topic>,
+    /// The shard's store file.
+    pub path: PathBuf,
+    /// The shard scheduler's run report (with per-shard metrics).
+    pub report: RunReport,
+}
+
+/// What a sharded run did.
+#[derive(Debug)]
+pub struct ShardRunReport {
+    /// Per-shard outcomes, by shard index.
+    pub shards: Vec<ShardOutcome>,
+    /// The finish (channels-only) store file.
+    pub finish_path: PathBuf,
+    /// Channels fetched (or already present) in the finish store.
+    pub channels: usize,
+    /// Quota units the finish phase cost.
+    pub finish_quota: u64,
+    /// Whether the finish phase ran to completion (`false` when any
+    /// shard drained early, in which case it is skipped).
+    pub finished: bool,
+}
+
+impl ShardRunReport {
+    /// Whether every shard and the finish phase completed — i.e. the
+    /// shard set is ready for `ytaudit store merge`.
+    pub fn completed(&self) -> bool {
+        self.finished && self.shards.iter().all(|s| s.report.completed())
+    }
+
+    /// Pairs committed across all shards by this run.
+    pub fn pairs_committed(&self) -> usize {
+        self.shards.iter().map(|s| s.report.pairs_committed).sum()
+    }
+
+    /// Quota units attributed across all shards plus the finish phase.
+    pub fn quota_units(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.report.quota_units)
+            .sum::<u64>()
+            + self.finish_quota
+    }
+}
+
+/// Runs the parent plan split `shards` ways, one scheduler per shard,
+/// each committing to its canonical shard store next to `dest` (the
+/// future merged path). All schedulers — and the finish phase's channel
+/// fetch — share `governor`, so total admitted quota is paced exactly
+/// like a single-scheduler run. With `resume`, existing shard stores
+/// are continued; without it, any existing shard file is an error.
+pub fn run_sharded(
+    factory: &dyn TransportFactory,
+    parent: &CollectorConfig,
+    sched: &SchedulerConfig,
+    shards: usize,
+    governor: Arc<QuotaGovernor>,
+    dest: &Path,
+    resume: bool,
+) -> Result<ShardRunReport> {
+    let shards = shards.max(1);
+    let configs = shard_configs(parent, shards);
+    let finish_cfg = finish_config(parent, shards);
+    let paths: Vec<PathBuf> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| shard_store_path(dest, i, &cfg.topics))
+        .collect();
+    let finish_path = finish_store_path(dest);
+    if !resume {
+        for path in paths.iter().chain(std::iter::once(&finish_path)) {
+            if path.exists() {
+                return Err(Error::InvalidInput(format!(
+                    "{} already exists; pass --resume to continue it",
+                    path.display()
+                )));
+            }
+        }
+    }
+
+    let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::with_capacity(shards);
+        for (index, cfg) in configs.into_iter().enumerate() {
+            let path = paths
+                .get(index)
+                .cloned()
+                .ok_or_else(|| Error::InvalidInput(format!("no path for shard {index}")))?;
+            let topics = cfg.topics.clone();
+            let governor = Arc::clone(&governor);
+            let sched = sched.clone();
+            let thread_path = path.clone();
+            let handle = scope.spawn(move || -> Result<RunReport> {
+                let mut store = Store::open_or_create(&thread_path)?;
+                Scheduler::new(factory, cfg, sched)
+                    .with_shared_governor(governor)
+                    .run(&mut store)
+            });
+            handles.push((index, topics, path, handle));
+        }
+        for (index, topics, path, handle) in handles {
+            let report = handle
+                .join()
+                .map_err(|_| Error::Io(format!("shard {index} worker thread panicked")))??;
+            outcomes.push(ShardOutcome {
+                index,
+                topics,
+                path,
+                report,
+            });
+        }
+        Ok(())
+    })?;
+
+    if !outcomes.iter().all(|s| s.report.completed()) {
+        return Ok(ShardRunReport {
+            shards: outcomes,
+            finish_path,
+            channels: 0,
+            finish_quota: 0,
+            finished: false,
+        });
+    }
+
+    // Finish phase: the parent's one batched channel fetch, over the
+    // union of channel IDs every shard's video metadata surfaced — the
+    // same set a single-sink run would have accumulated. Idempotent:
+    // an already-finished store is reported as-is.
+    let mut finish_store = Store::open_or_create(&finish_path)?;
+    CollectorSink::begin(&mut finish_store, &finish_cfg)?;
+    let (channels_count, finish_quota) = if finish_store.complete() {
+        (
+            finish_store.load_channels()?.len(),
+            finish_store.final_quota_delta().unwrap_or(0),
+        )
+    } else {
+        let mut ids: BTreeSet<_> = BTreeSet::new();
+        for outcome in &outcomes {
+            let shard_store = Store::open(&outcome.path)?;
+            ids.extend(CollectorSink::known_channel_ids(&shard_store)?);
+        }
+        let mut channels = Vec::new();
+        let mut delta = 0;
+        if parent.fetch_channels {
+            let transport = GovernedTransport::new(
+                factory.transport(),
+                Arc::clone(&governor),
+                Arc::new(MetricsRegistry::new()),
+            );
+            let client = YouTubeClient::new(Box::new(transport), sched.api_key.clone());
+            if let Some(&last) = parent.schedule.dates().last() {
+                client.set_sim_time(Some(last));
+            }
+            channels = fetch_channel_meta(&client, ids.into_iter().collect())?;
+            client.set_sim_time(None);
+            delta = client.budget().units_spent();
+        }
+        finish_store.finish_collection(&channels, delta)?;
+        (channels.len(), delta)
+    };
+
+    Ok(ShardRunReport {
+        shards: outcomes,
+        finish_path,
+        channels: channels_count,
+        finish_quota,
+        finished: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::InProcessFactory;
+    use ytaudit_core::testutil::test_client;
+    use ytaudit_store::TempDir;
+
+    fn parent() -> CollectorConfig {
+        CollectorConfig::quick(vec![Topic::Higgs, Topic::Blm], 2)
+    }
+
+    #[test]
+    fn sharded_run_completes_and_leaves_mergeable_stores() {
+        let (_client, service) = test_client(0.08);
+        let factory = InProcessFactory::new(service);
+        let dir = TempDir::new("sched-sharded");
+        let dest = dir.file("audit.yts");
+        let report = run_sharded(
+            &factory,
+            &parent(),
+            &SchedulerConfig::new(2, "research-key"),
+            2,
+            Arc::new(QuotaGovernor::unlimited()),
+            &dest,
+            false,
+        )
+        .unwrap();
+        assert!(report.completed(), "{report:?}");
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.pairs_committed(), 4);
+        assert!(report.channels > 0);
+        for shard in &report.shards {
+            let store = Store::open(&shard.path).unwrap();
+            assert!(store.complete(), "shard {} incomplete", shard.index);
+        }
+        let finish = Store::open(&report.finish_path).unwrap();
+        assert!(finish.complete());
+
+        // Without --resume, the existing stores are refused.
+        let err = run_sharded(
+            &factory,
+            &parent(),
+            &SchedulerConfig::new(2, "research-key"),
+            2,
+            Arc::new(QuotaGovernor::unlimited()),
+            &dest,
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidInput(_)), "{err:?}");
+
+        // With resume, everything is already complete: no pairs re-run.
+        let resumed = run_sharded(
+            &factory,
+            &parent(),
+            &SchedulerConfig::new(2, "research-key"),
+            2,
+            Arc::new(QuotaGovernor::unlimited()),
+            &dest,
+            true,
+        )
+        .unwrap();
+        assert!(resumed.completed());
+        assert_eq!(resumed.pairs_committed(), 0);
+    }
+}

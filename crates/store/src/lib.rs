@@ -41,12 +41,16 @@
 pub mod crc;
 pub mod error;
 pub mod log;
+pub mod merge;
 pub mod records;
 pub mod store;
 pub mod tempdir;
 pub mod wire;
 
 pub use error::{Result, StoreError};
+pub use merge::{
+    discover_shard_paths, finish_store_path, merge_shards, shard_store_path, MergeReport,
+};
 pub use records::{CollectionMeta, Record};
-pub use store::{DatasetSelection, Store, StoreStats, VerifyReport};
+pub use store::{fsync_dir_of, DatasetSelection, Store, StoreStats, VerifyReport};
 pub use tempdir::TempDir;

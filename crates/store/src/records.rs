@@ -17,6 +17,7 @@
 
 use crate::wire::{Reader, WireError, Writer};
 use ytaudit_core::dataset::{ChannelInfo, CommentRecord, VideoInfo};
+use ytaudit_core::shard::ShardSpec;
 use ytaudit_core::CollectorConfig;
 use ytaudit_types::{ChannelId, Timestamp, Topic, VideoId};
 
@@ -92,6 +93,11 @@ pub struct CollectionMeta {
     pub fetch_channels: bool,
     /// Whether comments are crawled on the first and last snapshots.
     pub fetch_comments: bool,
+    /// Shard identity when this store is one shard of a `collect
+    /// --shards N` run. Encoded as an optional Begin tail: single-sink
+    /// stores keep the original byte layout, so old stores decode
+    /// unchanged.
+    pub shard: Option<ShardSpec>,
 }
 
 impl CollectionMeta {
@@ -104,6 +110,7 @@ impl CollectionMeta {
             fetch_metadata: config.fetch_metadata,
             fetch_channels: config.fetch_channels,
             fetch_comments: config.fetch_comments,
+            shard: config.shard.clone(),
         }
     }
 
@@ -215,6 +222,18 @@ impl Record {
                 w.put_bool(meta.fetch_metadata);
                 w.put_bool(meta.fetch_channels);
                 w.put_bool(meta.fetch_comments);
+                // Optional tail — only present for shard stores, keeping
+                // single-sink Begin records byte-identical to the
+                // original format.
+                if let Some(shard) = &meta.shard {
+                    w.put_u32(shard.index as u32);
+                    w.put_u32(shard.count as u32);
+                    w.put_u8(shard.parent_topics.len() as u8);
+                    for &topic in &shard.parent_topics {
+                        w.put_u8(topic_code(topic));
+                    }
+                    w.put_bool(shard.parent_fetch_channels);
+                }
             }
             Record::Blob { kind, body } => {
                 w.put_u8(TAG_BLOB);
@@ -310,13 +329,34 @@ impl Record {
                 for _ in 0..n_dates {
                     dates.push(Timestamp(r.i64()?));
                 }
+                let hourly_bins = r.bool()?;
+                let fetch_metadata = r.bool()?;
+                let fetch_channels = r.bool()?;
+                let fetch_comments = r.bool()?;
+                let mut shard = None;
+                if r.remaining() > 0 {
+                    let index = r.u32()? as usize;
+                    let count = r.u32()? as usize;
+                    let n_parent = r.u8()? as usize;
+                    let mut parent_topics = Vec::with_capacity(n_parent);
+                    for _ in 0..n_parent {
+                        parent_topics.push(topic_from_code(r.u8()?)?);
+                    }
+                    shard = Some(ShardSpec {
+                        index,
+                        count,
+                        parent_topics,
+                        parent_fetch_channels: r.bool()?,
+                    });
+                }
                 Record::Begin(CollectionMeta {
                     topics,
                     dates,
-                    hourly_bins: r.bool()?,
-                    fetch_metadata: r.bool()?,
-                    fetch_channels: r.bool()?,
-                    fetch_comments: r.bool()?,
+                    hourly_bins,
+                    fetch_metadata,
+                    fetch_channels,
+                    fetch_comments,
+                    shard,
                 })
             }
             TAG_BLOB => {
@@ -520,6 +560,7 @@ mod tests {
             fetch_metadata: true,
             fetch_channels: true,
             fetch_comments: false,
+            shard: None,
         }
     }
 
@@ -528,6 +569,26 @@ mod tests {
         let samples = vec![
             Record::Segment { seq: 3 },
             Record::Begin(meta()),
+            Record::Begin(CollectionMeta {
+                topics: vec![Topic::Blm],
+                shard: Some(ShardSpec {
+                    index: 1,
+                    count: 2,
+                    parent_topics: vec![Topic::Higgs, Topic::Blm],
+                    parent_fetch_channels: true,
+                }),
+                ..meta()
+            }),
+            Record::Begin(CollectionMeta {
+                topics: vec![],
+                shard: Some(ShardSpec {
+                    index: 2,
+                    count: 2,
+                    parent_topics: vec![Topic::Higgs, Topic::Blm],
+                    parent_fetch_channels: false,
+                }),
+                ..meta()
+            }),
             Record::Blob {
                 kind: BLOB_VIDEO_ID,
                 body: b"dQw4w9WgXcQ".to_vec(),
@@ -606,6 +667,15 @@ mod tests {
         });
         let expected = 1 + 1 + 2 + 8 + 8 + 4 + 2 * (4 + 8) + 3 * 8;
         assert_eq!(commit.encode().len(), expected);
+    }
+
+    #[test]
+    fn shardless_begin_keeps_the_original_byte_layout() {
+        // The shard tail is only written for shard stores, so a
+        // single-sink Begin must encode to exactly the pre-tail size:
+        // tag + topic count + 2 codes + date count + 2 dates + 4 flags.
+        let expected = 1 + 1 + 2 + 4 + 2 * 8 + 4;
+        assert_eq!(Record::Begin(meta()).encode().len(), expected);
     }
 
     #[test]

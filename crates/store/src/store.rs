@@ -14,7 +14,7 @@ use crate::records::{
     encode_channel_info, encode_comment, encode_video_id, encode_video_info, topic_code,
     CollectionMeta, CommitRecord, Record, BLOB_CHANNEL_INFO, BLOB_COMMENT, BLOB_VIDEO_ID,
     BLOB_VIDEO_INFO, NO_TOPIC, PURPOSE_CHANNELS, PURPOSE_COMMENTS, PURPOSE_META_RETURNED,
-    PURPOSE_VIDEO_META, TAG_BLOB,
+    PURPOSE_VIDEO_META, TAG_BEGIN, TAG_BLOB, TAG_COMMIT, TAG_END, TAG_SEGMENT,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
@@ -23,7 +23,29 @@ use ytaudit_core::dataset::{
     AuditDataset, ChannelInfo, CommentFetchError, CommentsSnapshot, HourlyResult, Snapshot,
     TopicSnapshot, VideoInfo,
 };
+use ytaudit_platform::faultpoint;
 use ytaudit_types::{ChannelId, Topic, VideoId};
+
+/// Fsyncs the directory containing `path`, making a just-created or
+/// just-renamed directory entry durable: POSIX only promises that a
+/// rename or new file survives a crash once the parent directory itself
+/// has been synced.
+pub fn fsync_dir_of(path: &Path) -> Result<()> {
+    let dir = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."));
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// `path` with `suffix` appended to its final component (keeping the
+/// extension), e.g. `audit.yts` + `.merging` → `audit.yts.merging`.
+pub(crate) fn sibling_with_suffix(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
 
 /// Which parts of the dataset to materialize when loading from a store.
 /// Analyses that only consume search results (consistency, attrition,
@@ -331,6 +353,53 @@ impl Store {
         })
     }
 
+    /// Opens a store for resumable *rewriting* (the merge path): like
+    /// [`Store::open`], but first rolls the log back to the end of the
+    /// last durable record — the most recent Segment, Begin, Commit, or
+    /// End, each of which is followed by an fsync when written —
+    /// discarding any valid-but-uncommitted orphan frames a crash left
+    /// behind. Appends after a rollback open are therefore the exact
+    /// byte-for-byte continuation of what a crash-free writer would have
+    /// produced, which is what makes a resumed merge converge on
+    /// canonical bytes. (The ordinary resumable-collection path uses
+    /// [`Store::open`] instead: it keeps orphan blobs, trading canonical
+    /// layout for not re-fetching their contents.)
+    pub fn open_rollback(path: &Path) -> Result<Store> {
+        let mut durable_len = log::MAGIC.len() as u64;
+        let outcome = log::scan(path, |offset, payload| {
+            if let Some(&tag) = payload.first() {
+                if tag == TAG_SEGMENT || tag == TAG_BEGIN || tag == TAG_COMMIT || tag == TAG_END {
+                    durable_len = offset + log::FRAME_HEADER + payload.len() as u64;
+                }
+            }
+            Ok(())
+        })?;
+        if let Some(stop) = &outcome.stop {
+            if !stop.is_torn_tail() {
+                return Err(StoreError::corrupt(
+                    stop.offset,
+                    format!(
+                        "interior record damage ({:?}); the file was altered after it was \
+                         written — run `ytaudit store verify`",
+                        stop.reason
+                    ),
+                ));
+            }
+        }
+        if durable_len < outcome.file_len {
+            let file = std::fs::OpenOptions::new().write(true).open(path)?;
+            file.set_len(durable_len)?;
+            file.sync_data()?;
+        }
+        let mut store = Store::open(path)?;
+        store.recovered_bytes = outcome.file_len - durable_len;
+        // Continue the rolled-back session rather than opening a new WAL
+        // segment: a resumed rewrite must not inject segment markers the
+        // crash-free byte stream would not contain.
+        store.session_marked = store.segments > 0;
+        Ok(store)
+    }
+
     /// Opens `path` if it exists, otherwise creates it — the `collect
     /// --store` entry point.
     pub fn open_or_create(path: &Path) -> Result<Store> {
@@ -567,6 +636,11 @@ impl Store {
             comment_errors,
         };
         self.append_record(&Record::Commit(record.clone()))?;
+        if faultpoint::should_trip("store.commit") {
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected crash: store.commit",
+            )));
+        }
         self.log.sync()?;
         self.commits.insert(key, record);
         Ok(())
@@ -612,6 +686,11 @@ impl Store {
             quota_final_delta,
             channels_offset,
         })?;
+        if faultpoint::should_trip("store.finish") {
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected crash: store.finish",
+            )));
+        }
         self.log.sync()?;
         self.end = Some(EndEntry {
             quota_final_delta,
@@ -646,7 +725,7 @@ impl Store {
         Record::decode(&payload).map_err(|e| StoreError::corrupt(offset, e))
     }
 
-    fn commit_for(&self, topic: Topic, snapshot: usize) -> Result<CommitRecord> {
+    pub(crate) fn commit_for(&self, topic: Topic, snapshot: usize) -> Result<CommitRecord> {
         self.commits
             .get(&(snapshot as u16, topic_code(topic)))
             .cloned()
@@ -655,6 +734,17 @@ impl Store {
                     "pair ({topic:?}, snapshot {snapshot}) is not committed"
                 ))
             })
+    }
+
+    /// Quota units one committed pair cost to collect.
+    pub fn pair_quota_delta(&self, topic: Topic, snapshot: usize) -> Result<u64> {
+        Ok(self.commit_for(topic, snapshot)?.quota_delta)
+    }
+
+    /// The end record's final quota delta (channel fetches), once the
+    /// collection has finished.
+    pub fn final_quota_delta(&self) -> Option<u64> {
+        self.end.as_ref().map(|e| e.quota_final_delta)
     }
 
     fn load_ref_ids(&mut self, offset: u64, purpose: u8) -> Result<Vec<u64>> {
@@ -881,7 +971,28 @@ impl Store {
             let channels = self.load_channels()?;
             out.finish_collection(&channels, end.quota_final_delta)?;
         }
+        // The log's own appends are fsynced, but the *directory entry*
+        // for a fresh dest is not durable until the directory is synced.
+        fsync_dir_of(dest)?;
         Ok(out)
+    }
+
+    /// Compacts the store in place: rewrites into a `.compact.tmp`
+    /// sibling, atomically renames it over the original, and syncs the
+    /// directory, so a crash at any point leaves either the old file or
+    /// the new one — never a torn mix. A stale tmp from a previously
+    /// crashed attempt is discarded. Returns the reopened store.
+    pub fn compact_in_place(mut self) -> Result<Store> {
+        let path = self.path.clone();
+        let tmp = sibling_with_suffix(&path, ".compact.tmp");
+        if tmp.exists() {
+            std::fs::remove_file(&tmp)?;
+        }
+        self.compact(&tmp)?;
+        drop(self);
+        std::fs::rename(&tmp, &path)?;
+        fsync_dir_of(&path)?;
+        Store::open(&path)
     }
 
     /// Counters for `ytaudit store info`.
@@ -1029,6 +1140,7 @@ mod tests {
             fetch_metadata: true,
             fetch_channels: true,
             fetch_comments: true,
+            shard: None,
         }
     }
 
@@ -1077,6 +1189,55 @@ mod tests {
         }
     }
 
+    /// The deterministic payload `fill` commits for pair
+    /// `(topics[t_idx], snapshot idx)`.
+    fn pair_payload(
+        meta: &CollectionMeta,
+        t_idx: usize,
+        idx: usize,
+    ) -> (TopicSnapshot, Vec<VideoInfo>, CommentsSnapshot) {
+        // Overlapping ID ranges across snapshots force dedup.
+        let base = t_idx as u32 * 100 + idx as u32;
+        let data = topic_data(base);
+        let videos: Vec<VideoInfo> = (base..base + 3).map(video_info).collect();
+        let comments = CommentsSnapshot {
+            comments: vec![CommentRecord {
+                id: format!("c-{:?}-{idx}", meta.topics[t_idx]),
+                video_id: vid(base),
+                is_reply: idx == 1,
+                published_at: meta.dates[idx],
+            }],
+            // One pair records a per-video fetch failure, so the
+            // round-trip tests cover the commit-record tail.
+            fetch_errors: if idx == 0 && t_idx == 0 {
+                vec![CommentFetchError {
+                    video_id: vid(base + 2),
+                    error: "commentThreads.list: video deleted".to_string(),
+                }]
+            } else {
+                Vec::new()
+            },
+        };
+        (data, videos, comments)
+    }
+
+    /// Commits one of `fill`'s pairs — split out so crash tests can
+    /// replay an interrupted fill byte-for-byte.
+    fn commit_pair(store: &mut Store, meta: &CollectionMeta, t_idx: usize, idx: usize) {
+        let (data, videos, comments) = pair_payload(meta, t_idx, idx);
+        store
+            .commit_snapshot(&TopicCommit {
+                topic: meta.topics[t_idx],
+                snapshot: idx,
+                date: meta.dates[idx],
+                data: &data,
+                comments: Some(&comments),
+                videos: &videos,
+                quota_delta: 680,
+            })
+            .unwrap();
+    }
+
     /// Commits the full 2×2 plan into `store` and returns the expected
     /// dataset.
     fn fill(store: &mut Store) -> AuditDataset {
@@ -1087,39 +1248,8 @@ mod tests {
             let mut topics = BTreeMap::new();
             let mut comment_map = BTreeMap::new();
             for (t_idx, &topic) in meta.topics.iter().enumerate() {
-                // Overlapping ID ranges across snapshots force dedup.
-                let base = t_idx as u32 * 100 + idx as u32;
-                let data = topic_data(base);
-                let videos: Vec<VideoInfo> = (base..base + 3).map(video_info).collect();
-                let comments = CommentsSnapshot {
-                    comments: vec![CommentRecord {
-                        id: format!("c-{topic:?}-{idx}"),
-                        video_id: vid(base),
-                        is_reply: idx == 1,
-                        published_at: date,
-                    }],
-                    // One pair records a per-video fetch failure, so the
-                    // round-trip tests cover the commit-record tail.
-                    fetch_errors: if idx == 0 && t_idx == 0 {
-                        vec![CommentFetchError {
-                            video_id: vid(base + 2),
-                            error: "commentThreads.list: video deleted".to_string(),
-                        }]
-                    } else {
-                        Vec::new()
-                    },
-                };
-                store
-                    .commit_snapshot(&TopicCommit {
-                        topic,
-                        snapshot: idx,
-                        date,
-                        data: &data,
-                        comments: Some(&comments),
-                        videos: &videos,
-                        quota_delta: 680,
-                    })
-                    .unwrap();
+                let (data, _videos, comments) = pair_payload(&meta, t_idx, idx);
+                commit_pair(store, &meta, t_idx, idx);
                 topics.insert(topic, data);
                 comment_map.insert(topic, comments);
             }
@@ -1380,6 +1510,101 @@ mod tests {
             store.finish_collection(&[], 0),
             Err(StoreError::Plan(_))
         ));
+    }
+
+    #[test]
+    fn rollback_open_resumes_to_canonical_bytes() {
+        let dir = TempDir::new("store-rollback");
+        // Canonical bytes: an uninterrupted fill.
+        let canonical_path = dir.file("canonical.yts");
+        {
+            let mut store = Store::create(&canonical_path).unwrap();
+            fill(&mut store);
+        }
+        let canonical = std::fs::read(&canonical_path).unwrap();
+
+        // Replay the same fill but crash mid-third-pair: tear that
+        // pair's commit record, leaving its blobs and blocks behind as
+        // valid orphan frames that no commit covers.
+        let path = dir.file("crashed.yts");
+        let meta = meta2x2();
+        let two_pairs_len;
+        {
+            let mut store = Store::create(&path).unwrap();
+            store.begin_collection(meta.clone()).unwrap();
+            commit_pair(&mut store, &meta, 0, 0);
+            commit_pair(&mut store, &meta, 1, 0);
+            two_pairs_len = store.log.len();
+            commit_pair(&mut store, &meta, 0, 1);
+        }
+        let torn_len = std::fs::metadata(&path).unwrap().len() - 3;
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(torn_len).unwrap();
+        drop(file);
+
+        // A plain open would keep the orphan frames; the rollback open
+        // truncates back to the last durable record (the second commit).
+        let mut store = Store::open_rollback(&path).unwrap();
+        assert_eq!(store.stats().log_len, two_pairs_len);
+        assert!(store.recovered_bytes() > 0);
+        assert!(store.has_commit(Topic::Higgs, 0));
+        assert!(store.has_commit(Topic::Blm, 0));
+        assert!(!store.has_commit(Topic::Higgs, 1));
+
+        // Re-committing the lost pairs and finishing reproduces the
+        // uninterrupted byte stream exactly — no extra segment marker,
+        // no orphan leftovers.
+        commit_pair(&mut store, &meta, 0, 1);
+        commit_pair(&mut store, &meta, 1, 1);
+        let channels: Vec<ChannelInfo> = (0..3).map(channel_info).collect();
+        store.finish_collection(&channels, 9).unwrap();
+        drop(store);
+        assert_eq!(std::fs::read(&path).unwrap(), canonical);
+    }
+
+    #[test]
+    fn rollback_open_of_a_clean_store_changes_nothing() {
+        let dir = TempDir::new("store-rollback-clean");
+        let path = dir.file("audit.yts");
+        let expected = {
+            let mut store = Store::create(&path).unwrap();
+            fill(&mut store)
+        };
+        let before = std::fs::read(&path).unwrap();
+        let mut store = Store::open_rollback(&path).unwrap();
+        assert_eq!(store.recovered_bytes(), 0);
+        assert!(store.complete());
+        assert_eq!(store.load_dataset().unwrap(), expected);
+        drop(store);
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+    }
+
+    #[test]
+    fn compact_in_place_replaces_a_stale_tmp_from_a_torn_rename() {
+        let dir = TempDir::new("store-compact-inplace");
+        let path = dir.file("audit.yts");
+        let mut store = Store::create(&path).unwrap();
+        let expected = fill(&mut store);
+        // A previous in-place compaction that crashed before its rename
+        // leaves a stale tmp behind; the rerun must discard it and still
+        // land the real compaction atomically.
+        let tmp = sibling_with_suffix(&path, ".compact.tmp");
+        std::fs::write(&tmp, b"stale half-written junk").unwrap();
+        let mut compacted = store.compact_in_place().unwrap();
+        assert_eq!(compacted.path(), path.as_path());
+        assert!(compacted.complete());
+        assert_eq!(compacted.load_dataset().unwrap(), expected);
+        assert!(!tmp.exists(), "tmp must be consumed by the rename");
+    }
+
+    #[test]
+    fn fsync_dir_handles_nested_and_bare_paths() {
+        let dir = TempDir::new("store-fsync-dir");
+        let path = dir.file("audit.yts");
+        std::fs::write(&path, b"x").unwrap();
+        fsync_dir_of(&path).unwrap();
+        // A bare file name syncs the current directory.
+        fsync_dir_of(Path::new("bare-file-name")).unwrap();
     }
 
     #[test]

@@ -185,6 +185,7 @@ fn store_truncated_at_arbitrary_offset_keeps_every_committed_pair() {
         fetch_metadata: false,
         fetch_channels: false,
         fetch_comments: false,
+        shard: None,
     };
     let pair_data = |seed: u32| TopicSnapshot {
         hours: (0..3)

@@ -1,0 +1,214 @@
+//! Quota-governor invariant for sharded collection: every shard pays
+//! its traffic through ONE shared token bucket, so the total quota a
+//! `collect --shards N` run admits equals the single-scheduler total
+//! exactly — and a crashed run never over-admits relative to what its
+//! shard stores durably banked, with the resume paying precisely the
+//! difference.
+
+mod shard_harness;
+
+use shard_harness as h;
+use std::sync::{Arc, Mutex, MutexGuard};
+use ytaudit::core::shard::shard_configs;
+use ytaudit::core::testutil::test_client;
+use ytaudit::platform::faultpoint;
+use ytaudit::sched::{run_sharded, InProcessFactory, QuotaGovernor, Scheduler, SchedulerConfig};
+use ytaudit::store::{discover_shard_paths, merge_shards, shard_store_path, Store, TempDir};
+use ytaudit::types::Topic;
+
+const SCALE: f64 = 0.08;
+const KEY: &str = "research-key";
+
+// One test here arms faultpoints (process-global registry), so every
+// test serializes on the same lock to keep armings from leaking into
+// unrelated commits.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct FaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        faultpoint::reset();
+    }
+}
+
+fn exclusive() -> FaultGuard {
+    let lock = SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    faultpoint::reset();
+    FaultGuard { _lock: lock }
+}
+
+fn config() -> ytaudit::core::CollectorConfig {
+    h::plan(vec![Topic::Higgs, Topic::Blm], 2)
+}
+
+/// Runs the single-scheduler baseline into `path` with its own
+/// governor and returns the admitted-units ledger.
+fn single_baseline(path: &std::path::Path) -> u64 {
+    let governor = Arc::new(QuotaGovernor::unlimited());
+    let (_client, service) = test_client(SCALE);
+    let factory = InProcessFactory::new(service);
+    let mut store = Store::create(path).unwrap();
+    let report = Scheduler::new(&factory, config(), SchedulerConfig::new(2, KEY))
+        .with_shared_governor(Arc::clone(&governor))
+        .run(&mut store)
+        .unwrap();
+    assert!(report.completed(), "{:?}", report.outcome);
+    assert!(store.complete());
+    let admitted = governor.units_admitted();
+    assert!(admitted > 0);
+    assert_eq!(
+        report.quota_units, admitted,
+        "scheduler quota total diverges from the governor ledger"
+    );
+    admitted
+}
+
+#[test]
+fn sharded_runs_admit_exactly_the_single_scheduler_quota() {
+    let _guard = exclusive();
+    let dir = TempDir::new("shard-quota-equal");
+    let single_admitted = single_baseline(&dir.file("single.yts"));
+
+    for shards in [1usize, 2, 4] {
+        let governor = Arc::new(QuotaGovernor::unlimited());
+        let (_client, service) = test_client(SCALE);
+        let factory = InProcessFactory::new(service);
+        let dest = dir.file(&format!("sharded-{shards}.yts"));
+        let report = run_sharded(
+            &factory,
+            &config(),
+            &SchedulerConfig::new(2, KEY),
+            shards,
+            Arc::clone(&governor),
+            &dest,
+            false,
+        )
+        .unwrap();
+        assert!(report.completed(), "shards={shards}: {report:?}");
+        assert_eq!(
+            governor.units_admitted(),
+            single_admitted,
+            "shards={shards}: shared-bucket ledger diverges from single-scheduler total"
+        );
+        assert_eq!(report.quota_units(), single_admitted, "shards={shards}");
+    }
+}
+
+/// The same equality through a real (rate-limited) token bucket: the
+/// rate is high enough never to block the test, but every admission
+/// goes through bucket accounting instead of the unlimited fast path.
+#[test]
+fn rate_limited_shared_bucket_admits_the_same_total() {
+    let _guard = exclusive();
+    let dir = TempDir::new("shard-quota-rate");
+    let single_admitted = single_baseline(&dir.file("single.yts"));
+
+    let governor = Arc::new(QuotaGovernor::per_second(1_000_000.0, 1_000_000.0));
+    let (_client, service) = test_client(SCALE);
+    let factory = InProcessFactory::new(service);
+    let dest = dir.file("sharded.yts");
+    let report = run_sharded(
+        &factory,
+        &config(),
+        &SchedulerConfig::new(2, KEY),
+        2,
+        Arc::clone(&governor),
+        &dest,
+        false,
+    )
+    .unwrap();
+    assert!(report.completed(), "{report:?}");
+    assert_eq!(governor.units_admitted(), single_admitted);
+}
+
+/// The drain-side half of the invariant: a sharded run killed
+/// mid-commit admits no more than the full plan costs and at least what
+/// its shard stores durably banked; the resume pays exactly the
+/// remainder, and the merged bytes still match the single-sink store.
+#[test]
+fn crashed_drain_never_over_admits_and_resume_pays_the_difference() {
+    let _guard = exclusive();
+    let dir = TempDir::new("shard-quota-crash");
+    let single_path = dir.file("single.yts");
+    let single_admitted = single_baseline(&single_path);
+
+    let dest = dir.file("sharded.yts");
+    let gov_crash = Arc::new(QuotaGovernor::unlimited());
+    {
+        let (_client, service) = test_client(SCALE);
+        let factory = InProcessFactory::new(service);
+        faultpoint::arm("store.commit", 1);
+        let report = run_sharded(
+            &factory,
+            &config(),
+            &SchedulerConfig::new(2, KEY),
+            2,
+            Arc::clone(&gov_crash),
+            &dest,
+            false,
+        )
+        .unwrap();
+        assert!(!report.completed(), "{report:?}");
+        faultpoint::reset();
+    }
+
+    // What the crashed run durably banked across its shard stores…
+    let parent = config();
+    let banked: u64 = shard_configs(&parent, 2)
+        .iter()
+        .enumerate()
+        .map(|(index, cfg)| shard_store_path(&dest, index, &cfg.topics))
+        .filter(|path| path.exists())
+        .map(|path| Store::open(&path).unwrap().stats().quota_units)
+        .sum();
+    // …was all admitted first (commits only land after their calls
+    // cleared the governor), and draining abandons work rather than
+    // admitting past the plan's total cost.
+    assert!(
+        gov_crash.units_admitted() >= banked,
+        "banked quota was never admitted"
+    );
+    assert!(
+        gov_crash.units_admitted() <= single_admitted,
+        "drain over-admitted: {} > {single_admitted}",
+        gov_crash.units_admitted()
+    );
+
+    // The resume pays exactly the un-banked remainder.
+    let gov_resume = Arc::new(QuotaGovernor::unlimited());
+    {
+        let (_client, service) = test_client(SCALE);
+        let factory = InProcessFactory::new(service);
+        let report = run_sharded(
+            &factory,
+            &config(),
+            &SchedulerConfig::new(2, KEY),
+            2,
+            Arc::clone(&gov_resume),
+            &dest,
+            true,
+        )
+        .unwrap();
+        assert!(report.completed(), "{report:?}");
+    }
+    assert_eq!(
+        gov_resume.units_admitted(),
+        single_admitted - banked,
+        "resume did not pay exactly the un-banked remainder"
+    );
+
+    // And the crash + resume + merge still reproduces the single-sink
+    // bytes (the scheduler baseline commits in plan order, so its store
+    // doubles as the byte reference).
+    let shard_paths = discover_shard_paths(&dest).unwrap();
+    merge_shards(&dest, &shard_paths).unwrap();
+    assert_eq!(
+        std::fs::read(&dest).unwrap(),
+        std::fs::read(&single_path).unwrap()
+    );
+}

@@ -238,6 +238,7 @@ fn verify_reports_damage_in_a_collected_store() {
             fetch_metadata: false,
             fetch_channels: false,
             fetch_comments: false,
+            shard: None,
         };
         store.begin_collection(meta.clone()).unwrap();
         let data = ytaudit::core::dataset::TopicSnapshot {
