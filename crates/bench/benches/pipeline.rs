@@ -1,0 +1,51 @@
+//! Criterion benchmarks for HTTP/1.1 pipelining: the same batch of
+//! small GETs against a loopback server at in-flight depths 1, 4, and
+//! 8. Depth 1 is plain sequential keep-alive; deeper pipelines should
+//! win by hiding per-request round-trip latency, which is exactly the
+//! shape of the audit's thousands of small `Search: list` calls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use ytaudit_net::{HttpClient, Request, Response, Server, ServerConfig, StatusCode, Url};
+
+/// Requests per batch: wide enough that the pipeline refills many times
+/// at every depth under test.
+const BATCH: usize = 64;
+
+fn bench_pipeline_depths(c: &mut Criterion) {
+    let handler = Arc::new(|req: &Request| {
+        Response::text(
+            StatusCode::OK,
+            format!("ok {}?{}", req.path, req.query.encode()),
+        )
+    });
+    let server = Server::bind("127.0.0.1:0", handler, ServerConfig::default())
+        .expect("bind loopback bench server");
+    let url = Url::parse(&server.base_url()).unwrap();
+    let requests: Vec<Request> = (0..BATCH)
+        .map(|i| Request::get(format!("/item/{i}")))
+        .collect();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    for depth in [1usize, 4, 8] {
+        // One client per depth, created outside the timing loop: the
+        // connection is opened once and kept alive, so the measurement
+        // is per-request pipelining, not dialing.
+        let client = HttpClient::new();
+        group.bench_function(format!("loopback_64_gets_depth_{depth}"), |b| {
+            b.iter(|| {
+                let results = client.send_pipelined(&url, &requests, depth);
+                for result in &results {
+                    black_box(result.as_ref().expect("bench request failed").status);
+                }
+            })
+        });
+    }
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_pipeline_depths);
+criterion_main!(benches);

@@ -48,6 +48,11 @@ OPTIONS:
                              refilling this many quota units per second
                              (requires --workers or --shards; with --shards,
                              one governor paces every shard)
+    --in-flight <N>          keep up to N HTTP requests pipelined per
+                             connection (default 1 = plain keep-alive;
+                             requires --base-url — the in-process transport
+                             has no connections to pipeline; the dataset is
+                             byte-identical at any depth)
     --out <file.json>        where to write the dataset      (default dataset.json;
                              with --store, only written when given explicitly)
     --store <file.yts>       commit to a crash-safe snapshot store instead
@@ -172,11 +177,12 @@ enum Backend {
 
 impl Backend {
     /// A single client for the classic sequential collector.
-    fn client(&self, key: &str) -> YouTubeClient {
+    fn client(&self, key: &str, in_flight: usize) -> YouTubeClient {
         match self {
-            Backend::Http(base) => {
-                YouTubeClient::new(Box::new(HttpTransport::new(base.clone())), key)
-            }
+            Backend::Http(base) => YouTubeClient::new(
+                Box::new(HttpTransport::new(base.clone()).with_max_in_flight(in_flight)),
+                key,
+            ),
             Backend::InProcess(service) => {
                 YouTubeClient::new(Box::new(InProcessTransport::new(Arc::clone(service))), key)
             }
@@ -184,9 +190,11 @@ impl Backend {
     }
 
     /// A per-worker transport factory for the scheduler.
-    fn factory(&self) -> Box<dyn TransportFactory> {
+    fn factory(&self, in_flight: usize) -> Box<dyn TransportFactory> {
         match self {
-            Backend::Http(base) => Box::new(HttpFactory::new(base.clone())),
+            Backend::Http(base) => {
+                Box::new(HttpFactory::new(base.clone()).with_max_in_flight(in_flight))
+            }
             Backend::InProcess(service) => Box::new(InProcessFactory::new(Arc::clone(service))),
         }
     }
@@ -236,21 +244,23 @@ impl CollectorSink for MetricsLine<'_> {
 /// [`Scheduler`]. The scheduler path prints the metrics summary table
 /// whether the run completed or drained early; a drained store is left
 /// resumable, so the error message points at `--resume`.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     backend: &Backend,
     config: &CollectorConfig,
     key: &str,
     workers: usize,
     rate: f64,
+    in_flight: usize,
     sink: &mut dyn CollectorSink,
 ) -> Result<(), ArgError> {
     if workers == 0 {
-        let client = backend.client(key);
+        let client = backend.client(key, in_flight);
         return Collector::new(&client, config.clone())
             .run_with_sink(sink)
             .map_err(|e| ArgError(format!("collection failed: {e}")));
     }
-    let factory = backend.factory();
+    let factory = backend.factory(in_flight);
     let mut scheduler = Scheduler::new(
         factory.as_ref(),
         config.clone(),
@@ -298,6 +308,17 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let rate: f64 = args.get_parsed("rate", 0.0)?;
     if args.get("rate").is_some() && workers == 0 && shards == 0 {
         return Err(ArgError("--rate requires --workers or --shards".into()));
+    }
+    let in_flight: usize = args.get_parsed("in-flight", 1)?;
+    if in_flight == 0 {
+        return Err(ArgError("--in-flight must be at least 1".into()));
+    }
+    if in_flight > 1 && args.get("base-url").is_none() {
+        return Err(ArgError(
+            "--in-flight pipelines HTTP connections and requires --base-url; the \
+             in-process transport has nothing to pipeline"
+                .into(),
+        ));
     }
     if shards > 0 && store_path.is_none() {
         return Err(ArgError("--shards requires --store".into()));
@@ -373,6 +394,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             &key,
             workers,
             rate,
+            in_flight,
             shards,
             Path::new(spath),
             resume,
@@ -402,7 +424,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
                 );
             }
             let mut sink = Progress::new(store);
-            let outcome = drive(&backend, &config, &key, workers, rate, &mut sink);
+            let outcome = drive(&backend, &config, &key, workers, rate, in_flight, &mut sink);
             let mut store = sink.into_inner();
             let stats = store.stats();
             println!(
@@ -426,7 +448,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         None => {
             let out = args.get("out").unwrap_or("dataset.json").to_string();
             let mut sink = Progress::new(MemorySink::new());
-            drive(&backend, &config, &key, workers, rate, &mut sink)?;
+            drive(&backend, &config, &key, workers, rate, in_flight, &mut sink)?;
             let dataset = sink.into_inner().into_dataset();
             write_dataset_json(&out, &dataset)?;
         }
@@ -446,6 +468,7 @@ fn collect_sharded(
     key: &str,
     workers: usize,
     rate: f64,
+    in_flight: usize,
     shards: usize,
     dest: &Path,
     resume: bool,
@@ -462,7 +485,7 @@ fn collect_sharded(
     } else {
         QuotaGovernor::unlimited()
     });
-    let factory = backend.factory();
+    let factory = backend.factory(in_flight);
     let report = run_sharded(
         factory.as_ref(),
         config,

@@ -90,13 +90,40 @@ impl YouTubeClient {
         &self.budget
     }
 
-    /// Executes one call with pacing + retries and decodes errors.
-    fn call(&self, endpoint: Endpoint, params: &[(String, String)]) -> Result<String> {
+    /// Decodes a transport `(status, body)` pair: 200 yields the body,
+    /// anything else is decoded as the API error envelope (with a generic
+    /// fallback for non-JSON bodies, e.g. a proxy's 502 page).
+    fn interpret(status: u16, body: String) -> Result<String> {
+        if status == 200 {
+            return Ok(body);
+        }
+        match serde_json::from_str::<ErrorResponse>(&body) {
+            Ok(envelope) => {
+                let reason = envelope
+                    .error
+                    .errors
+                    .first()
+                    .and_then(|e| ApiErrorReason::from_str_opt(&e.reason))
+                    .unwrap_or(ApiErrorReason::BackendError);
+                Err(Error::api(reason, envelope.error.message))
+            }
+            Err(_) => Err(Error::Io(format!("HTTP {status} with undecodable body"))),
+        }
+    }
+
+    /// Waits for a pacer slot, if pacing is configured.
+    fn pace(&self) -> Result<()> {
         if let Some(pacer) = &self.pacer {
             if !pacer.acquire(1.0, Duration::from_secs(60)) {
                 return Err(Error::Io("client-side rate limiter timed out".into()));
             }
         }
+        Ok(())
+    }
+
+    /// Executes one call with pacing + retries and decodes errors.
+    fn call(&self, endpoint: Endpoint, params: &[(String, String)]) -> Result<String> {
+        self.pace()?;
         let now = self.sim_time();
         self.budget.record(endpoint);
         self.retry.run(
@@ -104,26 +131,65 @@ impl YouTubeClient {
                 let (status, body) = self
                     .transport
                     .execute(endpoint, params, &self.api_key, now)?;
-                if status == 200 {
-                    return Ok(body);
-                }
-                // Decode the error envelope; fall back to a generic error
-                // for non-JSON bodies (e.g. a proxy's 502 page).
-                match serde_json::from_str::<ErrorResponse>(&body) {
-                    Ok(envelope) => {
-                        let reason = envelope
-                            .error
-                            .errors
-                            .first()
-                            .and_then(|e| ApiErrorReason::from_str_opt(&e.reason))
-                            .unwrap_or(ApiErrorReason::BackendError);
-                        Err(Error::api(reason, envelope.error.message))
-                    }
-                    Err(_) => Err(Error::Io(format!("HTTP {status} with undecodable body"))),
-                }
+                Self::interpret(status, body)
             },
             Error::is_retryable,
         )
+    }
+
+    /// Executes a batch of calls against `endpoint` with the same pacing,
+    /// retry, and quota bookkeeping as issuing [`YouTubeClient::call`]
+    /// once per parameter set, in order. Calls are issued in chunks of
+    /// [`Transport::preferred_batch`]; each chunk's first attempt goes
+    /// through [`Transport::execute_many`] — pipelined on an HTTP
+    /// transport — and any slot that fails retryably is retried
+    /// individually under the remaining attempt budget. One quota record
+    /// per logical call, never per attempt, and a fatal error stops the
+    /// batch before later chunks are paced or recorded, so a sequential
+    /// transport (chunk size 1) books exactly what a [`YouTubeClient::call`]
+    /// loop would have.
+    fn call_many(&self, endpoint: Endpoint, param_sets: &[Vec<(String, String)>]) -> Result<Vec<String>> {
+        let chunk_size = self.transport.preferred_batch().max(1);
+        if chunk_size == 1 || param_sets.len() <= 1 {
+            return param_sets
+                .iter()
+                .map(|params| self.call(endpoint, params))
+                .collect();
+        }
+        let mut out = Vec::with_capacity(param_sets.len());
+        for chunk in param_sets.chunks(chunk_size) {
+            for _ in chunk {
+                self.pace()?;
+                self.budget.record(endpoint);
+            }
+            let now = self.sim_time();
+            let first = self.transport.execute_many(endpoint, chunk, &self.api_key, now);
+            for (params, attempt) in chunk.iter().zip(first) {
+                let interpreted = attempt.and_then(|(status, body)| Self::interpret(status, body));
+                match interpreted {
+                    Ok(body) => out.push(body),
+                    Err(err) if err.is_retryable() && self.retry.max_attempts > 1 => {
+                        // The batch attempt was attempt 0 for this call;
+                        // spend the remaining budget one call at a time.
+                        let tail = RetryPolicy {
+                            max_attempts: self.retry.max_attempts - 1,
+                            backoff: self.retry.backoff.clone(),
+                        };
+                        out.push(tail.run(
+                            |_attempt| {
+                                let (status, body) = self
+                                    .transport
+                                    .execute(endpoint, params, &self.api_key, now)?;
+                                Self::interpret(status, body)
+                            },
+                            Error::is_retryable,
+                        )?);
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn decode<T: serde::de::DeserializeOwned>(body: &str) -> Result<T> {
@@ -166,6 +232,74 @@ impl YouTubeClient {
             total_results,
             pages,
         })
+    }
+
+    /// Fetches every page of several searches, batching one page per
+    /// query per wave so a pipelining transport can keep the requests in
+    /// flight together. Observable behaviour — items, page counts, quota
+    /// records — is identical to calling [`YouTubeClient::search_all`]
+    /// once per query, in order; only the wire interleaving differs.
+    pub fn search_all_many(&self, queries: &[SearchQuery]) -> Result<Vec<SearchCollection>> {
+        struct Partial {
+            items: Vec<SearchResult>,
+            total_results: u64,
+            pages: u32,
+            token: Option<String>,
+            done: bool,
+        }
+        let mut partials: Vec<Partial> = queries
+            .iter()
+            .map(|_| Partial {
+                items: Vec::new(),
+                total_results: 0,
+                pages: 0,
+                token: None,
+                done: false,
+            })
+            .collect();
+        loop {
+            let live: Vec<usize> = partials
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.done)
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let param_sets: Vec<Vec<(String, String)>> = live
+                .iter()
+                .map(|&i| {
+                    let mut params = queries[i].to_params();
+                    if let Some(token) = &partials[i].token {
+                        params.push(("pageToken".to_string(), token.clone()));
+                    }
+                    params
+                })
+                .collect();
+            let bodies = self.call_many(Endpoint::Search, &param_sets)?;
+            for (&i, body) in live.iter().zip(bodies) {
+                let page: SearchListResponse = Self::decode(&body)?;
+                let partial = &mut partials[i];
+                if partial.pages == 0 {
+                    partial.total_results = page.page_info.total_results;
+                }
+                partial.pages += 1;
+                partial.items.extend(page.items);
+                match page.next_page_token {
+                    Some(next) if partial.pages < 10 => partial.token = Some(next),
+                    _ => partial.done = true,
+                }
+            }
+        }
+        Ok(partials
+            .into_iter()
+            .map(|p| SearchCollection {
+                items: p.items,
+                total_results: p.total_results,
+                pages: p.pages,
+            })
+            .collect())
     }
 
     /// `Videos: list` for up to any number of IDs (chunked by 50).
@@ -436,6 +570,59 @@ mod tests {
         // Missing channel errors cleanly.
         let err = client.channel_uploads(&ChannelId::new("UCmissing")).unwrap_err();
         assert_eq!(err.api_reason(), Some(ApiErrorReason::NotFound));
+    }
+
+    /// Delegates to an inner transport but advertises a batch appetite,
+    /// so client tests can exercise the chunked `call_many` path without
+    /// a real pipelined connection underneath.
+    struct BatchHinted<T>(T, usize);
+
+    impl<T: Transport> Transport for BatchHinted<T> {
+        fn execute(
+            &self,
+            endpoint: Endpoint,
+            params: &[(String, String)],
+            api_key: &str,
+            now: Option<Timestamp>,
+        ) -> ytaudit_types::Result<(u16, String)> {
+            self.0.execute(endpoint, params, api_key, now)
+        }
+
+        fn preferred_batch(&self) -> usize {
+            self.1
+        }
+
+        fn label(&self) -> &'static str {
+            "batch-hinted"
+        }
+    }
+
+    #[test]
+    fn search_all_many_matches_per_query_search_all() {
+        let (_seq, svc) = client_with(0.3, None, 100_000_000);
+        let client = YouTubeClient::new(
+            Box::new(BatchHinted(InProcessTransport::new(Arc::clone(&svc)), 4)),
+            "key",
+        );
+        client.set_sim_time(Some(Timestamp::from_ymd(2025, 3, 1).unwrap()));
+        let queries: Vec<SearchQuery> = [Topic::Grammys, Topic::Higgs, Topic::Blm]
+            .iter()
+            .map(|&t| SearchQuery::for_topic(t))
+            .collect();
+        let batched = client.search_all_many(&queries).unwrap();
+        let units_after_batch = client.budget().units_for(Endpoint::Search);
+        for (query, batch) in queries.iter().zip(&batched) {
+            let reference = client.search_all(query).unwrap();
+            assert_eq!(batch.pages, reference.pages);
+            assert_eq!(batch.total_results, reference.total_results);
+            assert_eq!(batch.video_ids(), reference.video_ids());
+        }
+        // The batch recorded exactly one search per page, like the
+        // sequential loop: the reference runs doubled the ledger.
+        assert_eq!(
+            client.budget().units_for(Endpoint::Search),
+            units_after_batch * 2
+        );
     }
 
     #[test]

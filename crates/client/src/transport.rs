@@ -22,6 +22,37 @@ pub trait Transport: Send + Sync {
         now: Option<Timestamp>,
     ) -> Result<(u16, String)>;
 
+    /// Executes a batch of calls against one endpoint, returning one
+    /// result per parameter set, in order. The default implementation is
+    /// a sequential loop; transports with a faster path (HTTP
+    /// pipelining) override it. Implementations must behave
+    /// observably like the sequential loop — same responses in the same
+    /// order — so callers can treat the batch as an optimisation only.
+    fn execute_many(
+        &self,
+        endpoint: Endpoint,
+        param_sets: &[Vec<(String, String)>],
+        api_key: &str,
+        now: Option<Timestamp>,
+    ) -> Vec<Result<(u16, String)>> {
+        param_sets
+            .iter()
+            .map(|params| self.execute(endpoint, params, api_key, now))
+            .collect()
+    }
+
+    /// How many calls this transport would like to receive per
+    /// [`Transport::execute_many`] batch. Callers that must preserve
+    /// call-by-call failure semantics (stop issuing on a fatal error)
+    /// chunk their batches to this size: a sequential transport returns
+    /// 1 and behaves exactly like a loop of [`Transport::execute`],
+    /// while a pipelining transport returns its in-flight depth and
+    /// accepts that up to `preferred_batch - 1` calls may be issued past
+    /// a fatal error.
+    fn preferred_batch(&self) -> usize {
+        1
+    }
+
     /// A short label for diagnostics.
     fn label(&self) -> &'static str;
 }
@@ -65,6 +96,7 @@ impl Transport for InProcessTransport {
 pub struct HttpTransport {
     client: Arc<HttpClient>,
     base_url: String,
+    max_in_flight: usize,
 }
 
 impl HttpTransport {
@@ -87,18 +119,26 @@ impl HttpTransport {
         HttpTransport {
             client,
             base_url: base_url.into(),
+            max_in_flight: 1,
         }
     }
-}
 
-impl Transport for HttpTransport {
-    fn execute(
+    /// Lets [`Transport::execute_many`] keep up to `depth` requests
+    /// pipelined on one connection. Depth 1 (the default) is plain
+    /// sequential keep-alive.
+    pub fn with_max_in_flight(mut self, depth: usize) -> HttpTransport {
+        self.max_in_flight = depth.max(1);
+        self
+    }
+
+    /// Builds the URL and GET request for one API call.
+    fn build_request(
         &self,
         endpoint: Endpoint,
         params: &[(String, String)],
         api_key: &str,
         now: Option<Timestamp>,
-    ) -> Result<(u16, String)> {
+    ) -> Result<(Url, Request)> {
         let mut query = String::new();
         for (k, v) in params {
             if !query.is_empty() {
@@ -119,13 +159,79 @@ impl Transport for HttpTransport {
         if let Some(t) = now {
             request = request.with_header("x-sim-time", t.to_rfc3339());
         }
+        Ok((url, request))
+    }
+}
+
+/// Decodes an HTTP response into the transport's (status, body) pair.
+fn decode_response(response: ytaudit_net::Response) -> Result<(u16, String)> {
+    let body = String::from_utf8(response.body)
+        .map_err(|_| Error::Decode("non-UTF-8 response body".into()))?;
+    Ok((response.status.0, body))
+}
+
+impl Transport for HttpTransport {
+    fn execute(
+        &self,
+        endpoint: Endpoint,
+        params: &[(String, String)],
+        api_key: &str,
+        now: Option<Timestamp>,
+    ) -> Result<(u16, String)> {
+        let (url, request) = self.build_request(endpoint, params, api_key, now)?;
         let response = self
             .client
             .send(&url, &request)
             .map_err(|e| Error::Io(e.to_string()))?;
-        let body = String::from_utf8(response.body)
-            .map_err(|_| Error::Decode("non-UTF-8 response body".into()))?;
-        Ok((response.status.0, body))
+        decode_response(response)
+    }
+
+    fn execute_many(
+        &self,
+        endpoint: Endpoint,
+        param_sets: &[Vec<(String, String)>],
+        api_key: &str,
+        now: Option<Timestamp>,
+    ) -> Vec<Result<(u16, String)>> {
+        // All calls share one authority, so the whole batch can ride
+        // pipelined connections. Request building is infallible for the
+        // parameter sets the client produces, but a malformed one fails
+        // just its own slot, mirroring the sequential loop.
+        let mut built = Vec::with_capacity(param_sets.len());
+        for params in param_sets {
+            built.push(self.build_request(endpoint, params, api_key, now));
+        }
+        let mut url = None;
+        let requests: Vec<ytaudit_net::Request> = built
+            .iter()
+            .filter_map(|b| b.as_ref().ok())
+            .map(|(u, r)| {
+                url.get_or_insert_with(|| u.clone());
+                r.clone()
+            })
+            .collect();
+        let mut responses = match url {
+            Some(url) => self
+                .client
+                .send_pipelined(&url, &requests, self.max_in_flight)
+                .into_iter(),
+            None => Vec::new().into_iter(),
+        };
+        built
+            .into_iter()
+            .map(|b| match b {
+                Ok(_) => match responses.next() {
+                    Some(Ok(response)) => decode_response(response),
+                    Some(Err(err)) => Err(Error::Io(err.to_string())),
+                    None => Err(Error::Io("pipelined batch returned too few responses".into())),
+                },
+                Err(err) => Err(err),
+            })
+            .collect()
+    }
+
+    fn preferred_batch(&self) -> usize {
+        self.max_in_flight
     }
 
     fn label(&self) -> &'static str {
@@ -201,6 +307,38 @@ mod tests {
             // deterministic at a fixed simulated time.
             assert_eq!(a.0, b.0, "status mismatch on {endpoint:?}");
             assert_eq!(a.1, b.1, "body mismatch on {endpoint:?}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_execute_many_matches_sequential_execute() {
+        let svc = service();
+        let server = ytaudit_api::serve(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+        let sequential = HttpTransport::new(server.base_url());
+        let pipelined = HttpTransport::new(server.base_url()).with_max_in_flight(4);
+
+        let queries = ["higgs boson", "black lives matter", "brexit", "measles", "net neutrality"];
+        let param_sets: Vec<Vec<(String, String)>> = queries
+            .iter()
+            .map(|q| {
+                params(&[
+                    ("part", "snippet"),
+                    ("q", q),
+                    ("type", "video"),
+                    ("order", "date"),
+                    ("maxResults", "10"),
+                ])
+            })
+            .collect();
+        let now = Some(Timestamp::from_ymd(2025, 3, 1).unwrap());
+        let batched = pipelined.execute_many(Endpoint::Search, &param_sets, "k", now);
+        assert_eq!(batched.len(), param_sets.len());
+        for (params, result) in param_sets.iter().zip(batched) {
+            let (status, body) = result.unwrap();
+            let (ref_status, ref_body) = sequential.execute(Endpoint::Search, params, "k", now).unwrap();
+            assert_eq!(status, ref_status);
+            assert_eq!(body, ref_body, "pipelined body diverged for {params:?}");
         }
         server.shutdown();
     }

@@ -300,24 +300,34 @@ pub fn topic_window_hours(topic: Topic) -> u32 {
 /// returns the results in hour order. This is the unit the scheduler
 /// parallelizes; the sequential collector calls it once with the full
 /// `0..topic_window_hours(topic)` range, so both paths issue exactly the
-/// same queries.
+/// same queries. The hour-bin queries go through
+/// [`YouTubeClient::search_all_many`], which batches one page per bin per
+/// wave — an HTTP transport with `--in-flight N` pipelines those pages on
+/// one connection, while the in-process transport degenerates to the
+/// same sequential loop as before.
 pub fn search_hours(
     client: &YouTubeClient,
     topic: Topic,
     hours: std::ops::Range<u32>,
 ) -> Result<Vec<HourlyResult>> {
     let window_start = topic.window_start();
-    let mut results = Vec::with_capacity(hours.len());
-    for hour in hours {
-        let query = SearchQuery::for_topic(topic).hour_bin(window_start.add_hours(i64::from(hour)));
-        let collection = client.search_all(&query)?;
-        results.push(HourlyResult {
+    let hour_indices: Vec<u32> = hours.collect();
+    let queries: Vec<SearchQuery> = hour_indices
+        .iter()
+        .map(|&hour| {
+            SearchQuery::for_topic(topic).hour_bin(window_start.add_hours(i64::from(hour)))
+        })
+        .collect();
+    let collections = client.search_all_many(&queries)?;
+    Ok(hour_indices
+        .into_iter()
+        .zip(collections)
+        .map(|(hour, collection)| HourlyResult {
             hour,
             video_ids: collection.video_ids(),
             total_results: collection.total_results,
-        });
-    }
-    Ok(results)
+        })
+        .collect())
 }
 
 /// Runs a single full-window query (the naive strategy, capped at 500

@@ -9,6 +9,7 @@
 
 use crate::framing::{write_request, FrameLimits, MessageReader};
 use crate::message::{Method, Request, Response};
+use crate::pipeline::PipelinedConn;
 use crate::url::Url;
 use crate::{NetError, Result};
 use parking_lot::Mutex;
@@ -53,11 +54,17 @@ struct PooledConn {
 
 /// Lifetime connection counters: how many TCP connections the client
 /// opened versus how many requests rode an existing keep-alive
-/// connection. `reused / (opened + reused)` is the keep-alive hit rate.
+/// connection. `reused / (opened + reused)` is the keep-alive hit rate;
+/// `discarded` keeps that arithmetic honest when the idle pool overflows,
+/// and `replays` counts idempotent requests resent after a connection
+/// died under them.
 #[derive(Debug, Default)]
 pub struct PoolStats {
     opened: AtomicU64,
     reused: AtomicU64,
+    replays: AtomicU64,
+    discarded: AtomicU64,
+    depth_hwm: AtomicU64,
 }
 
 impl PoolStats {
@@ -70,6 +77,28 @@ impl PoolStats {
     /// Requests served over a reused keep-alive connection.
     pub fn reused(&self) -> u64 {
         self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Idempotent requests replayed on a fresh connection after a stale
+    /// or mid-pipeline connection failure.
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+
+    /// Healthy connections closed instead of pooled because the per-host
+    /// idle pool was full.
+    pub fn discarded(&self) -> u64 {
+        self.discarded.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of pipelined requests in flight on one connection
+    /// (1 for a purely sequential client).
+    pub fn pipeline_depth_hwm(&self) -> u64 {
+        self.depth_hwm.load(Ordering::Relaxed)
+    }
+
+    fn note_depth(&self, depth: u64) {
+        self.depth_hwm.fetch_max(depth, Ordering::Relaxed);
     }
 }
 
@@ -133,6 +162,13 @@ impl HttpClient {
         let idle = pool.entry(key.to_string()).or_default();
         if idle.len() < self.config.max_idle_per_host {
             idle.push(conn);
+        } else {
+            // The pool is full: close the socket explicitly (rather than
+            // leaking it to the OS to reap) and record the discard so
+            // reuse-rate arithmetic stays honest.
+            drop(pool);
+            let _ = conn.writer.shutdown(std::net::Shutdown::Both);
+            self.stats.discarded.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -175,19 +211,180 @@ impl HttpClient {
             Err(err) => {
                 drop(conn); // never reuse a connection in an unknown state
                             // A stale pooled connection fails on first use; replay once
-                            // on a fresh connection if the request is idempotent.
-                let retryable = reused
-                    && request.method.is_idempotent()
+                            // on a fresh connection — but only if the request is
+                            // idempotent. A POST may already have executed server-side.
+                let ambiguous = reused
                     && matches!(err, NetError::Io(_) | NetError::UnexpectedEof(_));
-                if retryable {
+                if ambiguous && request.method.is_idempotent() {
+                    self.stats.replays.fetch_add(1, Ordering::Relaxed);
                     let mut fresh = self.connect(url)?;
                     let response = self.send_once(url, request, &mut fresh)?;
                     if !response.headers.wants_close() {
                         self.checkin(&key, fresh);
                     }
                     Ok(response)
+                } else if ambiguous {
+                    // Surface the ambiguity uniformly: the caller cannot know
+                    // whether the non-idempotent request executed, and must
+                    // not assume a plain I/O error means "never sent".
+                    Err(NetError::UnexpectedEof(format!(
+                        "{} on a reused connection failed before a response arrived \
+                         (not replayed: {} is not idempotent): {err}",
+                        request.method, request.method
+                    )))
                 } else {
                     Err(err)
+                }
+            }
+        }
+    }
+
+    /// Sends a batch of requests to `url`'s authority, keeping up to
+    /// `max_in_flight` idempotent requests written ahead on one keep-alive
+    /// connection while responses are read back in order (HTTP/1.1
+    /// pipelining). Returns one result per request, in request order.
+    ///
+    /// Fallback rules:
+    ///
+    /// * Non-idempotent requests never ride a pipeline: the pipeline is
+    ///   drained first and they go through [`HttpClient::send`] alone, so
+    ///   they can never end up written-but-unanswered behind other traffic.
+    /// * On a `Connection: close`, early close, or framing error, responses
+    ///   that already arrived are kept, the connection is dropped, and the
+    ///   unanswered requests (idempotent by construction) are resubmitted on
+    ///   a fresh connection — counted in [`PoolStats::replays`].
+    /// * A *fresh* connection that dies without yielding a single response
+    ///   fails the remaining requests instead of reconnecting forever.
+    ///
+    /// `max_in_flight = 1` degenerates to sequential keep-alive requests.
+    pub fn send_pipelined(
+        &self,
+        url: &Url,
+        requests: &[Request],
+        max_in_flight: usize,
+    ) -> Vec<Result<Response>> {
+        let depth = max_in_flight.max(1);
+        let mut results = Vec::with_capacity(requests.len());
+        let mut rest = requests;
+        while let Some((first, tail)) = rest.split_first() {
+            if !first.method.is_idempotent() {
+                results.push(self.send(url, first));
+                rest = tail;
+                continue;
+            }
+            let run = rest
+                .iter()
+                .take_while(|r| r.method.is_idempotent())
+                .count();
+            let (segment, tail) = rest.split_at(run);
+            self.drive_pipeline(url, segment, depth, &mut results);
+            rest = tail;
+        }
+        results
+    }
+
+    /// Drives one all-idempotent segment through pipelined connections,
+    /// appending one result per request to `results`.
+    fn drive_pipeline(
+        &self,
+        url: &Url,
+        requests: &[Request],
+        depth: usize,
+        results: &mut Vec<Result<Response>>,
+    ) {
+        let key = url.authority();
+        let mut answered = 0usize;
+        while answered < requests.len() {
+            let remaining = &requests[answered..];
+            let (conn, reused) = match self.checkout(&key) {
+                Some(conn) => (conn, true),
+                None => match self.connect(url) {
+                    Ok(conn) => (conn, false),
+                    Err(err) => {
+                        // Cannot even dial: nothing else can complete.
+                        for _ in 0..remaining.len() {
+                            results.push(Err(err.clone()));
+                        }
+                        return;
+                    }
+                },
+            };
+            let mut pipe = PipelinedConn::from_parts(conn.reader, conn.writer, depth);
+            let mut submitted = 0usize;
+            let mut got_any = false;
+            // A failed write kills the write side only: keep draining the
+            // responses already in flight (a server that answers a request
+            // then closes, with later pipelined requests unread in its
+            // buffer, fails our write while its answers are still readable),
+            // and surface the error once the drain is done.
+            let mut write_err: Option<NetError> = None;
+            let outcome: Result<()> = loop {
+                // Keep the pipe as full as the depth bound allows.
+                while let Some(request) = remaining.get(submitted) {
+                    if write_err.is_some() || !pipe.can_submit(request.method) {
+                        break;
+                    }
+                    let mut req = request.clone();
+                    if !req.headers.contains("user-agent") {
+                        req.headers
+                            .set("user-agent", self.config.user_agent.clone());
+                    }
+                    if let Err(err) = pipe.submit(&req, &key) {
+                        write_err = Some(err);
+                        break;
+                    }
+                    submitted += 1;
+                    self.stats.note_depth(pipe.unanswered() as u64);
+                }
+                if pipe.unanswered() == 0 {
+                    match write_err.take() {
+                        // Everything on the wire is drained but the write
+                        // side is dead: reopen for the rest of the segment.
+                        Some(err) => break Err(err),
+                        None => break Ok(()), // segment submitted and answered
+                    }
+                }
+                match pipe.read_next(&self.config.limits) {
+                    Ok(response) => {
+                        if reused || got_any {
+                            self.stats.reused.fetch_add(1, Ordering::Relaxed);
+                        }
+                        got_any = true;
+                        results.push(Ok(response));
+                        answered += 1;
+                        if !pipe.is_open() {
+                            // `Connection: close`: requests written behind
+                            // this response will never be answered.
+                            break Err(NetError::UnexpectedEof(
+                                "server announced close mid-pipeline".into(),
+                            ));
+                        }
+                    }
+                    Err(err) => break Err(err),
+                }
+            };
+            match outcome {
+                Ok(()) => {
+                    // Pool the healthy connection for the next batch.
+                    if pipe.is_open() {
+                        let (reader, writer) = pipe.into_parts();
+                        self.checkin(&key, PooledConn { reader, writer });
+                    }
+                }
+                Err(err) => {
+                    let unanswered = pipe.unanswered() as u64;
+                    drop(pipe); // unknown state: never pool it
+                    if !got_any && !reused {
+                        // A fresh connection yielded nothing at all — treat
+                        // the endpoint as down rather than redialling forever.
+                        for _ in answered..requests.len() {
+                            results.push(Err(err.clone()));
+                        }
+                        return;
+                    }
+                    // Written-but-unanswered requests go around again on a
+                    // fresh connection; that is the replay path.
+                    self.stats.replays.fetch_add(unanswered, Ordering::Relaxed);
                 }
             }
         }
@@ -310,6 +507,154 @@ mod tests {
         assert_eq!(client.pool_stats().reused(), 0);
         let _ = hits;
         server2.shutdown();
+    }
+
+    #[test]
+    fn stale_replay_is_counted() {
+        let (server, _) = test_server();
+        let base = server.base_url();
+        let client = HttpClient::new();
+        client.get(&format!("{base}/x")).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        let handler = Arc::new(|_: &Request| Response::text(StatusCode::OK, "fresh"));
+        let server2 = Server::bind(&addr.to_string(), handler, ServerConfig::default()).unwrap();
+        client.get(&format!("{base}/y")).unwrap();
+        assert_eq!(client.pool_stats().replays(), 1);
+        server2.shutdown();
+    }
+
+    #[test]
+    fn non_idempotent_request_is_not_replayed_and_surfaces_eof() {
+        let (server, _) = test_server();
+        let base = server.base_url();
+        let client = HttpClient::new();
+        client.get(&format!("{base}/x")).unwrap();
+        assert_eq!(client.idle_connections(), 1);
+        // Kill the server under the pooled connection, then bring up a
+        // replacement that counts what reaches it.
+        let addr = server.local_addr();
+        server.shutdown();
+        let hits2 = Arc::new(AtomicU64::new(0));
+        let hits2_clone = Arc::clone(&hits2);
+        let handler = Arc::new(move |_: &Request| {
+            hits2_clone.fetch_add(1, Ordering::SeqCst);
+            Response::text(StatusCode::OK, "fresh")
+        });
+        let server2 = Server::bind(&addr.to_string(), handler, ServerConfig::default()).unwrap();
+        // The POST rides the stale pooled connection and dies there. It
+        // must NOT be replayed — the caller gets the ambiguity as
+        // UnexpectedEof and the replacement server never sees it.
+        let err = client
+            .post(&format!("{base}/submit"), b"payload".to_vec())
+            .unwrap_err();
+        assert!(matches!(err, NetError::UnexpectedEof(_)), "{err:?}");
+        assert_eq!(hits2.load(Ordering::SeqCst), 0);
+        assert_eq!(client.pool_stats().replays(), 0);
+        server2.shutdown();
+    }
+
+    #[test]
+    fn full_idle_pool_closes_and_counts_discards() {
+        let (server, _) = test_server();
+        let client = HttpClient::with_config(ClientConfig {
+            max_idle_per_host: 0,
+            ..ClientConfig::default()
+        });
+        for _ in 0..3 {
+            client.get(&format!("{}/x", server.base_url())).unwrap();
+        }
+        // With no idle slots every healthy connection is discarded on
+        // checkin, so each request dials fresh — and the stats say so.
+        assert_eq!(client.idle_connections(), 0);
+        assert_eq!(client.pool_stats().opened(), 3);
+        assert_eq!(client.pool_stats().reused(), 0);
+        assert_eq!(client.pool_stats().discarded(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_batch_round_trips_in_order() {
+        let (server, _) = test_server();
+        let client = HttpClient::new();
+        let url = crate::url::Url::parse(&server.base_url()).unwrap();
+        let requests: Vec<Request> = (0..10)
+            .map(|i| {
+                Request::get("/echo").with_query(
+                    crate::url::QueryString::new().with("i", i.to_string()),
+                )
+            })
+            .collect();
+        let results = client.send_pipelined(&url, &requests, 4);
+        assert_eq!(results.len(), 10);
+        for (i, result) in results.iter().enumerate() {
+            let resp = result.as_ref().unwrap();
+            assert_eq!(resp.body_text().unwrap(), format!("/echo?i={i}"));
+        }
+        // One dial, everything else rode the pipeline; the gauge saw the
+        // configured depth but never more.
+        assert_eq!(client.pool_stats().opened(), 1);
+        assert_eq!(client.pool_stats().reused(), 9);
+        assert_eq!(client.pool_stats().pipeline_depth_hwm(), 4);
+        assert_eq!(server.stats().connections.load(Ordering::SeqCst), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn depth_one_pipelining_degenerates_to_sequential() {
+        let (server, _) = test_server();
+        let client = HttpClient::new();
+        let url = crate::url::Url::parse(&server.base_url()).unwrap();
+        let requests: Vec<Request> = (0..4).map(|_| Request::get("/x")).collect();
+        let results = client.send_pipelined(&url, &requests, 1);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(client.pool_stats().pipeline_depth_hwm(), 1);
+        assert_eq!(client.pool_stats().opened(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_batch_sends_posts_alone() {
+        let (server, hits) = test_server();
+        let client = HttpClient::new();
+        let url = crate::url::Url::parse(&server.base_url()).unwrap();
+        let requests = vec![
+            Request::get("/a"),
+            Request::post("/submit", b"body".to_vec()),
+            Request::get("/b"),
+        ];
+        let results = client.send_pipelined(&url, &requests, 8);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        // The POST never shared a pipeline: each request here is its own
+        // single-request segment, so the depth gauge never left 1.
+        assert_eq!(client.pool_stats().pipeline_depth_hwm(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_close_mid_pipeline_resubmits_unanswered_requests() {
+        let (server, _) = test_server();
+        let client = HttpClient::new();
+        let url = crate::url::Url::parse(&server.base_url()).unwrap();
+        // Request 1 answers with `Connection: close`; requests 2 and 3 are
+        // already written behind it and must be resubmitted on a fresh
+        // connection.
+        let requests = vec![
+            Request::get("/a"),
+            Request::get("/close"),
+            Request::get("/b"),
+            Request::get("/c"),
+        ];
+        let results = client.send_pipelined(&url, &requests, 4);
+        assert_eq!(results.len(), 4);
+        for result in &results {
+            assert_eq!(result.as_ref().unwrap().status, StatusCode::OK);
+        }
+        assert_eq!(client.pool_stats().replays(), 2);
+        assert_eq!(client.pool_stats().opened(), 2);
+        assert_eq!(server.stats().connections.load(Ordering::SeqCst), 2);
+        server.shutdown();
     }
 
     #[test]

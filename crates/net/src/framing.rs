@@ -53,6 +53,12 @@ impl<R: Read> MessageReader<R> {
         }
     }
 
+    /// Whether bytes are already buffered from the stream — i.e. at least
+    /// part of another pipelined message has arrived. Never blocks.
+    pub fn has_buffered_input(&self) -> bool {
+        !self.inner.buffer().is_empty()
+    }
+
     /// Reads one CRLF-terminated line (LF alone is tolerated, CR stripped),
     /// enforcing `limit` bytes. Returns `None` on clean EOF at a message
     /// boundary.

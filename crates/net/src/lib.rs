@@ -16,6 +16,9 @@
 //! * [`server`] — a blocking, thread-pool TCP server with keep-alive and
 //!   graceful shutdown;
 //! * [`client`] — a blocking client with per-host connection reuse;
+//! * [`pipeline`] — bounded HTTP/1.1 request pipelining on one keep-alive
+//!   connection, with strict rules about what may ride a pipeline and how
+//!   unanswered requests are resubmitted when a connection dies;
 //! * [`resilience`] — retry policies with exponential backoff plus a token
 //!   bucket rate limiter, the two mechanisms a well-behaved API client
 //!   needs when a quota-priced endpoint sits on the other side.
@@ -30,11 +33,13 @@
 pub mod client;
 pub mod framing;
 pub mod message;
+pub mod pipeline;
 pub mod resilience;
 pub mod server;
 pub mod url;
 
 pub use client::{HttpClient, PoolStats};
+pub use pipeline::{PipelinedConn, SubmitRefusal};
 pub use message::{Headers, Method, Request, Response, StatusCode};
 pub use resilience::{Backoff, RetryPolicy, TokenBucket};
 pub use server::{Handler, Server, ServerConfig, ServerHandle};

@@ -13,6 +13,7 @@ use crate::{NetError, Result};
 use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,6 +43,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Per-read socket timeout; a stalled peer cannot pin a worker forever.
     pub read_timeout: Duration,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it. Without this, a client that connects
+    /// and goes silent pins a worker for the full `read_timeout` — per
+    /// connection, forever under reconnects.
+    pub idle_timeout: Duration,
     /// Maximum requests served on one keep-alive connection.
     pub max_requests_per_connection: usize,
     /// Frame limits applied to incoming requests.
@@ -55,6 +61,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
             max_requests_per_connection: 10_000,
             limits: FrameLimits::default(),
             queue_depth: 128,
@@ -234,8 +241,14 @@ fn serve_connection(
     let mut writer = std::io::BufWriter::new(write_half);
     let mut reader = MessageReader::new(stream);
     for served in 0..config.max_requests_per_connection {
-        if !running.load(Ordering::SeqCst) && served > 0 {
+        if !running.load(Ordering::SeqCst) && served > 0 && !reader.has_buffered_input() {
+            // Graceful shutdown: requests already pipelined onto this
+            // connection (bytes sitting in the read buffer) are served
+            // before closing; anything not yet received is abandoned.
             break;
+        }
+        if !await_request_start(&reader, writer.get_ref(), config) {
+            break; // idle timeout, clean close, or socket error
         }
         let request = match reader.read_request(&config.limits) {
             Ok(Some(req)) => req,
@@ -265,7 +278,7 @@ fn serve_connection(
         stats.requests.fetch_add(1, Ordering::Relaxed);
         let keep_alive = !client_wants_close
             && !response.headers.wants_close()
-            && running.load(Ordering::SeqCst)
+            && (running.load(Ordering::SeqCst) || reader.has_buffered_input())
             && served + 1 < config.max_requests_per_connection;
         if write_response(&mut writer, &response, keep_alive).is_err() {
             break;
@@ -274,6 +287,59 @@ fn serve_connection(
             break;
         }
     }
+    linger_close(writer.get_ref());
+}
+
+/// Closes a connection gracefully: announce EOF with a write-side
+/// shutdown, then drain whatever the peer already sent. Dropping a
+/// socket with unread bytes (requests a client pipelined behind the one
+/// being answered) makes the kernel send a TCP RST, which can destroy
+/// responses still in the peer's receive path — the drain keeps the
+/// close orderly so every response written actually arrives.
+fn linger_close(socket: &TcpStream) {
+    let _ = socket.shutdown(Shutdown::Write);
+    if socket
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        return;
+    }
+    let mut sink = [0u8; 4096];
+    let mut read_half: &TcpStream = socket;
+    // Bounded drain: a peer streaming data forever must not pin the
+    // worker; 64 reads of goodwill is plenty for pipelined stragglers.
+    for _ in 0..64 {
+        match read_half.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Waits up to `idle_timeout` for the next request's first byte. Uses a
+/// one-byte `peek` (which never consumes framing bytes) under a shortened
+/// socket read timeout, restoring `read_timeout` before the actual read —
+/// so a silent kept-alive peer costs a worker at most `idle_timeout`,
+/// while a slow-but-active peer still gets the full `read_timeout` per
+/// read. Returns `false` when the peer closed, errored, or stayed silent
+/// past the idle window.
+fn await_request_start(
+    reader: &MessageReader<TcpStream>,
+    socket: &TcpStream,
+    config: &ServerConfig,
+) -> bool {
+    if reader.has_buffered_input() {
+        return true; // a pipelined request is already waiting
+    }
+    // A zero read timeout means "block forever" to the OS; clamp away.
+    let idle = config.idle_timeout.max(Duration::from_millis(1));
+    if socket.set_read_timeout(Some(idle)).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let ready = matches!(socket.peek(&mut probe), Ok(n) if n > 0);
+    let _ = socket.set_read_timeout(Some(config.read_timeout));
+    ready
 }
 
 #[cfg(test)]
@@ -409,6 +475,98 @@ mod tests {
         handle.shutdown();
         // After shutdown new connections are refused or reset quickly; we
         // only assert the call returns (threads joined, no deadlock).
+    }
+
+    #[test]
+    fn idle_keep_alive_connection_is_closed_promptly() {
+        let handler = Arc::new(|_: &Request| Response::text(StatusCode::OK, "ok"));
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(100),
+            read_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", handler, config).unwrap();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut write = stream.try_clone().unwrap();
+        let mut reader = MessageReader::new(stream);
+        write_request(&mut write, &Request::get("/x"), "h").unwrap();
+        let resp = reader.read_response(&FrameLimits::default(), false).unwrap();
+        assert_eq!(resp.headers.get("connection"), Some("keep-alive"));
+        // Now go silent. The server should close the connection after the
+        // idle timeout — far sooner than the 30 s read timeout.
+        let started = std::time::Instant::now();
+        let err = reader.read_response(&FrameLimits::default(), false);
+        assert!(err.is_err(), "expected EOF, got {err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "idle close took {:?}",
+            started.elapsed()
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_timeout_applies_to_silent_first_request_too() {
+        let handler = Arc::new(|_: &Request| Response::text(StatusCode::OK, "ok"));
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(100),
+            read_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", handler, config).unwrap();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let started = std::time::Instant::now();
+        let mut reader = MessageReader::new(stream);
+        // Never send anything; the server should hang up on us.
+        assert!(reader.read_response(&FrameLimits::default(), false).is_err());
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "silent-connect close took {:?}",
+            started.elapsed()
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_requests_already_pipelined() {
+        use std::sync::mpsc;
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        let handler = Arc::new(move |req: &Request| {
+            if req.path == "/gate" {
+                entered_tx.send(()).unwrap();
+                release_rx.lock().unwrap().recv().unwrap();
+            }
+            Response::text(StatusCode::OK, format!("served {}", req.path))
+        });
+        let handle = Arc::new(Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap());
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut write = stream.try_clone().unwrap();
+        // One write syscall carrying three pipelined requests: the server's
+        // first buffer fill pulls all of them into userspace.
+        let mut burst = Vec::new();
+        for path in ["/gate", "/b", "/c"] {
+            write_request(&mut burst, &Request::get(path), "h").unwrap();
+        }
+        write.write_all(&burst).unwrap();
+        // Wait until the server is parked inside the handler (requests /b
+        // and /c now sit in its read buffer), then start a graceful
+        // shutdown from another thread.
+        entered_rx.recv().unwrap();
+        let shutdown_handle = Arc::clone(&handle);
+        let shutdown = std::thread::spawn(move || shutdown_handle.shutdown());
+        std::thread::sleep(Duration::from_millis(100));
+        release_tx.send(()).unwrap();
+        // All three pipelined requests are answered; the last one closes.
+        let mut reader = MessageReader::new(stream);
+        for (i, path) in ["/gate", "/b", "/c"].iter().enumerate() {
+            let resp = reader.read_response(&FrameLimits::default(), false).unwrap();
+            assert_eq!(resp.status, StatusCode::OK, "response {i}");
+            assert_eq!(resp.body_text().unwrap(), format!("served {path}"));
+        }
+        assert_eq!(handle.stats().requests.load(Ordering::Relaxed), 3);
+        shutdown.join().unwrap();
     }
 
     #[test]

@@ -8,16 +8,33 @@ use ytaudit_api::ApiService;
 use ytaudit_client::{HttpTransport, InProcessTransport, Transport};
 use ytaudit_net::HttpClient;
 
+/// Connection-level totals aggregated across every transport a factory
+/// has built. In-process transports have no connections and report the
+/// default (all zero).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionTotals {
+    /// TCP connections opened.
+    pub opened: u64,
+    /// Requests served over a reused keep-alive connection.
+    pub reused: u64,
+    /// Requests resubmitted after a connection died under them (stale
+    /// keep-alive replays and pipeline resubmissions).
+    pub replayed: u64,
+    /// Healthy connections closed because an idle pool was full.
+    pub discarded: u64,
+    /// Highest pipeline depth any connection reached (1 = plain
+    /// sequential keep-alive).
+    pub pipeline_depth: u64,
+}
+
 /// Builds one transport per worker.
 pub trait TransportFactory: Send + Sync {
     /// A fresh transport for one worker's client.
     fn transport(&self) -> Box<dyn Transport>;
 
-    /// Keep-alive connection totals across every transport built so far:
-    /// `(opened, reused)`. In-process transports have no connections and
-    /// report zeros.
-    fn connection_stats(&self) -> (u64, u64) {
-        (0, 0)
+    /// Connection totals across every transport built so far.
+    fn connection_stats(&self) -> ConnectionTotals {
+        ConnectionTotals::default()
     }
 }
 
@@ -45,6 +62,7 @@ impl TransportFactory for InProcessFactory {
 /// client to aggregate connection-reuse counters after the run.
 pub struct HttpFactory {
     base_url: String,
+    max_in_flight: usize,
     clients: Mutex<Vec<Arc<HttpClient>>>,
 }
 
@@ -53,8 +71,17 @@ impl HttpFactory {
     pub fn new(base_url: impl Into<String>) -> HttpFactory {
         HttpFactory {
             base_url: base_url.into(),
+            max_in_flight: 1,
             clients: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Lets each worker's transport keep up to `depth` requests
+    /// pipelined on its connection (depth 1, the default, is plain
+    /// sequential keep-alive).
+    pub fn with_max_in_flight(mut self, depth: usize) -> HttpFactory {
+        self.max_in_flight = depth.max(1);
+        self
     }
 }
 
@@ -62,21 +89,23 @@ impl TransportFactory for HttpFactory {
     fn transport(&self) -> Box<dyn Transport> {
         let client = Arc::new(HttpClient::new());
         self.clients.lock().push(Arc::clone(&client));
-        Box::new(HttpTransport::with_shared_client(
-            self.base_url.clone(),
-            client,
-        ))
+        Box::new(
+            HttpTransport::with_shared_client(self.base_url.clone(), client)
+                .with_max_in_flight(self.max_in_flight),
+        )
     }
 
-    fn connection_stats(&self) -> (u64, u64) {
+    fn connection_stats(&self) -> ConnectionTotals {
         let clients = self.clients.lock();
-        let mut opened = 0;
-        let mut reused = 0;
+        let mut totals = ConnectionTotals::default();
         for client in clients.iter() {
             let stats = client.pool_stats();
-            opened += stats.opened();
-            reused += stats.reused();
+            totals.opened += stats.opened();
+            totals.reused += stats.reused();
+            totals.replayed += stats.replays();
+            totals.discarded += stats.discarded();
+            totals.pipeline_depth = totals.pipeline_depth.max(stats.pipeline_depth_hwm());
         }
-        (opened, reused)
+        totals
     }
 }

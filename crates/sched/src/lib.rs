@@ -41,7 +41,7 @@ pub mod retry;
 pub mod scheduler;
 pub mod shard;
 
-pub use factory::{HttpFactory, InProcessFactory, TransportFactory};
+pub use factory::{ConnectionTotals, HttpFactory, InProcessFactory, TransportFactory};
 pub use governor::{GovernedTransport, QuotaGovernor};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use reorder::ReorderBuffer;

@@ -2,6 +2,7 @@
 //! fixed-bucket latency histograms, cheap enough to update on every
 //! request from every worker, snapshotted for display.
 
+use crate::factory::ConnectionTotals;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use ytaudit_api::Endpoint;
@@ -142,6 +143,9 @@ pub struct MetricsRegistry {
     throttled_us: AtomicU64,
     connections_opened: AtomicU64,
     connections_reused: AtomicU64,
+    connections_replayed: AtomicU64,
+    connections_discarded: AtomicU64,
+    pipeline_depth: AtomicU64,
     latency: [LatencyHistogram; 6],
 }
 
@@ -190,11 +194,18 @@ impl MetricsRegistry {
         );
     }
 
-    /// Records keep-alive pool totals (absolute values, typically set
-    /// once from the transport factory after a run).
-    pub fn set_connections(&self, opened: u64, reused: u64) {
-        self.connections_opened.store(opened, Ordering::Relaxed);
-        self.connections_reused.store(reused, Ordering::Relaxed);
+    /// Records keep-alive pool totals (absolute values — refreshed from
+    /// the transport factory during the run for live display and once
+    /// more after it finishes).
+    pub fn set_connections(&self, totals: ConnectionTotals) {
+        self.connections_opened.store(totals.opened, Ordering::Relaxed);
+        self.connections_reused.store(totals.reused, Ordering::Relaxed);
+        self.connections_replayed
+            .store(totals.replayed, Ordering::Relaxed);
+        self.connections_discarded
+            .store(totals.discarded, Ordering::Relaxed);
+        self.pipeline_depth
+            .store(totals.pipeline_depth, Ordering::Relaxed);
     }
 
     /// Records one request's latency against its endpoint.
@@ -214,6 +225,9 @@ impl MetricsRegistry {
             throttled: Duration::from_micros(self.throttled_us.load(Ordering::Relaxed)),
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
             connections_reused: self.connections_reused.load(Ordering::Relaxed),
+            connections_replayed: self.connections_replayed.load(Ordering::Relaxed),
+            connections_discarded: self.connections_discarded.load(Ordering::Relaxed),
+            pipeline_depth: self.pipeline_depth.load(Ordering::Relaxed),
             endpoints: ENDPOINTS
                 .iter()
                 .map(|&e| EndpointLatency {
@@ -256,6 +270,13 @@ pub struct MetricsSnapshot {
     pub connections_opened: u64,
     /// Requests served over a reused keep-alive connection.
     pub connections_reused: u64,
+    /// Requests resubmitted after a connection died under them.
+    pub connections_replayed: u64,
+    /// Healthy connections closed because an idle pool was full.
+    pub connections_discarded: u64,
+    /// Highest pipeline depth any connection reached (0 before any
+    /// HTTP traffic, 1 = plain sequential keep-alive).
+    pub pipeline_depth: u64,
     /// Per-endpoint latency, endpoints with traffic only.
     pub endpoints: Vec<EndpointLatency>,
 }
@@ -269,6 +290,9 @@ impl MetricsSnapshot {
         );
         if self.throttled > Duration::ZERO {
             line.push_str(&format!(", throttled {:.1}s", self.throttled.as_secs_f64()));
+        }
+        if self.pipeline_depth > 1 {
+            line.push_str(&format!(", pipeline depth {}", self.pipeline_depth));
         }
         line
     }
@@ -292,8 +316,15 @@ impl MetricsSnapshot {
         ));
         if self.connections_opened > 0 {
             out.push_str(&format!(
-                "  conns   opened    {:>8}   reused  {:>6}\n",
-                self.connections_opened, self.connections_reused
+                "  conns   opened    {:>8}   reused  {:>6}   replayed {:>6}   discarded {:>6}\n",
+                self.connections_opened,
+                self.connections_reused,
+                self.connections_replayed,
+                self.connections_discarded
+            ));
+            out.push_str(&format!(
+                "  pipe    depth hwm {:>8}\n",
+                self.pipeline_depth
             ));
         }
         if !self.endpoints.is_empty() {

@@ -378,6 +378,10 @@ impl<'f> Scheduler<'f> {
             // to commit arriving in-order pairs (in-flight work is not
             // thrown away) unless the sink itself failed.
             for done in rx {
+                // Refresh connection totals before committing so a sink
+                // that prints the live metrics line (the CLI does) sees
+                // current pool and pipeline-depth numbers.
+                self.metrics.set_connections(self.factory.connection_stats());
                 for (_, pair) in reorder.offer(done.seq, done) {
                     if sink_broken {
                         continue;
@@ -408,8 +412,7 @@ impl<'f> Scheduler<'f> {
             }
         });
 
-        let stats = self.factory.connection_stats();
-        self.metrics.set_connections(stats.0, stats.1);
+        self.metrics.set_connections(self.factory.connection_stats());
 
         let mut stop = shared.into_inner().stop;
         if stop.is_none() && !reorder.is_drained() {

@@ -1,0 +1,92 @@
+//! Pipelined collection ≡ sequential collection, end to end over HTTP:
+//! `collect --in-flight N` must produce a `.yts` store that is
+//! byte-identical to the depth-1 (plain keep-alive) run and to the
+//! in-process sequential collector, for every depth the CLI would
+//! accept — pipelining is a transport optimisation and must never show
+//! up in the dataset.
+
+use std::sync::Arc;
+use ytaudit::api::{serve, ApiService};
+use ytaudit::core::testutil::test_client;
+use ytaudit::core::{Collector, CollectorConfig};
+use ytaudit::platform::{Platform, SimClock};
+use ytaudit::sched::{HttpFactory, Scheduler, SchedulerConfig, TransportFactory};
+use ytaudit::store::{Store, TempDir};
+use ytaudit::types::Topic;
+
+const SCALE: f64 = 0.08;
+const KEY: &str = "research-key";
+const WORKERS: usize = 3;
+
+fn config() -> CollectorConfig {
+    CollectorConfig {
+        fetch_comments: false,
+        ..CollectorConfig::quick(vec![Topic::Higgs, Topic::Blm], 2)
+    }
+}
+
+fn service() -> Arc<ApiService> {
+    let service = Arc::new(ApiService::new(
+        Arc::new(Platform::small(SCALE)),
+        SimClock::at_audit_start(),
+    ));
+    service.quota().register(KEY, u64::MAX / 2);
+    service
+}
+
+#[test]
+fn pipelined_stores_are_byte_identical_for_depths_one_through_eight() {
+    let dir = TempDir::new("pipeline-equiv");
+
+    // The in-process sequential reference, committed through a store
+    // sink — the same anchor the scheduler-equivalence suite uses.
+    let seq_path = dir.file("sequential.yts");
+    {
+        let (client, _service) = test_client(SCALE);
+        let mut store = Store::create(&seq_path).unwrap();
+        Collector::new(&client, config())
+            .run_with_sink(&mut store)
+            .unwrap();
+        assert!(store.complete());
+    }
+    let seq_bytes = std::fs::read(&seq_path).unwrap();
+
+    for depth in [1usize, 2, 4, 8] {
+        let svc = service();
+        let server = serve(Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+        let factory = HttpFactory::new(server.base_url()).with_max_in_flight(depth);
+        let scheduler = Scheduler::new(&factory, config(), SchedulerConfig::new(WORKERS, KEY));
+        let path = dir.file(&format!("depth{depth}.yts"));
+        let mut store = Store::create(&path).unwrap();
+        let report = scheduler.run(&mut store).unwrap();
+        assert!(report.completed(), "depth={depth}: {:?}", report.outcome);
+        assert!(store.complete());
+        drop(store);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            seq_bytes,
+            "store bytes diverge at --in-flight {depth}"
+        );
+
+        // The depth bound is respected, and depths above one actually
+        // pipelined (the hourly search waves are far wider than 8).
+        let totals = factory.connection_stats();
+        assert!(
+            totals.pipeline_depth <= depth as u64,
+            "depth={depth}: hwm {}",
+            totals.pipeline_depth
+        );
+        if depth > 1 {
+            assert!(
+                totals.pipeline_depth >= 2,
+                "depth={depth} never pipelined (hwm {})",
+                totals.pipeline_depth
+            );
+        }
+        assert_eq!(
+            report.metrics.pipeline_depth, totals.pipeline_depth,
+            "metrics must carry the factory's depth high-water mark"
+        );
+        server.shutdown();
+    }
+}
