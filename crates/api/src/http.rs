@@ -30,20 +30,37 @@ pub fn serve_with_config(
     Server::bind(addr, handler, config)
 }
 
-fn route(service: &ApiService, req: &Request) -> Response {
+/// Maps a request path to its API endpoint, or `None` for anything that
+/// is not a `/youtube/v3/<endpoint>` route. Front ends (e.g. the tenant
+/// admission layer in `ytaudit-sched`) use this to price a request in
+/// quota units *before* deciding whether to route it at all.
+pub fn endpoint_for_path(path: &str) -> Option<Endpoint> {
+    let rest = path.strip_prefix("/youtube/v3/")?;
+    match rest {
+        "search" => Some(Endpoint::Search),
+        "videos" => Some(Endpoint::Videos),
+        "channels" => Some(Endpoint::Channels),
+        "playlistItems" => Some(Endpoint::PlaylistItems),
+        "commentThreads" => Some(Endpoint::CommentThreads),
+        "comments" => Some(Endpoint::Comments),
+        _ => None,
+    }
+}
+
+/// Routes one parsed request to the service and renders the response.
+/// Public so alternative front ends (the event-loop server, the tenant
+/// admission layer) can reuse the exact routing table the blocking
+/// server uses.
+pub fn route(service: &ApiService, req: &Request) -> Response {
     match (req.method, req.path.as_str()) {
         (ytaudit_net::Method::Get, "/healthz") => Response::text(StatusCode::OK, "ok"),
         (ytaudit_net::Method::Get, "/admin/clock") => clock_body(service),
         (ytaudit_net::Method::Post, "/admin/clock") => set_clock(service, req),
         (ytaudit_net::Method::Get, path) if path.starts_with("/youtube/v3/") => {
-            let endpoint = match &path["/youtube/v3/".len()..] {
-                "search" => Endpoint::Search,
-                "videos" => Endpoint::Videos,
-                "channels" => Endpoint::Channels,
-                "playlistItems" => Endpoint::PlaylistItems,
-                "commentThreads" => Endpoint::CommentThreads,
-                "comments" => Endpoint::Comments,
-                other => {
+            let endpoint = match endpoint_for_path(path) {
+                Some(endpoint) => endpoint,
+                None => {
+                    let other = &path["/youtube/v3/".len()..];
                     let (code, body) = error_response(&Error::api(
                         ApiErrorReason::NotFound,
                         format!("Unknown endpoint {other:?}."),

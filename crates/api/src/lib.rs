@@ -22,6 +22,6 @@ pub mod quota;
 pub mod resources;
 pub mod service;
 
-pub use http::{serve, serve_with_config};
+pub use http::{endpoint_for_path, route, serve, serve_with_config};
 pub use quota::{Endpoint, QuotaLedger, DEFAULT_DAILY_QUOTA, RESEARCHER_DAILY_QUOTA};
 pub use service::{ApiRequest, ApiService, FaultConfig};

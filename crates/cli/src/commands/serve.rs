@@ -1,10 +1,19 @@
-//! `ytaudit serve` — run the simulated Data API on a real socket.
+//! `ytaudit serve` — run the simulated Data API on a real socket,
+//! behind either the blocking thread-pool server or the event-loop
+//! server, with optional multi-tenant admission and a built-in
+//! closed-loop load bench.
 
 use crate::args::{ArgError, Args};
 use std::sync::Arc;
+use std::time::Duration;
 use ytaudit_api::service::FaultConfig;
 use ytaudit_api::{ApiService, RESEARCHER_DAILY_QUOTA};
+use ytaudit_net::evloop::EvloopServer;
+use ytaudit_net::loadgen::{self, LoadConfig, LoadReport};
+use ytaudit_net::server::{Server, ServerConfig};
+use ytaudit_net::{Request, Url};
 use ytaudit_platform::{Corpus, CorpusConfig, Platform, SimClock};
+use ytaudit_sched::{MetricsRegistry, QuotaGovernor, ServeFront, TenantRegistry};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -18,13 +27,34 @@ OPTIONS:
                             (repeatable; all other keys get 10 000/day)
     --miss-rate <f64>       Videos.list metadata-miss rate (default 0.012)
     --error-rate <f64>      transient 500 rate             (default 0.0)
+    --evloop                serve on the event-loop server (single thread,
+                            readiness-polled) instead of the thread pool
+    --workers <N>           thread-pool workers            (default 4)
+    --idle-timeout-ms <N>   keep-alive idle timeout        (default 5000)
+    --max-conns <N>         connection cap; arrivals past it are shed
+                            with 429 + Retry-After         (default 8192)
+    --max-in-flight <N>     global in-flight request cap; 0 = uncapped
+    --tenant-key <KEY>      admit KEY through its own quota bucket
+                            (repeatable; unknown keys use service auth)
+    --tenant-rate <f64>     per-tenant refill in quota units/sec
+                            (default 1000; burst = 10x rate)
 
+BENCH MODE:
+    --bench                 bind BOTH servers on ephemeral ports, drive
+                            each with a closed-loop load generator, write
+                            a report, and exit (nonzero on any 5xx or
+                            connection reset)
+    --bench-conns <N>       concurrent keep-alive connections (default 512)
+    --bench-secs <N>        seconds per server                (default 5)
+    --bench-out <PATH>      report path         (default BENCH_serve.json)
+
+Tenanted serving prices each request in quota units (search 100, all
+other endpoints 1) and sheds with 429 + Retry-After when a tenant's
+bucket is empty. GET /metrics renders admission and latency counters.
 The server understands the X-Sim-Time request header and the
 POST /admin/clock endpoint for time travel; see README.md.";
 
-/// Runs the command (blocks until ctrl-c).
-pub fn run(args: &Args) -> Result<(), ArgError> {
-    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+fn build_service(args: &Args) -> Result<Arc<ApiService>, ArgError> {
     let scale: f64 = args.get_parsed("scale", 1.0)?;
     let mut config = CorpusConfig {
         scale,
@@ -54,12 +84,210 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         service.quota().register(key, RESEARCHER_DAILY_QUOTA);
         eprintln!("[serve] registered researcher key {key:?}");
     }
-    let server = ytaudit_api::serve(service, &addr)
-        .map_err(|e| ArgError(format!("cannot bind {addr}: {e}")))?;
-    println!("listening on {}", server.base_url());
-    println!("try: curl '{}/youtube/v3/search?part=snippet&q=higgs+boson&type=video&key=demo'", server.base_url());
-    // Block forever; the process exits on signal.
+    Ok(service)
+}
+
+fn build_front(args: &Args, service: &Arc<ApiService>) -> Result<Arc<ServeFront>, ArgError> {
+    let max_in_flight: u64 = args.get_parsed("max-in-flight", 0u64)?;
+    let tenant_rate: f64 = args.get_parsed("tenant-rate", 1000.0)?;
+    let front = Arc::new(ServeFront::new(
+        Arc::clone(service),
+        Arc::new(TenantRegistry::new()),
+        Arc::new(MetricsRegistry::new()),
+        max_in_flight,
+    ));
+    for key in args.get_all("tenant-key") {
+        front.tenants().register(
+            key,
+            QuotaGovernor::per_second(tenant_rate, tenant_rate * 10.0),
+        );
+        eprintln!("[serve] tenant {key:?} admitted at {tenant_rate} units/sec");
+    }
+    Ok(front)
+}
+
+fn server_config(args: &Args) -> Result<ServerConfig, ArgError> {
+    let defaults = ServerConfig::default();
+    let workers = args.get_parsed("workers", defaults.workers)?;
+    let idle_timeout = Duration::from_millis(args.get_parsed("idle-timeout-ms", 5_000u64)?);
+    let max_connections = args.get_parsed("max-conns", defaults.max_connections)?;
+    Ok(ServerConfig {
+        workers,
+        idle_timeout,
+        max_connections,
+        ..defaults
+    })
+}
+
+fn serve_forever(base_url: &str) -> ! {
+    println!(
+        "try: curl '{base_url}/youtube/v3/search?part=snippet&q=higgs+boson&type=video&key=demo'"
+    );
+    println!("     curl '{base_url}/metrics'");
+    // Block forever; the process exits on signal. The server handle
+    // stays alive in the caller's scope.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+/// Runs the command (blocks until ctrl-c; `--bench` runs to completion).
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    if args.flag("bench") {
+        return bench(args);
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let service = build_service(args)?;
+    let front = build_front(args, &service)?;
+    let config = server_config(args)?;
+    if args.flag("evloop") {
+        let server = EvloopServer::bind(&addr, front, config)
+            .map_err(|e| ArgError(format!("cannot bind {addr}: {e}")))?;
+        println!("listening on {} (event loop)", server.base_url());
+        serve_forever(&server.base_url())
+    } else {
+        let workers = config.workers;
+        let server = Server::bind(&addr, front, config)
+            .map_err(|e| ArgError(format!("cannot bind {addr}: {e}")))?;
+        println!("listening on {} ({workers} workers)", server.base_url());
+        serve_forever(&server.base_url())
+    }
+}
+
+/// The request every bench iteration issues: a cheap (1-unit)
+/// Videos.list call, so the measurement stresses the server loop, not
+/// the corpus.
+fn bench_request(base_url: &str) -> Result<(String, Request), ArgError> {
+    let url = Url::parse(&format!(
+        "{base_url}/youtube/v3/videos?part=id&id=benchvid&key=bench"
+    ))
+    .map_err(|e| ArgError(format!("bench url: {e}")))?;
+    let request = Request::get(url.path.clone()).with_query(url.query.clone());
+    Ok((url.authority(), request))
+}
+
+fn drive(label: &str, base_url: &str, config: &LoadConfig) -> Result<LoadReport, ArgError> {
+    let (authority, request) = bench_request(base_url)?;
+    eprintln!(
+        "[bench] {label}: {} connections for {:?}…",
+        config.connections, config.duration
+    );
+    let report = loadgen::run(&authority, &request, config)
+        .map_err(|e| ArgError(format!("bench against {label}: {e}")))?;
+    eprintln!(
+        "[bench] {label}: {} requests, {:.0} req/s, p50 {}µs p99 {}µs p999 {}µs, \
+         {} shed, {} 5xx, {} resets",
+        report.requests,
+        report.req_per_sec(),
+        report.p50_us(),
+        report.p99_us(),
+        report.p999_us(),
+        report.count(429),
+        report.count_5xx(),
+        report.resets
+    );
+    Ok(report)
+}
+
+fn report_json(label: &str, connections: usize, report: &LoadReport) -> String {
+    format!(
+        "  \"{label}\": {{\n    \"connections\": {},\n    \"requests\": {},\n    \
+         \"elapsed_secs\": {:.3},\n    \"req_per_sec\": {:.1},\n    \
+         \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}},\n    \
+         \"status_200\": {},\n    \"status_429\": {},\n    \"status_5xx\": {},\n    \
+         \"resets\": {},\n    \"abandoned\": {}\n  }}",
+        connections,
+        report.requests,
+        report.elapsed.as_secs_f64(),
+        report.req_per_sec(),
+        report.p50_us(),
+        report.p99_us(),
+        report.p999_us(),
+        report.max_us(),
+        report.count(200),
+        report.count(429),
+        report.count_5xx(),
+        report.resets,
+        report.abandoned,
+    )
+}
+
+fn bench(args: &Args) -> Result<(), ArgError> {
+    let conns: usize = args.get_parsed("bench-conns", 512usize)?;
+    let secs: u64 = args.get_parsed("bench-secs", 5u64)?;
+    let out = args
+        .get("bench-out")
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
+    let service = build_service(args)?;
+    // The bench key gets an effectively bottomless service-side ledger
+    // and an unlimited tenant bucket: the bench measures the serving
+    // path, not quota behavior.
+    service.quota().register("bench", u64::MAX / 2);
+    let mut config = server_config(args)?;
+    // Both servers must hold every bench connection at once.
+    config.max_connections = config.max_connections.max(conns + 16);
+
+    // Like-for-like: each server gets its own front (fresh counters),
+    // same service, same config.
+    let evloop_front = build_front(args, &service)?;
+    evloop_front
+        .tenants()
+        .register("bench", QuotaGovernor::unlimited());
+    let evloop = EvloopServer::bind("127.0.0.1:0", evloop_front, config.clone())
+        .map_err(|e| ArgError(format!("cannot bind event-loop server: {e}")))?;
+
+    let blocking_front = build_front(args, &service)?;
+    blocking_front
+        .tenants()
+        .register("bench", QuotaGovernor::unlimited());
+    let blocking = Server::bind("127.0.0.1:0", blocking_front, config.clone())
+        .map_err(|e| ArgError(format!("cannot bind blocking server: {e}")))?;
+
+    let load = LoadConfig {
+        connections: conns,
+        duration: Duration::from_secs(secs),
+        ..LoadConfig::default()
+    };
+    // The thread-pool server parks one worker per live connection, so
+    // driving it with more connections than workers just measures
+    // accept-queue starvation; clamp for a fair closed-loop comparison.
+    let blocking_load = LoadConfig {
+        connections: conns.min(config.workers),
+        ..load.clone()
+    };
+
+    let ev_report = drive("evloop", &evloop.base_url(), &load)?;
+    let bl_report = drive("blocking", &blocking.base_url(), &blocking_load)?;
+    evloop.shutdown();
+    blocking.shutdown();
+
+    let json = format!(
+        "{{\n{},\n{}\n}}\n",
+        report_json("evloop", load.connections, &ev_report),
+        report_json("blocking", blocking_load.connections, &bl_report),
+    );
+    std::fs::write(&out, &json).map_err(|e| ArgError(format!("write {out}: {e}")))?;
+    println!("bench report written to {out}");
+
+    let failures = ev_report.count_5xx()
+        + bl_report.count_5xx()
+        + ev_report.resets
+        + bl_report.resets
+        + ev_report.abandoned
+        + bl_report.abandoned;
+    if failures > 0 {
+        return Err(ArgError(format!(
+            "bench failed: {} 5xx, {} resets, {} abandoned across both servers",
+            ev_report.count_5xx() + bl_report.count_5xx(),
+            ev_report.resets + bl_report.resets,
+            ev_report.abandoned + bl_report.abandoned,
+        )));
+    }
+    if ev_report.requests == 0 || bl_report.requests == 0 {
+        return Err(ArgError(
+            "bench failed: a server completed zero requests".into(),
+        ));
+    }
+    Ok(())
 }

@@ -3,6 +3,9 @@
 //! ```text
 //! ytaudit serve    [--addr 127.0.0.1:8080] [--scale 1.0] [--seed N]
 //!                  [--researcher-key KEY] [--miss-rate 0.012] [--error-rate 0.0]
+//!                  [--evloop] [--workers N] [--idle-timeout-ms N] [--max-conns N]
+//!                  [--max-in-flight N] [--tenant-key KEY] [--tenant-rate U]
+//!                  [--bench] [--bench-conns N] [--bench-secs N] [--bench-out PATH]
 //! ytaudit collect  [--topics blm,brexit,…|all] [--snapshots N] [--interval-days 5]
 //!                  [--paper] [--no-comments] [--no-metadata] [--scale 1.0]
 //!                  [--base-url http://…] [--out dataset.json]
@@ -74,6 +77,8 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
             "no-channels",
             "hourly",
             "resume",
+            "evloop",
+            "bench",
         ],
     )?;
     let command = args.positional(0).unwrap_or("help");

@@ -64,6 +64,7 @@ pub struct PoolStats {
     reused: AtomicU64,
     replays: AtomicU64,
     discarded: AtomicU64,
+    shed: AtomicU64,
     depth_hwm: AtomicU64,
 }
 
@@ -91,10 +92,24 @@ impl PoolStats {
         self.discarded.load(Ordering::Relaxed)
     }
 
+    /// Responses that arrived as `429 Too Many Requests` — the server
+    /// shed the request under load. Distinct from [`PoolStats::discarded`]:
+    /// a shed request got a real (retryable) answer, a discard is purely a
+    /// local pool-capacity decision about a healthy connection.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
     /// High-water mark of pipelined requests in flight on one connection
     /// (1 for a purely sequential client).
     pub fn pipeline_depth_hwm(&self) -> u64 {
         self.depth_hwm.load(Ordering::Relaxed)
+    }
+
+    fn note_response(&self, response: &Response) {
+        if response.status.0 == 429 {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn note_depth(&self, depth: u64) {
@@ -202,6 +217,7 @@ impl HttpClient {
                 if reused {
                     self.stats.reused.fetch_add(1, Ordering::Relaxed);
                 }
+                self.stats.note_response(&response);
                 let reusable = !response.headers.wants_close();
                 if reusable {
                     self.checkin(&key, conn);
@@ -219,6 +235,7 @@ impl HttpClient {
                     self.stats.replays.fetch_add(1, Ordering::Relaxed);
                     let mut fresh = self.connect(url)?;
                     let response = self.send_once(url, request, &mut fresh)?;
+                    self.stats.note_response(&response);
                     if !response.headers.wants_close() {
                         self.checkin(&key, fresh);
                     }
@@ -349,6 +366,7 @@ impl HttpClient {
                         if reused || got_any {
                             self.stats.reused.fetch_add(1, Ordering::Relaxed);
                         }
+                        self.stats.note_response(&response);
                         got_any = true;
                         results.push(Ok(response));
                         answered += 1;
@@ -473,6 +491,30 @@ mod tests {
         // First request dials, the next four ride the keep-alive socket.
         assert_eq!(client.pool_stats().opened(), 1);
         assert_eq!(client.pool_stats().reused(), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shed_responses_are_counted_apart_from_discards() {
+        let handler = Arc::new(|req: &Request| {
+            if req.path == "/busy" {
+                Response::text(StatusCode::TOO_MANY_REQUESTS, "shed")
+                    .with_header("retry-after", "1")
+            } else {
+                Response::text(StatusCode::OK, "ok")
+            }
+        });
+        let server = Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        let client = HttpClient::new();
+        for _ in 0..3 {
+            let resp = client.get(&format!("{}/busy", server.base_url())).unwrap();
+            assert_eq!(resp.status, StatusCode::TOO_MANY_REQUESTS);
+        }
+        client.get(&format!("{}/ok", server.base_url())).unwrap();
+        // Three sheds, zero discards: the counters answer different
+        // questions and must not bleed into each other.
+        assert_eq!(client.pool_stats().shed(), 3);
+        assert_eq!(client.pool_stats().discarded(), 0);
         server.shutdown();
     }
 

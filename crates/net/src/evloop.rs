@@ -1,0 +1,624 @@
+//! A non-blocking, readiness-polled event-loop HTTP/1.1 server.
+//!
+//! Where [`crate::server`] parks one worker thread per connection, this
+//! server multiplexes every connection on a single loop thread: sockets
+//! are non-blocking, each connection owns an input and an output byte
+//! buffer, and one sweep of the loop moves whatever bytes each socket is
+//! ready to move. Readiness is discovered level-triggered — a read or
+//! write that returns `WouldBlock` simply means "not this sweep" — so the
+//! loop needs no platform poller and stays FFI-free; when a whole sweep
+//! makes no progress the loop sleeps briefly (escalating to a few
+//! milliseconds) instead of spinning.
+//!
+//! The payoff is capacity: a keep-alive connection between requests costs
+//! one socket and two (usually empty) buffers instead of a parked thread,
+//! so thousands of concurrent tenants fit in one process. The cost is
+//! latency granularity — an idle server answers within the sleep quantum
+//! rather than instantly — which is well under the millisecond noise
+//! floor of the simulated API.
+//!
+//! Overload policy: connections past `max_connections` are still
+//! accepted, answered with `429 Too Many Requests` + `Retry-After`, and
+//! closed. Shedding with an explicit verdict beats letting the backlog
+//! time out, because the client's retry classifier can treat the 429 as
+//! the transient signal it is.
+
+use crate::framing::{try_parse_request, write_response};
+use crate::message::{Response, StatusCode};
+use crate::server::{shed_at_accept, Handler, ServerConfig, ServerStats};
+use crate::{NetError, Result};
+use parking_lot::Mutex;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Read scratch size: one sweep pulls at most this many bytes per read
+/// syscall from a connection.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Reads per connection per sweep. Bounds how long one firehosing peer
+/// can monopolize a sweep; everything it sent stays in the kernel buffer
+/// for the next sweep.
+const READS_PER_SWEEP: usize = 8;
+
+/// Accepted connections per sweep, bounding accept-flood monopolization
+/// the same way.
+const ACCEPTS_PER_SWEEP: usize = 1024;
+
+/// Soft cap on buffered response bytes per connection. Once a peer falls
+/// this far behind on reading, the loop stops parsing its pipelined
+/// requests until the backlog drains — backpressure instead of unbounded
+/// buffering. A single response larger than the cap is still buffered
+/// whole.
+const OUTBUF_SOFT_CAP: usize = 256 * 1024;
+
+/// Idle sleep schedule: consecutive no-progress sweeps escalate through
+/// these delays and stay at the last one.
+const IDLE_SLEEPS: [Duration; 4] = [
+    Duration::from_micros(200),
+    Duration::from_micros(500),
+    Duration::from_millis(1),
+    Duration::from_millis(2),
+];
+
+/// The event-loop server. Construct with [`EvloopServer::bind`]; stop
+/// with [`EvloopHandle::shutdown`].
+pub struct EvloopServer;
+
+impl EvloopServer {
+    /// Binds `addr` and starts the loop thread, dispatching to `handler`.
+    ///
+    /// Takes the same [`ServerConfig`] as the blocking server so the two
+    /// are benchmarkable like-for-like; `workers`, `queue_depth`, and
+    /// `read_timeout` are meaningless under an event loop and ignored.
+    pub fn bind(
+        addr: &str,
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+    ) -> Result<EvloopHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let stats = Arc::new(ServerStats::default());
+        let loop_thread = {
+            let running = Arc::clone(&running);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("ytaudit-net-evloop".into())
+                .spawn(move || event_loop(&listener, &*handler, &config, &running, &stats))
+                .map_err(|e| NetError::Io(e.to_string()))?
+        };
+        Ok(EvloopHandle {
+            local_addr,
+            running,
+            stats,
+            loop_thread: Mutex::new(Some(loop_thread)),
+        })
+    }
+}
+
+/// Handle to a running event-loop server: address, stats, shutdown.
+pub struct EvloopHandle {
+    local_addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    loop_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl EvloopHandle {
+    /// The bound socket address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's base URL, e.g. `http://127.0.0.1:41234`.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.local_addr)
+    }
+
+    /// Cumulative counters (shared [`ServerStats`] shape with the
+    /// blocking server).
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops the loop and joins its thread. Responses already buffered
+    /// but not yet flushed are abandoned. Idempotent.
+    pub fn shutdown(&self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(thread) = self.loop_thread.lock().take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for EvloopHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-connection state: the socket plus everything the loop needs to
+/// resume the connection mid-message on any sweep.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into a request.
+    inbuf: Vec<u8>,
+    /// Response bytes not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    /// How much of `outbuf` has been written so far.
+    out_pos: usize,
+    /// Requests served on this connection (keep-alive budget).
+    served: usize,
+    /// Last sweep at which the connection moved bytes.
+    last_activity: Instant,
+    /// Finish flushing `outbuf`, then close.
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            served: 0,
+            last_activity: now,
+            close_after_flush: false,
+        }
+    }
+}
+
+/// What one sweep of one connection concluded.
+enum Sweep {
+    /// Bytes moved or a request was served.
+    Progress,
+    /// Nothing to do this sweep.
+    Idle,
+    /// Drop the connection.
+    Close,
+}
+
+fn event_loop(
+    listener: &TcpListener,
+    handler: &dyn Handler,
+    config: &ServerConfig,
+    running: &AtomicBool,
+    stats: &ServerStats,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut idle_streak: usize = 0;
+    while running.load(Ordering::SeqCst) {
+        // ytlint: allow(determinism) — wall time drives idle-connection
+        // reaping and loop pacing only; dataset bytes never depend on it
+        let now = Instant::now();
+        let mut progress = false;
+
+        // Accept phase: take everything waiting (bounded per sweep),
+        // shedding connections past the cap with an explicit 429.
+        for _ in 0..ACCEPTS_PER_SWEEP {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if conns.len() >= config.max_connections {
+                        stats.shed.fetch_add(1, Ordering::Relaxed);
+                        shed_at_accept(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    conns.push(Conn::new(stream, now));
+                    let peak = conns.len() as u64;
+                    if stats.peak_connections.load(Ordering::Relaxed) < peak {
+                        stats.peak_connections.store(peak, Ordering::Relaxed);
+                    }
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+
+        // Sweep phase: move bytes on every connection that is ready.
+        let mut i = 0;
+        while let Some(conn) = conns.get_mut(i) {
+            match sweep_conn(conn, handler, config, stats, &mut scratch, now) {
+                Sweep::Progress => {
+                    progress = true;
+                    i += 1;
+                }
+                Sweep::Idle => i += 1,
+                Sweep::Close => {
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    conns.swap_remove(i);
+                    progress = true;
+                }
+            }
+        }
+
+        if progress {
+            idle_streak = 0;
+        } else {
+            let sleep = IDLE_SLEEPS
+                .get(idle_streak)
+                .or(IDLE_SLEEPS.last())
+                .copied()
+                .unwrap_or(Duration::from_millis(1));
+            idle_streak = (idle_streak + 1).min(IDLE_SLEEPS.len());
+            std::thread::sleep(sleep);
+        }
+    }
+    // Shutdown: drop every connection. Unflushed responses are abandoned
+    // — shutdown is the one moment the server may cut a peer off.
+    for conn in conns {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// One sweep of one connection: read what's ready, parse and serve every
+/// complete request, write what the socket will take, reap if idle.
+fn sweep_conn(
+    conn: &mut Conn,
+    handler: &dyn Handler,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    scratch: &mut [u8],
+    now: Instant,
+) -> Sweep {
+    let mut progress = false;
+
+    // Read phase.
+    let mut peer_closed = false;
+    for _ in 0..READS_PER_SWEEP {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                peer_closed = true;
+                break;
+            }
+            Ok(n) => {
+                progress = true;
+                conn.last_activity = now;
+                if let Some(bytes) = scratch.get(..n) {
+                    conn.inbuf.extend_from_slice(bytes);
+                }
+            }
+            Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Sweep::Close,
+        }
+    }
+    if conn.close_after_flush {
+        // Already condemned: anything further from the peer is discarded
+        // so the buffer cannot grow while the close drains.
+        conn.inbuf.clear();
+    }
+
+    // Parse-and-serve phase. Every complete request already buffered is
+    // answered this sweep (pipelining); backpressure pauses parsing when
+    // the peer is not draining its responses.
+    while !conn.close_after_flush && conn.outbuf.len() - conn.out_pos < OUTBUF_SOFT_CAP {
+        match try_parse_request(&conn.inbuf, &config.limits) {
+            Ok(Some((request, consumed))) => {
+                conn.inbuf.drain(..consumed);
+                progress = true;
+                conn.last_activity = now;
+                let client_wants_close = request.headers.wants_close();
+                let response = match catch_unwind(AssertUnwindSafe(|| handler.handle(&request))) {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                        Response::text(StatusCode::INTERNAL_SERVER_ERROR, "handler panicked")
+                    }
+                };
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                conn.served += 1;
+                let keep_alive = !client_wants_close
+                    && !response.headers.wants_close()
+                    && conn.served < config.max_requests_per_connection;
+                let _ = write_response(&mut conn.outbuf, &response, keep_alive);
+                if !keep_alive {
+                    conn.close_after_flush = true;
+                    conn.inbuf.clear();
+                }
+            }
+            Ok(None) => break,
+            Err(err) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let status = match err {
+                    NetError::LimitExceeded(_) => StatusCode::PAYLOAD_TOO_LARGE,
+                    _ => StatusCode::BAD_REQUEST,
+                };
+                let resp = Response::text(status, err.to_string());
+                let _ = write_response(&mut conn.outbuf, &resp, false);
+                conn.close_after_flush = true;
+                conn.inbuf.clear();
+            }
+        }
+    }
+    if peer_closed {
+        // Complete requests were answered above; a trailing partial
+        // message can never complete now.
+        conn.close_after_flush = true;
+        conn.inbuf.clear();
+    }
+
+    // Write phase.
+    while conn.out_pos < conn.outbuf.len() {
+        let pending = conn.outbuf.get(conn.out_pos..).unwrap_or(&[]);
+        match conn.stream.write(pending) {
+            Ok(0) => return Sweep::Close,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_activity = now;
+                progress = true;
+            }
+            Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Sweep::Close,
+        }
+    }
+    if conn.out_pos > 0 && conn.out_pos >= conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.out_pos = 0;
+    }
+
+    let flushed = conn.outbuf.is_empty();
+    if conn.close_after_flush && flushed {
+        return Sweep::Close;
+    }
+    if flushed
+        && conn.inbuf.is_empty()
+        && now.duration_since(conn.last_activity) > config.idle_timeout
+    {
+        return Sweep::Close;
+    }
+    if progress {
+        Sweep::Progress
+    } else {
+        Sweep::Idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing::{write_request, FrameLimits, MessageReader};
+    use crate::message::{Method, Request};
+    use std::io::Write as _;
+
+    fn echo_server(config: ServerConfig) -> EvloopHandle {
+        let handler = Arc::new(|req: &Request| {
+            Response::text(
+                StatusCode::OK,
+                format!("{} {} q={}", req.method, req.path, req.query.encode()),
+            )
+        });
+        EvloopServer::bind("127.0.0.1:0", handler, config).unwrap()
+    }
+
+    fn raw_round_trip(handle: &EvloopHandle, request: &Request) -> Response {
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        write_request(&mut stream, request, &handle.local_addr().to_string()).unwrap();
+        let mut reader = MessageReader::new(stream);
+        reader
+            .read_response(&FrameLimits::default(), request.method == Method::Head)
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_get_requests() {
+        let handle = echo_server(ServerConfig::default());
+        let resp = raw_round_trip(
+            &handle,
+            &Request::get("/search").with_query(crate::url::QueryString::new().with("q", "x")),
+        );
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body_text().unwrap(), "GET /search q=q=x");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let handle = echo_server(ServerConfig::default());
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut write = stream.try_clone().unwrap();
+        let mut reader = MessageReader::new(stream);
+        for path in ["/a", "/b", "/c"] {
+            write_request(&mut write, &Request::get(path), "h").unwrap();
+            let resp = reader
+                .read_response(&FrameLimits::default(), false)
+                .unwrap();
+            assert!(resp.body_text().unwrap().contains(path));
+            assert_eq!(resp.headers.get("connection"), Some("keep-alive"));
+        }
+        assert_eq!(handle.stats().requests.load(Ordering::Relaxed), 3);
+        assert_eq!(handle.stats().connections.load(Ordering::Relaxed), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_burst_in_one_write_is_answered_in_order() {
+        let handle = echo_server(ServerConfig::default());
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut write = stream.try_clone().unwrap();
+        let mut burst = Vec::new();
+        for path in ["/p0", "/p1", "/p2", "/p3"] {
+            write_request(&mut burst, &Request::get(path), "h").unwrap();
+        }
+        write.write_all(&burst).unwrap();
+        let mut reader = MessageReader::new(stream);
+        for path in ["/p0", "/p1", "/p2", "/p3"] {
+            let resp = reader
+                .read_response(&FrameLimits::default(), false)
+                .unwrap();
+            assert!(resp.body_text().unwrap().contains(path), "{path}");
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let handle = echo_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        stream.write_all(b"NONSENSE REQUEST LINE\r\n\r\n").unwrap();
+        let mut reader = MessageReader::new(stream);
+        let resp = reader
+            .read_response(&FrameLimits::default(), false)
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        assert_eq!(resp.headers.get("connection"), Some("close"));
+        assert_eq!(handle.stats().protocol_errors.load(Ordering::Relaxed), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_gets_413() {
+        let handle = echo_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        stream.write_all(&raw).unwrap();
+        let mut reader = MessageReader::new(stream);
+        let resp = reader
+            .read_response(&FrameLimits::default(), false)
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::PAYLOAD_TOO_LARGE);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn handler_panic_returns_500_and_server_survives() {
+        let handler = Arc::new(|req: &Request| {
+            if req.path == "/boom" {
+                panic!("induced failure");
+            }
+            Response::text(StatusCode::OK, "fine")
+        });
+        let handle = EvloopServer::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        let boom = raw_round_trip(&handle, &Request::get("/boom"));
+        assert_eq!(boom.status, StatusCode::INTERNAL_SERVER_ERROR);
+        let ok = raw_round_trip(&handle, &Request::get("/fine"));
+        assert_eq!(ok.status, StatusCode::OK);
+        assert_eq!(handle.stats().handler_panics.load(Ordering::Relaxed), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connections_past_the_cap_are_shed_with_429() {
+        let config = ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        };
+        let handle = echo_server(config);
+        // Pin the one slot with a kept-alive connection (the round trip
+        // guarantees the server has accepted it).
+        let pinned = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut pinned_write = pinned.try_clone().unwrap();
+        write_request(&mut pinned_write, &Request::get("/hold"), "h").unwrap();
+        let mut pinned_reader = MessageReader::new(pinned);
+        let held = pinned_reader
+            .read_response(&FrameLimits::default(), false)
+            .unwrap();
+        assert_eq!(held.status, StatusCode::OK);
+        // The next connection is over capacity: explicit 429 + Retry-After.
+        let over = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut reader = MessageReader::new(over);
+        let resp = reader
+            .read_response(&FrameLimits::default(), false)
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::TOO_MANY_REQUESTS);
+        assert_eq!(resp.headers.get("retry-after"), Some("1"));
+        assert_eq!(handle.stats().shed.load(Ordering::Relaxed), 1);
+        // The pinned connection still works.
+        write_request(&mut pinned_write, &Request::get("/again"), "h").unwrap();
+        let again = pinned_reader
+            .read_response(&FrameLimits::default(), false)
+            .unwrap();
+        assert_eq!(again.status, StatusCode::OK);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_keep_alive_connection_is_closed_promptly() {
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        };
+        let handle = echo_server(config);
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut write = stream.try_clone().unwrap();
+        let mut reader = MessageReader::new(stream);
+        write_request(&mut write, &Request::get("/x"), "h").unwrap();
+        let resp = reader
+            .read_response(&FrameLimits::default(), false)
+            .unwrap();
+        assert_eq!(resp.headers.get("connection"), Some("keep-alive"));
+        // Go silent; the loop reaps the connection after idle_timeout.
+        let started = Instant::now();
+        let err = reader.read_response(&FrameLimits::default(), false);
+        assert!(err.is_err(), "expected EOF, got {err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "idle close took {:?}",
+            started.elapsed()
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_keep_alive_connections() {
+        let handle = Arc::new(echo_server(ServerConfig::default()));
+        // Open a modest herd of kept-alive connections, then use them all
+        // a second time: every socket stays alive concurrently.
+        let mut conns = Vec::new();
+        for _ in 0..128 {
+            let stream = TcpStream::connect(handle.local_addr()).unwrap();
+            let write = stream.try_clone().unwrap();
+            conns.push((write, MessageReader::new(stream)));
+        }
+        for round in 0..2 {
+            for (i, (write, reader)) in conns.iter_mut().enumerate() {
+                write_request(write, &Request::get(format!("/c{i}/{round}")), "h").unwrap();
+                let resp = reader
+                    .read_response(&FrameLimits::default(), false)
+                    .unwrap();
+                assert_eq!(resp.status, StatusCode::OK);
+            }
+        }
+        assert_eq!(handle.stats().requests.load(Ordering::Relaxed), 256);
+        assert_eq!(handle.stats().connections.load(Ordering::Relaxed), 128);
+        assert!(handle.stats().peak_connections.load(Ordering::Relaxed) >= 128);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn respects_connection_close() {
+        let handle = echo_server(ServerConfig::default());
+        let resp = raw_round_trip(
+            &handle,
+            &Request::get("/x").with_header("connection", "close"),
+        );
+        assert_eq!(resp.headers.get("connection"), Some("close"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let handle = echo_server(ServerConfig::default());
+        handle.shutdown();
+        handle.shutdown();
+    }
+}

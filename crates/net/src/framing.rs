@@ -361,6 +361,78 @@ pub fn write_chunked<W: Write>(stream: &mut W, body: &[u8]) -> Result<()> {
     Ok(())
 }
 
+/// How many bytes of the input buffer a successful incremental parse used.
+fn consumed_bytes<T: AsRef<[u8]>>(reader: &MessageReader<std::io::Cursor<T>>) -> usize {
+    // The cursor position counts bytes pulled into the BufReader; whatever
+    // is still sitting unconsumed in its buffer was not part of the parsed
+    // message.
+    reader.inner.get_ref().position() as usize - reader.inner.buffer().len()
+}
+
+/// Incrementally parses one request from a byte buffer that may hold a
+/// partial message, a complete one, or several pipelined ones.
+///
+/// Returns `Ok(Some((request, consumed)))` when a complete request starts
+/// at the front of `buf` — the caller drains `consumed` bytes and may call
+/// again for the next pipelined message. Returns `Ok(None)` when the bytes
+/// so far are a valid *prefix* (more must arrive before a verdict). Any
+/// `Err` is terminal for the connection: the bytes can never become a valid
+/// request no matter what follows.
+///
+/// This is the parsing half of a readiness-driven (non-blocking) server:
+/// the event loop appends whatever `read` returned to a per-connection
+/// buffer and asks this function whether a message is ready, instead of
+/// parking a thread inside a blocking reader.
+pub fn try_parse_request(buf: &[u8], limits: &FrameLimits) -> Result<Option<(Request, usize)>> {
+    let mut reader = MessageReader::new(std::io::Cursor::new(buf));
+    match reader.read_request(limits) {
+        Ok(Some(req)) => {
+            let consumed = consumed_bytes(&reader);
+            Ok(Some((req, consumed)))
+        }
+        // Clean EOF before the request line: the buffer is empty.
+        Ok(None) => Ok(None),
+        // The buffer ends mid-message; with more bytes it may complete.
+        Err(NetError::UnexpectedEof(_)) => Ok(None),
+        Err(err) => Err(err),
+    }
+}
+
+/// Incrementally parses one response from a byte buffer, the client-side
+/// mirror of [`try_parse_request`]. Same contract: `Some((resp, consumed))`
+/// for a complete message, `None` for a valid prefix, `Err` for bytes that
+/// can never parse.
+///
+/// EOF-delimited bodies (`Connection: close` with no `Content-Length` or
+/// chunked framing) are rejected: "read until close" is unknowable from a
+/// buffer snapshot, and every server in this workspace frames its bodies
+/// explicitly.
+pub fn try_parse_response(buf: &[u8], limits: &FrameLimits) -> Result<Option<(Response, usize)>> {
+    let mut reader = MessageReader::new(std::io::Cursor::new(buf));
+    match reader.read_response(limits, false) {
+        Ok(resp) => {
+            let bodyless = resp.status.0 == 204
+                || resp.status.0 == 304
+                || (100..200).contains(&resp.status.0);
+            if !bodyless
+                && !resp.headers.is_chunked()
+                && resp.headers.content_length()?.is_none()
+                && resp.headers.wants_close()
+            {
+                // The blocking reader read "to EOF", but our EOF is just
+                // the end of the buffer — the body may be truncated.
+                return Err(NetError::Protocol(
+                    "EOF-delimited body cannot be parsed incrementally".into(),
+                ));
+            }
+            let consumed = consumed_bytes(&reader);
+            Ok(Some((resp, consumed)))
+        }
+        Err(NetError::UnexpectedEof(_)) => Ok(None),
+        Err(err) => Err(err),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,5 +674,89 @@ mod tests {
             .unwrap();
         assert_eq!(req.path, "/x");
         assert_eq!(req.headers.get("host"), Some("h"));
+    }
+
+    #[test]
+    fn incremental_request_needs_every_byte() {
+        // Every strict prefix parses to None; the full buffer to Some
+        // consuming exactly its length.
+        let raw = b"POST /admin/clock HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello";
+        let limits = FrameLimits::default();
+        for cut in 0..raw.len() {
+            let verdict = try_parse_request(&raw[..cut], &limits).unwrap();
+            assert!(verdict.is_none(), "prefix of {cut} bytes parsed early");
+        }
+        let (req, consumed) = try_parse_request(raw, &limits).unwrap().unwrap();
+        assert_eq!(req.body, b"hello");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn incremental_request_consumes_one_pipelined_message() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &Request::get("/a"), "h").unwrap();
+        let first_len = wire.len();
+        write_request(&mut wire, &Request::get("/b"), "h").unwrap();
+        let limits = FrameLimits::default();
+        let (req, consumed) = try_parse_request(&wire, &limits).unwrap().unwrap();
+        assert_eq!(req.path, "/a");
+        assert_eq!(consumed, first_len);
+        let (req2, consumed2) = try_parse_request(&wire[consumed..], &limits)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req2.path, "/b");
+        assert_eq!(consumed + consumed2, wire.len());
+    }
+
+    #[test]
+    fn incremental_request_rejects_garbage_terminally() {
+        let limits = FrameLimits::default();
+        assert!(try_parse_request(b"GARBAGE\r\n\r\n", &limits).is_err());
+        // A limit violation is terminal too, even though more bytes follow.
+        let mut long = b"GET /".to_vec();
+        long.extend(std::iter::repeat_n(b'a', 100_000));
+        assert!(matches!(
+            try_parse_request(&long, &limits),
+            Err(NetError::LimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_response_round_trips() {
+        let resp = Response::json(StatusCode::OK, br#"{"items":[]}"#.to_vec());
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, true).unwrap();
+        let limits = FrameLimits::default();
+        for cut in 0..wire.len() {
+            assert!(try_parse_response(&wire[..cut], &limits).unwrap().is_none());
+        }
+        let (parsed, consumed) = try_parse_response(&wire, &limits).unwrap().unwrap();
+        assert_eq!(parsed.status, StatusCode::OK);
+        assert_eq!(parsed.body, resp.body);
+        assert_eq!(consumed, wire.len());
+    }
+
+    #[test]
+    fn incremental_response_handles_chunked() {
+        let big = vec![b'x'; CHUNK_THRESHOLD + 999];
+        let mut wire = Vec::new();
+        write_response(&mut wire, &Response::json(StatusCode::OK, big.clone()), true).unwrap();
+        let limits = FrameLimits::default();
+        // A truncated chunked body is still "need more".
+        assert!(try_parse_response(&wire[..wire.len() - 3], &limits)
+            .unwrap()
+            .is_none());
+        let (parsed, consumed) = try_parse_response(&wire, &limits).unwrap().unwrap();
+        assert_eq!(parsed.body, big);
+        assert_eq!(consumed, wire.len());
+    }
+
+    #[test]
+    fn incremental_response_rejects_eof_delimited_bodies() {
+        let wire = b"HTTP/1.1 200 OK\r\nconnection: close\r\n\r\npartial?";
+        assert!(matches!(
+            try_parse_response(wire, &FrameLimits::default()),
+            Err(NetError::Protocol(_))
+        ));
     }
 }

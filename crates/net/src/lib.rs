@@ -15,6 +15,11 @@
 //!   sizes (a server must never trust the peer's length claims);
 //! * [`server`] — a blocking, thread-pool TCP server with keep-alive and
 //!   graceful shutdown;
+//! * [`evloop`] — a non-blocking event-loop server multiplexing thousands
+//!   of keep-alive connections on one thread, with 429 + `Retry-After`
+//!   load shedding past a connection cap;
+//! * [`loadgen`] — a closed-loop load driver with raw-sample latency
+//!   percentiles for benchmarking both servers;
 //! * [`client`] — a blocking client with per-host connection reuse;
 //! * [`pipeline`] — bounded HTTP/1.1 request pipelining on one keep-alive
 //!   connection, with strict rules about what may ride a pipeline and how
@@ -31,7 +36,9 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod evloop;
 pub mod framing;
+pub mod loadgen;
 pub mod message;
 pub mod pipeline;
 pub mod resilience;
@@ -39,10 +46,12 @@ pub mod server;
 pub mod url;
 
 pub use client::{HttpClient, PoolStats};
+pub use evloop::{EvloopHandle, EvloopServer};
+pub use loadgen::{LoadConfig, LoadReport};
 pub use pipeline::{PipelinedConn, SubmitRefusal};
 pub use message::{Headers, Method, Request, Response, StatusCode};
 pub use resilience::{Backoff, RetryPolicy, TokenBucket};
-pub use server::{Handler, Server, ServerConfig, ServerHandle};
+pub use server::{Handler, Server, ServerConfig, ServerHandle, ServerStats};
 pub use url::{QueryString, Url};
 
 /// The crate-local error type. `ytaudit-net` has no dependency on

@@ -1,0 +1,405 @@
+//! A closed-loop HTTP load driver for benchmarking the servers.
+//!
+//! Opens N keep-alive connections, keeps exactly one request in flight
+//! per connection (classic closed-loop load: offered rate adapts to
+//! service rate, so the measurement never builds an unbounded queue in
+//! front of the server), and records every response's latency as a raw
+//! sample. Percentiles are computed from the sorted raw samples — not a
+//! histogram — because p999 on a fast loopback server lives well inside
+//! the width of any practical bucket.
+//!
+//! The driver uses the same non-blocking sweep technique as
+//! [`crate::evloop`] so thousands of driven connections fit on one
+//! thread, and the same incremental parser
+//! ([`crate::framing::try_parse_response`]) on the receive side.
+
+use crate::framing::{try_parse_response, write_request, FrameLimits};
+use crate::message::Request;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Driver knobs.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent keep-alive connections to hold open.
+    pub connections: usize,
+    /// How long to keep issuing requests. In-flight requests at the
+    /// deadline are allowed to finish (bounded by a grace period).
+    pub duration: Duration,
+    /// Frame limits applied to responses.
+    pub limits: FrameLimits,
+    /// How long past the deadline to wait for stragglers before
+    /// abandoning them.
+    pub grace: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            connections: 64,
+            duration: Duration::from_secs(5),
+            limits: FrameLimits::default(),
+            grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Connections the run held open.
+    pub connections: usize,
+    /// Responses fully received.
+    pub requests: u64,
+    /// Wall time from first byte offered to last response (or abandon).
+    pub elapsed: Duration,
+    /// Responses by HTTP status code.
+    pub status_counts: BTreeMap<u16, u64>,
+    /// Connections that died mid-request (reset, refused, or closed with
+    /// a request outstanding).
+    pub resets: u64,
+    /// Requests still unanswered when the grace period expired.
+    pub abandoned: u64,
+    /// Sorted per-request latencies in microseconds.
+    latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Completed requests per second over the measured window.
+    pub fn req_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
+    }
+
+    /// The `p`-quantile latency (`0.0 < p <= 1.0`) in microseconds from
+    /// the raw samples; 0 when no requests completed.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let n = self.latencies_us.len();
+        let rank = ((n as f64) * p.clamp(0.0, 1.0)).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(n - 1);
+        self.latencies_us.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Median latency in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.percentile_us(0.50)
+    }
+
+    /// 99th-percentile latency in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.percentile_us(0.99)
+    }
+
+    /// 99.9th-percentile latency in microseconds.
+    pub fn p999_us(&self) -> u64 {
+        self.percentile_us(0.999)
+    }
+
+    /// Worst observed latency in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.latencies_us.last().copied().unwrap_or(0)
+    }
+
+    /// Responses with the given status code.
+    pub fn count(&self, status: u16) -> u64 {
+        self.status_counts.get(&status).copied().unwrap_or(0)
+    }
+
+    /// Total 5xx responses.
+    pub fn count_5xx(&self) -> u64 {
+        self.status_counts
+            .iter()
+            .filter(|(code, _)| (500..600).contains(*code))
+            .map(|(_, n)| *n)
+            .sum()
+    }
+}
+
+/// One driven connection's state.
+struct LoadConn {
+    stream: TcpStream,
+    /// Offset into the shared request bytes; `== wire.len()` when the
+    /// request is fully written.
+    out_pos: usize,
+    inbuf: Vec<u8>,
+    sent_at: Instant,
+    in_flight: bool,
+    done: bool,
+}
+
+fn connect(addr: &str) -> Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_nonblocking(true)?;
+    Ok(stream)
+}
+
+/// Drives `request` at `addr` (e.g. `127.0.0.1:8080`) under `config` and
+/// reports what happened. Every connection keeps one request in flight
+/// until the duration elapses.
+pub fn run(addr: &str, request: &Request, config: &LoadConfig) -> Result<LoadReport> {
+    let mut wire = Vec::new();
+    write_request(&mut wire, request, addr)?;
+
+    let mut report = LoadReport {
+        connections: config.connections,
+        requests: 0,
+        elapsed: Duration::ZERO,
+        status_counts: BTreeMap::new(),
+        resets: 0,
+        abandoned: 0,
+        latencies_us: Vec::new(),
+    };
+
+    // ytlint: allow(determinism) — a load benchmark measures real wall
+    // time by definition; nothing downstream treats it as data
+    let started = Instant::now();
+    let mut conns = Vec::with_capacity(config.connections);
+    for _ in 0..config.connections.max(1) {
+        let stream = connect(addr)?;
+        conns.push(LoadConn {
+            stream,
+            out_pos: 0,
+            inbuf: Vec::new(),
+            sent_at: started,
+            in_flight: true, // first request starts written-from-zero
+            done: false,
+        });
+    }
+    let deadline = started + config.duration;
+    let cutoff = deadline + config.grace;
+
+    let mut scratch = vec![0u8; 16 * 1024];
+    loop {
+        // ytlint: allow(determinism) — benchmark stopwatch
+        let now = Instant::now();
+        if now >= cutoff {
+            report.abandoned += conns.iter().filter(|c| !c.done && c.in_flight).count() as u64;
+            break;
+        }
+        let mut all_done = true;
+        let mut progress = false;
+        for conn in conns.iter_mut() {
+            if conn.done {
+                continue;
+            }
+            all_done = false;
+            match sweep(
+                conn,
+                &wire,
+                config,
+                now,
+                deadline,
+                &mut report,
+                &mut scratch,
+            ) {
+                SweepOutcome::Progress => progress = true,
+                SweepOutcome::Idle => {}
+                SweepOutcome::Died => {
+                    report.resets += 1;
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    if now < deadline {
+                        // Replace the connection and keep offering load.
+                        match connect(addr) {
+                            Ok(stream) => {
+                                conn.stream = stream;
+                                conn.inbuf.clear();
+                                conn.out_pos = 0;
+                                conn.sent_at = now;
+                                conn.in_flight = true;
+                                progress = true;
+                            }
+                            Err(_) => conn.done = true,
+                        }
+                    } else {
+                        conn.done = true;
+                    }
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progress {
+            // Give the server thread the core instead of spinning.
+            std::thread::yield_now();
+        }
+    }
+    report.elapsed = started.elapsed();
+    report.latencies_us.sort_unstable();
+    Ok(report)
+}
+
+enum SweepOutcome {
+    Progress,
+    Idle,
+    Died,
+}
+
+fn sweep(
+    conn: &mut LoadConn,
+    wire: &[u8],
+    config: &LoadConfig,
+    now: Instant,
+    deadline: Instant,
+    report: &mut LoadReport,
+    scratch: &mut [u8],
+) -> SweepOutcome {
+    let mut progress = false;
+
+    // Write phase: push the in-flight request's remaining bytes.
+    while conn.in_flight && conn.out_pos < wire.len() {
+        let pending = wire.get(conn.out_pos..).unwrap_or(&[]);
+        match conn.stream.write(pending) {
+            Ok(0) => return SweepOutcome::Died,
+            Ok(n) => {
+                conn.out_pos += n;
+                progress = true;
+            }
+            Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return SweepOutcome::Died,
+        }
+    }
+
+    // Read phase.
+    let mut peer_closed = false;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                peer_closed = true;
+                break;
+            }
+            Ok(n) => {
+                progress = true;
+                if let Some(bytes) = scratch.get(..n) {
+                    conn.inbuf.extend_from_slice(bytes);
+                }
+            }
+            Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return SweepOutcome::Died,
+        }
+    }
+
+    // Parse phase: at depth 1 there is at most one response to find.
+    if conn.in_flight && conn.out_pos >= wire.len() {
+        match try_parse_response(&conn.inbuf, &config.limits) {
+            Ok(Some((resp, consumed))) => {
+                conn.inbuf.drain(..consumed);
+                progress = true;
+                let latency = now.duration_since(conn.sent_at).as_micros() as u64;
+                report.latencies_us.push(latency);
+                report.requests += 1;
+                *report.status_counts.entry(resp.status.0).or_insert(0) += 1;
+                conn.in_flight = false;
+                if resp.headers.wants_close() {
+                    // Server asked to close; treat as end of this
+                    // connection's run (clean, not a reset).
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    conn.done = true;
+                    return SweepOutcome::Progress;
+                }
+                if now < deadline {
+                    conn.out_pos = 0;
+                    conn.sent_at = now;
+                    conn.in_flight = true;
+                } else {
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    conn.done = true;
+                }
+            }
+            Ok(None) => {}
+            Err(_) => return SweepOutcome::Died,
+        }
+    }
+
+    if peer_closed {
+        if conn.in_flight {
+            return SweepOutcome::Died;
+        }
+        conn.done = true;
+        return SweepOutcome::Progress;
+    }
+    if progress {
+        SweepOutcome::Progress
+    } else {
+        SweepOutcome::Idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Response, StatusCode};
+    use crate::server::{Server, ServerConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn percentiles_come_from_raw_samples() {
+        let report = LoadReport {
+            connections: 1,
+            requests: 1000,
+            elapsed: Duration::from_secs(2),
+            status_counts: BTreeMap::from([(200, 1000)]),
+            resets: 0,
+            abandoned: 0,
+            latencies_us: (1..=1000).collect(),
+        };
+        assert_eq!(report.p50_us(), 500);
+        assert_eq!(report.p99_us(), 990);
+        assert_eq!(report.p999_us(), 999);
+        assert_eq!(report.max_us(), 1000);
+        assert_eq!(report.req_per_sec(), 500.0);
+        assert_eq!(report.count(200), 1000);
+        assert_eq!(report.count_5xx(), 0);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let report = LoadReport {
+            connections: 0,
+            requests: 0,
+            elapsed: Duration::ZERO,
+            status_counts: BTreeMap::new(),
+            resets: 0,
+            abandoned: 0,
+            latencies_us: Vec::new(),
+        };
+        assert_eq!(report.p999_us(), 0);
+        assert_eq!(report.req_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn drives_a_live_server_closed_loop() {
+        let handler = Arc::new(|_: &Request| Response::text(StatusCode::OK, "ok"));
+        let handle = Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        let config = LoadConfig {
+            connections: 4,
+            duration: Duration::from_millis(300),
+            ..LoadConfig::default()
+        };
+        let report = run(
+            &handle.local_addr().to_string(),
+            &Request::get("/bench"),
+            &config,
+        )
+        .unwrap();
+        assert!(report.requests > 0, "no requests completed");
+        assert_eq!(report.count(200), report.requests);
+        assert_eq!(report.resets, 0);
+        assert_eq!(report.count_5xx(), 0);
+        assert!(report.p50_us() > 0);
+        assert!(report.p999_us() >= report.p50_us());
+        handle.shutdown();
+    }
+}

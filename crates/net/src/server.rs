@@ -13,7 +13,7 @@ use crate::{NetError, Result};
 use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,6 +54,10 @@ pub struct ServerConfig {
     pub limits: FrameLimits,
     /// Backlog of accepted-but-unserved connections before accept blocks.
     pub queue_depth: usize,
+    /// Maximum live connections; arrivals past the cap are answered with
+    /// `429 Too Many Requests` + `Retry-After` and closed (load shedding)
+    /// instead of queueing unboundedly behind busy workers.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,11 +69,14 @@ impl Default for ServerConfig {
             max_requests_per_connection: 10_000,
             limits: FrameLimits::default(),
             queue_depth: 128,
+            max_connections: 8192,
         }
     }
 }
 
-/// Cumulative server counters, readable while the server runs.
+/// Cumulative server counters, readable while the server runs. Shared
+/// shape between the blocking server and the event-loop server
+/// (`crate::evloop`) so the two report identically.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted.
@@ -80,6 +87,11 @@ pub struct ServerStats {
     pub handler_panics: AtomicU64,
     /// Connections dropped due to protocol errors.
     pub protocol_errors: AtomicU64,
+    /// Connections shed at the accept gate with a 429 because the server
+    /// was at `max_connections`.
+    pub shed: AtomicU64,
+    /// High-water mark of concurrent live connections.
+    pub peak_connections: AtomicU64,
 }
 
 /// The running server. Construct with [`Server::bind`]; stop with
@@ -100,6 +112,10 @@ impl Server {
         let stats = Arc::new(ServerStats::default());
         let registry: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         let next_conn_id = Arc::new(AtomicU64::new(0));
+        // Live connections: accepted (possibly still queued) but not yet
+        // finished. The acceptor sheds past `max_connections` based on
+        // this, so a burst cannot pile up unboundedly behind busy workers.
+        let active = Arc::new(AtomicU64::new(0));
         let (conn_tx, conn_rx) = bounded::<TcpStream>(config.queue_depth);
 
         let mut workers = Vec::with_capacity(config.workers);
@@ -111,6 +127,7 @@ impl Server {
             let stats = Arc::clone(&stats);
             let registry = Arc::clone(&registry);
             let next_conn_id = Arc::clone(&next_conn_id);
+            let active = Arc::clone(&active);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ytaudit-net-worker-{worker_id}"))
@@ -124,6 +141,7 @@ impl Server {
                             }
                             serve_connection(stream, &*handler, &config, &running, &stats);
                             registry.lock().remove(&conn_id);
+                            active.fetch_sub(1, Ordering::Relaxed);
                         }
                     })
                     .map_err(|e| NetError::Io(e.to_string()))?,
@@ -134,6 +152,8 @@ impl Server {
         let acceptor = {
             let running = Arc::clone(&running);
             let stats = Arc::clone(&stats);
+            let active = Arc::clone(&active);
+            let max_connections = config.max_connections;
             std::thread::Builder::new()
                 .name("ytaudit-net-acceptor".into())
                 .spawn(move || {
@@ -143,7 +163,16 @@ impl Server {
                         }
                         match stream {
                             Ok(stream) => {
+                                if active.load(Ordering::Relaxed) >= max_connections as u64 {
+                                    stats.shed.fetch_add(1, Ordering::Relaxed);
+                                    shed_at_accept(stream);
+                                    continue;
+                                }
                                 stats.connections.fetch_add(1, Ordering::Relaxed);
+                                let live = active.fetch_add(1, Ordering::Relaxed) + 1;
+                                if stats.peak_connections.load(Ordering::Relaxed) < live {
+                                    stats.peak_connections.store(live, Ordering::Relaxed);
+                                }
                                 if conn_tx.send(stream).is_err() {
                                     break;
                                 }
@@ -288,6 +317,26 @@ fn serve_connection(
         }
     }
     linger_close(writer.get_ref());
+}
+
+/// Answers a connection shed at the accept gate: `429 Too Many Requests`
+/// with `Retry-After`, then close. Shared by the blocking server and the
+/// event loop so both shed identically. The socket is fresh (nothing
+/// buffered), so a short blocking write almost always completes in one
+/// syscall into the empty send buffer.
+pub(crate) fn shed_at_accept(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let resp = Response::text(
+        StatusCode::TOO_MANY_REQUESTS,
+        "server at connection capacity",
+    )
+    .with_header("retry-after", "1");
+    let mut wire = Vec::new();
+    let _ = write_response(&mut wire, &resp, false);
+    let _ = stream.write_all(&wire);
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Closes a connection gracefully: announce EOF with a write-side
@@ -567,6 +616,35 @@ mod tests {
         }
         assert_eq!(handle.stats().requests.load(Ordering::Relaxed), 3);
         shutdown.join().unwrap();
+    }
+
+    #[test]
+    fn connections_past_the_cap_are_shed_with_429() {
+        let handler = Arc::new(|_: &Request| Response::text(StatusCode::OK, "ok"));
+        let config = ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", handler, config).unwrap();
+        // Pin the one slot with a kept-alive connection (the round trip
+        // guarantees the acceptor has counted it).
+        let pinned = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut pinned_write = pinned.try_clone().unwrap();
+        write_request(&mut pinned_write, &Request::get("/hold"), "h").unwrap();
+        let mut pinned_reader = MessageReader::new(pinned);
+        let held = pinned_reader
+            .read_response(&FrameLimits::default(), false)
+            .unwrap();
+        assert_eq!(held.status, StatusCode::OK);
+        // The next connection is over capacity: explicit 429 + Retry-After.
+        let over = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut reader = MessageReader::new(over);
+        let resp = reader.read_response(&FrameLimits::default(), false).unwrap();
+        assert_eq!(resp.status, StatusCode::TOO_MANY_REQUESTS);
+        assert_eq!(resp.headers.get("retry-after"), Some("1"));
+        assert_eq!(handle.stats().shed.load(Ordering::Relaxed), 1);
+        assert_eq!(handle.stats().peak_connections.load(Ordering::Relaxed), 1);
+        handle.shutdown();
     }
 
     #[test]

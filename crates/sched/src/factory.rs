@@ -22,6 +22,9 @@ pub struct ConnectionTotals {
     pub replayed: u64,
     /// Healthy connections closed because an idle pool was full.
     pub discarded: u64,
+    /// Requests answered with `429 Too Many Requests` — shed by the
+    /// server under load, distinct from local pool discards.
+    pub shed: u64,
     /// Highest pipeline depth any connection reached (1 = plain
     /// sequential keep-alive).
     pub pipeline_depth: u64,
@@ -104,6 +107,7 @@ impl TransportFactory for HttpFactory {
             totals.reused += stats.reused();
             totals.replayed += stats.replays();
             totals.discarded += stats.discarded();
+            totals.shed += stats.shed();
             totals.pipeline_depth = totals.pipeline_depth.max(stats.pipeline_depth_hwm());
         }
         totals

@@ -89,6 +89,25 @@ impl QuotaGovernor {
             )))
         }
     }
+
+    /// Non-blocking admission: takes `cost` units if the bucket holds them
+    /// right now, else returns `false` without waiting. This is the serve
+    /// front end's path — a loaded server sheds (429) instead of queueing,
+    /// so the admission decision must never block the event loop. The
+    /// ledger moves only on success, keeping `units_admitted` an exact
+    /// count of work actually let through.
+    pub fn try_admit(&self, cost: u64) -> bool {
+        let Some(bucket) = &self.bucket else {
+            self.units_admitted.fetch_add(cost, Ordering::Relaxed);
+            return true;
+        };
+        if bucket.try_acquire(cost as f64) {
+            self.units_admitted.fetch_add(cost, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Transport middleware: every request is admitted through the shared
@@ -241,6 +260,24 @@ mod tests {
         g.admit(100, &m).unwrap();
         assert!(g.admit(1, &m).is_err());
         assert_eq!(g.units_admitted(), 100);
+    }
+
+    #[test]
+    fn try_admit_never_blocks_and_ledgers_exactly() {
+        // Zero refill, 200-unit burst: exactly two 100-unit admissions
+        // fit, every later attempt is an immediate shed.
+        let g = QuotaGovernor::per_second(0.0, 200.0);
+        assert!(g.try_admit(100));
+        assert!(g.try_admit(100));
+        for _ in 0..50 {
+            assert!(!g.try_admit(100));
+        }
+        // The ledger moved only for the two admitted requests.
+        assert_eq!(g.units_admitted(), 200);
+        // Unlimited governors admit everything and still keep the ledger.
+        let g = QuotaGovernor::unlimited();
+        assert!(g.try_admit(7));
+        assert_eq!(g.units_admitted(), 7);
     }
 
     #[test]

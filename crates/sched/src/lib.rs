@@ -40,6 +40,7 @@ pub mod reorder;
 pub mod retry;
 pub mod scheduler;
 pub mod shard;
+pub mod tenant;
 
 pub use factory::{ConnectionTotals, HttpFactory, InProcessFactory, TransportFactory};
 pub use governor::{GovernedTransport, QuotaGovernor};
@@ -48,3 +49,4 @@ pub use reorder::ReorderBuffer;
 pub use retry::{classify, ErrorClass, TaskRetryPolicy};
 pub use scheduler::{RunOutcome, RunReport, Scheduler, SchedulerConfig, ShutdownSignal};
 pub use shard::{run_sharded, ShardOutcome, ShardRunReport};
+pub use tenant::{ServeFront, Tenant, TenantRegistry};

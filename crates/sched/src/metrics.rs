@@ -145,6 +145,7 @@ pub struct MetricsRegistry {
     connections_reused: AtomicU64,
     connections_replayed: AtomicU64,
     connections_discarded: AtomicU64,
+    connections_shed: AtomicU64,
     pipeline_depth: AtomicU64,
     latency: [LatencyHistogram; 6],
 }
@@ -204,6 +205,7 @@ impl MetricsRegistry {
             .store(totals.replayed, Ordering::Relaxed);
         self.connections_discarded
             .store(totals.discarded, Ordering::Relaxed);
+        self.connections_shed.store(totals.shed, Ordering::Relaxed);
         self.pipeline_depth
             .store(totals.pipeline_depth, Ordering::Relaxed);
     }
@@ -227,6 +229,7 @@ impl MetricsRegistry {
             connections_reused: self.connections_reused.load(Ordering::Relaxed),
             connections_replayed: self.connections_replayed.load(Ordering::Relaxed),
             connections_discarded: self.connections_discarded.load(Ordering::Relaxed),
+            connections_shed: self.connections_shed.load(Ordering::Relaxed),
             pipeline_depth: self.pipeline_depth.load(Ordering::Relaxed),
             endpoints: ENDPOINTS
                 .iter()
@@ -274,6 +277,8 @@ pub struct MetricsSnapshot {
     pub connections_replayed: u64,
     /// Healthy connections closed because an idle pool was full.
     pub connections_discarded: u64,
+    /// Requests answered with 429 — shed by the server under load.
+    pub connections_shed: u64,
     /// Highest pipeline depth any connection reached (0 before any
     /// HTTP traffic, 1 = plain sequential keep-alive).
     pub pipeline_depth: u64,
@@ -316,11 +321,12 @@ impl MetricsSnapshot {
         ));
         if self.connections_opened > 0 {
             out.push_str(&format!(
-                "  conns   opened    {:>8}   reused  {:>6}   replayed {:>6}   discarded {:>6}\n",
+                "  conns   opened    {:>8}   reused  {:>6}   replayed {:>6}   discarded {:>6}   shed {:>6}\n",
                 self.connections_opened,
                 self.connections_reused,
                 self.connections_replayed,
-                self.connections_discarded
+                self.connections_discarded,
+                self.connections_shed
             ));
             out.push_str(&format!(
                 "  pipe    depth hwm {:>8}\n",

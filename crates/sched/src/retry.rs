@@ -33,10 +33,12 @@ pub enum ErrorClass {
 pub fn classify(err: &Error) -> ErrorClass {
     match err {
         Error::Api { reason, .. } => match reason {
-            // `backendError` is the API's only retryable reason
-            // (simulated 5xx); everything else is the server's final
+            // `backendError` is a simulated 5xx and `rateLimitExceeded`
+            // is a 429 shed under overload — both are explicitly
+            // transient (the server's `Retry-After` promises capacity
+            // will return); everything else is the server's final
             // answer.
-            ApiErrorReason::BackendError => ErrorClass::Retryable,
+            ApiErrorReason::BackendError | ApiErrorReason::RateLimited => ErrorClass::Retryable,
             ApiErrorReason::QuotaExceeded
             | ApiErrorReason::InvalidParameter
             | ApiErrorReason::InvalidSearchFilter
@@ -113,6 +115,9 @@ mod tests {
     fn classification_matches_the_quota_model() {
         let retryable = Error::api(ApiErrorReason::BackendError, "simulated 5xx");
         assert_eq!(classify(&retryable), ErrorClass::Retryable);
+        // A 429 shed promises capacity will return; it must be retried.
+        let shed = Error::api(ApiErrorReason::RateLimited, "tenant over rate");
+        assert_eq!(classify(&shed), ErrorClass::Retryable);
         assert_eq!(
             classify(&Error::Io("timed out".into())),
             ErrorClass::Retryable

@@ -1,0 +1,354 @@
+//! Multi-tenant admission front end for `ytaudit serve`.
+//!
+//! Every API key registered here is a *tenant* with its own
+//! [`QuotaGovernor`] bucket; the front end prices each request in quota
+//! units (search = 100, everything else = 1) and admits it through the
+//! tenant's bucket *before* the request reaches the service. Admission is
+//! strictly non-blocking — a loaded server sheds with `429` and a
+//! `Retry-After` hint instead of queueing, so the event loop behind it is
+//! never stalled by one tenant's burst. A global in-flight cap backstops
+//! the per-tenant buckets: past it, everything is shed regardless of
+//! whose bucket has room.
+//!
+//! The `/metrics` route renders the shared [`MetricsRegistry`] plus the
+//! front end's own counters as a plain-text page, so a load driver (or a
+//! human with `curl`) can watch admission behavior live.
+
+use crate::governor::QuotaGovernor;
+use crate::metrics::MetricsRegistry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use ytaudit_api::{endpoint_for_path, route, ApiService};
+use ytaudit_net::server::Handler;
+use ytaudit_net::{Request, Response, StatusCode};
+use ytaudit_types::{ApiErrorReason, Error};
+
+/// One tenant: an API key, its private quota bucket, and its ledger.
+pub struct Tenant {
+    governor: QuotaGovernor,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Tenant {
+    fn new(governor: QuotaGovernor) -> Tenant {
+        Tenant {
+            governor,
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests this tenant has had admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed (429) because this tenant's bucket was empty.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Quota units the tenant's governor has let through. Exactly the
+    /// sum of the admitted requests' endpoint costs — the invariant the
+    /// admission test pins down.
+    pub fn units_admitted(&self) -> u64 {
+        self.governor.units_admitted()
+    }
+}
+
+/// The tenant table: API key → [`Tenant`].
+#[derive(Default)]
+pub struct TenantRegistry {
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> TenantRegistry {
+        TenantRegistry::default()
+    }
+
+    /// Registers `key` with its own governor, replacing any previous
+    /// registration. Returns the tenant handle for ledger inspection.
+    pub fn register(&self, key: &str, governor: QuotaGovernor) -> Arc<Tenant> {
+        let tenant = Arc::new(Tenant::new(governor));
+        self.tenants
+            .lock()
+            .insert(key.to_string(), Arc::clone(&tenant));
+        tenant
+    }
+
+    /// Looks up a tenant by API key.
+    pub fn get(&self, key: &str) -> Option<Arc<Tenant>> {
+        self.tenants.lock().get(key).cloned()
+    }
+
+    /// Every `(key, tenant)` pair, sorted by key for stable display.
+    pub fn all(&self) -> Vec<(String, Arc<Tenant>)> {
+        let mut all: Vec<_> = self
+            .tenants
+            .lock()
+            .iter()
+            .map(|(k, t)| (k.clone(), Arc::clone(t)))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+}
+
+/// Admission front end: wraps an [`ApiService`] with per-tenant quota,
+/// a global in-flight cap, and a `/metrics` page. Implements the net
+/// [`Handler`] trait, so the same instance can sit behind the blocking
+/// server and the event-loop server.
+pub struct ServeFront {
+    service: Arc<ApiService>,
+    tenants: Arc<TenantRegistry>,
+    metrics: Arc<MetricsRegistry>,
+    max_in_flight: u64,
+    in_flight: AtomicU64,
+    requests: AtomicU64,
+    shed_quota: AtomicU64,
+    shed_overload: AtomicU64,
+    started: Instant,
+}
+
+impl ServeFront {
+    /// Wraps `service`. `max_in_flight` caps requests inside handlers
+    /// across all connections; 0 means uncapped.
+    pub fn new(
+        service: Arc<ApiService>,
+        tenants: Arc<TenantRegistry>,
+        metrics: Arc<MetricsRegistry>,
+        max_in_flight: u64,
+    ) -> ServeFront {
+        ServeFront {
+            service,
+            tenants,
+            metrics,
+            max_in_flight,
+            in_flight: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            shed_quota: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            // ytlint: allow(determinism) — uptime display on /metrics
+            // only; no dataset bytes depend on it
+            started: Instant::now(),
+        }
+    }
+
+    /// The tenant table, for registering keys and reading ledgers.
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.tenants
+    }
+
+    /// Total requests seen (admitted or shed).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed because a tenant's quota bucket was empty.
+    pub fn shed_quota(&self) -> u64 {
+        self.shed_quota.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed by the global in-flight cap.
+    pub fn shed_overload(&self) -> u64 {
+        self.shed_overload.load(Ordering::Relaxed)
+    }
+
+    fn shed_response(&self, reason: &str) -> Response {
+        let (code, body) =
+            ytaudit_api::service::error_response(&Error::api(ApiErrorReason::RateLimited, reason));
+        Response::json(StatusCode(code), body.into_bytes()).with_header("retry-after", "1")
+    }
+
+    fn metrics_page(&self) -> Response {
+        let mut page = String::from("ytaudit serve metrics\n");
+        let uptime = self.started.elapsed().as_secs_f64();
+        let requests = self.requests();
+        let _ = writeln!(page, "  uptime_seconds      {uptime:.1}");
+        let _ = writeln!(page, "  requests_total      {requests}");
+        let _ = writeln!(
+            page,
+            "  requests_per_second {:.1}",
+            if uptime > 0.0 {
+                requests as f64 / uptime
+            } else {
+                0.0
+            }
+        );
+        let _ = writeln!(page, "  shed_quota_total    {}", self.shed_quota());
+        let _ = writeln!(page, "  shed_overload_total {}", self.shed_overload());
+        for (key, tenant) in self.tenants.all() {
+            let _ = writeln!(
+                page,
+                "  tenant {key:<12} admitted {:>8}   units {:>10}   shed {:>8}",
+                tenant.admitted(),
+                tenant.units_admitted(),
+                tenant.shed()
+            );
+        }
+        page.push('\n');
+        page.push_str(&self.metrics.snapshot().render_table());
+        Response::text(StatusCode::OK, page)
+    }
+
+    fn admit_and_route(&self, req: &Request) -> Response {
+        // Price the request before touching the service: only API
+        // endpoint routes cost quota; /healthz and /admin pass through.
+        let endpoint = match endpoint_for_path(&req.path) {
+            Some(endpoint) => endpoint,
+            None => return route(&self.service, req),
+        };
+        let key = req
+            .query
+            .pairs()
+            .iter()
+            .find(|(k, _)| k == "key")
+            .map(|(_, v)| v.clone());
+        // Keys without a tenant registration fall through to the
+        // service's own auth (403 for unknown keys) — tenancy is an
+        // *admission* layer, not an authentication layer.
+        let tenant = key.as_deref().and_then(|k| self.tenants.get(k));
+        if let Some(tenant) = &tenant {
+            if !tenant.governor.try_admit(endpoint.cost()) {
+                tenant.shed.fetch_add(1, Ordering::Relaxed);
+                self.shed_quota.fetch_add(1, Ordering::Relaxed);
+                return self.shed_response("Tenant rate limit exceeded; retry shortly.");
+            }
+            tenant.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+        // ytlint: allow(determinism) — request latency metric only
+        let start = Instant::now();
+        let response = route(&self.service, req);
+        self.metrics.record_latency(endpoint, start.elapsed());
+        response
+    }
+}
+
+impl Handler for ServeFront {
+    fn handle(&self, req: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if req.path == "/metrics" {
+            return self.metrics_page();
+        }
+        // Global backstop: cap requests concurrently inside handlers.
+        // fetch_add first, judge after — two racing requests at the
+        // boundary can both be admitted one over the cap, which is fine
+        // for load shedding; what matters is the counter never leaks.
+        if self.max_in_flight > 0
+            && self.in_flight.fetch_add(1, Ordering::AcqRel) >= self.max_in_flight
+        {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.shed_overload.fetch_add(1, Ordering::Relaxed);
+            return self.shed_response("Server over capacity; retry shortly.");
+        }
+        let response = self.admit_and_route(req);
+        if self.max_in_flight > 0 {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ytaudit_platform::{Platform, SimClock};
+
+    fn front(max_in_flight: u64) -> ServeFront {
+        let platform = Arc::new(Platform::small(0.25));
+        let service = Arc::new(ApiService::new(platform, SimClock::at_audit_start()));
+        service.quota().register("alpha", 100_000_000);
+        service.quota().register("beta", 100_000_000);
+        ServeFront::new(
+            service,
+            Arc::new(TenantRegistry::new()),
+            Arc::new(MetricsRegistry::new()),
+            max_in_flight,
+        )
+    }
+
+    fn videos_request(key: &str) -> Request {
+        let url = ytaudit_net::Url::parse(&format!(
+            "http://x/youtube/v3/videos?part=id&id=nosuch&key={key}"
+        ))
+        .expect("static url");
+        Request::get(url.path.clone()).with_query(url.query)
+    }
+
+    #[test]
+    fn tenant_ledger_matches_admitted_requests_exactly() {
+        let front = front(0);
+        // Zero refill, burst 100 at cost 1/request: exactly 100 admits.
+        let tenant = front
+            .tenants()
+            .register("alpha", QuotaGovernor::per_second(0.0, 100.0));
+        let req = videos_request("alpha");
+        let mut admitted = 0u64;
+        let mut shed = 0u64;
+        for _ in 0..150 {
+            let resp = front.handle(&req);
+            if resp.status.0 == 429 {
+                shed += 1;
+                assert_eq!(resp.headers.get("retry-after"), Some("1"));
+            } else {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 100);
+        assert_eq!(shed, 50);
+        assert_eq!(tenant.admitted(), 100);
+        assert_eq!(tenant.shed(), 50);
+        // The governor ledger is exactly the sum of admitted costs.
+        assert_eq!(tenant.units_admitted(), 100);
+        assert_eq!(front.shed_quota(), 50);
+        assert_eq!(front.shed_overload(), 0);
+    }
+
+    #[test]
+    fn unregistered_keys_fall_through_to_service_auth() {
+        let front = front(0);
+        // `beta` has service-side quota but no tenant bucket: admitted.
+        let ok = front.handle(&videos_request("beta"));
+        assert_eq!(ok.status.0, 200);
+        // A key the service never heard of is a 403, not a 429.
+        let forbidden = front.handle(&videos_request("nobody"));
+        assert_eq!(forbidden.status.0, 403);
+    }
+
+    #[test]
+    fn metrics_page_reports_tenants_and_shed_totals() {
+        let front = front(0);
+        front
+            .tenants()
+            .register("alpha", QuotaGovernor::per_second(0.0, 100.0));
+        for _ in 0..120 {
+            front.handle(&videos_request("alpha"));
+        }
+        let page = front.handle(&Request::get("/metrics"));
+        assert_eq!(page.status.0, 200);
+        let text = page.body_text().expect("utf-8 page");
+        assert!(text.contains("tenant alpha"), "{text}");
+        assert!(text.contains("shed_quota_total    20"), "{text}");
+        assert!(text.contains("requests_total      121"), "{text}");
+    }
+
+    #[test]
+    fn in_flight_counter_never_leaks_across_sheds() {
+        // Cap 0 is uncapped; cap 1 with sequential calls never sheds,
+        // and the counter returns to zero after every request.
+        let front = front(1);
+        for _ in 0..20 {
+            let resp = front.handle(&videos_request("beta"));
+            assert_eq!(resp.status.0, 200);
+        }
+        assert_eq!(front.shed_overload(), 0);
+        assert_eq!(front.in_flight.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end admission tests: exact shed counts through a real socket,
+//! ledger consistency, and the client's retry treatment of a 429.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use ytaudit_api::service::error_response;
+use ytaudit_api::{ApiService, Endpoint};
+use ytaudit_client::{InProcessTransport, Transport, YouTubeClient};
+use ytaudit_net::evloop::EvloopServer;
+use ytaudit_net::resilience::{Backoff, RetryPolicy};
+use ytaudit_net::server::ServerConfig;
+use ytaudit_net::HttpClient;
+use ytaudit_platform::{Platform, SimClock};
+use ytaudit_sched::{MetricsRegistry, QuotaGovernor, ServeFront, TenantRegistry};
+use ytaudit_types::{ApiErrorReason, Error, Timestamp, VideoId};
+
+fn service() -> Arc<ApiService> {
+    let platform = Arc::new(Platform::small(0.25));
+    let service = Arc::new(ApiService::new(platform, SimClock::at_audit_start()));
+    service.quota().register("tenant-a", 100_000_000);
+    service
+}
+
+/// Drives a zero-refill tenant bucket over a real event-loop socket and
+/// pins down the exact shed arithmetic: `burst` admissions, everything
+/// after that a 429 with Retry-After, and a governor ledger equal to the
+/// sum of admitted request costs — not one unit more.
+#[test]
+fn overload_sheds_exactly_past_the_burst() {
+    const BURST: u64 = 40;
+    const TOTAL: u64 = 100;
+    let front = Arc::new(ServeFront::new(
+        service(),
+        Arc::new(TenantRegistry::new()),
+        Arc::new(MetricsRegistry::new()),
+        0,
+    ));
+    let tenant = front
+        .tenants()
+        .register("tenant-a", QuotaGovernor::per_second(0.0, BURST as f64));
+    let server = EvloopServer::bind("127.0.0.1:0", front, ServerConfig::default())
+        .expect("bind event-loop server");
+    let client = HttpClient::new();
+    let url = format!(
+        "{}/youtube/v3/videos?part=id&id=nosuch&key=tenant-a",
+        server.base_url()
+    );
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..TOTAL {
+        let resp = client.get(&url).expect("request");
+        match resp.status.0 {
+            200 => ok += 1,
+            429 => {
+                shed += 1;
+                assert_eq!(resp.headers.get("retry-after"), Some("1"));
+                let text = resp.body_text().expect("envelope");
+                assert!(text.contains("rateLimitExceeded"), "{text}");
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    // Videos.list costs 1 unit, so the bucket admits exactly BURST.
+    assert_eq!(ok, BURST);
+    assert_eq!(shed, TOTAL - BURST);
+    assert_eq!(tenant.admitted(), BURST);
+    assert_eq!(tenant.shed(), TOTAL - BURST);
+    assert_eq!(tenant.units_admitted(), BURST * Endpoint::Videos.cost());
+    // The client saw every shed as a distinct 429, not a discard.
+    assert_eq!(client.pool_stats().shed(), TOTAL - BURST);
+    server.shutdown();
+}
+
+/// A transport that sheds its first N calls with the real 429 envelope,
+/// then delegates — the wire behavior of a briefly-overloaded server.
+struct ShedFirst {
+    inner: InProcessTransport,
+    remaining: AtomicU64,
+    calls: AtomicU64,
+}
+
+impl Transport for ShedFirst {
+    fn execute(
+        &self,
+        endpoint: Endpoint,
+        params: &[(String, String)],
+        api_key: &str,
+        now: Option<Timestamp>,
+    ) -> ytaudit_types::Result<(u16, String)> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let shed = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        if shed {
+            let (code, body) = error_response(&Error::api(
+                ApiErrorReason::RateLimited,
+                "Server over capacity; retry shortly.",
+            ));
+            return Ok((code, body));
+        }
+        self.inner.execute(endpoint, params, api_key, now)
+    }
+
+    fn label(&self) -> &'static str {
+        "shed-first"
+    }
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        backoff: Backoff {
+            base: Duration::from_millis(1),
+            factor: 1.0,
+            max: Duration::from_millis(2),
+            jitter: 0.0,
+            seed: 1,
+        },
+    }
+}
+
+/// The client must treat a 429 as retryable — the `Retry-After` contract
+/// is that capacity comes back — and succeed on the next attempt without
+/// surfacing the shed to the caller.
+#[test]
+fn client_retries_through_a_shed_and_succeeds() {
+    let service = service();
+    let transport = Arc::new(ShedFirst {
+        inner: InProcessTransport::new(Arc::clone(&service)),
+        remaining: AtomicU64::new(1),
+        calls: AtomicU64::new(0),
+    });
+    struct Shared(Arc<ShedFirst>);
+    impl Transport for Shared {
+        fn execute(
+            &self,
+            endpoint: Endpoint,
+            params: &[(String, String)],
+            api_key: &str,
+            now: Option<Timestamp>,
+        ) -> ytaudit_types::Result<(u16, String)> {
+            self.0.execute(endpoint, params, api_key, now)
+        }
+        fn label(&self) -> &'static str {
+            self.0.label()
+        }
+    }
+    let client = YouTubeClient::new(Box::new(Shared(Arc::clone(&transport))), "tenant-a")
+        .with_retry(fast_retry());
+    let videos = client
+        .videos(&[VideoId::new("nosuch")])
+        .expect("shed then success");
+    assert!(videos.is_empty());
+    // Exactly two attempts: the shed and the successful retry.
+    assert_eq!(transport.calls.load(Ordering::SeqCst), 2);
+
+    // With sheds outlasting the attempt budget, the failure surfaces as
+    // the rate-limit reason, not a generic error.
+    let transport = Arc::new(ShedFirst {
+        inner: InProcessTransport::new(service),
+        remaining: AtomicU64::new(u64::MAX),
+        calls: AtomicU64::new(0),
+    });
+    let client = YouTubeClient::new(Box::new(Shared(Arc::clone(&transport))), "tenant-a")
+        .with_retry(fast_retry());
+    let err = client
+        .videos(&[VideoId::new("nosuch")])
+        .expect_err("always shed");
+    assert_eq!(err.api_reason(), Some(ApiErrorReason::RateLimited));
+}

@@ -41,6 +41,13 @@ pub enum ApiErrorReason {
     /// Catch-all server-side failure (HTTP 500); the client retries these.
     #[serde(rename = "backendError")]
     BackendError,
+    /// The server shed the request under load (HTTP 429). Carried with a
+    /// `Retry-After` header on the wire; the client retries after backing
+    /// off. Distinct from [`ApiErrorReason::QuotaExceeded`]: the daily
+    /// budget is intact, the request merely arrived faster than the
+    /// server-side admission rate allows.
+    #[serde(rename = "rateLimitExceeded")]
+    RateLimited,
 }
 
 impl ApiErrorReason {
@@ -53,6 +60,7 @@ impl ApiErrorReason {
             | ApiErrorReason::InvalidPageToken => 400,
             ApiErrorReason::NotFound => 404,
             ApiErrorReason::BackendError => 500,
+            ApiErrorReason::RateLimited => 429,
         }
     }
 
@@ -66,6 +74,7 @@ impl ApiErrorReason {
             ApiErrorReason::Forbidden => "forbidden",
             ApiErrorReason::NotFound => "notFound",
             ApiErrorReason::BackendError => "backendError",
+            ApiErrorReason::RateLimited => "rateLimitExceeded",
         }
     }
 
@@ -79,15 +88,19 @@ impl ApiErrorReason {
             "forbidden" => ApiErrorReason::Forbidden,
             "notFound" => ApiErrorReason::NotFound,
             "backendError" => ApiErrorReason::BackendError,
+            "rateLimitExceeded" => ApiErrorReason::RateLimited,
             _ => return None,
         })
     }
 
     /// Whether a client should retry a request that failed for this reason.
-    /// Only transient backend failures are retryable; quota exhaustion and
-    /// validation errors are not.
+    /// Transient backend failures and load shedding are retryable; quota
+    /// exhaustion and validation errors are not.
     pub fn is_retryable(self) -> bool {
-        matches!(self, ApiErrorReason::BackendError)
+        matches!(
+            self,
+            ApiErrorReason::BackendError | ApiErrorReason::RateLimited
+        )
     }
 }
 
@@ -185,6 +198,7 @@ mod tests {
             ApiErrorReason::Forbidden,
             ApiErrorReason::NotFound,
             ApiErrorReason::BackendError,
+            ApiErrorReason::RateLimited,
         ] {
             assert_eq!(ApiErrorReason::from_str_opt(reason.as_str()), Some(reason));
         }
@@ -197,11 +211,13 @@ mod tests {
         assert_eq!(ApiErrorReason::InvalidParameter.http_status(), 400);
         assert_eq!(ApiErrorReason::NotFound.http_status(), 404);
         assert_eq!(ApiErrorReason::BackendError.http_status(), 500);
+        assert_eq!(ApiErrorReason::RateLimited.http_status(), 429);
     }
 
     #[test]
     fn retryability() {
         assert!(ApiErrorReason::BackendError.is_retryable());
+        assert!(ApiErrorReason::RateLimited.is_retryable());
         assert!(!ApiErrorReason::QuotaExceeded.is_retryable());
         assert!(Error::Io("reset".into()).is_retryable());
         assert!(!Error::Decode("bad json".into()).is_retryable());
