@@ -170,7 +170,9 @@ impl<S: CollectorSink> CollectorSink for Progress<S> {
 /// Where API traffic goes: a served base URL or an in-process simulated
 /// service. Built once, before choosing the sequential or scheduler
 /// path, so every worker shares the same platform and quota ledger.
-enum Backend {
+/// Shared with `ytaudit work`, whose workers pick a backend the same
+/// way.
+pub(crate) enum Backend {
     Http(String),
     InProcess(Arc<ApiService>),
 }
@@ -190,7 +192,7 @@ impl Backend {
     }
 
     /// A per-worker transport factory for the scheduler.
-    fn factory(&self, in_flight: usize) -> Box<dyn TransportFactory> {
+    pub(crate) fn factory(&self, in_flight: usize) -> Box<dyn TransportFactory> {
         match self {
             Backend::Http(base) => {
                 Box::new(HttpFactory::new(base.clone()).with_max_in_flight(in_flight))
@@ -294,6 +296,61 @@ fn drive(
     }
 }
 
+/// Builds the collection plan from the shared schedule flags
+/// (`--paper` / `--snapshots` / `--interval-days` / `--no-*`). Used by
+/// both `collect` and `coordinate` so a distributed run describes
+/// exactly the plan a local one would.
+pub(crate) fn plan_config(
+    args: &Args,
+    topics: Vec<Topic>,
+) -> Result<CollectorConfig, ArgError> {
+    let schedule = if args.flag("paper") {
+        Schedule::paper()
+    } else {
+        let snapshots: usize = args.get_parsed("snapshots", 4)?;
+        let interval: i64 = args.get_parsed("interval-days", 5)?;
+        Schedule::every(Timestamp::from_ymd_const(2025, 2, 9), interval, snapshots)
+    };
+    Ok(CollectorConfig {
+        topics,
+        schedule,
+        hourly_bins: true,
+        fetch_metadata: !args.flag("no-metadata"),
+        fetch_channels: !args.flag("no-channels"),
+        fetch_comments: !args.flag("no-comments"),
+        shard: None,
+    })
+}
+
+/// Builds the traffic backend from the shared `--base-url` /
+/// `--scale` / `--seed` flags; the in-process path registers `key`
+/// with effectively unbounded quota. Used by both `collect` and
+/// `work`.
+pub(crate) fn build_backend(args: &Args, key: &str, tag: &str) -> Result<Backend, ArgError> {
+    Ok(match args.get("base-url") {
+        Some(base) => Backend::Http(base.to_string()),
+        None => {
+            let scale: f64 = args.get_parsed("scale", 1.0)?;
+            let mut corpus_config = CorpusConfig {
+                scale,
+                ..CorpusConfig::default()
+            };
+            if let Some(seed) = args.get("seed") {
+                corpus_config.seed = seed
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --seed {seed:?}")))?;
+            }
+            eprintln!("[{tag}] generating in-process corpus (scale {scale})…");
+            let service = Arc::new(ApiService::new(
+                Arc::new(Platform::new(Corpus::generate(corpus_config))),
+                SimClock::at_audit_start(),
+            ));
+            service.quota().register(key, u64::MAX / 2);
+            Backend::InProcess(service)
+        }
+    })
+}
+
 /// Runs the command.
 pub fn run(args: &Args) -> Result<(), ArgError> {
     let topics = parse_topics(args.get("topics"))?;
@@ -331,45 +388,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         ));
     }
 
-    let schedule = if args.flag("paper") {
-        Schedule::paper()
-    } else {
-        let snapshots: usize = args.get_parsed("snapshots", 4)?;
-        let interval: i64 = args.get_parsed("interval-days", 5)?;
-        Schedule::every(Timestamp::from_ymd_const(2025, 2, 9), interval, snapshots)
-    };
-    let config = CollectorConfig {
-        topics,
-        schedule,
-        hourly_bins: true,
-        fetch_metadata: !args.flag("no-metadata"),
-        fetch_channels: !args.flag("no-channels"),
-        fetch_comments: !args.flag("no-comments"),
-        shard: None,
-    };
-
-    let backend = match args.get("base-url") {
-        Some(base) => Backend::Http(base.to_string()),
-        None => {
-            let scale: f64 = args.get_parsed("scale", 1.0)?;
-            let mut corpus_config = CorpusConfig {
-                scale,
-                ..CorpusConfig::default()
-            };
-            if let Some(seed) = args.get("seed") {
-                corpus_config.seed = seed
-                    .parse()
-                    .map_err(|_| ArgError(format!("invalid --seed {seed:?}")))?;
-            }
-            eprintln!("[collect] generating in-process corpus (scale {scale})…");
-            let service = Arc::new(ApiService::new(
-                Arc::new(Platform::new(Corpus::generate(corpus_config))),
-                SimClock::at_audit_start(),
-            ));
-            service.quota().register(&key, u64::MAX / 2);
-            Backend::InProcess(service)
-        }
-    };
+    let config = plan_config(args, topics)?;
+    let backend = build_backend(args, &key, "collect")?;
 
     eprintln!(
         "[collect] {} topics × {} snapshots, hourly-binned{}{}…",

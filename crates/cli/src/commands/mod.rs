@@ -2,6 +2,7 @@
 
 pub mod analyze;
 pub mod collect;
+pub mod dist;
 pub mod lint;
 pub mod quota;
 pub mod serve;
@@ -13,6 +14,8 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
     Some(match command {
         "serve" => serve::USAGE,
         "collect" => collect::USAGE,
+        "coordinate" => dist::COORDINATE_USAGE,
+        "work" => dist::WORK_USAGE,
         "analyze" => analyze::USAGE,
         "lint" => lint::USAGE,
         "quota" => quota::USAGE,
@@ -77,7 +80,16 @@ mod tests {
 
     #[test]
     fn usage_exists_for_all_commands() {
-        for cmd in ["serve", "collect", "analyze", "quota", "store", "topics"] {
+        for cmd in [
+            "serve",
+            "collect",
+            "coordinate",
+            "work",
+            "analyze",
+            "quota",
+            "store",
+            "topics",
+        ] {
             assert!(usage_for(cmd).is_some(), "{cmd}");
         }
         assert!(usage_for("bogus").is_none());

@@ -41,12 +41,15 @@ OPTIONS:
 
 BENCH MODE:
     --bench                 bind BOTH servers on ephemeral ports, drive
-                            each with a closed-loop load generator, write
-                            a report, and exit (nonzero on any 5xx or
-                            connection reset)
+                            each with a closed-loop load generator,
+                            append a git-SHA-keyed report entry, and exit
+                            (nonzero on any 5xx or connection reset)
     --bench-conns <N>       concurrent keep-alive connections (default 512)
     --bench-secs <N>        seconds per server                (default 5)
-    --bench-out <PATH>      report path         (default BENCH_serve.json)
+    --bench-out <PATH>      report history path (default BENCH_serve.json;
+                            a JSON array, one entry per run keyed by the
+                            commit SHA — runs accumulate instead of
+                            overwriting)
 
 Tenanted serving prices each request in quota units (search 100, all
 other endpoints 1) and sheds with 429 + Retry-After when a tenant's
@@ -212,6 +215,44 @@ fn report_json(label: &str, connections: usize, report: &LoadReport) -> String {
     )
 }
 
+/// The commit the bench ran at: `GITHUB_SHA` in CI, `git rev-parse
+/// HEAD` on a developer checkout, `"unknown"` anywhere else. Keys the
+/// report history so regressions are attributable to a commit.
+fn bench_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.trim().is_empty() {
+            return sha.trim().to_string();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Builds the new report file contents: the existing JSON array (if the
+/// file holds one — the pre-history single-object format starts fresh)
+/// with `entry` appended. The format stays plain enough to assemble
+/// without a serializer: entries are joined inside one `[ … ]`.
+fn append_history(path: &str, entry: &str) -> String {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim();
+    let prior = trimmed
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .map(str::trim)
+        .filter(|s| !s.is_empty());
+    match prior {
+        Some(entries) => format!("[\n{entries},\n{entry}\n]\n"),
+        None => format!("[\n{entry}\n]\n"),
+    }
+}
+
 fn bench(args: &Args) -> Result<(), ArgError> {
     let conns: usize = args.get_parsed("bench-conns", 512usize)?;
     let secs: u64 = args.get_parsed("bench-secs", 5u64)?;
@@ -262,13 +303,15 @@ fn bench(args: &Args) -> Result<(), ArgError> {
     evloop.shutdown();
     blocking.shutdown();
 
-    let json = format!(
-        "{{\n{},\n{}\n}}\n",
+    let entry = format!(
+        "{{\n  \"sha\": \"{}\",\n{},\n{}\n}}",
+        bench_sha(),
         report_json("evloop", load.connections, &ev_report),
         report_json("blocking", blocking_load.connections, &bl_report),
     );
+    let json = append_history(&out, &entry);
     std::fs::write(&out, &json).map_err(|e| ArgError(format!("write {out}: {e}")))?;
-    println!("bench report written to {out}");
+    println!("bench report appended to {out}");
 
     let failures = ev_report.count_5xx()
         + bl_report.count_5xx()

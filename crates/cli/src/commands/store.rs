@@ -3,7 +3,7 @@
 use crate::args::{ArgError, Args};
 use crate::commands::write_atomic;
 use std::path::{Path, PathBuf};
-use ytaudit_store::{discover_shard_paths, merge_shards, Store};
+use ytaudit_store::{discover_shard_paths, discover_shard_paths_in, merge_shards, Store};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -13,7 +13,7 @@ USAGE:
     ytaudit store info        <file.yts>
     ytaudit store verify      <file.yts>
     ytaudit store compact     <file.yts> [--out <dest.yts>]
-    ytaudit store merge       <dest.yts> [shard.yts ...]
+    ytaudit store merge       <dest.yts> [shard.yts | dir | glob ...]
     ytaudit store export-json <file.yts> [--out dataset.json]
 
 ACTIONS:
@@ -25,10 +25,13 @@ ACTIONS:
     compact       rewrite committed data into a fresh file, dropping
                   orphan records and dead segments (in place via
                   tmp+rename unless --out names a destination)
-    merge         fold the shard stores of a `collect --shards` run into
-                  one canonical store at <dest.yts>, byte-identical to a
-                  single-sink collection; shard paths are discovered next
-                  to <dest.yts> unless listed explicitly. Crash-safe: an
+    merge         fold the shard stores of a `collect --shards` (or
+                  `coordinate`) run into one canonical store at
+                  <dest.yts>, byte-identical to a single-sink collection.
+                  With no shard arguments, shards are discovered next to
+                  <dest.yts> by their canonical names; each argument may
+                  be a shard file, a directory to discover shards in, or
+                  a `*` glob (quote it past the shell). Crash-safe: an
                   interrupted merge resumes from its `.merging` file
     export-json   materialize the store as a legacy JSON dataset
                   (equivalent to `ytaudit collect --out`)";
@@ -146,12 +149,79 @@ fn compact(spath: &str, path: &Path, out: Option<&str>) -> Result<(), ArgError> 
     Ok(())
 }
 
+/// Expands one `store merge` shard argument: a directory discovers the
+/// canonically named shards inside it, a `*` pattern matches file names
+/// in its parent directory, anything else is a literal path.
+fn expand_shard_arg(dest: &Path, raw: &str) -> Result<Vec<PathBuf>, ArgError> {
+    let path = Path::new(raw);
+    if path.is_dir() {
+        return discover_shard_paths_in(dest, path)
+            .map_err(|e| ArgError(format!("cannot discover shards in {raw}: {e}")));
+    }
+    let pattern = path.file_name().and_then(|n| n.to_str()).unwrap_or(raw);
+    if !pattern.contains('*') {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    let dir = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."));
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| ArgError(format!("cannot read directory {}: {e}", dir.display())))?;
+    let mut matches: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|name| glob_match(pattern, name))
+        })
+        .map(|e| e.path())
+        .collect();
+    if matches.is_empty() {
+        return Err(ArgError(format!("no files match {raw:?}")));
+    }
+    matches.sort();
+    Ok(matches)
+}
+
+/// Matches a `*`-only glob (no `?`, no character classes): the literal
+/// pieces between stars must appear in order, with the first and last
+/// anchored to the ends of the name.
+fn glob_match(pattern: &str, name: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('*').collect();
+    let Some((first, rest_parts)) = parts.split_first() else {
+        return name.is_empty();
+    };
+    if parts.len() == 1 {
+        return pattern == name;
+    }
+    let Some(mut rest) = name.strip_prefix(first) else {
+        return false;
+    };
+    for (i, part) in rest_parts.iter().enumerate() {
+        if i == rest_parts.len() - 1 {
+            return rest.ends_with(part);
+        }
+        match rest.find(part) {
+            Some(pos) => rest = &rest[pos + part.len()..],
+            None => return false,
+        }
+    }
+    true
+}
+
 fn merge(spath: &str, dest: &Path, explicit: &[String]) -> Result<(), ArgError> {
     let shard_paths: Vec<PathBuf> = if explicit.is_empty() {
         discover_shard_paths(dest)
             .map_err(|e| ArgError(format!("cannot discover shards for {spath}: {e}")))?
     } else {
-        explicit.iter().map(PathBuf::from).collect()
+        let mut paths = Vec::new();
+        for raw in explicit {
+            paths.append(&mut expand_shard_arg(dest, raw)?);
+        }
+        paths.sort();
+        paths.dedup();
+        paths
     };
     eprintln!("[store] merging {} shard stores into {spath}…", shard_paths.len());
     for p in &shard_paths {
@@ -197,4 +267,58 @@ fn export_json(spath: &str, path: &Path, out: &str) -> Result<(), ArgError> {
         dataset.quota_units_spent
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_matches_star_patterns() {
+        assert!(glob_match("audit.shard-*.yts", "audit.shard-higgs.yts"));
+        assert!(glob_match("audit.shard-*.yts", "audit.shard-0.yts"));
+        assert!(!glob_match("audit.shard-*.yts", "audit.channels.yts"));
+        assert!(!glob_match("audit.shard-*.yts", "other.shard-0.yts"));
+        assert!(!glob_match("audit.shard-*.yts", "audit.shard-0.yts.bak"));
+        assert!(glob_match("*.yts", "a.yts"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a*b*c", "a-x-b-y-c"));
+        assert!(!glob_match("a*b*c", "a-x-c"));
+        assert!(!glob_match("a*a", "a"));
+        assert!(glob_match("exact.yts", "exact.yts"));
+        assert!(!glob_match("exact.yts", "other.yts"));
+    }
+
+    #[test]
+    fn expand_falls_back_to_literal_paths() {
+        let dest = Path::new("audit.yts");
+        assert_eq!(
+            expand_shard_arg(dest, "some/literal.yts").unwrap(),
+            vec![PathBuf::from("some/literal.yts")]
+        );
+        assert!(expand_shard_arg(dest, "no-such-dir/*.yts").is_err());
+    }
+
+    #[test]
+    fn expand_discovers_in_directory_and_glob() {
+        let dir = ytaudit_store::TempDir::new("cli-merge-expand");
+        let dest = dir.file("audit.yts");
+        let a = dir.file("audit.shard-0.yts");
+        let b = dir.file("audit.shard-1.yts");
+        let c = dir.file("audit.channels.yts");
+        for p in [&a, &b, &c] {
+            std::fs::write(p, b"x").unwrap();
+        }
+        std::fs::write(dir.file("unrelated.yts"), b"x").unwrap();
+
+        let dir_arg = dir.path().to_str().unwrap().to_string();
+        let mut expected = vec![a.clone(), b.clone(), c.clone()];
+        expected.sort();
+        assert_eq!(expand_shard_arg(&dest, &dir_arg).unwrap(), expected);
+
+        let glob_arg = format!("{dir_arg}/audit.shard-*.yts");
+        let mut shards_only = vec![a, b];
+        shards_only.sort();
+        assert_eq!(expand_shard_arg(&dest, &glob_arg).unwrap(), shards_only);
+    }
 }

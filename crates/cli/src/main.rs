@@ -11,6 +11,10 @@
 //!                  [--base-url http://…] [--out dataset.json]
 //!                  [--store audit.yts] [--resume]
 //!                  [--workers N] [--shards N] [--rate units/sec]
+//! ytaudit coordinate --store audit.yts [--shards N] [--listen 127.0.0.1:0]
+//!                  [--ttl-secs 30] [--merge] [plan flags as collect]
+//! ytaudit work     --coordinator http://… [--workdir dist-work] [--name W]
+//!                  [--key KEY] [--workers N] [--scale 1.0] [--base-url http://…]
 //! ytaudit analyze  <dataset.json> [--store audit.yts] [--experiment all|table1|
 //!                  table2|table3|table4|table5|table6|table7|fig1|fig2|fig3|fig4]
 //! ytaudit store    <info|verify|compact|merge|export-json> <file.yts> [--out …]
@@ -24,7 +28,9 @@
 //! or any served instance (`--base-url`), writing the dataset as JSON or
 //! committing it pair-by-pair to a crash-safe snapshot store (`--store`,
 //! resumable with `--resume`, shardable across per-topic stores with
-//! `--shards`); `analyze` re-runs any of the paper's analyses on a
+//! `--shards`); `coordinate`/`work` distribute the same plan across
+//! processes — crash-safe leases over HTTP, exactly-once shard
+//! hand-off, byte-canonical merge; `analyze` re-runs any of the paper's analyses on a
 //! stored dataset; `store` inspects, verifies, compacts, merges
 //! (`collect --shards` output), or exports snapshot stores; `quota`
 //! prices a collection plan in quota
@@ -45,6 +51,8 @@ USAGE:
 COMMANDS:
     serve      start the simulated Data API v3 on a TCP socket
     collect    run an audit collection (JSON dataset or snapshot store)
+    coordinate lease a collection plan to distributed workers over HTTP
+    work       execute leased ranges for a coordinator
     analyze    run the paper's analyses on a collected dataset
     store      inspect, verify, compact, merge, or export a snapshot store
     quota      price a collection plan in quota units
@@ -79,6 +87,7 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
             "resume",
             "evloop",
             "bench",
+            "merge",
         ],
     )?;
     let command = args.positional(0).unwrap_or("help");
@@ -89,6 +98,8 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
     match command {
         "serve" => commands::serve::run(&args),
         "collect" => commands::collect::run(&args),
+        "coordinate" => commands::dist::coordinate(&args),
+        "work" => commands::dist::work(&args),
         "analyze" => commands::analyze::run(&args),
         "store" => commands::store::run(&args),
         "quota" => commands::quota::run(&args),

@@ -28,7 +28,7 @@ use ytaudit_types::{
 };
 
 /// What to collect.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollectorConfig {
     /// Topics to audit.
     pub topics: Vec<Topic>,

@@ -1,0 +1,51 @@
+//! # ytaudit-dist
+//!
+//! Coordinator/worker distribution of a collection plan across
+//! processes, over the `ytaudit-net` HTTP stack.
+//!
+//! The paper's audit (16 snapshots × hour-binned search windows per
+//! topic) is embarrassingly partitionable, and the local shard/merge
+//! machinery (`ytaudit-core::shard`, `ytaudit-store::merge`) already
+//! proves that a topic-sharded collection folds back into a store
+//! byte-identical to a single-sink run. This crate adds the missing
+//! cross-process leg:
+//!
+//! * [`protocol`] — the binary wire protocol: lease / renew / chunked
+//!   ship endpoints, the [`protocol::DistErrorKind`] wire error enum,
+//!   and the [`protocol::DistPlan`] every grant carries so workers need
+//!   no out-of-band plan file;
+//! * [`coordinator`] — the lease state machine (`Open → Leased →
+//!   Committed`, with ttl expiry re-opening a range under a fresh
+//!   fencing token) and the exactly-once shard hand-off: the durable
+//!   commit marker is the validated shard store installed at its
+//!   canonical path, so a restarted coordinator rebuilds state from the
+//!   filesystem and a duplicate ship is a verified no-op;
+//! * [`worker`] — the lease/execute/ship loop, reusing the ordinary
+//!   scheduler against a local shard `.yts` (resumable like `collect
+//!   --resume`) and classifying every coordinator error through
+//!   [`retry::classify`];
+//! * [`retry`] — the worker-side disposition of every wire error kind,
+//!   held exhaustive by the `retry-exhaustive` lint.
+//!
+//! Crash-matrix faultpoints mirror the store's: `dist.lease-grant`
+//! (coordinator dies while granting), `dist.pre-ship` (worker dies
+//! after executing, before shipping), and `dist.pre-accept`
+//! (coordinator dies after validating an upload, before installing
+//! it). The correctness bar at every kill point is the workspace's
+//! standing one: the merged store is byte-identical to a single-sink
+//! run and no task is executed-and-committed twice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod protocol;
+pub mod retry;
+pub mod worker;
+
+pub use coordinator::{Coordinator, DistCounters};
+pub use protocol::{DistError, DistErrorKind, DistPlan, LeaseGrant, LeaseReply, ShipReply};
+pub use retry::{classify, DistErrorClass};
+pub use worker::{
+    run_worker, CoordinatorChannel, HttpChannel, LocalChannel, WorkerConfig, WorkerReport,
+};

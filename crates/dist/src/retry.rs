@@ -1,0 +1,86 @@
+//! Worker-side disposition of every dist wire error.
+//!
+//! The worker's reaction to a coordinator error is a correctness
+//! decision, not a convenience: retrying a `LeaseExpired` would fight
+//! the worker the range was re-issued to, while abandoning a transient
+//! `Internal` would strand a healthy range. As with the scheduler's
+//! task classifier, the `retry-exhaustive` lint enforces that
+//! [`classify`] takes an explicit position on every [`DistErrorKind`]
+//! variant and contains no wildcard arm.
+
+use crate::protocol::DistErrorKind;
+
+/// What the worker should do about a dist error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistErrorClass {
+    /// Transient: retry the same call after a short pause (bounded).
+    Retry,
+    /// The upload state is desynchronized: restart the ship from
+    /// `ship/begin` (bounded).
+    RestartShip,
+    /// The range no longer belongs to this worker: stop working on it
+    /// and ask for a fresh lease. Never an error for the run.
+    Abandon,
+    /// A protocol or data bug: surface it and stop the worker.
+    Fatal,
+}
+
+/// Classifies a dist wire error into the worker's reaction.
+pub fn classify(kind: DistErrorKind) -> DistErrorClass {
+    match kind {
+        // The coordinator hit a transient failure (I/O hiccup, injected
+        // crash): the call is safe to repeat.
+        DistErrorKind::Internal => DistErrorClass::Retry,
+        // Upload-state mismatches: whatever the coordinator holds no
+        // longer lines up with what we sent (a lost chunk, a coordinator
+        // restart mid-upload). Re-opening the upload resets both sides.
+        DistErrorKind::ChunkOutOfOrder => DistErrorClass::RestartShip,
+        DistErrorKind::ChunkCrcMismatch => DistErrorClass::RestartShip,
+        DistErrorKind::ShipIncomplete => DistErrorClass::RestartShip,
+        // The lease fence says someone else owns this range now (or it
+        // is already committed): competing with them can only waste
+        // work, never win.
+        DistErrorKind::LeaseExpired => DistErrorClass::Abandon,
+        DistErrorKind::UnknownRange => DistErrorClass::Abandon,
+        // We shipped bytes that do not decode as the leased shard, or
+        // sent a malformed request: a bug, not a condition to retry.
+        DistErrorKind::ShardInvalid => DistErrorClass::Fatal,
+        DistErrorKind::BadRequest => DistErrorClass::Fatal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_is_classified() {
+        // One assertion per variant, so a new variant that is added to
+        // the match without a deliberate class choice fails loudly here
+        // (and the retry-exhaustive lint fails if it never reaches the
+        // match at all).
+        assert_eq!(classify(DistErrorKind::Internal), DistErrorClass::Retry);
+        assert_eq!(
+            classify(DistErrorKind::ChunkOutOfOrder),
+            DistErrorClass::RestartShip
+        );
+        assert_eq!(
+            classify(DistErrorKind::ChunkCrcMismatch),
+            DistErrorClass::RestartShip
+        );
+        assert_eq!(
+            classify(DistErrorKind::ShipIncomplete),
+            DistErrorClass::RestartShip
+        );
+        assert_eq!(
+            classify(DistErrorKind::LeaseExpired),
+            DistErrorClass::Abandon
+        );
+        assert_eq!(
+            classify(DistErrorKind::UnknownRange),
+            DistErrorClass::Abandon
+        );
+        assert_eq!(classify(DistErrorKind::ShardInvalid), DistErrorClass::Fatal);
+        assert_eq!(classify(DistErrorKind::BadRequest), DistErrorClass::Fatal);
+    }
+}

@@ -12,7 +12,7 @@
 //! | `determinism` | no `Instant::now`/`SystemTime::now`/`thread_rng` outside `ytaudit-platform::clock` |
 //! | `panics` | no `unwrap`/`expect`/`panic!` in non-test library code |
 //! | `indexing` | no literal-index (`xs[0]`) in non-test library code |
-//! | `retry-exhaustive` | every `Error`/`ApiErrorReason` variant classified in `sched/retry.rs`, no wildcard |
+//! | `retry-exhaustive` | every `Error`/`ApiErrorReason` variant classified in `sched/retry.rs` and every `DistErrorKind` in `dist/retry.rs`, no wildcard |
 //! | `quota-consistency` | quota constants/cost table agree across api, client, sched, cli |
 //!
 //! Violations that are provably safe carry an inline suppression:

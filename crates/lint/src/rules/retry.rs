@@ -1,19 +1,22 @@
-//! Rule `retry-exhaustive`: the scheduler's error classifier must take a
-//! position on every error the workspace can produce.
+//! Rule `retry-exhaustive`: every error classifier in the workspace
+//! must take a position on every error its callers can produce.
 //!
-//! `ytaudit-sched`'s retry loop decides, per failed task, whether the
-//! whole run retries or drains. That decision is only trustworthy if
-//! every `ytaudit_types::Error` variant and every `ApiErrorReason` is
-//! explicitly classified — a wildcard arm silently absorbs new variants
-//! as whatever the wildcard says, which is exactly how a new
-//! `rateLimitExceeded`-style reason would end up fatally draining a
-//! 12-week collection. Two checks:
+//! A classifier decides, per failure, whether the caller retries,
+//! restarts, abandons, or drains. That decision is only trustworthy if
+//! every variant of the error enum is explicitly classified — a
+//! wildcard arm silently absorbs new variants as whatever the wildcard
+//! says, which is exactly how a new `rateLimitExceeded`-style reason
+//! would end up fatally draining a 12-week collection. The rule checks
+//! each (enum file, classifier file) anchor pair:
 //!
-//! 1. every variant of `Error` and `ApiErrorReason` (as defined in
-//!    `crates/types/src/error.rs`) is mentioned as `Enum::Variant`
-//!    somewhere in `crates/sched/src/retry.rs` (classifier or its
-//!    tests), and
+//! 1. every variant of the anchor's enums is mentioned as
+//!    `Enum::Variant` somewhere in the classifier file (the classifier
+//!    or its tests), and
 //! 2. the `classify` function contains no `_ =>` wildcard arm.
+//!
+//! Anchored classifiers: the scheduler's task-retry classifier over
+//! `ytaudit_types::{Error, ApiErrorReason}`, and the distribution
+//! worker's wire-error classifier over `DistErrorKind`.
 
 use super::Rule;
 use crate::diag::Diagnostic;
@@ -21,14 +24,31 @@ use crate::lex::{Token, TokenKind};
 use crate::source::SourceFile;
 use crate::workspace::Workspace;
 
-/// Where the error enums live.
-const ENUM_FILE: &str = "crates/types/src/error.rs";
+/// One (error enum file, classifier file) pair the rule holds
+/// exhaustive.
+struct Anchor {
+    /// Where the error enums live.
+    enum_file: &'static str,
+    /// Where the classifier (a `fn classify` with no wildcard) lives.
+    classifier_file: &'static str,
+    /// The enums the classifier must cover.
+    enums: &'static [&'static str],
+}
 
-/// Where the classifier lives.
-const CLASSIFIER_FILE: &str = "crates/sched/src/retry.rs";
-
-/// The enums the classifier must cover.
-const ENUMS: &[&str] = &["Error", "ApiErrorReason"];
+/// Every classifier the workspace holds exhaustive. Fixture workspaces
+/// that lack an anchor's enum file simply skip that anchor.
+const ANCHORS: &[Anchor] = &[
+    Anchor {
+        enum_file: "crates/types/src/error.rs",
+        classifier_file: "crates/sched/src/retry.rs",
+        enums: &["Error", "ApiErrorReason"],
+    },
+    Anchor {
+        enum_file: "crates/dist/src/protocol.rs",
+        classifier_file: "crates/dist/src/retry.rs",
+        enums: &["DistErrorKind"],
+    },
+];
 
 /// The retry-exhaustiveness rule.
 pub struct RetryExhaustive;
@@ -39,96 +59,107 @@ impl Rule for RetryExhaustive {
     }
 
     fn description(&self) -> &'static str {
-        "every Error/ApiErrorReason variant is classified in sched's retry module"
+        "every error-enum variant is classified in its retry module, no wildcard"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        let Some(enums) = ws.file(ENUM_FILE) else {
-            // Fixture workspaces without the anchor files simply skip
-            // the rule; the real workspace always has them (and the
-            // workspace-clean test pins that).
-            return;
-        };
-        let Some(classifier) = ws.file(CLASSIFIER_FILE) else {
-            out.push(Diagnostic::new(
-                self.name(),
-                ENUM_FILE,
-                1,
-                1,
-                format!("`{CLASSIFIER_FILE}` is missing, so error variants are unclassified"),
-            ));
-            return;
-        };
+        for anchor in ANCHORS {
+            check_anchor(self.name(), anchor, ws, out);
+        }
+    }
+}
 
-        for enum_name in ENUMS {
-            let Some((variants, decl_line)) = enum_variants(enums, enum_name) else {
+/// Runs both checks for one anchor pair.
+fn check_anchor(rule: &'static str, anchor: &Anchor, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(enums) = ws.file(anchor.enum_file) else {
+        // Fixture workspaces without the anchor files simply skip the
+        // anchor; the real workspace always has them (and the
+        // workspace-clean test pins that).
+        return;
+    };
+    let Some(classifier) = ws.file(anchor.classifier_file) else {
+        out.push(Diagnostic::new(
+            rule,
+            anchor.enum_file,
+            1,
+            1,
+            format!(
+                "`{}` is missing, so error variants are unclassified",
+                anchor.classifier_file
+            ),
+        ));
+        return;
+    };
+
+    for enum_name in anchor.enums {
+        let Some((variants, decl_line)) = enum_variants(enums, enum_name) else {
+            out.push(
+                Diagnostic::new(
+                    rule,
+                    anchor.enum_file,
+                    1,
+                    1,
+                    format!("rule anchor missing: `enum {enum_name}` not found"),
+                )
+                .with_help("if the enum moved, update crates/lint/src/rules/retry.rs"),
+            );
+            continue;
+        };
+        for (variant, _) in &variants {
+            if !mentions_variant(classifier, enum_name, variant) {
                 out.push(
                     Diagnostic::new(
-                        self.name(),
-                        ENUM_FILE,
+                        rule,
+                        anchor.enum_file,
+                        decl_line,
                         1,
-                        1,
-                        format!("rule anchor missing: `enum {enum_name}` not found"),
-                    )
-                    .with_help("if the enum moved, update crates/lint/src/rules/retry.rs"),
-                );
-                continue;
-            };
-            for (variant, _) in &variants {
-                if !mentions_variant(classifier, enum_name, variant) {
-                    out.push(
-                        Diagnostic::new(
-                            self.name(),
-                            ENUM_FILE,
-                            decl_line,
-                            1,
-                            format!(
-                                "`{enum_name}::{variant}` is never mentioned in \
-                                 {CLASSIFIER_FILE}: the retry classifier takes no position \
-                                 on it"
-                            ),
-                        )
-                        .with_help(
-                            "add it to classify()'s match (and to the classification test) \
-                             so retry-vs-drain is an explicit decision",
+                        format!(
+                            "`{enum_name}::{variant}` is never mentioned in \
+                             {}: the retry classifier takes no position \
+                             on it",
+                            anchor.classifier_file
                         ),
-                    );
-                }
+                    )
+                    .with_help(
+                        "add it to classify()'s match (and to the classification test) \
+                         so retry-vs-drain is an explicit decision",
+                    ),
+                );
             }
         }
+    }
 
-        // No wildcard inside fn classify.
-        if let Some((body_start, body_end)) = fn_body_span(classifier, "classify") {
-            let toks = &classifier.tokens;
-            for i in body_start..body_end {
-                if toks[i].kind == TokenKind::Ident
-                    && toks[i].text == "_"
-                    && toks.get(i + 1).is_some_and(|a| a.text == "=")
-                    && toks.get(i + 2).is_some_and(|b| b.text == ">")
-                {
-                    out.push(
-                        Diagnostic::new(
-                            self.name(),
-                            &classifier.path,
-                            toks[i].line,
-                            toks[i].col,
-                            "wildcard `_ =>` arm in classify(): new error variants would be \
-                             classified silently"
-                                .to_string(),
-                        )
-                        .with_help("list every variant explicitly"),
-                    );
-                }
+    // No wildcard inside fn classify.
+    if let Some((body_start, body_end)) = fn_body_span(classifier, "classify") {
+        let toks = &classifier.tokens;
+        for i in body_start..body_end {
+            if toks[i].kind == TokenKind::Ident
+                && toks[i].text == "_"
+                && toks.get(i + 1).is_some_and(|a| a.text == "=")
+                && toks.get(i + 2).is_some_and(|b| b.text == ">")
+            {
+                out.push(
+                    Diagnostic::new(
+                        rule,
+                        &classifier.path,
+                        toks[i].line,
+                        toks[i].col,
+                        "wildcard `_ =>` arm in classify(): new error variants would be \
+                         classified silently"
+                            .to_string(),
+                    )
+                    .with_help("list every variant explicitly"),
+                );
             }
-        } else {
-            out.push(Diagnostic::new(
-                self.name(),
-                &classifier.path,
-                1,
-                1,
-                "rule anchor missing: `fn classify` not found".to_string(),
-            ));
         }
+    } else {
+        out.push(Diagnostic::new(
+            rule,
+            &classifier.path,
+            1,
+            1,
+            "rule anchor missing: `fn classify` not found".to_string(),
+        ));
     }
 }
 

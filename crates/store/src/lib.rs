@@ -49,7 +49,8 @@ pub mod wire;
 
 pub use error::{Result, StoreError};
 pub use merge::{
-    discover_shard_paths, finish_store_path, merge_shards, shard_store_path, MergeReport,
+    discover_shard_paths, discover_shard_paths_in, finish_store_path, merge_shards,
+    shard_store_path, MergeReport,
 };
 pub use records::{CollectionMeta, Record};
 pub use store::{fsync_dir_of, DatasetSelection, Store, StoreStats, VerifyReport};

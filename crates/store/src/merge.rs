@@ -74,6 +74,13 @@ pub fn discover_shard_paths(dest: &Path) -> Result<Vec<PathBuf>> {
         .parent()
         .filter(|p| !p.as_os_str().is_empty())
         .unwrap_or_else(|| Path::new("."));
+    discover_shard_paths_in(dest, dir)
+}
+
+/// Like [`discover_shard_paths`], but scanning `dir` instead of the
+/// directory `dest` lives in — for shard sets staged somewhere else
+/// (a worker's scratch directory, a download area) before the merge.
+pub fn discover_shard_paths_in(dest: &Path, dir: &Path) -> Result<Vec<PathBuf>> {
     let stem = dest.file_stem().and_then(|s| s.to_str()).unwrap_or("store");
     let ext = dest.extension().and_then(|s| s.to_str()).unwrap_or("yts");
     let shard_prefix = format!("{stem}.shard-");

@@ -22,7 +22,11 @@
 //!   resumable collections (`ytaudit collect --store … --resume`);
 //! * [`sched`] — the concurrent collection scheduler: worker pool,
 //!   shared quota governor, task retry policy, plan-order reorder
-//!   buffer, and metrics (`ytaudit collect --workers N`).
+//!   buffer, and metrics (`ytaudit collect --workers N`);
+//! * [`dist`] — cross-process distribution of a collection plan:
+//!   crash-safe coordinator leases, worker execution over the ordinary
+//!   scheduler, and exactly-once chunked shard hand-off (`ytaudit
+//!   coordinate` / `ytaudit work`).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@
 pub use ytaudit_api as api;
 pub use ytaudit_client as client;
 pub use ytaudit_core as core;
+pub use ytaudit_dist as dist;
 pub use ytaudit_net as net;
 pub use ytaudit_platform as platform;
 pub use ytaudit_sched as sched;
