@@ -5,18 +5,21 @@
 //! binary does.
 
 use crate::args::{ArgError, Args};
-use ytaudit_lint::{check_path, find_root, render, rule_names, CheckOptions, Format};
+use ytaudit_lint::{all_rules, check_path, find_root, render, rule_names, CheckOptions, Format};
 
 pub const USAGE: &str = "\
 ytaudit lint — check workspace invariants (determinism, panic-freedom,
-retry-classification exhaustiveness, quota-table consistency)
+retry-classification exhaustiveness, quota-table consistency, event-loop
+blocking-reachability, lock ordering, fsync-then-rename discipline)
 
 USAGE:
-    ytaudit lint [--root PATH] [--format human|json] [--rule NAME]...
+    ytaudit lint [--root PATH] [--format human|json|sarif] [--rule NAME]...
+    ytaudit lint rules
 
 OPTIONS:
     --root PATH      workspace root (default: walk up from the cwd)
-    --format FMT     human (default) or json
+    --format FMT     human (default), json, or sarif (2.1.0, for CI
+                     code-scanning annotations)
     --rule NAME      run only this rule (repeatable; default: all rules,
                      including suppression hygiene)
 
@@ -26,12 +29,28 @@ or for a whole file of fixed-size-array arithmetic:
     // ytlint: allow-file(rule) — <why every site is safe>";
 
 pub fn run(args: &Args) -> Result<(), ArgError> {
+    match args.positional(1) {
+        Some("rules") => {
+            for rule in all_rules() {
+                println!("{:<18} {}", rule.name(), rule.description());
+            }
+            return Ok(());
+        }
+        Some(other) => {
+            return Err(ArgError(format!(
+                "unknown lint subcommand {other:?}; expected `rules` or no subcommand"
+            )));
+        }
+        None => {}
+    }
+
     let format = match args.get("format").unwrap_or("human") {
         "human" => Format::Human,
         "json" => Format::Json,
+        "sarif" => Format::Sarif,
         other => {
             return Err(ArgError(format!(
-                "unknown format {other:?}; expected human or json"
+                "unknown format {other:?}; expected human, json, or sarif"
             )))
         }
     };

@@ -25,13 +25,27 @@ pub fn usage_for(command: &str) -> Option<&'static str> {
     })
 }
 
-/// Writes `contents` to `path` atomically: a full write to `<path>.tmp`
-/// followed by a rename, so a crash mid-write can never leave a
-/// truncated file at the destination.
+/// Writes `contents` to `path` atomically and durably: a full write to
+/// `<path>.tmp`, an fsync of the temp file, a rename, and an fsync of
+/// the parent directory — so a crash at any point leaves either the old
+/// file or the complete new one, and a completed call survives power
+/// loss. (Plain `fs::write` + rename only guarantees atomicity, not
+/// durability: the rename can land before the data does.)
 pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
     let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    let dir = std::path::Path::new(path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."));
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
 }
 
 /// Parses a `--topics` value (`all` or comma-separated keys).

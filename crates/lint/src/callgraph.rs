@@ -1,0 +1,544 @@
+//! The workspace call graph: a symbol table over every analyzable
+//! function plus conservative call resolution and reachability queries.
+//!
+//! Resolution is name-based, not type-based — the linter has no type
+//! inference. The rules that consume the graph accept that tradeoff
+//! explicitly (DESIGN §14):
+//!
+//! - **Path calls** (`store::open`, `Store::open`, `Self::f`,
+//!   `ytaudit_store::fsync_dir_of`) resolve through the file's `use`
+//!   imports, then by qualifier: an uppercase qualifier names an impl
+//!   type, a lowercase one a module file stem, a `ytaudit_*`/`crate`
+//!   segment narrows to a crate. `std`/`core`/`alloc` paths resolve to
+//!   nothing.
+//! - **Bare calls** (`f(…)`) resolve to free functions in the same file,
+//!   else through imports, else to same-crate free functions.
+//! - **Method calls**: `self.f(…)` stays inside the enclosing impl
+//!   type; `x.f(…)` dispatches to methods of impl types whose name
+//!   correlates with the receiver binding (`client.send` →
+//!   `HttpClient::send`, `engine.run` → `SearchEngine::run`), so a std
+//!   call like `map.get(…)` or `tx.send(…)` does not alias every
+//!   workspace namesake. Chained receivers (`x.lock().f(…)`) are
+//!   opaque and resolve to nothing. Dyn-trait dispatch is invisible
+//!   here by design — rules that care (evloop-blocking) declare the
+//!   concrete handler impls themselves.
+//!
+//! Test targets and `#[cfg(test)]` regions are excluded from the graph
+//! entirely, so a test helper named `handle` never becomes a dispatch
+//! target for production rules.
+
+use crate::items::{CallKind, CallSite, FileItems, FnItem, Receiver};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// A function identity: (file index in `ws.files`, fn index in that
+/// file's items).
+pub type FnId = (usize, usize);
+
+/// The built graph.
+pub struct CallGraph<'ws> {
+    /// The workspace the graph was built over.
+    pub ws: &'ws Workspace,
+    /// Per-file extracted items, parallel to `ws.files` (empty for test
+    /// targets).
+    pub items: Vec<FileItems>,
+    /// Every analyzable (non-test) function.
+    pub fns: Vec<FnId>,
+    /// Resolved callees per analyzable function, parallel to its
+    /// `calls` vector.
+    targets: HashMap<FnId, Vec<Vec<FnId>>>,
+}
+
+/// The result of a forward reachability sweep: which functions were
+/// reached and via which call edge (for chain rendering).
+pub struct Reach {
+    reached: HashSet<FnId>,
+    parent: HashMap<FnId, FnId>,
+}
+
+impl Reach {
+    /// Whether `id` was reached.
+    pub fn contains(&self, id: FnId) -> bool {
+        self.reached.contains(&id)
+    }
+
+    /// All reached functions (unordered).
+    pub fn all(&self) -> impl Iterator<Item = FnId> + '_ {
+        self.reached.iter().copied()
+    }
+
+    /// The call chain from the nearest root to `id` (inclusive).
+    pub fn chain_to(&self, id: FnId) -> Vec<FnId> {
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(&p) = self.parent.get(&cur) {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+impl<'ws> CallGraph<'ws> {
+    /// Extracts items and resolves every call site in the workspace.
+    pub fn build(ws: &'ws Workspace) -> CallGraph<'ws> {
+        let items: Vec<FileItems> = ws
+            .files
+            .iter()
+            .map(|f| {
+                if f.is_test_target() {
+                    FileItems::default()
+                } else {
+                    FileItems::parse(&f.tokens)
+                }
+            })
+            .collect();
+
+        // Symbol tables: methods (fns with a self type) and free fns.
+        let mut methods: HashMap<String, Vec<FnId>> = HashMap::new();
+        let mut free: HashMap<String, Vec<FnId>> = HashMap::new();
+        let mut fns = Vec::new();
+        for (fi, file_items) in items.iter().enumerate() {
+            let file = &ws.files[fi];
+            for (ni, f) in file_items.fns.iter().enumerate() {
+                if file.in_test_code(f.line) {
+                    continue;
+                }
+                fns.push((fi, ni));
+                if f.self_type.is_some() {
+                    methods.entry(f.name.clone()).or_default().push((fi, ni));
+                } else {
+                    free.entry(f.name.clone()).or_default().push((fi, ni));
+                }
+            }
+        }
+
+        let mut graph = CallGraph {
+            ws,
+            items,
+            fns,
+            targets: HashMap::new(),
+        };
+        let mut targets = HashMap::new();
+        for &id in &graph.fns {
+            let item = graph.item(id);
+            let resolved: Vec<Vec<FnId>> = item
+                .calls
+                .iter()
+                .map(|call| graph.resolve(id, call, &methods, &free))
+                .collect();
+            targets.insert(id, resolved);
+        }
+        graph.targets = targets;
+        graph
+    }
+
+    /// The source file a function lives in.
+    pub fn file(&self, id: FnId) -> &SourceFile {
+        &self.ws.files[id.0]
+    }
+
+    /// The extracted item for a function.
+    pub fn item(&self, id: FnId) -> &FnItem {
+        &self.items[id.0].fns[id.1]
+    }
+
+    /// Resolved callees per call site, parallel to `item(id).calls`.
+    pub fn call_targets(&self, id: FnId) -> &[Vec<FnId>] {
+        self.targets.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Human name for chain rendering: `file-stem::fn` or
+    /// `file-stem::Type::fn`.
+    pub fn display(&self, id: FnId) -> String {
+        let stem = std::path::Path::new(&self.file(id).path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let item = self.item(id);
+        match &item.self_type {
+            Some(ty) => format!("{stem}::{ty}::{}", item.name),
+            None => format!("{stem}::{}", item.name),
+        }
+    }
+
+    /// Renders a chain of fn ids as display names.
+    pub fn display_chain(&self, chain: &[FnId]) -> Vec<String> {
+        chain.iter().map(|&id| self.display(id)).collect()
+    }
+
+    /// Analyzable functions named `name` in the file at exactly `path`.
+    pub fn find_fns(&self, path: &str, name: &str) -> Vec<FnId> {
+        self.fns
+            .iter()
+            .copied()
+            .filter(|&id| self.file(id).path == path && self.item(id).name == name)
+            .collect()
+    }
+
+    /// Forward BFS from `roots` over resolved edges. `filter` can veto
+    /// an edge (caller, call site, callee).
+    pub fn reach<F>(&self, roots: &[FnId], mut filter: F) -> Reach
+    where
+        F: FnMut(FnId, &CallSite, FnId) -> bool,
+    {
+        let mut reached: HashSet<FnId> = roots.iter().copied().collect();
+        let mut parent = HashMap::new();
+        let mut queue: VecDeque<FnId> = roots.iter().copied().collect();
+        while let Some(cur) = queue.pop_front() {
+            let calls = &self.item(cur).calls;
+            let resolved = self.call_targets(cur);
+            for (call, callees) in calls.iter().zip(resolved) {
+                for &callee in callees {
+                    if !reached.contains(&callee) && filter(cur, call, callee) {
+                        reached.insert(callee);
+                        parent.insert(callee, cur);
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+        Reach { reached, parent }
+    }
+
+    /// The set of functions from which a function satisfying `direct`
+    /// is reachable (including those functions themselves) — a reverse
+    /// transitive closure.
+    pub fn fns_reaching<F>(&self, mut direct: F) -> HashSet<FnId>
+    where
+        F: FnMut(&CallGraph<'_>, FnId) -> bool,
+    {
+        let mut set: HashSet<FnId> = self
+            .fns
+            .iter()
+            .copied()
+            .filter(|&id| direct(self, id))
+            .collect();
+        loop {
+            let mut changed = false;
+            for &id in &self.fns {
+                if set.contains(&id) {
+                    continue;
+                }
+                let hits = self
+                    .call_targets(id)
+                    .iter()
+                    .any(|callees| callees.iter().any(|c| set.contains(c)));
+                if hits {
+                    set.insert(id);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return set;
+            }
+        }
+    }
+
+    /// For every analyzable function: the set of lock names it acquires
+    /// directly or through any resolved callee (fixpoint over cycles).
+    pub fn transitive_locks(&self) -> HashMap<FnId, BTreeSet<String>> {
+        let mut locks: HashMap<FnId, BTreeSet<String>> = HashMap::new();
+        for &id in &self.fns {
+            let direct: BTreeSet<String> =
+                self.item(id).locks.iter().map(|l| l.name.clone()).collect();
+            locks.insert(id, direct);
+        }
+        loop {
+            let mut changed = false;
+            for &id in &self.fns {
+                let mut add = BTreeSet::new();
+                for callees in self.call_targets(id) {
+                    for c in callees {
+                        if let Some(theirs) = locks.get(c) {
+                            for name in theirs {
+                                add.insert(name.clone());
+                            }
+                        }
+                    }
+                }
+                let mine = locks.entry(id).or_default();
+                for name in add {
+                    if mine.insert(name) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return locks;
+            }
+        }
+    }
+
+    /// Shortest call path from `from` to a function that *directly*
+    /// acquires `lock` (inclusive on both ends).
+    pub fn path_to_lock(&self, from: FnId, lock: &str) -> Option<Vec<FnId>> {
+        let reach = self.reach(&[from], |_, _, _| true);
+        let holder = reach
+            .all()
+            .filter(|&id| self.item(id).locks.iter().any(|l| l.name == lock))
+            .min_by_key(|&id| reach.chain_to(id).len())?;
+        Some(reach.chain_to(holder))
+    }
+
+    /// Resolves one call site to candidate workspace functions.
+    fn resolve(
+        &self,
+        caller: FnId,
+        call: &CallSite,
+        methods: &HashMap<String, Vec<FnId>>,
+        free: &HashMap<String, Vec<FnId>>,
+    ) -> Vec<FnId> {
+        match &call.kind {
+            CallKind::Method { name, receiver } => {
+                let caller_type = self.item(caller).self_type.clone();
+                match receiver {
+                    Receiver::SelfDot => {
+                        // `self.f(…)` stays inside the impl type; if the
+                        // type has no such method it is a field/trait
+                        // call we cannot resolve, not an arbitrary
+                        // dispatch.
+                        let Some(ty) = caller_type else {
+                            return Vec::new();
+                        };
+                        methods
+                            .get(name.as_str())
+                            .map(|c| {
+                                c.iter()
+                                    .copied()
+                                    .filter(|&id| {
+                                        self.item(id).self_type.as_deref() == Some(ty.as_str())
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    }
+                    Receiver::Named(binding) => {
+                        // `x.f(…)` dispatches only to impl types whose
+                        // name correlates with the binding (`client.send`
+                        // → `HttpClient::send`, but `tx.send` → nothing).
+                        // Uncorrelated names are almost always std types
+                        // (`map.get`, `atomic.load`) whose workspace
+                        // namesakes would otherwise flood every chain.
+                        methods
+                            .get(name.as_str())
+                            .map(|c| {
+                                c.iter()
+                                    .copied()
+                                    .filter(|&id| {
+                                        self.item(id)
+                                            .self_type
+                                            .as_deref()
+                                            .is_some_and(|ty| correlated(binding, ty))
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    }
+                    // A chained-expression receiver (`x.lock().f(…)`,
+                    // `iter.map(…)`) is opaque — no dispatch.
+                    Receiver::Other => Vec::new(),
+                }
+            }
+            CallKind::Bare { name } => self.resolve_bare(caller, name, methods, free),
+            CallKind::Path { segments } => self.resolve_path(caller, segments, methods, free),
+        }
+    }
+
+    fn resolve_bare(
+        &self,
+        caller: FnId,
+        name: &str,
+        methods: &HashMap<String, Vec<FnId>>,
+        free: &HashMap<String, Vec<FnId>>,
+    ) -> Vec<FnId> {
+        let candidates = free.get(name).cloned().unwrap_or_default();
+        // Same file wins.
+        let same_file: Vec<FnId> = candidates
+            .iter()
+            .copied()
+            .filter(|&id| id.0 == caller.0)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        // An explicit import wins next.
+        let imports = &self.items[caller.0].imports;
+        if let Some(imp) = imports.iter().find(|i| i.alias == name) {
+            let resolved = self.resolve_path(caller, &imp.path, methods, free);
+            if !resolved.is_empty() {
+                return resolved;
+            }
+        }
+        // Fall back to free fns anywhere in the same crate.
+        let crate_name = &self.file(caller).crate_name;
+        candidates
+            .into_iter()
+            .filter(|&id| &self.file(id).crate_name == crate_name)
+            .collect()
+    }
+
+    fn resolve_path(
+        &self,
+        caller: FnId,
+        segments: &[String],
+        methods: &HashMap<String, Vec<FnId>>,
+        free: &HashMap<String, Vec<FnId>>,
+    ) -> Vec<FnId> {
+        // Expand a leading import alias (`faultpoint::should_trip` with
+        // `use ytaudit_platform::faultpoint;` in scope).
+        let imports = &self.items[caller.0].imports;
+        let expanded: Vec<String> = match segments
+            .first()
+            .and_then(|head| imports.iter().find(|i| &i.alias == head))
+        {
+            Some(imp) => imp
+                .path
+                .iter()
+                .chain(segments.iter().skip(1))
+                .cloned()
+                .collect(),
+            None => segments.to_vec(),
+        };
+        let Some((name, qual)) = expanded.split_last() else {
+            return Vec::new();
+        };
+        if qual.is_empty() {
+            return self.resolve_bare(caller, name, methods, free);
+        }
+        // External standard-library paths resolve to nothing.
+        if matches!(
+            qual.first().map(String::as_str),
+            Some("std" | "core" | "alloc")
+        ) {
+            return Vec::new();
+        }
+        // Crate scope from `ytaudit_*` or `crate`/`self`/`super`.
+        let caller_crate = self.file(caller).crate_name.clone();
+        let crate_scope: Option<String> = qual
+            .iter()
+            .find_map(|s| s.strip_prefix("ytaudit_").map(str::to_string))
+            .or_else(|| {
+                qual.iter()
+                    .any(|s| matches!(s.as_str(), "crate" | "self" | "super"))
+                    .then_some(caller_crate.clone())
+            });
+        // The effective qualifier: last segment that is not a crate ref.
+        let effective = qual.iter().rev().find(|s| {
+            !matches!(s.as_str(), "crate" | "self" | "super") && !s.starts_with("ytaudit_")
+        });
+
+        match effective {
+            Some(seg) if seg == "Self" => {
+                let Some(ty) = self.item(caller).self_type.clone() else {
+                    return Vec::new();
+                };
+                methods
+                    .get(name.as_str())
+                    .map(|c| {
+                        c.iter()
+                            .copied()
+                            .filter(|&id| self.item(id).self_type.as_deref() == Some(ty.as_str()))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            }
+            Some(seg) if seg.chars().next().is_some_and(char::is_uppercase) => {
+                // `Type::assoc(…)`.
+                methods
+                    .get(name.as_str())
+                    .map(|c| {
+                        c.iter()
+                            .copied()
+                            .filter(|&id| self.item(id).self_type.as_deref() == Some(seg.as_str()))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            }
+            Some(seg) => {
+                // `module::f(…)` — free fns in files with that stem,
+                // optionally narrowed to the crate scope.
+                let hits: Vec<FnId> = free
+                    .get(name.as_str())
+                    .map(|c| {
+                        c.iter()
+                            .copied()
+                            .filter(|&id| {
+                                let f = self.file(id);
+                                let stem = std::path::Path::new(&f.path)
+                                    .file_stem()
+                                    .map(|s| s.to_string_lossy().into_owned())
+                                    .unwrap_or_default();
+                                (stem == *seg || (stem == "lib" || stem == "mod"))
+                                    && crate_scope.as_ref().is_none_or(|cs| &f.crate_name == cs)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                hits
+            }
+            None => {
+                // Pure crate qualifier: `ytaudit_store::fsync_dir_of(…)`.
+                free.get(name.as_str())
+                    .map(|c| {
+                        c.iter()
+                            .copied()
+                            .filter(|&id| {
+                                crate_scope
+                                    .as_ref()
+                                    .is_none_or(|cs| &self.file(id).crate_name == cs)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            }
+        }
+    }
+}
+
+/// Whether a receiver binding plausibly names a value of type `ty`:
+/// `client` ↔ `HttpClient`, `stats` ↔ `PoolStats`, `tenants` ↔
+/// `TenantRegistry` — but not `tx` ↔ `HttpClient` or `map` ↔ anything.
+/// Compared case-insensitively, with underscores removed and a trailing
+/// plural `s` stripped from both sides; the binding matches if it equals
+/// the whole type name, is a substring of it (three letters or more), or
+/// equals one of its camel-case words.
+pub fn correlated(binding: &str, ty: &str) -> bool {
+    let recv = binding
+        .trim_start_matches("r#")
+        .to_ascii_lowercase()
+        .replace('_', "");
+    let recv = recv.trim_end_matches('s');
+    if recv.len() < 2 {
+        return false;
+    }
+    let tylow = ty.to_ascii_lowercase();
+    if tylow.trim_end_matches('s') == recv {
+        return true;
+    }
+    if recv.len() >= 3 && tylow.contains(recv) {
+        return true;
+    }
+    camel_words(ty)
+        .iter()
+        .any(|w| w.trim_end_matches('s') == recv)
+}
+
+/// Splits a camel-case type name into lowercase words
+/// (`TenantRegistry` → `["tenant", "registry"]`).
+fn camel_words(ty: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    for c in ty.chars() {
+        if c.is_uppercase() && !cur.is_empty() {
+            words.push(std::mem::take(&mut cur));
+        }
+        cur.extend(c.to_lowercase());
+    }
+    if !cur.is_empty() {
+        words.push(cur);
+    }
+    words
+}

@@ -1,9 +1,12 @@
-//! Diagnostics: the finding type plus human and JSON renderers.
+//! Diagnostics: the finding type plus human, JSON, and SARIF renderers.
 //!
 //! Human output is the familiar `path:line:col: rule: message` shape so
 //! editors and CI annotations can parse it; JSON output is a stable
 //! array-of-objects schema for machine consumption (the CI job uploads
-//! it as an artifact).
+//! it as an artifact); SARIF 2.1.0 output lets CI surface findings as
+//! PR-diff annotations. Call-graph rules attach the offending call
+//! chain (`evloop::event_loop → tenant::ServeFront::handle → …`), which
+//! every renderer includes.
 
 use std::fmt::Write as _;
 
@@ -22,6 +25,10 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix or suppress it.
     pub help: Option<String>,
+    /// For call-graph rules: the call chain from an analysis root to the
+    /// finding site (display names, outermost first). Empty for
+    /// single-site findings.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
@@ -40,12 +47,19 @@ impl Diagnostic {
             col,
             message: message.into(),
             help: None,
+            chain: Vec::new(),
         }
     }
 
     /// Attaches help text.
     pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
         self.help = Some(help.into());
+        self
+    }
+
+    /// Attaches a call chain (outermost first).
+    pub fn with_chain(mut self, chain: Vec<String>) -> Diagnostic {
+        self.chain = chain;
         self
     }
 }
@@ -57,25 +71,33 @@ pub enum Format {
     Human,
     /// A JSON array of finding objects.
     Json,
+    /// SARIF 2.1.0, for CI code-scanning annotations.
+    Sarif,
 }
 
 /// Renders diagnostics in the requested format. Diagnostics are sorted
 /// by (path, line, col, rule) so output is stable across runs.
 pub fn render(diags: &[Diagnostic], format: Format) -> String {
     let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
-    sorted.sort_by(|a, b| {
-        (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
-    });
+    sorted.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     match format {
         Format::Human => render_human(&sorted),
         Format::Json => render_json(&sorted),
+        Format::Sarif => render_sarif(&sorted),
     }
 }
 
 fn render_human(diags: &[&Diagnostic]) -> String {
     let mut out = String::new();
     for d in diags {
-        let _ = writeln!(out, "{}:{}:{}: {}: {}", d.path, d.line, d.col, d.rule, d.message);
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {}: {}",
+            d.path, d.line, d.col, d.rule, d.message
+        );
+        if !d.chain.is_empty() {
+            let _ = writeln!(out, "    chain: {}", d.chain.join(" → "));
+        }
         if let Some(help) = &d.help {
             let _ = writeln!(out, "    help: {help}");
         }
@@ -113,12 +135,83 @@ fn render_json(diags: &[&Diagnostic]) -> String {
                 out.push_str(", \"help\": null");
             }
         }
+        let _ = write!(out, ", \"chain\": {}", json_array(&d.chain));
         out.push('}');
     }
     if !diags.is_empty() {
         out.push('\n');
     }
     out.push_str("]\n");
+    out
+}
+
+/// Renders a minimal SARIF 2.1.0 log: one run, the rule catalogue as the
+/// tool's rule metadata, one result per finding. The call chain and help
+/// text are folded into the result message (SARIF code-flow objects are
+/// heavier than CI annotation consumers need).
+fn render_sarif(diags: &[&Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"ytaudit-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/ytaudit/ytaudit\",\n");
+    out.push_str("          \"rules\": [\n");
+    let mut catalogue: Vec<(String, String)> = crate::rules::all_rules()
+        .iter()
+        .map(|r| (r.name().to_string(), r.description().to_string()))
+        .collect();
+    catalogue.push((
+        crate::ALLOW_HYGIENE.to_string(),
+        "every ytlint allow directive has a reason, a known rule, and a live violation".to_string(),
+    ));
+    for (i, (id, desc)) in catalogue.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}",
+            json_str(id),
+            json_str(desc),
+            if i + 1 < catalogue.len() { "," } else { "" }
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let mut text = d.message.clone();
+        if !d.chain.is_empty() {
+            text.push_str("\nchain: ");
+            text.push_str(&d.chain.join(" → "));
+        }
+        if let Some(help) = &d.help {
+            text.push_str("\nhelp: ");
+            text.push_str(help);
+        }
+        let _ = writeln!(
+            out,
+            "        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}{}",
+            json_str(d.rule),
+            json_str(&text),
+            json_str(&d.path),
+            d.line,
+            d.col,
+            if i + 1 < diags.len() { "," } else { "" }
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Renders a JSON array of strings.
+fn json_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(item));
+    }
+    out.push(']');
     out
 }
 
@@ -167,7 +260,13 @@ mod tests {
     #[test]
     fn json_output_escapes_and_sorts() {
         let mut diags = sample();
-        diags.push(Diagnostic::new("panics", "c.rs", 1, 1, "say \"no\"\nplease"));
+        diags.push(Diagnostic::new(
+            "panics",
+            "c.rs",
+            1,
+            1,
+            "say \"no\"\nplease",
+        ));
         let text = render(&diags, Format::Json);
         assert!(text.starts_with('['));
         assert!(text.contains("\"say \\\"no\\\"\\nplease\""));
@@ -179,5 +278,54 @@ mod tests {
     fn empty_run_renders_cleanly() {
         assert!(render(&[], Format::Human).contains("no violations"));
         assert_eq!(render(&[], Format::Json), "[]\n");
+    }
+
+    #[test]
+    fn chains_render_in_every_format() {
+        let diags = vec![
+            Diagnostic::new("evloop-blocking", "a.rs", 4, 2, "blocks").with_chain(vec![
+                "evloop::event_loop".into(),
+                "tenant::ServeFront::handle".into(),
+            ]),
+        ];
+        let human = render(&diags, Format::Human);
+        assert!(
+            human.contains("chain: evloop::event_loop → tenant::ServeFront::handle"),
+            "{human}"
+        );
+        let json = render(&diags, Format::Json);
+        assert!(
+            json.contains("\"chain\": [\"evloop::event_loop\", \"tenant::ServeFront::handle\"]"),
+            "{json}"
+        );
+        let sarif = render(&diags, Format::Sarif);
+        assert!(sarif.contains("chain: evloop::event_loop"), "{sarif}");
+    }
+
+    #[test]
+    fn sarif_output_has_schema_rules_and_located_results() {
+        let text = render(&sample(), Format::Sarif);
+        assert!(text.contains("\"version\": \"2.1.0\""));
+        assert!(text.contains("sarif-2.1.0.json"));
+        // Every registered rule appears in the driver catalogue.
+        for rule in crate::rules::rule_names() {
+            assert!(
+                text.contains(&format!("\"id\": \"{rule}\"")),
+                "missing {rule}"
+            );
+        }
+        assert!(text.contains(&format!("\"id\": \"{}\"", crate::ALLOW_HYGIENE)));
+        // Results carry rule, path, and position.
+        assert!(text.contains("\"ruleId\": \"determinism\""));
+        assert!(text.contains("\"uri\": \"a.rs\""));
+        assert!(text.contains("\"startLine\": 1"));
+        // Sorted: a.rs's result precedes b.rs's.
+        assert!(text.find("a.rs").unwrap() < text.find("b.rs").unwrap());
+    }
+
+    #[test]
+    fn sarif_with_no_findings_is_still_a_valid_log() {
+        let text = render(&[], Format::Sarif);
+        assert!(text.contains("\"results\": [\n      ]"), "{text}");
     }
 }

@@ -1,0 +1,818 @@
+//! Lightweight item extraction: functions, `impl` blocks, `use` imports,
+//! call sites, and lock-acquisition sites, recovered from the token
+//! stream of one file.
+//!
+//! This is not a parser for Rust — it is the minimum structural layer the
+//! call-graph rules need, built on the same forgiving lexer as the token
+//! rules. It never fails; constructs it does not understand simply
+//! produce no items. The recovered shape per function is:
+//!
+//! - its name and (when declared inside `impl Type` / `impl Trait for
+//!   Type` / `trait Type`) its self type,
+//! - the token span of its body,
+//! - every call site in that body, classified as a path call
+//!   (`a::b::f(…)`), a bare call (`f(…)`), or a method call (`x.f(…)`),
+//! - every `.lock()` site, with the receiver field name, whether the
+//!   guard is bound to a `let` (and therefore outlives the statement),
+//!   and the token range over which the guard is held (truncated at an
+//!   explicit `drop(guard)`).
+
+use crate::lex::{Token, TokenKind};
+
+/// One `use` import, flattened: `use a::b::{c, d as e};` yields
+/// `(c, [a,b,c])` and `(e, [a,b,d])`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// The name the import binds in this file.
+    pub alias: String,
+    /// The full path segments the alias stands for.
+    pub path: Vec<String>,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `a::b::f(…)` — fully or partially qualified.
+    Path {
+        /// All path segments including the function name.
+        segments: Vec<String>,
+    },
+    /// `f(…)` — resolved via the local file, crate, then imports.
+    Bare {
+        /// The callee name.
+        name: String,
+    },
+    /// `receiver.f(…)` — resolved by method name across the workspace.
+    Method {
+        /// The method name.
+        name: String,
+        /// What the receiver syntactically is.
+        receiver: Receiver,
+    },
+}
+
+/// The syntactic receiver of a method call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// Literally `self.f(…)` — resolvable within the enclosing impl.
+    SelfDot,
+    /// `name.f(…)` — a local, field, or static.
+    Named(String),
+    /// Anything else (`expr().f(…)`, `xs[i].f(…)`, …).
+    Other,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// How the callee is named.
+    pub kind: CallKind,
+    /// Token index of the callee-name identifier.
+    pub token_idx: usize,
+    /// 1-based source line of the callee name.
+    pub line: usize,
+    /// 1-based source column of the callee name.
+    pub col: usize,
+}
+
+/// One `.lock()` acquisition site.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// The receiver identifier (`state` in `self.state.lock()`).
+    pub name: String,
+    /// Token index of the `lock` identifier.
+    pub token_idx: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// Whether the guard is bound by a `let` (held past the statement).
+    pub bound: bool,
+    /// Token index (exclusive) where the guard is dropped: the end of
+    /// the enclosing block for bound guards (truncated at an explicit
+    /// `drop(binding)`), the end of the statement for temporaries.
+    pub scope_end: usize,
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// The enclosing `impl`/`trait` type, when any.
+    pub self_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token range `[start, end)` of the body, between its braces.
+    pub body: (usize, usize),
+    /// Call sites in the body (nested `fn` items excluded).
+    pub calls: Vec<CallSite>,
+    /// Lock sites in the body (nested `fn` items excluded).
+    pub locks: Vec<LockSite>,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Flattened `use` imports.
+    pub imports: Vec<UseImport>,
+    /// Function items in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// Keywords that look like bare calls when followed by `(`.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "match", "loop", "return", "break", "continue", "as",
+    "move", "ref", "mut", "let", "unsafe", "where", "impl", "dyn", "fn", "use", "pub", "struct",
+    "enum", "type", "trait", "const", "static", "mod", "box", "await",
+];
+
+impl FileItems {
+    /// Extracts items from a token stream.
+    pub fn parse(tokens: &[Token]) -> FileItems {
+        let depth = brace_depth_before(tokens);
+        let imports = parse_imports(tokens);
+        let mut fns = parse_fns(tokens, &depth);
+        // Scan each body for calls and locks, skipping nested fn items so
+        // their sites are attributed to the inner function only.
+        let spans: Vec<(usize, (usize, usize))> = fns.iter().map(|f| (f.fn_idx, f.body)).collect();
+        for f in &mut fns {
+            let ranges = own_ranges(f.body, f.fn_idx, &spans);
+            for &(start, end) in &ranges {
+                scan_calls(tokens, start, end, &mut f.calls);
+                scan_locks(tokens, &depth, start, end, &mut f.locks);
+            }
+        }
+        FileItems { imports, fns }
+    }
+
+    /// The function declared at `fns[idx]`, with the token ranges of its
+    /// body that belong to it (nested fn items removed).
+    pub fn own_ranges(&self, idx: usize) -> Vec<(usize, usize)> {
+        let spans: Vec<(usize, (usize, usize))> =
+            self.fns.iter().map(|f| (f.fn_idx, f.body)).collect();
+        let f = &self.fns[idx];
+        own_ranges(f.body, f.fn_idx, &spans)
+    }
+}
+
+/// Brace depth *before* each token (length `tokens.len() + 1`).
+fn brace_depth_before(tokens: &[Token]) -> Vec<usize> {
+    let mut depth = Vec::with_capacity(tokens.len() + 1);
+    let mut d = 0usize;
+    for t in tokens {
+        depth.push(d);
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => d += 1,
+                "}" => d = d.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+    depth.push(d);
+    depth
+}
+
+/// Splits `body` into the ranges not covered by nested fn items.
+fn own_ranges(
+    body: (usize, usize),
+    fn_idx: usize,
+    all: &[(usize, (usize, usize))],
+) -> Vec<(usize, usize)> {
+    let mut holes: Vec<(usize, usize)> = all
+        .iter()
+        .filter(|&&(inner_fn, (_, inner_end))| {
+            inner_fn != fn_idx && inner_fn >= body.0 && inner_end <= body.1
+        })
+        .map(|&(inner_fn, (_, inner_end))| (inner_fn, inner_end))
+        .collect();
+    holes.sort_unstable();
+    let mut ranges = Vec::new();
+    let mut pos = body.0;
+    for (start, end) in holes {
+        if start > pos {
+            ranges.push((pos, start));
+        }
+        pos = pos.max(end);
+    }
+    if pos < body.1 {
+        ranges.push((pos, body.1));
+    }
+    ranges
+}
+
+/// Parses every `use …;` into flattened imports.
+fn parse_imports(tokens: &[Token]) -> Vec<UseImport> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident && tokens[i].text == "use" {
+            // Collect tokens until the terminating `;`.
+            let start = i + 1;
+            let mut j = start;
+            while j < tokens.len() && tokens[j].text != ";" {
+                j += 1;
+            }
+            flatten_use_tree(&tokens[start..j], &mut Vec::new(), &mut out);
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Recursively flattens one use tree (`a::b::{c, d as e, f::*}`).
+fn flatten_use_tree(tokens: &[Token], prefix: &mut Vec<String>, out: &mut Vec<UseImport>) {
+    let saved = prefix.len();
+    let mut i = 0usize;
+    let mut last: Option<String> = None;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "as") => {
+                // `path as alias` — the alias replaces the leaf name.
+                if let (Some(leaf), Some(alias)) = (last.take(), tokens.get(i + 1)) {
+                    prefix.push(leaf);
+                    out.push(UseImport {
+                        alias: alias.text.clone(),
+                        path: prefix.clone(),
+                    });
+                    prefix.truncate(saved);
+                }
+                i += 2;
+                continue;
+            }
+            (TokenKind::Ident, _) => {
+                if let Some(seg) = last.replace(t.text.clone()) {
+                    // Two idents without `::` between: malformed; drop.
+                    let _ = seg;
+                }
+            }
+            (TokenKind::Punct, ":") if tokens.get(i + 1).is_some_and(|n| n.text == ":") => {
+                if let Some(seg) = last.take() {
+                    prefix.push(seg);
+                }
+                i += 2;
+                continue;
+            }
+            (TokenKind::Punct, "{") => {
+                // A group: split the balanced contents on top-level commas
+                // and recurse on each.
+                let mut depth = 1usize;
+                let mut j = i + 1;
+                let mut arm_start = j;
+                while j < tokens.len() && depth > 0 {
+                    match tokens[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 && arm_start < j {
+                                flatten_use_tree(&tokens[arm_start..j], prefix, out);
+                            }
+                        }
+                        "," if depth == 1 => {
+                            if arm_start < j {
+                                flatten_use_tree(&tokens[arm_start..j], prefix, out);
+                            }
+                            arm_start = j + 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                prefix.truncate(saved);
+                return;
+            }
+            (TokenKind::Punct, "*") => {
+                // Glob imports bind no specific alias; nothing to record.
+                prefix.truncate(saved);
+                return;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(leaf) = last {
+        prefix.push(leaf.clone());
+        out.push(UseImport {
+            alias: leaf,
+            path: prefix.clone(),
+        });
+    }
+    prefix.truncate(saved);
+}
+
+/// Finds fn items, tracking the enclosing `impl`/`trait` type.
+fn parse_fns(tokens: &[Token], depth: &[usize]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    // Stack of (self type, brace depth inside the impl/trait block).
+    let mut impls: Vec<(String, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct && t.text == "}" {
+            while impls.last().is_some_and(|&(_, d)| depth[i] <= d) {
+                impls.pop();
+            }
+        }
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" | "trait" => {
+                if let Some((ty, open)) = parse_impl_header(tokens, i) {
+                    // Depth *inside* the block is depth at the `{` + 1.
+                    impls.push((ty, depth[open] + 1));
+                    i = open + 1;
+                    continue;
+                }
+            }
+            "fn" => {
+                let Some(name_tok) = tokens.get(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                if name_tok.kind == TokenKind::Ident {
+                    if let Some((body_start, body_end)) = fn_body(tokens, i + 2) {
+                        let self_type = impls
+                            .last()
+                            .filter(|&&(_, d)| depth[i] >= d)
+                            .map(|(ty, _)| ty.clone());
+                        fns.push(FnItem {
+                            name: name_tok.text.clone(),
+                            self_type,
+                            line: t.line,
+                            fn_idx: i,
+                            body: (body_start, body_end),
+                            calls: Vec::new(),
+                            locks: Vec::new(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Parses an `impl`/`trait` header starting at `tokens[kw]`, returning
+/// the self type and the index of the opening `{`. The self type is the
+/// first identifier after `for` when present (`impl Trait for Type`),
+/// otherwise the first identifier after the keyword's generic params.
+fn parse_impl_header(tokens: &[Token], kw: usize) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut first_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut j = kw + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "<") => angle += 1,
+            (TokenKind::Punct, ">") => angle -= 1,
+            (TokenKind::Punct, "{") if angle <= 0 => {
+                let ty = after_for.or(first_ident)?;
+                return Some((ty, j));
+            }
+            (TokenKind::Punct, ";") if angle <= 0 => return None,
+            (TokenKind::Ident, "for") if angle <= 0 => saw_for = true,
+            (TokenKind::Ident, "where") if angle <= 0 => {
+                // Bounds may mention arbitrary types; stop collecting.
+                while j < tokens.len() && tokens[j].text != "{" {
+                    j += 1;
+                }
+                let ty = after_for.or(first_ident)?;
+                return Some((ty, j));
+            }
+            (TokenKind::Ident, name) if angle <= 0 => {
+                if saw_for && after_for.is_none() {
+                    after_for = Some(name.to_string());
+                } else if first_ident.is_none() {
+                    first_ident = Some(name.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Locates a fn body's `[start, end)` token range given the index just
+/// past the fn name. Returns `None` for bodyless declarations.
+fn fn_body(tokens: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut j = from;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "<" => angle += 1,
+            ">" if tokens.get(j.wrapping_sub(1)).is_some_and(|p| p.text != "-") => angle -= 1,
+            "{" if paren <= 0 => {
+                let start = j + 1;
+                let mut d = 1usize;
+                let mut k = start;
+                while k < tokens.len() && d > 0 {
+                    match tokens[k].text.as_str() {
+                        "{" => d += 1,
+                        "}" => d -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return Some((start, k.saturating_sub(1)));
+            }
+            ";" if paren <= 0 && angle <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Appends call sites found in `tokens[start..end)`.
+fn scan_calls(tokens: &[Token], start: usize, end: usize, out: &mut Vec<CallSite>) {
+    for i in start..end.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident
+            || tokens.get(i + 1).is_none_or(|n| n.text != "(")
+            || NON_CALL_KEYWORDS.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| tokens[p].text.as_str());
+        let kind = match prev {
+            Some(".") => {
+                let receiver = match i.checked_sub(2).map(|p| &tokens[p]) {
+                    Some(r) if r.kind == TokenKind::Ident && r.text == "self" => Receiver::SelfDot,
+                    Some(r) if r.kind == TokenKind::Ident => Receiver::Named(r.text.clone()),
+                    _ => Receiver::Other,
+                };
+                CallKind::Method {
+                    name: t.text.clone(),
+                    receiver,
+                }
+            }
+            Some(":") if i >= 2 && tokens[i - 2].text == ":" => {
+                // Walk back through `seg ::` pairs collecting the path.
+                let mut segments = vec![t.text.clone()];
+                let mut k = i;
+                while k >= 3
+                    && tokens[k - 1].text == ":"
+                    && tokens[k - 2].text == ":"
+                    && tokens[k - 3].kind == TokenKind::Ident
+                {
+                    segments.insert(0, tokens[k - 3].text.clone());
+                    k -= 3;
+                }
+                if segments.len() == 1 {
+                    // Qualified through something non-ident (turbofish,
+                    // `<T as Trait>::f`): keep only the name.
+                    CallKind::Bare {
+                        name: t.text.clone(),
+                    }
+                } else {
+                    CallKind::Path { segments }
+                }
+            }
+            Some("fn") => continue, // a declaration, not a call
+            _ => CallKind::Bare {
+                name: t.text.clone(),
+            },
+        };
+        out.push(CallSite {
+            kind,
+            token_idx: i,
+            line: t.line,
+            col: t.col,
+        });
+    }
+}
+
+/// Appends `.lock()` sites found in `tokens[start..end)`.
+fn scan_locks(
+    tokens: &[Token],
+    depth: &[usize],
+    start: usize,
+    end: usize,
+    out: &mut Vec<LockSite>,
+) {
+    for i in start..end.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident
+            || t.text != "lock"
+            || i == 0
+            || tokens[i - 1].text != "."
+            || tokens.get(i + 1).is_none_or(|n| n.text != "(")
+            || tokens.get(i + 2).is_none_or(|n| n.text != ")")
+        {
+            continue;
+        }
+        let name = match i.checked_sub(2).map(|p| &tokens[p]) {
+            Some(r) if r.kind == TokenKind::Ident => r.text.clone(),
+            _ => continue, // computed receiver; no stable identity
+        };
+        // Step past `.unwrap()` / `.expect("…")` on the guard expression
+        // (std Mutex) before classifying the statement.
+        let mut after = i + 3;
+        if tokens.get(after).is_some_and(|d| d.text == ".")
+            && tokens
+                .get(after + 1)
+                .is_some_and(|m| m.text == "unwrap" || m.text == "expect")
+        {
+            after += 2;
+            let mut pd = 0i32;
+            while let Some(tok) = tokens.get(after) {
+                match tok.text.as_str() {
+                    "(" => pd += 1,
+                    ")" => {
+                        pd -= 1;
+                        if pd == 0 {
+                            after += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                after += 1;
+            }
+        }
+
+        // Statement start: walk back to the previous `;`/`{`/`}`.
+        let mut stmt = i;
+        while stmt > 0 && !matches!(tokens[stmt - 1].text.as_str(), ";" | "{" | "}") {
+            stmt -= 1;
+        }
+        let bound = tokens[stmt].text == "let";
+        let stmt_depth = depth[stmt];
+
+        let scope_end = if bound {
+            // The binding name: `let [mut] name = …`.
+            let mut b = stmt + 1;
+            if tokens.get(b).is_some_and(|m| m.text == "mut") {
+                b += 1;
+            }
+            let binding = tokens.get(b).map(|n| n.text.as_str()).unwrap_or("");
+            // Held until the enclosing block closes or `drop(binding)`.
+            let mut j = after;
+            let mut close = end;
+            while j < end.min(tokens.len()) {
+                if depth[j] < stmt_depth {
+                    close = j;
+                    break;
+                }
+                if tokens[j].kind == TokenKind::Ident
+                    && tokens[j].text == "drop"
+                    && tokens.get(j + 1).is_some_and(|o| o.text == "(")
+                    && tokens.get(j + 2).is_some_and(|n| n.text == binding)
+                    && tokens.get(j + 3).is_some_and(|c| c.text == ")")
+                {
+                    close = j;
+                    break;
+                }
+                j += 1;
+            }
+            close
+        } else {
+            // A temporary: held to the end of the statement.
+            let mut j = after;
+            let mut close = end;
+            while j < end.min(tokens.len()) {
+                if depth[j] < stmt_depth || (tokens[j].text == ";" && depth[j] <= stmt_depth) {
+                    close = j;
+                    break;
+                }
+                j += 1;
+            }
+            close
+        };
+
+        out.push(LockSite {
+            name,
+            token_idx: i,
+            line: t.line,
+            col: t.col,
+            bound,
+            scope_end,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn items(src: &str) -> FileItems {
+        FileItems::parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn imports_flatten_groups_aliases_and_nesting() {
+        let it = items(
+            "use a::b::{c, d as e, f::{g, h}};\n\
+             use x::y;\n\
+             use z::*;\n",
+        );
+        let find = |alias: &str| {
+            it.imports
+                .iter()
+                .find(|i| i.alias == alias)
+                .map(|i| i.path.join("::"))
+        };
+        assert_eq!(find("c").as_deref(), Some("a::b::c"));
+        assert_eq!(find("e").as_deref(), Some("a::b::d"));
+        assert_eq!(find("g").as_deref(), Some("a::b::f::g"));
+        assert_eq!(find("h").as_deref(), Some("a::b::f::h"));
+        assert_eq!(find("y").as_deref(), Some("x::y"));
+        // Globs bind no alias, so `use z::*;` contributes nothing.
+        assert_eq!(it.imports.len(), 5, "{:?}", it.imports);
+    }
+
+    #[test]
+    fn fns_get_self_types_from_impl_and_trait_blocks() {
+        let it = items(
+            "fn free() {}\n\
+             impl Store { fn open() {} fn commit(&self) {} }\n\
+             impl Handler for ServeFront { fn handle(&self) {} }\n\
+             impl<T: Clone> Wrap<T> { fn get(&self) {} }\n\
+             trait Clock { fn now(&self) -> u64 { 0 } }\n",
+        );
+        let ty = |name: &str| {
+            it.fns
+                .iter()
+                .find(|f| f.name == name)
+                .and_then(|f| f.self_type.clone())
+        };
+        assert_eq!(ty("free"), None);
+        assert_eq!(ty("open").as_deref(), Some("Store"));
+        assert_eq!(ty("commit").as_deref(), Some("Store"));
+        assert_eq!(ty("handle").as_deref(), Some("ServeFront"));
+        assert_eq!(ty("get").as_deref(), Some("Wrap"));
+        assert_eq!(ty("now").as_deref(), Some("Clock"));
+    }
+
+    #[test]
+    fn self_type_does_not_leak_past_the_impl_block() {
+        let it = items("impl A { fn x(&self) {} }\nfn y() {}\n");
+        assert_eq!(
+            it.fns
+                .iter()
+                .find(|f| f.name == "y")
+                .and_then(|f| f.self_type.clone()),
+            None
+        );
+    }
+
+    #[test]
+    fn calls_are_classified_and_macros_are_not_calls() {
+        let it = items(
+            "fn f(&self) {\n\
+                 helper();\n\
+                 store::open(p);\n\
+                 std::fs::rename(a, b);\n\
+                 self.commit();\n\
+                 conn.flush();\n\
+                 format!(\"{x}\");\n\
+             }\n",
+        );
+        let calls = &it.fns[0].calls;
+        assert!(calls
+            .iter()
+            .any(|c| matches!(&c.kind, CallKind::Bare { name } if name == "helper")));
+        assert!(calls.iter().any(
+            |c| matches!(&c.kind, CallKind::Path { segments } if segments == &["store", "open"])
+        ));
+        assert!(calls.iter().any(|c| matches!(
+            &c.kind,
+            CallKind::Path { segments } if segments == &["std", "fs", "rename"]
+        )));
+        assert!(calls.iter().any(|c| matches!(
+            &c.kind,
+            CallKind::Method { name, receiver: Receiver::SelfDot } if name == "commit"
+        )));
+        assert!(calls.iter().any(|c| matches!(
+            &c.kind,
+            CallKind::Method { name, receiver: Receiver::Named(r) } if name == "flush" && r == "conn"
+        )));
+        assert!(!calls
+            .iter()
+            .any(|c| matches!(&c.kind, CallKind::Bare { name } if name == "format")));
+    }
+
+    #[test]
+    fn nested_fn_sites_belong_to_the_inner_fn_only() {
+        let it = items("fn outer() {\n    a();\n    fn inner() { b(); }\n    c();\n}\n");
+        let outer = it.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = it.fns.iter().find(|f| f.name == "inner").unwrap();
+        let names = |f: &FnItem| -> Vec<String> {
+            f.calls
+                .iter()
+                .filter_map(|c| match &c.kind {
+                    CallKind::Bare { name } => Some(name.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(names(outer), vec!["a", "c"]);
+        assert_eq!(names(inner), vec!["b"]);
+    }
+
+    #[test]
+    fn bound_guard_scope_ends_at_block_close() {
+        let it = items(
+            "fn f(&self) {\n\
+                 let task = {\n\
+                     let mut s = self.shared.lock();\n\
+                     s.pop()\n\
+                 };\n\
+                 self.execute(task);\n\
+             }\n",
+        );
+        let f = &it.fns[0];
+        assert_eq!(f.locks.len(), 1);
+        let g = &f.locks[0];
+        assert!(g.bound);
+        assert_eq!(g.name, "shared");
+        // The execute() call must fall OUTSIDE the guard scope.
+        let exec = f
+            .calls
+            .iter()
+            .find(|c| matches!(&c.kind, CallKind::Method { name, .. } if name == "execute"))
+            .unwrap();
+        assert!(exec.token_idx > g.scope_end, "guard leaked past its block");
+        // The pop() call falls inside it.
+        let pop = f
+            .calls
+            .iter()
+            .find(|c| matches!(&c.kind, CallKind::Method { name, .. } if name == "pop"))
+            .unwrap();
+        assert!(pop.token_idx < g.scope_end);
+    }
+
+    #[test]
+    fn explicit_drop_truncates_the_guard_scope() {
+        let it = items(
+            "fn f(&self) {\n\
+                 let g = self.state.lock();\n\
+                 early(g);\n\
+                 drop(g);\n\
+                 late();\n\
+             }\n",
+        );
+        let f = &it.fns[0];
+        let lock = &f.locks[0];
+        let late = f
+            .calls
+            .iter()
+            .find(|c| matches!(&c.kind, CallKind::Bare { name } if name == "late"))
+            .unwrap();
+        assert!(late.token_idx > lock.scope_end);
+    }
+
+    #[test]
+    fn temporary_guard_scope_is_the_statement() {
+        let it = items(
+            "fn f(&self) {\n\
+                 self.tenants.lock().insert(k, v);\n\
+                 other();\n\
+             }\n",
+        );
+        let f = &it.fns[0];
+        let lock = &f.locks[0];
+        assert!(!lock.bound);
+        assert_eq!(lock.name, "tenants");
+        let insert = f
+            .calls
+            .iter()
+            .find(|c| matches!(&c.kind, CallKind::Method { name, .. } if name == "insert"))
+            .unwrap();
+        assert!(
+            insert.token_idx < lock.scope_end,
+            "chained call is under the temp guard"
+        );
+        let other = f
+            .calls
+            .iter()
+            .find(|c| matches!(&c.kind, CallKind::Bare { name } if name == "other"))
+            .unwrap();
+        assert!(other.token_idx > lock.scope_end);
+    }
+
+    #[test]
+    fn std_mutex_unwrap_is_stepped_over() {
+        let it = items("fn f() {\n    let g = M.lock().unwrap();\n    use_it(g);\n}\n");
+        let f = &it.fns[0];
+        assert_eq!(f.locks.len(), 1);
+        assert!(f.locks[0].bound);
+        assert_eq!(f.locks[0].name, "M");
+    }
+}

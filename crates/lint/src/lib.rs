@@ -2,10 +2,13 @@
 //!
 //! Clippy knows Rust; it does not know that this workspace promises
 //! byte-identical datasets for any worker count, panic-free collection,
-//! an explicitly classified error taxonomy, and one canonical quota
-//! table. This crate tokenizes the workspace's sources (std only — no
-//! registry dependencies, so it builds and runs before anything else
-//! does, including offline) and enforces those domain invariants:
+//! an explicitly classified error taxonomy, one canonical quota table,
+//! a never-blocking event loop, a deadlock-free lock order, and a
+//! crash-safe fsync-then-rename discipline. This crate tokenizes the
+//! workspace's sources (std only — no registry dependencies, so it
+//! builds and runs before anything else does, including offline),
+//! recovers a conservative cross-file call graph from them
+//! (`items` + `callgraph`), and enforces those domain invariants:
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -14,6 +17,9 @@
 //! | `indexing` | no literal-index (`xs[0]`) in non-test library code |
 //! | `retry-exhaustive` | every `Error`/`ApiErrorReason` variant classified in `sched/retry.rs` and every `DistErrorKind` in `dist/retry.rs`, no wildcard |
 //! | `quota-consistency` | quota constants/cost table agree across api, client, sched, cli |
+//! | `evloop-blocking` | no blocking leaf (sleep, fsync, recv/wait/join, blocking connect, guard held across one) reachable from the event-loop sweep thread |
+//! | `lock-order` | every nested Mutex acquisition follows the declared workspace lock order |
+//! | `fsync-rename` | every state-installing `fs::rename` has a preceding file sync on its call path, a parent-dir fsync after, and (store/dist) an adjacent faultpoint |
 //!
 //! Violations that are provably safe carry an inline suppression:
 //!
@@ -27,7 +33,9 @@
 //! `ytaudit lint`; exit code 0 means clean, 1 means violations, 2 means
 //! the checker itself could not run.
 
+pub mod callgraph;
 pub mod diag;
+pub mod items;
 pub mod lex;
 pub mod rules;
 pub mod source;
@@ -77,16 +85,14 @@ pub fn check_workspace(ws: &Workspace, options: &CheckOptions) -> Vec<Diagnostic
     for file in &ws.files {
         for allow in &file.allows {
             if allow.rules.is_empty() {
-                diags.push(
-                    Diagnostic::new(
-                        ALLOW_HYGIENE,
-                        &file.path,
-                        allow.directive_line,
-                        1,
-                        "malformed ytlint directive (expected `ytlint: allow(rule, …) — reason` \
+                diags.push(Diagnostic::new(
+                    ALLOW_HYGIENE,
+                    &file.path,
+                    allow.directive_line,
+                    1,
+                    "malformed ytlint directive (expected `ytlint: allow(rule, …) — reason` \
                          or `allow-file(…)`)",
-                    ),
-                );
+                ));
                 continue;
             }
             for rule in &allow.rules {
@@ -112,7 +118,9 @@ pub fn check_workspace(ws: &Workspace, options: &CheckOptions) -> Vec<Diagnostic
                     .with_help("append `— <why this site is safe>` to the directive"),
                 );
             }
-            if full_set && !allow.used.get() && allow.rules.iter().all(|r| known.contains(&r.as_str()))
+            if full_set
+                && !allow.used.get()
+                && allow.rules.iter().all(|r| known.contains(&r.as_str()))
             {
                 diags.push(
                     Diagnostic::new(
@@ -183,11 +191,17 @@ mod tests {
         let src = "pub fn f() {} // ytlint: allow(panics) — nothing here panics\n";
         let ws = Workspace::from_files(&[("crates/x/src/lib.rs", src)]);
         let full = check_workspace(&ws, &CheckOptions::default());
-        assert!(full.iter().any(|d| d.message.contains("suppresses nothing")), "{full:?}");
+        assert!(
+            full.iter()
+                .any(|d| d.message.contains("suppresses nothing")),
+            "{full:?}"
+        );
         let ws = Workspace::from_files(&[("crates/x/src/lib.rs", src)]);
         let partial = check_workspace(
             &ws,
-            &CheckOptions { rules: vec!["determinism".into()] },
+            &CheckOptions {
+                rules: vec!["determinism".into()],
+            },
         );
         assert!(partial.is_empty(), "{partial:?}");
     }
@@ -199,6 +213,9 @@ mod tests {
             "pub fn f() {} // ytlint: allow(made-up) — whatever\n",
         )]);
         let diags = check_workspace(&ws, &CheckOptions::default());
-        assert!(diags.iter().any(|d| d.message.contains("unknown rule")), "{diags:?}");
+        assert!(
+            diags.iter().any(|d| d.message.contains("unknown rule")),
+            "{diags:?}"
+        );
     }
 }

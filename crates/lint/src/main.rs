@@ -6,7 +6,7 @@
 //!   2 when the checker itself fails (bad flags, unreadable tree).
 //! - `rules` — list the rules and what they enforce.
 //!
-//! Flags for `check`: `--format human|json`, `--root PATH`, and
+//! Flags for `check`: `--format human|json|sarif`, `--root PATH`, and
 //! repeatable `--rule NAME` to restrict the run.
 
 use std::path::PathBuf;
@@ -18,7 +18,7 @@ const USAGE: &str = "\
 ytaudit-lint — workspace-aware static invariant checker
 
 USAGE:
-    ytaudit-lint [check] [--format human|json] [--root PATH] [--rule NAME]...
+    ytaudit-lint [check] [--format human|json|sarif] [--root PATH] [--rule NAME]...
     ytaudit-lint rules
 
 EXIT CODES:
@@ -77,6 +77,7 @@ fn run_check(args: &[String]) -> Result<ExitCode, String> {
                 format = match value.as_str() {
                     "human" => Format::Human,
                     "json" => Format::Json,
+                    "sarif" => Format::Sarif,
                     other => return Err(format!("unknown format {other:?}")),
                 };
             }

@@ -1,0 +1,222 @@
+//! Rule `evloop-blocking`: nothing reachable from the event-loop sweep
+//! thread may block.
+//!
+//! The event-loop server (`crates/net/src/evloop.rs`) multiplexes every
+//! connection on one readiness-polled thread; a single blocking call in
+//! anything it reaches stalls *all* tenants at once, silently — exactly
+//! the failure class the paper's audits exist to catch. The rule walks
+//! the call graph from the sweep-thread roots (`event_loop`,
+//! `sweep_conn`) and flags:
+//!
+//! - **blocking leaves**: `thread::sleep` / `.sleep(…)`, file fsync
+//!   (`sync_all`/`sync_data`), channel receives (`recv`,
+//!   `recv_timeout`), condvar waits (`wait`, `wait_timeout`), thread
+//!   `park`/zero-argument `join()`, and blocking `TcpStream::connect`;
+//! - **lock-and-hold**: a `let`-bound Mutex guard held across a call
+//!   whose subtree reaches a blocking leaf (the guard turns a bounded
+//!   stall into a cross-thread pileup).
+//!
+//! Precision tradeoff (DESIGN §14): the loop dispatches requests through
+//! `dyn Handler`, which name-based call resolution cannot see — and an
+//! over-approximation (every `handle` method in the workspace) would
+//! drag in the distributed coordinator, which is only ever served by the
+//! blocking thread-pool server and is allowed to fsync. The rule
+//! therefore seeds the `handle` impls of the handler types actually
+//! mounted on the event loop ([`EVLOOP_HANDLERS`]) as additional
+//! analysis roots; mounting a new handler type on `EvloopServer::bind`
+//! requires adding it here, which is the point — the new handler's whole
+//! call tree gets audited in the same commit.
+
+use super::Rule;
+use crate::callgraph::{CallGraph, FnId};
+use crate::diag::Diagnostic;
+use crate::lex::{Token, TokenKind};
+use crate::workspace::Workspace;
+
+/// The file owning the event loop.
+const ROOT_FILE: &str = "crates/net/src/evloop.rs";
+
+/// The sweep-thread entry points.
+const ROOTS: &[&str] = &["event_loop", "sweep_conn"];
+
+/// Handler types that are actually mounted on the event-loop server.
+/// Their `handle` impls are seeded as analysis roots, standing in for
+/// the `dyn Handler` dispatch the call graph cannot see (see module
+/// docs for why).
+const EVLOOP_HANDLERS: &[&str] = &["ServeFront", "ApiService"];
+
+/// The evloop-blocking rule.
+pub struct EvloopBlocking;
+
+impl Rule for EvloopBlocking {
+    fn name(&self) -> &'static str {
+        "evloop-blocking"
+    }
+
+    fn description(&self) -> &'static str {
+        "no blocking call (sleep, fsync, recv/wait/join, blocking connect, guard held across one) reachable from the event-loop thread"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        // Fixture workspaces without an event loop skip the rule; the
+        // workspace-clean keystone pins that the real one has it.
+        if ws.file(ROOT_FILE).is_none() {
+            return;
+        }
+        let cg = CallGraph::build(ws);
+        let sweep_roots: Vec<FnId> = ROOTS
+            .iter()
+            .flat_map(|name| cg.find_fns(ROOT_FILE, name))
+            .collect();
+        if sweep_roots.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    self.name(),
+                    ROOT_FILE,
+                    1,
+                    1,
+                    format!("rule anchor missing: none of {ROOTS:?} found in the event loop"),
+                )
+                .with_help("if the sweep thread moved, update crates/lint/src/rules/evloop.rs"),
+            );
+            return;
+        }
+
+        // The `dyn Handler` dispatch is invisible to name-based
+        // resolution, so the mounted handler impls are roots themselves.
+        let handler_roots: Vec<FnId> = cg
+            .fns
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let item = cg.item(id);
+                item.name == "handle"
+                    && item
+                        .self_type
+                        .as_deref()
+                        .is_some_and(|ty| EVLOOP_HANDLERS.contains(&ty))
+            })
+            .collect();
+        let roots: Vec<FnId> = sweep_roots.iter().chain(&handler_roots).copied().collect();
+        // Chains from handler roots are prefixed with the sweep fn that
+        // dispatches into them, so every chain reads from the loop.
+        let dispatch_prefix = sweep_roots.last().map(|&id| cg.display(id));
+
+        let reach = cg.reach(&roots, |_, _, _| true);
+
+        // Functions whose subtree hits a blocking leaf (for guard-hold).
+        let blocking_set = cg.fns_reaching(|g, id| {
+            let file = g.file(id);
+            g.items[id.0]
+                .own_ranges(id.1)
+                .iter()
+                .any(|&(s, e)| !find_leaves(&file.tokens, s, e).is_empty())
+        });
+
+        for id in reach.all() {
+            let file = cg.file(id);
+            let ranges = cg.items[id.0].own_ranges(id.1);
+            let ids = reach.chain_to(id);
+            let mut chain = cg.display_chain(&ids);
+            if let (Some(prefix), Some(&root)) = (&dispatch_prefix, ids.first()) {
+                if handler_roots.contains(&root) {
+                    chain.insert(0, prefix.clone());
+                }
+            }
+
+            // Direct blocking leaves.
+            for &(start, end) in &ranges {
+                for leaf in find_leaves(&file.tokens, start, end) {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            &file.path,
+                            leaf.line,
+                            leaf.col,
+                            format!(
+                                "{} is reachable from the event-loop sweep thread",
+                                leaf.what
+                            ),
+                        )
+                        .with_help(
+                            "the loop multiplexes every connection on one thread; make this \
+                             non-blocking or move it off the sweep path",
+                        )
+                        .with_chain(chain.clone()),
+                    );
+                }
+            }
+
+            // A bound guard held across a call whose subtree blocks.
+            let item = cg.item(id);
+            let resolved = cg.call_targets(id);
+            for guard in item.locks.iter().filter(|g| g.bound) {
+                for (call, callees) in item.calls.iter().zip(resolved) {
+                    if call.token_idx <= guard.token_idx || call.token_idx >= guard.scope_end {
+                        continue;
+                    }
+                    if let Some(&blocker) = callees.iter().find(|c| blocking_set.contains(c)) {
+                        let mut full = chain.clone();
+                        full.push(cg.display(blocker));
+                        out.push(
+                            Diagnostic::new(
+                                self.name(),
+                                &file.path,
+                                guard.line,
+                                guard.col,
+                                format!(
+                                    "Mutex guard `{}` is held across a call that can block \
+                                     (`{}`) on the event-loop thread",
+                                    guard.name,
+                                    cg.display(blocker),
+                                ),
+                            )
+                            .with_help("drop the guard before the call, or hoist the blocking work")
+                            .with_chain(full),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One matched blocking leaf.
+struct Leaf {
+    line: usize,
+    col: usize,
+    what: &'static str,
+}
+
+/// Scans a token range for blocking leaf patterns.
+fn find_leaves(tokens: &[Token], start: usize, end: usize) -> Vec<Leaf> {
+    let mut out = Vec::new();
+    let text = |i: usize| tokens.get(i).map(|t: &Token| t.text.as_str()).unwrap_or("");
+    for (i, t) in tokens.iter().enumerate().take(end).skip(start) {
+        if t.kind != TokenKind::Ident || text(i + 1) != "(" {
+            continue;
+        }
+        let prev_dot = i >= 1 && text(i - 1) == ".";
+        let qualified_by =
+            |q: &str| i >= 3 && text(i - 1) == ":" && text(i - 2) == ":" && text(i - 3) == q;
+        let what = match t.text.as_str() {
+            "sleep" if prev_dot || qualified_by("thread") => Some("blocking `sleep`"),
+            "sync_all" | "sync_data" if prev_dot => Some("a file fsync"),
+            "recv" | "recv_timeout" if prev_dot => Some("a blocking channel receive"),
+            "wait" | "wait_timeout" if prev_dot => Some("a blocking condvar wait"),
+            "park" if qualified_by("thread") => Some("a thread park"),
+            "join" if prev_dot && text(i + 2) == ")" => Some("a thread join"),
+            "connect" if qualified_by("TcpStream") => Some("a blocking `TcpStream::connect`"),
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(Leaf {
+                line: t.line,
+                col: t.col,
+                what,
+            });
+        }
+    }
+    out
+}

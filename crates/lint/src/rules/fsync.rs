@@ -1,0 +1,176 @@
+//! Rule `fsync-rename`: every state-installing `rename` keeps the full
+//! crash-safety discipline.
+//!
+//! The store's durability story (DESIGN §10) is fsync-then-rename: write
+//! to a temp file, `sync_all` the data, `rename` into place, then fsync
+//! the parent directory so the rename itself survives a power cut. PR 4
+//! found a `Store::compact` missing the directory fsync *by hand*; this
+//! rule finds that class statically. For every `fs::rename(…)` call in
+//! library/binary code it checks three things:
+//!
+//! 1. **pre-sync** — a `sync_all`/`sync_data` happens before the rename,
+//!    either directly in the function or inside any callee on the
+//!    preceding call path (resolved through the call graph, so
+//!    `self.compact(&tmp)` which fsyncs internally counts);
+//! 2. **dir-fsync** — after the rename, the function (or a callee, e.g.
+//!    `fsync_dir_of`) syncs the parent directory;
+//! 3. **faultpoint** — in the crash-safe crates (`store`, `dist`) the
+//!    function must also consult a `faultpoint::should_trip` site, so
+//!    the crash matrix can actually kill the process at this boundary —
+//!    a rename the crash tests cannot reach is unproven, not safe.
+//!
+//! Soundness tradeoff (DESIGN §14): the pre/post checks are positional
+//! within one function body (token order, not data flow), so a sync on a
+//! *different* file than the renamed one satisfies check 1. That
+//! imprecision has not mattered in practice — the discipline keeps sync
+//! and rename adjacent — and the checks stay cheap and explainable.
+
+use super::Rule;
+use crate::callgraph::{CallGraph, FnId};
+use crate::diag::Diagnostic;
+use crate::lex::{Token, TokenKind};
+use crate::workspace::Workspace;
+use std::collections::HashSet;
+
+/// Crates whose renames must sit next to a crash-matrix faultpoint.
+const FAULTPOINT_CRATES: &[&str] = &["store", "dist"];
+
+/// The fsync-rename rule.
+pub struct FsyncRename;
+
+impl Rule for FsyncRename {
+    fn name(&self) -> &'static str {
+        "fsync-rename"
+    }
+
+    fn description(&self) -> &'static str {
+        "every fs::rename is preceded by a file sync on its call path, followed by a parent-dir fsync, and (store/dist) adjacent to a faultpoint"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let cg = CallGraph::build(ws);
+        // Functions whose subtree performs a sync_all/sync_data.
+        let sync_set: HashSet<FnId> = cg.fns_reaching(|g, id| {
+            let toks = &g.file(id).tokens;
+            g.items[id.0]
+                .own_ranges(id.1)
+                .iter()
+                .any(|&(s, e)| (s..e).any(|i| is_direct_sync(toks, i)))
+        });
+
+        for &id in &cg.fns {
+            let file = cg.file(id);
+            let item = cg.item(id);
+            let ranges = cg.items[id.0].own_ranges(id.1);
+            let resolved = cg.call_targets(id);
+            let chain = vec![cg.display(id), "std::fs::rename".to_string()];
+
+            let renames: Vec<usize> = ranges
+                .iter()
+                .flat_map(|&(s, e)| s..e.min(file.tokens.len()))
+                .filter(|&i| is_fs_rename(&file.tokens, i))
+                .collect();
+            if renames.is_empty() {
+                continue;
+            }
+
+            // Token positions of direct syncs and of calls reaching one.
+            let direct_syncs: Vec<usize> = ranges
+                .iter()
+                .flat_map(|&(s, e)| s..e.min(file.tokens.len()))
+                .filter(|&i| is_direct_sync(&file.tokens, i))
+                .collect();
+            let sync_calls: Vec<usize> = item
+                .calls
+                .iter()
+                .zip(resolved)
+                .filter(|(_, callees)| callees.iter().any(|c| sync_set.contains(c)))
+                .map(|(call, _)| call.token_idx)
+                .collect();
+            let has_faultpoint = ranges.iter().any(|&(s, e)| {
+                (s..e.min(file.tokens.len())).any(|i| {
+                    file.tokens[i].kind == TokenKind::Ident && file.tokens[i].text == "should_trip"
+                })
+            });
+
+            for rename_idx in renames {
+                let rename = &file.tokens[rename_idx];
+                let synced_before = direct_syncs.iter().any(|&i| i < rename_idx)
+                    || sync_calls.iter().any(|&i| i < rename_idx);
+                let synced_after = direct_syncs.iter().any(|&i| i > rename_idx)
+                    || sync_calls.iter().any(|&i| i > rename_idx);
+
+                if !synced_before {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            &file.path,
+                            rename.line,
+                            rename.col,
+                            "rename installs state without a file sync on its preceding call \
+                             path — a crash can install an empty or torn file",
+                        )
+                        .with_help(
+                            "sync_all() the temp file (directly or via a callee) before renaming",
+                        )
+                        .with_chain(chain.clone()),
+                    );
+                }
+                if !synced_after {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            &file.path,
+                            rename.line,
+                            rename.col,
+                            "rename is not followed by a parent-directory fsync — a crash can \
+                             undo the install after it returned",
+                        )
+                        .with_help("call fsync_dir_of(dest) (or open+sync_all the parent) after the rename")
+                        .with_chain(chain.clone()),
+                    );
+                }
+                if FAULTPOINT_CRATES.contains(&file.crate_name.as_str()) && !has_faultpoint {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            &file.path,
+                            rename.line,
+                            rename.col,
+                            "state-installing rename with no adjacent faultpoint — the crash \
+                             matrix cannot kill the process at this boundary",
+                        )
+                        .with_help(
+                            "add a faultpoint::should_trip(\"…\") site in this function and arm \
+                             it from a crash test",
+                        )
+                        .with_chain(chain.clone()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Whether the token at `i` is the `rename` of `fs :: rename (`.
+fn is_fs_rename(tokens: &[Token], i: usize) -> bool {
+    let text = |j: usize| tokens.get(j).map(|t: &Token| t.text.as_str()).unwrap_or("");
+    tokens[i].kind == TokenKind::Ident
+        && tokens[i].text == "rename"
+        && text(i + 1) == "("
+        && i >= 3
+        && text(i - 1) == ":"
+        && text(i - 2) == ":"
+        && text(i - 3) == "fs"
+}
+
+/// Whether the token at `i` is the method name of `. sync_all (` /
+/// `. sync_data (`.
+fn is_direct_sync(tokens: &[Token], i: usize) -> bool {
+    let text = |j: usize| tokens.get(j).map(|t: &Token| t.text.as_str()).unwrap_or("");
+    tokens[i].kind == TokenKind::Ident
+        && (tokens[i].text == "sync_all" || tokens[i].text == "sync_data")
+        && text(i + 1) == "("
+        && i >= 1
+        && text(i - 1) == "."
+}

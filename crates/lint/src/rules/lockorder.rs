@@ -1,0 +1,212 @@
+//! Rule `lock-order`: every nested Mutex acquisition in the workspace
+//! must follow one declared order.
+//!
+//! Deadlock needs exactly two ingredients: two locks and two code paths
+//! acquiring them in opposite orders. The workspace now has a dozen
+//! Mutexes spread across four crates (the dist coordinator alone takes
+//! its state lock at nine sites), and the compiler enforces nothing
+//! about their relative order. The rule collects every *nested* pair —
+//! a lock acquired while another guard is provably still held, either
+//! directly in the same function or transitively through any resolved
+//! callee — and checks each pair against [`DECLARED_ORDER`]:
+//!
+//! - a pair acquired against the declared order is flagged as a
+//!   potential deadlock (some other path can interleave the other way);
+//! - a pair involving a lock missing from the declared order is flagged
+//!   too, so the declaration stays complete as locks are added;
+//! - re-acquiring a lock already held is flagged unconditionally —
+//!   `parking_lot::Mutex` is not reentrant, so that one needs no
+//!   partner thread to deadlock.
+//!
+//! Lock identity is the receiver field name (`state` in
+//! `self.state.lock()`): coarse, but every Mutex in this workspace has a
+//! unique field name, and the workspace-clean keystone keeps it that
+//! way. Guard lifetimes come from the item layer: `let`-bound guards
+//! live to their enclosing block (truncated at `drop(guard)`),
+//! temporaries to their statement.
+
+use super::Rule;
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+use std::collections::HashSet;
+
+/// The single workspace-wide lock acquisition order, outermost first.
+/// A nested acquisition `A → B` is legal iff A appears before B here.
+/// Singleton locks (never nested) do not need an entry, but every lock
+/// that participates in nesting does — the rule flags undeclared pairs.
+pub const DECLARED_ORDER: &[&str] = &[
+    // Orchestration locks: taken at task/connection granularity.
+    "shared",      // sched scheduler queue + drain state
+    "clients",     // sched transport factory pool
+    "tenants",     // sched multi-tenant admission registry
+    "state",       // dist coordinator lease/shard table
+    "registry",    // net server handler registry
+    "acceptor",    // net server accept socket
+    "workers",     // net server worker handles
+    "loop_thread", // net evloop join handle
+    "pool",        // net client connection pool
+    // Leaf utility locks: short critical sections, never call out.
+    "keys",  // api keyed quota ledgers
+    "core",  // net token-bucket internals
+    "now",   // platform sim/manual clock instants
+    "ARMED", // platform faultpoint registry
+];
+
+/// The lock-order rule.
+pub struct LockOrder;
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "nested Mutex acquisitions follow the single declared workspace lock order"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let cg = CallGraph::build(ws);
+        let transitive = cg.transitive_locks();
+        // One finding per (file, line, held, acquired).
+        let mut seen: HashSet<(String, usize, String, String)> = HashSet::new();
+
+        for &id in &cg.fns {
+            let item = cg.item(id);
+            let file = cg.file(id);
+            let resolved = cg.call_targets(id);
+            for guard in &item.locks {
+                let held = &guard.name;
+                // Direct nesting: another lock site inside the scope.
+                for inner in &item.locks {
+                    if inner.token_idx > guard.token_idx && inner.token_idx < guard.scope_end {
+                        report(
+                            self.name(),
+                            &mut seen,
+                            out,
+                            &file.path,
+                            inner.line,
+                            inner.col,
+                            held,
+                            &inner.name,
+                            vec![cg.display(id)],
+                        );
+                    }
+                }
+                // Call-mediated nesting: a callee subtree acquires a lock
+                // while the guard is held.
+                for (call, callees) in item.calls.iter().zip(resolved) {
+                    if call.token_idx <= guard.token_idx || call.token_idx >= guard.scope_end {
+                        continue;
+                    }
+                    for &callee in callees {
+                        let Some(locks) = transitive.get(&callee) else {
+                            continue;
+                        };
+                        for acquired in locks {
+                            let chain = cg
+                                .path_to_lock(callee, acquired)
+                                .map(|p| {
+                                    let mut c = vec![cg.display(id)];
+                                    c.extend(cg.display_chain(&p));
+                                    c
+                                })
+                                .unwrap_or_else(|| vec![cg.display(id), cg.display(callee)]);
+                            report(
+                                self.name(),
+                                &mut seen,
+                                out,
+                                &file.path,
+                                call.line,
+                                call.col,
+                                held,
+                                acquired,
+                                chain,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Validates one nested pair and emits at most one finding per site.
+#[allow(clippy::too_many_arguments)]
+fn report(
+    rule: &'static str,
+    seen: &mut HashSet<(String, usize, String, String)>,
+    out: &mut Vec<Diagnostic>,
+    path: &str,
+    line: usize,
+    col: usize,
+    held: &str,
+    acquired: &str,
+    chain: Vec<String>,
+) {
+    let key = (
+        path.to_string(),
+        line,
+        held.to_string(),
+        acquired.to_string(),
+    );
+    if seen.contains(&key) {
+        return;
+    }
+    let pos = |name: &str| DECLARED_ORDER.iter().position(|&o| o == name);
+    let diag = if held == acquired {
+        Some(
+            Diagnostic::new(
+                rule,
+                path,
+                line,
+                col,
+                format!("lock `{held}` is acquired while a guard for it is already held (parking_lot mutexes are not reentrant — this deadlocks without a second thread)"),
+            )
+            .with_help("drop the outer guard first, or pass the guard down instead of relocking"),
+        )
+    } else {
+        match (pos(held), pos(acquired)) {
+            (Some(h), Some(a)) if h > a => Some(
+                Diagnostic::new(
+                    rule,
+                    path,
+                    line,
+                    col,
+                    format!(
+                        "lock `{acquired}` is acquired while `{held}` is held, inverting the \
+                         declared order ({acquired} before {held})"
+                    ),
+                )
+                .with_help(
+                    "acquire in DECLARED_ORDER (crates/lint/src/rules/lockorder.rs) or drop the \
+                     outer guard first",
+                ),
+            ),
+            (Some(_), Some(_)) => None, // ordered correctly
+            _ => {
+                let missing = if pos(held).is_none() { held } else { acquired };
+                Some(
+                    Diagnostic::new(
+                        rule,
+                        path,
+                        line,
+                        col,
+                        format!(
+                            "nested acquisition `{held}` → `{acquired}`, but `{missing}` is not \
+                             in the declared lock order"
+                        ),
+                    )
+                    .with_help(
+                        "add it to DECLARED_ORDER in crates/lint/src/rules/lockorder.rs at the \
+                         position that matches every nesting site",
+                    ),
+                )
+            }
+        }
+    };
+    if let Some(d) = diag {
+        seen.insert(key);
+        out.push(d.with_chain(chain));
+    }
+}

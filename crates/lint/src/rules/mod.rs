@@ -1,21 +1,30 @@
 //! The rule framework: a trait, a registry, and the domain rules.
 //!
 //! Rules receive the whole parsed [`Workspace`] (not one file at a time)
-//! because two of them — retry-classification exhaustiveness and
-//! quota-table consistency — are inherently cross-file: they compare an
-//! enum definition in one crate against a `match` in another.
+//! because five of the eight — retry-classification exhaustiveness,
+//! quota-table consistency, and the three call-graph rules
+//! (evloop-blocking, lock-order, fsync-rename) — are inherently
+//! cross-file: they compare an enum definition in one crate against a
+//! `match` in another, or chase call chains across crate boundaries
+//! through the workspace call graph (`crate::callgraph`).
 
 use crate::diag::Diagnostic;
 use crate::workspace::Workspace;
 
 mod determinism;
+mod evloop;
+mod fsync;
 mod indexing;
+mod lockorder;
 mod panics;
 mod quota;
 mod retry;
 
 pub use determinism::Determinism;
+pub use evloop::EvloopBlocking;
+pub use fsync::FsyncRename;
 pub use indexing::Indexing;
+pub use lockorder::{LockOrder, DECLARED_ORDER};
 pub use panics::Panics;
 pub use quota::QuotaConsistency;
 pub use retry::RetryExhaustive;
@@ -41,6 +50,9 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(Indexing),
         Box::new(RetryExhaustive),
         Box::new(QuotaConsistency),
+        Box::new(EvloopBlocking),
+        Box::new(LockOrder),
+        Box::new(FsyncRename),
     ]
 }
 

@@ -1,0 +1,178 @@
+//! Call-graph resolution unit suite: bare-call scoping, use-import
+//! expansion, cross-crate path edges, receiver-correlated method
+//! dispatch, reachability chains, and transitive lock summaries.
+
+use ytaudit_lint::callgraph::{correlated, CallGraph, FnId};
+use ytaudit_lint::Workspace;
+
+/// The single analyzable fn named `name` in the file at `path`.
+fn only(cg: &CallGraph<'_>, path: &str, name: &str) -> FnId {
+    let hits = cg.find_fns(path, name);
+    assert_eq!(hits.len(), 1, "{path} {name}: {hits:?}");
+    hits[0]
+}
+
+#[test]
+fn bare_calls_prefer_the_same_file_over_crate_siblings() {
+    let ws = Workspace::from_files(&[
+        (
+            "crates/x/src/a.rs",
+            "pub fn top() { helper(); }\npub fn helper() {}\n",
+        ),
+        ("crates/x/src/b.rs", "pub fn helper() {}\n"),
+    ]);
+    let cg = CallGraph::build(&ws);
+    let top = only(&cg, "crates/x/src/a.rs", "top");
+    let local = only(&cg, "crates/x/src/a.rs", "helper");
+    assert_eq!(cg.call_targets(top), &[vec![local]]);
+}
+
+#[test]
+fn imports_and_crate_paths_resolve_across_crates() {
+    let ws = Workspace::from_files(&[
+        (
+            "crates/dist/src/worker.rs",
+            "use ytaudit_store::store::flush_segment;\n\
+             pub fn commit(d: &Path) { flush_segment(); ytaudit_store::fsync_dir_of(d); }\n",
+        ),
+        (
+            "crates/store/src/store.rs",
+            "pub fn flush_segment() {}\npub fn fsync_dir_of(p: &Path) {}\n",
+        ),
+        // A decoy namesake in an unrelated crate must not alias in.
+        (
+            "crates/cli/src/util.rs",
+            "pub fn fsync_dir_of(p: &Path) {}\n",
+        ),
+    ]);
+    let cg = CallGraph::build(&ws);
+    let commit = only(&cg, "crates/dist/src/worker.rs", "commit");
+    let flush = only(&cg, "crates/store/src/store.rs", "flush_segment");
+    let fsync = only(&cg, "crates/store/src/store.rs", "fsync_dir_of");
+    assert_eq!(cg.call_targets(commit), &[vec![flush], vec![fsync]]);
+}
+
+#[test]
+fn method_calls_dispatch_only_to_correlated_receivers() {
+    let ws = Workspace::from_files(&[
+        (
+            "crates/client/src/client.rs",
+            "impl HttpClient { pub fn send(&self) {} }\n",
+        ),
+        (
+            "crates/sched/src/run.rs",
+            "pub fn drive(client: &HttpClient, tx: &Sender<u8>) { client.send(0); tx.send(1); }\n",
+        ),
+    ]);
+    let cg = CallGraph::build(&ws);
+    let drive = only(&cg, "crates/sched/src/run.rs", "drive");
+    let send = only(&cg, "crates/client/src/client.rs", "send");
+    // `client.send` correlates with `HttpClient`; `tx.send` is a std
+    // channel and must not alias the workspace method.
+    assert_eq!(cg.call_targets(drive), &[vec![send], vec![]]);
+}
+
+#[test]
+fn self_calls_stay_inside_the_impl_and_chains_are_opaque() {
+    let ws = Workspace::from_files(&[
+        (
+            "crates/store/src/store.rs",
+            "impl Store {\n\
+                 pub fn begin(&mut self) { self.commit(); }\n\
+                 pub fn commit(&mut self) {}\n\
+                 pub fn indirect(&self) { self.cell.lock().commit(); }\n\
+             }\n",
+        ),
+        (
+            "crates/dist/src/lease.rs",
+            "impl Lease { pub fn commit(&mut self) {} }\n",
+        ),
+    ]);
+    let cg = CallGraph::build(&ws);
+    let begin = only(&cg, "crates/store/src/store.rs", "begin");
+    let store_commit = only(&cg, "crates/store/src/store.rs", "commit");
+    assert_eq!(cg.call_targets(begin), &[vec![store_commit]]);
+    // `self.cell.lock().commit()` has a chained-expression receiver —
+    // resolution declines rather than aliasing every `commit`.
+    let indirect = only(&cg, "crates/store/src/store.rs", "indirect");
+    assert!(
+        cg.call_targets(indirect).iter().all(Vec::is_empty),
+        "{:?}",
+        cg.call_targets(indirect)
+    );
+}
+
+#[test]
+fn reach_renders_a_cross_file_call_chain() {
+    let ws = Workspace::from_files(&[
+        ("crates/x/src/a.rs", "pub fn start() { b::mid(); }\n"),
+        ("crates/x/src/b.rs", "pub fn mid() { c::leaf(); }\n"),
+        ("crates/x/src/c.rs", "pub fn leaf() {}\n"),
+    ]);
+    let cg = CallGraph::build(&ws);
+    let start = only(&cg, "crates/x/src/a.rs", "start");
+    let leaf = only(&cg, "crates/x/src/c.rs", "leaf");
+    let reach = cg.reach(&[start], |_, _, _| true);
+    assert!(reach.contains(leaf));
+    assert_eq!(
+        cg.display_chain(&reach.chain_to(leaf)),
+        vec!["a::start", "b::mid", "c::leaf"]
+    );
+}
+
+#[test]
+fn test_code_never_becomes_a_dispatch_target() {
+    let ws = Workspace::from_files(&[
+        (
+            "crates/x/src/lib.rs",
+            "pub fn go() { helper(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() {}\n\
+             }\n",
+        ),
+        ("crates/x/tests/t.rs", "pub fn helper() {}\n"),
+    ]);
+    let cg = CallGraph::build(&ws);
+    let go = only(&cg, "crates/x/src/lib.rs", "go");
+    assert_eq!(cg.call_targets(go), &[Vec::<FnId>::new()]);
+    assert!(cg.find_fns("crates/x/tests/t.rs", "helper").is_empty());
+}
+
+#[test]
+fn lock_summaries_cross_call_edges_with_a_path() {
+    let ws = Workspace::from_files(&[(
+        "crates/sched/src/runner.rs",
+        "impl Runner {\n\
+             fn outer(&self) {\n\
+                 let g = self.state.lock();\n\
+                 self.inner_step();\n\
+             }\n\
+             fn inner_step(&self) {\n\
+                 self.pool.lock().push(0);\n\
+             }\n\
+         }\n",
+    )]);
+    let cg = CallGraph::build(&ws);
+    let outer = only(&cg, "crates/sched/src/runner.rs", "outer");
+    let locks = cg.transitive_locks();
+    let held: Vec<&str> = locks[&outer].iter().map(String::as_str).collect();
+    assert_eq!(held, vec!["pool", "state"]);
+    let path = cg.path_to_lock(outer, "pool").expect("path exists");
+    assert_eq!(
+        cg.display_chain(&path),
+        vec!["runner::Runner::outer", "runner::Runner::inner_step"]
+    );
+}
+
+#[test]
+fn receiver_correlation_accepts_names_and_rejects_noise() {
+    assert!(correlated("client", "HttpClient"));
+    assert!(correlated("engine", "SearchEngine"));
+    assert!(correlated("stats", "PoolStats"));
+    assert!(correlated("tenants", "TenantRegistry"));
+    assert!(correlated("store", "Store"));
+    assert!(!correlated("tx", "HttpClient"));
+    assert!(!correlated("keys", "QuotaLedger"));
+    assert!(!correlated("f", "Frontend"));
+}

@@ -35,8 +35,12 @@ fn determinism_flags_ambient_clock_and_entropy() {
         "determinism",
     );
     assert_eq!(diags.len(), 2, "{diags:?}");
-    assert!(diags.iter().any(|d| d.line == 2 && d.message.contains("Instant::now")));
-    assert!(diags.iter().any(|d| d.line == 3 && d.message.contains("thread_rng")));
+    assert!(diags
+        .iter()
+        .any(|d| d.line == 2 && d.message.contains("Instant::now")));
+    assert!(diags
+        .iter()
+        .any(|d| d.line == 3 && d.message.contains("thread_rng")));
 }
 
 #[test]
@@ -178,7 +182,9 @@ fn retry_rejects_wildcard_arms_in_classify() {
          \x20   fn _mentions() { let _ = (ApiErrorReason::QuotaExceeded, ApiErrorReason::BackendError); }",
     );
     assert_eq!(diags.len(), 1, "{diags:?}");
-    assert!(diags.first().is_some_and(|d| d.message.contains("wildcard")));
+    assert!(diags
+        .first()
+        .is_some_and(|d| d.message.contains("wildcard")));
 }
 
 #[test]
@@ -242,6 +248,278 @@ fn quota_passes_explicit_table_with_agreeing_mirror() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+// ------------------------------------------------------------ evloop-blocking
+
+#[test]
+fn evloop_flags_a_blocking_leaf_across_files_with_its_chain() {
+    let diags = check_rule(
+        &[
+            (
+                "crates/net/src/evloop.rs",
+                "pub fn event_loop() { store::flush_all(); }\n",
+            ),
+            (
+                "crates/store/src/store.rs",
+                "pub fn flush_all() { open_log().sync_all(); }\n",
+            ),
+        ],
+        "evloop-blocking",
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = diags.first().expect("one finding");
+    assert_eq!(d.rule, "evloop-blocking");
+    assert_eq!(d.path, "crates/store/src/store.rs");
+    assert!(d.message.contains("fsync"), "{d:?}");
+    assert_eq!(d.chain, vec!["evloop::event_loop", "store::flush_all"]);
+}
+
+#[test]
+fn evloop_audits_mounted_handlers_through_dyn_dispatch() {
+    // The loop calls `handler.handle(…)` through `dyn Handler`, which
+    // name-based resolution cannot see — mounted handler impls are
+    // analysis roots in their own right, with the chain rooted at the
+    // sweep fn that dispatches into them.
+    let diags = check_rule(
+        &[
+            (
+                "crates/net/src/evloop.rs",
+                "pub fn event_loop(h: &dyn Handler) { let _ = h; }\n",
+            ),
+            (
+                "crates/api/src/service.rs",
+                "impl ApiService {\n\
+                     pub fn handle(&self) { std::thread::sleep(pause()); }\n\
+                 }\n",
+            ),
+        ],
+        "evloop-blocking",
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = diags.first().expect("one finding");
+    assert!(d.message.contains("sleep"), "{d:?}");
+    assert_eq!(
+        d.chain,
+        vec!["evloop::event_loop", "service::ApiService::handle"]
+    );
+}
+
+#[test]
+fn evloop_ignores_handlers_not_mounted_on_the_loop() {
+    // The dist coordinator also has a `handle` method, but it is only
+    // ever served by the blocking thread-pool server — it may fsync.
+    let diags = check_rule(
+        &[
+            (
+                "crates/net/src/evloop.rs",
+                "pub fn event_loop() { poll(); }\n",
+            ),
+            (
+                "crates/dist/src/coordinator.rs",
+                "impl Coordinator {\n\
+                     pub fn handle(&self) { self.log().sync_all(); }\n\
+                 }\n",
+            ),
+        ],
+        "evloop-blocking",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn evloop_respects_a_justified_allow() {
+    let diags = check(&[(
+        "crates/net/src/evloop.rs",
+        "pub fn event_loop() {\n\
+             // ytlint: allow(evloop-blocking) — bounded idle pacing\n\
+             std::thread::sleep(idle());\n\
+         }\n",
+    )]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ----------------------------------------------------------------- lock-order
+
+#[test]
+fn lock_order_flags_inversion_reentry_and_undeclared_locks() {
+    let src = "impl Coordinator {\n\
+                   fn inverted(&self) {\n\
+                       let g = self.state.lock();\n\
+                       self.tenants.lock().clear();\n\
+                   }\n\
+                   fn reentrant(&self) {\n\
+                       let a = self.state.lock();\n\
+                       let b = self.state.lock();\n\
+                   }\n\
+                   fn undeclared(&self) {\n\
+                       let z = self.zebra.lock();\n\
+                       self.state.lock().clear();\n\
+                   }\n\
+               }\n";
+    let diags = check_rule(&[("crates/dist/src/coordinator.rs", src)], "lock-order");
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 4 && d.message.contains("inverting the declared order")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 8 && d.message.contains("already held")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 12 && d.message.contains("not in the declared lock order")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lock_order_follows_call_chains_and_reports_the_path() {
+    // `drive` holds `state` while a callee (in another file) takes
+    // `shared`, which is declared outermost — an inversion only visible
+    // through the call graph.
+    let diags = check_rule(
+        &[
+            (
+                "crates/sched/src/scheduler.rs",
+                "impl Scheduler {\n\
+                     fn drive(&self) {\n\
+                         let g = self.state.lock();\n\
+                         helper::kick(self);\n\
+                     }\n\
+                 }\n",
+            ),
+            (
+                "crates/sched/src/helper.rs",
+                "pub fn kick(s: &Scheduler) { s.shared.lock().touch(); }\n",
+            ),
+        ],
+        "lock-order",
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = diags.first().expect("one finding");
+    assert!(
+        d.message
+            .contains("`shared` is acquired while `state` is held"),
+        "{d:?}"
+    );
+    assert_eq!(d.chain, vec!["scheduler::Scheduler::drive", "helper::kick"]);
+}
+
+#[test]
+fn lock_order_accepts_declared_order_and_suppressions() {
+    let diags = check(&[(
+        "crates/sched/src/scheduler.rs",
+        "impl Scheduler {\n\
+             fn ordered(&self) {\n\
+                 let g = self.shared.lock();\n\
+                 self.state.lock().clear();\n\
+             }\n\
+             fn sanctioned(&self) {\n\
+                 let g = self.state.lock();\n\
+                 // ytlint: allow(lock-order) — startup only, single thread\n\
+                 self.shared.lock().clear();\n\
+             }\n\
+         }\n",
+    )]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --------------------------------------------------------------- fsync-rename
+
+#[test]
+fn fsync_rename_requires_the_full_discipline_in_crash_safe_crates() {
+    let diags = check_rule(
+        &[(
+            "crates/store/src/install.rs",
+            "pub fn install(tmp: &Path, dest: &Path) -> io::Result<()> {\n\
+                 std::fs::rename(tmp, dest)\n\
+             }\n",
+        )],
+        "fsync-rename",
+    );
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.line == 2), "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("without a file sync")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("parent-directory fsync")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("faultpoint")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.chain == vec!["install::install", "std::fs::rename"]),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn fsync_rename_accepts_the_disciplined_shape_with_callee_syncs() {
+    // The pre-sync is direct; the dir-fsync goes through a same-file
+    // callee the call graph must resolve into the sync set.
+    let diags = check_rule(
+        &[(
+            "crates/store/src/install.rs",
+            "pub fn fsync_dir_of(p: &Path) -> io::Result<()> {\n\
+                 dir_handle(p).sync_all()\n\
+             }\n\
+             pub fn install(tmp: &Tmp, dest: &Path) -> io::Result<()> {\n\
+                 tmp.file.sync_all()?;\n\
+                 if faultpoint::should_trip(\"x.install\") {\n\
+                     return Err(injected());\n\
+                 }\n\
+                 std::fs::rename(&tmp.path, dest)?;\n\
+                 fsync_dir_of(dest)\n\
+             }\n",
+        )],
+        "fsync-rename",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn fsync_rename_needs_no_faultpoint_outside_crash_safe_crates() {
+    let diags = check_rule(
+        &[(
+            "crates/cli/src/commands/mod.rs",
+            "pub fn save(f: &File, dir: &File, a: &Path, b: &Path) -> io::Result<()> {\n\
+                 f.sync_all()?;\n\
+                 std::fs::rename(a, b)?;\n\
+                 dir.sync_all()\n\
+             }\n",
+        )],
+        "fsync-rename",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn fsync_rename_respects_a_justified_allow() {
+    let diags = check(&[(
+        "crates/store/src/install.rs",
+        "pub fn swap(a: &Path, b: &Path) -> io::Result<()> {\n\
+             // ytlint: allow(fsync-rename) — scratch files inside one test dir\n\
+             std::fs::rename(a, b)\n\
+         }\n",
+    )]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
 // ------------------------------------------------------------ the real thing
 
 /// The keystone: the actual workspace must lint clean with the full rule
@@ -258,8 +536,7 @@ fn real_workspace_is_clean() {
                 .and_then(|d| ytaudit_lint::find_root(&d))
         })
         .expect("workspace root discoverable");
-    let diags = ytaudit_lint::check_path(&root, &CheckOptions::default())
-        .expect("workspace loads");
+    let diags = ytaudit_lint::check_path(&root, &CheckOptions::default()).expect("workspace loads");
     assert!(
         diags.is_empty(),
         "workspace must lint clean:\n{}",

@@ -990,6 +990,11 @@ impl Store {
         }
         self.compact(&tmp)?;
         drop(self);
+        if faultpoint::should_trip("store.pre-compact-rename") {
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected crash: store.pre-compact-rename",
+            )));
+        }
         std::fs::rename(&tmp, &path)?;
         fsync_dir_of(&path)?;
         Store::open(&path)
@@ -1053,8 +1058,7 @@ impl Store {
                 } if *channels_offset != 0
                     && replay.ref_blocks.get(channels_offset) != Some(&PURPOSE_CHANNELS) =>
                 {
-                    first_error =
-                        Some("end record's channel pointer does not resolve".to_string());
+                    first_error = Some("end record's channel pointer does not resolve".to_string());
                 }
                 _ => {}
             }
@@ -1579,8 +1583,14 @@ mod tests {
         assert_eq!(std::fs::read(&path).unwrap(), before);
     }
 
+    // The `store.pre-compact-rename` faultpoint is process-global, so
+    // every test that traverses `compact_in_place` serializes here (a
+    // concurrent armed test must not trip an unrelated compaction).
+    static COMPACT_FAULT: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn compact_in_place_replaces_a_stale_tmp_from_a_torn_rename() {
+        let _serial = COMPACT_FAULT.lock().unwrap_or_else(|p| p.into_inner());
         let dir = TempDir::new("store-compact-inplace");
         let path = dir.file("audit.yts");
         let mut store = Store::create(&path).unwrap();
@@ -1595,6 +1605,35 @@ mod tests {
         assert!(compacted.complete());
         assert_eq!(compacted.load_dataset().unwrap(), expected);
         assert!(!tmp.exists(), "tmp must be consumed by the rename");
+    }
+
+    #[test]
+    fn compaction_crash_before_rename_leaves_the_old_store_intact() {
+        let _serial = COMPACT_FAULT.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = TempDir::new("store-compact-crash");
+        let path = dir.file("audit.yts");
+        let mut store = Store::create(&path).unwrap();
+        let expected = fill(&mut store);
+        let before = std::fs::read(&path).unwrap();
+
+        // Kill the process at the install boundary: the compacted tmp is
+        // fully written and synced, but the rename never happens.
+        faultpoint::arm("store.pre-compact-rename", 1);
+        let tripped = store.compact_in_place();
+        faultpoint::reset();
+        assert!(tripped.is_err(), "armed compaction must trip");
+
+        // The original file is byte-identical and the tmp is a stale
+        // sibling — exactly the state the rerun path is built for.
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        let tmp = sibling_with_suffix(&path, ".compact.tmp");
+        assert!(tmp.exists(), "crash landed after the tmp was written");
+
+        // Reopening and rerunning the compaction converges.
+        let mut compacted = Store::open(&path).unwrap().compact_in_place().unwrap();
+        assert!(compacted.complete());
+        assert_eq!(compacted.load_dataset().unwrap(), expected);
+        assert!(!tmp.exists(), "rerun must consume the stale tmp");
     }
 
     #[test]
