@@ -1,26 +1,53 @@
 //! `ytaudit analyze` — run the paper's analyses on a stored dataset.
+//!
+//! Batch (`<dataset.json>` or `--store`) and streaming (`--store
+//! --follow`) runs share one numeric path: both fold `(topic, snapshot)`
+//! pairs into the same streaming accumulators
+//! ([`ytaudit_core::Analyzer`]), so their reports are bit-identical —
+//! `--report` emits the canonical JSON the equivalence suite compares.
 
 use crate::args::{ArgError, Args};
+use std::path::PathBuf;
 use ytaudit_bench::tables;
-use ytaudit_core::AuditDataset;
-use ytaudit_store::{DatasetSelection, Store};
+use ytaudit_core::{AnalysisReport, Analyzer, AuditDataset};
+use ytaudit_store::{follow_analyze, DatasetSelection, FollowOptions, Store};
 
 /// Usage text.
 pub const USAGE: &str = "\
 ytaudit analyze — run the paper's analyses on a collected dataset
 
 USAGE:
-    ytaudit analyze <dataset.json> [--experiment <id>]
-    ytaudit analyze --store <file.yts> [--experiment <id>]
+    ytaudit analyze <dataset.json> [--experiment <id>] [--report <path|->]
+    ytaudit analyze --store <file.yts> [--experiment <id>] [--report <path|->]
+    ytaudit analyze --store <file.yts> --follow [--poll-ms 250]
+                    [--checkpoint <file.ckpt>] [--max-buffered <N>]
 
 OPTIONS:
-    --experiment <id>   one of: all (default), table1, table2, table3,
-                        table4, table5, table6, table7, fig1, fig2, fig3, fig4
-    --store <file.yts>  analyze a snapshot store instead of a JSON dataset;
-                        only the slices the experiment needs are decoded
+    --experiment <id>    one of: all (default), table1, table2, table3,
+                         table4, table5, table6, table7, fig1, fig2, fig3, fig4
+    --store <file.yts>   analyze a snapshot store instead of a JSON dataset;
+                         only the slices the experiment needs are decoded
+    --follow             tail a live store: fold each committed pair into the
+                         running accumulators the moment it lands, and finish
+                         once the collection ends (progress on stderr)
+    --poll-ms <n>        follow poll interval in milliseconds (default 250)
+    --checkpoint <path>  persist analyzer state after every advancing poll;
+                         a restarted follow resumes from the checkpoint
+                         instead of re-folding from scratch
+    --max-buffered <n>   cap on out-of-order pairs held in memory while
+                         following (exceeding it is an error)
+    --report <path|->    also write the canonical report JSON (`-` = stdout)
 
 The JSON dataset comes from `ytaudit collect --out dataset.json`; the
-store comes from `ytaudit collect --store audit.yts`.";
+store comes from `ytaudit collect --store audit.yts`. Batch and follow
+runs fold pairs through the same accumulators, so their `--report`
+output is byte-identical for the same collection.";
+
+/// Every `--experiment` id.
+const EXPERIMENTS: &[&str] = &[
+    "all", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1", "fig2",
+    "fig3", "fig4",
+];
 
 /// The store slices an experiment actually consumes: search-only
 /// analyses skip decoding every metadata and comment blob.
@@ -41,6 +68,69 @@ fn selection_for(which: &str) -> DatasetSelection {
 /// Runs the command.
 pub fn run(args: &Args) -> Result<(), ArgError> {
     let which = args.get("experiment").unwrap_or("all");
+    if !EXPERIMENTS.contains(&which) {
+        return Err(ArgError(format!(
+            "unknown experiment {which:?}; see `ytaudit analyze --help`"
+        )));
+    }
+    let report = build_report(args, which)?;
+    match args.get("report") {
+        Some("-") => {
+            // Machine output: the canonical JSON alone on stdout.
+            println!("{}", report.to_json());
+            return Ok(());
+        }
+        Some(path) => {
+            let mut json = report.to_json();
+            json.push('\n');
+            std::fs::write(path, json)
+                .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        }
+        None => {}
+    }
+    render(&report, which);
+    Ok(())
+}
+
+/// Produces the report, by following the store live or by replaying a
+/// materialized dataset through the same accumulators.
+fn build_report(args: &Args, which: &str) -> Result<AnalysisReport, ArgError> {
+    if args.flag("follow") {
+        let spath = args
+            .get("store")
+            .ok_or_else(|| ArgError("--follow needs --store <file.yts>".into()))?;
+        if args.positionals().len() > 1 {
+            return Err(ArgError(
+                "pass either a JSON dataset path or --store, not both".into(),
+            ));
+        }
+        let options = FollowOptions {
+            follow: true,
+            poll_ms: args.get_parsed("poll-ms", 250u64)?,
+            checkpoint: args.get("checkpoint").map(PathBuf::from),
+            max_buffered: match args.get("max-buffered") {
+                None => None,
+                Some(_) => Some(args.get_parsed("max-buffered", 0usize)?),
+            },
+        };
+        let outcome = follow_analyze(std::path::Path::new(spath), &options, |p| {
+            match p.planned_pairs {
+                Some(planned) => eprint!(
+                    "\rfollow: {}/{planned} pairs folded{} ",
+                    p.folded_pairs,
+                    if p.ended { ", collection ended" } else { "" }
+                ),
+                None => eprint!("\rfollow: waiting for a collection plan "),
+            }
+        })
+        .map_err(|e| ArgError(format!("follow analysis of {spath} failed: {e}")))?;
+        eprintln!();
+        if let Some(folded) = outcome.resumed_from {
+            eprintln!("follow: resumed from a checkpoint holding {folded} folded pairs");
+        }
+        return Ok(outcome.report);
+    }
+
     let dataset = match args.get("store") {
         Some(spath) => {
             if args.positionals().len() > 1 {
@@ -70,13 +160,17 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
                 .map_err(|e| ArgError(format!("{path} is not a dataset: {e}")))?
         }
     };
+    Ok(Analyzer::analyze_dataset(&dataset))
+}
+
+/// Prints the human-readable tables for the selected experiment(s).
+fn render(report: &AnalysisReport, which: &str) {
     let all = which == "all";
-    let mut matched = all;
 
     if all || which == "table1" {
-        matched = true;
         println!("Table 1 — videos returned per collection");
-        let rows: Vec<Vec<String>> = ytaudit_core::consistency::table1(&dataset)
+        let rows: Vec<Vec<String>> = report
+            .table1
             .iter()
             .map(|r| {
                 vec![
@@ -92,9 +186,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         println!();
     }
     if all || which == "fig1" {
-        matched = true;
         println!("Figure 1 — Jaccard decay");
-        for tc in ytaudit_core::consistency::figure1(&dataset) {
+        for tc in &report.figure1 {
             print!("  {:10}", tc.topic.key());
             for p in &tc.points {
                 print!(" {:.2}", p.jaccard_first);
@@ -104,9 +197,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         println!();
     }
     if all || which == "table2" {
-        matched = true;
         println!("Table 2 — per-hour returns");
-        let rows: Vec<Vec<String>> = ytaudit_core::randomization::table2(&dataset)
+        let rows: Vec<Vec<String>> = report
+            .table2
             .iter()
             .map(|r| {
                 vec![
@@ -126,9 +219,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         println!();
     }
     if all || which == "fig2" {
-        matched = true;
         println!("Figure 2 — daily frequencies (topic: day avg series)");
-        for ft in ytaudit_core::randomization::figure2(&dataset) {
+        for ft in &report.figure2 {
             print!("  {:10}", ft.topic.key());
             for d in &ft.days {
                 print!(" {:.0}", d.avg);
@@ -138,8 +230,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         println!();
     }
     if all || which == "fig3" {
-        matched = true;
-        match ytaudit_core::attrition::figure3(&dataset) {
+        match &report.figure3 {
             Some(f) => {
                 println!("Figure 3 — Markov transitions (PP/PA/AP/AA → P)");
                 for (i, label) in ["PP", "PA", "AP", "AA"].iter().enumerate() {
@@ -152,9 +243,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         println!();
     }
     if all || which == "table4" {
-        matched = true;
         println!("Table 4 — pool sizes");
-        let rows: Vec<Vec<String>> = ytaudit_core::poolsize::table4(&dataset)
+        let rows: Vec<Vec<String>> = report
+            .table4
             .iter()
             .map(|r| {
                 vec![
@@ -170,13 +261,12 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         println!();
     }
     if all || which == "table5" {
-        matched = true;
-        let rows = ytaudit_core::comments::table5(&dataset);
-        if rows.is_empty() {
+        if report.table5.is_empty() {
             println!("Table 5 — no comment collections in this dataset");
         } else {
             println!("Table 5 — comment-set similarity");
-            let printable: Vec<Vec<String>> = rows
+            let printable: Vec<Vec<String>> = report
+                .table5
                 .iter()
                 .map(|r| {
                     vec![
@@ -196,9 +286,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         println!();
     }
     if all || which == "fig4" {
-        matched = true;
         println!("Figure 4 — Videos.list stability (min coverage / min common-J)");
-        for ft in ytaudit_core::idcheck::figure4(&dataset) {
+        for ft in &report.figure4 {
             let min_cov = ft
                 .vs_previous
                 .iter()
@@ -214,10 +303,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         println!();
     }
     if all || matches!(which, "table3" | "table6" | "table7") {
-        matched = true;
-        match ytaudit_core::regression::build_regression_data(&dataset) {
+        match &report.regression {
             Err(e) => println!("regressions skipped: {e}"),
-            Ok(data) => {
+            Ok(reg) => {
                 let print_fit = |title: &str,
                                  names: &[String],
                                  coeffs: &[f64],
@@ -238,7 +326,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
                     println!();
                 };
                 if all || which == "table3" {
-                    match ytaudit_core::regression::table3(&data) {
+                    match &reg.table3 {
                         Ok(fit) => print_fit(
                             "Table 3 — binned ordinal (logit)",
                             &fit.names,
@@ -249,7 +337,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
                     }
                 }
                 if all || which == "table6" {
-                    match ytaudit_core::regression::table6(&data) {
+                    match &reg.table6 {
                         Ok(fit) => print_fit(
                             "Table 6 — OLS (HC1)",
                             &fit.names[1..],
@@ -260,7 +348,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
                     }
                 }
                 if all || which == "table7" {
-                    match ytaudit_core::regression::table7(&data) {
+                    match &reg.table7 {
                         Ok(fit) => print_fit(
                             "Table 7 — ordinal (cloglog)",
                             &fit.names,
@@ -273,10 +361,4 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             }
         }
     }
-    if !matched {
-        return Err(ArgError(format!(
-            "unknown experiment {which:?}; see `ytaudit analyze --help`"
-        )));
-    }
-    Ok(())
 }

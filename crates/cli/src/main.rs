@@ -17,6 +17,8 @@
 //!                  [--key KEY] [--workers N] [--scale 1.0] [--base-url http://…]
 //! ytaudit analyze  <dataset.json> [--store audit.yts] [--experiment all|table1|
 //!                  table2|table3|table4|table5|table6|table7|fig1|fig2|fig3|fig4]
+//!                  [--follow] [--poll-ms 250] [--checkpoint analyze.ckpt]
+//!                  [--max-buffered N] [--report report.json|-]
 //! ytaudit store    <info|verify|compact|merge|export-json> <file.yts> [--out …]
 //! ytaudit quota    --searches N [--id-calls M] [--daily 10000]
 //! ytaudit lint     [--root PATH] [--format human|json] [--rule NAME]...
@@ -31,7 +33,10 @@
 //! `--shards`); `coordinate`/`work` distribute the same plan across
 //! processes — crash-safe leases over HTTP, exactly-once shard
 //! hand-off, byte-canonical merge; `analyze` re-runs any of the paper's analyses on a
-//! stored dataset; `store` inspects, verifies, compacts, merges
+//! stored dataset — or, with `--store --follow`, tails a live store and
+//! folds each committed pair into streaming accumulators as it lands,
+//! checkpointing so a crashed analysis resumes instead of restarting;
+//! `store` inspects, verifies, compacts, merges
 //! (`collect --shards` output), or exports snapshot stores; `quota`
 //! prices a collection plan in quota
 //! units and key-days; `lint` runs the workspace invariant checker
@@ -88,6 +93,7 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
             "evloop",
             "bench",
             "merge",
+            "follow",
         ],
     )?;
     let command = args.positional(0).unwrap_or("help");

@@ -8,10 +8,12 @@
 //! "rolling window"), which is exactly what the platform's value-noise
 //! sampler produces.
 
+use crate::ckpt;
 use crate::dataset::AuditDataset;
 use serde::{Deserialize, Serialize};
-use ytaudit_stats::markov::{MarkovChain2, State2};
-use ytaudit_types::Topic;
+use std::collections::HashSet;
+use ytaudit_stats::markov::{MarkovChain2, PresenceAccumulator, State2};
+use ytaudit_types::{Topic, VideoId};
 
 /// Figure 3: the 4×2 transition table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,21 +39,101 @@ impl Figure3 {
     }
 }
 
-/// Builds the pooled chain from a dataset. Presence sequences shorter
-/// than three snapshots contribute nothing.
+/// Streaming attrition accumulator for one topic: folds each snapshot's
+/// returned ID set into a [`PresenceAccumulator`], whose integer counts
+/// are exactly what replaying the full presence sequences would produce.
+#[derive(Debug, Clone, Default)]
+pub struct AttritionAccumulator {
+    presence: PresenceAccumulator<VideoId>,
+}
+
+impl AttritionAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> AttritionAccumulator {
+        AttritionAccumulator {
+            presence: PresenceAccumulator::new(),
+        }
+    }
+
+    /// Folds the next snapshot's returned ID set.
+    pub fn fold(&mut self, id_set: &HashSet<VideoId>) {
+        self.presence.fold(id_set);
+    }
+
+    /// The transition counts accumulated so far (to be pooled across
+    /// topics for Figure 3; `u64` counts merge exactly in any order).
+    pub fn chain(&self) -> &MarkovChain2 {
+        self.presence.chain()
+    }
+
+    /// Serializes accumulator state for a checkpoint.
+    pub fn encode_state(&self, w: &mut ckpt::Writer) {
+        w.put_u64(self.presence.folds());
+        encode_chain(w, self.presence.chain());
+        w.put_u64(self.presence.keys() as u64);
+        for (key, prev2, prev1) in self.presence.entries() {
+            w.put_str(key.as_str());
+            w.put_opt_bool(prev2);
+            w.put_bool(prev1);
+        }
+    }
+
+    /// Rebuilds accumulator state from a checkpoint.
+    pub fn decode_state(r: &mut ckpt::Reader) -> ckpt::Result<AttritionAccumulator> {
+        let folds = r.u64()?;
+        let chain = decode_chain(r)?;
+        let n = r.u64()?;
+        let mut entries = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let key = VideoId::new(r.str()?);
+            let prev2 = r.opt_bool()?;
+            let prev1 = r.bool()?;
+            entries.push((key, prev2, prev1));
+        }
+        Ok(AttritionAccumulator {
+            presence: PresenceAccumulator::from_parts(folds, entries, chain),
+        })
+    }
+}
+
+/// Writes a chain's eight transition counts in `State2::ALL` order.
+pub(crate) fn encode_chain(w: &mut ckpt::Writer, chain: &MarkovChain2) {
+    for &state in &State2::ALL {
+        w.put_u64(chain.count(state, true));
+        w.put_u64(chain.count(state, false));
+    }
+}
+
+/// Reads a chain written by [`encode_chain`].
+pub(crate) fn decode_chain(r: &mut ckpt::Reader) -> ckpt::Result<MarkovChain2> {
+    let mut chain = MarkovChain2::new();
+    for &state in &State2::ALL {
+        let present = r.u64()?;
+        let absent = r.u64()?;
+        chain.record(state, true, present);
+        chain.record(state, false, absent);
+    }
+    Ok(chain)
+}
+
+/// Builds the pooled chain from a dataset by folding every snapshot
+/// through per-topic [`AttritionAccumulator`]s. Presence sequences
+/// shorter than three snapshots contribute nothing.
 pub fn markov_chain(dataset: &AuditDataset, topics: &[Topic]) -> MarkovChain2 {
     let mut chain = MarkovChain2::new();
     for &topic in topics {
-        for (_, presence) in dataset.presence_sequences(topic) {
-            chain.add_sequence(&presence);
+        let mut acc = AttritionAccumulator::new();
+        for i in 0..dataset.len() {
+            acc.fold(&dataset.id_set(topic, i));
         }
+        chain.merge(acc.chain());
     }
     chain
 }
 
-/// Computes Figure 3 over all topics in the dataset.
-pub fn figure3(dataset: &AuditDataset) -> Option<Figure3> {
-    let chain = markov_chain(dataset, &dataset.topics);
+/// Finalizes a pooled chain into Figure 3 (shared by the batch and
+/// streaming paths).
+pub fn figure3_from_chain(chain: &MarkovChain2) -> Option<Figure3> {
     let transitions = chain.transition_matrix().ok()?;
     let mut counts = [0u64; 4];
     for (i, &state) in State2::ALL.iter().enumerate() {
@@ -61,6 +143,11 @@ pub fn figure3(dataset: &AuditDataset) -> Option<Figure3> {
         transitions,
         counts,
     })
+}
+
+/// Computes Figure 3 over all topics in the dataset.
+pub fn figure3(dataset: &AuditDataset) -> Option<Figure3> {
+    figure3_from_chain(&markov_chain(dataset, &dataset.topics))
 }
 
 #[cfg(test)]

@@ -1,0 +1,309 @@
+//! Binary checkpoint encoding for the streaming analyzer.
+//!
+//! A follow-mode analysis can be killed at any moment; to resume without
+//! re-folding the whole store it periodically writes its complete
+//! accumulator state to a checkpoint file. The encoding is a hand-rolled
+//! little-endian wire format (the same style as the store's record layer —
+//! duplicated here because `ytaudit-core` must not depend on
+//! `ytaudit-store`): fixed-width integers, `f64` via `to_bits` so values
+//! round-trip exactly, and length-prefixed strings. A magic header and
+//! version byte guard against feeding the decoder a foreign file, and
+//! [`Reader::expect_end`] rejects trailing garbage.
+//!
+//! Durability is the caller's job: the follow driver writes to a temp
+//! file, fsyncs, renames over the old checkpoint, and fsyncs the
+//! directory, so a crash leaves either the old or the new checkpoint —
+//! never a torn one. No CRC is needed under that protocol.
+
+/// File magic for analyzer checkpoints.
+pub const CKPT_MAGIC: &[u8; 8] = b"YTAUDCK1";
+
+/// Format version (bump on incompatible state changes).
+pub const CKPT_VERSION: u8 = 1;
+
+/// A checkpoint decode error (message only; checkpoints are rebuildable
+/// from the store, so callers treat any error as "start from scratch or
+/// fail loudly", not something to recover field-by-field).
+pub type CkptError = String;
+
+/// Result alias for checkpoint encode/decode.
+pub type Result<T, E = CkptError> = std::result::Result<T, E>;
+
+/// Little-endian binary writer for checkpoint state.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A writer primed with the checkpoint magic and version.
+    pub fn new() -> Writer {
+        let mut w = Writer {
+            buf: Vec::with_capacity(4096),
+        };
+        w.buf.extend_from_slice(CKPT_MAGIC);
+        w.put_u8(CKPT_VERSION);
+        w
+    }
+
+    /// A bare writer with no header — for nested structures that are
+    /// length-prefixed inside an outer checkpoint.
+    pub fn bare() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a `u16` little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern — exact round-trip,
+    /// including NaN payloads, signed zeros, and infinities.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends an `Option<bool>` as one byte (0 = None, 1 = false, 2 = true).
+    pub fn put_opt_bool(&mut self, v: Option<bool>) {
+        self.put_u8(match v {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Little-endian binary reader mirroring [`Writer`].
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over a full checkpoint file: validates magic and version.
+    pub fn new(buf: &'a [u8]) -> Result<Reader<'a>> {
+        let mut r = Reader::bare(buf);
+        let magic = r.take(CKPT_MAGIC.len())?;
+        if magic != CKPT_MAGIC {
+            return Err("not a ytaudit checkpoint (bad magic)".to_string());
+        }
+        let version = r.u8()?;
+        if version != CKPT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (expected {CKPT_VERSION})"
+            ));
+        }
+        Ok(r)
+    }
+
+    /// A reader with no header expectation — for nested structures.
+    pub fn bare(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| "checkpoint truncated".to_string())?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads exactly `N` bytes into a fixed array. Length is enforced by
+    /// `take`, so the conversion never involves a fallible slice cast.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        let [b] = self.array::<1>()?;
+        Ok(b)
+    }
+
+    /// Reads a bool; rejects bytes other than 0/1.
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("invalid bool byte {b}")),
+        }
+    }
+
+    /// Reads a `u16` little-endian.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.array()?))
+    }
+
+    /// Reads a `u32` little-endian.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    /// Reads a `u64` little-endian.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    /// Reads an `i64` little-endian.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| "checkpoint length overflow".to_string())?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| "checkpoint string not UTF-8".to_string())
+    }
+
+    /// Reads an `Option<bool>` written by [`Writer::put_opt_bool`].
+    pub fn opt_bool(&mut self) -> Result<Option<bool>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(false)),
+            2 => Ok(Some(true)),
+            b => Err(format!("invalid Option<bool> byte {b}")),
+        }
+    }
+
+    /// Succeeds only if the entire buffer has been consumed.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "checkpoint has {} trailing bytes",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u16(65535);
+        w.put_u32(1 << 30);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::INFINITY);
+        w.put_f64(std::f64::consts::PI);
+        w.put_str("höhe\n");
+        w.put_opt_bool(None);
+        w.put_opt_bool(Some(true));
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes).unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 65535);
+        assert_eq!(r.u32().unwrap(), 1 << 30);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.str().unwrap(), "höhe\n");
+        assert_eq!(r.opt_bool().unwrap(), None);
+        assert_eq!(r.opt_bool().unwrap(), Some(true));
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn rejects_foreign_and_truncated_input() {
+        assert!(Reader::new(b"NOTACKPT\x01rest").is_err());
+        assert!(Reader::new(b"YTAUDCK1").is_err()); // missing version byte
+        assert!(Reader::new(b"YTAUDCK1\x63").is_err()); // wrong version
+
+        let mut w = Writer::new();
+        w.put_u64(5);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 1);
+        let mut r = Reader::new(&bytes).unwrap();
+        assert!(r.u64().is_err());
+
+        // Trailing garbage is rejected.
+        let mut w = Writer::new();
+        w.put_u8(1);
+        let bytes = w.into_bytes();
+        let r = Reader::new(&bytes).unwrap();
+        assert!(r.expect_end().is_err());
+    }
+}

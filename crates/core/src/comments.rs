@@ -8,7 +8,9 @@
 //! the paper finds none). Comments are restricted to those posted within
 //! three weeks of the topic's focal date.
 
-use crate::dataset::{AuditDataset, CommentsSnapshot};
+use crate::ckpt;
+use crate::consistency::{decode_id_set, encode_id_set};
+use crate::dataset::{AuditDataset, CommentFetchError, CommentRecord, CommentsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use ytaudit_stats::sets::jaccard;
@@ -63,34 +65,153 @@ fn maybe_jaccard(a: &HashSet<String>, b: &HashSet<String>) -> Option<f64> {
     }
 }
 
-/// Computes one topic's Table 5 row, or `None` if comments were not
-/// collected at both the first and last snapshots.
-pub fn table5_row(dataset: &AuditDataset, topic: Topic) -> Option<Table5Row> {
-    let first = dataset.snapshots.first()?;
-    let last = dataset.snapshots.last()?;
-    let first_comments = first.comments.get(&topic)?;
-    let last_comments = last.comments.get(&topic)?;
-    // D-day + 3 weeks cutoff (one week past the video-window end).
-    let cutoff = topic.spec().focal_date.add_days(21);
-    let first_videos = dataset.id_set(topic, 0);
-    let last_videos = dataset.id_set(topic, dataset.len() - 1);
-    let shared: HashSet<VideoId> = first_videos
-        .intersection(&last_videos)
-        .cloned()
-        .collect();
+/// Streaming Table-5 accumulator for one topic. Table 5 only compares
+/// the first and last snapshots, so the state is exactly those two
+/// snapshots' comment collections and video-ID sets; everything in
+/// between folds through without being retained.
+#[derive(Debug, Clone)]
+pub struct Table5Accumulator {
+    topic: Topic,
+    first: Option<(Option<CommentsSnapshot>, HashSet<VideoId>)>,
+    last: Option<(Option<CommentsSnapshot>, HashSet<VideoId>)>,
+}
 
-    let (tl_first, n_first) = comment_sets(first_comments, cutoff, None);
-    let (tl_last, n_last) = comment_sets(last_comments, cutoff, None);
-    let (tl_first_s, n_first_s) = comment_sets(first_comments, cutoff, Some(&shared));
-    let (tl_last_s, n_last_s) = comment_sets(last_comments, cutoff, Some(&shared));
+impl Table5Accumulator {
+    /// An empty accumulator for `topic`.
+    pub fn new(topic: Topic) -> Table5Accumulator {
+        Table5Accumulator {
+            topic,
+            first: None,
+            last: None,
+        }
+    }
 
-    Some(Table5Row {
-        topic,
-        top_level_non_shared: maybe_jaccard(&tl_first, &tl_last),
-        nested_non_shared: maybe_jaccard(&n_first, &n_last),
-        top_level_shared: maybe_jaccard(&tl_first_s, &tl_last_s),
-        nested_shared: maybe_jaccard(&n_first_s, &n_last_s),
+    /// Folds the next snapshot's comment collection (if any) and
+    /// returned video-ID set.
+    pub fn fold(&mut self, comments: Option<&CommentsSnapshot>, id_set: HashSet<VideoId>) {
+        let entry = (comments.cloned(), id_set);
+        if self.first.is_none() {
+            self.first = Some(entry.clone());
+        }
+        self.last = Some(entry);
+    }
+
+    /// Finalizes into a [`Table5Row`], or `None` if comments were not
+    /// collected at both the first and last folded snapshots.
+    pub fn finish(&self) -> Option<Table5Row> {
+        let (first_comments, first_videos) = self.first.as_ref()?;
+        let (last_comments, last_videos) = self.last.as_ref()?;
+        let first_comments = first_comments.as_ref()?;
+        let last_comments = last_comments.as_ref()?;
+        // D-day + 3 weeks cutoff (one week past the video-window end).
+        let cutoff = self.topic.spec().focal_date.add_days(21);
+        let shared: HashSet<VideoId> = first_videos
+            .intersection(last_videos)
+            .cloned()
+            .collect();
+
+        let (tl_first, n_first) = comment_sets(first_comments, cutoff, None);
+        let (tl_last, n_last) = comment_sets(last_comments, cutoff, None);
+        let (tl_first_s, n_first_s) = comment_sets(first_comments, cutoff, Some(&shared));
+        let (tl_last_s, n_last_s) = comment_sets(last_comments, cutoff, Some(&shared));
+
+        Some(Table5Row {
+            topic: self.topic,
+            top_level_non_shared: maybe_jaccard(&tl_first, &tl_last),
+            nested_non_shared: maybe_jaccard(&n_first, &n_last),
+            top_level_shared: maybe_jaccard(&tl_first_s, &tl_last_s),
+            nested_shared: maybe_jaccard(&n_first_s, &n_last_s),
+        })
+    }
+
+    /// Serializes accumulator state for a checkpoint.
+    pub fn encode_state(&self, w: &mut ckpt::Writer) {
+        for slot in [&self.first, &self.last] {
+            match slot {
+                None => w.put_u8(0),
+                Some((comments, videos)) => {
+                    w.put_u8(1);
+                    match comments {
+                        None => w.put_u8(0),
+                        Some(cs) => {
+                            w.put_u8(1);
+                            encode_comments_snapshot(w, cs);
+                        }
+                    }
+                    encode_id_set(w, videos);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds accumulator state from a checkpoint.
+    pub fn decode_state(topic: Topic, r: &mut ckpt::Reader) -> ckpt::Result<Table5Accumulator> {
+        let mut slots = [None, None];
+        for slot in &mut slots {
+            if r.u8()? == 1 {
+                let comments = if r.u8()? == 1 {
+                    Some(decode_comments_snapshot(r)?)
+                } else {
+                    None
+                };
+                let videos = decode_id_set(r)?;
+                *slot = Some((comments, videos));
+            }
+        }
+        let [first, last] = slots;
+        Ok(Table5Accumulator { topic, first, last })
+    }
+}
+
+fn encode_comments_snapshot(w: &mut ckpt::Writer, cs: &CommentsSnapshot) {
+    w.put_u64(cs.comments.len() as u64);
+    for c in &cs.comments {
+        w.put_str(&c.id);
+        w.put_str(c.video_id.as_str());
+        w.put_bool(c.is_reply);
+        w.put_i64(c.published_at.0);
+    }
+    w.put_u64(cs.fetch_errors.len() as u64);
+    for e in &cs.fetch_errors {
+        w.put_str(e.video_id.as_str());
+        w.put_str(&e.error);
+    }
+}
+
+fn decode_comments_snapshot(r: &mut ckpt::Reader) -> ckpt::Result<CommentsSnapshot> {
+    let n = r.u64()?;
+    let mut comments = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        comments.push(CommentRecord {
+            id: r.str()?,
+            video_id: VideoId::new(r.str()?),
+            is_reply: r.bool()?,
+            published_at: Timestamp(r.i64()?),
+        });
+    }
+    let n_err = r.u64()?;
+    let mut fetch_errors = Vec::with_capacity(n_err as usize);
+    for _ in 0..n_err {
+        fetch_errors.push(CommentFetchError {
+            video_id: VideoId::new(r.str()?),
+            error: r.str()?,
+        });
+    }
+    Ok(CommentsSnapshot {
+        comments,
+        fetch_errors,
     })
+}
+
+/// Computes one topic's Table 5 row by folding every snapshot through a
+/// [`Table5Accumulator`], or `None` if comments were not collected at
+/// both the first and last snapshots.
+pub fn table5_row(dataset: &AuditDataset, topic: Topic) -> Option<Table5Row> {
+    let mut acc = Table5Accumulator::new(topic);
+    for (i, snapshot) in dataset.snapshots.iter().enumerate() {
+        acc.fold(snapshot.comments.get(&topic), dataset.id_set(topic, i));
+    }
+    acc.finish()
 }
 
 /// Computes Table 5 for every topic with comment collections.

@@ -6,11 +6,14 @@
 //! out deletions as the explanation), and the per-snapshot return-count
 //! summary of Table 1.
 
+use crate::ckpt;
 use crate::dataset::AuditDataset;
 use serde::{Deserialize, Serialize};
-use ytaudit_stats::descriptive::describe;
-use ytaudit_stats::sets::{jaccard, set_differences};
-use ytaudit_types::Topic;
+use std::collections::HashSet;
+use ytaudit_stats::descriptive::Description;
+use ytaudit_stats::sets::OverlapAccumulator;
+use ytaudit_stats::Moments;
+use ytaudit_types::{Topic, VideoId};
 
 /// One snapshot's similarity measurements (one point of Figure 1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,34 +75,154 @@ pub struct Table1Row {
     pub std: f64,
 }
 
-/// Computes Figure 1's series for one topic.
-pub fn topic_consistency(dataset: &AuditDataset, topic: Topic) -> TopicConsistency {
-    let sets: Vec<_> = (0..dataset.len())
-        .map(|i| dataset.id_set(topic, i))
-        .collect();
-    let points = sets
-        .iter()
-        .enumerate()
-        .map(|(i, set)| {
-            let (jaccard_prev, dropped_out, dropped_in) = if i == 0 {
-                (1.0, 0, 0)
-            } else {
-                let (out, into) = set_differences(&sets[i - 1], set);
-                (jaccard(set, &sets[i - 1]), out, into)
-            };
-            ConsistencyPoint {
-                snapshot: i,
-                returned: set.len(),
-                jaccard_prev,
-                // ytlint: allow(indexing) — the closure only runs while
-                // iterating sets, so sets is non-empty here
-                jaccard_first: jaccard(set, &sets[0]),
-                dropped_out,
-                dropped_in,
-            }
+/// Streaming consistency accumulator for one topic: folds each
+/// snapshot's video-ID set as it arrives and yields both the Figure-1
+/// series and the Table-1 summary. The batch entry points below fold a
+/// materialized dataset through this same accumulator, so there is
+/// exactly one numeric code path.
+#[derive(Debug, Clone)]
+pub struct ConsistencyAccumulator {
+    topic: Topic,
+    overlap: OverlapAccumulator<VideoId>,
+    counts: Moments,
+    points: Vec<ConsistencyPoint>,
+}
+
+impl ConsistencyAccumulator {
+    /// An empty accumulator for `topic`.
+    pub fn new(topic: Topic) -> ConsistencyAccumulator {
+        ConsistencyAccumulator {
+            topic,
+            overlap: OverlapAccumulator::new(),
+            counts: Moments::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Folds the next snapshot's returned ID set.
+    pub fn fold(&mut self, set: HashSet<VideoId>) {
+        let returned = set.len();
+        self.counts.fold(returned as f64);
+        let step = self.overlap.fold(set);
+        self.points.push(ConsistencyPoint {
+            snapshot: self.points.len(),
+            returned,
+            jaccard_prev: step.jaccard_prev,
+            jaccard_first: step.jaccard_first,
+            dropped_out: step.dropped_out,
+            dropped_in: step.dropped_in,
+        });
+    }
+
+    /// The Figure-1 series folded so far.
+    pub fn figure1_topic(&self) -> TopicConsistency {
+        TopicConsistency {
+            topic: self.topic,
+            points: self.points.clone(),
+        }
+    }
+
+    /// The Table-1 summary folded so far (zeroed row before any fold,
+    /// matching the batch `describe(..).unwrap_or(zeroed)` behavior).
+    pub fn table1_row(&self) -> Table1Row {
+        let d = self.counts.finish().unwrap_or(Description {
+            n: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            std: 0.0,
+        });
+        Table1Row {
+            topic: self.topic,
+            min: d.min as usize,
+            max: d.max as usize,
+            mean: d.mean,
+            std: d.std,
+        }
+    }
+
+    /// Serializes accumulator state for a checkpoint.
+    pub fn encode_state(&self, w: &mut ckpt::Writer) {
+        encode_id_set(w, self.overlap.first());
+        encode_id_set(w, self.overlap.last());
+        w.put_u64(self.overlap.folds());
+        let (n, mean, m2, min, max) = self.counts.parts();
+        w.put_u64(n);
+        w.put_f64(mean);
+        w.put_f64(m2);
+        w.put_f64(min);
+        w.put_f64(max);
+        w.put_u64(self.points.len() as u64);
+        for p in &self.points {
+            w.put_u64(p.snapshot as u64);
+            w.put_u64(p.returned as u64);
+            w.put_f64(p.jaccard_prev);
+            w.put_f64(p.jaccard_first);
+            w.put_u64(p.dropped_out as u64);
+            w.put_u64(p.dropped_in as u64);
+        }
+    }
+
+    /// Rebuilds accumulator state from a checkpoint.
+    pub fn decode_state(topic: Topic, r: &mut ckpt::Reader) -> ckpt::Result<ConsistencyAccumulator> {
+        let first = decode_id_set(r)?;
+        let prev = decode_id_set(r)?;
+        let folds = r.u64()?;
+        let n = r.u64()?;
+        let mean = r.f64()?;
+        let m2 = r.f64()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        let n_points = r.u64()?;
+        let mut points = Vec::with_capacity(n_points as usize);
+        for _ in 0..n_points {
+            points.push(ConsistencyPoint {
+                snapshot: r.u64()? as usize,
+                returned: r.u64()? as usize,
+                jaccard_prev: r.f64()?,
+                jaccard_first: r.f64()?,
+                dropped_out: r.u64()? as usize,
+                dropped_in: r.u64()? as usize,
+            });
+        }
+        Ok(ConsistencyAccumulator {
+            topic,
+            overlap: OverlapAccumulator::from_parts(first, prev, folds),
+            counts: Moments::from_parts(n, mean, m2, min, max),
+            points,
         })
-        .collect();
-    TopicConsistency { topic, points }
+    }
+}
+
+/// Writes a video-ID set sorted, so identical states produce identical
+/// checkpoint bytes regardless of hash order.
+pub(crate) fn encode_id_set(w: &mut ckpt::Writer, set: &HashSet<VideoId>) {
+    let mut ids: Vec<&VideoId> = set.iter().collect();
+    ids.sort();
+    w.put_u64(ids.len() as u64);
+    for id in ids {
+        w.put_str(id.as_str());
+    }
+}
+
+/// Reads a video-ID set written by [`encode_id_set`].
+pub(crate) fn decode_id_set(r: &mut ckpt::Reader) -> ckpt::Result<HashSet<VideoId>> {
+    let n = r.u64()?;
+    let mut set = HashSet::with_capacity(n as usize);
+    for _ in 0..n {
+        set.insert(VideoId::new(r.str()?));
+    }
+    Ok(set)
+}
+
+/// Computes Figure 1's series for one topic by folding every snapshot
+/// through a [`ConsistencyAccumulator`].
+pub fn topic_consistency(dataset: &AuditDataset, topic: Topic) -> TopicConsistency {
+    let mut acc = ConsistencyAccumulator::new(topic);
+    for i in 0..dataset.len() {
+        acc.fold(dataset.id_set(topic, i));
+    }
+    acc.figure1_topic()
 }
 
 /// Computes Figure 1 for every topic in the dataset.
@@ -111,29 +234,18 @@ pub fn figure1(dataset: &AuditDataset) -> Vec<TopicConsistency> {
         .collect()
 }
 
-/// Computes Table 1.
+/// Computes Table 1 by folding every snapshot through a
+/// [`ConsistencyAccumulator`].
 pub fn table1(dataset: &AuditDataset) -> Vec<Table1Row> {
     dataset
         .topics
         .iter()
         .map(|&topic| {
-            let counts: Vec<f64> = (0..dataset.len())
-                .map(|i| dataset.id_set(topic, i).len() as f64)
-                .collect();
-            let d = describe(&counts).unwrap_or(ytaudit_stats::Description {
-                n: 0,
-                min: 0.0,
-                max: 0.0,
-                mean: 0.0,
-                std: 0.0,
-            });
-            Table1Row {
-                topic,
-                min: d.min as usize,
-                max: d.max as usize,
-                mean: d.mean,
-                std: d.std,
+            let mut acc = ConsistencyAccumulator::new(topic);
+            for i in 0..dataset.len() {
+                acc.fold(dataset.id_set(topic, i));
             }
+            acc.table1_row()
         })
         .collect()
 }
@@ -195,6 +307,30 @@ mod tests {
             higgs.final_jaccard_first(),
             blm.final_jaccard_first()
         );
+    }
+
+    #[test]
+    fn accumulator_checkpoint_round_trips() {
+        let dataset = quick_dataset(3);
+        let mut acc = ConsistencyAccumulator::new(Topic::Blm);
+        for i in 0..dataset.len() {
+            acc.fold(dataset.id_set(Topic::Blm, i));
+        }
+        let mut w = ckpt::Writer::bare();
+        acc.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ckpt::Reader::bare(&bytes);
+        let restored = ConsistencyAccumulator::decode_state(Topic::Blm, &mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(restored.figure1_topic(), acc.figure1_topic());
+        assert_eq!(restored.table1_row(), acc.table1_row());
+        // Folding after restore matches folding straight through.
+        let extra = dataset.id_set(Topic::Blm, 0);
+        let mut direct = acc.clone();
+        let mut resumed = restored;
+        direct.fold(extra.clone());
+        resumed.fold(extra);
+        assert_eq!(direct.figure1_topic(), resumed.figure1_topic());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! the gaps are random errors, not systematic API behaviour — the paper's
 //! conclusion.
 
+use crate::ckpt;
+use crate::consistency::{decode_id_set, encode_id_set};
 use crate::dataset::AuditDataset;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -51,45 +53,155 @@ fn meta_set(dataset: &AuditDataset, topic: Topic, snapshot: usize) -> HashSet<Vi
         .unwrap_or_default()
 }
 
-fn compare(
-    dataset: &AuditDataset,
-    topic: Topic,
-    current: usize,
-    reference: usize,
+/// One Figure-4 comparison between a current and a reference snapshot's
+/// search-returned and metadata-returned sets — the single numeric code
+/// path shared by the batch and streaming analyses.
+pub(crate) fn compare_sets(
+    search_current: &HashSet<VideoId>,
+    meta_current: &HashSet<VideoId>,
+    search_reference: &HashSet<VideoId>,
+    meta_reference: &HashSet<VideoId>,
+    comparison_id: usize,
 ) -> Figure4Point {
-    let search_current = dataset.id_set(topic, current);
-    let search_reference = dataset.id_set(topic, reference);
     let common: HashSet<VideoId> = search_current
-        .intersection(&search_reference)
+        .intersection(search_reference)
         .cloned()
         .collect();
-    let meta_current: HashSet<VideoId> = meta_set(dataset, topic, current)
-        .intersection(&common)
-        .cloned()
-        .collect();
-    let meta_reference: HashSet<VideoId> = meta_set(dataset, topic, reference)
-        .intersection(&common)
-        .cloned()
-        .collect();
+    let meta_current: HashSet<VideoId> = meta_current.intersection(&common).cloned().collect();
+    let meta_reference: HashSet<VideoId> =
+        meta_reference.intersection(&common).cloned().collect();
     let denom = common.len().max(1) as f64;
     Figure4Point {
-        comparison_id: current,
+        comparison_id,
         coverage_current: 100.0 * meta_current.len() as f64 / denom,
         coverage_reference: 100.0 * meta_reference.len() as f64 / denom,
         jaccard_common: jaccard(&meta_current, &meta_reference),
     }
 }
 
-/// Computes Figure 4 for one topic.
-pub fn figure4_topic(dataset: &AuditDataset, topic: Topic) -> Figure4Topic {
-    let n = dataset.len();
-    let vs_previous = (1..n).map(|t| compare(dataset, topic, t, t - 1)).collect();
-    let vs_first = (1..n).map(|t| compare(dataset, topic, t, 0)).collect();
-    Figure4Topic {
-        topic,
-        vs_previous,
-        vs_first,
+/// Streaming Figure-4 accumulator for one topic: retains the first and
+/// most recent snapshots' (search, metadata) set pairs and emits both
+/// comparison series as folds arrive.
+#[derive(Debug, Clone)]
+pub struct Figure4Accumulator {
+    topic: Topic,
+    folds: usize,
+    first: Option<(HashSet<VideoId>, HashSet<VideoId>)>,
+    prev: Option<(HashSet<VideoId>, HashSet<VideoId>)>,
+    vs_previous: Vec<Figure4Point>,
+    vs_first: Vec<Figure4Point>,
+}
+
+impl Figure4Accumulator {
+    /// An empty accumulator for `topic`.
+    pub fn new(topic: Topic) -> Figure4Accumulator {
+        Figure4Accumulator {
+            topic,
+            folds: 0,
+            first: None,
+            prev: None,
+            vs_previous: Vec::new(),
+            vs_first: Vec::new(),
+        }
     }
+
+    /// Folds the next snapshot's search-returned and metadata-returned
+    /// ID sets.
+    pub fn fold(&mut self, search: HashSet<VideoId>, meta: HashSet<VideoId>) {
+        let t = self.folds;
+        if let (Some((prev_search, prev_meta)), Some((first_search, first_meta))) =
+            (&self.prev, &self.first)
+        {
+            self.vs_previous
+                .push(compare_sets(&search, &meta, prev_search, prev_meta, t));
+            self.vs_first
+                .push(compare_sets(&search, &meta, first_search, first_meta, t));
+        }
+        if self.first.is_none() {
+            self.first = Some((search.clone(), meta.clone()));
+        }
+        self.prev = Some((search, meta));
+        self.folds += 1;
+    }
+
+    /// The Figure-4 series folded so far.
+    pub fn finish(&self) -> Figure4Topic {
+        Figure4Topic {
+            topic: self.topic,
+            vs_previous: self.vs_previous.clone(),
+            vs_first: self.vs_first.clone(),
+        }
+    }
+
+    /// Serializes accumulator state for a checkpoint.
+    pub fn encode_state(&self, w: &mut ckpt::Writer) {
+        w.put_u64(self.folds as u64);
+        for slot in [&self.first, &self.prev] {
+            match slot {
+                None => w.put_u8(0),
+                Some((search, meta)) => {
+                    w.put_u8(1);
+                    encode_id_set(w, search);
+                    encode_id_set(w, meta);
+                }
+            }
+        }
+        for series in [&self.vs_previous, &self.vs_first] {
+            w.put_u64(series.len() as u64);
+            for p in series {
+                w.put_u64(p.comparison_id as u64);
+                w.put_f64(p.coverage_current);
+                w.put_f64(p.coverage_reference);
+                w.put_f64(p.jaccard_common);
+            }
+        }
+    }
+
+    /// Rebuilds accumulator state from a checkpoint.
+    pub fn decode_state(topic: Topic, r: &mut ckpt::Reader) -> ckpt::Result<Figure4Accumulator> {
+        let folds = r.u64()? as usize;
+        let mut slots = [None, None];
+        for slot in &mut slots {
+            if r.u8()? == 1 {
+                let search = decode_id_set(r)?;
+                let meta = decode_id_set(r)?;
+                *slot = Some((search, meta));
+            }
+        }
+        let [first, prev] = slots;
+        let mut series = [Vec::new(), Vec::new()];
+        for s in &mut series {
+            let n = r.u64()?;
+            s.reserve(n as usize);
+            for _ in 0..n {
+                s.push(Figure4Point {
+                    comparison_id: r.u64()? as usize,
+                    coverage_current: r.f64()?,
+                    coverage_reference: r.f64()?,
+                    jaccard_common: r.f64()?,
+                });
+            }
+        }
+        let [vs_previous, vs_first] = series;
+        Ok(Figure4Accumulator {
+            topic,
+            folds,
+            first,
+            prev,
+            vs_previous,
+            vs_first,
+        })
+    }
+}
+
+/// Computes Figure 4 for one topic by folding every snapshot through a
+/// [`Figure4Accumulator`].
+pub fn figure4_topic(dataset: &AuditDataset, topic: Topic) -> Figure4Topic {
+    let mut acc = Figure4Accumulator::new(topic);
+    for t in 0..dataset.len() {
+        acc.fold(dataset.id_set(topic, t), meta_set(dataset, topic, t));
+    }
+    acc.finish()
 }
 
 /// Computes Figure 4 for every topic.

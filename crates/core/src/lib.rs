@@ -26,6 +26,13 @@
 //!   validated against a sampler with planted seasonality;
 //! * [`serp`] — the §6.2 sockpuppet-SERP vs search-endpoint comparison;
 //! * [`shard`] — plan partitioning for sharded multi-store collection;
+//! * [`streaming`] — the online [`streaming::Analyzer`]: folds committed
+//!   (topic, snapshot) pairs into running accumulators; the batch path
+//!   replays a dataset through the same accumulators;
+//! * [`report`] — the combined [`report::AnalysisReport`] with its
+//!   canonical (bit-stable) JSON rendering;
+//! * [`ckpt`] — the binary checkpoint wire format behind
+//!   `analyze --follow` resume;
 //! * [`testutil`] — in-process harness constructors shared by tests,
 //!   examples, and benches.
 
@@ -34,6 +41,7 @@
 
 pub mod ablation;
 pub mod attrition;
+pub mod ckpt;
 pub mod collect;
 pub mod comments;
 pub mod consistency;
@@ -43,13 +51,17 @@ pub mod periodicity;
 pub mod poolsize;
 pub mod randomization;
 pub mod regression;
+pub mod report;
 pub mod schedule;
 pub mod serp;
 pub mod shard;
 pub mod strategy;
+pub mod streaming;
 pub mod testutil;
 
 pub use collect::{Collector, CollectorConfig, CollectorSink, MemorySink, TopicCommit};
 pub use dataset::AuditDataset;
+pub use report::{AnalysisReport, RegressionReport};
 pub use schedule::Schedule;
 pub use shard::ShardSpec;
+pub use streaming::{AnalyzeError, Analyzer, FoldInput};

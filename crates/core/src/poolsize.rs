@@ -7,9 +7,10 @@
 //! reappear most consistently are also the smallest pools, and the only
 //! ones whose modal estimate is below the cap.
 
-use crate::dataset::AuditDataset;
+use crate::ckpt;
+use crate::dataset::{AuditDataset, TopicSnapshot};
 use serde::{Deserialize, Serialize};
-use ytaudit_stats::descriptive::mode_u64;
+use std::collections::BTreeMap;
 use ytaudit_types::Topic;
 
 /// A Table 4 row.
@@ -31,28 +32,115 @@ pub struct Table4Row {
 /// The documented estimate cap.
 pub const CAP: u64 = 1_000_000;
 
-/// Computes one topic's Table 4 row.
-pub fn table4_row(dataset: &AuditDataset, topic: Topic) -> Option<Table4Row> {
-    let mut estimates: Vec<u64> = Vec::new();
-    for snapshot in &dataset.snapshots {
-        if let Some(ts) = snapshot.topics.get(&topic) {
-            estimates.extend(ts.hours.iter().map(|h| h.total_results));
+/// Streaming Table-4 accumulator for one topic: integer sufficient
+/// statistics (count, sum, min, max) plus 1k-bucketed mode counts —
+/// exact equivalents of the batch formulas, independent of fold order.
+#[derive(Debug, Clone)]
+pub struct Table4Accumulator {
+    topic: Topic,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: BTreeMap<u64, u64>,
+}
+
+impl Table4Accumulator {
+    /// An empty accumulator for `topic`.
+    pub fn new(topic: Topic) -> Table4Accumulator {
+        Table4Accumulator {
+            topic,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: BTreeMap::new(),
         }
     }
-    let (Some(&min), Some(&max)) = (estimates.iter().min(), estimates.iter().max()) else {
-        return None;
-    };
-    let mean = estimates.iter().sum::<u64>() / estimates.len() as u64;
-    // Bucket to 1k for a meaningful mode over a continuous-ish estimate.
-    let bucketed: Vec<u64> = estimates.iter().map(|e| (e / 1_000) * 1_000).collect();
-    let mode = mode_u64(&bucketed).ok()?;
-    Some(Table4Row {
-        topic,
-        min,
-        max,
-        mean,
-        mode,
-    })
+
+    /// Folds the next snapshot's pool estimates.
+    pub fn fold(&mut self, ts: &TopicSnapshot) {
+        for hour in &ts.hours {
+            let e = hour.total_results;
+            self.count += 1;
+            self.sum += e;
+            self.min = self.min.min(e);
+            self.max = self.max.max(e);
+            // Bucket to 1k for a meaningful mode over a continuous-ish
+            // estimate.
+            *self.buckets.entry((e / 1_000) * 1_000).or_insert(0) += 1;
+        }
+    }
+
+    /// Finalizes into a [`Table4Row`]; `None` if nothing was folded.
+    pub fn finish(&self) -> Option<Table4Row> {
+        if self.count == 0 {
+            return None;
+        }
+        // Ascending bucket iteration with strict `>` keeps the smallest
+        // modal bucket — the same tie-break as `mode_u64`.
+        let mut best = (0u64, 0u64);
+        for (&value, &count) in &self.buckets {
+            if count > best.1 {
+                best = (value, count);
+            }
+        }
+        Some(Table4Row {
+            topic: self.topic,
+            min: self.min,
+            max: self.max,
+            mean: self.sum / self.count,
+            mode: best.0,
+        })
+    }
+
+    /// Serializes accumulator state for a checkpoint.
+    pub fn encode_state(&self, w: &mut ckpt::Writer) {
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+        w.put_u64(self.buckets.len() as u64);
+        for (&value, &count) in &self.buckets {
+            w.put_u64(value);
+            w.put_u64(count);
+        }
+    }
+
+    /// Rebuilds accumulator state from a checkpoint.
+    pub fn decode_state(topic: Topic, r: &mut ckpt::Reader) -> ckpt::Result<Table4Accumulator> {
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let min = r.u64()?;
+        let max = r.u64()?;
+        let n = r.u64()?;
+        let mut buckets = BTreeMap::new();
+        for _ in 0..n {
+            let value = r.u64()?;
+            let c = r.u64()?;
+            buckets.insert(value, c);
+        }
+        Ok(Table4Accumulator {
+            topic,
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+}
+
+/// Computes one topic's Table 4 row by folding every snapshot through a
+/// [`Table4Accumulator`].
+pub fn table4_row(dataset: &AuditDataset, topic: Topic) -> Option<Table4Row> {
+    let mut acc = Table4Accumulator::new(topic);
+    for snapshot in &dataset.snapshots {
+        if let Some(ts) = snapshot.topics.get(&topic) {
+            acc.fold(ts);
+        }
+    }
+    acc.finish()
 }
 
 /// Computes Table 4 for every topic.

@@ -6,9 +6,11 @@
 //! histograms coincide across snapshots while per-day Jaccard does not
 //! track volume.
 
-use crate::dataset::AuditDataset;
+use crate::ckpt;
+use crate::consistency::{decode_id_set, encode_id_set};
+use crate::dataset::{AuditDataset, TopicSnapshot};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use ytaudit_stats::rank::spearman;
 use ytaudit_stats::sets::jaccard;
 use ytaudit_types::{Topic, VideoId};
@@ -60,90 +62,291 @@ pub struct Figure2Topic {
     pub days: Vec<DayPoint>,
 }
 
-/// Per-hour counts for one topic across snapshots, keyed by hour index.
-fn hourly_counts(dataset: &AuditDataset, topic: Topic) -> HashMap<u32, Vec<usize>> {
-    let n = dataset.len();
-    let mut counts: HashMap<u32, Vec<usize>> = HashMap::new();
-    for (snapshot_idx, snapshot) in dataset.snapshots.iter().enumerate() {
-        if let Some(ts) = snapshot.topics.get(&topic) {
+/// Streaming Table-2 accumulator for one topic: maintains the per-hour
+/// count grid plus the first and latest snapshots' per-hour ID sets, so
+/// state is O(hours × snapshots) counts + two snapshots' sets. Hours are
+/// keyed in a `BTreeMap`, which also makes the Spearman input ordering
+/// deterministic (the old batch code iterated a `HashMap`, so its ρ could
+/// wobble in the last bits between runs).
+#[derive(Debug, Clone)]
+pub struct Table2Accumulator {
+    topic: Topic,
+    folds: usize,
+    grid: BTreeMap<u32, Vec<usize>>,
+    first_sets: BTreeMap<u32, HashSet<VideoId>>,
+    last_sets: BTreeMap<u32, HashSet<VideoId>>,
+}
+
+impl Table2Accumulator {
+    /// An empty accumulator for `topic`.
+    pub fn new(topic: Topic) -> Table2Accumulator {
+        Table2Accumulator {
+            topic,
+            folds: 0,
+            grid: BTreeMap::new(),
+            first_sets: BTreeMap::new(),
+            last_sets: BTreeMap::new(),
+        }
+    }
+
+    /// Folds the next snapshot's hourly results. A snapshot that did not
+    /// cover this topic folds as the (default) empty [`TopicSnapshot`],
+    /// which contributes a column of zeros — exactly what the batch code
+    /// did for missing snapshots.
+    pub fn fold(&mut self, ts: &TopicSnapshot) {
+        let s = self.folds;
+        // Grow every known hour's column vector by one zero cell, then
+        // overwrite the cells this snapshot actually returned (duplicate
+        // hour entries last-win, matching the batch grid build).
+        for column in self.grid.values_mut() {
+            column.push(0);
+        }
+        for hour in &ts.hours {
+            let column = self.grid.entry(hour.hour).or_insert_with(|| vec![0; s + 1]);
+            if let Some(cell) = column.last_mut() {
+                *cell = hour.video_ids.len();
+            }
+        }
+        if s == 0 {
             for hour in &ts.hours {
-                counts
-                    .entry(hour.hour)
-                    .or_insert_with(|| vec![0; n])[snapshot_idx] = hour.video_ids.len();
+                self.first_sets
+                    .insert(hour.hour, hour.video_ids.iter().cloned().collect());
+            }
+        }
+        self.last_sets.clear();
+        for hour in &ts.hours {
+            self.last_sets
+                .insert(hour.hour, hour.video_ids.iter().cloned().collect());
+        }
+        self.folds += 1;
+    }
+
+    /// Finalizes into a [`Table2Row`] over everything folded so far.
+    pub fn finish(&self) -> Table2Row {
+        // Cell-level descriptive statistics over every (hour, snapshot)
+        // cell, including the all-zero hours (the paper's mean ≈
+        // total/672).
+        let mut cells: Vec<f64> = Vec::new();
+        let max_hour = 672u32;
+        for hour in 0..max_hour {
+            match self.grid.get(&hour) {
+                Some(per_snapshot) => cells.extend(per_snapshot.iter().map(|&c| c as f64)),
+                None => cells.extend(std::iter::repeat_n(0.0, self.folds)),
+            }
+        }
+        let mean = cells.iter().sum::<f64>() / cells.len().max(1) as f64;
+        let min = cells.iter().cloned().fold(f64::INFINITY, f64::min).max(0.0) as usize;
+        let max = cells.iter().cloned().fold(0.0, f64::max) as usize;
+        let var = cells
+            .iter()
+            .map(|c| (c - mean) * (c - mean))
+            .sum::<f64>()
+            / (cells.len().saturating_sub(1)).max(1) as f64;
+
+        // Correlation: per-hour J(first, last) vs per-hour mean count,
+        // over hours with at least one return across snapshots.
+        let empty = HashSet::new();
+        let mut js = Vec::new();
+        let mut means = Vec::new();
+        for (hour, per_snapshot) in &self.grid {
+            let total: usize = per_snapshot.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            let a = self.first_sets.get(hour).unwrap_or(&empty);
+            let b = self.last_sets.get(hour).unwrap_or(&empty);
+            js.push(jaccard(a, b));
+            means.push(total as f64 / per_snapshot.len() as f64);
+        }
+        let (rho, rho_p) = match spearman(&js, &means) {
+            Ok(c) => (c.coefficient, c.p_value),
+            Err(_) => (f64::NAN, f64::NAN),
+        };
+        Table2Row {
+            topic: self.topic,
+            mean,
+            min,
+            max,
+            std: var.sqrt(),
+            rho,
+            rho_p,
+            n_hours: js.len(),
+        }
+    }
+
+    /// Serializes accumulator state for a checkpoint.
+    pub fn encode_state(&self, w: &mut ckpt::Writer) {
+        w.put_u64(self.folds as u64);
+        w.put_u64(self.grid.len() as u64);
+        for (hour, column) in &self.grid {
+            w.put_u32(*hour);
+            w.put_u64(column.len() as u64);
+            for &c in column {
+                w.put_u64(c as u64);
+            }
+        }
+        for sets in [&self.first_sets, &self.last_sets] {
+            w.put_u64(sets.len() as u64);
+            for (hour, set) in sets {
+                w.put_u32(*hour);
+                encode_id_set(w, set);
             }
         }
     }
-    counts
+
+    /// Rebuilds accumulator state from a checkpoint.
+    pub fn decode_state(topic: Topic, r: &mut ckpt::Reader) -> ckpt::Result<Table2Accumulator> {
+        let folds = r.u64()? as usize;
+        let n_hours = r.u64()?;
+        let mut grid = BTreeMap::new();
+        for _ in 0..n_hours {
+            let hour = r.u32()?;
+            let len = r.u64()?;
+            let mut column = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                column.push(r.u64()? as usize);
+            }
+            grid.insert(hour, column);
+        }
+        let mut maps = [BTreeMap::new(), BTreeMap::new()];
+        for map in &mut maps {
+            let n = r.u64()?;
+            for _ in 0..n {
+                let hour = r.u32()?;
+                map.insert(hour, decode_id_set(r)?);
+            }
+        }
+        let [first_sets, last_sets] = maps;
+        Ok(Table2Accumulator {
+            topic,
+            folds,
+            grid,
+            first_sets,
+            last_sets,
+        })
+    }
 }
 
-/// Per-hour ID sets for one snapshot.
-fn hourly_sets(dataset: &AuditDataset, topic: Topic, snapshot: usize) -> HashMap<u32, HashSet<VideoId>> {
-    let mut out = HashMap::new();
-    if let Some(ts) = dataset
-        .snapshots
-        .get(snapshot)
-        .and_then(|s| s.topics.get(&topic))
-    {
+/// Streaming Figure-2 accumulator for one topic: per-day count sums plus
+/// the first and latest snapshots' per-day ID sets.
+#[derive(Debug, Clone)]
+pub struct Figure2Accumulator {
+    topic: Topic,
+    folds: usize,
+    sums: [u64; 28],
+    first_day_sets: BTreeMap<u32, HashSet<VideoId>>,
+    last_day_sets: BTreeMap<u32, HashSet<VideoId>>,
+}
+
+impl Figure2Accumulator {
+    /// An empty accumulator for `topic`.
+    pub fn new(topic: Topic) -> Figure2Accumulator {
+        Figure2Accumulator {
+            topic,
+            folds: 0,
+            sums: [0; 28],
+            first_day_sets: BTreeMap::new(),
+            last_day_sets: BTreeMap::new(),
+        }
+    }
+
+    /// Folds the next snapshot's hourly results, unioning hours into
+    /// window days. The day sums are exact `u64` counts, so their `f64`
+    /// average is bit-identical to the batch sum of per-snapshot sizes
+    /// (every partial sum of set sizes is far below 2⁵³).
+    pub fn fold(&mut self, ts: &TopicSnapshot) {
+        let mut day_sets: BTreeMap<u32, HashSet<VideoId>> = BTreeMap::new();
         for hour in &ts.hours {
-            out.insert(hour.hour, hour.video_ids.iter().cloned().collect());
+            day_sets
+                .entry(hour.hour / 24)
+                .or_default()
+                .extend(hour.video_ids.iter().cloned());
+        }
+        for (&day, set) in &day_sets {
+            if let Some(sum) = self.sums.get_mut(day as usize) {
+                *sum += set.len() as u64;
+            }
+        }
+        if self.folds == 0 {
+            self.first_day_sets = day_sets.clone();
+        }
+        self.last_day_sets = day_sets;
+        self.folds += 1;
+    }
+
+    /// Finalizes into a [`Figure2Topic`] over everything folded so far.
+    pub fn finish(&self) -> Figure2Topic {
+        let empty = HashSet::new();
+        let days = (0..28)
+            .map(|day| {
+                let first = self.first_day_sets.get(&day).unwrap_or(&empty);
+                let last = self.last_day_sets.get(&day).unwrap_or(&empty);
+                let sum = self.sums.get(day as usize).copied().unwrap_or(0);
+                DayPoint {
+                    day,
+                    first: first.len(),
+                    last: last.len(),
+                    avg: sum as f64 / self.folds.max(1) as f64,
+                    jaccard_first_last: jaccard(first, last),
+                }
+            })
+            .collect();
+        Figure2Topic {
+            topic: self.topic,
+            days,
         }
     }
-    out
+
+    /// Serializes accumulator state for a checkpoint.
+    pub fn encode_state(&self, w: &mut ckpt::Writer) {
+        w.put_u64(self.folds as u64);
+        for &sum in &self.sums {
+            w.put_u64(sum);
+        }
+        for sets in [&self.first_day_sets, &self.last_day_sets] {
+            w.put_u64(sets.len() as u64);
+            for (day, set) in sets {
+                w.put_u32(*day);
+                encode_id_set(w, set);
+            }
+        }
+    }
+
+    /// Rebuilds accumulator state from a checkpoint.
+    pub fn decode_state(topic: Topic, r: &mut ckpt::Reader) -> ckpt::Result<Figure2Accumulator> {
+        let folds = r.u64()? as usize;
+        let mut sums = [0u64; 28];
+        for sum in &mut sums {
+            *sum = r.u64()?;
+        }
+        let mut maps = [BTreeMap::new(), BTreeMap::new()];
+        for map in &mut maps {
+            let n = r.u64()?;
+            for _ in 0..n {
+                let day = r.u32()?;
+                map.insert(day, decode_id_set(r)?);
+            }
+        }
+        let [first_day_sets, last_day_sets] = maps;
+        Ok(Figure2Accumulator {
+            topic,
+            folds,
+            sums,
+            first_day_sets,
+            last_day_sets,
+        })
+    }
 }
 
-/// Computes one topic's Table 2 row.
+/// Computes one topic's Table 2 row by folding every snapshot through a
+/// [`Table2Accumulator`].
 pub fn table2_row(dataset: &AuditDataset, topic: Topic) -> Table2Row {
-    let counts = hourly_counts(dataset, topic);
-    // Cell-level descriptive statistics over every (hour, snapshot) cell,
-    // including the all-zero hours (the paper's mean ≈ total/672).
-    let mut cells: Vec<f64> = Vec::new();
-    let max_hour = 672u32;
-    for hour in 0..max_hour {
-        match counts.get(&hour) {
-            Some(per_snapshot) => cells.extend(per_snapshot.iter().map(|&c| c as f64)),
-            None => cells.extend(std::iter::repeat_n(0.0, dataset.len())),
-        }
+    let missing = TopicSnapshot::default();
+    let mut acc = Table2Accumulator::new(topic);
+    for snapshot in &dataset.snapshots {
+        acc.fold(snapshot.topics.get(&topic).unwrap_or(&missing));
     }
-    let mean = cells.iter().sum::<f64>() / cells.len().max(1) as f64;
-    let min = cells.iter().cloned().fold(f64::INFINITY, f64::min).max(0.0) as usize;
-    let max = cells.iter().cloned().fold(0.0, f64::max) as usize;
-    let var = cells
-        .iter()
-        .map(|c| (c - mean) * (c - mean))
-        .sum::<f64>()
-        / (cells.len().saturating_sub(1)).max(1) as f64;
-
-    // Correlation: per-hour J(first, last) vs per-hour mean count, over
-    // hours with at least one return across snapshots.
-    let first_sets = hourly_sets(dataset, topic, 0);
-    let last_sets = hourly_sets(dataset, topic, dataset.len().saturating_sub(1));
-    let empty = HashSet::new();
-    let mut js = Vec::new();
-    let mut means = Vec::new();
-    for (hour, per_snapshot) in &counts {
-        let total: usize = per_snapshot.iter().sum();
-        if total == 0 {
-            continue;
-        }
-        let a = first_sets.get(hour).unwrap_or(&empty);
-        let b = last_sets.get(hour).unwrap_or(&empty);
-        js.push(jaccard(a, b));
-        means.push(total as f64 / per_snapshot.len() as f64);
-    }
-    let (rho, rho_p) = match spearman(&js, &means) {
-        Ok(c) => (c.coefficient, c.p_value),
-        Err(_) => (f64::NAN, f64::NAN),
-    };
-    Table2Row {
-        topic,
-        mean,
-        min,
-        max,
-        std: var.sqrt(),
-        rho,
-        rho_p,
-        n_hours: js.len(),
-    }
+    acc.finish()
 }
 
 /// Computes Table 2 for every topic.
@@ -155,48 +358,15 @@ pub fn table2(dataset: &AuditDataset) -> Vec<Table2Row> {
         .collect()
 }
 
-/// Computes Figure 2 for one topic.
+/// Computes Figure 2 for one topic by folding every snapshot through a
+/// [`Figure2Accumulator`].
 pub fn figure2_topic(dataset: &AuditDataset, topic: Topic) -> Figure2Topic {
-    let n = dataset.len();
-    let last_idx = n.saturating_sub(1);
-    // Aggregate per-day sets for each snapshot.
-    let mut per_day_sets: Vec<HashMap<u32, HashSet<VideoId>>> = vec![HashMap::new(); n];
-    for (idx, snapshot) in dataset.snapshots.iter().enumerate() {
-        if let Some(ts) = snapshot.topics.get(&topic) {
-            for hour in &ts.hours {
-                per_day_sets[idx]
-                    .entry(hour.hour / 24)
-                    .or_default()
-                    .extend(hour.video_ids.iter().cloned());
-            }
-        }
+    let missing = TopicSnapshot::default();
+    let mut acc = Figure2Accumulator::new(topic);
+    for snapshot in &dataset.snapshots {
+        acc.fold(snapshot.topics.get(&topic).unwrap_or(&missing));
     }
-    let empty = HashSet::new();
-    let days = (0..28)
-        .map(|day| {
-            let first = per_day_sets
-                .first()
-                .and_then(|m| m.get(&day))
-                .unwrap_or(&empty);
-            let last = per_day_sets
-                .get(last_idx)
-                .and_then(|m| m.get(&day))
-                .unwrap_or(&empty);
-            let avg = per_day_sets
-                .iter()
-                .map(|m| m.get(&day).map_or(0, HashSet::len) as f64)
-                .sum::<f64>()
-                / n.max(1) as f64;
-            DayPoint {
-                day,
-                first: first.len(),
-                last: last.len(),
-                avg,
-                jaccard_first_last: jaccard(first, last),
-            }
-        })
-        .collect();
-    Figure2Topic { topic, days }
+    acc.finish()
 }
 
 /// Computes Figure 2 for every topic.

@@ -7,13 +7,15 @@
 //! comments, channel age, channel views, channel subscribers, and the
 //! channel's upload count.
 
-use crate::dataset::AuditDataset;
+use crate::ckpt;
+use crate::dataset::{AuditDataset, ChannelInfo, TopicSnapshot, VideoInfo};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use ytaudit_stats::descriptive::{bin_frequency, log1p_transform, standardize};
 use ytaudit_stats::ols::{OlsFit, OlsOptions};
 use ytaudit_stats::ordinal::{OrdinalFit, OrdinalModel};
 use ytaudit_stats::{Result as StatsResult, StatsError};
-use ytaudit_types::Topic;
+use ytaudit_types::{ChannelId, Timestamp, Topic, VideoId};
 
 /// The paper's predictor names, in Table 3's order.
 pub const PREDICTORS: [&str; 14] = [
@@ -48,15 +50,26 @@ pub struct RegressionData {
     pub n_snapshots: usize,
 }
 
-/// Builds the regression dataset from a collection. Videos without
-/// fetched metadata (or whose channel metadata is missing) are dropped —
-/// the same listwise deletion a real pipeline performs.
-pub fn build_regression_data(dataset: &AuditDataset) -> StatsResult<RegressionData> {
-    let reference_date = dataset
-        .snapshots
-        .last()
-        .map(|s| s.date)
-        .ok_or_else(|| StatsError::InvalidInput("empty dataset".into()))?;
+/// Builds the design matrix from per-topic appearance frequencies and
+/// metadata lookups — the single assembly path shared by the batch
+/// ([`build_regression_data`]) and streaming ([`RegressionAccumulator`])
+/// analyses. Frequencies iterate in ascending video-ID order per topic
+/// (the old batch code iterated a `HashMap`, so its row order — and thus
+/// the last bits of the standardized columns — could differ between
+/// runs). Videos without fetched metadata (or whose channel metadata is
+/// missing) are dropped — the same listwise deletion a real pipeline
+/// performs.
+pub fn regression_data_from<'m, FV, FC>(
+    topic_frequencies: &[(Topic, BTreeMap<VideoId, u32>)],
+    n_snapshots: usize,
+    reference_date: Timestamp,
+    lookup_video: FV,
+    lookup_channel: FC,
+) -> StatsResult<RegressionData>
+where
+    FV: Fn(&VideoId) -> Option<&'m VideoInfo>,
+    FC: Fn(&ChannelId) -> Option<&'m ChannelInfo>,
+{
     let mut sd = Vec::new();
     let mut topic_dummies: Vec<[f64; 5]> = Vec::new();
     let mut duration = Vec::new();
@@ -69,13 +82,13 @@ pub fn build_regression_data(dataset: &AuditDataset) -> StatsResult<RegressionDa
     let mut channel_videos = Vec::new();
     let mut frequency = Vec::new();
 
-    for &topic in &dataset.topics {
-        let dummies = topic_dummy(topic);
-        for (video_id, freq) in dataset.appearance_frequencies(topic) {
-            let Some(video) = dataset.video_meta.get(&video_id) else {
+    for (topic, freqs) in topic_frequencies {
+        let dummies = topic_dummy(*topic);
+        for (video_id, &freq) in freqs {
+            let Some(video) = lookup_video(video_id) else {
                 continue;
             };
-            let Some(channel) = dataset.channel_meta.get(&video.channel_id) else {
+            let Some(channel) = lookup_channel(&video.channel_id) else {
                 continue;
             };
             sd.push(if video.is_sd { 1.0 } else { 0.0 });
@@ -142,7 +155,187 @@ pub fn build_regression_data(dataset: &AuditDataset) -> StatsResult<RegressionDa
         names,
         x,
         frequency,
-        n_snapshots: dataset.len(),
+        n_snapshots,
+    })
+}
+
+/// Builds the regression dataset from a materialized collection by
+/// routing through [`regression_data_from`].
+pub fn build_regression_data(dataset: &AuditDataset) -> StatsResult<RegressionData> {
+    let reference_date = dataset
+        .snapshots
+        .last()
+        .map(|s| s.date)
+        .ok_or_else(|| StatsError::InvalidInput("empty dataset".into()))?;
+    let topic_frequencies: Vec<(Topic, BTreeMap<VideoId, u32>)> = dataset
+        .topics
+        .iter()
+        .map(|&t| (t, dataset.appearance_frequencies(t).into_iter().collect()))
+        .collect();
+    regression_data_from(
+        &topic_frequencies,
+        dataset.len(),
+        reference_date,
+        |id| dataset.video_meta.get(id),
+        |id| dataset.channel_meta.get(id),
+    )
+}
+
+/// Streaming regression accumulator: per-topic appearance counts, video
+/// metadata merged first-wins in fold order (within one collection every
+/// fetch of a video returns identical metadata, so this matches the
+/// batch merge), and the latest folded date as the channel-age reference.
+/// Channel metadata only exists once a collection finishes, so it is
+/// supplied at [`RegressionAccumulator::finish`] time.
+#[derive(Debug, Clone, Default)]
+pub struct RegressionAccumulator {
+    frequencies: BTreeMap<Topic, BTreeMap<VideoId, u32>>,
+    video_meta: BTreeMap<VideoId, VideoInfo>,
+    reference_date: Option<Timestamp>,
+}
+
+impl RegressionAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> RegressionAccumulator {
+        RegressionAccumulator::default()
+    }
+
+    /// Folds one committed (topic, snapshot) pair: the returned IDs, the
+    /// snapshot date, and the video metadata fetched alongside it.
+    pub fn fold(&mut self, topic: Topic, ts: &TopicSnapshot, date: Timestamp, videos: &[VideoInfo]) {
+        let freqs = self.frequencies.entry(topic).or_default();
+        for id in ts.id_set() {
+            *freqs.entry(id).or_insert(0) += 1;
+        }
+        for video in videos {
+            self.video_meta
+                .entry(video.id.clone())
+                .or_insert_with(|| video.clone());
+        }
+        self.reference_date = Some(match self.reference_date {
+            Some(d) if d.0 >= date.0 => d,
+            _ => date,
+        });
+    }
+
+    /// Seeds one video's metadata directly (first-wins, like the fold
+    /// path) — used by the batch entry point, whose dataset carries a
+    /// single merged metadata map.
+    pub fn seed_video(&mut self, video: &VideoInfo) {
+        self.video_meta
+            .entry(video.id.clone())
+            .or_insert_with(|| video.clone());
+    }
+
+    /// Finalizes into a [`RegressionData`] via [`regression_data_from`].
+    /// `topics` fixes the topic iteration order (plan order, as in the
+    /// batch path) and `channel_meta` supplies the end-of-collection
+    /// channel fetches.
+    pub fn finish(
+        &self,
+        topics: &[Topic],
+        n_snapshots: usize,
+        channel_meta: &BTreeMap<ChannelId, ChannelInfo>,
+    ) -> StatsResult<RegressionData> {
+        let reference_date = self
+            .reference_date
+            .ok_or_else(|| StatsError::InvalidInput("empty dataset".into()))?;
+        let empty = BTreeMap::new();
+        let topic_frequencies: Vec<(Topic, BTreeMap<VideoId, u32>)> = topics
+            .iter()
+            .map(|&t| (t, self.frequencies.get(&t).unwrap_or(&empty).clone()))
+            .collect();
+        regression_data_from(
+            &topic_frequencies,
+            n_snapshots,
+            reference_date,
+            |id| self.video_meta.get(id),
+            |id| channel_meta.get(id),
+        )
+    }
+
+    /// Serializes accumulator state for a checkpoint.
+    pub fn encode_state(&self, w: &mut ckpt::Writer) {
+        match self.reference_date {
+            None => w.put_u8(0),
+            Some(d) => {
+                w.put_u8(1);
+                w.put_i64(d.0);
+            }
+        }
+        w.put_u64(self.frequencies.len() as u64);
+        for (topic, freqs) in &self.frequencies {
+            w.put_u8(topic.index() as u8);
+            w.put_u64(freqs.len() as u64);
+            for (id, &freq) in freqs {
+                w.put_str(id.as_str());
+                w.put_u32(freq);
+            }
+        }
+        w.put_u64(self.video_meta.len() as u64);
+        for video in self.video_meta.values() {
+            encode_video_info(w, video);
+        }
+    }
+
+    /// Rebuilds accumulator state from a checkpoint.
+    pub fn decode_state(r: &mut ckpt::Reader) -> ckpt::Result<RegressionAccumulator> {
+        let reference_date = if r.u8()? == 1 {
+            Some(Timestamp(r.i64()?))
+        } else {
+            None
+        };
+        let n_topics = r.u64()?;
+        let mut frequencies = BTreeMap::new();
+        for _ in 0..n_topics {
+            let idx = r.u8()? as usize;
+            let topic = *Topic::ALL
+                .get(idx)
+                .ok_or_else(|| format!("invalid topic index {idx}"))?;
+            let n = r.u64()?;
+            let mut freqs = BTreeMap::new();
+            for _ in 0..n {
+                let id = VideoId::new(r.str()?);
+                let freq = r.u32()?;
+                freqs.insert(id, freq);
+            }
+            frequencies.insert(topic, freqs);
+        }
+        let n_videos = r.u64()?;
+        let mut video_meta = BTreeMap::new();
+        for _ in 0..n_videos {
+            let video = decode_video_info(r)?;
+            video_meta.insert(video.id.clone(), video);
+        }
+        Ok(RegressionAccumulator {
+            frequencies,
+            video_meta,
+            reference_date,
+        })
+    }
+}
+
+pub(crate) fn encode_video_info(w: &mut ckpt::Writer, video: &VideoInfo) {
+    w.put_str(video.id.as_str());
+    w.put_str(video.channel_id.as_str());
+    w.put_i64(video.published_at.0);
+    w.put_u64(video.duration_secs);
+    w.put_bool(video.is_sd);
+    w.put_u64(video.views);
+    w.put_u64(video.likes);
+    w.put_u64(video.comments);
+}
+
+pub(crate) fn decode_video_info(r: &mut ckpt::Reader) -> ckpt::Result<VideoInfo> {
+    Ok(VideoInfo {
+        id: VideoId::new(r.str()?),
+        channel_id: ChannelId::new(r.str()?),
+        published_at: Timestamp(r.i64()?),
+        duration_secs: r.u64()?,
+        is_sd: r.bool()?,
+        views: r.u64()?,
+        likes: r.u64()?,
+        comments: r.u64()?,
     })
 }
 

@@ -1,0 +1,506 @@
+//! The combined analysis report and its canonical JSON rendering.
+//!
+//! [`AnalysisReport`] bundles every experiment the paper reports — Tables
+//! 1–7 and Figures 1–4 — as produced by one [`crate::streaming::Analyzer`]
+//! pass, whether that pass folded a materialized [`crate::AuditDataset`]
+//! or tailed a store log pair by pair. The JSON writer is hand-rolled and
+//! canonical: fixed key order, floats rendered with Rust's shortest
+//! round-trip formatting, non-finite values as `null`. Two reports built
+//! from the same folds therefore serialize to byte-identical strings,
+//! which is what the batch/follow equivalence suite and the golden
+//! fixtures compare.
+
+use crate::attrition::Figure3;
+use crate::comments::Table5Row;
+use crate::consistency::{Table1Row, TopicConsistency};
+use crate::idcheck::Figure4Topic;
+use crate::poolsize::Table4Row;
+use crate::randomization::{Figure2Topic, Table2Row};
+use ytaudit_stats::ols::OlsFit;
+use ytaudit_stats::ordinal::OrdinalFit;
+use ytaudit_types::Topic;
+
+/// The regression family (Tables 3, 6, 7), which shares one design
+/// matrix. Individual fits can fail (e.g. a single-category outcome on a
+/// tiny collection) without voiding the rest of the report.
+#[derive(Debug, Clone)]
+pub struct RegressionReport {
+    /// Predictor names that survived the constant-column filter.
+    pub names: Vec<String>,
+    /// Observations (videos with complete metadata).
+    pub n_observations: usize,
+    /// Table 3: binned ordinal logit.
+    pub table3: Result<OrdinalFit, String>,
+    /// Table 6: OLS with HC1 robust standard errors.
+    pub table6: Result<OlsFit, String>,
+    /// Table 7: non-binned ordinal cloglog.
+    pub table7: Result<OrdinalFit, String>,
+}
+
+/// Every experiment of the paper, computed from one analysis pass.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Topics analyzed, in plan order.
+    pub topics: Vec<Topic>,
+    /// Snapshots folded.
+    pub n_snapshots: usize,
+    /// Quota units the underlying collection spent.
+    pub quota_units_spent: u64,
+    /// Table 1: per-topic return-count summaries.
+    pub table1: Vec<Table1Row>,
+    /// Figure 1: rolling Jaccard series per topic.
+    pub figure1: Vec<TopicConsistency>,
+    /// Table 2: ceiling-effect test per topic.
+    pub table2: Vec<Table2Row>,
+    /// Figure 2: daily frequency overlays per topic.
+    pub figure2: Vec<Figure2Topic>,
+    /// Figure 3: the pooled second-order Markov chain.
+    pub figure3: Option<Figure3>,
+    /// Table 4: pool-size estimates per topic.
+    pub table4: Vec<Table4Row>,
+    /// Table 5: comment-endpoint stability per topic.
+    pub table5: Vec<Table5Row>,
+    /// Figure 4: `Videos: list` stability per topic.
+    pub figure4: Vec<Figure4Topic>,
+    /// Tables 3, 6, 7, or the reason the design matrix could not be
+    /// assembled.
+    pub regression: Result<RegressionReport, String>,
+}
+
+/// Canonical float rendering: shortest round-trip decimal for finite
+/// values, `null` for NaN/±inf (JSON has no non-finite literals).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's Display for f64 is the shortest string that parses back
+        // to the same bits — deterministic across platforms.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+/// Writes a `"key":` prefix (with leading comma unless first).
+fn key(out: &mut String, first: &mut bool, name: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_str(out, name);
+    out.push(':');
+}
+
+fn push_f64_array(out: &mut String, values: &[f64]) {
+    out.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, v);
+    }
+    out.push(']');
+}
+
+fn push_str_array(out: &mut String, values: &[String]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str(out, v);
+    }
+    out.push(']');
+}
+
+fn push_ordinal_fit(out: &mut String, fit: &Result<OrdinalFit, String>) {
+    match fit {
+        Err(e) => {
+            out.push_str("{\"error\":");
+            push_str(out, e);
+            out.push('}');
+        }
+        Ok(f) => {
+            out.push('{');
+            let mut first = true;
+            key(out, &mut first, "link");
+            push_str(out, &format!("{:?}", f.link).to_lowercase());
+            key(out, &mut first, "names");
+            push_str_array(out, &f.names);
+            key(out, &mut first, "thresholds");
+            push_f64_array(out, &f.thresholds);
+            key(out, &mut first, "coefficients");
+            push_f64_array(out, &f.coefficients);
+            key(out, &mut first, "std_errors");
+            push_f64_array(out, &f.std_errors);
+            key(out, &mut first, "z_values");
+            push_f64_array(out, &f.z_values);
+            key(out, &mut first, "p_values");
+            push_f64_array(out, &f.p_values);
+            key(out, &mut first, "ci_low");
+            push_f64_array(out, &f.ci_low);
+            key(out, &mut first, "ci_high");
+            push_f64_array(out, &f.ci_high);
+            key(out, &mut first, "log_likelihood");
+            push_f64(out, f.log_likelihood);
+            key(out, &mut first, "null_log_likelihood");
+            push_f64(out, f.null_log_likelihood);
+            key(out, &mut first, "lr_chi2");
+            push_f64(out, f.lr_chi2);
+            key(out, &mut first, "lr_df");
+            out.push_str(&f.lr_df.to_string());
+            key(out, &mut first, "lr_p");
+            push_f64(out, f.lr_p);
+            key(out, &mut first, "pseudo_r2");
+            push_f64(out, f.pseudo_r2);
+            key(out, &mut first, "n");
+            out.push_str(&f.n.to_string());
+            key(out, &mut first, "n_categories");
+            out.push_str(&f.n_categories.to_string());
+            out.push('}');
+        }
+    }
+}
+
+fn push_ols_fit(out: &mut String, fit: &Result<OlsFit, String>) {
+    match fit {
+        Err(e) => {
+            out.push_str("{\"error\":");
+            push_str(out, e);
+            out.push('}');
+        }
+        Ok(f) => {
+            out.push('{');
+            let mut first = true;
+            key(out, &mut first, "names");
+            push_str_array(out, &f.names);
+            key(out, &mut first, "coefficients");
+            push_f64_array(out, &f.coefficients);
+            key(out, &mut first, "std_errors");
+            push_f64_array(out, &f.std_errors);
+            key(out, &mut first, "t_values");
+            push_f64_array(out, &f.t_values);
+            key(out, &mut first, "p_values");
+            push_f64_array(out, &f.p_values);
+            key(out, &mut first, "ci_low");
+            push_f64_array(out, &f.ci_low);
+            key(out, &mut first, "ci_high");
+            push_f64_array(out, &f.ci_high);
+            key(out, &mut first, "r_squared");
+            push_f64(out, f.r_squared);
+            key(out, &mut first, "adj_r_squared");
+            push_f64(out, f.adj_r_squared);
+            key(out, &mut first, "f_statistic");
+            push_f64(out, f.f_statistic);
+            key(out, &mut first, "f_p_value");
+            push_f64(out, f.f_p_value);
+            key(out, &mut first, "df_resid");
+            out.push_str(&f.df_resid.to_string());
+            key(out, &mut first, "n");
+            out.push_str(&f.n.to_string());
+            out.push('}');
+        }
+    }
+}
+
+impl AnalysisReport {
+    /// Serializes the report to canonical JSON (see the module docs for
+    /// why this is hand-rolled rather than serde-driven).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+        out.push('{');
+        let mut first = true;
+
+        key(&mut out, &mut first, "topics");
+        out.push('[');
+        for (i, t) in self.topics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(&mut out, t.key());
+        }
+        out.push(']');
+
+        key(&mut out, &mut first, "n_snapshots");
+        out.push_str(&self.n_snapshots.to_string());
+        key(&mut out, &mut first, "quota_units_spent");
+        out.push_str(&self.quota_units_spent.to_string());
+
+        key(&mut out, &mut first, "table1");
+        out.push('[');
+        for (i, r) in self.table1.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"topic\":");
+            push_str(&mut out, r.topic.key());
+            out.push_str(&format!(",\"min\":{},\"max\":{},\"mean\":", r.min, r.max));
+            push_f64(&mut out, r.mean);
+            out.push_str(",\"std\":");
+            push_f64(&mut out, r.std);
+            out.push('}');
+        }
+        out.push(']');
+
+        key(&mut out, &mut first, "figure1");
+        out.push('[');
+        for (i, tc) in self.figure1.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"topic\":");
+            push_str(&mut out, tc.topic.key());
+            out.push_str(",\"points\":[");
+            for (j, p) in tc.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"snapshot\":{},\"returned\":{},\"jaccard_prev\":",
+                    p.snapshot, p.returned
+                ));
+                push_f64(&mut out, p.jaccard_prev);
+                out.push_str(",\"jaccard_first\":");
+                push_f64(&mut out, p.jaccard_first);
+                out.push_str(&format!(
+                    ",\"dropped_out\":{},\"dropped_in\":{}}}",
+                    p.dropped_out, p.dropped_in
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+
+        key(&mut out, &mut first, "table2");
+        out.push('[');
+        for (i, r) in self.table2.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"topic\":");
+            push_str(&mut out, r.topic.key());
+            out.push_str(",\"mean\":");
+            push_f64(&mut out, r.mean);
+            out.push_str(&format!(",\"min\":{},\"max\":{},\"std\":", r.min, r.max));
+            push_f64(&mut out, r.std);
+            out.push_str(",\"rho\":");
+            push_f64(&mut out, r.rho);
+            out.push_str(",\"rho_p\":");
+            push_f64(&mut out, r.rho_p);
+            out.push_str(&format!(",\"n_hours\":{}}}", r.n_hours));
+        }
+        out.push(']');
+
+        key(&mut out, &mut first, "figure2");
+        out.push('[');
+        for (i, ft) in self.figure2.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"topic\":");
+            push_str(&mut out, ft.topic.key());
+            out.push_str(",\"days\":[");
+            for (j, d) in ft.days.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"day\":{},\"first\":{},\"last\":{},\"avg\":",
+                    d.day, d.first, d.last
+                ));
+                push_f64(&mut out, d.avg);
+                out.push_str(",\"jaccard_first_last\":");
+                push_f64(&mut out, d.jaccard_first_last);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+
+        key(&mut out, &mut first, "figure3");
+        match &self.figure3 {
+            None => out.push_str("null"),
+            Some(f3) => {
+                out.push_str("{\"transitions\":[");
+                for (i, row) in f3.transitions.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_f64_array(&mut out, row);
+                }
+                out.push_str("],\"counts\":[");
+                for (i, c) in f3.counts.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&c.to_string());
+                }
+                out.push_str("]}");
+            }
+        }
+
+        key(&mut out, &mut first, "table4");
+        out.push('[');
+        for (i, r) in self.table4.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"topic\":");
+            push_str(&mut out, r.topic.key());
+            out.push_str(&format!(
+                ",\"min\":{},\"max\":{},\"mean\":{},\"mode\":{}}}",
+                r.min, r.max, r.mean, r.mode
+            ));
+        }
+        out.push(']');
+
+        key(&mut out, &mut first, "table5");
+        out.push('[');
+        for (i, r) in self.table5.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"topic\":");
+            push_str(&mut out, r.topic.key());
+            out.push_str(",\"top_level_non_shared\":");
+            push_opt_f64(&mut out, r.top_level_non_shared);
+            out.push_str(",\"nested_non_shared\":");
+            push_opt_f64(&mut out, r.nested_non_shared);
+            out.push_str(",\"top_level_shared\":");
+            push_opt_f64(&mut out, r.top_level_shared);
+            out.push_str(",\"nested_shared\":");
+            push_opt_f64(&mut out, r.nested_shared);
+            out.push('}');
+        }
+        out.push(']');
+
+        key(&mut out, &mut first, "figure4");
+        out.push('[');
+        for (i, ft) in self.figure4.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"topic\":");
+            push_str(&mut out, ft.topic.key());
+            for (name, series) in [
+                ("\"vs_previous\":[", &ft.vs_previous),
+                ("\"vs_first\":[", &ft.vs_first),
+            ] {
+                out.push(',');
+                out.push_str(name);
+                for (j, p) in series.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"comparison_id\":{},\"coverage_current\":",
+                        p.comparison_id
+                    ));
+                    push_f64(&mut out, p.coverage_current);
+                    out.push_str(",\"coverage_reference\":");
+                    push_f64(&mut out, p.coverage_reference);
+                    out.push_str(",\"jaccard_common\":");
+                    push_f64(&mut out, p.jaccard_common);
+                    out.push('}');
+                }
+                out.push(']');
+            }
+            out.push('}');
+        }
+        out.push(']');
+
+        key(&mut out, &mut first, "regression");
+        match &self.regression {
+            Err(e) => {
+                out.push_str("{\"error\":");
+                push_str(&mut out, e);
+                out.push('}');
+            }
+            Ok(r) => {
+                out.push('{');
+                let mut rf = true;
+                key(&mut out, &mut rf, "names");
+                push_str_array(&mut out, &r.names);
+                key(&mut out, &mut rf, "n_observations");
+                out.push_str(&r.n_observations.to_string());
+                key(&mut out, &mut rf, "table3");
+                push_ordinal_fit(&mut out, &r.table3);
+                key(&mut out, &mut rf, "table6");
+                push_ols_fit(&mut out, &r.table6);
+                key(&mut out, &mut rf, "table7");
+                push_ordinal_fit(&mut out, &r.table7);
+                out.push('}');
+            }
+        }
+
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_float_rendering() {
+        let mut s = String::new();
+        push_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+
+        let mut s = String::new();
+        push_f64(&mut s, 0.5);
+        assert_eq!(s, "0.5");
+        let mut s = String::new();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        let mut s = String::new();
+        push_f64(&mut s, f64::NEG_INFINITY);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn empty_report_serializes_with_fixed_key_order() {
+        let report = AnalysisReport {
+            topics: vec![Topic::Higgs],
+            n_snapshots: 0,
+            quota_units_spent: 0,
+            table1: Vec::new(),
+            figure1: Vec::new(),
+            table2: Vec::new(),
+            figure2: Vec::new(),
+            figure3: None,
+            table4: Vec::new(),
+            table5: Vec::new(),
+            figure4: Vec::new(),
+            regression: Err("empty dataset".to_string()),
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"topics\":[\"higgs\"],\"n_snapshots\":0"));
+        assert!(json.contains("\"figure3\":null"));
+        assert!(json.ends_with("\"regression\":{\"error\":\"empty dataset\"}}"));
+        // Canonical: serializing twice yields identical bytes.
+        assert_eq!(json, report.to_json());
+    }
+}

@@ -1,0 +1,592 @@
+//! The streaming analyzer: folds committed (topic, snapshot) pairs into
+//! online accumulators as they land and finalizes into an
+//! [`AnalysisReport`].
+//!
+//! Each pair carries a **plan index** — `snapshot × topics.len() + the
+//! topic's position in plan order` — the order a sequential collection
+//! commits pairs. The analyzer folds pairs strictly in plan-index order;
+//! out-of-order arrivals wait in a small reorder buffer whose peak size
+//! is reported (and optionally capped) so callers can assert that a
+//! follow-mode analysis never materializes the dataset.
+//!
+//! The batch entry point [`Analyzer::analyze_dataset`] replays a
+//! materialized [`AuditDataset`] through the very same accumulators —
+//! "fold everything, then finish" — so batch and follow analyses share
+//! one numeric code path and produce bit-identical report JSON.
+
+use crate::attrition::{decode_chain, encode_chain, figure3_from_chain, AttritionAccumulator};
+use crate::ckpt;
+use crate::comments::Table5Accumulator;
+use crate::consistency::ConsistencyAccumulator;
+use crate::dataset::{AuditDataset, ChannelInfo, CommentsSnapshot, TopicSnapshot, VideoInfo};
+use crate::idcheck::Figure4Accumulator;
+use crate::poolsize::Table4Accumulator;
+use crate::randomization::{Figure2Accumulator, Table2Accumulator};
+use crate::regression::{table3, table6, table7, RegressionAccumulator};
+use crate::report::{AnalysisReport, RegressionReport};
+use std::collections::{BTreeMap, HashSet};
+use ytaudit_stats::markov::MarkovChain2;
+use ytaudit_types::{ChannelId, Timestamp, Topic, VideoId};
+
+/// One committed (topic, snapshot) pair, as the follow driver reads it
+/// off the store log or the batch path slices it out of a dataset.
+#[derive(Debug, Clone)]
+pub struct FoldInput {
+    /// The topic of this pair.
+    pub topic: Topic,
+    /// The snapshot's collection date.
+    pub date: Timestamp,
+    /// The committed search results.
+    pub data: TopicSnapshot,
+    /// The comment collection, when this snapshot fetched comments.
+    pub comments: Option<CommentsSnapshot>,
+    /// Video metadata fetched alongside this pair.
+    pub videos: Vec<VideoInfo>,
+    /// Quota units this pair's commit recorded.
+    pub quota_delta: u64,
+}
+
+/// Errors from offering pairs to an [`Analyzer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The reorder buffer exceeded the configured cap — the input is
+    /// arriving too far out of plan order for bounded-memory analysis.
+    BufferCap {
+        /// Pairs currently buffered.
+        buffered: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A pair was offered after [`Analyzer::end`].
+    Ended,
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::BufferCap { buffered, cap } => write!(
+                f,
+                "reorder buffer holds {buffered} pairs, exceeding the cap of {cap}"
+            ),
+            AnalyzeError::Ended => write!(f, "pair offered after end of collection"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// The streaming analyzer: one accumulator per (experiment, topic), plus
+/// the pooled regression state.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    topics: Vec<Topic>,
+    folded: u64,
+    buffer: BTreeMap<u64, FoldInput>,
+    peak_buffered: usize,
+    max_buffered: Option<usize>,
+    consistency: Vec<ConsistencyAccumulator>,
+    table2: Vec<Table2Accumulator>,
+    figure2: Vec<Figure2Accumulator>,
+    attrition: Vec<AttritionAccumulator>,
+    table4: Vec<Table4Accumulator>,
+    table5: Vec<Table5Accumulator>,
+    figure4: Vec<Figure4Accumulator>,
+    regression: RegressionAccumulator,
+    quota: u64,
+    channel_meta: BTreeMap<ChannelId, ChannelInfo>,
+    ended: bool,
+}
+
+impl Analyzer {
+    /// A fresh analyzer for a collection over `topics` (plan order).
+    pub fn new(topics: Vec<Topic>) -> Analyzer {
+        Analyzer {
+            consistency: topics.iter().map(|&t| ConsistencyAccumulator::new(t)).collect(),
+            table2: topics.iter().map(|&t| Table2Accumulator::new(t)).collect(),
+            figure2: topics.iter().map(|&t| Figure2Accumulator::new(t)).collect(),
+            attrition: topics.iter().map(|_| AttritionAccumulator::new()).collect(),
+            table4: topics.iter().map(|&t| Table4Accumulator::new(t)).collect(),
+            table5: topics.iter().map(|&t| Table5Accumulator::new(t)).collect(),
+            figure4: topics.iter().map(|&t| Figure4Accumulator::new(t)).collect(),
+            regression: RegressionAccumulator::new(),
+            topics,
+            folded: 0,
+            buffer: BTreeMap::new(),
+            peak_buffered: 0,
+            max_buffered: None,
+            quota: 0,
+            channel_meta: BTreeMap::new(),
+            ended: false,
+        }
+    }
+
+    /// Caps the reorder buffer: offers that would exceed `cap` buffered
+    /// pairs fail with [`AnalyzeError::BufferCap`] instead of growing
+    /// memory without bound.
+    pub fn with_max_buffered(mut self, cap: usize) -> Analyzer {
+        self.max_buffered = Some(cap);
+        self
+    }
+
+    /// The topics under analysis, in plan order.
+    pub fn topics(&self) -> &[Topic] {
+        &self.topics
+    }
+
+    /// Number of pairs folded so far (the resume watermark: offers below
+    /// it are silently dropped as already-folded duplicates).
+    pub fn folded_pairs(&self) -> u64 {
+        self.folded
+    }
+
+    /// Largest number of pairs the reorder buffer ever held.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Complete snapshots folded so far.
+    pub fn snapshots_folded(&self) -> usize {
+        if self.topics.is_empty() {
+            0
+        } else {
+            (self.folded / self.topics.len() as u64) as usize
+        }
+    }
+
+    /// True once [`Analyzer::end`] has been called.
+    pub fn ended(&self) -> bool {
+        self.ended
+    }
+
+    /// Offers one pair at its plan index. Pairs below the fold watermark
+    /// are dropped (already folded — the resume path re-reads the log
+    /// from the start, so a replayed prefix must be a no-op even after
+    /// the end record); pairs at the watermark fold immediately, along
+    /// with any buffered successors they unblock; pairs above it wait in
+    /// the reorder buffer.
+    pub fn offer(&mut self, plan_idx: u64, input: FoldInput) -> Result<(), AnalyzeError> {
+        if plan_idx < self.folded || self.buffer.contains_key(&plan_idx) {
+            return Ok(());
+        }
+        if self.ended {
+            return Err(AnalyzeError::Ended);
+        }
+        self.buffer.insert(plan_idx, input);
+        self.peak_buffered = self.peak_buffered.max(self.buffer.len());
+        if let Some(cap) = self.max_buffered {
+            if self.buffer.len() > cap {
+                return Err(AnalyzeError::BufferCap {
+                    buffered: self.buffer.len(),
+                    cap,
+                });
+            }
+        }
+        while let Some(input) = self.buffer.remove(&self.folded) {
+            self.fold_input(input);
+            self.folded += 1;
+        }
+        Ok(())
+    }
+
+    fn fold_input(&mut self, input: FoldInput) {
+        let pos = (self.folded % self.topics.len().max(1) as u64) as usize;
+        let id_set: HashSet<VideoId> = input.data.id_set();
+        let meta_set: HashSet<VideoId> = input.data.meta_returned.iter().cloned().collect();
+        if let Some(acc) = self.consistency.get_mut(pos) {
+            acc.fold(id_set.clone());
+        }
+        if let Some(acc) = self.table2.get_mut(pos) {
+            acc.fold(&input.data);
+        }
+        if let Some(acc) = self.figure2.get_mut(pos) {
+            acc.fold(&input.data);
+        }
+        if let Some(acc) = self.attrition.get_mut(pos) {
+            acc.fold(&id_set);
+        }
+        if let Some(acc) = self.table4.get_mut(pos) {
+            acc.fold(&input.data);
+        }
+        if let Some(acc) = self.table5.get_mut(pos) {
+            acc.fold(input.comments.as_ref(), id_set.clone());
+        }
+        if let Some(acc) = self.figure4.get_mut(pos) {
+            acc.fold(id_set, meta_set);
+        }
+        self.regression
+            .fold(input.topic, &input.data, input.date, &input.videos);
+        self.quota += input.quota_delta;
+    }
+
+    /// Marks the collection finished: records the end-of-collection
+    /// channel fetches and the final quota delta. Idempotent — a resumed
+    /// follow replays the end record it already folded.
+    pub fn end(
+        &mut self,
+        channels: impl IntoIterator<Item = ChannelInfo>,
+        quota_delta: u64,
+    ) {
+        if self.ended {
+            return;
+        }
+        for channel in channels {
+            self.channel_meta.entry(channel.id.clone()).or_insert(channel);
+        }
+        self.quota += quota_delta;
+        self.ended = true;
+    }
+
+    /// Seeds video metadata directly (the batch path: a materialized
+    /// dataset carries one merged metadata map rather than per-pair
+    /// fetches; the contents are identical either way).
+    pub fn seed_video_meta<'a>(&mut self, videos: impl IntoIterator<Item = &'a VideoInfo>) {
+        for video in videos {
+            self.regression.seed_video(video);
+        }
+    }
+
+    /// Finalizes every accumulator into the combined report.
+    pub fn finish(&self) -> AnalysisReport {
+        let n_snapshots = self.snapshots_folded();
+        let mut chain = MarkovChain2::new();
+        for acc in &self.attrition {
+            chain.merge(acc.chain());
+        }
+        let regression = self
+            .regression
+            .finish(&self.topics, n_snapshots, &self.channel_meta)
+            .map_err(|e| e.to_string())
+            .map(|data| RegressionReport {
+                names: data.names.clone(),
+                n_observations: data.frequency.len(),
+                table3: table3(&data).map_err(|e| e.to_string()),
+                table6: table6(&data).map_err(|e| e.to_string()),
+                table7: table7(&data).map_err(|e| e.to_string()),
+            });
+        AnalysisReport {
+            topics: self.topics.clone(),
+            n_snapshots,
+            quota_units_spent: self.quota,
+            table1: self.consistency.iter().map(|a| a.table1_row()).collect(),
+            figure1: self.consistency.iter().map(|a| a.figure1_topic()).collect(),
+            table2: self.table2.iter().map(|a| a.finish()).collect(),
+            figure2: self.figure2.iter().map(|a| a.finish()).collect(),
+            figure3: figure3_from_chain(&chain),
+            table4: self.table4.iter().filter_map(|a| a.finish()).collect(),
+            table5: self.table5.iter().filter_map(|a| a.finish()).collect(),
+            figure4: self.figure4.iter().map(|a| a.finish()).collect(),
+            regression,
+        }
+    }
+
+    /// Analyzes a materialized dataset by folding every (snapshot,
+    /// topic) pair — missing pairs fold as empty defaults, preserving the
+    /// batch behavior on partial collections — then finishing.
+    pub fn analyze_dataset(dataset: &AuditDataset) -> AnalysisReport {
+        let mut analyzer = Analyzer::new(dataset.topics.clone());
+        let width = dataset.topics.len() as u64;
+        for (s, snapshot) in dataset.snapshots.iter().enumerate() {
+            for (t, &topic) in dataset.topics.iter().enumerate() {
+                let input = FoldInput {
+                    topic,
+                    date: snapshot.date,
+                    data: snapshot.topics.get(&topic).cloned().unwrap_or_default(),
+                    comments: snapshot.comments.get(&topic).cloned(),
+                    videos: Vec::new(),
+                    quota_delta: 0,
+                };
+                // In-order offers cannot hit the buffer cap or the
+                // ended state, so the result is always Ok.
+                let _ = analyzer.offer(s as u64 * width + t as u64, input);
+            }
+        }
+        analyzer.seed_video_meta(dataset.video_meta.values());
+        analyzer.end(dataset.channel_meta.values().cloned(), dataset.quota_units_spent);
+        analyzer.finish()
+    }
+
+    /// Serializes the full analyzer state (excluding the reorder buffer —
+    /// unfolded pairs are re-read from the store on resume) into
+    /// checkpoint bytes.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut w = ckpt::Writer::new();
+        w.put_u8(self.topics.len() as u8);
+        for topic in &self.topics {
+            w.put_u8(topic.index() as u8);
+        }
+        w.put_u64(self.folded);
+        w.put_u64(self.quota);
+        w.put_bool(self.ended);
+        w.put_u64(self.channel_meta.len() as u64);
+        for channel in self.channel_meta.values() {
+            encode_channel_info(&mut w, channel);
+        }
+        for pos in 0..self.topics.len() {
+            if let Some(acc) = self.consistency.get(pos) {
+                acc.encode_state(&mut w);
+            }
+            if let Some(acc) = self.table2.get(pos) {
+                acc.encode_state(&mut w);
+            }
+            if let Some(acc) = self.figure2.get(pos) {
+                acc.encode_state(&mut w);
+            }
+            if let Some(acc) = self.attrition.get(pos) {
+                acc.encode_state(&mut w);
+            }
+            if let Some(acc) = self.table4.get(pos) {
+                acc.encode_state(&mut w);
+            }
+            if let Some(acc) = self.table5.get(pos) {
+                acc.encode_state(&mut w);
+            }
+            if let Some(acc) = self.figure4.get(pos) {
+                acc.encode_state(&mut w);
+            }
+        }
+        self.regression.encode_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds an analyzer from checkpoint bytes.
+    pub fn decode_state(bytes: &[u8]) -> ckpt::Result<Analyzer> {
+        let mut r = ckpt::Reader::new(bytes)?;
+        let n_topics = r.u8()? as usize;
+        let mut topics = Vec::with_capacity(n_topics);
+        for _ in 0..n_topics {
+            let idx = r.u8()? as usize;
+            topics.push(
+                *Topic::ALL
+                    .get(idx)
+                    .ok_or_else(|| format!("invalid topic index {idx}"))?,
+            );
+        }
+        let folded = r.u64()?;
+        let quota = r.u64()?;
+        let ended = r.bool()?;
+        let n_channels = r.u64()?;
+        let mut channel_meta = BTreeMap::new();
+        for _ in 0..n_channels {
+            let channel = decode_channel_info(&mut r)?;
+            channel_meta.insert(channel.id.clone(), channel);
+        }
+        let mut consistency = Vec::with_capacity(n_topics);
+        let mut table2 = Vec::with_capacity(n_topics);
+        let mut figure2 = Vec::with_capacity(n_topics);
+        let mut attrition = Vec::with_capacity(n_topics);
+        let mut table4 = Vec::with_capacity(n_topics);
+        let mut table5 = Vec::with_capacity(n_topics);
+        let mut figure4 = Vec::with_capacity(n_topics);
+        for &topic in &topics {
+            consistency.push(ConsistencyAccumulator::decode_state(topic, &mut r)?);
+            table2.push(Table2Accumulator::decode_state(topic, &mut r)?);
+            figure2.push(Figure2Accumulator::decode_state(topic, &mut r)?);
+            attrition.push(AttritionAccumulator::decode_state(&mut r)?);
+            table4.push(Table4Accumulator::decode_state(topic, &mut r)?);
+            table5.push(Table5Accumulator::decode_state(topic, &mut r)?);
+            figure4.push(Figure4Accumulator::decode_state(topic, &mut r)?);
+        }
+        let regression = RegressionAccumulator::decode_state(&mut r)?;
+        r.expect_end()?;
+        Ok(Analyzer {
+            topics,
+            folded,
+            buffer: BTreeMap::new(),
+            peak_buffered: 0,
+            max_buffered: None,
+            consistency,
+            table2,
+            figure2,
+            attrition,
+            table4,
+            table5,
+            figure4,
+            regression,
+            quota,
+            channel_meta,
+            ended,
+        })
+    }
+}
+
+fn encode_channel_info(w: &mut ckpt::Writer, channel: &ChannelInfo) {
+    w.put_str(channel.id.as_str());
+    w.put_i64(channel.published_at.0);
+    w.put_u64(channel.views);
+    w.put_u64(channel.subscribers);
+    w.put_u64(channel.video_count);
+}
+
+fn decode_channel_info(r: &mut ckpt::Reader) -> ckpt::Result<ChannelInfo> {
+    Ok(ChannelInfo {
+        id: ChannelId::new(r.str()?),
+        published_at: Timestamp(r.i64()?),
+        views: r.u64()?,
+        subscribers: r.u64()?,
+        video_count: r.u64()?,
+    })
+}
+
+/// Checks that the eight chain-count codecs in [`crate::attrition`] stay
+/// linked into the public API (they back the analyzer checkpoint).
+#[doc(hidden)]
+pub fn _chain_codec_round_trip(chain: &MarkovChain2) -> ckpt::Result<MarkovChain2> {
+    let mut w = ckpt::Writer::bare();
+    encode_chain(&mut w, chain);
+    let bytes = w.into_bytes();
+    let mut r = ckpt::Reader::bare(&bytes);
+    decode_chain(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{Collector, CollectorConfig};
+    use crate::testutil::test_client;
+
+    fn full_dataset() -> AuditDataset {
+        let (client, _service) = test_client(0.3);
+        let mut config =
+            CollectorConfig::quick(vec![Topic::Blm, Topic::Higgs, Topic::WorldCup], 4);
+        config.fetch_comments = true;
+        Collector::new(&client, config).run().unwrap()
+    }
+
+    fn offers_from(dataset: &AuditDataset) -> Vec<(u64, FoldInput)> {
+        let width = dataset.topics.len() as u64;
+        let mut offers = Vec::new();
+        for (s, snapshot) in dataset.snapshots.iter().enumerate() {
+            for (t, &topic) in dataset.topics.iter().enumerate() {
+                offers.push((
+                    s as u64 * width + t as u64,
+                    FoldInput {
+                        topic,
+                        date: snapshot.date,
+                        data: snapshot.topics.get(&topic).cloned().unwrap_or_default(),
+                        comments: snapshot.comments.get(&topic).cloned(),
+                        videos: Vec::new(),
+                        quota_delta: 0,
+                    },
+                ));
+            }
+        }
+        offers
+    }
+
+    fn follow_style_report(dataset: &AuditDataset, offers: Vec<(u64, FoldInput)>) -> AnalysisReport {
+        let mut analyzer = Analyzer::new(dataset.topics.clone());
+        for (plan_idx, input) in offers {
+            analyzer.offer(plan_idx, input).unwrap();
+        }
+        analyzer.seed_video_meta(dataset.video_meta.values());
+        analyzer.end(dataset.channel_meta.values().cloned(), dataset.quota_units_spent);
+        analyzer.finish()
+    }
+
+    #[test]
+    fn streaming_matches_batch_bit_for_bit() {
+        let dataset = full_dataset();
+        let batch = Analyzer::analyze_dataset(&dataset);
+        let streamed = follow_style_report(&dataset, offers_from(&dataset));
+        assert_eq!(batch.to_json(), streamed.to_json());
+        // And the report agrees with the standalone batch functions.
+        assert_eq!(batch.table1, crate::consistency::table1(&dataset));
+        assert_eq!(batch.figure1, crate::consistency::figure1(&dataset));
+        assert_eq!(batch.table2, crate::randomization::table2(&dataset));
+        assert_eq!(batch.figure2, crate::randomization::figure2(&dataset));
+        assert_eq!(batch.figure3, crate::attrition::figure3(&dataset));
+        assert_eq!(batch.table4, crate::poolsize::table4(&dataset));
+        assert_eq!(batch.table5, crate::comments::table5(&dataset));
+        assert_eq!(batch.figure4, crate::idcheck::figure4(&dataset));
+        assert_eq!(batch.quota_units_spent, dataset.quota_units_spent);
+    }
+
+    #[test]
+    fn out_of_order_offers_reorder_and_match() {
+        let dataset = full_dataset();
+        let batch = Analyzer::analyze_dataset(&dataset);
+        let mut offers = offers_from(&dataset);
+        // Reverse within a window of 4 — a worst case far beyond what a
+        // sequential store produces.
+        offers.reverse();
+        offers.sort_by_key(|(idx, _)| idx / 4);
+        let mut analyzer = Analyzer::new(dataset.topics.clone());
+        for (plan_idx, input) in offers {
+            analyzer.offer(plan_idx, input).unwrap();
+        }
+        assert!(analyzer.peak_buffered() >= 4);
+        analyzer.seed_video_meta(dataset.video_meta.values());
+        analyzer.end(dataset.channel_meta.values().cloned(), dataset.quota_units_spent);
+        assert_eq!(batch.to_json(), analyzer.finish().to_json());
+    }
+
+    #[test]
+    fn buffer_cap_rejects_runaway_reordering() {
+        let dataset = full_dataset();
+        let mut analyzer = Analyzer::new(dataset.topics.clone()).with_max_buffered(2);
+        let offers = offers_from(&dataset);
+        // Offer pairs 1.. without pair 0: everything buffers.
+        let mut hit_cap = false;
+        for (plan_idx, input) in offers.into_iter().skip(1) {
+            if let Err(AnalyzeError::BufferCap { cap, .. }) = analyzer.offer(plan_idx, input) {
+                assert_eq!(cap, 2);
+                hit_cap = true;
+                break;
+            }
+        }
+        assert!(hit_cap);
+        // In-order offers never buffer more than one pair.
+        let mut inorder = Analyzer::new(dataset.topics.clone()).with_max_buffered(1);
+        for (plan_idx, input) in offers_from(&dataset) {
+            inorder.offer(plan_idx, input).unwrap();
+        }
+        assert_eq!(inorder.peak_buffered(), 1);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let dataset = full_dataset();
+        let offers = offers_from(&dataset);
+        let cut = offers.len() / 2;
+        let mut analyzer = Analyzer::new(dataset.topics.clone());
+        for (plan_idx, input) in offers.iter().take(cut).cloned() {
+            analyzer.offer(plan_idx, input).unwrap();
+        }
+        let bytes = analyzer.encode_state();
+        let mut resumed = Analyzer::decode_state(&bytes).unwrap();
+        assert_eq!(resumed.folded_pairs(), cut as u64);
+        assert_eq!(resumed.topics(), dataset.topics.as_slice());
+        // Resume re-reads the log from the start: already-folded offers
+        // are dropped, the rest fold normally.
+        for (plan_idx, input) in offers {
+            resumed.offer(plan_idx, input).unwrap();
+        }
+        resumed.seed_video_meta(dataset.video_meta.values());
+        resumed.end(dataset.channel_meta.values().cloned(), dataset.quota_units_spent);
+        let batch = Analyzer::analyze_dataset(&dataset);
+        assert_eq!(batch.to_json(), resumed.finish().to_json());
+    }
+
+    #[test]
+    fn empty_collection_finishes_cleanly() {
+        let analyzer = Analyzer::new(vec![Topic::Higgs]);
+        let report = analyzer.finish();
+        assert_eq!(report.n_snapshots, 0);
+        assert!(report.table4.is_empty());
+        assert!(report.figure3.is_none());
+        assert!(report.regression.is_err());
+        // The JSON writer accepts the degenerate report.
+        assert!(report.to_json().contains("\"figure3\":null"));
+    }
+
+    #[test]
+    fn chain_codec_round_trips() {
+        let dataset = full_dataset();
+        let chain = crate::attrition::markov_chain(&dataset, &dataset.topics);
+        let decoded = _chain_codec_round_trip(&chain).unwrap();
+        assert_eq!(
+            crate::attrition::figure3_from_chain(&chain),
+            crate::attrition::figure3_from_chain(&decoded)
+        );
+    }
+}

@@ -3,9 +3,10 @@
 //! summaries (Tables 1, 2, 4) and the integer mode (Table 4).
 
 use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
 
 /// A five-number-ish summary used throughout the paper's tables.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Description {
     /// Number of observations.
     pub n: usize,
@@ -19,24 +20,121 @@ pub struct Description {
     pub std: f64,
 }
 
+/// One-pass running moments (Welford's algorithm) — the streaming
+/// counterpart of [`describe`]. Fold observations as they arrive, then
+/// [`Moments::finish`] into a [`Description`]; `describe` itself is
+/// implemented as "fold everything, then finish" so batch and streaming
+/// analyses share one numeric code path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Moments {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation into the running moments.
+    pub fn fold(&mut self, value: f64) {
+        self.n += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another accumulator's state (Chan et al.'s parallel
+    /// variance update), enabling sharded analysis. Count, min and max
+    /// merge exactly; mean and M2 merge to within floating-point
+    /// reassociation error.
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / n);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / n);
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The raw state `(n, mean, m2, min, max)` — for checkpointing.
+    pub fn parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`Moments::parts`] output.
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Moments {
+        Moments {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
+    /// Finalizes into a [`Description`]. Errors on an empty accumulator,
+    /// matching `describe` on an empty sample.
+    pub fn finish(&self) -> Result<Description> {
+        if self.n == 0 {
+            return Err(StatsError::InvalidInput("describe of empty sample".into()));
+        }
+        let std = if self.n > 1 {
+            (self.m2.max(0.0) / (self.n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Ok(Description {
+            n: self.n as usize,
+            min: self.min,
+            max: self.max,
+            mean: self.mean,
+            std,
+        })
+    }
+}
+
+impl Default for Moments {
+    fn default() -> Moments {
+        Moments::new()
+    }
+}
+
 /// Summarizes a sample. Errors on empty input.
 pub fn describe(values: &[f64]) -> Result<Description> {
-    if values.is_empty() {
-        return Err(StatsError::InvalidInput("describe of empty sample".into()));
-    }
-    let n = values.len();
-    let mean = values.iter().sum::<f64>() / n as f64;
-    let mut min = f64::INFINITY;
-    let mut max = f64::NEG_INFINITY;
-    let mut ss = 0.0;
+    let mut acc = Moments::new();
     for &v in values {
-        min = min.min(v);
-        max = max.max(v);
-        let d = v - mean;
-        ss += d * d;
+        acc.fold(v);
     }
-    let std = if n > 1 { (ss / (n - 1) as f64).sqrt() } else { 0.0 };
-    Ok(Description { n, min, max, mean, std })
+    acc.finish()
 }
 
 /// Arithmetic mean; errors on empty input.
@@ -183,6 +281,50 @@ mod tests {
     fn standardize_constant_column_is_zeros() {
         assert_eq!(standardize(&[2.0, 2.0, 2.0]), vec![0.0, 0.0, 0.0]);
         assert!(standardize(&[]).is_empty());
+    }
+
+    #[test]
+    fn moments_agree_with_describe() {
+        let sample = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = Moments::new();
+        for &v in &sample {
+            acc.fold(v);
+        }
+        let d = acc.finish().unwrap();
+        let batch = describe(&sample).unwrap();
+        assert_eq!(d, batch);
+        assert_eq!(acc.count(), 8);
+        assert!(Moments::new().finish().is_err());
+    }
+
+    #[test]
+    fn moments_merge_matches_single_pass() {
+        let sample: Vec<f64> = (0..40).map(|i| ((i * 37) % 11) as f64 - 3.0).collect();
+        let mut whole = Moments::new();
+        for &v in &sample {
+            whole.fold(v);
+        }
+        let (left, right) = sample.split_at(17);
+        let mut a = Moments::new();
+        for &v in left {
+            a.fold(v);
+        }
+        let mut b = Moments::new();
+        for &v in right {
+            b.fold(v);
+        }
+        a.merge(&b);
+        let da = a.finish().unwrap();
+        let dw = whole.finish().unwrap();
+        assert_eq!(da.n, dw.n);
+        assert_eq!(da.min, dw.min);
+        assert_eq!(da.max, dw.max);
+        assert!((da.mean - dw.mean).abs() < 1e-12);
+        assert!((da.std - dw.std).abs() < 1e-12);
+        // Merging into an empty accumulator copies the other side.
+        let mut empty = Moments::new();
+        empty.merge(&whole);
+        assert_eq!(empty.finish().unwrap(), dw);
     }
 
     #[test]

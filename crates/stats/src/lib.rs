@@ -38,13 +38,13 @@ pub mod sets;
 pub mod special;
 pub mod timeseries;
 
-pub use descriptive::{describe, log1p_transform, standardize, Description};
-pub use markov::{MarkovChain2, State2};
+pub use descriptive::{describe, log1p_transform, standardize, Description, Moments};
+pub use markov::{MarkovChain2, PresenceAccumulator, State2};
 pub use matrix::Matrix;
-pub use ols::{OlsFit, OlsOptions};
-pub use ordinal::{Link, OrdinalFit, OrdinalModel};
+pub use ols::{OlsAccumulator, OlsFit, OlsOptions};
+pub use ordinal::{Link, ObservationSet, OrdinalFit, OrdinalModel};
 pub use rank::{pearson, spearman, Correlation};
-pub use sets::{jaccard, set_differences};
+pub use sets::{jaccard, set_differences, OverlapAccumulator, OverlapStep};
 
 /// Errors from numerical routines.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -10,10 +10,13 @@
 // tables and windows(3) slices; literal indices are in bounds by construction
 
 use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::hash::Hash;
 
 /// A two-snapshot history `(previous, current)`; `true` = present.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct State2 {
     /// Presence two snapshots ago.
     pub prev: bool,
@@ -43,7 +46,7 @@ impl fmt::Display for State2 {
 }
 
 /// A fitted second-order Markov chain over presence/absence.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MarkovChain2 {
     /// counts[state][next]: next = 0 for Present, 1 for Absent.
     counts: [[u64; 2]; 4],
@@ -68,6 +71,14 @@ impl MarkovChain2 {
             let next_present = window[2];
             self.counts[state.index()][usize::from(!next_present)] += 1;
         }
+    }
+
+    /// Records `n` transitions `state → next_present` directly — the
+    /// incremental form used by [`PresenceAccumulator`], which folds
+    /// presence sets snapshot-by-snapshot instead of replaying whole
+    /// sequences.
+    pub fn record(&mut self, state: State2, next_present: bool, n: u64) {
+        self.counts[state.index()][usize::from(!next_present)] += n;
     }
 
     /// Total transitions observed from `state`.
@@ -122,6 +133,136 @@ impl MarkovChain2 {
 impl Default for MarkovChain2 {
     fn default() -> MarkovChain2 {
         MarkovChain2::new()
+    }
+}
+
+/// Per-key presence history carried between folds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PresenceState {
+    /// Presence two folds ago, once known.
+    prev2: Option<bool>,
+    /// Presence in the most recent fold.
+    prev1: bool,
+}
+
+/// Streaming second-order transition counter: fold the set of keys
+/// present at each snapshot, in order, and the accumulator maintains
+/// exactly the counts [`MarkovChain2::add_sequence`] would produce over
+/// the full presence sequences — without ever materializing them.
+///
+/// A key first seen at fold `t` is retroactively treated as absent in
+/// folds `0..t` (the batch convention: presence sequences span every
+/// snapshot), which contributes `t − 2` AA→A transitions and one AA→P
+/// transition. All state is integer counts plus two booleans per key, so
+/// the equivalence with the batch path is exact, not approximate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresenceAccumulator<K: Ord> {
+    folds: u64,
+    states: BTreeMap<K, PresenceState>,
+    chain: MarkovChain2,
+}
+
+impl<K: Ord + Eq + Hash + Clone> PresenceAccumulator<K> {
+    /// An empty accumulator.
+    pub fn new() -> PresenceAccumulator<K> {
+        PresenceAccumulator {
+            folds: 0,
+            states: BTreeMap::new(),
+            chain: MarkovChain2::new(),
+        }
+    }
+
+    /// Folds the presence set of the next snapshot.
+    pub fn fold(&mut self, present: &HashSet<K>) {
+        let t = self.folds;
+        // Advance every known key, recording a transition once two prior
+        // states are known.
+        for (key, state) in &mut self.states {
+            let next = present.contains(key);
+            if let Some(prev2) = state.prev2 {
+                self.chain.record(
+                    State2 {
+                        prev: prev2,
+                        curr: state.prev1,
+                    },
+                    next,
+                    1,
+                );
+            }
+            state.prev2 = Some(state.prev1);
+            state.prev1 = next;
+        }
+        // Register newly seen keys, back-filling their absent prefix.
+        for key in present {
+            if self.states.contains_key(key) {
+                continue;
+            }
+            let state = if t == 0 {
+                PresenceState {
+                    prev2: None,
+                    prev1: true,
+                }
+            } else {
+                if t >= 2 {
+                    let aa = State2 {
+                        prev: false,
+                        curr: false,
+                    };
+                    self.chain.record(aa, false, t - 2);
+                    self.chain.record(aa, true, 1);
+                }
+                PresenceState {
+                    prev2: Some(false),
+                    prev1: true,
+                }
+            };
+            self.states.insert(key.clone(), state);
+        }
+        self.folds += 1;
+    }
+
+    /// Number of snapshots folded so far.
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+
+    /// Number of distinct keys seen so far.
+    pub fn keys(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The transition counts accumulated so far.
+    pub fn chain(&self) -> &MarkovChain2 {
+        &self.chain
+    }
+
+    /// Per-key carried state `(key, presence two folds ago, most recent
+    /// presence)` — for checkpointing.
+    pub fn entries(&self) -> impl Iterator<Item = (&K, Option<bool>, bool)> {
+        self.states.iter().map(|(k, s)| (k, s.prev2, s.prev1))
+    }
+
+    /// Rebuilds an accumulator from [`PresenceAccumulator::entries`]
+    /// output plus the fold count and accumulated chain.
+    pub fn from_parts(
+        folds: u64,
+        entries: impl IntoIterator<Item = (K, Option<bool>, bool)>,
+        chain: MarkovChain2,
+    ) -> PresenceAccumulator<K> {
+        PresenceAccumulator {
+            folds,
+            states: entries
+                .into_iter()
+                .map(|(k, prev2, prev1)| (k, PresenceState { prev2, prev1 }))
+                .collect(),
+            chain,
+        }
+    }
+}
+
+impl<K: Ord + Eq + Hash + Clone> Default for PresenceAccumulator<K> {
+    fn default() -> PresenceAccumulator<K> {
+        PresenceAccumulator::new()
     }
 }
 
@@ -197,6 +338,43 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total(PP), 2);
         assert!((a.p_present(PP).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_matches_add_sequence() {
+        let mut via_seq = MarkovChain2::new();
+        via_seq.add_sequence(&[true, true, false, true]);
+        let mut via_record = MarkovChain2::new();
+        via_record.record(PP, false, 1);
+        via_record.record(PA, true, 1);
+        assert_eq!(via_seq, via_record);
+    }
+
+    #[test]
+    fn presence_accumulator_matches_sequence_replay() {
+        // Presence matrix: rows are snapshots, columns are keys. Key "c"
+        // first appears at snapshot 3 to exercise the absent back-fill.
+        let rows: [&[&str]; 5] = [
+            &["a", "b"],
+            &["a"],
+            &["a", "b"],
+            &["b", "c"],
+            &["a", "c"],
+        ];
+        let keys = ["a", "b", "c"];
+        let mut acc = PresenceAccumulator::new();
+        for row in rows {
+            let present: HashSet<&str> = row.iter().copied().collect();
+            acc.fold(&present);
+        }
+        let mut batch = MarkovChain2::new();
+        for key in keys {
+            let seq: Vec<bool> = rows.iter().map(|row| row.contains(&key)).collect();
+            batch.add_sequence(&seq);
+        }
+        assert_eq!(acc.chain(), &batch);
+        assert_eq!(acc.folds(), 5);
+        assert_eq!(acc.keys(), 3);
     }
 
     #[test]

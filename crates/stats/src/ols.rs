@@ -6,6 +6,116 @@
 use crate::matrix::Matrix;
 use crate::special::{f_sf, t_p_two_sided};
 use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// One-pass sufficient statistics for least squares: the accumulator
+/// folds `(x-row, y)` observations into running `X'X` (upper triangle)
+/// and `X'y`, so the normal equations can be solved without ever holding
+/// more than `O(p²)` state. [`OlsFit::fit`] is implemented on top of it,
+/// and independent accumulators over disjoint observation shards can be
+/// [`OlsAccumulator::merge`]d before solving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsAccumulator {
+    p: usize,
+    n: u64,
+    /// Upper triangle of X'X; the lower triangle is mirrored on demand in
+    /// [`OlsAccumulator::xtx`], matching `Matrix::gram`'s fill order so
+    /// the batch and streaming paths agree bit-for-bit.
+    xtx_upper: Matrix,
+    xty: Vec<f64>,
+}
+
+impl OlsAccumulator {
+    /// An empty accumulator over `p` design columns.
+    pub fn new(p: usize) -> OlsAccumulator {
+        OlsAccumulator {
+            p,
+            n: 0,
+            xtx_upper: Matrix::zeros(p, p),
+            xty: vec![0.0; p],
+        }
+    }
+
+    /// Folds one observation (a full design row including any intercept
+    /// column, plus its response).
+    pub fn fold(&mut self, row: &[f64], y: f64) -> Result<()> {
+        if row.len() != self.p {
+            return Err(StatsError::InvalidInput(format!(
+                "design row has {} columns, accumulator expects {}",
+                row.len(),
+                self.p
+            )));
+        }
+        // Same traversal (and zero-skip) as Matrix::gram so folding rows
+        // one at a time reproduces the batch Gram matrix exactly.
+        for a in 0..self.p {
+            let ra = row[a];
+            if ra == 0.0 {
+                continue;
+            }
+            for (b, &rb) in row.iter().enumerate().skip(a) {
+                self.xtx_upper[(a, b)] += ra * rb;
+            }
+        }
+        for (j, &rj) in row.iter().enumerate() {
+            self.xty[j] += rj * y;
+        }
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Merges another accumulator over the same design width (entrywise
+    /// sums — exact for counts, reassociation-only error for floats).
+    pub fn merge(&mut self, other: &OlsAccumulator) -> Result<()> {
+        if other.p != self.p {
+            return Err(StatsError::InvalidInput(format!(
+                "cannot merge accumulators of width {} and {}",
+                self.p, other.p
+            )));
+        }
+        for a in 0..self.p {
+            for b in a..self.p {
+                self.xtx_upper[(a, b)] += other.xtx_upper[(a, b)];
+            }
+        }
+        for (j, v) in other.xty.iter().enumerate() {
+            self.xty[j] += v;
+        }
+        self.n += other.n;
+        Ok(())
+    }
+
+    /// Number of observations folded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The full (mirrored) `X'X` matrix.
+    pub fn xtx(&self) -> Matrix {
+        let mut out = self.xtx_upper.clone();
+        for a in 0..self.p {
+            for b in 0..a {
+                out[(a, b)] = out[(b, a)];
+            }
+        }
+        out
+    }
+
+    /// The `X'y` vector.
+    pub fn xty(&self) -> &[f64] {
+        &self.xty
+    }
+
+    /// Solves the normal equations for β (Cholesky, with an LU fallback
+    /// for near-semidefinite systems) — the same solve `OlsFit::fit`
+    /// performs.
+    pub fn solve(&self) -> Result<Vec<f64>> {
+        let xtx = self.xtx();
+        xtx.solve_spd(&self.xty)
+            .or_else(|_| xtx.solve(&self.xty))
+            .map_err(|_| StatsError::Numeric("X'X is singular (collinear predictors)".into()))
+    }
+}
 
 /// Options for [`OlsFit::fit`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -17,7 +127,7 @@ pub struct OlsOptions {
 }
 
 /// A fitted OLS model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OlsFit {
     /// Term names: `"(intercept)"` followed by the predictor names.
     pub names: Vec<String>,
@@ -76,14 +186,12 @@ impl OlsFit {
                 design[(i, j + 1)] = x[i][j];
             }
         }
-        let xtx = design.gram();
-        let xty: Vec<f64> = (0..p)
-            .map(|j| (0..n).map(|i| design[(i, j)] * y[i]).sum())
-            .collect();
-        let beta = xtx
-            .solve_spd(&xty)
-            .or_else(|_| xtx.solve(&xty))
-            .map_err(|_| StatsError::Numeric("X'X is singular (collinear predictors)".into()))?;
+        let mut acc = OlsAccumulator::new(p);
+        for (i, &yi) in y.iter().enumerate() {
+            acc.fold(design.row(i), yi)?;
+        }
+        let xtx = acc.xtx();
+        let beta = acc.solve()?;
 
         let fitted = design.matvec(&beta)?;
         let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
@@ -372,6 +480,68 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
         assert!(OlsFit::fit(&["a", "b"], &x, &y, OlsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn accumulator_reproduces_gram_bit_for_bit() {
+        // Rows with zeros exercise gram()'s zero-skip fast path.
+        let rows: Vec<Vec<f64>> = (0..15)
+            .map(|i| {
+                vec![
+                    1.0,
+                    if i % 3 == 0 { 0.0 } else { (i as f64).sin() },
+                    (i as f64 * 0.7).cos(),
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = (0..15).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let design = Matrix::from_rows(&rows).unwrap();
+        let batch_xtx = design.gram();
+        let batch_xty: Vec<f64> = (0..3)
+            .map(|j| (0..15).map(|i| design[(i, j)] * y[i]).sum())
+            .collect();
+        let mut acc = OlsAccumulator::new(3);
+        for (row, &yi) in rows.iter().zip(&y) {
+            acc.fold(row, yi).unwrap();
+        }
+        let xtx = acc.xtx();
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(xtx[(a, b)].to_bits(), batch_xtx[(a, b)].to_bits());
+            }
+        }
+        for j in 0..3 {
+            assert_eq!(acc.xty()[j].to_bits(), batch_xty[j].to_bits());
+        }
+        assert_eq!(acc.count(), 15);
+        assert!(acc.fold(&[1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn accumulator_merge_matches_single_pass() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![1.0, i as f64 * 0.25]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 + 0.5 * r[1]).collect();
+        let mut whole = OlsAccumulator::new(2);
+        for (row, &yi) in rows.iter().zip(&y) {
+            whole.fold(row, yi).unwrap();
+        }
+        let mut a = OlsAccumulator::new(2);
+        let mut b = OlsAccumulator::new(2);
+        for (i, (row, &yi)) in rows.iter().zip(&y).enumerate() {
+            if i < 9 {
+                a.fold(row, yi).unwrap();
+            } else {
+                b.fold(row, yi).unwrap();
+            }
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), whole.count());
+        let beta_a = a.solve().unwrap();
+        let beta_w = whole.solve().unwrap();
+        for (x, y) in beta_a.iter().zip(&beta_w) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        assert!(a.merge(&OlsAccumulator::new(3)).is_err());
     }
 
     #[test]

@@ -13,9 +13,11 @@
 use crate::matrix::Matrix;
 use crate::special::{chi2_sf, normal_p_two_sided, normal_quantile};
 use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// The cumulative link function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Link {
     /// Logistic link: `F(z) = 1/(1+e^{−z})` (Table 3).
     Logit,
@@ -410,8 +412,61 @@ impl OrdinalModel {
     }
 }
 
+/// A streaming multiset of `(predictor row, category)` observations for
+/// ordinal regression. The Newton solver needs several passes over the
+/// data, so the accumulator keeps *counted distinct rows* rather than raw
+/// per-observation storage: state is bounded by the number of distinct
+/// predictor profiles, folds commute exactly (counts are integers keyed
+/// by the bit patterns of the row), and `merge` is plain count addition.
+/// [`ObservationSet::fit`] expands rows in sorted key order, so any fold
+/// order produces a bit-identical fit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObservationSet {
+    rows: BTreeMap<(Vec<u64>, usize), u64>,
+}
+
+impl ObservationSet {
+    /// An empty observation set.
+    pub fn new() -> ObservationSet {
+        ObservationSet::default()
+    }
+
+    /// Folds one observation (predictor row + 0-based outcome category).
+    pub fn fold(&mut self, row: &[f64], category: usize) {
+        let key: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+        *self.rows.entry((key, category)).or_insert(0) += 1;
+    }
+
+    /// Merges another observation set (exact: counts add).
+    pub fn merge(&mut self, other: &ObservationSet) {
+        for (key, count) in &other.rows {
+            *self.rows.entry(key.clone()).or_insert(0) += count;
+        }
+    }
+
+    /// Total observations folded.
+    pub fn count(&self) -> u64 {
+        self.rows.values().sum()
+    }
+
+    /// Fits `model` over the accumulated observations, expanding counted
+    /// rows in canonical (sorted bit-pattern) order.
+    pub fn fit(&self, model: &OrdinalModel, names: &[&str]) -> Result<OrdinalFit> {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for ((bits, category), &count) in &self.rows {
+            let row: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+            for _ in 0..count {
+                x.push(row.clone());
+                y.push(*category);
+            }
+        }
+        model.fit(names, &x, &y)
+    }
+}
+
 /// A fitted ordinal regression.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OrdinalFit {
     /// Predictor names (no intercept — thresholds play that role).
     pub names: Vec<String>,
@@ -680,6 +735,39 @@ mod tests {
         assert!((fit2.null_log_likelihood - expected_null).abs() < 1e-9);
         assert!(fit2.lr_chi2 < 1.0);
         assert!(fit2.lr_p > 0.3);
+    }
+
+    #[test]
+    fn observation_set_is_order_invariant() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![0.5], vec![1.5], vec![2.5]];
+        let y = vec![0, 0, 1, 1, 2, 2];
+        let mut forward = ObservationSet::new();
+        for (row, &yi) in x.iter().zip(&y) {
+            forward.fold(row, yi);
+        }
+        let mut reversed = ObservationSet::new();
+        for (row, &yi) in x.iter().zip(&y).rev() {
+            reversed.fold(row, yi);
+        }
+        assert_eq!(forward, reversed);
+        assert_eq!(forward.count(), 6);
+        let model = OrdinalModel::logit();
+        let a = forward.fit(&model, &["x"]).unwrap();
+        let b = reversed.fit(&model, &["x"]).unwrap();
+        assert_eq!(a.coefficients[0].to_bits(), b.coefficients[0].to_bits());
+        assert_eq!(a.thresholds, b.thresholds);
+        // Merging two halves equals folding everything into one set.
+        let mut left = ObservationSet::new();
+        let mut right = ObservationSet::new();
+        for (i, (row, &yi)) in x.iter().zip(&y).enumerate() {
+            if i % 2 == 0 {
+                left.fold(row, yi);
+            } else {
+                right.fold(row, yi);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, forward);
     }
 
     #[test]

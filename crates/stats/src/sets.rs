@@ -8,6 +8,7 @@
 //! inconsistency — deleted videos can leave a set, but a *historical* query
 //! should never gain videos it did not return before.
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::hash::Hash;
 
@@ -49,6 +50,96 @@ pub fn coverage<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
         return 1.0;
     }
     a.intersection(b).count() as f64 / a.len() as f64
+}
+
+/// The similarity measurements produced by one [`OverlapAccumulator::fold`]
+/// — the streaming form of a Figure-1 point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapStep {
+    /// `J(Sₜ, Sₜ₋₁)`; 1.0 for the first fold.
+    pub jaccard_prev: f64,
+    /// `J(Sₜ, S₀)`.
+    pub jaccard_first: f64,
+    /// `|Sₜ₋₁ − Sₜ|` — elements that dropped out since the previous fold.
+    pub dropped_out: usize,
+    /// `|Sₜ − Sₜ₋₁|` — elements that dropped in since the previous fold.
+    pub dropped_in: usize,
+}
+
+/// Streaming set-overlap accumulator: folds a sequence of sets and
+/// reports, per fold, the Jaccard similarity against the previous and the
+/// first set plus the one-sided differences. Holds only the first and the
+/// most recent set — O(|S|) state regardless of how many folds arrive.
+///
+/// Folds are inherently ordered (each step is relative to the previous
+/// set), so unlike the count-based accumulators this one has no `merge`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapAccumulator<T: Eq + Hash> {
+    first: HashSet<T>,
+    prev: HashSet<T>,
+    folds: u64,
+}
+
+impl<T: Eq + Hash + Clone> OverlapAccumulator<T> {
+    /// An empty accumulator (no sets folded yet).
+    pub fn new() -> OverlapAccumulator<T> {
+        OverlapAccumulator {
+            first: HashSet::new(),
+            prev: HashSet::new(),
+            folds: 0,
+        }
+    }
+
+    /// Folds the next set in the sequence and reports its similarity step.
+    pub fn fold(&mut self, set: HashSet<T>) -> OverlapStep {
+        let step = if self.folds == 0 {
+            self.first = set.clone();
+            OverlapStep {
+                jaccard_prev: 1.0,
+                jaccard_first: jaccard(&set, &self.first),
+                dropped_out: 0,
+                dropped_in: 0,
+            }
+        } else {
+            let (dropped_out, dropped_in) = set_differences(&self.prev, &set);
+            OverlapStep {
+                jaccard_prev: jaccard(&set, &self.prev),
+                jaccard_first: jaccard(&set, &self.first),
+                dropped_out,
+                dropped_in,
+            }
+        };
+        self.prev = set;
+        self.folds += 1;
+        step
+    }
+
+    /// Number of sets folded so far.
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+
+    /// The first set folded (empty before the first fold).
+    pub fn first(&self) -> &HashSet<T> {
+        &self.first
+    }
+
+    /// The most recent set folded (empty before the first fold).
+    pub fn last(&self) -> &HashSet<T> {
+        &self.prev
+    }
+
+    /// Rebuilds an accumulator from checkpointed state: the first set,
+    /// the most recent set, and the number of folds so far.
+    pub fn from_parts(first: HashSet<T>, prev: HashSet<T>, folds: u64) -> OverlapAccumulator<T> {
+        OverlapAccumulator { first, prev, folds }
+    }
+}
+
+impl<T: Eq + Hash + Clone> Default for OverlapAccumulator<T> {
+    fn default() -> OverlapAccumulator<T> {
+        OverlapAccumulator::new()
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +187,30 @@ mod tests {
         let (dropped_out, dropped_in) = set_differences(&prev, &curr);
         assert_eq!(dropped_out, 2); // a, b left
         assert_eq!(dropped_in, 1); // e appeared
+    }
+
+    #[test]
+    fn overlap_accumulator_matches_batch_formulas() {
+        let seq = [
+            set(&["a", "b", "c", "d"]),
+            set(&["c", "d", "e"]),
+            set(&["a", "c", "e"]),
+        ];
+        let mut acc = OverlapAccumulator::new();
+        let steps: Vec<OverlapStep> = seq.iter().cloned().map(|s| acc.fold(s)).collect();
+        assert_eq!(steps[0].jaccard_prev, 1.0);
+        assert_eq!(steps[0].jaccard_first, 1.0);
+        assert_eq!((steps[0].dropped_out, steps[0].dropped_in), (0, 0));
+        for (i, step) in steps.iter().enumerate().skip(1) {
+            let (out, into) = set_differences(&seq[i - 1], &seq[i]);
+            assert_eq!(step.dropped_out, out);
+            assert_eq!(step.dropped_in, into);
+            assert_eq!(step.jaccard_prev, jaccard(&seq[i], &seq[i - 1]));
+            assert_eq!(step.jaccard_first, jaccard(&seq[i], &seq[0]));
+        }
+        assert_eq!(acc.folds(), 3);
+        assert_eq!(acc.first(), &seq[0]);
+        assert_eq!(acc.last(), &seq[2]);
     }
 
     #[test]

@@ -10,6 +10,9 @@ use ytaudit_stats::rank::{midranks, pearson, spearman};
 use ytaudit_stats::sets::{jaccard, set_differences};
 use ytaudit_stats::special::{chi2_cdf, normal_cdf, normal_quantile, t_cdf};
 
+// Only referenced from inside `proptest!`; offline builds that stub the
+// macro out would otherwise flag it as dead.
+#[allow(dead_code)]
 fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-1e6f64..1e6, len)
 }
@@ -174,6 +177,285 @@ proptest! {
             if chain.total(state) > 0 {
                 let p = chain.p_present(state).unwrap();
                 prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}
+
+/// Fold-order invariance and `merge` associativity for the streaming
+/// accumulators behind `analyze --follow`.
+///
+/// These are plain `#[test]`s driven by an explicit xorshift generator
+/// (seeded from `YTAUDIT_PROP_SEED`, CI rotates it per commit) so they
+/// run identically everywhere. The contract under test is the one the
+/// batch/follow equivalence suite leans on:
+///
+/// * count-based state (`ObservationSet`, `MarkovChain2`, every `n`,
+///   `min`, `max`) is *exactly* fold-order invariant;
+/// * float sums (`Moments`, `OlsAccumulator`) are invariant up to
+///   reassociation error, bounded here at 1e-9 relative;
+/// * `merge` is associative under the same bounds.
+///
+/// The sequence accumulators (`OverlapAccumulator`,
+/// `PresenceAccumulator`) are deliberately *not* order-invariant — they
+/// model ordered snapshot sequences — so for them the property is
+/// determinism: identical input sequences produce identical state.
+mod fold_invariance {
+    use ytaudit_stats::descriptive::Moments;
+    use ytaudit_stats::markov::{MarkovChain2, PresenceAccumulator, State2};
+    use ytaudit_stats::ols::OlsAccumulator;
+    use ytaudit_stats::ordinal::ObservationSet;
+    use ytaudit_stats::sets::OverlapAccumulator;
+
+    /// xorshift64*: tiny, seedable, dependency-free.
+    struct Rng(u64);
+
+    impl Rng {
+        fn seeded(salt: u64) -> Rng {
+            // Numeric, or an FNV-hashed commit SHA — the shard-equivalence
+            // suite's rotation convention.
+            let seed = match std::env::var("YTAUDIT_PROP_SEED") {
+                Ok(raw) => raw.parse().unwrap_or_else(|_| {
+                    raw.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+                        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+                    })
+                }),
+                Err(_) => 0x5EED_CAFE,
+            };
+            Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt | 1)
+        }
+
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+
+        /// A finite f64 in roughly [-1e3, 1e3].
+        fn f64(&mut self) -> f64 {
+            (self.next() % 2_000_001) as f64 / 1_000.0 - 1_000.0
+        }
+
+        /// Fisher–Yates.
+        fn shuffle<T>(&mut self, items: &mut [T]) {
+            for i in (1..items.len()).rev() {
+                items.swap(i, self.below(i as u64 + 1) as usize);
+            }
+        }
+    }
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn moments_fold_order_invariance() {
+        let mut rng = Rng::seeded(1);
+        for _ in 0..50 {
+            let values: Vec<f64> = (0..2 + rng.below(60)).map(|_| rng.f64()).collect();
+            let mut shuffled = values.clone();
+            rng.shuffle(&mut shuffled);
+            let mut a = Moments::new();
+            let mut b = Moments::new();
+            values.iter().for_each(|&v| a.fold(v));
+            shuffled.iter().for_each(|&v| b.fold(v));
+            let (da, db) = (a.finish().unwrap(), b.finish().unwrap());
+            assert_eq!(da.n, db.n);
+            assert_eq!(da.min, db.min, "min is exact");
+            assert_eq!(da.max, db.max, "max is exact");
+            assert!(close(da.mean, db.mean, 1e-9), "{} vs {}", da.mean, db.mean);
+            assert!(close(da.std, db.std, 1e-9), "{} vs {}", da.std, db.std);
+        }
+    }
+
+    #[test]
+    fn moments_merge_is_associative_and_matches_folding() {
+        let mut rng = Rng::seeded(2);
+        for _ in 0..50 {
+            let chunks: Vec<Vec<f64>> = (0..3)
+                .map(|_| (0..1 + rng.below(20)).map(|_| rng.f64()).collect())
+                .collect();
+            let acc = |values: &[f64]| {
+                let mut m = Moments::new();
+                values.iter().for_each(|&v| m.fold(v));
+                m
+            };
+            let (a, b, c) = (acc(&chunks[0]), acc(&chunks[1]), acc(&chunks[2]));
+            // (a ⊕ b) ⊕ c
+            let mut left = a;
+            left.merge(&b);
+            left.merge(&c);
+            // a ⊕ (b ⊕ c)
+            let mut bc = b;
+            bc.merge(&c);
+            let mut right = a;
+            right.merge(&bc);
+            // ⊕ everything at once, by folding.
+            let all: Vec<f64> = chunks.concat();
+            let folded = acc(&all);
+            for (x, y) in [(left, right), (left, folded)] {
+                let (dx, dy) = (x.finish().unwrap(), y.finish().unwrap());
+                assert_eq!(dx.n, dy.n);
+                assert_eq!(dx.min, dy.min);
+                assert_eq!(dx.max, dy.max);
+                assert!(close(dx.mean, dy.mean, 1e-9));
+                assert!(close(dx.std, dy.std, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn ols_accumulator_fold_order_invariance_and_merge_associativity() {
+        let mut rng = Rng::seeded(3);
+        for _ in 0..25 {
+            let p = 2 + rng.below(3) as usize;
+            let rows: Vec<(Vec<f64>, f64)> = (0..p as u64 + 4 + rng.below(30))
+                .map(|i| {
+                    let mut row: Vec<f64> = (0..p - 1).map(|_| rng.f64()).collect();
+                    row.insert(0, 1.0);
+                    // A deterministic, non-collinear response.
+                    let y = row.iter().sum::<f64>() + i as f64 * 0.25;
+                    (row, y)
+                })
+                .collect();
+            let acc = |obs: &[(Vec<f64>, f64)]| {
+                let mut a = OlsAccumulator::new(p);
+                for (row, y) in obs {
+                    a.fold(row, *y).unwrap();
+                }
+                a
+            };
+            let ordered = acc(&rows);
+            let mut shuffled_rows = rows.clone();
+            rng.shuffle(&mut shuffled_rows);
+            let shuffled = acc(&shuffled_rows);
+            assert_eq!(ordered.count(), shuffled.count());
+            for (bo, bs) in ordered.solve().unwrap().iter().zip(shuffled.solve().unwrap()) {
+                assert!(close(*bo, bs, 1e-6), "{bo} vs {bs}");
+            }
+            // Merge associativity over three shards.
+            let third = rows.len() / 3;
+            let (s1, s2, s3) = (
+                acc(&rows[..third]),
+                acc(&rows[third..2 * third]),
+                acc(&rows[2 * third..]),
+            );
+            let mut left = s1.clone();
+            left.merge(&s2).unwrap();
+            left.merge(&s3).unwrap();
+            let mut s23 = s2.clone();
+            s23.merge(&s3).unwrap();
+            let mut right = s1.clone();
+            right.merge(&s23).unwrap();
+            assert_eq!(left.count(), right.count());
+            assert_eq!(left.count(), ordered.count());
+            for (xl, xr) in left.xty().iter().zip(right.xty()) {
+                assert!(close(*xl, *xr, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn observation_set_fold_order_and_merge_are_bit_exact() {
+        let mut rng = Rng::seeded(4);
+        for _ in 0..50 {
+            let obs: Vec<(Vec<f64>, usize)> = (0..1 + rng.below(40))
+                .map(|_| {
+                    // A small value pool forces repeated rows (counted, not
+                    // stored) and repeated categories.
+                    let row: Vec<f64> = (0..3).map(|_| rng.below(4) as f64).collect();
+                    (row, rng.below(3) as usize)
+                })
+                .collect();
+            let mut shuffled_obs = obs.clone();
+            rng.shuffle(&mut shuffled_obs);
+            let build = |obs: &[(Vec<f64>, usize)]| {
+                let mut s = ObservationSet::new();
+                for (row, category) in obs {
+                    s.fold(row, *category);
+                }
+                s
+            };
+            let (ordered, shuffled) = (build(&obs), build(&shuffled_obs));
+            assert_eq!(ordered, shuffled, "counted-row state is order-free");
+            assert_eq!(ordered.count(), obs.len() as u64);
+            // Merge = fold of the concatenation, exactly, in any grouping.
+            let half = obs.len() / 2;
+            let (a, b) = (build(&obs[..half]), build(&obs[half..]));
+            let mut merged = a.clone();
+            merged.merge(&b);
+            assert_eq!(merged, ordered);
+            let mut flipped = b;
+            flipped.merge(&a);
+            assert_eq!(flipped, ordered, "merge commutes exactly");
+        }
+    }
+
+    #[test]
+    fn markov_chain_fold_order_and_merge_are_exact() {
+        let mut rng = Rng::seeded(5);
+        for _ in 0..50 {
+            let seqs: Vec<Vec<bool>> = (0..1 + rng.below(8))
+                .map(|_| (0..3 + rng.below(12)).map(|_| rng.below(2) == 0).collect())
+                .collect();
+            let build = |seqs: &[Vec<bool>]| {
+                let mut c = MarkovChain2::new();
+                for seq in seqs {
+                    c.add_sequence(seq);
+                }
+                c
+            };
+            let ordered = build(&seqs);
+            let mut shuffled_seqs = seqs.clone();
+            rng.shuffle(&mut shuffled_seqs);
+            let shuffled = build(&shuffled_seqs);
+            // Counts are integers: any fold order and any merge grouping
+            // gives the same chain, bit for bit.
+            let half = seqs.len() / 2;
+            let mut merged = build(&seqs[..half]);
+            merged.merge(&build(&seqs[half..]));
+            for state in State2::ALL {
+                for next in [true, false] {
+                    assert_eq!(ordered.count(state, next), shuffled.count(state, next));
+                    assert_eq!(ordered.count(state, next), merged.count(state, next));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_accumulators_are_deterministic() {
+        use std::collections::HashSet;
+        let mut rng = Rng::seeded(6);
+        for _ in 0..20 {
+            let snapshots: Vec<HashSet<u64>> = (0..3 + rng.below(8))
+                .map(|_| (0..rng.below(12)).map(|_| rng.below(30)).collect())
+                .collect();
+            let mut overlap_a = OverlapAccumulator::new();
+            let mut overlap_b = OverlapAccumulator::new();
+            let mut presence_a = PresenceAccumulator::new();
+            let mut presence_b = PresenceAccumulator::new();
+            for set in &snapshots {
+                let step_a = overlap_a.fold(set.clone());
+                let step_b = overlap_b.fold(set.clone());
+                assert_eq!(step_a.jaccard_prev, step_b.jaccard_prev);
+                assert_eq!(step_a.jaccard_first, step_b.jaccard_first);
+                presence_a.fold(set);
+                presence_b.fold(set);
+            }
+            assert_eq!(overlap_a.folds(), snapshots.len() as u64);
+            for state in State2::ALL {
+                for next in [true, false] {
+                    assert_eq!(
+                        presence_a.chain().count(state, next),
+                        presence_b.chain().count(state, next)
+                    );
+                }
             }
         }
     }

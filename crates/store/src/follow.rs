@@ -1,0 +1,483 @@
+//! The `analyze --follow` driver: tails a store log with a
+//! [`TailReader`], folds each committed `(topic, snapshot)` pair into a
+//! streaming [`Analyzer`] the moment it lands, and finalizes into an
+//! [`AnalysisReport`] once the collection ends.
+//!
+//! Memory stays bounded by accumulator state: pairs are folded one at a
+//! time straight off the log and never gathered into a dataset. An
+//! optional checkpoint file makes the fold progress itself crash-safe —
+//! it is replaced atomically (tmp + fsync + rename + directory sync,
+//! with the `stats.pre-checkpoint` faultpoint at the kill boundary), and
+//! a restart decodes it, re-reads the log from the start, and lets the
+//! analyzer's fold watermark drop the already-folded prefix.
+
+use crate::error::{Result, StoreError};
+use crate::store::{fsync_dir_of, sibling_with_suffix};
+use crate::tail::{TailEvent, TailReader};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use ytaudit_core::streaming::{Analyzer, FoldInput};
+use ytaudit_core::AnalysisReport;
+use ytaudit_platform::faultpoint;
+use ytaudit_types::Topic;
+
+/// How to drive a follow analysis.
+#[derive(Debug, Clone)]
+pub struct FollowOptions {
+    /// Keep polling until the collection ends. When `false`, a single
+    /// pass is made and an incomplete store is an error.
+    pub follow: bool,
+    /// Sleep between polls, in milliseconds.
+    pub poll_ms: u64,
+    /// Where to persist analyzer checkpoints (and resume from).
+    pub checkpoint: Option<PathBuf>,
+    /// Reorder-buffer cap forwarded to [`Analyzer::with_max_buffered`].
+    pub max_buffered: Option<usize>,
+}
+
+impl Default for FollowOptions {
+    fn default() -> FollowOptions {
+        FollowOptions {
+            follow: true,
+            poll_ms: 250,
+            checkpoint: None,
+            max_buffered: None,
+        }
+    }
+}
+
+/// Live progress, passed to the caller's callback after every poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FollowProgress {
+    /// Pairs folded so far.
+    pub folded_pairs: u64,
+    /// Pairs the stored plan calls for, once the plan has been read.
+    pub planned_pairs: Option<usize>,
+    /// Whether the end-of-collection record has been folded.
+    pub ended: bool,
+}
+
+/// What a completed follow analysis produced.
+#[derive(Debug)]
+pub struct FollowOutcome {
+    /// The finalized report.
+    pub report: AnalysisReport,
+    /// Pairs folded by this process (resumed pairs included).
+    pub folded_pairs: u64,
+    /// Largest number of pairs the reorder buffer ever held.
+    pub peak_buffered: usize,
+    /// The fold watermark restored from a checkpoint, when one was.
+    pub resumed_from: Option<u64>,
+}
+
+/// Tails the store at `path`, folding committed pairs into a streaming
+/// analyzer, and returns the finalized report once the collection ends.
+/// `progress` is called after every poll.
+pub fn follow_analyze(
+    path: &Path,
+    options: &FollowOptions,
+    mut progress: impl FnMut(FollowProgress),
+) -> Result<FollowOutcome> {
+    let mut analyzer: Option<Analyzer> = None;
+    let mut resumed_from = None;
+    if let Some(ckpt_path) = &options.checkpoint {
+        if ckpt_path.exists() {
+            let bytes = std::fs::read(ckpt_path)?;
+            let mut restored = Analyzer::decode_state(&bytes)
+                .map_err(|e| StoreError::Plan(format!("unreadable checkpoint: {e}")))?;
+            if let Some(cap) = options.max_buffered {
+                restored = restored.with_max_buffered(cap);
+            }
+            resumed_from = Some(restored.folded_pairs());
+            analyzer = Some(restored);
+        }
+    }
+
+    let mut reader = TailReader::open(path)?;
+    let mut topics: Vec<Topic> = analyzer.as_ref().map_or_else(Vec::new, |a| {
+        a.topics().to_vec()
+    });
+    let mut planned_pairs = None;
+    let mut checkpointed_at = resumed_from.unwrap_or(0);
+    let mut checkpointed_end = false;
+
+    loop {
+        // The closure needs the analyzer and plan bookkeeping mutably;
+        // split them out of the loop state explicitly.
+        let mut poll_error: Option<StoreError> = None;
+        reader.poll(|event| {
+            match event {
+                TailEvent::Begin(meta) => {
+                    planned_pairs = Some(meta.pairs());
+                    match &analyzer {
+                        None => {
+                            let mut fresh = Analyzer::new(meta.topics.clone());
+                            if let Some(cap) = options.max_buffered {
+                                fresh = fresh.with_max_buffered(cap);
+                            }
+                            topics = meta.topics;
+                            analyzer = Some(fresh);
+                        }
+                        Some(restored) => {
+                            if restored.topics() != meta.topics.as_slice() {
+                                poll_error = Some(StoreError::Plan(
+                                    "checkpoint was taken against a different collection \
+                                     plan; delete it or point --checkpoint elsewhere"
+                                        .into(),
+                                ));
+                            }
+                        }
+                    }
+                }
+                TailEvent::Pair {
+                    topic,
+                    snapshot,
+                    date,
+                    data,
+                    comments,
+                    videos,
+                    quota_delta,
+                } => {
+                    let Some(analyzer) = analyzer.as_mut() else {
+                        poll_error = Some(StoreError::corrupt(
+                            0,
+                            "pair committed before the collection plan",
+                        ));
+                        return Ok(());
+                    };
+                    let Some(pos) = topics.iter().position(|&t| t == topic) else {
+                        poll_error = Some(StoreError::Plan(format!(
+                            "committed topic {topic:?} is not in the plan"
+                        )));
+                        return Ok(());
+                    };
+                    let plan_idx = snapshot as u64 * topics.len() as u64 + pos as u64;
+                    let input = FoldInput {
+                        topic,
+                        date,
+                        data,
+                        comments,
+                        videos,
+                        quota_delta,
+                    };
+                    if let Err(e) = analyzer.offer(plan_idx, input) {
+                        poll_error = Some(StoreError::Plan(e.to_string()));
+                    }
+                }
+                TailEvent::End {
+                    channels,
+                    quota_final_delta,
+                } => {
+                    let Some(analyzer) = analyzer.as_mut() else {
+                        poll_error = Some(StoreError::corrupt(
+                            0,
+                            "collection ended before the collection plan",
+                        ));
+                        return Ok(());
+                    };
+                    analyzer.end(channels, quota_final_delta);
+                }
+            }
+            Ok(())
+        })?;
+        if let Some(e) = poll_error {
+            return Err(e);
+        }
+
+        let (folded, ended) = analyzer
+            .as_ref()
+            .map_or((0, false), |a| (a.folded_pairs(), a.ended()));
+        if let Some(ckpt_path) = &options.checkpoint {
+            // Only rewrite the checkpoint when this poll advanced the
+            // fold watermark (or folded the end record).
+            if let Some(analyzer) = &analyzer {
+                if folded > checkpointed_at || (ended && !checkpointed_end) {
+                    write_checkpoint(ckpt_path, &analyzer.encode_state())?;
+                    checkpointed_at = folded;
+                    checkpointed_end = ended;
+                }
+            }
+        }
+        progress(FollowProgress {
+            folded_pairs: folded,
+            planned_pairs,
+            ended,
+        });
+
+        if ended && Some(folded as usize) == planned_pairs {
+            break;
+        }
+        if !options.follow {
+            return Err(StoreError::Plan(match planned_pairs {
+                None => "store holds no collection; \
+                         pass --follow to wait for a collector"
+                    .to_string(),
+                Some(planned) => format!(
+                    "store is incomplete ({folded}/{planned} pairs); \
+                     pass --follow to wait for the collector"
+                ),
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(options.poll_ms));
+    }
+
+    let analyzer = analyzer
+        .ok_or_else(|| StoreError::Plan("store holds no collection".into()))?;
+    Ok(FollowOutcome {
+        report: analyzer.finish(),
+        folded_pairs: analyzer.folded_pairs(),
+        peak_buffered: analyzer.peak_buffered(),
+        resumed_from,
+    })
+}
+
+/// Atomically replaces the checkpoint at `path`: the bytes are written
+/// to a tmp sibling and fsynced, then renamed over the original and the
+/// directory synced — a crash at any point leaves either the old
+/// checkpoint or the new one, never a torn mix. The
+/// `stats.pre-checkpoint` faultpoint sits at the kill boundary between
+/// the durable tmp and the rename.
+fn write_checkpoint(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = sibling_with_suffix(path, ".tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_data()?;
+    drop(file);
+    if faultpoint::should_trip("stats.pre-checkpoint") {
+        return Err(StoreError::Io(std::io::Error::other(
+            "injected crash: stats.pre-checkpoint",
+        )));
+    }
+    std::fs::rename(&tmp, path)?;
+    fsync_dir_of(path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::CollectionMeta;
+    use crate::store::Store;
+    use crate::tempdir::TempDir;
+    use ytaudit_core::collect::TopicCommit;
+    use ytaudit_core::dataset::{HourlyResult, TopicSnapshot};
+    use ytaudit_core::streaming::Analyzer;
+    use ytaudit_types::{Timestamp, Topic, VideoId};
+
+    fn meta2x3() -> CollectionMeta {
+        CollectionMeta {
+            topics: vec![Topic::Higgs, Topic::Blm],
+            dates: (0..3)
+                .map(|i| Timestamp::from_ymd(2025, 2, 9).unwrap().add_days(i * 5))
+                .collect(),
+            hourly_bins: true,
+            fetch_metadata: false,
+            fetch_channels: false,
+            fetch_comments: false,
+            shard: None,
+        }
+    }
+
+    fn data(t_idx: usize, idx: usize) -> TopicSnapshot {
+        let base = t_idx * 100 + idx * 3;
+        TopicSnapshot {
+            hours: vec![HourlyResult {
+                hour: (idx * 7) as u32,
+                video_ids: (base..base + 4)
+                    .map(|n| VideoId::new(format!("vid-{n:04}")))
+                    .collect(),
+                total_results: 5_000 + base as u64,
+            }],
+            meta_returned: Vec::new(),
+        }
+    }
+
+    fn fill(store: &mut Store, meta: &CollectionMeta) {
+        store.begin_collection(meta.clone()).unwrap();
+        for (idx, &date) in meta.dates.iter().enumerate() {
+            for (t_idx, &topic) in meta.topics.iter().enumerate() {
+                store
+                    .commit_snapshot(&TopicCommit {
+                        topic,
+                        snapshot: idx,
+                        date,
+                        data: &data(t_idx, idx),
+                        comments: None,
+                        videos: &[],
+                        quota_delta: 11,
+                    })
+                    .unwrap();
+            }
+        }
+        store.finish_collection(&[], 4).unwrap();
+    }
+
+    #[test]
+    fn one_shot_follow_of_a_complete_store_matches_batch() {
+        let dir = TempDir::new("follow-oneshot");
+        let path = dir.file("audit.yts");
+        let meta = meta2x3();
+        let mut store = Store::create(&path).unwrap();
+        fill(&mut store, &meta);
+        let dataset = store.load_dataset().unwrap();
+        let batch = Analyzer::analyze_dataset(&dataset);
+
+        let mut polls = 0;
+        let outcome = follow_analyze(
+            &path,
+            &FollowOptions {
+                follow: false,
+                ..FollowOptions::default()
+            },
+            |_| polls += 1,
+        )
+        .unwrap();
+        assert_eq!(outcome.folded_pairs, 6);
+        assert!(polls >= 1);
+        assert!(outcome.resumed_from.is_none());
+        assert_eq!(outcome.report.to_json(), batch.to_json());
+        // Sequential commits arrive in plan order: at most one pair is
+        // ever buffered.
+        assert!(outcome.peak_buffered <= 1, "{}", outcome.peak_buffered);
+    }
+
+    #[test]
+    fn one_shot_follow_of_an_incomplete_store_is_an_error() {
+        let dir = TempDir::new("follow-incomplete");
+        let path = dir.file("audit.yts");
+        let meta = meta2x3();
+        let mut store = Store::create(&path).unwrap();
+        store.begin_collection(meta.clone()).unwrap();
+        store
+            .commit_snapshot(&TopicCommit {
+                topic: Topic::Higgs,
+                snapshot: 0,
+                date: meta.dates[0],
+                data: &data(0, 0),
+                comments: None,
+                videos: &[],
+                quota_delta: 11,
+            })
+            .unwrap();
+        let err = follow_analyze(
+            &path,
+            &FollowOptions {
+                follow: false,
+                ..FollowOptions::default()
+            },
+            |_| {},
+        );
+        assert!(matches!(err, Err(StoreError::Plan(_))), "{err:?}");
+    }
+
+    #[test]
+    fn checkpoint_crash_resume_converges_on_the_batch_report() {
+        let dir = TempDir::new("follow-ckpt");
+        let path = dir.file("audit.yts");
+        let ckpt = dir.file("analyze.ckpt");
+        let meta = meta2x3();
+        let mut store = Store::create(&path).unwrap();
+        fill(&mut store, &meta);
+        let batch = Analyzer::analyze_dataset(&store.load_dataset().unwrap());
+
+        // First run dies at the checkpoint kill boundary: the tmp is
+        // durable but never installed, so the previous checkpoint (here:
+        // none) is what a restart sees.
+        faultpoint::arm("stats.pre-checkpoint", 1);
+        let crashed = follow_analyze(
+            &path,
+            &FollowOptions {
+                follow: false,
+                checkpoint: Some(ckpt.clone()),
+                ..FollowOptions::default()
+            },
+            |_| {},
+        );
+        faultpoint::reset();
+        assert!(crashed.is_err(), "armed checkpoint must trip");
+        assert!(!ckpt.exists(), "the crash landed before the rename");
+
+        // The restart starts from scratch (no checkpoint installed),
+        // re-reads the log, and matches batch.
+        let outcome = follow_analyze(
+            &path,
+            &FollowOptions {
+                follow: false,
+                checkpoint: Some(ckpt.clone()),
+                ..FollowOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        assert!(outcome.resumed_from.is_none());
+        assert_eq!(outcome.report.to_json(), batch.to_json());
+        assert!(ckpt.exists(), "a clean pass installs its checkpoint");
+
+        // And a run resuming from the installed checkpoint folds nothing
+        // new yet still reproduces the same report.
+        let resumed = follow_analyze(
+            &path,
+            &FollowOptions {
+                follow: false,
+                checkpoint: Some(ckpt),
+                ..FollowOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_from, Some(6));
+        assert_eq!(resumed.report.to_json(), batch.to_json());
+    }
+
+    #[test]
+    fn checkpoint_from_another_plan_is_rejected() {
+        let dir = TempDir::new("follow-ckpt-plan");
+        let ckpt = dir.file("analyze.ckpt");
+        // A checkpoint taken over a different topic set…
+        let other = Analyzer::new(vec![Topic::WorldCup]);
+        std::fs::write(&ckpt, other.encode_state()).unwrap();
+        // …must not silently fold this store's pairs.
+        let path = dir.file("audit.yts");
+        let meta = meta2x3();
+        let mut store = Store::create(&path).unwrap();
+        fill(&mut store, &meta);
+        let err = follow_analyze(
+            &path,
+            &FollowOptions {
+                follow: false,
+                checkpoint: Some(ckpt),
+                ..FollowOptions::default()
+            },
+            |_| {},
+        );
+        assert!(matches!(err, Err(StoreError::Plan(_))), "{err:?}");
+    }
+
+    #[test]
+    fn progress_reports_the_plan_and_the_fold_watermark() {
+        let dir = TempDir::new("follow-progress");
+        let path = dir.file("audit.yts");
+        let meta = meta2x3();
+        let mut store = Store::create(&path).unwrap();
+        fill(&mut store, &meta);
+        let mut last = None;
+        follow_analyze(
+            &path,
+            &FollowOptions {
+                follow: false,
+                ..FollowOptions::default()
+            },
+            |p| last = Some(p),
+        )
+        .unwrap();
+        assert_eq!(
+            last,
+            Some(FollowProgress {
+                folded_pairs: 6,
+                planned_pairs: Some(6),
+                ended: true,
+            })
+        );
+    }
+}

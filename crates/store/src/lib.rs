@@ -40,18 +40,22 @@
 
 pub mod crc;
 pub mod error;
+pub mod follow;
 pub mod log;
 pub mod merge;
 pub mod records;
 pub mod store;
+pub mod tail;
 pub mod tempdir;
 pub mod wire;
 
 pub use error::{Result, StoreError};
+pub use follow::{follow_analyze, FollowOptions, FollowOutcome, FollowProgress};
 pub use merge::{
     discover_shard_paths, discover_shard_paths_in, finish_store_path, merge_shards,
     shard_store_path, MergeReport,
 };
 pub use records::{CollectionMeta, Record};
 pub use store::{fsync_dir_of, DatasetSelection, Store, StoreStats, VerifyReport};
+pub use tail::{PollOutcome, TailEvent, TailReader};
 pub use tempdir::TempDir;

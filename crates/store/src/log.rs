@@ -86,7 +86,20 @@ pub struct ScanOutcome {
 /// `f(offset, payload)` for each. Stops (without error) at the first
 /// invalid frame; fails hard only on I/O errors, a bad magic, or an error
 /// returned by the callback.
-pub fn scan<F>(path: &Path, mut f: F) -> Result<ScanOutcome>
+pub fn scan<F>(path: &Path, f: F) -> Result<ScanOutcome>
+where
+    F: FnMut(u64, &[u8]) -> Result<()>,
+{
+    scan_from(path, MAGIC.len() as u64, f)
+}
+
+/// Like [`scan`], but starting at frame offset `start` (which must be a
+/// frame boundary a previous scan reported — typically its `valid_len`).
+/// The magic is still validated; offsets passed to `f` and the returned
+/// [`ScanOutcome`] stay absolute, so `valid_len` from an earlier pass
+/// feeds straight back in as the next pass's `start` — the incremental
+/// re-poll that `analyze --follow` is built on.
+pub fn scan_from<F>(path: &Path, start: u64, mut f: F) -> Result<ScanOutcome>
 where
     F: FnMut(u64, &[u8]) -> Result<()>,
 {
@@ -101,8 +114,17 @@ where
     if &magic != MAGIC {
         return Err(StoreError::corrupt(0, "bad magic: not a ytaudit store"));
     }
+    if start < MAGIC.len() as u64 || start > file_len {
+        return Err(StoreError::corrupt(
+            start,
+            format!("scan start outside the file's {file_len} bytes"),
+        ));
+    }
+    if start > MAGIC.len() as u64 {
+        reader.seek(SeekFrom::Start(start))?;
+    }
 
-    let mut pos = MAGIC.len() as u64;
+    let mut pos = start;
     let mut records = 0u64;
     let mut stop = None;
     let mut payload = Vec::new();
@@ -289,6 +311,50 @@ mod tests {
         for (offset, payload) in offsets.iter().zip(&payloads) {
             assert_eq!(&log.read_payload_at(*offset).unwrap(), payload);
         }
+    }
+
+    #[test]
+    fn scan_from_resumes_where_a_previous_scan_stopped() {
+        let dir = TempDir::new("log-scan-from");
+        let path = dir.file("log.yts");
+        let mut log = RecordLog::create(&path).unwrap();
+        for i in 0u8..6 {
+            log.append(&[i; 9]).unwrap();
+        }
+        log.sync().unwrap();
+
+        let first = scan(&path, |_, _| Ok(())).unwrap();
+        assert_eq!(first.records, 6);
+
+        // New frames land; a second pass from the first pass's valid_len
+        // sees exactly the new ones, at absolute offsets.
+        let mut expected_offsets = Vec::new();
+        for i in 6u8..9 {
+            expected_offsets.push(log.append(&[i; 9]).unwrap());
+        }
+        log.sync().unwrap();
+        let mut seen = Vec::new();
+        let second = scan_from(&path, first.valid_len, |offset, payload| {
+            seen.push((offset, payload[0]));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(second.records, 3);
+        assert!(second.stop.is_none());
+        assert_eq!(
+            seen,
+            expected_offsets
+                .iter()
+                .zip(6u8..9)
+                .map(|(&o, i)| (o, i))
+                .collect::<Vec<_>>()
+        );
+
+        // A start outside the file is rejected, not silently clamped.
+        assert!(scan_from(&path, second.valid_len + 1, |_, _| Ok(())).is_err());
+        // A start at EOF is an empty-but-valid pass.
+        let empty = scan_from(&path, second.valid_len, |_, _| Ok(())).unwrap();
+        assert_eq!(empty.records, 0);
     }
 
     #[test]

@@ -1,0 +1,603 @@
+//! A committed-frame tail reader: the input side of `analyze --follow`.
+//!
+//! [`TailReader`] scans a store log *while a collector is appending to
+//! it*, emitting one [`TailEvent`] per structural record — the plan, each
+//! committed `(topic, snapshot)` pair (fully resolved: hour blocks,
+//! metadata coverage, comment crawl, fetched video metadata), and the end
+//! marker. It never opens the log for writing, so it cannot truncate a
+//! live store the way [`crate::Store::open`] would; and it only ever
+//! advances its position past CRC-valid frames, so a torn or mid-write
+//! tail simply *stalls* the reader until the writer's next fsync makes
+//! the frame whole.
+//!
+//! A commit that the reader can see was fsynced after every record it
+//! references, so resolving a committed pair only ever reads complete
+//! frames at lower offsets.
+
+use crate::crc::crc32;
+use crate::error::{Result, StoreError};
+use crate::log::{self, FRAME_HEADER, MAX_RECORD};
+use crate::records::{
+    blob_hash, decode_channel_info, decode_comment, decode_video_id, decode_video_info,
+    topic_from_code, CollectionMeta, CommitRecord, Record, BLOB_CHANNEL_INFO, BLOB_COMMENT,
+    BLOB_VIDEO_ID, BLOB_VIDEO_INFO, PURPOSE_CHANNELS, PURPOSE_COMMENTS, PURPOSE_META_RETURNED,
+    PURPOSE_VIDEO_META, TAG_BLOB,
+};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use ytaudit_core::dataset::{
+    ChannelInfo, CommentFetchError, CommentsSnapshot, HourlyResult, TopicSnapshot, VideoInfo,
+};
+use ytaudit_types::{Timestamp, Topic, VideoId};
+
+/// One structural record read off the tail of a store log.
+#[derive(Debug, Clone)]
+pub enum TailEvent {
+    /// The collection plan landed.
+    Begin(CollectionMeta),
+    /// One `(topic, snapshot)` pair committed, fully resolved.
+    Pair {
+        /// The pair's topic.
+        topic: Topic,
+        /// Snapshot index within the plan.
+        snapshot: usize,
+        /// The snapshot's collection date.
+        date: Timestamp,
+        /// The committed search results.
+        data: TopicSnapshot,
+        /// The pair's comment crawl, when one was collected.
+        comments: Option<CommentsSnapshot>,
+        /// Video metadata fetched alongside this pair.
+        videos: Vec<VideoInfo>,
+        /// Quota units the pair's commit recorded.
+        quota_delta: u64,
+    },
+    /// The collection finished.
+    End {
+        /// The end-of-collection channel metadata.
+        channels: Vec<ChannelInfo>,
+        /// Quota spent after the last pair commit.
+        quota_final_delta: u64,
+    },
+}
+
+/// What one [`TailReader::poll`] pass accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollOutcome {
+    /// Structural events delivered to the callback.
+    pub events: u64,
+    /// Whether the pass stopped at an incomplete (in-flight or torn)
+    /// tail frame rather than the end of the file.
+    pub stalled: bool,
+}
+
+/// An incremental, read-only reader over a (possibly still growing)
+/// store log.
+#[derive(Debug)]
+pub struct TailReader {
+    file: File,
+    path: PathBuf,
+    /// Next unread frame offset. Only ever advances past CRC-valid
+    /// frames.
+    pos: u64,
+    /// Blob content address → frame offset, for resolving commits.
+    content: HashMap<u64, u64>,
+    meta: Option<CollectionMeta>,
+    ended: bool,
+}
+
+impl TailReader {
+    /// Opens `path` read-only, positioned before the first frame. The
+    /// file must already exist with a valid store magic (a collector
+    /// creates and syncs the magic before its first append).
+    pub fn open(path: &Path) -> Result<TailReader> {
+        let mut file = File::open(path)?;
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != log::MAGIC {
+            return Err(StoreError::corrupt(0, "bad magic: not a ytaudit store"));
+        }
+        Ok(TailReader {
+            file,
+            path: path.to_path_buf(),
+            pos: log::MAGIC.len() as u64,
+            content: HashMap::new(),
+            meta: None,
+            ended: false,
+        })
+    }
+
+    /// The stored collection plan, once its Begin frame has been read.
+    pub fn collection_meta(&self) -> Option<&CollectionMeta> {
+        self.meta.as_ref()
+    }
+
+    /// Whether the end-of-collection record has been read.
+    pub fn ended(&self) -> bool {
+        self.ended
+    }
+
+    /// Byte offset of the next unread frame.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Reads every new complete frame since the last poll, delivering
+    /// structural records to `f`. A frame that fails its length or
+    /// checksum validation stalls the pass (the writer may be mid-append;
+    /// the frame is re-read on the next poll) — the reader's position
+    /// never moves past it.
+    pub fn poll<F>(&mut self, mut f: F) -> Result<PollOutcome>
+    where
+        F: FnMut(TailEvent) -> Result<()>,
+    {
+        let file_len = self.file.metadata()?.len();
+        let mut events = 0u64;
+        let mut stalled = false;
+        while self.pos < file_len {
+            let Some(payload) = self.read_frame_at(self.pos, file_len)? else {
+                stalled = true;
+                break;
+            };
+            let frame_len = FRAME_HEADER + payload.len() as u64;
+            if let Some(event) = self.absorb(self.pos, &payload)? {
+                f(event)?;
+                events += 1;
+            }
+            self.pos += frame_len;
+        }
+        Ok(PollOutcome { events, stalled })
+    }
+
+    /// Reads the frame at `offset`, or `None` when it is incomplete or
+    /// fails validation against `file_len` bytes of file.
+    fn read_frame_at(&mut self, offset: u64, file_len: u64) -> Result<Option<Vec<u8>>> {
+        if file_len - offset < FRAME_HEADER {
+            return Ok(None);
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut len_bytes = [0u8; 4];
+        let mut crc_bytes = [0u8; 4];
+        self.file.read_exact(&mut len_bytes)?;
+        self.file.read_exact(&mut crc_bytes)?;
+        let len = u32::from_le_bytes(len_bytes);
+        let crc = u32::from_le_bytes(crc_bytes);
+        if len == 0 || len > MAX_RECORD || file_len - offset - FRAME_HEADER < u64::from(len) {
+            return Ok(None);
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.file.read_exact(&mut payload)?;
+        if crc32(&payload) != crc {
+            return Ok(None);
+        }
+        Ok(Some(payload))
+    }
+
+    /// Absorbs one decoded frame into the reader's index, returning the
+    /// structural event it carries, if any.
+    fn absorb(&mut self, offset: u64, payload: &[u8]) -> Result<Option<TailEvent>> {
+        let record = Record::decode(payload).map_err(|e| StoreError::corrupt(offset, e))?;
+        match record {
+            Record::Segment { .. } => Ok(None),
+            Record::Begin(meta) => {
+                if meta.shard.is_some() {
+                    return Err(StoreError::Plan(format!(
+                        "{} is one shard of a sharded collection; merge the shards \
+                         first, then follow the merged store",
+                        self.path.display()
+                    )));
+                }
+                if self.meta.is_some() {
+                    return Err(StoreError::corrupt(offset, "duplicate collection plan"));
+                }
+                self.meta = Some(meta.clone());
+                Ok(Some(TailEvent::Begin(meta)))
+            }
+            Record::Blob { kind, body } => {
+                self.content.insert(blob_hash(kind, &body), offset);
+                Ok(None)
+            }
+            Record::HourBlock { .. } | Record::RefBlock { .. } => Ok(None),
+            Record::Commit(commit) => {
+                let meta = self.meta.as_ref().ok_or_else(|| {
+                    StoreError::corrupt(offset, "commit before the collection plan")
+                })?;
+                let topic =
+                    topic_from_code(commit.topic).map_err(|e| StoreError::corrupt(offset, e))?;
+                let date = Timestamp(commit.date);
+                if !meta.topics.contains(&topic) {
+                    return Err(StoreError::corrupt(
+                        offset,
+                        format!("commit for {topic:?}, which is not in the plan"),
+                    ));
+                }
+                let (data, comments, videos) = self.resolve_commit(&commit)?;
+                Ok(Some(TailEvent::Pair {
+                    topic,
+                    snapshot: commit.snapshot as usize,
+                    date,
+                    data,
+                    comments,
+                    videos,
+                    quota_delta: commit.quota_delta,
+                }))
+            }
+            Record::End {
+                quota_final_delta,
+                channels_offset,
+            } => {
+                let mut channels = Vec::new();
+                if channels_offset != 0 {
+                    for r in self.read_ref_block(channels_offset, PURPOSE_CHANNELS)? {
+                        let body = self.blob_body(r, BLOB_CHANNEL_INFO)?;
+                        channels.push(
+                            decode_channel_info(&body)
+                                .map_err(|e| StoreError::corrupt(channels_offset, e))?,
+                        );
+                    }
+                }
+                self.ended = true;
+                Ok(Some(TailEvent::End {
+                    channels,
+                    quota_final_delta,
+                }))
+            }
+        }
+    }
+
+    /// Resolves a commit's hour blocks, coverage list, comment crawl, and
+    /// video metadata through the blob index.
+    fn resolve_commit(
+        &mut self,
+        commit: &CommitRecord,
+    ) -> Result<(TopicSnapshot, Option<CommentsSnapshot>, Vec<VideoInfo>)> {
+        let mut hours = Vec::with_capacity(commit.hours.len());
+        for &(hour, offset) in &commit.hours {
+            let payload = self.read_committed_frame(offset)?;
+            match Record::decode(&payload).map_err(|e| StoreError::corrupt(offset, e))? {
+                Record::HourBlock {
+                    hour: block_hour,
+                    total_results,
+                    refs,
+                    ..
+                } if block_hour == hour => {
+                    let mut video_ids = Vec::with_capacity(refs.len());
+                    for r in refs {
+                        let body = self.blob_body(r, BLOB_VIDEO_ID)?;
+                        video_ids.push(
+                            decode_video_id(&body).map_err(|e| StoreError::corrupt(offset, e))?,
+                        );
+                    }
+                    hours.push(HourlyResult {
+                        hour,
+                        video_ids,
+                        total_results,
+                    });
+                }
+                _ => {
+                    return Err(StoreError::corrupt(
+                        offset,
+                        format!("commit indexes hour {hour} with no matching hour block"),
+                    ))
+                }
+            }
+        }
+        let mut meta_returned = Vec::new();
+        if commit.meta_offset != 0 {
+            for r in self.read_ref_block(commit.meta_offset, PURPOSE_META_RETURNED)? {
+                let body = self.blob_body(r, BLOB_VIDEO_ID)?;
+                meta_returned
+                    .push(decode_video_id(&body).map_err(|e| StoreError::corrupt(0, e))?);
+            }
+        }
+        let comments = if commit.comments_offset == 0 {
+            None
+        } else {
+            let mut records = Vec::new();
+            for r in self.read_ref_block(commit.comments_offset, PURPOSE_COMMENTS)? {
+                let body = self.blob_body(r, BLOB_COMMENT)?;
+                records.push(decode_comment(&body).map_err(|e| StoreError::corrupt(0, e))?);
+            }
+            let fetch_errors = commit
+                .comment_errors
+                .iter()
+                .map(|(video_id, error)| CommentFetchError {
+                    video_id: VideoId::new(video_id.clone()),
+                    error: error.clone(),
+                })
+                .collect();
+            Some(CommentsSnapshot {
+                comments: records,
+                fetch_errors,
+            })
+        };
+        let mut videos = Vec::new();
+        if commit.videos_offset != 0 {
+            for r in self.read_ref_block(commit.videos_offset, PURPOSE_VIDEO_META)? {
+                let body = self.blob_body(r, BLOB_VIDEO_INFO)?;
+                videos.push(decode_video_info(&body).map_err(|e| StoreError::corrupt(0, e))?);
+            }
+        }
+        Ok((
+            TopicSnapshot {
+                hours,
+                meta_returned,
+            },
+            comments,
+            videos,
+        ))
+    }
+
+    /// Reads a frame a commit references. Referenced frames precede the
+    /// commit and were fsynced before it, so anything short or invalid
+    /// here is corruption, not an in-flight write.
+    fn read_committed_frame(&mut self, offset: u64) -> Result<Vec<u8>> {
+        if offset < log::MAGIC.len() as u64 || offset >= self.pos {
+            return Err(StoreError::corrupt(
+                offset,
+                "committed reference points outside the frames read so far",
+            ));
+        }
+        self.read_frame_at(offset, self.pos)?.ok_or_else(|| {
+            StoreError::corrupt(offset, "committed reference resolves to an invalid frame")
+        })
+    }
+
+    fn read_ref_block(&mut self, offset: u64, purpose: u8) -> Result<Vec<u64>> {
+        let payload = self.read_committed_frame(offset)?;
+        match Record::decode(&payload).map_err(|e| StoreError::corrupt(offset, e))? {
+            Record::RefBlock {
+                purpose: p, refs, ..
+            } if p == purpose => Ok(refs),
+            _ => Err(StoreError::corrupt(
+                offset,
+                format!("expected a purpose-{purpose} ref block"),
+            )),
+        }
+    }
+
+    fn blob_body(&mut self, hash: u64, kind: u8) -> Result<Vec<u8>> {
+        let &offset = self.content.get(&hash).ok_or_else(|| {
+            StoreError::corrupt(0, format!("dangling blob reference {hash:#018x}"))
+        })?;
+        let payload = self.read_committed_frame(offset)?;
+        // ytlint: allow(indexing) — the len() < 2 guard short-circuits first
+        if payload.len() < 2 || payload[0] != TAG_BLOB || payload[1] != kind {
+            return Err(StoreError::corrupt(
+                offset,
+                format!("reference {hash:#018x} does not point at a kind-{kind} blob"),
+            ));
+        }
+        Ok(payload[2..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+    use crate::tempdir::TempDir;
+    use ytaudit_core::collect::TopicCommit;
+    use ytaudit_core::shard::ShardSpec;
+
+    fn meta1x2() -> CollectionMeta {
+        CollectionMeta {
+            topics: vec![Topic::Higgs],
+            dates: vec![
+                Timestamp::from_ymd(2025, 2, 9).unwrap(),
+                Timestamp::from_ymd(2025, 2, 14).unwrap(),
+            ],
+            hourly_bins: true,
+            fetch_metadata: false,
+            fetch_channels: false,
+            fetch_comments: false,
+            shard: None,
+        }
+    }
+
+    fn data(base: u32) -> TopicSnapshot {
+        TopicSnapshot {
+            hours: vec![HourlyResult {
+                hour: 3,
+                video_ids: vec![
+                    VideoId::new(format!("vid-{base}")),
+                    VideoId::new(format!("vid-{}", base + 1)),
+                ],
+                total_results: 1_000 + u64::from(base),
+            }],
+            meta_returned: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tailing_a_growing_store_sees_each_commit_once() {
+        let dir = TempDir::new("tail-grow");
+        let path = dir.file("audit.yts");
+        let meta = meta1x2();
+        let mut store = Store::create(&path).unwrap();
+        let mut reader = TailReader::open(&path).unwrap();
+
+        let mut seen = Vec::new();
+        fn collect(reader: &mut TailReader, events: &mut Vec<String>) {
+            let outcome = reader
+                .poll(|event| {
+                    events.push(match event {
+                        TailEvent::Begin(_) => "begin".to_string(),
+                        TailEvent::Pair { snapshot, .. } => format!("pair-{snapshot}"),
+                        TailEvent::End { .. } => "end".to_string(),
+                    });
+                    Ok(())
+                })
+                .unwrap();
+            assert!(!outcome.stalled);
+        }
+
+        collect(&mut reader, &mut seen);
+        assert!(seen.is_empty(), "nothing committed yet");
+
+        store.begin_collection(meta.clone()).unwrap();
+        for (idx, &date) in meta.dates.iter().enumerate() {
+            store
+                .commit_snapshot(&TopicCommit {
+                    topic: Topic::Higgs,
+                    snapshot: idx,
+                    date,
+                    data: &data(idx as u32 * 10),
+                    comments: None,
+                    videos: &[],
+                    quota_delta: 7,
+                })
+                .unwrap();
+            collect(&mut reader, &mut seen);
+        }
+        store.finish_collection(&[], 2).unwrap();
+        collect(&mut reader, &mut seen);
+        assert_eq!(seen, vec!["begin", "pair-0", "pair-1", "end"]);
+        assert!(reader.ended());
+
+        // A further poll is a no-op, not a replay.
+        collect(&mut reader, &mut seen);
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn pairs_resolve_to_the_bytes_the_store_loads() {
+        let dir = TempDir::new("tail-resolve");
+        let path = dir.file("audit.yts");
+        let meta = meta1x2();
+        let mut store = Store::create(&path).unwrap();
+        store.begin_collection(meta.clone()).unwrap();
+        for (idx, &date) in meta.dates.iter().enumerate() {
+            store
+                .commit_snapshot(&TopicCommit {
+                    topic: Topic::Higgs,
+                    snapshot: idx,
+                    date,
+                    data: &data(idx as u32), // overlapping IDs force dedup
+                    comments: None,
+                    videos: &[],
+                    quota_delta: 7,
+                })
+                .unwrap();
+        }
+
+        let mut reader = TailReader::open(&path).unwrap();
+        let mut pairs = Vec::new();
+        reader
+            .poll(|event| {
+                if let TailEvent::Pair { snapshot, data, .. } = event {
+                    pairs.push((snapshot, data));
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(pairs.len(), 2);
+        for (snapshot, got) in pairs {
+            assert_eq!(got, store.load_topic_snapshot(Topic::Higgs, snapshot).unwrap());
+        }
+    }
+
+    #[test]
+    fn torn_tail_stalls_and_recovers_when_the_frame_completes() {
+        let dir = TempDir::new("tail-torn");
+        let path = dir.file("audit.yts");
+        let meta = meta1x2();
+        let mut store = Store::create(&path).unwrap();
+        store.begin_collection(meta.clone()).unwrap();
+        store
+            .commit_snapshot(&TopicCommit {
+                topic: Topic::Higgs,
+                snapshot: 0,
+                date: meta.dates[0],
+                data: &data(0),
+                comments: None,
+                videos: &[],
+                quota_delta: 7,
+            })
+            .unwrap();
+        drop(store);
+
+        // Append half a frame by hand: a reader must stall, not error.
+        let whole = std::fs::read(&path).unwrap();
+        let mut torn = whole.clone();
+        torn.extend_from_slice(&40u32.to_le_bytes());
+        torn.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        torn.extend_from_slice(&[0xAB; 11]);
+        std::fs::write(&path, &torn).unwrap();
+
+        let mut reader = TailReader::open(&path).unwrap();
+        let mut events = 0;
+        let outcome = reader
+            .poll(|_| {
+                events += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert!(outcome.stalled);
+        assert_eq!(events, 2, "begin + pair before the torn frame");
+        let stall_pos = reader.position();
+        assert_eq!(stall_pos, whole.len() as u64);
+
+        // The writer finishes the frame (here: a real store reopens,
+        // truncates the tear, and commits the pair for real).
+        let mut store = Store::open(&path).unwrap();
+        store
+            .commit_snapshot(&TopicCommit {
+                topic: Topic::Higgs,
+                snapshot: 1,
+                date: meta.dates[1],
+                data: &data(10),
+                comments: None,
+                videos: &[],
+                quota_delta: 7,
+            })
+            .unwrap();
+        drop(store);
+
+        let outcome = reader
+            .poll(|_| {
+                events += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert!(!outcome.stalled);
+        assert_eq!(events, 3, "only the second pair; the segment frame is silent");
+    }
+
+    #[test]
+    fn shard_stores_are_rejected() {
+        let dir = TempDir::new("tail-shard");
+        let path = dir.file("shard.yts");
+        let mut store = Store::create(&path).unwrap();
+        store
+            .begin_collection(CollectionMeta {
+                shard: Some(ShardSpec {
+                    index: 0,
+                    count: 2,
+                    parent_topics: vec![Topic::Higgs],
+                    parent_fetch_channels: false,
+                }),
+                ..meta1x2()
+            })
+            .unwrap();
+        drop(store);
+        let mut reader = TailReader::open(&path).unwrap();
+        assert!(matches!(
+            reader.poll(|_| Ok(())),
+            Err(StoreError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn non_store_files_are_rejected() {
+        let dir = TempDir::new("tail-magic");
+        let path = dir.file("not-a-store");
+        std::fs::write(&path, b"definitely json").unwrap();
+        assert!(matches!(
+            TailReader::open(&path),
+            Err(StoreError::Corrupt { offset: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,172 @@
+//! The analysis crash matrix: a follow (`analyze --follow --checkpoint`)
+//! killed at its checkpoint boundary, and a follow pointed at a store
+//! whose own writer died mid-frame, must both resume from the last
+//! installed checkpoint and converge on the exact batch report.
+//!
+//! The kill site is the `stats.pre-checkpoint` faultpoint, which sits
+//! between the durable checkpoint tmp and the rename that installs it —
+//! the worst spot: work was folded and serialized, but the installed
+//! checkpoint still describes the previous poll. The torn-store case
+//! physically truncates a frame mid-write (the flushed-page-cache
+//! outcome of a writer kill) and checks the follower stalls rather than
+//! misreads, then picks up once the collector recovers the store.
+//!
+//! The faultpoint registry is process-global, so tests serialize on one
+//! mutex and disarm on drop (same pattern as `shard_crash_matrix`).
+
+mod shard_harness;
+
+use shard_harness as h;
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard};
+use ytaudit::core::{Analyzer, CollectorSink};
+use ytaudit::platform::faultpoint;
+use ytaudit::store::{follow_analyze, FollowOptions, Store, StoreError, TempDir};
+use ytaudit::types::Topic;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct FaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        faultpoint::reset();
+    }
+}
+
+fn exclusive() -> FaultGuard {
+    let lock = SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    faultpoint::reset();
+    FaultGuard { _lock: lock }
+}
+
+fn batch_json(path: &Path) -> String {
+    let dataset = Store::open(path).unwrap().load_dataset().unwrap();
+    Analyzer::analyze_dataset(&dataset).to_json()
+}
+
+fn opts(ckpt: &Path) -> FollowOptions {
+    FollowOptions {
+        follow: false,
+        checkpoint: Some(ckpt.to_path_buf()),
+        ..FollowOptions::default()
+    }
+}
+
+#[test]
+fn crash_at_the_checkpoint_boundary_resumes_and_matches_batch() {
+    let _guard = exclusive();
+    let dir = TempDir::new("analyze-ckpt-crash");
+    let path = dir.file("audit.yts");
+    let ckpt = dir.file("analyze.ckpt");
+    let cfg = h::plan(vec![Topic::Higgs, Topic::Blm], 3);
+    let seed = 3;
+
+    // Stage A: the collector has committed half the plan.
+    let mut store = Store::create(&path).unwrap();
+    CollectorSink::begin(&mut store, &cfg).unwrap();
+    let dates = cfg.schedule.dates().to_vec();
+    let mut committed = 0;
+    'plan: for (snapshot, &date) in dates.iter().enumerate() {
+        for &topic in &cfg.topics {
+            h::commit_one(&mut store, &cfg, topic, snapshot, date, seed).unwrap();
+            committed += 1;
+            if committed == 3 {
+                break 'plan;
+            }
+        }
+    }
+
+    // A one-shot follow of the incomplete store reports the gap but
+    // leaves a checkpoint holding the three folded pairs.
+    let early = follow_analyze(&path, &opts(&ckpt), |_| {});
+    assert!(matches!(early, Err(StoreError::Plan(_))), "{early:?}");
+    assert!(ckpt.exists(), "partial progress must be checkpointed");
+
+    // Stage B: the collection completes.
+    h::commit_pairs(&mut store, &cfg, seed);
+    CollectorSink::finish(&mut store, &h::channels(&cfg), h::finish_delta(&cfg)).unwrap();
+    drop(store);
+
+    // The follow that would finish the analysis dies at the kill
+    // boundary: tmp durable, rename never ran.
+    faultpoint::arm("stats.pre-checkpoint", 1);
+    let crashed = follow_analyze(&path, &opts(&ckpt), |_| {});
+    faultpoint::reset();
+    match crashed {
+        Err(StoreError::Io(e)) => assert!(e.to_string().contains("stats.pre-checkpoint")),
+        other => panic!("expected the injected crash, got {other:?}"),
+    }
+
+    // Restart: resumes from the stage-A checkpoint (three pairs), folds
+    // only the remainder, and lands on the batch report exactly.
+    let outcome = follow_analyze(&path, &opts(&ckpt), |_| {}).unwrap();
+    assert_eq!(outcome.resumed_from, Some(3));
+    assert_eq!(outcome.folded_pairs, 6);
+    assert_eq!(outcome.report.to_json(), batch_json(&path));
+}
+
+#[test]
+fn torn_store_tail_stalls_the_follow_and_resumes_after_recovery() {
+    let _guard = exclusive();
+    let dir = TempDir::new("analyze-torn-tail");
+    let path = dir.file("audit.yts");
+    let ckpt = dir.file("analyze.ckpt");
+    let cfg = h::plan(vec![Topic::Higgs, Topic::Blm], 3);
+    let seed = 5;
+
+    // The collector dies mid-append on the final pair: five commits are
+    // durable, the sixth tore.
+    {
+        let mut store = Store::create(&path).unwrap();
+        CollectorSink::begin(&mut store, &cfg).unwrap();
+        let dates = cfg.schedule.dates().to_vec();
+        let mut committed = 0;
+        'plan: for (snapshot, &date) in dates.iter().enumerate() {
+            for &topic in &cfg.topics {
+                h::commit_one(&mut store, &cfg, topic, snapshot, date, seed).unwrap();
+                committed += 1;
+                if committed == 5 {
+                    break 'plan;
+                }
+            }
+        }
+    }
+    let five_len = std::fs::metadata(&path).unwrap().len();
+    {
+        let mut store = Store::open(&path).unwrap();
+        h::commit_pairs(&mut store, &cfg, seed);
+        CollectorSink::finish(&mut store, &h::channels(&cfg), h::finish_delta(&cfg)).unwrap();
+    }
+    // Torn write: only 9 bytes of the sixth pair's first frame landed.
+    let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    file.set_len(five_len + 9).unwrap();
+    file.sync_all().unwrap();
+    drop(file);
+
+    // The follower stalls at the tear — no error, no misread — and
+    // checkpoints the five pairs it could fold.
+    let stalled = follow_analyze(&path, &opts(&ckpt), |_| {});
+    assert!(matches!(stalled, Err(StoreError::Plan(_))), "{stalled:?}");
+    assert!(ckpt.exists());
+
+    // The collector recovers: reopening truncates the torn tail, the
+    // missing pair is re-committed, the collection finishes.
+    {
+        let mut store = Store::open(&path).unwrap();
+        h::commit_pairs(&mut store, &cfg, seed);
+        CollectorSink::finish(&mut store, &h::channels(&cfg), h::finish_delta(&cfg)).unwrap();
+        assert!(store.complete());
+    }
+
+    // The restarted follow resumes from the checkpoint and matches the
+    // batch analysis of the recovered store bit for bit.
+    let outcome = follow_analyze(&path, &opts(&ckpt), |_| {}).unwrap();
+    assert_eq!(outcome.resumed_from, Some(5));
+    assert_eq!(outcome.folded_pairs, 6);
+    assert_eq!(outcome.report.to_json(), batch_json(&path));
+}
