@@ -419,6 +419,11 @@ pub struct ErrorBody {
     pub message: String,
     /// Individual errors.
     pub errors: Vec<ErrorItem>,
+    /// `Retry-After` hint in seconds, on shed (429) responses. The real
+    /// API carries this as an HTTP header; the envelope mirrors it so
+    /// in-process transports (which only see the body) get the hint too.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retry_after_secs: Option<u64>,
 }
 
 /// The error envelope every failed Data API call returns.
@@ -506,13 +511,36 @@ mod tests {
                     domain: "youtube.quota".into(),
                     reason: "quotaExceeded".into(),
                 }],
+                retry_after_secs: None,
             },
         };
         let json = serde_json::to_string(&err).unwrap();
         assert!(json.contains("\"code\":403"));
         assert!(json.contains("\"reason\":\"quotaExceeded\""));
+        assert!(!json.contains("retryAfterSecs"), "absent hint is omitted");
         let back: ErrorResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(back.error.errors[0].reason, "quotaExceeded");
+        assert_eq!(back.error.retry_after_secs, None);
+    }
+
+    #[test]
+    fn error_envelope_carries_the_retry_after_hint() {
+        let err = ErrorResponse {
+            error: ErrorBody {
+                code: 429,
+                message: "shed".into(),
+                errors: vec![ErrorItem {
+                    message: "shed".into(),
+                    domain: "youtube.parameter".into(),
+                    reason: "rateLimitExceeded".into(),
+                }],
+                retry_after_secs: Some(3),
+            },
+        };
+        let json = serde_json::to_string(&err).unwrap();
+        assert!(json.contains("\"retryAfterSecs\":3"), "{json}");
+        let back: ErrorResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.error.retry_after_secs, Some(3));
     }
 
     #[test]

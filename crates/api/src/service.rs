@@ -500,7 +500,9 @@ fn encode<T: serde::Serialize>(value: &T) -> Result<String> {
 /// Renders an error as the (status, JSON envelope) pair the wire carries.
 pub fn error_response(err: &Error) -> (u16, String) {
     let (code, reason, message) = match err {
-        Error::Api { reason, message } => (reason.http_status(), reason.as_str(), message.clone()),
+        Error::Api {
+            reason, message, ..
+        } => (reason.http_status(), reason.as_str(), message.clone()),
         other => (500, "backendError", other.to_string()),
     };
     let envelope = ErrorResponse {
@@ -515,6 +517,7 @@ pub fn error_response(err: &Error) -> (u16, String) {
                 },
                 reason: reason.to_string(),
             }],
+            retry_after_secs: err.retry_after_secs(),
         },
     };
     (

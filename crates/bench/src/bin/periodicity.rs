@@ -21,6 +21,7 @@ fn run(label: &str, sampler: SamplerConfig) -> Vec<String> {
         fetch_channels: false,
         fetch_comments: false,
         shard: None,
+        platform: ytaudit_types::PlatformKind::Youtube,
     };
     let dataset = Collector::new(&client, config).run().expect("collection");
     let report =

@@ -7,10 +7,12 @@
 //! `--report` emits the canonical JSON the equivalence suite compares.
 
 use crate::args::{ArgError, Args};
+use crate::commands::collect::parse_platform;
 use std::path::PathBuf;
 use ytaudit_bench::tables;
 use ytaudit_core::{AnalysisReport, Analyzer, AuditDataset};
-use ytaudit_store::{follow_analyze, DatasetSelection, FollowOptions, Store};
+use ytaudit_store::{follow_analyze, DatasetSelection, FollowOptions, Store, StoreError};
+use ytaudit_types::PlatformKind;
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -36,6 +38,9 @@ OPTIONS:
                          instead of re-folding from scratch
     --max-buffered <n>   cap on out-of-order pairs held in memory while
                          following (exceeding it is an error)
+    --platform <name>    assert the store was collected from this backend
+                         (youtube | tiktok); a mismatch is an error before
+                         any pair is read
     --report <path|->    also write the canonical report JSON (`-` = stdout)
 
 The JSON dataset comes from `ytaudit collect --out dataset.json`; the
@@ -95,6 +100,10 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
 /// Produces the report, by following the store live or by replaying a
 /// materialized dataset through the same accumulators.
 fn build_report(args: &Args, which: &str) -> Result<AnalysisReport, ArgError> {
+    let expect_platform: Option<PlatformKind> = match args.get("platform") {
+        None => None,
+        Some(_) => Some(parse_platform(args)?),
+    };
     if args.flag("follow") {
         let spath = args
             .get("store")
@@ -112,6 +121,7 @@ fn build_report(args: &Args, which: &str) -> Result<AnalysisReport, ArgError> {
                 None => None,
                 Some(_) => Some(args.get_parsed("max-buffered", 0usize)?),
             },
+            expect_platform,
         };
         let outcome = follow_analyze(std::path::Path::new(spath), &options, |p| {
             match p.planned_pairs {
@@ -140,6 +150,15 @@ fn build_report(args: &Args, which: &str) -> Result<AnalysisReport, ArgError> {
             }
             let mut store = Store::open(std::path::Path::new(spath))
                 .map_err(|e| ArgError(format!("cannot open store {spath}: {e}")))?;
+            if let (Some(expected), Some(meta)) = (expect_platform, store.collection_meta()) {
+                if meta.platform != expected {
+                    let err = StoreError::PlatformMismatch {
+                        stored: meta.platform,
+                        requested: expected,
+                    };
+                    return Err(ArgError(format!("cannot analyze {spath}: {err}")));
+                }
+            }
             store
                 .load_dataset_filtered(selection_for(which))
                 .map_err(|e| ArgError(format!("cannot load dataset from {spath}: {e}")))?

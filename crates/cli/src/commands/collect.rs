@@ -12,10 +12,11 @@ use ytaudit_core::{Collector, CollectorConfig, CollectorSink, MemorySink, Schedu
 use ytaudit_platform::{Corpus, CorpusConfig, Platform, SimClock};
 use ytaudit_sched::{
     run_sharded, HttpFactory, InProcessFactory, MetricsRegistry, QuotaGovernor, RunOutcome,
-    Scheduler, SchedulerConfig, TransportFactory,
+    Scheduler, SchedulerConfig, TikTokFactory, TransportFactory,
 };
 use ytaudit_store::Store;
-use ytaudit_types::{ChannelId, Timestamp, Topic};
+use ytaudit_tiktok_sim::{TikTokClient, TikTokService, TikTokTransport, RESEARCH_DAILY_REQUESTS};
+use ytaudit_types::{ChannelId, PlatformKind, Timestamp, Topic};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -29,6 +30,10 @@ OPTIONS:
     --no-metadata            skip Videos.list fetches
     --no-channels            skip Channels.list fetches
     --no-comments            skip comment crawls (default: fetched)
+    --platform <name>        backend to audit: youtube | tiktok (default
+                             youtube; recorded in the store manifest, and a
+                             store refuses --resume / merge / analyze under
+                             a different platform)
     --scale <f64>            in-process corpus scale         (default 1.0)
     --seed <u64>             in-process corpus seed
     --base-url <URL>         collect against a served API instead of
@@ -175,19 +180,25 @@ impl<S: CollectorSink> CollectorSink for Progress<S> {
 pub(crate) enum Backend {
     Http(String),
     InProcess(Arc<ApiService>),
+    Tiktok(Arc<TikTokService>),
 }
 
 impl Backend {
     /// A single client for the classic sequential collector.
-    fn client(&self, key: &str, in_flight: usize) -> YouTubeClient {
+    fn client(&self, key: &str, in_flight: usize) -> Box<dyn ytaudit_core::Platform> {
         match self {
-            Backend::Http(base) => YouTubeClient::new(
+            Backend::Http(base) => Box::new(YouTubeClient::new(
                 Box::new(HttpTransport::new(base.clone()).with_max_in_flight(in_flight)),
                 key,
-            ),
-            Backend::InProcess(service) => {
-                YouTubeClient::new(Box::new(InProcessTransport::new(Arc::clone(service))), key)
-            }
+            )),
+            Backend::InProcess(service) => Box::new(YouTubeClient::new(
+                Box::new(InProcessTransport::new(Arc::clone(service))),
+                key,
+            )),
+            Backend::Tiktok(service) => Box::new(TikTokClient::new(
+                Box::new(TikTokTransport::new(Arc::clone(service))),
+                key,
+            )),
         }
     }
 
@@ -198,6 +209,7 @@ impl Backend {
                 Box::new(HttpFactory::new(base.clone()).with_max_in_flight(in_flight))
             }
             Backend::InProcess(service) => Box::new(InProcessFactory::new(Arc::clone(service))),
+            Backend::Tiktok(service) => Box::new(TikTokFactory::new(Arc::clone(service))),
         }
     }
 }
@@ -258,7 +270,7 @@ fn drive(
 ) -> Result<(), ArgError> {
     if workers == 0 {
         let client = backend.client(key, in_flight);
-        return Collector::new(&client, config.clone())
+        return Collector::new(client.as_ref(), config.clone())
             .run_with_sink(sink)
             .map_err(|e| ArgError(format!("collection failed: {e}")));
     }
@@ -319,7 +331,20 @@ pub(crate) fn plan_config(
         fetch_channels: !args.flag("no-channels"),
         fetch_comments: !args.flag("no-comments"),
         shard: None,
+        platform: parse_platform(args)?,
     })
+}
+
+/// Parses the shared `--platform` flag (default `youtube`).
+pub(crate) fn parse_platform(args: &Args) -> Result<PlatformKind, ArgError> {
+    match args.get("platform") {
+        None => Ok(PlatformKind::Youtube),
+        Some(name) => PlatformKind::from_str_opt(name).ok_or_else(|| {
+            ArgError(format!(
+                "invalid --platform {name:?}; expected 'youtube' or 'tiktok'"
+            ))
+        }),
+    }
 }
 
 /// Builds the traffic backend from the shared `--base-url` /
@@ -327,6 +352,14 @@ pub(crate) fn plan_config(
 /// with effectively unbounded quota. Used by both `collect` and
 /// `work`.
 pub(crate) fn build_backend(args: &Args, key: &str, tag: &str) -> Result<Backend, ArgError> {
+    let platform = parse_platform(args)?;
+    if platform == PlatformKind::Tiktok && args.get("base-url").is_some() {
+        return Err(ArgError(
+            "--platform tiktok is in-process only; it cannot target a served \
+             --base-url (`ytaudit serve` speaks the YouTube API)"
+                .into(),
+        ));
+    }
     Ok(match args.get("base-url") {
         Some(base) => Backend::Http(base.to_string()),
         None => {
@@ -340,13 +373,23 @@ pub(crate) fn build_backend(args: &Args, key: &str, tag: &str) -> Result<Backend
                     .parse()
                     .map_err(|_| ArgError(format!("invalid --seed {seed:?}")))?;
             }
-            eprintln!("[{tag}] generating in-process corpus (scale {scale})…");
-            let service = Arc::new(ApiService::new(
-                Arc::new(Platform::new(Corpus::generate(corpus_config))),
-                SimClock::at_audit_start(),
-            ));
-            service.quota().register(key, u64::MAX / 2);
-            Backend::InProcess(service)
+            eprintln!(
+                "[{tag}] generating in-process corpus (scale {scale}, platform {platform})…"
+            );
+            let corpus = Arc::new(Platform::new(Corpus::generate(corpus_config)));
+            match platform {
+                PlatformKind::Youtube => {
+                    let service = Arc::new(ApiService::new(corpus, SimClock::at_audit_start()));
+                    service.quota().register(key, u64::MAX / 2);
+                    Backend::InProcess(service)
+                }
+                PlatformKind::Tiktok => {
+                    let service =
+                        Arc::new(TikTokService::new(corpus, SimClock::at_audit_start()));
+                    service.ledger().register(key, RESEARCH_DAILY_REQUESTS);
+                    Backend::Tiktok(service)
+                }
+            }
         }
     })
 }

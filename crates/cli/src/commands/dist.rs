@@ -142,7 +142,7 @@ pub fn work(args: &Args) -> Result<(), ArgError> {
     let key = args.get("key").unwrap_or("cli-key").to_string();
     let workers: usize = args.get_parsed("workers", 2)?;
     let backend = build_backend(args, &key, "work")?;
-    if matches!(backend, Backend::InProcess(_)) && args.get("base-url").is_none() {
+    if !matches!(backend, Backend::Http(_)) && args.get("base-url").is_none() {
         eprintln!(
             "[work] note: using a private in-process platform; run every worker with \
              the same --scale/--seed (the defaults agree) so shards describe one corpus"

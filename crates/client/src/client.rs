@@ -105,7 +105,12 @@ impl YouTubeClient {
                     .first()
                     .and_then(|e| ApiErrorReason::from_str_opt(&e.reason))
                     .unwrap_or(ApiErrorReason::BackendError);
-                Err(Error::api(reason, envelope.error.message))
+                Err(match envelope.error.retry_after_secs {
+                    Some(secs) => {
+                        Error::api_with_retry_after(reason, envelope.error.message, secs)
+                    }
+                    None => Error::api(reason, envelope.error.message),
+                })
             }
             Err(_) => Err(Error::Io(format!("HTTP {status} with undecodable body"))),
         }

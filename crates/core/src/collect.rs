@@ -20,11 +20,12 @@ use crate::dataset::{
     AuditDataset, ChannelInfo, CommentFetchError, CommentRecord, CommentsSnapshot, HourlyResult,
     Snapshot, TopicSnapshot, VideoInfo,
 };
+use crate::platform::Platform;
 use crate::schedule::Schedule;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use ytaudit_client::{SearchQuery, YouTubeClient};
 use ytaudit_types::{
-    ApiErrorReason, ChannelId, CommentId, Error, Result, Timestamp, Topic, VideoId,
+    ApiErrorReason, ChannelId, CommentId, Error, PlatformKind, Result, Timestamp, Topic, VideoId,
 };
 
 /// What to collect.
@@ -47,6 +48,10 @@ pub struct CollectorConfig {
     /// Shard identity when this plan is one shard of a `collect
     /// --shards N` run; `None` for the ordinary single-sink path.
     pub shard: Option<crate::shard::ShardSpec>,
+    /// The backend this plan targets. Recorded in the store's Begin
+    /// manifest and validated on resume/merge/analyze, so data collected
+    /// against one platform can never be silently mixed with another's.
+    pub platform: PlatformKind,
 }
 
 impl CollectorConfig {
@@ -61,6 +66,7 @@ impl CollectorConfig {
             fetch_channels: true,
             fetch_comments: true,
             shard: None,
+            platform: PlatformKind::Youtube,
         }
     }
 
@@ -74,6 +80,7 @@ impl CollectorConfig {
             fetch_channels: true,
             fetch_comments: false,
             shard: None,
+            platform: PlatformKind::Youtube,
         }
     }
 
@@ -219,15 +226,15 @@ impl CollectorSink for MemorySink {
     }
 }
 
-/// Runs collections against a client.
+/// Runs collections against any [`Platform`] backend.
 pub struct Collector<'a> {
-    client: &'a YouTubeClient,
+    client: &'a dyn Platform,
     config: CollectorConfig,
 }
 
 impl<'a> Collector<'a> {
     /// Builds a collector.
-    pub fn new(client: &'a YouTubeClient, config: CollectorConfig) -> Collector<'a> {
+    pub fn new(client: &'a dyn Platform, config: CollectorConfig) -> Collector<'a> {
         Collector { client, config }
     }
 
@@ -242,12 +249,18 @@ impl<'a> Collector<'a> {
     /// `(topic, snapshot)` pair as it completes and skipping pairs the
     /// sink already holds — the resumable path.
     pub fn run_with_sink(&self, sink: &mut dyn CollectorSink) -> Result<()> {
+        if self.config.platform != self.client.kind() {
+            return Err(Error::InvalidInput(format!(
+                "plan targets platform '{}' but the client speaks '{}'",
+                self.config.platform,
+                self.client.kind()
+            )));
+        }
         sink.begin(&self.config)?;
         if sink.is_complete() {
             return Ok(());
         }
-        let budget = self.client.budget();
-        let mut mark = budget.units_spent();
+        let mut mark = self.client.units_spent();
         for (idx, &date) in self.config.schedule.dates().iter().enumerate() {
             self.client.set_sim_time(Some(date));
             for &topic in &self.config.topics {
@@ -264,7 +277,7 @@ impl<'a> Collector<'a> {
                 };
                 let (videos, comments) =
                     finalize_pair(self.client, &self.config, idx, &mut topic_snapshot)?;
-                let spent = budget.units_spent();
+                let spent = self.client.units_spent();
                 sink.commit_topic_snapshot(TopicCommit {
                     topic,
                     snapshot: idx,
@@ -285,7 +298,7 @@ impl<'a> Collector<'a> {
             channels = fetch_channel_meta(self.client, sink.known_channel_ids()?)?;
         }
         self.client.set_sim_time(None);
-        sink.finish(&channels, budget.units_spent() - mark)?;
+        sink.finish(&channels, self.client.units_spent() - mark)?;
         Ok(())
     }
 }
@@ -301,12 +314,12 @@ pub fn topic_window_hours(topic: Topic) -> u32 {
 /// parallelizes; the sequential collector calls it once with the full
 /// `0..topic_window_hours(topic)` range, so both paths issue exactly the
 /// same queries. The hour-bin queries go through
-/// [`YouTubeClient::search_all_many`], which batches one page per bin per
-/// wave — an HTTP transport with `--in-flight N` pipelines those pages on
-/// one connection, while the in-process transport degenerates to the
-/// same sequential loop as before.
+/// [`Platform::search_windows`]: the YouTube backend batches one page per
+/// bin per wave — an HTTP transport with `--in-flight N` pipelines those
+/// pages on one connection — while other backends run the windows in
+/// order, which is semantically identical.
 pub fn search_hours(
-    client: &YouTubeClient,
+    client: &dyn Platform,
     topic: Topic,
     hours: std::ops::Range<u32>,
 ) -> Result<Vec<HourlyResult>> {
@@ -318,14 +331,14 @@ pub fn search_hours(
             SearchQuery::for_topic(topic).hour_bin(window_start.add_hours(i64::from(hour)))
         })
         .collect();
-    let collections = client.search_all_many(&queries)?;
+    let windows = client.search_windows(&queries)?;
     Ok(hour_indices
         .into_iter()
-        .zip(collections)
-        .map(|(hour, collection)| HourlyResult {
+        .zip(windows)
+        .map(|(hour, window)| HourlyResult {
             hour,
-            video_ids: collection.video_ids(),
-            total_results: collection.total_results,
+            video_ids: window.video_ids(),
+            total_results: window.total_results,
         })
         .collect())
 }
@@ -333,32 +346,29 @@ pub fn search_hours(
 /// Runs a single full-window query (the naive strategy, capped at 500
 /// results by the API) and buckets the returns by published hour so
 /// downstream analyses see the same shape as the hourly strategy.
-pub fn search_full_window(client: &YouTubeClient, topic: Topic) -> Result<TopicSnapshot> {
+pub fn search_full_window(client: &dyn Platform, topic: Topic) -> Result<TopicSnapshot> {
     let window_start = topic.window_start();
     let window_hours = topic_window_hours(topic);
-    let collection = client.search_all(&SearchQuery::for_topic(topic))?;
+    let window = client.search_window(&SearchQuery::for_topic(topic))?;
     let mut by_hour: BTreeMap<u32, Vec<VideoId>> = BTreeMap::new();
-    for item in &collection.items {
-        let published = item
-            .snippet
-            .as_ref()
-            .map(|s| Timestamp::parse_rfc3339(&s.published_at))
+    for hit in &window.hits {
+        let published = hit
+            .published_at
+            .as_deref()
+            .map(Timestamp::parse_rfc3339)
             .transpose()?
             .unwrap_or(window_start);
         let hour = published
             .hours_since(window_start)
             .clamp(0, i64::from(window_hours) - 1) as u32;
-        by_hour
-            .entry(hour)
-            .or_default()
-            .push(VideoId::new(item.id.video_id.clone()));
+        by_hour.entry(hour).or_default().push(hit.video_id.clone());
     }
     let hours = by_hour
         .into_iter()
         .map(|(hour, video_ids)| HourlyResult {
             hour,
             video_ids,
-            total_results: collection.total_results,
+            total_results: window.total_results,
         })
         .collect();
     Ok(TopicSnapshot {
@@ -372,7 +382,7 @@ pub fn search_full_window(client: &YouTubeClient, topic: Topic) -> Result<TopicS
 /// the comment crawl. Shared verbatim by the sequential collector and
 /// the scheduler's finalize tasks so the two paths cannot diverge.
 pub fn finalize_pair(
-    client: &YouTubeClient,
+    client: &dyn Platform,
     config: &CollectorConfig,
     snapshot: usize,
     data: &mut TopicSnapshot,
@@ -383,12 +393,12 @@ pub fn finalize_pair(
     ids.sort();
     let mut videos = Vec::new();
     if config.fetch_metadata {
-        let (fetched, returned) = fetch_video_meta(client, &ids)?;
+        let (fetched, returned) = client.video_meta(&ids)?;
         videos = fetched;
         data.meta_returned = returned;
     }
     let comments = if config.comments_at(snapshot) {
-        Some(collect_comments(client, &ids)?)
+        Some(client.comments(&ids)?)
     } else {
         None
     };
@@ -418,18 +428,27 @@ pub fn fetch_video_meta(
     Ok((videos, returned))
 }
 
-/// Fetches `Channels: list` metadata for `ids` (deduplicated and sorted
-/// first, so the call sequence is deterministic), skipping malformed
-/// resources.
-pub fn fetch_channel_meta(client: &YouTubeClient, ids: Vec<ChannelId>) -> Result<Vec<ChannelInfo>> {
+/// Fetches channel/creator metadata for `ids` (deduplicated and sorted
+/// first, so the call sequence is deterministic regardless of backend).
+pub fn fetch_channel_meta(client: &dyn Platform, ids: Vec<ChannelId>) -> Result<Vec<ChannelInfo>> {
     let mut channel_ids: Vec<ChannelId> = ids
         .into_iter()
         .collect::<HashSet<_>>()
         .into_iter()
         .collect();
     channel_ids.sort();
+    client.channel_meta(&channel_ids)
+}
+
+/// The YouTube `Channels: list` fetch behind [`Platform::channel_meta`]:
+/// IDs are already deduplicated and sorted; malformed resources are
+/// skipped, as a real collector would.
+pub fn fetch_youtube_channel_meta(
+    client: &YouTubeClient,
+    ids: &[ChannelId],
+) -> Result<Vec<ChannelInfo>> {
     let mut channels = Vec::new();
-    for resource in client.channels(&channel_ids)? {
+    for resource in client.channels(ids)? {
         if let Ok(info) = parse_channel_info(&resource) {
             channels.push(info);
         }
@@ -452,6 +471,7 @@ pub fn collect_comments(client: &YouTubeClient, videos: &[VideoId]) -> Result<Co
             Err(Error::Api {
                 reason: ApiErrorReason::NotFound,
                 message,
+                ..
             }) => {
                 fetch_errors.push(CommentFetchError {
                     video_id: video.clone(),
@@ -488,6 +508,7 @@ pub fn collect_comments(client: &YouTubeClient, videos: &[VideoId]) -> Result<Co
                     Err(Error::Api {
                         reason: ApiErrorReason::NotFound,
                         message,
+                        ..
                     }) => fetch_errors.push(CommentFetchError {
                         video_id: video.clone(),
                         error: format!("comments.list {}: {message}", thread.id),

@@ -25,6 +25,9 @@
 //! * [`periodicity`] — the §6.2 sparse-collection periodicity check,
 //!   validated against a sampler with planted seasonality;
 //! * [`serp`] — the §6.2 sockpuppet-SERP vs search-endpoint comparison;
+//! * [`platform`] — the [`platform::Platform`] seam between the audit
+//!   methodology and a concrete backend; the YouTube client is one
+//!   implementation, `ytaudit-tiktok-sim` another;
 //! * [`shard`] — plan partitioning for sharded multi-store collection;
 //! * [`streaming`] — the online [`streaming::Analyzer`]: folds committed
 //!   (topic, snapshot) pairs into running accumulators; the batch path
@@ -48,6 +51,7 @@ pub mod consistency;
 pub mod dataset;
 pub mod idcheck;
 pub mod periodicity;
+pub mod platform;
 pub mod poolsize;
 pub mod randomization;
 pub mod regression;
@@ -61,6 +65,7 @@ pub mod testutil;
 
 pub use collect::{Collector, CollectorConfig, CollectorSink, MemorySink, TopicCommit};
 pub use dataset::AuditDataset;
+pub use platform::{Platform, SearchHit, SearchWindow};
 pub use report::{AnalysisReport, RegressionReport};
 pub use schedule::Schedule;
 pub use shard::ShardSpec;

@@ -119,6 +119,7 @@ mod tests {
             fetch_channels: false,
             fetch_comments: false,
             shard: None,
+            platform: ytaudit_types::PlatformKind::Youtube,
         };
         Collector::new(&client, config).run().unwrap()
     }

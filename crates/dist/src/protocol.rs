@@ -33,7 +33,7 @@ use std::time::Duration;
 use ytaudit_core::{CollectorConfig, Schedule};
 use ytaudit_store::records::{topic_code, topic_from_code};
 use ytaudit_store::wire::{Reader, WireError, Writer};
-use ytaudit_types::Timestamp;
+use ytaudit_types::{PlatformKind, Timestamp};
 
 /// `POST` — request a lease.
 pub const LEASE_PATH: &str = "/dist/lease";
@@ -201,6 +201,7 @@ impl DistPlan {
         w.put_bool(self.parent.fetch_channels);
         w.put_bool(self.parent.fetch_comments);
         w.put_u32(self.ranges);
+        w.put_u8(self.parent.platform.code());
     }
 
     fn decode_from(r: &mut Reader<'_>) -> Result<DistPlan, WireError> {
@@ -219,6 +220,8 @@ impl DistPlan {
         let fetch_channels = r.bool()?;
         let fetch_comments = r.bool()?;
         let ranges = r.u32()?;
+        let platform = PlatformKind::from_code(r.u8()?)
+            .ok_or_else(|| String::from("unknown platform code"))?;
         Ok(DistPlan {
             parent: CollectorConfig {
                 topics,
@@ -228,6 +231,7 @@ impl DistPlan {
                 fetch_channels,
                 fetch_comments,
                 shard: None,
+                platform,
             },
             ranges,
         })

@@ -5,8 +5,11 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 use ytaudit_api::ApiService;
-use ytaudit_client::{HttpTransport, InProcessTransport, Transport};
+use ytaudit_client::{HttpTransport, InProcessTransport, Transport, YouTubeClient};
+use ytaudit_core::Platform;
 use ytaudit_net::HttpClient;
+use ytaudit_tiktok_sim::{TikTokClient, TikTokService, TikTokTransport};
+use ytaudit_types::PlatformKind;
 
 /// Connection-level totals aggregated across every transport a factory
 /// has built. In-process transports have no connections and report the
@@ -38,6 +41,20 @@ pub trait TransportFactory: Send + Sync {
     /// Connection totals across every transport built so far.
     fn connection_stats(&self) -> ConnectionTotals {
         ConnectionTotals::default()
+    }
+
+    /// Which backend this factory's clients speak. The scheduler checks
+    /// it against the plan's recorded platform before collecting, and
+    /// switches the quota governor to the backend's cost model.
+    fn platform(&self) -> PlatformKind {
+        PlatformKind::Youtube
+    }
+
+    /// Wraps a (possibly governed) transport in the backend's typed
+    /// client. The default builds the YouTube client; TikTok-speaking
+    /// factories override it.
+    fn client(&self, transport: Box<dyn Transport>, api_key: &str) -> Box<dyn Platform> {
+        Box::new(YouTubeClient::new(transport, api_key))
     }
 }
 
@@ -85,6 +102,35 @@ impl HttpFactory {
     pub fn with_max_in_flight(mut self, depth: usize) -> HttpFactory {
         self.max_in_flight = depth.max(1);
         self
+    }
+}
+
+/// Workers call the in-process TikTok research-API simulator. The
+/// harness above the [`ytaudit_core::Platform`] seam is identical; only
+/// the client, cost model (one unit per request), and wire format
+/// change.
+pub struct TikTokFactory {
+    service: Arc<TikTokService>,
+}
+
+impl TikTokFactory {
+    /// Wraps a TikTok service.
+    pub fn new(service: Arc<TikTokService>) -> TikTokFactory {
+        TikTokFactory { service }
+    }
+}
+
+impl TransportFactory for TikTokFactory {
+    fn transport(&self) -> Box<dyn Transport> {
+        Box::new(TikTokTransport::new(Arc::clone(&self.service)))
+    }
+
+    fn platform(&self) -> PlatformKind {
+        PlatformKind::Tiktok
+    }
+
+    fn client(&self, transport: Box<dyn Transport>, api_key: &str) -> Box<dyn Platform> {
+        Box::new(TikTokClient::new(transport, api_key))
     }
 }
 

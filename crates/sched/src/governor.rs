@@ -118,6 +118,7 @@ pub struct GovernedTransport {
     inner: Box<dyn Transport>,
     governor: Arc<QuotaGovernor>,
     metrics: Arc<MetricsRegistry>,
+    flat_cost: Option<u64>,
 }
 
 impl GovernedTransport {
@@ -131,7 +132,22 @@ impl GovernedTransport {
             inner,
             governor,
             metrics,
+            flat_cost: None,
         }
+    }
+
+    /// Admits every call at a flat `cost` instead of the YouTube
+    /// endpoint price list. TikTok's quota is a daily *request* budget,
+    /// so its scheduler governs at one unit per request regardless of
+    /// endpoint.
+    pub fn with_flat_cost(mut self, cost: u64) -> GovernedTransport {
+        self.flat_cost = Some(cost);
+        self
+    }
+
+    /// What one call to `endpoint` costs under this transport's model.
+    fn cost_of(&self, endpoint: Endpoint) -> u64 {
+        self.flat_cost.unwrap_or_else(|| endpoint.cost())
     }
 }
 
@@ -143,7 +159,7 @@ impl Transport for GovernedTransport {
         api_key: &str,
         now: Option<Timestamp>,
     ) -> Result<(u16, String)> {
-        self.governor.admit(endpoint.cost(), &self.metrics)?;
+        self.governor.admit(self.cost_of(endpoint), &self.metrics)?;
         // ytlint: allow(determinism) — real request latency feeds the
         // metrics histogram only
         let start = Instant::now();
@@ -169,7 +185,7 @@ impl Transport for GovernedTransport {
         let mut admitted = 0;
         let mut admit_err = None;
         for _ in param_sets {
-            match self.governor.admit(endpoint.cost(), &self.metrics) {
+            match self.governor.admit(self.cost_of(endpoint), &self.metrics) {
                 Ok(()) => admitted += 1,
                 Err(err) => {
                     admit_err = Some(err);

@@ -42,7 +42,9 @@ pub mod scheduler;
 pub mod shard;
 pub mod tenant;
 
-pub use factory::{ConnectionTotals, HttpFactory, InProcessFactory, TransportFactory};
+pub use factory::{
+    ConnectionTotals, HttpFactory, InProcessFactory, TikTokFactory, TransportFactory,
+};
 pub use governor::{GovernedTransport, QuotaGovernor};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use reorder::ReorderBuffer;

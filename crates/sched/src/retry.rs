@@ -104,6 +104,20 @@ impl TaskRetryPolicy {
         };
         backoff.delay(attempt)
     }
+
+    /// The delay before re-running a failed task, honoring the server's
+    /// `Retry-After` hint when the error carried one. The hint is
+    /// clamped to the backoff cap (a confused server must not park a
+    /// task for an hour), then combined as `max(hint, schedule)`: the
+    /// server's promise of when capacity returns is a floor, never a
+    /// way to retry *faster* than the local backoff schedule allows.
+    pub fn delay_for(&self, err: &Error, task_seed: u64, attempt: u32) -> Duration {
+        let scheduled = self.delay(task_seed, attempt);
+        match err.retry_after_secs() {
+            Some(secs) => scheduled.max(Duration::from_secs(secs).min(self.backoff.max)),
+            None => scheduled,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +163,39 @@ mod tests {
         assert!(policy.attempts_left(1));
         assert!(!policy.attempts_left(2));
         assert!(!TaskRetryPolicy::no_retries().attempts_left(0));
+    }
+
+    #[test]
+    fn retry_after_hint_is_a_floor_clamped_to_the_cap() {
+        let policy = TaskRetryPolicy::default();
+        let scheduled = policy.delay(7, 0);
+
+        // No hint: exactly the backoff schedule.
+        let no_hint = Error::api(ApiErrorReason::RateLimited, "shed");
+        assert_eq!(policy.delay_for(&no_hint, 7, 0), scheduled);
+
+        // A hint above the schedule wins: the server said when capacity
+        // returns, so retrying earlier would just be shed again.
+        let hinted = Error::api_with_retry_after(ApiErrorReason::RateLimited, "shed", 5);
+        assert_eq!(
+            policy.delay_for(&hinted, 7, 0),
+            Duration::from_secs(5),
+            "early attempts sleep the hinted 5s, not the ~100ms schedule"
+        );
+
+        // A hint below the schedule never speeds the retry up.
+        let eager = Error::api_with_retry_after(ApiErrorReason::RateLimited, "shed", 0);
+        assert_eq!(policy.delay_for(&eager, 7, 0), scheduled);
+
+        // An absurd hint is clamped to the backoff cap (30s default).
+        let absurd = Error::api_with_retry_after(ApiErrorReason::RateLimited, "shed", 3600);
+        assert_eq!(policy.delay_for(&absurd, 7, 0), policy.backoff.max);
+
+        // Non-API errors carry no hint and keep the schedule.
+        assert_eq!(
+            policy.delay_for(&Error::Io("timeout".into()), 7, 0),
+            scheduled
+        );
     }
 
     #[test]

@@ -40,13 +40,12 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
-use ytaudit_client::YouTubeClient;
 use ytaudit_core::collect::{
     fetch_channel_meta, finalize_pair, search_full_window, search_hours, topic_window_hours,
 };
 use ytaudit_core::dataset::{CommentsSnapshot, HourlyResult, TopicSnapshot, VideoInfo};
-use ytaudit_core::{CollectorConfig, CollectorSink, TopicCommit};
-use ytaudit_types::{Error, Result, Timestamp, Topic};
+use ytaudit_core::{CollectorConfig, CollectorSink, Platform, TopicCommit};
+use ytaudit_types::{Error, PlatformKind, Result, Timestamp, Topic};
 
 /// Default hour-bins per search task: a 672-hour topic window splits
 /// into 7 tasks, enough to spread one pair across a pool while keeping
@@ -274,19 +273,32 @@ impl<'f> Scheduler<'f> {
         self.shutdown.clone()
     }
 
-    fn make_client(&self) -> YouTubeClient {
-        let transport = GovernedTransport::new(
+    fn make_client(&self) -> Box<dyn Platform> {
+        let mut transport = GovernedTransport::new(
             self.factory.transport(),
             Arc::clone(&self.governor),
             Arc::clone(&self.metrics),
         );
-        YouTubeClient::new(Box::new(transport), self.sched.api_key.clone())
+        // TikTok's quota is a daily request budget: govern at one unit
+        // per request instead of the YouTube endpoint price list.
+        if self.factory.platform() == PlatformKind::Tiktok {
+            transport = transport.with_flat_cost(1);
+        }
+        self.factory
+            .client(Box::new(transport), &self.sched.api_key)
     }
 
     /// Runs the plan to completion (or drain), committing plan-ordered
     /// pairs into `sink`. Mirrors `Collector::run_with_sink`, including
     /// resume semantics: committed pairs are skipped without API calls.
     pub fn run(&self, sink: &mut dyn CollectorSink) -> Result<RunReport> {
+        if self.collector.platform != self.factory.platform() {
+            return Err(Error::InvalidInput(format!(
+                "plan targets platform '{}' but the transport factory speaks '{}'",
+                self.collector.platform,
+                self.factory.platform()
+            )));
+        }
         sink.begin(&self.collector)?;
         if sink.is_complete() {
             return Ok(RunReport {
@@ -381,7 +393,8 @@ impl<'f> Scheduler<'f> {
                 // Refresh connection totals before committing so a sink
                 // that prints the live metrics line (the CLI does) sees
                 // current pool and pipeline-depth numbers.
-                self.metrics.set_connections(self.factory.connection_stats());
+                self.metrics
+                    .set_connections(self.factory.connection_stats());
                 for (_, pair) in reorder.offer(done.seq, done) {
                     if sink_broken {
                         continue;
@@ -412,7 +425,8 @@ impl<'f> Scheduler<'f> {
             }
         });
 
-        self.metrics.set_connections(self.factory.connection_stats());
+        self.metrics
+            .set_connections(self.factory.connection_stats());
 
         let mut stop = shared.into_inner().stop;
         if stop.is_none() && !reorder.is_drained() {
@@ -440,10 +454,10 @@ impl<'f> Scheduler<'f> {
             if let Some(&last) = dates.last() {
                 client.set_sim_time(Some(last));
             }
-            channels = fetch_channel_meta(&client, sink.known_channel_ids()?)?;
+            channels = fetch_channel_meta(client.as_ref(), sink.known_channel_ids()?)?;
         }
         client.set_sim_time(None);
-        let final_delta = client.budget().units_spent();
+        let final_delta = client.units_spent();
         self.metrics.add_quota(final_delta);
         quota_units += final_delta;
         sink.finish(&channels, final_delta)?;
@@ -500,9 +514,9 @@ impl<'f> Scheduler<'f> {
             // Quota is measured around this attempt only, so a pair's
             // committed delta covers exactly the calls that produced its
             // data — the same calls the sequential path pays for.
-            let before = client.budget().units_spent();
-            let result = execute_task(&client, &self.collector, &mut task);
-            let delta = client.budget().units_spent() - before;
+            let before = client.units_spent();
+            let result = execute_task(client.as_ref(), &self.collector, &mut task);
+            let delta = client.units_spent() - before;
 
             let mut s = shared.lock();
             s.outstanding -= 1;
@@ -576,10 +590,11 @@ impl<'f> Scheduler<'f> {
                         && self.sched.retry.attempts_left(task.attempt)
                     {
                         self.metrics.task_retried();
-                        let delay = self
-                            .sched
-                            .retry
-                            .delay(self.sched.seed ^ task.id, task.attempt);
+                        let delay = self.sched.retry.delay_for(
+                            &err,
+                            self.sched.seed ^ task.id,
+                            task.attempt,
+                        );
                         task.attempt += 1;
                         // ytlint: allow(determinism) — backoff deadline
                         // paces real retries; result bytes are unaffected
@@ -596,7 +611,7 @@ impl<'f> Scheduler<'f> {
 }
 
 fn execute_task(
-    client: &YouTubeClient,
+    client: &dyn Platform,
     config: &CollectorConfig,
     task: &mut Task,
 ) -> Result<TaskOutput> {

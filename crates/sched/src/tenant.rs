@@ -162,8 +162,13 @@ impl ServeFront {
     }
 
     fn shed_response(&self, reason: &str) -> Response {
-        let (code, body) =
-            ytaudit_api::service::error_response(&Error::api(ApiErrorReason::RateLimited, reason));
+        // The hint rides both the HTTP header (for plain HTTP clients)
+        // and the JSON envelope (for transports that only see the body).
+        let (code, body) = ytaudit_api::service::error_response(&Error::api_with_retry_after(
+            ApiErrorReason::RateLimited,
+            reason,
+            1,
+        ));
         Response::json(StatusCode(code), body.into_bytes()).with_header("retry-after", "1")
     }
 

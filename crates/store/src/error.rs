@@ -3,6 +3,7 @@
 //! `core::CollectorSink` trait.
 
 use std::fmt;
+use ytaudit_types::PlatformKind;
 
 /// Everything that can go wrong inside the snapshot store.
 #[derive(Debug)]
@@ -20,6 +21,14 @@ pub enum StoreError {
     /// A usage error: resuming with a different collection plan,
     /// committing a pair twice, loading from an empty store, and so on.
     Plan(String),
+    /// The store was collected from a different backend than the one
+    /// now asked to resume, merge, or analyze it.
+    PlatformMismatch {
+        /// The platform recorded in the store's Begin manifest.
+        stored: PlatformKind,
+        /// The platform the current operation speaks.
+        requested: PlatformKind,
+    },
 }
 
 impl StoreError {
@@ -40,6 +49,11 @@ impl fmt::Display for StoreError {
                 write!(f, "store corrupt at byte {offset}: {detail}")
             }
             StoreError::Plan(msg) => write!(f, "store plan error: {msg}"),
+            StoreError::PlatformMismatch { stored, requested } => write!(
+                f,
+                "store platform mismatch: store was collected from '{stored}' but this \
+                 operation targets '{requested}'; platforms cannot be mixed"
+            ),
         }
     }
 }
@@ -60,6 +74,9 @@ impl From<StoreError> for ytaudit_types::Error {
                 ytaudit_types::Error::Decode(corrupt.to_string())
             }
             StoreError::Plan(msg) => ytaudit_types::Error::InvalidInput(msg),
+            mismatch @ StoreError::PlatformMismatch { .. } => {
+                ytaudit_types::Error::InvalidInput(mismatch.to_string())
+            }
         }
     }
 }

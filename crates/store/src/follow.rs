@@ -20,7 +20,7 @@ use std::time::Duration;
 use ytaudit_core::streaming::{Analyzer, FoldInput};
 use ytaudit_core::AnalysisReport;
 use ytaudit_platform::faultpoint;
-use ytaudit_types::Topic;
+use ytaudit_types::{PlatformKind, Topic};
 
 /// How to drive a follow analysis.
 #[derive(Debug, Clone)]
@@ -34,6 +34,10 @@ pub struct FollowOptions {
     pub checkpoint: Option<PathBuf>,
     /// Reorder-buffer cap forwarded to [`Analyzer::with_max_buffered`].
     pub max_buffered: Option<usize>,
+    /// When set, the store's Begin manifest must record this platform;
+    /// a mismatch fails with [`StoreError::PlatformMismatch`] before
+    /// any pair is folded.
+    pub expect_platform: Option<PlatformKind>,
 }
 
 impl Default for FollowOptions {
@@ -43,6 +47,7 @@ impl Default for FollowOptions {
             poll_ms: 250,
             checkpoint: None,
             max_buffered: None,
+            expect_platform: None,
         }
     }
 }
@@ -109,6 +114,15 @@ pub fn follow_analyze(
         reader.poll(|event| {
             match event {
                 TailEvent::Begin(meta) => {
+                    if let Some(expected) = options.expect_platform {
+                        if meta.platform != expected {
+                            poll_error = Some(StoreError::PlatformMismatch {
+                                stored: meta.platform,
+                                requested: expected,
+                            });
+                            return Ok(());
+                        }
+                    }
                     planned_pairs = Some(meta.pairs());
                     match &analyzer {
                         None => {
@@ -209,6 +223,15 @@ pub fn follow_analyze(
             break;
         }
         if !options.follow {
+            // A store that was begun but never committed a pair is not
+            // "incomplete" — it is the empty collection, and analyzing
+            // it must produce the same canonical empty report the batch
+            // path emits. Partial stores (some pairs committed) are
+            // still an error: their report would silently understate
+            // the plan.
+            if planned_pairs.is_some() && folded == 0 {
+                break;
+            }
             return Err(StoreError::Plan(match planned_pairs {
                 None => "store holds no collection; \
                          pass --follow to wait for a collector"
@@ -263,7 +286,7 @@ mod tests {
     use ytaudit_core::collect::TopicCommit;
     use ytaudit_core::dataset::{HourlyResult, TopicSnapshot};
     use ytaudit_core::streaming::Analyzer;
-    use ytaudit_types::{Timestamp, Topic, VideoId};
+    use ytaudit_types::{PlatformKind, Timestamp, Topic, VideoId};
 
     fn meta2x3() -> CollectionMeta {
         CollectionMeta {
@@ -276,6 +299,7 @@ mod tests {
             fetch_channels: false,
             fetch_comments: false,
             shard: None,
+            platform: PlatformKind::Youtube,
         }
     }
 

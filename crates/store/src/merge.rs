@@ -160,6 +160,12 @@ fn open_shard_set(shard_paths: &[PathBuf]) -> Result<ShardSet> {
                 parent = Some(this_parent);
                 topic_slots = (0..spec.count).map(|_| None).collect();
             }
+            Some(existing) if existing.platform != this_parent.platform => {
+                return Err(StoreError::PlatformMismatch {
+                    stored: existing.platform,
+                    requested: this_parent.platform,
+                });
+            }
             Some(existing) if *existing != this_parent => {
                 return Err(plan_err(
                     "shard belongs to a different parent plan than the other shards".into(),

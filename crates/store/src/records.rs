@@ -19,7 +19,7 @@ use crate::wire::{Reader, WireError, Writer};
 use ytaudit_core::dataset::{ChannelInfo, CommentRecord, VideoInfo};
 use ytaudit_core::shard::ShardSpec;
 use ytaudit_core::CollectorConfig;
-use ytaudit_types::{ChannelId, Timestamp, Topic, VideoId};
+use ytaudit_types::{ChannelId, PlatformKind, Timestamp, Topic, VideoId};
 
 /// Record tags (first payload byte).
 pub const TAG_SEGMENT: u8 = 1;
@@ -77,6 +77,11 @@ pub fn topic_from_code(code: u8) -> Result<Topic, WireError> {
         .ok_or_else(|| format!("unknown topic code {code}"))
 }
 
+/// Decodes a stored platform byte ([`PlatformKind::code`]).
+pub fn platform_from_code(code: u8) -> Result<PlatformKind, WireError> {
+    PlatformKind::from_code(code).ok_or_else(|| format!("unknown platform code {code}"))
+}
+
 /// The collection plan, persisted once per store and used to validate
 /// resumed runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +103,11 @@ pub struct CollectionMeta {
     /// stores keep the original byte layout, so old stores decode
     /// unchanged.
     pub shard: Option<ShardSpec>,
+    /// Which backend collected this store. Encoded as a single optional
+    /// trailing byte, present only for non-YouTube stores, so YouTube
+    /// stores keep the original byte layout and old stores decode as
+    /// [`PlatformKind::Youtube`].
+    pub platform: PlatformKind,
 }
 
 impl CollectionMeta {
@@ -111,6 +121,7 @@ impl CollectionMeta {
             fetch_channels: config.fetch_channels,
             fetch_comments: config.fetch_comments,
             shard: config.shard.clone(),
+            platform: config.platform,
         }
     }
 
@@ -234,6 +245,13 @@ impl Record {
                     }
                     w.put_bool(shard.parent_fetch_channels);
                 }
+                // Second optional tail — a single platform byte, present
+                // only for non-YouTube stores. A shard tail is ≥ 10
+                // bytes, so "exactly one byte left" is unambiguous on
+                // decode.
+                if meta.platform != PlatformKind::Youtube {
+                    w.put_u8(meta.platform.code());
+                }
             }
             Record::Blob { kind, body } => {
                 w.put_u8(TAG_BLOB);
@@ -334,7 +352,7 @@ impl Record {
                 let fetch_channels = r.bool()?;
                 let fetch_comments = r.bool()?;
                 let mut shard = None;
-                if r.remaining() > 0 {
+                if r.remaining() > 1 {
                     let index = r.u32()? as usize;
                     let count = r.u32()? as usize;
                     let n_parent = r.u8()? as usize;
@@ -349,6 +367,11 @@ impl Record {
                         parent_fetch_channels: r.bool()?,
                     });
                 }
+                let platform = if r.remaining() > 0 {
+                    platform_from_code(r.u8()?)?
+                } else {
+                    PlatformKind::Youtube
+                };
                 Record::Begin(CollectionMeta {
                     topics,
                     dates,
@@ -357,6 +380,7 @@ impl Record {
                     fetch_channels,
                     fetch_comments,
                     shard,
+                    platform,
                 })
             }
             TAG_BLOB => {
@@ -561,6 +585,7 @@ mod tests {
             fetch_channels: true,
             fetch_comments: false,
             shard: None,
+            platform: PlatformKind::Youtube,
         }
     }
 

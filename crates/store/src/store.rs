@@ -467,6 +467,12 @@ impl Store {
     /// one when resuming.
     pub fn begin_collection(&mut self, meta: CollectionMeta) -> Result<()> {
         if let Some(stored) = &self.meta {
+            if stored.platform != meta.platform {
+                return Err(StoreError::PlatformMismatch {
+                    stored: stored.platform,
+                    requested: meta.platform,
+                });
+            }
             if *stored != meta {
                 return Err(StoreError::Plan(
                     "collection plan differs from the one this store was started with; \
@@ -1131,7 +1137,7 @@ mod tests {
     use super::*;
     use crate::tempdir::TempDir;
     use ytaudit_core::dataset::CommentRecord;
-    use ytaudit_types::Timestamp;
+    use ytaudit_types::{PlatformKind, Timestamp};
 
     fn meta2x2() -> CollectionMeta {
         CollectionMeta {
@@ -1145,6 +1151,7 @@ mod tests {
             fetch_channels: true,
             fetch_comments: true,
             shard: None,
+            platform: PlatformKind::Youtube,
         }
     }
 

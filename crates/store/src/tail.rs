@@ -133,6 +133,7 @@ impl TailReader {
     where
         F: FnMut(TailEvent) -> Result<()>,
     {
+        self.check_not_replaced()?;
         let file_len = self.file.metadata()?.len();
         let mut events = 0u64;
         let mut stalled = false;
@@ -149,6 +150,36 @@ impl TailReader {
             self.pos += frame_len;
         }
         Ok(PollOutcome { events, stalled })
+    }
+
+    /// Fails the poll if the file at the reader's path is no longer the
+    /// file this reader holds open — `compact_in_place` renames a
+    /// rewritten log over the original, and the frame offsets this
+    /// reader has absorbed are meaningless against the new bytes. The
+    /// open handle still reads the old (pre-compaction) inode, so
+    /// without this check the reader would keep serving a file nobody
+    /// is appending to, silently falling behind the live store.
+    #[cfg(unix)]
+    fn check_not_replaced(&self) -> Result<()> {
+        use std::os::unix::fs::MetadataExt;
+        let open = self.file.metadata()?;
+        let disk = std::fs::metadata(&self.path)?;
+        if open.dev() != disk.dev() || open.ino() != disk.ino() {
+            return Err(StoreError::Plan(format!(
+                "{} was replaced under this reader (compacted in place?); its frame \
+                 offsets no longer describe the file on disk — reopen to keep following",
+                self.path.display()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Non-Unix fallback: file identity cannot be compared, so a
+    /// replaced file is not detected and the reader simply stalls at
+    /// the old file's end.
+    #[cfg(not(unix))]
+    fn check_not_replaced(&self) -> Result<()> {
+        Ok(())
     }
 
     /// Reads the frame at `offset`, or `None` when it is incomplete or
@@ -394,6 +425,7 @@ mod tests {
             fetch_channels: false,
             fetch_comments: false,
             shard: None,
+            platform: ytaudit_types::PlatformKind::Youtube,
         }
     }
 

@@ -1,0 +1,417 @@
+//! The TikTok client: a second [`Platform`] implementation.
+//!
+//! Where [`ytaudit_client::YouTubeClient`] chains `pageToken`s and
+//! prices endpoints in units, this client walks opaque cursors, prices
+//! everything at one request, and refuses queries without a date window
+//! (the research API's video query has no un-windowed form). Above the
+//! [`Platform`] seam none of that is visible: the collector receives
+//! the same [`SearchWindow`]/[`VideoInfo`]/[`CommentsSnapshot`] records
+//! either way.
+
+use crate::service::TikTokService;
+use crate::wire::{
+    Data, Envelope, ErrorObject, WireUser, WireVideo, CODE_ACCESS_DENIED, CODE_INTERNAL,
+    CODE_INVALID_PARAMS, CODE_NOT_FOUND, CODE_OK, CODE_QUOTA_EXHAUSTED, CODE_RATE_LIMIT,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use ytaudit_api::quota::Endpoint;
+use ytaudit_client::{SearchQuery, Transport};
+use ytaudit_core::dataset::{
+    ChannelInfo, CommentFetchError, CommentRecord, CommentsSnapshot, VideoInfo,
+};
+use ytaudit_core::platform::{Platform, SearchHit, SearchWindow};
+use ytaudit_types::{ApiErrorReason, ChannelId, Error, PlatformKind, Result, Timestamp, VideoId};
+
+/// Results requested per video-query page.
+const PAGE_SIZE: usize = 100;
+/// IDs per info-lookup request (the service's documented cap).
+const LOOKUP_CHUNK: usize = 50;
+/// Backstop against a cursor walk that never terminates.
+const MAX_PAGES_PER_WINDOW: usize = 1_000;
+
+/// In-process transport for the TikTok simulator, mirroring
+/// [`ytaudit_client::InProcessTransport`].
+pub struct TikTokTransport {
+    service: Arc<TikTokService>,
+}
+
+impl TikTokTransport {
+    /// Wraps a service.
+    pub fn new(service: Arc<TikTokService>) -> TikTokTransport {
+        TikTokTransport { service }
+    }
+}
+
+impl Transport for TikTokTransport {
+    fn execute(
+        &self,
+        endpoint: Endpoint,
+        params: &[(String, String)],
+        api_key: &str,
+        now: Option<Timestamp>,
+    ) -> Result<(u16, String)> {
+        Ok(self.service.handle(endpoint, params, Some(api_key), now))
+    }
+
+    fn label(&self) -> &'static str {
+        "tiktok-in-process"
+    }
+}
+
+/// A typed client for the TikTok research API simulator.
+pub struct TikTokClient {
+    transport: Box<dyn Transport>,
+    api_key: String,
+    sim_time: Mutex<Option<Timestamp>>,
+    requests: AtomicU64,
+    page_size: usize,
+}
+
+impl TikTokClient {
+    /// Builds a client over any transport.
+    pub fn new(transport: Box<dyn Transport>, api_key: impl Into<String>) -> TikTokClient {
+        TikTokClient {
+            transport,
+            api_key: api_key.into(),
+            sim_time: Mutex::new(None),
+            requests: AtomicU64::new(0),
+            page_size: PAGE_SIZE,
+        }
+    }
+
+    /// Overrides the video-query page size (tests exercise pagination
+    /// with small pages). Clamped to the service's 1–100 range.
+    pub fn with_page_size(mut self, page_size: usize) -> TikTokClient {
+        self.page_size = page_size.clamp(1, PAGE_SIZE);
+        self
+    }
+
+    /// Requests issued so far (the TikTok cost model: one unit each).
+    pub fn requests_issued(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Copies the pinned simulated request time; the guard is released
+    /// before the caller touches the transport, so `sim_time` never
+    /// nests over transport-side locks.
+    fn sim_now(&self) -> Option<Timestamp> {
+        *self.sim_time.lock()
+    }
+
+    /// Issues one request and decodes the envelope.
+    fn call(&self, endpoint: Endpoint, params: Vec<(String, String)>) -> Result<Data> {
+        let now = self.sim_now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let (_status, body) = self
+            .transport
+            .execute(endpoint, &params, &self.api_key, now)?;
+        let envelope =
+            Envelope::parse(&body).map_err(|e| Error::Decode(format!("TikTok response: {e}")))?;
+        if envelope.error.code == CODE_OK {
+            envelope
+                .data
+                .ok_or_else(|| Error::Decode("TikTok success response without data".into()))
+        } else {
+            Err(error_from(&envelope.error))
+        }
+    }
+}
+
+/// Maps a wire error object to the shared typed error vocabulary.
+fn error_from(error: &ErrorObject) -> Error {
+    let reason = match error.code.as_str() {
+        CODE_QUOTA_EXHAUSTED => ApiErrorReason::QuotaExceeded,
+        CODE_RATE_LIMIT => ApiErrorReason::RateLimited,
+        CODE_INVALID_PARAMS => ApiErrorReason::InvalidParameter,
+        CODE_NOT_FOUND => ApiErrorReason::NotFound,
+        CODE_ACCESS_DENIED => ApiErrorReason::Forbidden,
+        CODE_INTERNAL => ApiErrorReason::BackendError,
+        other => return Error::Decode(format!("unknown TikTok error code '{other}'")),
+    };
+    match error.retry_after {
+        Some(secs) => Error::api_with_retry_after(reason, error.message.clone(), secs),
+        None => Error::api(reason, error.message.clone()),
+    }
+}
+
+fn parse_video(video: &WireVideo) -> Option<VideoInfo> {
+    Some(VideoInfo {
+        id: VideoId::new(video.id.clone()),
+        channel_id: ChannelId::new(video.username.clone()?),
+        published_at: Timestamp(video.create_time),
+        duration_secs: video.duration?,
+        is_sd: video.definition.as_deref()? == "sd",
+        views: video.view_count?,
+        likes: video.like_count?,
+        comments: video.comment_count?,
+    })
+}
+
+fn parse_user(user: &WireUser) -> ChannelInfo {
+    ChannelInfo {
+        id: ChannelId::new(user.username.clone()),
+        published_at: Timestamp(user.create_time),
+        views: user.view_count,
+        subscribers: user.follower_count,
+        video_count: user.video_count,
+    }
+}
+
+impl Platform for TikTokClient {
+    fn kind(&self) -> PlatformKind {
+        PlatformKind::Tiktok
+    }
+
+    fn set_sim_time(&self, t: Option<Timestamp>) {
+        *self.sim_time.lock() = t;
+    }
+
+    fn units_spent(&self) -> u64 {
+        self.requests_issued()
+    }
+
+    fn search_window(&self, query: &SearchQuery) -> Result<SearchWindow> {
+        let (Some(after), Some(before)) = (query.published_after, query.published_before) else {
+            return Err(Error::InvalidInput(
+                "TikTok video queries are date-windowed: publishedAfter and publishedBefore are required"
+                    .into(),
+            ));
+        };
+        let mut base = vec![
+            ("q".to_string(), query.q.clone().unwrap_or_default()),
+            ("start_time".to_string(), after.0.to_string()),
+            ("end_time".to_string(), before.0.to_string()),
+            ("max_count".to_string(), self.page_size.to_string()),
+        ];
+        if let Some(channel) = &query.channel_id {
+            base.push(("username".to_string(), channel.as_str().to_string()));
+        }
+        let mut hits = Vec::new();
+        let mut total = None;
+        let mut cursor = 0u64;
+        for _ in 0..MAX_PAGES_PER_WINDOW {
+            let mut params = base.clone();
+            params.push(("cursor".to_string(), cursor.to_string()));
+            let data = self.call(Endpoint::Search, params)?;
+            total.get_or_insert(data.total.unwrap_or(0));
+            hits.extend(data.videos.iter().map(|v| SearchHit {
+                video_id: VideoId::new(v.id.clone()),
+                published_at: Some(Timestamp(v.create_time).to_rfc3339()),
+            }));
+            let next = data
+                .cursor
+                .ok_or_else(|| Error::Decode("video query response without cursor".into()))?;
+            if !data.has_more.unwrap_or(false) {
+                return Ok(SearchWindow {
+                    hits,
+                    total_results: total.unwrap_or(0),
+                });
+            }
+            if next <= cursor {
+                return Err(Error::Protocol("TikTok cursor did not advance".into()));
+            }
+            cursor = next;
+        }
+        Err(Error::Protocol(format!(
+            "video query exceeded {MAX_PAGES_PER_WINDOW} pages without exhausting the window"
+        )))
+    }
+
+    fn video_meta(&self, ids: &[VideoId]) -> Result<(Vec<VideoInfo>, Vec<VideoId>)> {
+        let mut infos = Vec::new();
+        let mut returned = Vec::new();
+        for chunk in ids.chunks(LOOKUP_CHUNK) {
+            let list = chunk
+                .iter()
+                .map(|id| id.as_str())
+                .collect::<Vec<_>>()
+                .join(",");
+            let data = self.call(Endpoint::Videos, vec![("video_ids".to_string(), list)])?;
+            for video in &data.videos {
+                // Skip malformed rows rather than poisoning the batch,
+                // mirroring the YouTube parse path.
+                let Some(info) = parse_video(video) else {
+                    continue;
+                };
+                returned.push(info.id.clone());
+                infos.push(info);
+            }
+        }
+        returned.sort();
+        returned.dedup();
+        Ok((infos, returned))
+    }
+
+    fn channel_meta(&self, ids: &[ChannelId]) -> Result<Vec<ChannelInfo>> {
+        let mut infos = Vec::new();
+        for chunk in ids.chunks(LOOKUP_CHUNK) {
+            let list = chunk
+                .iter()
+                .map(|id| id.as_str())
+                .collect::<Vec<_>>()
+                .join(",");
+            let data = self.call(Endpoint::Channels, vec![("usernames".to_string(), list)])?;
+            infos.extend(data.users.iter().map(parse_user));
+        }
+        Ok(infos)
+    }
+
+    fn comments(&self, videos: &[VideoId]) -> Result<CommentsSnapshot> {
+        let mut snapshot = CommentsSnapshot::default();
+        for video in videos {
+            let params = vec![("video_id".to_string(), video.as_str().to_string())];
+            let data = match self.call(Endpoint::CommentThreads, params) {
+                Ok(data) => data,
+                // A removed video is attrition signal, not a run-killer:
+                // record it and keep crawling, like the YouTube path.
+                Err(err) if err.api_reason() == Some(ApiErrorReason::NotFound) => {
+                    snapshot.fetch_errors.push(CommentFetchError {
+                        video_id: video.clone(),
+                        error: format!("video/comment/list: {err}"),
+                    });
+                    continue;
+                }
+                Err(err) => return Err(err),
+            };
+            for comment in &data.comments {
+                snapshot.comments.push(CommentRecord {
+                    id: comment.id.clone(),
+                    video_id: video.clone(),
+                    is_reply: false,
+                    published_at: Timestamp(comment.create_time),
+                });
+                if comment.reply_count == 0 {
+                    continue;
+                }
+                let params = vec![("comment_id".to_string(), comment.id.clone())];
+                let replies = self.call(Endpoint::Comments, params)?;
+                snapshot
+                    .comments
+                    .extend(replies.comments.iter().map(|reply| CommentRecord {
+                        id: reply.id.clone(),
+                        video_id: video.clone(),
+                        is_reply: true,
+                        published_at: Timestamp(reply.create_time),
+                    }));
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_tiktok_client;
+    use ytaudit_types::Topic;
+
+    #[test]
+    fn client_reports_its_kind_and_request_ledger() {
+        let (client, _service) = test_tiktok_client(0.1);
+        let platform: &dyn Platform = &client;
+        assert_eq!(platform.kind(), PlatformKind::Tiktok);
+        assert_eq!(platform.units_spent(), 0);
+        let window = platform
+            .search_window(&SearchQuery::for_topic(Topic::Higgs))
+            .expect("windowed search succeeds");
+        assert_eq!(window.video_ids().len(), window.hits.len());
+        // Flat pricing: one unit per request, no 100-unit search premium.
+        let spent = platform.units_spent();
+        assert!(spent >= 1);
+        assert!(
+            spent < 100,
+            "a single windowed search must not cost YouTube's 100 units (spent {spent})"
+        );
+    }
+
+    #[test]
+    fn unwindowed_queries_are_refused() {
+        let (client, _service) = test_tiktok_client(0.05);
+        let query = SearchQuery {
+            published_after: None,
+            published_before: None,
+            ..SearchQuery::for_topic(Topic::Higgs)
+        };
+        let err = client.search_window(&query).expect_err("must refuse");
+        assert!(matches!(err, Error::InvalidInput(_)), "{err:?}");
+    }
+
+    #[test]
+    fn page_size_does_not_change_what_a_quirk_free_window_returns() {
+        // With quirks off, pagination is a pure transport detail: a
+        // 7-per-page walk and a 100-per-page walk see the same window.
+        let (client_a, _svc_a) = test_tiktok_client_quirk_free(0.15);
+        let (client_b, _svc_b) = test_tiktok_client_quirk_free(0.15);
+        let client_b = client_b.with_page_size(7);
+        let query = SearchQuery::for_topic(Topic::Higgs);
+        let a = client_a.search_window(&query).expect("full pages");
+        let b = client_b.search_window(&query).expect("small pages");
+        assert_eq!(a, b);
+        assert!(!a.hits.is_empty());
+        for hit in &a.hits {
+            let raw = hit.published_at.as_ref().expect("create_time present");
+            Timestamp::parse_rfc3339(raw).expect("converted timestamps parse");
+        }
+    }
+
+    fn test_tiktok_client_quirk_free(scale: f64) -> (TikTokClient, Arc<TikTokService>) {
+        use crate::service::{QuirkConfig, RESEARCH_DAILY_REQUESTS};
+        use ytaudit_platform::{Platform as CorpusPlatform, SimClock};
+        let service = Arc::new(
+            TikTokService::new(
+                Arc::new(CorpusPlatform::small(scale)),
+                SimClock::at_audit_start(),
+            )
+            .with_quirks(QuirkConfig::none()),
+        );
+        service
+            .ledger()
+            .register(crate::testutil::TEST_KEY, RESEARCH_DAILY_REQUESTS);
+        let client = TikTokClient::new(
+            Box::new(TikTokTransport::new(Arc::clone(&service))),
+            crate::testutil::TEST_KEY,
+        );
+        (client, service)
+    }
+
+    #[test]
+    fn metadata_and_comments_round_trip_through_the_seam() {
+        let (client, service) = test_tiktok_client(0.2);
+        let corpus = service.platform().corpus();
+        client.set_sim_time(Some(corpus.config.audit_start));
+        let mut ids: Vec<VideoId> = corpus.topics[0]
+            .videos
+            .iter()
+            .take(5)
+            .map(|v| v.id.clone())
+            .collect();
+        ids.push(VideoId::new("definitely-not-a-video"));
+        let (infos, returned) = client.video_meta(&ids).expect("lookup succeeds");
+        assert_eq!(infos.len(), 5, "the unknown ID is silently absent");
+        assert_eq!(returned.len(), 5);
+        assert!(returned.windows(2).all(|w| w[0] <= w[1]), "coverage sorted");
+
+        let channels: Vec<ChannelId> = infos.iter().map(|i| i.channel_id.clone()).collect();
+        let mut unique = channels.clone();
+        unique.sort();
+        unique.dedup();
+        let channel_infos = client.channel_meta(&unique).expect("user lookup");
+        assert_eq!(channel_infos.len(), unique.len());
+
+        let mut crawl: Vec<VideoId> = ids[..2].to_vec();
+        crawl.push(VideoId::new("definitely-not-a-video"));
+        let snapshot = client.comments(&crawl).expect("comment crawl");
+        assert_eq!(snapshot.fetch_errors.len(), 1, "missing video recorded");
+        assert_eq!(
+            snapshot.fetch_errors[0].video_id.as_str(),
+            "definitely-not-a-video"
+        );
+        // Replies (when any) are fetched through the reply endpoint and
+        // flagged; every record parses back to a real corpus comment.
+        for record in &snapshot.comments {
+            assert!(crawl.iter().any(|v| v == &record.video_id));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # ytaudit-tiktok-sim
+//!
+//! A TikTok-shaped backend for the audit harness — the second
+//! implementation of [`ytaudit_core::Platform`], proving the
+//! methodology is platform-generic:
+//!
+//! * [`service`] — the simulated research API: a *daily request
+//!   budget* (one unit per request, UTC-midnight reset) instead of
+//!   YouTube's unit-priced endpoints; a date-windowed, cursor-paginated
+//!   video query; and hidden sampling quirks (per-window result cap,
+//!   silently dropped tail pages, intermittent empty pages) modeled on
+//!   published audits of the real research API;
+//! * [`wire`] — the envelope-per-response wire shapes (epoch-second
+//!   timestamps, `error.code == "ok"` on success), rendered and parsed
+//!   by the dependency-free [`json`] module;
+//! * [`client`] — [`client::TikTokClient`], the typed client that
+//!   implements the [`ytaudit_core::Platform`] seam, plus the
+//!   in-process [`client::TikTokTransport`];
+//! * [`testutil`] — harness constructors for tests and examples.
+//!
+//! Every quirk is deterministic in `(query, collection day, cursor)` —
+//! never in request arrival order — so sequential and scheduled
+//! collections against this backend commit byte-identical stores.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod service;
+pub mod testutil;
+pub mod wire;
+
+pub use client::{TikTokClient, TikTokTransport};
+pub use service::{QuirkConfig, RequestLedger, TikTokService, RESEARCH_DAILY_REQUESTS};

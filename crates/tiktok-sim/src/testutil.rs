@@ -1,0 +1,31 @@
+//! In-process TikTok harness constructors shared by tests, examples,
+//! and the platform-matrix integration suite.
+
+use crate::client::{TikTokClient, TikTokTransport};
+use crate::service::{TikTokService, RESEARCH_DAILY_REQUESTS};
+use std::sync::Arc;
+use ytaudit_platform::{Platform as CorpusPlatform, SimClock};
+
+/// The client key every test harness registers.
+pub const TEST_KEY: &str = "tiktok-test-key";
+
+/// A service over a small corpus, with [`TEST_KEY`] registered at the
+/// research-application budget and the clock at audit start.
+pub fn test_service(scale: f64) -> Arc<TikTokService> {
+    let service = Arc::new(TikTokService::new(
+        Arc::new(CorpusPlatform::small(scale)),
+        SimClock::at_audit_start(),
+    ));
+    service.ledger().register(TEST_KEY, RESEARCH_DAILY_REQUESTS);
+    service
+}
+
+/// A ready-to-collect client plus its service handle.
+pub fn test_tiktok_client(scale: f64) -> (TikTokClient, Arc<TikTokService>) {
+    let service = test_service(scale);
+    let client = TikTokClient::new(
+        Box::new(TikTokTransport::new(Arc::clone(&service))),
+        TEST_KEY,
+    );
+    (client, service)
+}

@@ -1,0 +1,491 @@
+//! TikTok research-API wire shapes.
+//!
+//! Every response is one [`Envelope`]: a `data` object plus an `error`
+//! object whose `code` is `"ok"` on success — unlike YouTube, errors are
+//! not a separate envelope shape, and the HTTP status alone never tells
+//! the whole story. Timestamps ride the wire as Unix epoch seconds
+//! (`create_time`), not RFC 3339 strings; the client converts at the
+//! platform seam. Rendering and parsing are hand-rolled over
+//! [`crate::json`] so the wire path carries no external runtime
+//! dependency.
+
+use crate::json::{self, push_str_literal, JsonValue};
+use std::fmt::Write as _;
+
+/// Success code carried in [`ErrorObject::code`].
+pub const CODE_OK: &str = "ok";
+/// Daily request budget exhausted (HTTP 429, fatal for the day).
+pub const CODE_QUOTA_EXHAUSTED: &str = "quota_exhausted";
+/// Transient shed (HTTP 429, retryable; carries `retry_after`).
+pub const CODE_RATE_LIMIT: &str = "rate_limit_exceeded";
+/// A request parameter failed validation (HTTP 400).
+pub const CODE_INVALID_PARAMS: &str = "invalid_params";
+/// The addressed resource does not exist or was removed (HTTP 404).
+pub const CODE_NOT_FOUND: &str = "resource_not_found";
+/// Missing or unknown client key (HTTP 403).
+pub const CODE_ACCESS_DENIED: &str = "access_denied";
+/// Simulated server-side failure (HTTP 500, retryable).
+pub const CODE_INTERNAL: &str = "internal_error";
+
+/// The outermost response object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Present on success; absent on errors.
+    pub data: Option<Data>,
+    /// Always present; `code == "ok"` on success.
+    pub error: ErrorObject,
+}
+
+/// The error (or success marker) object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorObject {
+    /// Machine-readable code (one of the `CODE_*` constants).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// Seconds until capacity returns, on 429s.
+    pub retry_after: Option<u64>,
+}
+
+impl ErrorObject {
+    /// The success marker.
+    pub fn ok() -> ErrorObject {
+        ErrorObject {
+            code: CODE_OK.to_string(),
+            message: String::new(),
+            retry_after: None,
+        }
+    }
+}
+
+/// The payload of a successful response. Which fields are populated
+/// depends on the endpoint; empty/absent ones stay off the wire.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Data {
+    /// Video query / video info results.
+    pub videos: Vec<WireVideo>,
+    /// User (creator) info results.
+    pub users: Vec<WireUser>,
+    /// Comment list / reply list results.
+    pub comments: Vec<WireComment>,
+    /// Next page cursor (video query only).
+    pub cursor: Option<u64>,
+    /// Whether another page exists (video query only).
+    pub has_more: Option<bool>,
+    /// The window's pool-size estimate (video query) or list length.
+    pub total: Option<u64>,
+}
+
+/// One video on the wire. The query endpoint returns only `id`,
+/// `username`, and `create_time`; the info endpoint fills everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireVideo {
+    /// Video ID.
+    pub id: String,
+    /// Uploading creator's username.
+    pub username: Option<String>,
+    /// Upload instant, Unix epoch seconds.
+    pub create_time: i64,
+    /// Duration in seconds.
+    pub duration: Option<u64>,
+    /// `"hd"` or `"sd"`.
+    pub definition: Option<String>,
+    /// View count.
+    pub view_count: Option<u64>,
+    /// Like count.
+    pub like_count: Option<u64>,
+    /// Comment count.
+    pub comment_count: Option<u64>,
+}
+
+/// One creator on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireUser {
+    /// The creator's username (the platform-neutral channel ID).
+    pub username: String,
+    /// Account creation instant, Unix epoch seconds.
+    pub create_time: i64,
+    /// Follower count (the subscriber analog).
+    pub follower_count: u64,
+    /// Number of posted videos.
+    pub video_count: u64,
+    /// Total views across the account's videos.
+    pub view_count: u64,
+}
+
+/// One comment on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireComment {
+    /// Comment ID.
+    pub id: String,
+    /// The video the comment is on.
+    pub video_id: String,
+    /// Posting instant, Unix epoch seconds.
+    pub create_time: i64,
+    /// Like count on the comment.
+    pub like_count: u64,
+    /// Number of replies under this comment (top-level lists only).
+    pub reply_count: u64,
+    /// The parent comment for replies; absent on top-level comments.
+    pub parent_comment_id: Option<String>,
+}
+
+impl Envelope {
+    /// Renders the envelope as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        if let Some(data) = &self.data {
+            out.push_str("\"data\":");
+            data.render_into(&mut out);
+            out.push(',');
+        }
+        out.push_str("\"error\":{\"code\":");
+        push_str_literal(&mut out, &self.error.code);
+        out.push_str(",\"message\":");
+        push_str_literal(&mut out, &self.error.message);
+        if let Some(secs) = self.error.retry_after {
+            let _ = write!(out, ",\"retry_after\":{secs}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses an envelope from JSON text.
+    pub fn parse(text: &str) -> Result<Envelope, String> {
+        let value = json::parse(text)?;
+        let error = value
+            .get("error")
+            .ok_or_else(|| "envelope without error object".to_string())?;
+        let error = ErrorObject {
+            code: error
+                .get("code")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "error object without code".to_string())?
+                .to_string(),
+            message: error
+                .get("message")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            retry_after: error.get("retry_after").and_then(JsonValue::as_u64),
+        };
+        let data = match value.get("data") {
+            Some(node) => Some(Data::from_json(node)?),
+            None => None,
+        };
+        Ok(Envelope { data, error })
+    }
+}
+
+impl Data {
+    fn render_into(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        if !self.videos.is_empty() {
+            out.push_str("\"videos\":[");
+            for (i, video) in self.videos.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                video.render_into(out);
+            }
+            out.push(']');
+            first = false;
+        }
+        if !self.users.is_empty() {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("\"users\":[");
+            for (i, user) in self.users.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                user.render_into(out);
+            }
+            out.push(']');
+            first = false;
+        }
+        if !self.comments.is_empty() {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("\"comments\":[");
+            for (i, comment) in self.comments.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                comment.render_into(out);
+            }
+            out.push(']');
+            first = false;
+        }
+        for (name, value) in [("cursor", self.cursor), ("total", self.total)] {
+            if let Some(v) = value {
+                if !first {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{name}\":{v}");
+                first = false;
+            }
+        }
+        if let Some(more) = self.has_more {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "\"has_more\":{more}");
+        }
+        out.push('}');
+    }
+
+    fn from_json(node: &JsonValue) -> Result<Data, String> {
+        let list = |name: &str| -> &[JsonValue] {
+            node.get(name).and_then(JsonValue::as_arr).unwrap_or(&[])
+        };
+        Ok(Data {
+            videos: list("videos")
+                .iter()
+                .map(WireVideo::from_json)
+                .collect::<Result<_, _>>()?,
+            users: list("users")
+                .iter()
+                .map(WireUser::from_json)
+                .collect::<Result<_, _>>()?,
+            comments: list("comments")
+                .iter()
+                .map(WireComment::from_json)
+                .collect::<Result<_, _>>()?,
+            cursor: node.get("cursor").and_then(JsonValue::as_u64),
+            has_more: node.get("has_more").and_then(JsonValue::as_bool),
+            total: node.get("total").and_then(JsonValue::as_u64),
+        })
+    }
+}
+
+impl WireVideo {
+    fn render_into(&self, out: &mut String) {
+        out.push_str("{\"id\":");
+        push_str_literal(out, &self.id);
+        if let Some(username) = &self.username {
+            out.push_str(",\"username\":");
+            push_str_literal(out, username);
+        }
+        let _ = write!(out, ",\"create_time\":{}", self.create_time);
+        for (name, value) in [
+            ("duration", self.duration),
+            ("view_count", self.view_count),
+            ("like_count", self.like_count),
+            ("comment_count", self.comment_count),
+        ] {
+            if let Some(v) = value {
+                let _ = write!(out, ",\"{name}\":{v}");
+            }
+        }
+        if let Some(definition) = &self.definition {
+            out.push_str(",\"definition\":");
+            push_str_literal(out, definition);
+        }
+        out.push('}');
+    }
+
+    fn from_json(node: &JsonValue) -> Result<WireVideo, String> {
+        Ok(WireVideo {
+            id: node
+                .get("id")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "video without id".to_string())?
+                .to_string(),
+            username: node
+                .get("username")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            create_time: node
+                .get("create_time")
+                .and_then(JsonValue::as_i64)
+                .ok_or_else(|| "video without create_time".to_string())?,
+            duration: node.get("duration").and_then(JsonValue::as_u64),
+            definition: node
+                .get("definition")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            view_count: node.get("view_count").and_then(JsonValue::as_u64),
+            like_count: node.get("like_count").and_then(JsonValue::as_u64),
+            comment_count: node.get("comment_count").and_then(JsonValue::as_u64),
+        })
+    }
+}
+
+impl WireUser {
+    fn render_into(&self, out: &mut String) {
+        out.push_str("{\"username\":");
+        push_str_literal(out, &self.username);
+        let _ = write!(
+            out,
+            ",\"create_time\":{},\"follower_count\":{},\"video_count\":{},\"view_count\":{}}}",
+            self.create_time, self.follower_count, self.video_count, self.view_count
+        );
+    }
+
+    fn from_json(node: &JsonValue) -> Result<WireUser, String> {
+        let int = |name: &str| -> Result<u64, String> {
+            node.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("user without {name}"))
+        };
+        Ok(WireUser {
+            username: node
+                .get("username")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "user without username".to_string())?
+                .to_string(),
+            create_time: node
+                .get("create_time")
+                .and_then(JsonValue::as_i64)
+                .ok_or_else(|| "user without create_time".to_string())?,
+            follower_count: int("follower_count")?,
+            video_count: int("video_count")?,
+            view_count: int("view_count")?,
+        })
+    }
+}
+
+impl WireComment {
+    fn render_into(&self, out: &mut String) {
+        out.push_str("{\"id\":");
+        push_str_literal(out, &self.id);
+        out.push_str(",\"video_id\":");
+        push_str_literal(out, &self.video_id);
+        let _ = write!(
+            out,
+            ",\"create_time\":{},\"like_count\":{},\"reply_count\":{}",
+            self.create_time, self.like_count, self.reply_count
+        );
+        if let Some(parent) = &self.parent_comment_id {
+            out.push_str(",\"parent_comment_id\":");
+            push_str_literal(out, parent);
+        }
+        out.push('}');
+    }
+
+    fn from_json(node: &JsonValue) -> Result<WireComment, String> {
+        Ok(WireComment {
+            id: node
+                .get("id")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "comment without id".to_string())?
+                .to_string(),
+            video_id: node
+                .get("video_id")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "comment without video_id".to_string())?
+                .to_string(),
+            create_time: node
+                .get("create_time")
+                .and_then(JsonValue::as_i64)
+                .ok_or_else(|| "comment without create_time".to_string())?,
+            like_count: node
+                .get("like_count")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            reply_count: node
+                .get("reply_count")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            parent_comment_id: node
+                .get("parent_comment_id")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips_and_elides_empty_fields() {
+        let envelope = Envelope {
+            data: Some(Data {
+                videos: vec![WireVideo {
+                    id: "v1".into(),
+                    username: Some("c1".into()),
+                    create_time: 1_700_000_000,
+                    duration: None,
+                    definition: None,
+                    view_count: None,
+                    like_count: None,
+                    comment_count: None,
+                }],
+                cursor: Some(100),
+                has_more: Some(true),
+                total: Some(250),
+                ..Data::default()
+            }),
+            error: ErrorObject::ok(),
+        };
+        let text = envelope.render();
+        assert!(!text.contains("users"), "empty lists elided: {text}");
+        assert!(!text.contains("duration"), "absent fields elided: {text}");
+        let back = Envelope::parse(&text).expect("parses");
+        assert_eq!(back, envelope);
+    }
+
+    #[test]
+    fn full_video_and_user_and_comment_rows_round_trip() {
+        let envelope = Envelope {
+            data: Some(Data {
+                videos: vec![WireVideo {
+                    id: "v2".into(),
+                    username: Some("c9".into()),
+                    create_time: -3600,
+                    duration: Some(181),
+                    definition: Some("sd".into()),
+                    view_count: Some(12),
+                    like_count: Some(3),
+                    comment_count: Some(1),
+                }],
+                users: vec![WireUser {
+                    username: "c9".into(),
+                    create_time: 86_400,
+                    follower_count: 5,
+                    video_count: 2,
+                    view_count: 99,
+                }],
+                comments: vec![WireComment {
+                    id: "k1.r0".into(),
+                    video_id: "v2".into(),
+                    create_time: 7,
+                    like_count: 0,
+                    reply_count: 0,
+                    parent_comment_id: Some("k1".into()),
+                }],
+                cursor: None,
+                has_more: None,
+                total: Some(1),
+            }),
+            error: ErrorObject::ok(),
+        };
+        let back = Envelope::parse(&envelope.render()).expect("parses");
+        assert_eq!(back, envelope);
+    }
+
+    #[test]
+    fn error_envelope_carries_retry_after() {
+        let text = r#"{"error":{"code":"rate_limit_exceeded","message":"shed","retry_after":7}}"#;
+        let envelope = Envelope::parse(text).expect("parses");
+        assert!(envelope.data.is_none());
+        assert_eq!(envelope.error.code, CODE_RATE_LIMIT);
+        assert_eq!(envelope.error.retry_after, Some(7));
+        let rendered = Envelope {
+            data: None,
+            error: ErrorObject {
+                code: CODE_RATE_LIMIT.to_string(),
+                message: "shed".to_string(),
+                retry_after: Some(7),
+            },
+        }
+        .render();
+        assert_eq!(rendered, text);
+    }
+}

@@ -119,6 +119,10 @@ pub enum Error {
         reason: ApiErrorReason,
         /// Human-readable message as it would appear on the wire.
         message: String,
+        /// The server's `Retry-After` hint in seconds, when the envelope
+        /// carried one (load shedding and rate limits advertise how long
+        /// the client should wait before retrying).
+        retry_after: Option<u64>,
     },
     /// Malformed civil time, RFC 3339 text, or ISO-8601 duration.
     InvalidTime(String),
@@ -141,6 +145,28 @@ impl Error {
         Error::Api {
             reason,
             message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// Builds an API error carrying a `Retry-After` hint in seconds.
+    pub fn api_with_retry_after(
+        reason: ApiErrorReason,
+        message: impl Into<String>,
+        retry_after_secs: u64,
+    ) -> Error {
+        Error::Api {
+            reason,
+            message: message.into(),
+            retry_after: Some(retry_after_secs),
+        }
+    }
+
+    /// The server's `Retry-After` hint in seconds, when one was carried.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        match self {
+            Error::Api { retry_after, .. } => *retry_after,
+            _ => None,
         }
     }
 
@@ -165,7 +191,9 @@ impl Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Api { reason, message } => write!(f, "API error ({reason}): {message}"),
+            Error::Api {
+                reason, message, ..
+            } => write!(f, "API error ({reason}): {message}"),
             Error::InvalidTime(msg) => write!(f, "invalid time: {msg}"),
             Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
@@ -230,6 +258,18 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("quotaExceeded"));
         assert!(text.contains("daily limit reached"));
+    }
+
+    #[test]
+    fn retry_after_hint_travels_on_api_errors_only() {
+        let hinted = Error::api_with_retry_after(ApiErrorReason::RateLimited, "slow down", 7);
+        assert_eq!(hinted.retry_after_secs(), Some(7));
+        assert!(hinted.is_retryable());
+        assert_eq!(
+            Error::api(ApiErrorReason::RateLimited, "x").retry_after_secs(),
+            None
+        );
+        assert_eq!(Error::Io("reset".into()).retry_after_secs(), None);
     }
 
     #[test]

@@ -23,12 +23,14 @@
 
 pub mod error;
 pub mod id;
+pub mod platform;
 pub mod resources;
 pub mod time;
 pub mod topic;
 
 pub use error::{ApiErrorReason, Error, Result};
 pub use id::{ChannelId, CommentId, PlaylistId, VideoId};
+pub use platform::PlatformKind;
 pub use resources::{Channel, ChannelStats, Comment, Definition, Video, VideoStats};
 pub use time::{CivilDate, CivilDateTime, IsoDuration, Timestamp};
 pub use topic::{Topic, TopicSpec};

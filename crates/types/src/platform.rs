@@ -1,0 +1,103 @@
+//! Platform identity: which simulated backend a collection ran against.
+//!
+//! The audit methodology is platform-generic — schedule construction,
+//! hour-binning, and the consistency/attrition/pool-size analyses never
+//! look at backend-specific wire shapes — but a *store* is not: folding
+//! a TikTok shard into a YouTube collection would silently mix two
+//! different sampling regimes. Every store therefore records its
+//! [`PlatformKind`] in the Begin manifest, and resume/merge/analyze
+//! validate it with a typed error.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The simulated backend a collection targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// The YouTube Data API v3 simulator (`ytaudit-api`): per-endpoint
+    /// unit costs (search = 100), page tokens, hour-binnable search.
+    #[default]
+    #[serde(rename = "youtube")]
+    Youtube,
+    /// The TikTok Research API simulator (`ytaudit-tiktok-sim`): daily
+    /// request budget (1 unit per request), date-windowed video query
+    /// with cursor pagination.
+    #[serde(rename = "tiktok")]
+    Tiktok,
+}
+
+impl PlatformKind {
+    /// Every kind, in wire-code order.
+    pub const ALL: [PlatformKind; 2] = [PlatformKind::Youtube, PlatformKind::Tiktok];
+
+    /// The CLI / manifest name of this platform.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlatformKind::Youtube => "youtube",
+            PlatformKind::Tiktok => "tiktok",
+        }
+    }
+
+    /// Parses a CLI / manifest name back into a kind.
+    pub fn from_str_opt(name: &str) -> Option<PlatformKind> {
+        Some(match name {
+            "youtube" => PlatformKind::Youtube,
+            "tiktok" => PlatformKind::Tiktok,
+            _ => return None,
+        })
+    }
+
+    /// The single-byte code the store Begin manifest records.
+    pub fn code(self) -> u8 {
+        match self {
+            PlatformKind::Youtube => 0,
+            PlatformKind::Tiktok => 1,
+        }
+    }
+
+    /// Decodes a manifest byte back into a kind.
+    pub fn from_code(code: u8) -> Option<PlatformKind> {
+        Some(match code {
+            0 => PlatformKind::Youtube,
+            1 => PlatformKind::Tiktok,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_codes_round_trip() {
+        for kind in PlatformKind::ALL {
+            assert_eq!(PlatformKind::from_str_opt(kind.as_str()), Some(kind));
+            assert_eq!(PlatformKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(PlatformKind::from_str_opt("myspace"), None);
+        assert_eq!(PlatformKind::from_code(0xFF), None);
+    }
+
+    #[test]
+    fn default_is_youtube() {
+        // Stores written before the platform field existed decode as
+        // YouTube; the default must never drift.
+        assert_eq!(PlatformKind::default(), PlatformKind::Youtube);
+        assert_eq!(PlatformKind::Youtube.code(), 0);
+    }
+
+    #[test]
+    fn serde_uses_the_cli_names() {
+        let json = serde_json::to_string(&PlatformKind::Tiktok).unwrap();
+        assert_eq!(json, "\"tiktok\"");
+        let back: PlatformKind = serde_json::from_str("\"youtube\"").unwrap();
+        assert_eq!(back, PlatformKind::Youtube);
+    }
+}

@@ -26,7 +26,11 @@
 //! * [`dist`] — cross-process distribution of a collection plan:
 //!   crash-safe coordinator leases, worker execution over the ordinary
 //!   scheduler, and exactly-once chunked shard hand-off (`ytaudit
-//!   coordinate` / `ytaudit work`).
+//!   coordinate` / `ytaudit work`);
+//! * [`tiktok`] — a TikTok-shaped research-API backend: the second
+//!   implementation of the `core::Platform` seam, with a daily request
+//!   budget, date-windowed cursor queries, and hidden sampling quirks
+//!   (`ytaudit collect --platform tiktok`).
 //!
 //! ## Quickstart
 //!
@@ -61,4 +65,5 @@ pub use ytaudit_platform as platform;
 pub use ytaudit_sched as sched;
 pub use ytaudit_stats as stats;
 pub use ytaudit_store as store;
+pub use ytaudit_tiktok_sim as tiktok;
 pub use ytaudit_types as types;

@@ -21,7 +21,7 @@ use std::path::Path;
 use std::sync::{Mutex, MutexGuard};
 use ytaudit::core::{Analyzer, CollectorSink};
 use ytaudit::platform::faultpoint;
-use ytaudit::store::{follow_analyze, FollowOptions, Store, StoreError, TempDir};
+use ytaudit::store::{follow_analyze, FollowOptions, Store, StoreError, TailReader, TempDir};
 use ytaudit::types::Topic;
 
 static SERIAL: Mutex<()> = Mutex::new(());
@@ -108,6 +108,61 @@ fn crash_at_the_checkpoint_boundary_resumes_and_matches_batch() {
     assert_eq!(outcome.resumed_from, Some(3));
     assert_eq!(outcome.folded_pairs, 6);
     assert_eq!(outcome.report.to_json(), batch_json(&path));
+}
+
+/// Satellite regression: a [`TailReader`] whose store is compacted in
+/// place underneath it must fail with a typed error rather than serve
+/// frames at pre-compaction offsets — `compact_in_place` renames a
+/// rewritten log over the path, so every offset the stale reader holds
+/// describes a file that is no longer there. Unix-only because the
+/// detection compares `(dev, ino)` of the open handle against the path.
+#[cfg(unix)]
+#[test]
+fn tail_reader_racing_in_place_compaction_errors_instead_of_misreading() {
+    let _guard = exclusive();
+    let dir = TempDir::new("analyze-compact-race");
+    let path = dir.file("audit.yts");
+    let cfg = h::plan(vec![Topic::Higgs, Topic::Blm], 3);
+    let seed = 7;
+    {
+        let mut store = Store::create(&path).unwrap();
+        h::commit_pairs(&mut store, &cfg, seed);
+        CollectorSink::finish(&mut store, &h::channels(&cfg), h::finish_delta(&cfg)).unwrap();
+    }
+
+    // The reader drains the live log once…
+    let mut reader = TailReader::open(&path).unwrap();
+    let mut before = 0usize;
+    reader
+        .poll(|_| {
+            before += 1;
+            Ok(())
+        })
+        .unwrap();
+    assert!(before > 0);
+
+    // …then the store is compacted in place (rename over the path).
+    Store::open(&path).unwrap().compact_in_place().unwrap();
+
+    // The stale reader must fail typed — never stall forever, never
+    // hand out frames read at the old file's offsets.
+    let err = reader.poll(|_| Ok(())).unwrap_err();
+    assert!(matches!(err, StoreError::Plan(_)), "{err:?}");
+    assert!(err.to_string().contains("replaced"), "{err}");
+
+    // A fresh reader on the compacted file serves the full collection.
+    let mut fresh = TailReader::open(&path).unwrap();
+    let mut after = 0usize;
+    fresh
+        .poll(|_| {
+            after += 1;
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(
+        after, before,
+        "compaction of a complete store must keep every frame"
+    );
 }
 
 #[test]

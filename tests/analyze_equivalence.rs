@@ -26,7 +26,7 @@ use ytaudit::core::dataset::{
     VideoInfo,
 };
 use ytaudit::core::{Analyzer, CollectorConfig, CollectorSink, FoldInput, TopicCommit};
-use ytaudit::store::{follow_analyze, FollowOptions, Store, TailEvent, TailReader, TempDir};
+use ytaudit::store::{follow_analyze, FollowOptions, Store, StoreError, TailEvent, TailReader, TempDir};
 use ytaudit::types::{ChannelId, Timestamp, Topic, VideoId};
 
 /// xorshift64* — deterministic, dependency-free.
@@ -416,6 +416,56 @@ fn follow_memory_is_bounded_by_the_accumulators_not_the_dataset() {
         outcome.peak_buffered
     );
     assert_eq!(outcome.report.to_json(), batch_json(&path));
+}
+
+/// A store that was begun but never committed a pair is the *empty*
+/// collection, not an incomplete one: both batch `analyze` and a
+/// one-shot `analyze` (follow=false) must emit the canonical empty
+/// report for the planned topics, byte for byte — while a store with at
+/// least one committed pair keeps tripping the one-shot gap check.
+#[test]
+fn zero_pair_store_yields_the_canonical_empty_report_in_batch_and_follow() {
+    let dir = TempDir::new("eq-empty");
+    let path = dir.file("store.yts");
+    let cfg = full_config(vec![Topic::Higgs, Topic::Blm], 2);
+    {
+        let mut store = Store::create(&path).unwrap();
+        CollectorSink::begin(&mut store, &cfg).unwrap();
+    }
+
+    let outcome = follow_analyze(
+        &path,
+        &FollowOptions {
+            follow: false,
+            ..FollowOptions::default()
+        },
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(outcome.folded_pairs, 0);
+    let canonical = Analyzer::new(cfg.topics.clone()).finish().to_json();
+    assert_eq!(outcome.report.to_json(), canonical);
+    assert_eq!(
+        batch_json(&path),
+        canonical,
+        "batch and one-shot follow must agree on the empty collection"
+    );
+
+    // One committed pair later the store is genuinely partial again, so
+    // the one-shot incompleteness check still fires.
+    {
+        let mut store = Store::open(&path).unwrap();
+        commit_one(&mut store, &cfg, 0, Topic::Higgs, env_seed());
+    }
+    let partial = follow_analyze(
+        &path,
+        &FollowOptions {
+            follow: false,
+            ..FollowOptions::default()
+        },
+        |_| {},
+    );
+    assert!(matches!(partial, Err(StoreError::Plan(_))), "{partial:?}");
 }
 
 /// Golden fixtures: fixed-seed reports, committed to the repo. Any

@@ -186,6 +186,7 @@ fn store_truncated_at_arbitrary_offset_keeps_every_committed_pair() {
         fetch_channels: false,
         fetch_comments: false,
         shard: None,
+        platform: ytaudit::types::PlatformKind::Youtube,
     };
     let pair_data = |seed: u32| TopicSnapshot {
         hours: (0..3)

@@ -137,6 +137,82 @@ fn property_random_plans_merge_byte_identically() {
     }
 }
 
+/// Satellite regression: a shard set whose Begin manifests disagree —
+/// on platform, or on any other parent-plan field — must fail `store
+/// merge` with a typed [`StoreError`] *before* the `.merging` tmp file
+/// is ever created, so a rejected merge leaves the directory exactly as
+/// it found it.
+#[test]
+fn mismatched_shard_manifests_fail_typed_before_any_merge_tmp_exists() {
+    use ytaudit::store::StoreError;
+    use ytaudit::types::PlatformKind;
+
+    fn assert_no_merge_residue(dir: &TempDir) {
+        for entry in std::fs::read_dir(dir.path()).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_string_lossy().into_owned();
+            assert!(
+                !name.contains(".merging"),
+                "rejected merge left tmp file {name}"
+            );
+        }
+    }
+
+    let dir = TempDir::new("shard-equiv-mixed");
+    let parent = h::plan(vec![Topic::Higgs, Topic::Blm], 1);
+
+    // A healthy two-shard YouTube set…
+    let yt_paths = h::build_shards(&dir.file("merged.yts"), &parent, 2, 3);
+
+    // …a same-shape set collected from the other platform…
+    let tk_parent = CollectorConfig {
+        platform: PlatformKind::Tiktok,
+        ..parent.clone()
+    };
+    let tk_paths = h::build_shards(&dir.file("merged-tk.yts"), &tk_parent, 2, 3);
+
+    // …and one whose plan differs in an ordinary field.
+    let alt_parent = CollectorConfig {
+        fetch_comments: false,
+        ..parent.clone()
+    };
+    let alt_paths = h::build_shards(&dir.file("merged-alt.yts"), &alt_parent, 2, 5);
+
+    // Mixing one TikTok shard into the YouTube set is a platform
+    // mismatch, surfaced as the dedicated typed error.
+    let out = dir.file("mixed.yts");
+    let mixed = vec![
+        yt_paths[0].clone(),
+        tk_paths[1].clone(),
+        yt_paths[2].clone(),
+    ];
+    let err = merge_shards(&out, &mixed).unwrap_err();
+    assert!(
+        matches!(err, StoreError::PlatformMismatch { .. }),
+        "{err:?}"
+    );
+    assert!(!out.exists(), "no output may appear for a rejected merge");
+    assert_no_merge_residue(&dir);
+
+    // Same platform, different parent plan: the generic typed manifest
+    // check fires, with the same nothing-written guarantee.
+    let out2 = dir.file("mixed2.yts");
+    let mixed2 = vec![
+        yt_paths[0].clone(),
+        alt_paths[1].clone(),
+        yt_paths[2].clone(),
+    ];
+    let err2 = merge_shards(&out2, &mixed2).unwrap_err();
+    assert!(matches!(err2, StoreError::Plan(_)), "{err2:?}");
+    assert!(!out2.exists());
+    assert_no_merge_residue(&dir);
+
+    // The untouched YouTube set still merges cleanly afterwards.
+    let good = dir.file("good.yts");
+    merge_shards(&good, &yt_paths).unwrap();
+    assert!(good.exists());
+}
+
 /// The acceptance check, end to end through the real pipeline: a
 /// scheduler-driven `collect --shards N` run plus `store merge` is
 /// byte-identical to the sequential single-sink store for

@@ -239,6 +239,7 @@ fn verify_reports_damage_in_a_collected_store() {
             fetch_channels: false,
             fetch_comments: false,
             shard: None,
+            platform: ytaudit::types::PlatformKind::Youtube,
         };
         store.begin_collection(meta.clone()).unwrap();
         let data = ytaudit::core::dataset::TopicSnapshot {
